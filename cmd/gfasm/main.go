@@ -1,0 +1,66 @@
+// Command gfasm assembles GF-processor programs into loadable binary
+// images and disassembles them back.
+//
+// Usage:
+//
+//	gfasm prog.s -o prog.bin        # assemble
+//	gfasm -d prog.bin               # disassemble an image
+//	gfasm -l prog.s                 # assemble and list (indices + labels)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/isa"
+)
+
+func main() {
+	out := flag.String("o", "", "output image path (default: stdout listing only)")
+	dis := flag.Bool("d", false, "disassemble a binary image")
+	list := flag.Bool("l", false, "print a listing after assembling")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gfasm [-o out.bin] [-d] [-l] file")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dis {
+		var p isa.Program
+		if err := p.UnmarshalBinary(data); err != nil {
+			fatal(err)
+		}
+		fmt.Print(isa.Disassemble(&p))
+		return
+	}
+
+	prog, err := isa.Assemble(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("assembled %d instructions, %d data bytes, %d labels\n",
+		len(prog.Insts), len(prog.Data), len(prog.Labels))
+	if *list {
+		fmt.Print(isa.Disassemble(prog))
+	}
+	if *out != "" {
+		img, err := prog.MarshalBinary()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, img, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d bytes to %s\n", len(img), *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gfasm:", err)
+	os.Exit(1)
+}

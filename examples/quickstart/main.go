@@ -1,0 +1,82 @@
+// Quickstart: the five-minute tour of the library — small-field
+// arithmetic, a Reed-Solomon round trip through a noisy channel, an AES
+// block, and an ECDH handshake, all through the public gfp API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	gfp "repro"
+)
+
+func main() {
+	// --- 1. Galois-field arithmetic with an arbitrary polynomial ---
+	f, err := gfp.NewField(8, 0x11D) // GF(2^8)/x^8+x^4+x^3+x^2+1
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, b := gfp.Elem(0x57), gfp.Elem(0x83)
+	fmt.Printf("in %v:  %#x * %#x = %#x,  inverse(%#x) = %#x\n",
+		f, a, b, f.Mul(a, b), a, f.Inv(a))
+	fmt.Printf("the hardware supports every irreducible polynomial: %d choices for m=8\n\n",
+		len(gfp.IrreduciblePolys(8)))
+
+	// --- 2. Reed-Solomon over a binary symmetric channel ---
+	code, err := gfp.NewRS(f, 255, 239)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	msg := make([]byte, code.K)
+	rng.Read(msg)
+	cw, err := code.EncodeBytes(msg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Corrupt up to t = 8 symbols.
+	recv := append([]byte(nil), cw...)
+	for _, p := range rng.Perm(code.N)[:8] {
+		recv[p] ^= byte(1 + rng.Intn(255))
+	}
+	got, err := code.DecodeBytes(recv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%v corrected 8 symbol errors: recovered=%v\n\n", code, string(got) == string(msg))
+
+	// --- 3. AES from GF arithmetic ---
+	key := []byte("an-iot-session-k")
+	cipher, err := gfp.NewAES(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pt := []byte("hello, gf world!")
+	ct := make([]byte, 16)
+	cipher.Encrypt(ct, pt)
+	back := make([]byte, 16)
+	cipher.Decrypt(back, ct)
+	fmt.Printf("AES-128: %q -> %x -> %q\n\n", pt, ct, back)
+
+	// --- 4. ECDH on the paper's K-233 curve ---
+	curve := gfp.K233()
+	alice, err := gfp.GenerateECDHKey(curve, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := gfp.GenerateECDHKey(curve, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s1, err := alice.SharedSecret(bob.Pub)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s2, err := bob.SharedSecret(alice.Pub)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ECDH on %v: secrets agree = %v (%d-byte secret)\n",
+		curve, string(s1) == string(s2), len(s1))
+}

@@ -1,0 +1,250 @@
+package gfp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// The facade tests exercise the whole public API surface end to end —
+// what a downstream user's first hour with the library looks like.
+
+func TestFacadeFieldRoundTrip(t *testing.T) {
+	f, err := NewField(8, 0x11D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Mul(0x57, 0x83) == 0 {
+		t.Fatal("multiplication broken")
+	}
+	if _, err := NewField(8, 0x100); err == nil {
+		t.Fatal("reducible/degenerate polynomial accepted")
+	}
+	if AESField().Poly() != 0x11B {
+		t.Fatal("AES field wrong")
+	}
+	if len(IrreduciblePolys(8)) != 30 {
+		t.Fatal("irreducible enumeration wrong")
+	}
+	df, err := DefaultField(5)
+	if err != nil || df.M() != 5 {
+		t.Fatal("default field broken")
+	}
+}
+
+func TestFacadeRS(t *testing.T) {
+	f, _ := DefaultField(8)
+	code, err := NewRS(f, 255, 239)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	msg := make([]byte, code.K)
+	rng.Read(msg)
+	cw, err := code.EncodeBytes(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw[3] ^= 0xFF
+	cw[77] ^= 0x10
+	got, err := code.DecodeBytes(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("RS round trip failed")
+	}
+}
+
+func TestFacadeBCH(t *testing.T) {
+	f, _ := DefaultField(5)
+	code, err := NewBCH(f, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.N != 31 || code.K != 11 {
+		t.Fatalf("BCH(31,11,5) expected, got (%d,%d)", code.N, code.K)
+	}
+	msg := make([]byte, code.K)
+	msg[0], msg[5] = 1, 1
+	cw, _ := code.Encode(msg)
+	cw[0] ^= 1
+	cw[30] ^= 1
+	res, err := code.Decode(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msg {
+		if res.Message[i] != msg[i] {
+			t.Fatal("BCH round trip failed")
+		}
+	}
+}
+
+func TestFacadeAES(t *testing.T) {
+	c, err := NewAES([]byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte("16-byte message!")
+	ct := make([]byte, 16)
+	c.Encrypt(ct, pt)
+	back := make([]byte, 16)
+	c.Decrypt(back, ct)
+	if !bytes.Equal(back, pt) {
+		t.Fatal("AES round trip failed")
+	}
+	buf := make([]byte, 33)
+	if err := c.EncryptCTR(buf[:32], make([]byte, 32), make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeECDH(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, curve := range Curves() {
+		a, err := GenerateECDHKey(curve, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GenerateECDHKey(curve, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, err := a.SharedSecret(b.Pub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := b.SharedSecret(a.Pub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(s1, s2) {
+			t.Fatalf("%v: ECDH mismatch", curve)
+		}
+	}
+}
+
+func TestFacadeWideField(t *testing.T) {
+	f := F233()
+	if f.M() != 233 {
+		t.Fatal("F233 wrong")
+	}
+	a := f.FromUint64(3)
+	if !f.Equal(f.Mul(a, f.Inv(a)), f.One()) {
+		t.Fatal("wide inverse broken")
+	}
+	if _, err := NewWideField(233, 74, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWideField(233, 74); err == nil {
+		t.Fatal("missing constant term accepted")
+	}
+}
+
+func TestFacadeProcessor(t *testing.T) {
+	prog, err := Assemble(`
+		movi r1, =field
+		gfconf r1
+		movi r2, #0x53
+		gfmulinv r3, r2
+		halt
+	.data
+	field: .word 0x11B
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProcessor(prog, ProcessorConfig{GFUnit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Reg(3) != 0xCA {
+		t.Fatalf("inv(0x53) = %#x, want 0xCA", p.Reg(3))
+	}
+	u, err := NewGFUnit(0x11D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.M() != 8 {
+		t.Fatal("GF unit config wrong")
+	}
+}
+
+func TestFacadeChannels(t *testing.T) {
+	bsc, err := NewBSC(0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ch Channel = bsc
+	out := ch.TransmitBits(make([]byte, 1000))
+	errs := 0
+	for _, b := range out {
+		errs += int(b)
+	}
+	if errs == 0 || errs > 300 {
+		t.Fatalf("BSC produced %d errors", errs)
+	}
+	if _, err := NewBurstChannel(0.01, 0.1, 0.001, 0.3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if p := BPSKBitErrorProb(0); p < 0.07 || p > 0.09 {
+		t.Fatalf("BPSK BER = %v", p)
+	}
+}
+
+func TestFacadeGCM(t *testing.T) {
+	c, _ := NewAES(make([]byte, 16))
+	var g *GCM = c.NewGCM()
+	nonce := make([]byte, 12)
+	sealed, err := g.Seal(nonce, []byte("packet"), []byte("hdr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := g.Open(nonce, sealed, []byte("hdr"))
+	if err != nil || string(back) != "packet" {
+		t.Fatal("GCM facade round trip failed")
+	}
+}
+
+func TestFacadeECDSAAndTNAF(t *testing.T) {
+	curve := K233()
+	rng := rand.New(rand.NewSource(9))
+	key, err := GenerateECDHKey(curve, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := key.Sign(rng, []byte("msg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ECDSAVerify(curve, key.Pub, []byte("msg"), sig) {
+		t.Fatal("facade ECDSA broken")
+	}
+	// TNAF is reachable through the Curve alias.
+	p, err := curve.ScalarMultTNAF(sig.R, curve.Generator())
+	if err != nil || !curve.OnCurve(p) {
+		t.Fatal("facade TNAF broken")
+	}
+}
+
+func TestFacadeInterleavedRS(t *testing.T) {
+	f, _ := DefaultField(8)
+	code, _ := NewRS(f, 255, 239)
+	iv, err := NewInterleavedRS(code, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]Elem, iv.FrameK())
+	frame, err := iv.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := iv.Decode(frame)
+	if err != nil || len(got) != iv.FrameK() {
+		t.Fatal("interleaved facade round trip failed")
+	}
+}

@@ -1,0 +1,295 @@
+// Package aes implements AES-128/192/256 from first principles on top of
+// Galois-field arithmetic (repro/internal/gf), the way the paper maps it
+// onto the GF processor: the S-box is the GF(2^8) multiplicative inverse
+// followed by an affine transform (no lookup table is mathematically
+// required), and MixColumns/InvMixColumns are inner products in
+// GF(2^8)/x^8+x^4+x^3+x+1.
+//
+// The implementation is validated against the standard library crypto/aes
+// and the FIPS-197 vectors in the tests. It is a reference/teaching
+// implementation of the paper's datapath, not a constant-time production
+// cipher.
+package aes
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+)
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+// Field returns the AES Galois field GF(2^8)/x^8+x^4+x^3+x+1.
+func Field() *gf.Field { return aesField }
+
+var aesField = gf.AES()
+
+// sbox/invSbox are derived — not transcribed — from the field inverse and
+// affine transform at package init, mirroring the paper's claim that the
+// S-box "is realized directly with the multiplicative inverse operation".
+var sbox, invSbox [256]byte
+
+func init() {
+	for x := 0; x < 256; x++ {
+		s := SubByteComputed(byte(x))
+		sbox[x] = s
+		invSbox[s] = byte(x)
+	}
+}
+
+// SubByteComputed evaluates the AES S-box arithmetically:
+// inverse in GF(2^8) (with 0 -> 0), then the FIPS-197 affine transform.
+func SubByteComputed(x byte) byte {
+	var inv byte
+	if x != 0 {
+		inv = byte(aesField.Inv(gf.Elem(x)))
+	}
+	return affine(inv)
+}
+
+// InvSubByteComputed evaluates the inverse S-box arithmetically: inverse
+// affine transform, then GF(2^8) inversion.
+func InvSubByteComputed(x byte) byte {
+	y := invAffine(x)
+	if y == 0 {
+		return 0
+	}
+	return byte(aesField.Inv(gf.Elem(y)))
+}
+
+// affine applies b_i = a_i ^ a_{i+4} ^ a_{i+5} ^ a_{i+6} ^ a_{i+7} ^ c_i
+// (indices mod 8) with c = 0x63.
+func affine(a byte) byte {
+	var b byte
+	for i := 0; i < 8; i++ {
+		bit := (a>>i ^ a>>((i+4)%8) ^ a>>((i+5)%8) ^ a>>((i+6)%8) ^ a>>((i+7)%8)) & 1
+		b |= bit << i
+	}
+	return b ^ 0x63
+}
+
+// invAffine inverts affine: a_i = b_{i+2} ^ b_{i+5} ^ b_{i+7} ^ d_i with
+// d = 0x05.
+func invAffine(b byte) byte {
+	var a byte
+	for i := 0; i < 8; i++ {
+		bit := (b>>((i+2)%8) ^ b>>((i+5)%8) ^ b>>((i+7)%8)) & 1
+		a |= bit << i
+	}
+	return a ^ 0x05
+}
+
+// Cipher is an AES cipher with an expanded key schedule.
+type Cipher struct {
+	rounds int      // 10, 12 or 14
+	enc    [][]byte // rounds+1 round keys of 16 bytes, encryption order
+}
+
+// NewCipher creates an AES cipher for a 16-, 24- or 32-byte key.
+func NewCipher(key []byte) (*Cipher, error) {
+	var rounds int
+	switch len(key) {
+	case 16:
+		rounds = 10
+	case 24:
+		rounds = 12
+	case 32:
+		rounds = 14
+	default:
+		return nil, fmt.Errorf("aes: invalid key size %d", len(key))
+	}
+	c := &Cipher{rounds: rounds}
+	c.enc = expandKey(key, rounds)
+	return c, nil
+}
+
+// Rounds returns the number of rounds (10, 12 or 14).
+func (c *Cipher) Rounds() int { return c.rounds }
+
+// RoundKey returns round key r (0..rounds) as 16 bytes.
+func (c *Cipher) RoundKey(r int) []byte { return append([]byte(nil), c.enc[r]...) }
+
+// expandKey performs the FIPS-197 key expansion. The RotWord/SubWord step
+// is the "vectorizable with 4 (a row)" kernel of the paper's Table 5.
+func expandKey(key []byte, rounds int) [][]byte {
+	nk := len(key) / 4
+	nw := 4 * (rounds + 1)
+	w := make([][4]byte, nw)
+	for i := 0; i < nk; i++ {
+		copy(w[i][:], key[4*i:4*i+4])
+	}
+	rcon := byte(1)
+	for i := nk; i < nw; i++ {
+		t := w[i-1]
+		if i%nk == 0 {
+			// RotWord + SubWord + Rcon
+			t = [4]byte{sbox[t[1]], sbox[t[2]], sbox[t[3]], sbox[t[0]]}
+			t[0] ^= rcon
+			rcon = byte(aesField.Mul(gf.Elem(rcon), 2))
+		} else if nk > 6 && i%nk == 4 {
+			t = [4]byte{sbox[t[0]], sbox[t[1]], sbox[t[2]], sbox[t[3]]}
+		}
+		for j := 0; j < 4; j++ {
+			w[i][j] = w[i-nk][j] ^ t[j]
+		}
+	}
+	keys := make([][]byte, rounds+1)
+	for r := range keys {
+		k := make([]byte, 16)
+		for c := 0; c < 4; c++ {
+			copy(k[4*c:], w[4*r+c][:])
+		}
+		keys[r] = k
+	}
+	return keys
+}
+
+// State is the 4x4 AES state. state[r][c] follows FIPS-197: byte i of the
+// input maps to state[i%4][i/4] (column-major).
+type State [4][4]byte
+
+// LoadState fills a state from a 16-byte block.
+func LoadState(block []byte) State {
+	var s State
+	for i := 0; i < 16; i++ {
+		s[i%4][i/4] = block[i]
+	}
+	return s
+}
+
+// Bytes serializes the state back to a 16-byte block.
+func (s State) Bytes() []byte {
+	out := make([]byte, 16)
+	for i := 0; i < 16; i++ {
+		out[i] = s[i%4][i/4]
+	}
+	return out
+}
+
+// AddRoundKey XORs the round key into the state — pure GF addition,
+// "vectorizable with 16 independent state bytes" (Table 5).
+func AddRoundKey(s *State, rk []byte) {
+	for i := 0; i < 16; i++ {
+		s[i%4][i/4] ^= rk[i]
+	}
+}
+
+// SubBytes applies the S-box to every state byte.
+func SubBytes(s *State) {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r][c] = sbox[s[r][c]]
+		}
+	}
+}
+
+// InvSubBytes applies the inverse S-box.
+func InvSubBytes(s *State) {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r][c] = invSbox[s[r][c]]
+		}
+	}
+}
+
+// ShiftRows rotates row r left by r — the nonvectorizable data movement of
+// Table 5.
+func ShiftRows(s *State) {
+	for r := 1; r < 4; r++ {
+		var tmp [4]byte
+		for c := 0; c < 4; c++ {
+			tmp[c] = s[r][(c+r)%4]
+		}
+		s[r] = tmp
+	}
+}
+
+// InvShiftRows rotates row r right by r.
+func InvShiftRows(s *State) {
+	for r := 1; r < 4; r++ {
+		var tmp [4]byte
+		for c := 0; c < 4; c++ {
+			tmp[(c+r)%4] = s[r][c]
+		}
+		s[r] = tmp
+	}
+}
+
+// mixColCoeff and invMixColCoeff are the circulant first rows of the
+// MixColumns matrices. The paper highlights that MixCol's {02,03,01,01}
+// admits shift/xor tricks on a CPU while InvMixCol's {0E,0B,0D,09} does
+// not — but a GF multiplier is agnostic to the coefficient values.
+var (
+	mixColCoeff    = [4]byte{0x02, 0x03, 0x01, 0x01}
+	invMixColCoeff = [4]byte{0x0E, 0x0B, 0x0D, 0x09}
+)
+
+// MixColumns multiplies each state column by the MixColumns matrix in
+// GF(2^8) — 4 independent 4x4 GF matrix-vector products (Table 5).
+func MixColumns(s *State) { mixWith(s, mixColCoeff) }
+
+// InvMixColumns applies the inverse matrix.
+func InvMixColumns(s *State) { mixWith(s, invMixColCoeff) }
+
+func mixWith(s *State, coeff [4]byte) {
+	for c := 0; c < 4; c++ {
+		var col, out [4]byte
+		for r := 0; r < 4; r++ {
+			col[r] = s[r][c]
+		}
+		for r := 0; r < 4; r++ {
+			var acc gf.Elem
+			for i := 0; i < 4; i++ {
+				acc ^= aesField.Mul(gf.Elem(coeff[(i-r+4)%4]), gf.Elem(col[i]))
+			}
+			out[r] = byte(acc)
+		}
+		for r := 0; r < 4; r++ {
+			s[r][c] = out[r]
+		}
+	}
+}
+
+// Encrypt encrypts one 16-byte block: dst = AES(src). dst and src may
+// overlap. It panics on short slices like crypto/cipher.Block does.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: short block")
+	}
+	s := LoadState(src[:16])
+	AddRoundKey(&s, c.enc[0])
+	for r := 1; r < c.rounds; r++ {
+		SubBytes(&s)
+		ShiftRows(&s)
+		MixColumns(&s)
+		AddRoundKey(&s, c.enc[r])
+	}
+	SubBytes(&s)
+	ShiftRows(&s)
+	AddRoundKey(&s, c.enc[c.rounds])
+	copy(dst, s.Bytes())
+}
+
+// Decrypt decrypts one 16-byte block using the straightforward inverse
+// cipher (FIPS-197 Section 5.3).
+func (c *Cipher) Decrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: short block")
+	}
+	s := LoadState(src[:16])
+	AddRoundKey(&s, c.enc[c.rounds])
+	for r := c.rounds - 1; r >= 1; r-- {
+		InvShiftRows(&s)
+		InvSubBytes(&s)
+		AddRoundKey(&s, c.enc[r])
+		InvMixColumns(&s)
+	}
+	InvShiftRows(&s)
+	InvSubBytes(&s)
+	AddRoundKey(&s, c.enc[0])
+	copy(dst, s.Bytes())
+}
+
+// BlockSize makes *Cipher satisfy crypto/cipher.Block.
+func (c *Cipher) BlockSize() int { return BlockSize }

@@ -1,0 +1,86 @@
+package aes
+
+import "fmt"
+
+// Block-cipher modes of operation. The paper's IoT scenario applies AES
+// "on a packet-by-packet basis"; CTR is the natural packet mode (no
+// padding, encrypt-only datapath) and CBC is provided for completeness.
+
+// EncryptCTR encrypts (or decrypts — CTR is an involution) src with a
+// 16-byte initial counter block. The counter increments big-endian over
+// the full block.
+func (c *Cipher) EncryptCTR(dst, src, iv []byte) error {
+	if len(iv) != BlockSize {
+		return fmt.Errorf("aes: CTR iv must be %d bytes", BlockSize)
+	}
+	if len(dst) < len(src) {
+		return fmt.Errorf("aes: CTR dst shorter than src")
+	}
+	ctr := append([]byte(nil), iv...)
+	var ks [BlockSize]byte
+	for off := 0; off < len(src); off += BlockSize {
+		c.Encrypt(ks[:], ctr)
+		n := len(src) - off
+		if n > BlockSize {
+			n = BlockSize
+		}
+		for i := 0; i < n; i++ {
+			dst[off+i] = src[off+i] ^ ks[i]
+		}
+		// big-endian increment
+		for i := BlockSize - 1; i >= 0; i-- {
+			ctr[i]++
+			if ctr[i] != 0 {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// EncryptCBC encrypts src (length must be a multiple of 16) in CBC mode.
+func (c *Cipher) EncryptCBC(dst, src, iv []byte) error {
+	if len(src)%BlockSize != 0 {
+		return fmt.Errorf("aes: CBC plaintext not block-aligned")
+	}
+	if len(iv) != BlockSize {
+		return fmt.Errorf("aes: CBC iv must be %d bytes", BlockSize)
+	}
+	if len(dst) < len(src) {
+		return fmt.Errorf("aes: CBC dst shorter than src")
+	}
+	prev := append([]byte(nil), iv...)
+	var blk [BlockSize]byte
+	for off := 0; off < len(src); off += BlockSize {
+		for i := 0; i < BlockSize; i++ {
+			blk[i] = src[off+i] ^ prev[i]
+		}
+		c.Encrypt(dst[off:off+BlockSize], blk[:])
+		copy(prev, dst[off:off+BlockSize])
+	}
+	return nil
+}
+
+// DecryptCBC decrypts src (length must be a multiple of 16) in CBC mode.
+func (c *Cipher) DecryptCBC(dst, src, iv []byte) error {
+	if len(src)%BlockSize != 0 {
+		return fmt.Errorf("aes: CBC ciphertext not block-aligned")
+	}
+	if len(iv) != BlockSize {
+		return fmt.Errorf("aes: CBC iv must be %d bytes", BlockSize)
+	}
+	if len(dst) < len(src) {
+		return fmt.Errorf("aes: CBC dst shorter than src")
+	}
+	prev := append([]byte(nil), iv...)
+	var blk [BlockSize]byte
+	for off := 0; off < len(src); off += BlockSize {
+		cur := append([]byte(nil), src[off:off+BlockSize]...)
+		c.Decrypt(blk[:], cur)
+		for i := 0; i < BlockSize; i++ {
+			dst[off+i] = blk[i] ^ prev[i]
+		}
+		prev = cur
+	}
+	return nil
+}

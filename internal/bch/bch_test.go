@@ -1,0 +1,314 @@
+package bch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf"
+	"repro/internal/gfpoly"
+)
+
+func polyFrom(f *gf.Field, coeffs []gf.Elem) gfpoly.Poly { return gfpoly.New(f, coeffs...) }
+
+func randBits(rng *rand.Rand, k int) []byte {
+	b := make([]byte, k)
+	for i := range b {
+		b[i] = byte(rng.Intn(2))
+	}
+	return b
+}
+
+func flip(rng *rand.Rand, cw []byte, nerr int) ([]byte, []int) {
+	out := append([]byte(nil), cw...)
+	pos := rng.Perm(len(cw))[:nerr]
+	for _, p := range pos {
+		out[p] ^= 1
+	}
+	return out, pos
+}
+
+func TestKnownCodeParameters(t *testing.T) {
+	// Classic narrow-sense BCH (n, k, t) table entries.
+	cases := []struct{ m, n, k, tt int }{
+		{4, 15, 11, 1},
+		{4, 15, 7, 2},
+		{4, 15, 5, 3},
+		{5, 31, 26, 1},
+		{5, 31, 21, 2},
+		{5, 31, 16, 3},
+		{5, 31, 11, 5}, // the paper's code
+		{6, 63, 57, 1},
+		{6, 63, 51, 2}, // IEEE 802.15.6 WBAN code family
+		{6, 63, 45, 3},
+		{7, 127, 113, 2},
+		{8, 255, 239, 2},
+		{8, 255, 231, 3},
+	}
+	for _, c := range cases {
+		code, err := NewParams(c.m, c.n, c.k, c.tt)
+		if err != nil {
+			t.Errorf("BCH(%d,%d,%d): %v", c.n, c.k, c.tt, err)
+			continue
+		}
+		if code.N != c.n || code.K != c.k || code.T != c.tt {
+			t.Errorf("BCH(%d,%d,%d): got (%d,%d,%d)", c.n, c.k, c.tt, code.N, code.K, code.T)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	f := gf.MustDefault(5)
+	if _, err := New(f, 0); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := New(f, 16); err == nil {
+		t.Error("2t >= n accepted")
+	}
+	if _, err := NewParams(5, 30, 11, 5); err == nil {
+		t.Error("wrong n accepted")
+	}
+	if _, err := NewParams(5, 31, 12, 5); err == nil {
+		t.Error("wrong k accepted")
+	}
+	// Non-primitive polynomial must be rejected (alpha = x assumption).
+	aes, _ := gf.New(8, 0x11B)
+	if _, err := New(aes, 2); err == nil {
+		t.Error("non-primitive field accepted")
+	}
+}
+
+func TestGeneratorDividesXn1(t *testing.T) {
+	// g(x) must divide x^n - 1.
+	for _, m := range []int{4, 5, 6} {
+		f := gf.MustDefault(m)
+		c := Must(f, 2)
+		n := f.N()
+		coeffs := make([]gf.Elem, n+1)
+		coeffs[0] = 1
+		coeffs[n] = 1
+		xn1 := polyFrom(f, coeffs)
+		if !xn1.Mod(c.Generator()).IsZero() {
+			t.Errorf("m=%d: generator does not divide x^%d-1", m, n)
+		}
+	}
+}
+
+func TestPaperCodeGenerator(t *testing.T) {
+	// BCH(31,11,5): generator degree must be 20, binary coefficients,
+	// and vanish at alpha^1..alpha^10.
+	c := Must(gf.MustDefault(5), 5)
+	g := c.Generator()
+	if g.Degree() != 20 {
+		t.Fatalf("generator degree %d, want 20", g.Degree())
+	}
+	for _, coeff := range g.Coeffs {
+		if coeff > 1 {
+			t.Fatal("non-binary generator coefficient")
+		}
+	}
+	for i := 1; i <= 10; i++ {
+		if g.Eval(c.F.AlphaPow(i)) != 0 {
+			t.Errorf("g(alpha^%d) != 0", i)
+		}
+	}
+}
+
+func TestEncodeSystematicAndValid(t *testing.T) {
+	c := Must(gf.MustDefault(5), 5)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		msg := randBits(rng, c.K)
+		cw, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range msg {
+			if cw[i] != msg[i] {
+				t.Fatal("not systematic")
+			}
+		}
+		for _, s := range c.Syndromes(cw) {
+			if s != 0 {
+				t.Fatal("clean codeword has nonzero syndrome")
+			}
+		}
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c := Must(gf.MustDefault(5), 5)
+	if _, err := c.Encode(make([]byte, 5)); err == nil {
+		t.Error("short message accepted")
+	}
+	bad := make([]byte, c.K)
+	bad[3] = 2
+	if _, err := c.Encode(bad); err == nil {
+		t.Error("non-bit value accepted")
+	}
+}
+
+func TestDecodeUpToT(t *testing.T) {
+	codes := []*Code{
+		Must(gf.MustDefault(5), 5), // BCH(31,11,5), the paper's code
+		Must(gf.MustDefault(5), 1), // BCH(31,26,1)
+		Must(gf.MustDefault(6), 2), // BCH(63,51,2)
+		Must(gf.MustDefault(4), 3), // BCH(15,5,3)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for _, c := range codes {
+		for nerr := 0; nerr <= c.T; nerr++ {
+			msg := randBits(rng, c.K)
+			cw, _ := c.Encode(msg)
+			recv, injected := flip(rng, cw, nerr)
+			res, err := c.Decode(recv)
+			if err != nil {
+				t.Fatalf("%v: %d errors: %v", c, nerr, err)
+			}
+			if res.NumErrors != nerr {
+				t.Errorf("%v: reported %d, injected %d", c, res.NumErrors, nerr)
+			}
+			for i := range msg {
+				if res.Message[i] != msg[i] {
+					t.Fatalf("%v: corrupted message (%d errors at %v)", c, nerr, injected)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeBeyondTUsuallyFails(t *testing.T) {
+	c := Must(gf.MustDefault(5), 5)
+	rng := rand.New(rand.NewSource(3))
+	fails := 0
+	for trial := 0; trial < 50; trial++ {
+		msg := randBits(rng, c.K)
+		cw, _ := c.Encode(msg)
+		recv, _ := flip(rng, cw, c.T+2)
+		res, err := c.Decode(recv)
+		if err != nil {
+			fails++
+			continue
+		}
+		same := true
+		for i := range msg {
+			if res.Message[i] != msg[i] {
+				same = false
+			}
+		}
+		if same {
+			t.Fatal("t+2 errors decoded to the original message")
+		}
+	}
+	if fails == 0 {
+		t.Error("no failures beyond capacity (suspicious)")
+	}
+}
+
+func TestEvenSyndromeSquareIdentity(t *testing.T) {
+	// For binary codes S_{2i} = S_i^2; SyndromesFast relies on it.
+	c := Must(gf.MustDefault(5), 5)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		msg := randBits(rng, c.K)
+		cw, _ := c.Encode(msg)
+		recv, _ := flip(rng, cw, rng.Intn(c.T+1))
+		s := c.Syndromes(recv)
+		for i := 1; 2*i <= len(s); i++ {
+			if s[2*i-1] != c.F.Sqr(s[i-1]) {
+				t.Fatalf("S_%d != S_%d^2", 2*i, i)
+			}
+		}
+		sf := c.SyndromesFast(recv)
+		for i := range s {
+			if s[i] != sf[i] {
+				t.Fatal("SyndromesFast mismatch")
+			}
+		}
+	}
+}
+
+func TestClosedFormELPMatchesBMA(t *testing.T) {
+	// For t in 1..3, Peterson's closed form must locate exactly the same
+	// error positions as Berlekamp-Massey for every correctable pattern.
+	for _, tt := range []int{1, 2, 3} {
+		c := Must(gf.MustDefault(5), tt)
+		rng := rand.New(rand.NewSource(int64(5 + tt)))
+		for trial := 0; trial < 60; trial++ {
+			msg := randBits(rng, c.K)
+			cw, _ := c.Encode(msg)
+			nerr := rng.Intn(tt + 1)
+			recv, _ := flip(rng, cw, nerr)
+			synd := c.Syndromes(recv)
+			cf, ok := c.ClosedFormELP(synd)
+			if !ok {
+				t.Fatalf("t=%d nerr=%d: closed form gave up", tt, nerr)
+			}
+			bma := c.ErrorLocator(synd)
+			pcf := c.ChienSearch(cf)
+			pbma := c.ChienSearch(bma)
+			if len(pcf) != len(pbma) {
+				t.Fatalf("t=%d nerr=%d: closed form found %v, BMA %v", tt, nerr, pcf, pbma)
+			}
+			for i := range pcf {
+				if pcf[i] != pbma[i] {
+					t.Fatalf("t=%d nerr=%d: position mismatch %v vs %v", tt, nerr, pcf, pbma)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeClosedForm(t *testing.T) {
+	c := Must(gf.MustDefault(6), 3)
+	rng := rand.New(rand.NewSource(8))
+	for nerr := 0; nerr <= 3; nerr++ {
+		msg := randBits(rng, c.K)
+		cw, _ := c.Encode(msg)
+		recv, _ := flip(rng, cw, nerr)
+		res, err := c.DecodeClosedForm(recv)
+		if err != nil {
+			t.Fatalf("nerr=%d: %v", nerr, err)
+		}
+		for i := range msg {
+			if res.Message[i] != msg[i] {
+				t.Fatalf("nerr=%d: corrupted", nerr)
+			}
+		}
+	}
+}
+
+func TestDecodeLengthValidation(t *testing.T) {
+	c := Must(gf.MustDefault(5), 5)
+	if _, err := c.Decode(make([]byte, 30)); err == nil {
+		t.Error("short word accepted")
+	}
+}
+
+func TestMinimumDistanceSample(t *testing.T) {
+	// Every nonzero codeword of BCH(15,5,3) must have weight >= 7 (d >= 2t+1).
+	c := Must(gf.MustDefault(4), 3)
+	for v := 1; v < 1<<c.K; v++ {
+		msg := make([]byte, c.K)
+		for i := 0; i < c.K; i++ {
+			msg[i] = byte(v >> i & 1)
+		}
+		cw, _ := c.Encode(msg)
+		w := 0
+		for _, b := range cw {
+			w += int(b)
+		}
+		if w < 2*c.T+1 {
+			t.Fatalf("codeword weight %d < %d", w, 2*c.T+1)
+		}
+	}
+}
+
+func TestRateString(t *testing.T) {
+	c := Must(gf.MustDefault(5), 5)
+	if r := c.Rate(); r < 0.354 || r > 0.356 {
+		t.Errorf("rate = %v", r)
+	}
+	if c.String() != "BCH(31,11,5)/GF(2^5)/x^5+x^2+1" {
+		t.Errorf("String() = %q", c.String())
+	}
+}

@@ -1,0 +1,70 @@
+package bch
+
+import "fmt"
+
+// Errors-and-erasures decoding for binary BCH. Because symbols are single
+// bits, an erased position has only two possible values, so the classic
+// two-trial technique applies: decode once with every erasure set to 0
+// and once with every erasure set to 1, and keep the attempt that
+// corrects the fewest NON-erased positions. This succeeds whenever
+// 2*nu + rho < 2t + 1 (nu bit errors outside rho erased positions):
+// in the better trial at most floor(rho/2) erasures are actually wrong,
+// so that trial sees at most nu + floor(rho/2) <= t channel errors.
+
+// DecodeErasures corrects errors and erasures; erasures lists bit indices
+// whose received values are unreliable (their current values are
+// ignored). It returns an error when neither trial yields a codeword
+// close enough to be trusted under the 2*nu + rho budget.
+func (c *Code) DecodeErasures(recv []byte, erasures []int) (*DecodeResult, error) {
+	if len(recv) != c.N {
+		return nil, fmt.Errorf("bch: received length %d, want %d", len(recv), c.N)
+	}
+	if len(erasures) > 2*c.T {
+		return nil, fmt.Errorf("bch: %d erasures exceed 2t=%d", len(erasures), 2*c.T)
+	}
+	erased := make(map[int]bool, len(erasures))
+	for _, idx := range erasures {
+		if idx < 0 || idx >= c.N {
+			return nil, fmt.Errorf("bch: erasure index %d out of range", idx)
+		}
+		erased[idx] = true
+	}
+	if len(erasures) == 0 {
+		return c.Decode(recv)
+	}
+
+	var best *DecodeResult
+	bestOutside := -1
+	for fill := byte(0); fill <= 1; fill++ {
+		trial := append([]byte(nil), recv...)
+		for idx := range erased {
+			trial[idx] = fill
+		}
+		res, err := c.Decode(trial)
+		if err != nil {
+			continue
+		}
+		// Count corrections outside the erased set — the true channel
+		// errors this hypothesis implies.
+		outside := 0
+		for _, p := range res.Positions {
+			if !erased[p] {
+				outside++
+			}
+		}
+		if best == nil || outside < bestOutside {
+			best = res
+			bestOutside = outside
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("bch: both erasure trials uncorrectable")
+	}
+	// Budget check: 2*nu + rho must fit the designed distance.
+	if 2*bestOutside+len(erasures) > 2*c.T {
+		return nil, fmt.Errorf("bch: %d errors + %d erasures exceed capability t=%d",
+			bestOutside, len(erasures), c.T)
+	}
+	best.NumErrors = bestOutside
+	return best, nil
+}

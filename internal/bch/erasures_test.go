@@ -1,0 +1,127 @@
+package bch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf"
+)
+
+func TestDecodeErasuresOnly(t *testing.T) {
+	// BCH(31,11,5): up to 2t = 10 pure erasures are correctable.
+	c := Must(gf.MustDefault(5), 5)
+	rng := rand.New(rand.NewSource(1))
+	for _, rho := range []int{1, 4, 7, 10} {
+		msg := make([]byte, c.K)
+		for i := range msg {
+			msg[i] = byte(rng.Intn(2))
+		}
+		cw, _ := c.Encode(msg)
+		recv := append([]byte(nil), cw...)
+		idx := rng.Perm(c.N)[:rho]
+		for _, i := range idx {
+			recv[i] = byte(rng.Intn(2)) // garbage
+		}
+		res, err := c.DecodeErasures(recv, idx)
+		if err != nil {
+			t.Fatalf("rho=%d: %v", rho, err)
+		}
+		for i := range msg {
+			if res.Message[i] != msg[i] {
+				t.Fatalf("rho=%d: message corrupted", rho)
+			}
+		}
+	}
+}
+
+func TestDecodeErrorsAndErasures(t *testing.T) {
+	// Frontier 2*nu + rho <= 2t = 10.
+	c := Must(gf.MustDefault(5), 5)
+	rng := rand.New(rand.NewSource(2))
+	for rho := 0; rho <= 10; rho += 2 {
+		nu := (10 - rho) / 2
+		for trial := 0; trial < 10; trial++ {
+			msg := make([]byte, c.K)
+			for i := range msg {
+				msg[i] = byte(rng.Intn(2))
+			}
+			cw, _ := c.Encode(msg)
+			perm := rng.Perm(c.N)
+			eras := perm[:rho]
+			recv := append([]byte(nil), cw...)
+			for _, i := range eras {
+				recv[i] ^= byte(rng.Intn(2)) // half wrong on average
+			}
+			for _, i := range perm[rho : rho+nu] {
+				recv[i] ^= 1 // definite errors outside erasures
+			}
+			res, err := c.DecodeErasures(recv, eras)
+			if err != nil {
+				t.Fatalf("rho=%d nu=%d trial=%d: %v", rho, nu, trial, err)
+			}
+			for i := range msg {
+				if res.Message[i] != msg[i] {
+					t.Fatalf("rho=%d nu=%d: message corrupted", rho, nu)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeErasuresValidation(t *testing.T) {
+	c := Must(gf.MustDefault(5), 5)
+	cw, _ := c.Encode(make([]byte, c.K))
+	if _, err := c.DecodeErasures(cw, make([]int, 11)); err == nil {
+		t.Error("11 erasures accepted for t=5")
+	}
+	if _, err := c.DecodeErasures(cw, []int{99}); err == nil {
+		t.Error("out-of-range erasure accepted")
+	}
+	if _, err := c.DecodeErasures(cw[:5], nil); err == nil {
+		t.Error("short word accepted")
+	}
+	// Zero erasures falls back to plain decoding.
+	res, err := c.DecodeErasures(cw, nil)
+	if err != nil || res.NumErrors != 0 {
+		t.Error("no-erasure fallback broken")
+	}
+}
+
+func TestDecodeErasuresBeyondBudgetFails(t *testing.T) {
+	c := Must(gf.MustDefault(5), 5)
+	rng := rand.New(rand.NewSource(3))
+	fails := 0
+	for trial := 0; trial < 20; trial++ {
+		msg := make([]byte, c.K)
+		for i := range msg {
+			msg[i] = byte(rng.Intn(2))
+		}
+		cw, _ := c.Encode(msg)
+		perm := rng.Perm(c.N)
+		eras := perm[:8]
+		recv := append([]byte(nil), cw...)
+		for _, i := range eras {
+			recv[i] ^= 1 // all erasures wrong
+		}
+		for _, i := range perm[8:12] { // 4 extra errors: 2*4+8 = 16 > 10
+			recv[i] ^= 1
+		}
+		res, err := c.DecodeErasures(recv, eras)
+		if err != nil {
+			fails++
+			continue
+		}
+		same := true
+		for i := range msg {
+			if res.Message[i] != msg[i] {
+				same = false
+			}
+		}
+		if same {
+			t.Fatal("over-budget pattern decoded to the original (impossible)")
+		}
+	}
+	if fails == 0 {
+		t.Error("no failures beyond the erasure budget (suspicious)")
+	}
+}

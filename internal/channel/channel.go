@@ -1,0 +1,158 @@
+// Package channel provides the wireless-channel substrate for the
+// paper's motivating IoT scenario (Section 1.1): error-coding flexibility
+// pays off because channel conditions vary. It implements a binary
+// symmetric channel, a Gilbert-Elliott bursty channel (the "burst bit
+// errors" the paper says RS codes absorb), and BPSK-over-AWGN bit-error
+// probability so link budgets map to flip probabilities.
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/gf"
+)
+
+// Channel corrupts a bit stream in place-independent fashion.
+type Channel interface {
+	// TransmitBits returns a corrupted copy of bits (values 0/1).
+	TransmitBits(bits []byte) []byte
+	// Description labels the channel for reports.
+	Description() string
+}
+
+// BSC is the memoryless binary symmetric channel with crossover
+// probability P.
+type BSC struct {
+	P   float64
+	rng *rand.Rand
+}
+
+// NewBSC creates a BSC with the given crossover probability and seed.
+func NewBSC(p float64, seed int64) (*BSC, error) {
+	if p < 0 || p > 0.5 {
+		return nil, fmt.Errorf("channel: crossover %v outside [0, 0.5]", p)
+	}
+	return &BSC{P: p, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// TransmitBits flips each bit independently with probability P.
+func (c *BSC) TransmitBits(bits []byte) []byte {
+	out := append([]byte(nil), bits...)
+	for i := range out {
+		if c.rng.Float64() < c.P {
+			out[i] ^= 1
+		}
+	}
+	return out
+}
+
+// Description implements Channel.
+func (c *BSC) Description() string { return fmt.Sprintf("BSC(p=%.2g)", c.P) }
+
+// GilbertElliott is the two-state bursty channel: a good state with a low
+// flip probability and a bad state with a high one, with geometric
+// sojourn times.
+type GilbertElliott struct {
+	PGoodToBad float64 // transition probability good -> bad per bit
+	PBadToGood float64 // transition probability bad -> good per bit
+	PErrGood   float64 // flip probability in the good state
+	PErrBad    float64 // flip probability in the bad state
+
+	bad bool
+	rng *rand.Rand
+}
+
+// NewGilbertElliott creates a bursty channel.
+func NewGilbertElliott(pGB, pBG, peGood, peBad float64, seed int64) (*GilbertElliott, error) {
+	for _, p := range []float64{pGB, pBG, peGood, peBad} {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("channel: probability %v outside [0,1]", p)
+		}
+	}
+	return &GilbertElliott{
+		PGoodToBad: pGB, PBadToGood: pBG, PErrGood: peGood, PErrBad: peBad,
+		rng: rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// TransmitBits runs the two-state Markov chain across the bits.
+func (c *GilbertElliott) TransmitBits(bits []byte) []byte {
+	out := append([]byte(nil), bits...)
+	for i := range out {
+		if c.bad {
+			if c.rng.Float64() < c.PBadToGood {
+				c.bad = false
+			}
+		} else {
+			if c.rng.Float64() < c.PGoodToBad {
+				c.bad = true
+			}
+		}
+		pe := c.PErrGood
+		if c.bad {
+			pe = c.PErrBad
+		}
+		if c.rng.Float64() < pe {
+			out[i] ^= 1
+		}
+	}
+	return out
+}
+
+// Description implements Channel.
+func (c *GilbertElliott) Description() string {
+	return fmt.Sprintf("Gilbert-Elliott(pGB=%.2g, pBG=%.2g, peG=%.2g, peB=%.2g)",
+		c.PGoodToBad, c.PBadToGood, c.PErrGood, c.PErrBad)
+}
+
+// BPSKBitErrorProb returns the uncoded BPSK bit-error probability over
+// AWGN at the given Eb/N0 (dB): p = Q(sqrt(2 Eb/N0)) = erfc(sqrt(Eb/N0))/2.
+func BPSKBitErrorProb(ebn0dB float64) float64 {
+	lin := math.Pow(10, ebn0dB/10)
+	return 0.5 * math.Erfc(math.Sqrt(lin))
+}
+
+// TransmitSymbols pushes m-bit field symbols through a bit channel,
+// serializing each symbol MSB-first — the mapping a radio would use.
+func TransmitSymbols(ch Channel, syms []gf.Elem, m int) []gf.Elem {
+	bits := make([]byte, 0, len(syms)*m)
+	for _, s := range syms {
+		for b := m - 1; b >= 0; b-- {
+			bits = append(bits, byte(s>>b&1))
+		}
+	}
+	bits = ch.TransmitBits(bits)
+	out := make([]gf.Elem, len(syms))
+	for i := range out {
+		var v gf.Elem
+		for b := 0; b < m; b++ {
+			v = v<<1 | gf.Elem(bits[i*m+b])
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// CountBitErrors returns the Hamming distance between two bit slices.
+func CountBitErrors(a, b []byte) int {
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// CountSymbolErrors returns the number of differing symbols.
+func CountSymbolErrors(a, b []gf.Elem) int {
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}

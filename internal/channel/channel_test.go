@@ -1,0 +1,142 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gf"
+)
+
+func TestBSCValidation(t *testing.T) {
+	if _, err := NewBSC(-0.1, 1); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := NewBSC(0.6, 1); err == nil {
+		t.Error("p > 0.5 accepted")
+	}
+}
+
+func TestBSCErrorRate(t *testing.T) {
+	c, _ := NewBSC(0.1, 42)
+	n := 100000
+	bits := make([]byte, n)
+	out := c.TransmitBits(bits)
+	errs := CountBitErrors(bits, out)
+	rate := float64(errs) / float64(n)
+	if math.Abs(rate-0.1) > 0.01 {
+		t.Errorf("observed rate %v, want ~0.1", rate)
+	}
+	if len(out) != n {
+		t.Error("length changed")
+	}
+	// Input must be untouched.
+	for _, b := range bits {
+		if b != 0 {
+			t.Fatal("input mutated")
+		}
+	}
+}
+
+func TestBSCZeroProbability(t *testing.T) {
+	c, _ := NewBSC(0, 1)
+	bits := []byte{1, 0, 1, 1}
+	out := c.TransmitBits(bits)
+	if CountBitErrors(bits, out) != 0 {
+		t.Error("p=0 flipped bits")
+	}
+}
+
+func TestGilbertElliottBurstiness(t *testing.T) {
+	// A bursty channel with the same average error rate as a BSC must
+	// produce longer error runs.
+	ge, err := NewGilbertElliott(0.01, 0.1, 0.0001, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 200000
+	bits := make([]byte, n)
+	out := ge.TransmitBits(bits)
+	// Measure run lengths of errors.
+	var runs, runLen, maxRun int
+	cur := 0
+	for i := 0; i < n; i++ {
+		if out[i] == 1 {
+			cur++
+			if cur > maxRun {
+				maxRun = cur
+			}
+		} else {
+			if cur > 0 {
+				runs++
+				runLen += cur
+			}
+			cur = 0
+		}
+	}
+	if runs == 0 {
+		t.Fatal("no errors at all")
+	}
+	avgRun := float64(runLen) / float64(runs)
+	if avgRun < 1.2 {
+		t.Errorf("average error run %.2f — not bursty", avgRun)
+	}
+	if maxRun < 3 {
+		t.Errorf("max run %d — not bursty", maxRun)
+	}
+}
+
+func TestGilbertElliottValidation(t *testing.T) {
+	if _, err := NewGilbertElliott(1.5, 0, 0, 0, 1); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+}
+
+func TestBPSKBitErrorProb(t *testing.T) {
+	// Known BPSK points: ~0.0786 at 0 dB, ~7.8e-4 at ~6.8 dB... check
+	// canonical values: Q(sqrt(2)) = 0.0786 at 0 dB; at 9.6 dB ~1e-5.
+	p0 := BPSKBitErrorProb(0)
+	if math.Abs(p0-0.0786) > 0.002 {
+		t.Errorf("BER @0dB = %v, want ~0.0786", p0)
+	}
+	p96 := BPSKBitErrorProb(9.6)
+	if p96 > 2e-5 || p96 < 5e-6 {
+		t.Errorf("BER @9.6dB = %v, want ~1e-5", p96)
+	}
+	// Monotone decreasing.
+	if BPSKBitErrorProb(3) >= BPSKBitErrorProb(6) == false {
+		t.Error("BER not decreasing with SNR")
+	}
+}
+
+func TestTransmitSymbolsRoundTrip(t *testing.T) {
+	c, _ := NewBSC(0, 3)
+	syms := []gf.Elem{0x1F, 0x00, 0x0A, 0x15}
+	out := TransmitSymbols(c, syms, 5)
+	for i := range syms {
+		if out[i] != syms[i] {
+			t.Fatal("noiseless transmission changed symbols")
+		}
+	}
+}
+
+func TestTransmitSymbolsErrorMapping(t *testing.T) {
+	c, _ := NewBSC(0.5, 9)
+	syms := make([]gf.Elem, 1000)
+	out := TransmitSymbols(c, syms, 8)
+	if CountSymbolErrors(syms, out) < 900 {
+		t.Error("p=0.5 channel left most symbols intact")
+	}
+	for _, s := range out {
+		if s > 0xFF {
+			t.Fatal("symbol out of field range")
+		}
+	}
+}
+
+func TestDescriptions(t *testing.T) {
+	b, _ := NewBSC(0.01, 1)
+	g, _ := NewGilbertElliott(0.1, 0.1, 0.01, 0.3, 1)
+	if b.Description() == "" || g.Description() == "" {
+		t.Error("empty description")
+	}
+}

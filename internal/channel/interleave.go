@@ -1,0 +1,60 @@
+package channel
+
+import "fmt"
+
+// Block interleaver: the classic companion to block codes on bursty
+// channels. Bits are written into a rows x cols matrix row-major and
+// read out column-major, so a burst of up to `rows` consecutive channel
+// errors lands in distinct codewords (or distinct symbols), converting
+// burst errors into the near-uniform errors BCH handles best — the
+// paper's Section 1.1 "different error patterns" flexibility knob.
+type Interleaver struct {
+	rows, cols int
+}
+
+// NewInterleaver creates a rows x cols block interleaver.
+func NewInterleaver(rows, cols int) (*Interleaver, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("channel: interleaver dimensions %dx%d invalid", rows, cols)
+	}
+	return &Interleaver{rows: rows, cols: cols}, nil
+}
+
+// Size returns the block size rows*cols the interleaver operates on.
+func (il *Interleaver) Size() int { return il.rows * il.cols }
+
+// Interleave permutes one block (len must equal Size).
+func (il *Interleaver) Interleave(in []byte) ([]byte, error) {
+	if len(in) != il.Size() {
+		return nil, fmt.Errorf("channel: interleave block length %d, want %d", len(in), il.Size())
+	}
+	out := make([]byte, len(in))
+	k := 0
+	for c := 0; c < il.cols; c++ {
+		for r := 0; r < il.rows; r++ {
+			out[k] = in[r*il.cols+c]
+			k++
+		}
+	}
+	return out, nil
+}
+
+// Deinterleave inverts Interleave.
+func (il *Interleaver) Deinterleave(in []byte) ([]byte, error) {
+	if len(in) != il.Size() {
+		return nil, fmt.Errorf("channel: deinterleave block length %d, want %d", len(in), il.Size())
+	}
+	out := make([]byte, len(in))
+	k := 0
+	for c := 0; c < il.cols; c++ {
+		for r := 0; r < il.rows; r++ {
+			out[r*il.cols+c] = in[k]
+			k++
+		}
+	}
+	return out, nil
+}
+
+// MaxSpreadBurst returns the longest channel burst (consecutive errors)
+// guaranteed to hit each row at most once: the number of rows.
+func (il *Interleaver) MaxSpreadBurst() int { return il.rows }

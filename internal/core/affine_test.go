@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/aes"
+	"repro/internal/gf"
+)
+
+func TestAffineModeSBox(t *testing.T) {
+	// AffineAES: Inv4 computes the full forward S-box per lane.
+	u := &GFUnit{}
+	if err := u.Configure(1<<16 | 0x11B); err != nil {
+		t.Fatal(err)
+	}
+	if u.Affine() != AffineAES {
+		t.Fatal("affine mode not set")
+	}
+	for x := 0; x < 256; x++ {
+		in := uint32(x) | uint32(x)<<8 | uint32(x)<<16 | uint32(x)<<24
+		out := u.Inv4(in)
+		want := aes.SubByteComputed(byte(x))
+		for l := 0; l < 4; l++ {
+			if byte(out>>(8*l)) != want {
+				t.Fatalf("lane %d: sbox(%#02x) = %#02x, want %#02x", l, x, byte(out>>(8*l)), want)
+			}
+		}
+	}
+}
+
+func TestAffineModeInvSBox(t *testing.T) {
+	u := &GFUnit{}
+	if err := u.Configure(2<<16 | 0x11B); err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 256; x++ {
+		out := u.Inv4(uint32(x))
+		want := aes.InvSubByteComputed(byte(x))
+		if byte(out) != want {
+			t.Fatalf("invsbox(%#02x) = %#02x, want %#02x", x, byte(out), want)
+		}
+	}
+}
+
+func TestAffineModeValidation(t *testing.T) {
+	u := &GFUnit{}
+	if err := u.Configure(3<<16 | 0x11B); err == nil {
+		t.Error("mode 3 accepted")
+	}
+	// Affine stage only defined for 8-bit fields.
+	if err := u.Configure(1<<16 | 0x25); err == nil {
+		t.Error("affine on GF(2^5) accepted")
+	}
+	// Mode 0 on a small field is fine.
+	if err := u.Configure(0x25); err != nil {
+		t.Errorf("plain GF(2^5) rejected: %v", err)
+	}
+	if u.Affine() != AffineNone {
+		t.Error("affine mode leaked across configurations")
+	}
+}
+
+func TestAffineNoneUnchanged(t *testing.T) {
+	// Without the affine stage Inv4 must still be the plain inverse
+	// (regression guard for the coding workloads).
+	u, err := NewGFUnit(0x11D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := u.Field()
+	for x := 1; x < 256; x++ {
+		if byte(u.Inv4(uint32(x))) != byte(f.Inv(gf.Elem(x))) {
+			t.Fatalf("plain inverse broken at %#x", x)
+		}
+	}
+	if u.Inv4(0) != 0 {
+		t.Fatal("inverse of zero lane not zero")
+	}
+}

@@ -1,0 +1,472 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf"
+	"repro/internal/isa"
+)
+
+// --- GFUnit ---
+
+func TestGFUnitConfigValidation(t *testing.T) {
+	if _, err := NewGFUnit(0x3); err == nil { // degree 1
+		t.Error("degree 1 accepted")
+	}
+	if _, err := NewGFUnit(0x211); err == nil { // degree 9
+		t.Error("degree 9 accepted")
+	}
+	if _, err := NewGFUnit(0x11); err == nil { // x^4+1 reducible
+		t.Error("reducible poly accepted")
+	}
+	u, err := NewGFUnit(0x11B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.M() != 8 || u.Poly() != 0x11B || !u.Configured() {
+		t.Fatal("configuration state wrong")
+	}
+}
+
+func TestGFUnitMatchesFieldForEveryPoly(t *testing.T) {
+	// The hardware datapath (carryless mult + reduction matrix + mapping)
+	// must agree with the reference field for every irreducible polynomial
+	// of every supported degree — the paper's central flexibility claim.
+	for m := MinDegree; m <= MaxDegree; m++ {
+		for _, poly := range gf.IrreduciblePolys(m) {
+			u, err := NewGFUnit(poly)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := gf.MustNew(m, poly)
+			rng := rand.New(rand.NewSource(int64(poly)))
+			for trial := 0; trial < 40; trial++ {
+				a := packLanes(rng, f)
+				b := packLanes(rng, f)
+				// SIMD multiply
+				got := u.Mul4(a, b)
+				for l := 0; l < SIMDLanes; l++ {
+					la := gf.Elem(a >> (8 * l) & 0xFF)
+					lb := gf.Elem(b >> (8 * l) & 0xFF)
+					want := f.Mul(la, lb)
+					if gf.Elem(got>>(8*l)&0xFF) != want {
+						t.Fatalf("m=%d poly=%#x: lane %d mul", m, poly, l)
+					}
+				}
+				// SIMD square
+				got = u.Sq4(a)
+				for l := 0; l < SIMDLanes; l++ {
+					la := gf.Elem(a >> (8 * l) & 0xFF)
+					if gf.Elem(got>>(8*l)&0xFF) != f.Sqr(la) {
+						t.Fatalf("m=%d poly=%#x: lane %d square", m, poly, l)
+					}
+				}
+				// SIMD inverse (zero lanes map to zero)
+				got = u.Inv4(a)
+				for l := 0; l < SIMDLanes; l++ {
+					la := gf.Elem(a >> (8 * l) & 0xFF)
+					want := gf.Elem(0)
+					if la != 0 {
+						want = f.Inv(la)
+					}
+					if gf.Elem(got>>(8*l)&0xFF) != want {
+						t.Fatalf("m=%d poly=%#x: lane %d inverse of %#x", m, poly, l, la)
+					}
+				}
+				// SIMD add
+				if u.Add4(a, b) != (a^b)&u.laneMask() {
+					t.Fatalf("m=%d poly=%#x: add", m, poly)
+				}
+			}
+		}
+	}
+}
+
+func packLanes(rng *rand.Rand, f *gf.Field) uint32 {
+	var v uint32
+	for l := 0; l < SIMDLanes; l++ {
+		v |= uint32(rng.Intn(f.Order())) << (8 * l)
+	}
+	return v
+}
+
+func TestGFUnitPow(t *testing.T) {
+	u, _ := NewGFUnit(0x11D)
+	f := gf.MustNew(8, 0x11D)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		a := packLanes(rng, f)
+		e := rng.Uint32()
+		got := u.Pow4(a, e)
+		for l := 0; l < SIMDLanes; l++ {
+			la := gf.Elem(a >> (8 * l) & 0xFF)
+			le := int(e >> (8 * l) & 0xFF)
+			if gf.Elem(got>>(8*l)&0xFF) != f.Pow(la, le) {
+				t.Fatalf("lane %d: %#x^%d", l, la, le)
+			}
+		}
+	}
+}
+
+func TestPartialProduct32(t *testing.T) {
+	u, _ := NewGFUnit(0x11B)
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 200; trial++ {
+		a := rng.Uint32()
+		b := rng.Uint32()
+		hi, lo := u.PartialProduct32(a, b)
+		want := gf.CarrylessMul(a, b)
+		if uint64(hi)<<32|uint64(lo) != want {
+			t.Fatalf("clmul(%#x,%#x) = %#x%08x, want %#x", a, b, hi, lo, want)
+		}
+	}
+}
+
+func TestGFUnitResourceAccounting(t *testing.T) {
+	// The paper's resource match: a 4-way SIMD inverse uses exactly 16
+	// multipliers + 28 squares; a 32-bit partial product uses exactly the
+	// 16 multipliers (Section 2.4.3).
+	u, _ := NewGFUnit(0x11B)
+	u.ResetStats()
+	u.Inv4(0x01020304)
+	st := u.Stats()
+	if st.MultUses != NumMultUnits {
+		t.Errorf("SIMD inverse used %d multipliers, want %d", st.MultUses, NumMultUnits)
+	}
+	if st.SquareUses != NumSquareUnits {
+		t.Errorf("SIMD inverse used %d squares, want %d", st.SquareUses, NumSquareUnits)
+	}
+	u.ResetStats()
+	u.PartialProduct32(0xDEADBEEF, 0x01234567)
+	st = u.Stats()
+	if st.MultUses != NumMultUnits {
+		t.Errorf("32-bit product used %d multipliers, want %d", st.MultUses, NumMultUnits)
+	}
+	if st.SquareUses != 0 {
+		t.Errorf("32-bit product used square units")
+	}
+	u.ResetStats()
+	u.Mul4(1, 1)
+	if u.Stats().MultUses != SIMDLanes {
+		t.Errorf("SIMD mul used %d multipliers, want %d", u.Stats().MultUses, SIMDLanes)
+	}
+}
+
+func TestGFUnitUnconfiguredPanics(t *testing.T) {
+	u := &GFUnit{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	u.Mul4(1, 2)
+}
+
+// --- Processor ---
+
+func run(t *testing.T, src string, gfu bool) *Processor {
+	t.Helper()
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(prog, Config{GFUnit: gfu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProcessorArithmetic(t *testing.T) {
+	p := run(t, `
+		movi r1, #7
+		movi r2, #5
+		add r3, r1, r2    ; 12
+		sub r4, r1, r2    ; 2
+		mul r5, r1, r2    ; 35
+		and r6, r1, r2    ; 5
+		orr r7, r1, r2    ; 7
+		eor r8, r1, r2    ; 2
+		lsli r9, r1, #4   ; 112
+		lsri r10, r9, #2  ; 28
+		mvn r11, r1       ; ^7
+		halt
+	`, false)
+	want := map[int]uint32{3: 12, 4: 2, 5: 35, 6: 5, 7: 7, 8: 2, 9: 112, 10: 28, 11: ^uint32(7)}
+	for r, v := range want {
+		if p.Reg(r) != v {
+			t.Errorf("r%d = %d, want %d", r, p.Reg(r), v)
+		}
+	}
+}
+
+func TestProcessorNegativeImmediatesAndMovhi(t *testing.T) {
+	p := run(t, `
+		movi r1, #-1
+		movi r2, #0x1234
+		movhi r2, #0xABCD
+		halt
+	`, false)
+	if p.Reg(1) != 0xFFFFFFFF {
+		t.Errorf("r1 = %#x", p.Reg(1))
+	}
+	if p.Reg(2) != 0xABCD1234 {
+		t.Errorf("r2 = %#x", p.Reg(2))
+	}
+}
+
+func TestProcessorLoopAndMemory(t *testing.T) {
+	// Sum bytes 1..10 stored in data memory.
+	p := run(t, `
+		movi r1, =buf
+		movi r2, #0     ; sum
+		movi r3, #0     ; i
+	loop:
+		ldrbr r4, [r1, r3]
+		add r2, r2, r4
+		addi r3, r3, #1
+		cmpi r3, #10
+		blt loop
+		movi r5, =out
+		str r2, [r5, #0]
+		halt
+	.data
+	buf: .byte 1,2,3,4,5,6,7,8,9,10
+	out: .space 4
+	`, false)
+	if p.Reg(2) != 55 {
+		t.Fatalf("sum = %d", p.Reg(2))
+	}
+	if p.Mem()[10] != 55 {
+		t.Fatalf("stored sum = %d", p.Mem()[10])
+	}
+}
+
+func TestProcessorCallReturn(t *testing.T) {
+	p := run(t, `
+		movi r1, #3
+		bl double
+		bl double
+		halt
+	double:
+		add r1, r1, r1
+		ret
+	`, false)
+	if p.Reg(1) != 12 {
+		t.Fatalf("r1 = %d, want 12", p.Reg(1))
+	}
+}
+
+func TestProcessorBranchConditions(t *testing.T) {
+	// Signed and unsigned comparisons.
+	p := run(t, `
+		movi r1, #-1      ; 0xFFFFFFFF
+		movi r2, #1
+		movi r10, #0
+		cmp r1, r2
+		bge signed_ge     ; -1 < 1 signed: not taken
+		addi r10, r10, #1 ; reached
+	signed_ge:
+		cmp r1, r2
+		blo uns_lo        ; 0xFFFFFFFF > 1 unsigned: not taken
+		addi r10, r10, #2 ; reached
+	uns_lo:
+		cmp r2, r2
+		beq eq
+		movi r10, #0      ; skipped
+	eq:
+		halt
+	`, false)
+	if p.Reg(10) != 3 {
+		t.Fatalf("r10 = %d, want 3", p.Reg(10))
+	}
+}
+
+func TestProcessorCycleModel(t *testing.T) {
+	// ALU=1, LD=2, ST=2, taken branch=2, not-taken=1.
+	p := run(t, `
+		movi r1, =w       ; 1
+		ldr r2, [r1, #0]  ; 2
+		str r2, [r1, #4]  ; 2
+		cmpi r2, #0       ; 1
+		beq skip          ; not taken: 1 (w=5 != 0)
+		nop               ; 1
+	skip:
+		b end             ; 2
+		nop               ; skipped
+	end:
+		halt              ; 1
+	.data
+	w: .word 5
+	   .space 4
+	`, false)
+	if p.Cycles() != 11 {
+		t.Fatalf("cycles = %d, want 11", p.Cycles())
+	}
+	c := p.Counts()
+	if c.LD != 1 || c.ST != 1 || c.Branch != 1 || c.BranchNT != 1 || c.ALU != 4 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if p.Instructions() != 8 {
+		t.Fatalf("instret = %d", p.Instructions())
+	}
+}
+
+func TestProcessorGFProgram(t *testing.T) {
+	// Configure the AES field and exercise each GF instruction.
+	p := run(t, `
+		movi r1, =field
+		gfconf r1
+		movi r2, #0x53
+		movi r3, #0xCA
+		gfmul r4, r2, r3     ; 0x53*0xCA = 1 in AES field
+		gfmulinv r5, r2      ; inv(0x53) = 0xCA
+		gfsq r6, r3          ; 0xCA^2
+		gfadd r7, r2, r3     ; xor
+		movi r8, #2
+		gfpow r9, r2, r8     ; 0x53^2
+		halt
+	.data
+	field: .word 0x11B
+	`, true)
+	if p.Reg(4) != 1 {
+		t.Fatalf("gfmul = %#x", p.Reg(4))
+	}
+	if p.Reg(5) != 0xCA {
+		t.Fatalf("gfmulinv = %#x", p.Reg(5))
+	}
+	f := gf.AES()
+	if p.Reg(6) != uint32(f.Sqr(0xCA)) {
+		t.Fatalf("gfsq = %#x", p.Reg(6))
+	}
+	if p.Reg(7) != 0x53^0xCA {
+		t.Fatalf("gfadd = %#x", p.Reg(7))
+	}
+	// Lane 0: 0x53^2; upper lanes compute 0^0 = 1.
+	if p.Reg(9) != uint32(f.Sqr(0x53))|0x01010100 {
+		t.Fatalf("gfpow = %#x", p.Reg(9))
+	}
+	if p.GFBusyCycles() == 0 || p.GFBusyCycles() >= p.Cycles() {
+		t.Fatalf("gf busy cycles = %d of %d", p.GFBusyCycles(), p.Cycles())
+	}
+}
+
+func TestProcessorGF32Mul(t *testing.T) {
+	p := run(t, `
+		movi r1, =field
+		gfconf r1
+		movi r2, #0x1234
+		movhi r2, #0x5678
+		movi r3, #0x9ABC
+		movhi r3, #0xDEF0
+		gf32mul r4, r5, r2, r3
+		halt
+	.data
+	field: .word 0x11B
+	`, true)
+	want := gf.CarrylessMul(0x56781234, 0xDEF09ABC)
+	if uint64(p.Reg(4))<<32|uint64(p.Reg(5)) != want {
+		t.Fatalf("gf32mul = %#x_%08x, want %#x", p.Reg(4), p.Reg(5), want)
+	}
+}
+
+func TestProcessorFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		gfu  bool
+	}{
+		{"gf on baseline", "gfmul r1, r2, r3\nhalt", false},
+		{"gf unconfigured", "gfmul r1, r2, r3\nhalt", true},
+		{"load oob", "movi r1, #-4\nldr r2, [r1, #0]\nhalt", false},
+		{"store oob", "movi r1, #-4\nstr r2, [r1, #0]\nhalt", false},
+		{"pc falls off end", "nop", false},
+		{"bad gfconf poly", "movi r1, =p\ngfconf r1\nhalt\n.data\np: .word 0x11", true},
+	}
+	for _, c := range cases {
+		prog, err := isa.Assemble(c.src)
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", c.name, err)
+		}
+		p, err := New(prog, Config{GFUnit: c.gfu})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Run(0); err == nil {
+			t.Errorf("%s: no fault", c.name)
+		}
+	}
+}
+
+func TestProcessorCycleLimit(t *testing.T) {
+	prog := isa.MustAssemble("spin: b spin")
+	p, _ := New(prog, Config{})
+	if err := p.Run(100); err == nil {
+		t.Fatal("infinite loop not caught")
+	}
+}
+
+func TestProcessorStepAfterHalt(t *testing.T) {
+	prog := isa.MustAssemble("halt")
+	p, _ := New(prog, Config{})
+	if err := p.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Halted() {
+		t.Fatal("not halted")
+	}
+	if err := p.Step(); err == nil {
+		t.Fatal("step after halt succeeded")
+	}
+}
+
+func TestDataImageTooLarge(t *testing.T) {
+	prog := isa.MustAssemble("halt\n.data\nbuf: .space 200000")
+	if _, err := New(prog, Config{MemSize: 1024}); err == nil {
+		t.Fatal("oversized data image accepted")
+	}
+}
+
+func TestShiftEdgeCases(t *testing.T) {
+	p := run(t, `
+		movi r1, #1
+		movi r2, #40
+		lsl r3, r1, r2   ; shift >= 32 -> 0
+		lsr r4, r1, r2   ; 0
+		halt
+	`, false)
+	if p.Reg(3) != 0 || p.Reg(4) != 0 {
+		t.Fatal("shift >= 32 not zero")
+	}
+}
+
+func TestOpHistogram(t *testing.T) {
+	p := run(t, `
+		movi r1, #3
+	loop:
+		subi r1, r1, #1
+		cmpi r1, #0
+		bgt loop
+		halt
+	`, false)
+	h := p.OpHistogram()
+	if h[isa.MOVI] != 1 || h[isa.SUBI] != 3 || h[isa.CMPI] != 3 || h[isa.BGT] != 3 || h[isa.HALT] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+	var total int64
+	for _, n := range h {
+		total += n
+	}
+	if total != p.Instructions() {
+		t.Fatalf("histogram total %d != instret %d", total, p.Instructions())
+	}
+	// The returned map is a copy.
+	h[isa.MOVI] = 999
+	if p.OpHistogram()[isa.MOVI] != 1 {
+		t.Fatal("histogram aliased internal state")
+	}
+}

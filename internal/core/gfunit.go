@@ -1,0 +1,297 @@
+// Package core implements the paper's contribution: the programmable
+// Galois Field processor. It contains two cooperating models:
+//
+//   - GFUnit — the GF arithmetic unit microarchitecture of Section 2.4:
+//     16 8-bit multiplier primitives and 28 8-bit square primitives, a
+//     centralized configuration register holding the reduction matrix for
+//     an arbitrary irreducible polynomial of degree 2..8, and the
+//     interconnect that wires the primitives into the Table-1 SIMD,
+//     multiplicative-inverse and 32-bit-partial-product instructions.
+//
+//   - Processor — the two-stage in-order core of Fig. 2 executing the
+//     repro/internal/isa instruction set with the paper's cycle timing,
+//     with the GF unit attached as a functional unit.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+)
+
+// Datapath geometry constants from the paper (Section 2.4.1: "Our
+// preferred design includes 16 GF multiplication units and 28 GF square
+// units", four-lane 8-bit SIMD).
+const (
+	NumMultUnits   = 16 // 8-bit GF multiplier primitives
+	NumSquareUnits = 28 // 8-bit GF square primitives
+	SIMDLanes      = 4  // 8-bit lanes per 32-bit register
+	LaneBits       = 8  // default datapath element width
+	MaxDegree      = 8  // largest supported field degree
+	MinDegree      = 2  // smallest supported field degree
+)
+
+// UnitStats tracks primitive-unit activity so kernels can be checked
+// against the paper's utilization and data-gating claims.
+type UnitStats struct {
+	Instructions int64 // GF instructions executed
+	MultUses     int64 // multiplier-primitive activations
+	SquareUses   int64 // square-primitive activations
+	Configs      int64 // configuration-register writes
+}
+
+// AffineMode selects the optional affine output stage of the SIMD
+// inverse instruction. The paper maps the AES S-box "directly" onto
+// gfMultInv; the affine transform is a fixed XOR network folded into the
+// instruction's output (reproduction assumption A1, see DESIGN.md /
+// EXPERIMENTS.md). It is selected through configuration-register bits
+// 17:16 of the gfConfig word.
+type AffineMode int
+
+const (
+	// AffineNone: plain multiplicative inverse (coding workloads).
+	AffineNone AffineMode = iota
+	// AffineAES: forward S-box — inverse then the FIPS-197 affine map.
+	AffineAES
+	// AffineAESInverse: inverse S-box — inverse affine map then inverse.
+	AffineAESInverse
+)
+
+// GFUnit is the configurable GF arithmetic unit. The zero value is
+// unconfigured; call Configure before issuing operations.
+type GFUnit struct {
+	m      int
+	poly   uint32
+	field  *gf.Field
+	rows   []uint32 // reduction matrix P in the configuration register
+	affine AffineMode
+
+	stats UnitStats
+}
+
+// NewGFUnit returns a unit configured for the given irreducible
+// polynomial (degree 2..8, leading term included).
+func NewGFUnit(poly uint32) (*GFUnit, error) {
+	u := &GFUnit{}
+	if err := u.Configure(poly); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// Configure loads the field configuration register from a gfConfig word:
+// bits 15:0 hold the irreducible polynomial (leading term included),
+// bits 17:16 the AffineMode for the SIMD-inverse output stage. It
+// derives the reduction matrix P and records the bit-width for the
+// product-mapping circuit (Section 2.4.2).
+func (u *GFUnit) Configure(word uint32) error {
+	poly := word & 0xFFFF
+	mode := AffineMode(word >> 16 & 0x3)
+	if mode > AffineAESInverse {
+		return fmt.Errorf("core: bad affine mode %d", mode)
+	}
+	m := gf.PolyDegree(uint64(poly))
+	if m < MinDegree || m > MaxDegree {
+		return fmt.Errorf("core: field degree %d outside hardware range [%d,%d]", m, MinDegree, MaxDegree)
+	}
+	if !gf.Irreducible(uint64(poly)) {
+		return fmt.Errorf("core: polynomial %#x is reducible", poly)
+	}
+	f, err := gf.New(m, poly)
+	if err != nil {
+		return err
+	}
+	if mode != AffineNone && m != 8 {
+		return fmt.Errorf("core: AES affine stage requires an 8-bit field")
+	}
+	u.m = m
+	u.poly = poly
+	u.field = f
+	u.rows = gf.ReductionMatrix(poly)
+	u.affine = mode
+	u.stats.Configs++
+	return nil
+}
+
+// Affine returns the configured affine output mode.
+func (u *GFUnit) Affine() AffineMode { return u.affine }
+
+// aesAffine applies b_i = a_i ^ a_{i+4} ^ a_{i+5} ^ a_{i+6} ^ a_{i+7} ^ c_i
+// (indices mod 8, c = 0x63) — the FIPS-197 S-box output map.
+func aesAffine(a uint8) uint8 {
+	var b uint8
+	for i := 0; i < 8; i++ {
+		bit := (a>>i ^ a>>((i+4)%8) ^ a>>((i+5)%8) ^ a>>((i+6)%8) ^ a>>((i+7)%8)) & 1
+		b |= bit << i
+	}
+	return b ^ 0x63
+}
+
+// aesInvAffine inverts aesAffine.
+func aesInvAffine(b uint8) uint8 {
+	var a uint8
+	for i := 0; i < 8; i++ {
+		bit := (b>>((i+2)%8) ^ b>>((i+5)%8) ^ b>>((i+7)%8)) & 1
+		a |= bit << i
+	}
+	return a ^ 0x05
+}
+
+// Configured reports whether the unit has a field loaded.
+func (u *GFUnit) Configured() bool { return u.field != nil }
+
+// M returns the configured field degree.
+func (u *GFUnit) M() int { return u.m }
+
+// Poly returns the configured irreducible polynomial.
+func (u *GFUnit) Poly() uint32 { return u.poly }
+
+// Field returns the functional field model for the current configuration.
+func (u *GFUnit) Field() *gf.Field { return u.field }
+
+// Stats returns a copy of the unit-activity counters.
+func (u *GFUnit) Stats() UnitStats { return u.stats }
+
+// ResetStats clears the activity counters.
+func (u *GFUnit) ResetStats() { u.stats = UnitStats{} }
+
+// laneMask zeroes lane bits above the configured bit-width, the "setting
+// the most significant bits to zeros" half of Fig. 5(b); the mapping
+// circuit (ReduceWithMatrix on the m-specific rows) is the other half.
+func (u *GFUnit) laneMask() uint32 {
+	lane := uint32(1)<<u.m - 1
+	return lane | lane<<8 | lane<<16 | lane<<24
+}
+
+func (u *GFUnit) mustConfig() {
+	if u.field == nil {
+		panic("core: GF unit not configured (execute gfconf first)")
+	}
+}
+
+// laneMul multiplies one 8-bit lane pair on the hardware path: carry-free
+// product then reduction-matrix linear transform.
+func (u *GFUnit) laneMul(a, b uint8) uint8 {
+	c := gf.CarrylessMul(uint32(a), uint32(b))
+	return uint8(gf.ReduceWithMatrix(c, u.rows, u.m))
+}
+
+// laneSq squares one lane: bit spread + reduction (no multiplier needed).
+func (u *GFUnit) laneSq(a uint8) uint8 {
+	return uint8(gf.ReduceWithMatrix(gf.SpreadBits(uint32(a)), u.rows, u.m))
+}
+
+// Mul4 executes gfMult_simd: four independent lane products in one cycle,
+// using 4 of the 16 multiplier primitives.
+func (u *GFUnit) Mul4(a, b uint32) uint32 {
+	u.mustConfig()
+	a &= u.laneMask()
+	b &= u.laneMask()
+	var out uint32
+	for l := 0; l < SIMDLanes; l++ {
+		sh := uint(8 * l)
+		out |= uint32(u.laneMul(uint8(a>>sh), uint8(b>>sh))) << sh
+	}
+	u.stats.Instructions++
+	u.stats.MultUses += SIMDLanes
+	return out
+}
+
+// Add4 executes gfAdd_simd (lane-wise XOR; lanes cannot interact).
+func (u *GFUnit) Add4(a, b uint32) uint32 {
+	u.mustConfig()
+	u.stats.Instructions++
+	return (a ^ b) & u.laneMask()
+}
+
+// Sq4 executes gfSq_simd using 4 of the 28 square primitives.
+func (u *GFUnit) Sq4(a uint32) uint32 {
+	u.mustConfig()
+	a &= u.laneMask()
+	var out uint32
+	for l := 0; l < SIMDLanes; l++ {
+		sh := uint(8 * l)
+		out |= uint32(u.laneSq(uint8(a>>sh))) << sh
+	}
+	u.stats.Instructions++
+	u.stats.SquareUses += SIMDLanes
+	return out
+}
+
+// Inv4 executes gfMultInv_simd: each lane runs the Itoh-Tsujii chain of
+// Fig. 6 (4 multipliers + 7 squares per lane for m = 8, muxed taps for
+// smaller m), so a 4-lane inverse consumes exactly the 16 multiplier and
+// 28 square primitives — the resource-match the paper engineered.
+// Zero lanes produce zero (hardware convention, matching the AES S-box
+// 0 -> 0 requirement).
+func (u *GFUnit) Inv4(a uint32) uint32 {
+	u.mustConfig()
+	a &= u.laneMask()
+	var out uint32
+	for l := 0; l < SIMDLanes; l++ {
+		sh := uint(8 * l)
+		lane := uint8(a >> sh)
+		if u.affine == AffineAESInverse {
+			lane = aesInvAffine(lane) // input stage of the inverse S-box
+		}
+		var inv uint8
+		if lane == 0 {
+			// The chain still clocks through the primitives; inverse(0)
+			// is 0 by hardware convention (the AES S-box needs 0 -> 0
+			// before the affine stage).
+			u.stats.MultUses += 4
+			u.stats.SquareUses += 7
+		} else {
+			v, tr := u.field.InvITAOps(gf.Elem(lane))
+			inv = uint8(v)
+			u.stats.MultUses += int64(tr.Muls)
+			u.stats.SquareUses += int64(tr.Squares)
+			// Idle chain stages (smaller m) still occupy their units.
+			u.stats.MultUses += int64(4 - tr.Muls)
+			u.stats.SquareUses += int64(7 - tr.Squares)
+		}
+		if u.affine == AffineAES {
+			inv = aesAffine(inv) // output stage of the forward S-box
+		}
+		out |= uint32(inv) << sh
+	}
+	u.stats.Instructions++
+	return out
+}
+
+// Pow4 executes gfPower_simd: lane-wise a^e where e is the integer value
+// of the exponent lane. Even powers route through the square-primitive
+// bank (Fig. 8); the general case is modeled functionally.
+func (u *GFUnit) Pow4(a, e uint32) uint32 {
+	u.mustConfig()
+	a &= u.laneMask()
+	var out uint32
+	for l := 0; l < SIMDLanes; l++ {
+		sh := uint(8 * l)
+		base := gf.Elem(a >> sh & 0xFF)
+		exp := int(e >> sh & 0xFF)
+		out |= uint32(u.field.Pow(base, exp)) << sh
+	}
+	u.stats.Instructions++
+	u.stats.SquareUses += 7 * SIMDLanes // the square bank clocks regardless
+	return out
+}
+
+// PartialProduct32 executes gf32bMult: the single-cycle 32-bit carry-free
+// product, wiring all 16 multiplier primitives as a 4x4 grid of 8x8
+// carryless multipliers whose partial results are XOR-combined (Fig. 7).
+// The reduction datapath is data-gated during this instruction (the
+// paper's 33% power saving).
+func (u *GFUnit) PartialProduct32(a, b uint32) (hi, lo uint32) {
+	u.mustConfig()
+	var full uint64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			p := gf.CarrylessMul(a>>(8*i)&0xFF, b>>(8*j)&0xFF)
+			full ^= p << (8 * (i + j))
+		}
+	}
+	u.stats.Instructions++
+	u.stats.MultUses += NumMultUnits
+	return uint32(full >> 32), uint32(full)
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+)
+
+// The product-mapping circuit of Fig. 5(b). The physical reduction module
+// is sized for the default 8-bit datapath: a "remaining vector" of 8 bits
+// (passed through) and a "reduction vector" of 7 bits driving the 8-by-7
+// matrix-vector multiplier whose matrix P sits in the configuration
+// register. A smaller field's (2m-1)-bit full product cannot simply be
+// zero-extended into that datapath — the bits above x^(m-1) must be
+// *remapped* onto the reduction-vector inputs ("the c_2 bit in the
+// partial product would be mapped to the wrong position"). This file
+// models both the correct mapping and the naive zero-extension, so the
+// paper's argument is executable.
+
+// DatapathBits is the native width of the reduction module.
+const DatapathBits = 8
+
+// MappedProduct is the full product split for the physical datapath.
+type MappedProduct struct {
+	Remaining uint32 // low-order pass-through bits (8-bit port)
+	Reduction uint32 // bits driving the P-matrix rows (7-bit port)
+}
+
+// MapProduct routes the (2m-1)-bit carry-free product c into the 8-bit
+// datapath according to the configured bit-width m: product bits
+// 0..m-1 go to the remaining vector, bits m..2m-2 to reduction-vector
+// inputs 0..m-2. This is the GF-size-dependent pattern the configuration
+// register programs.
+func MapProduct(c uint64, m int) MappedProduct {
+	return MappedProduct{
+		Remaining: uint32(c) & (1<<m - 1),
+		Reduction: uint32(c>>m) & (1<<(m-1) - 1),
+	}
+}
+
+// NaiveMapProduct models the broken alternative the paper warns against:
+// zero-extending the operands and keeping the fixed 8-bit mapping, so the
+// product's high bits land at datapath positions 8.. regardless of m.
+func NaiveMapProduct(c uint64) MappedProduct {
+	return MappedProduct{
+		Remaining: uint32(c) & 0xFF,
+		Reduction: uint32(c>>DatapathBits) & 0x7F,
+	}
+}
+
+// ReduceMapped completes the reduction on the physical module: output =
+// Remaining XOR sum of P rows selected by the Reduction bits. The rows
+// are the configuration-register contents for the active field.
+func ReduceMapped(mp MappedProduct, rows []uint32) uint32 {
+	out := mp.Remaining
+	for i := 0; i < len(rows); i++ {
+		if mp.Reduction>>i&1 == 1 {
+			out ^= rows[i]
+		}
+	}
+	return out
+}
+
+// MulViaDatapath multiplies two elements of the configured field through
+// the explicit mapping-circuit model; it must agree with Mul4's lanes for
+// every field. Exposed for the microarchitecture tests and cmd tooling.
+func (u *GFUnit) MulViaDatapath(a, b uint8) (uint8, error) {
+	if u.field == nil {
+		return 0, fmt.Errorf("core: GF unit not configured")
+	}
+	mask := uint8(1<<u.m - 1)
+	c := gf.CarrylessMul(uint32(a&mask), uint32(b&mask))
+	return uint8(ReduceMapped(MapProduct(c, u.m), u.rows)), nil
+}

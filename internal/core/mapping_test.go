@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gf"
+)
+
+func TestMappedDatapathMatchesFieldForAllWidths(t *testing.T) {
+	// The mapping circuit must make the shared 8-bit reduction module
+	// compute correct products for every m = 2..8 and every irreducible
+	// polynomial — the exact flexibility claim of Section 2.4.1.
+	for m := MinDegree; m <= MaxDegree; m++ {
+		for _, poly := range gf.IrreduciblePolys(m) {
+			u, err := NewGFUnit(poly)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := gf.MustNew(m, poly)
+			for a := 0; a < 1<<m; a++ {
+				for b := 0; b <= a; b++ {
+					got, err := u.MulViaDatapath(uint8(a), uint8(b))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if gf.Elem(got) != f.Mul(gf.Elem(a), gf.Elem(b)) {
+						t.Fatalf("m=%d poly=%#x: datapath %#x*%#x = %#x, field %#x",
+							m, poly, a, b, got, f.Mul(gf.Elem(a), gf.Elem(b)))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNaiveMappingFailsForSmallWidths(t *testing.T) {
+	// The paper's Fig. 5(b) argument: zeroing the operand MSBs without
+	// remapping the product bits gives WRONG results for m < 8, because
+	// the product's high bits never reach the reduction-vector inputs.
+	u, err := NewGFUnit(0x25) // GF(2^5)/x^5+x^2+1
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := gf.MustNew(5, 0x25)
+	failures := 0
+	for a := 1; a < 32; a++ {
+		for b := 1; b < 32; b++ {
+			c := gf.CarrylessMul(uint32(a), uint32(b))
+			naive := ReduceMapped(NaiveMapProduct(c), gf.ReductionMatrix(0x25))
+			want := uint32(f.Mul(gf.Elem(a), gf.Elem(b)))
+			if naive != want {
+				failures++
+			}
+		}
+	}
+	if failures == 0 {
+		t.Fatal("naive zero-extension never failed — the mapping circuit would be unnecessary")
+	}
+	t.Logf("naive mapping wrong for %d of 961 GF(2^5) products; the mapping circuit fixes all of them", failures)
+	// And the correct mapping fixes exactly those cases (covered
+	// exhaustively above); spot-check the paper's c_2-style scenario.
+	got, _ := u.MulViaDatapath(0x1F, 0x1F)
+	if gf.Elem(got) != f.Mul(0x1F, 0x1F) {
+		t.Fatal("mapped datapath wrong on spot check")
+	}
+}
+
+func TestMulViaDatapathUnconfigured(t *testing.T) {
+	u := &GFUnit{}
+	if _, err := u.MulViaDatapath(1, 2); err == nil {
+		t.Fatal("unconfigured unit accepted")
+	}
+}

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+	"repro/internal/perf"
+)
+
+// Processor is the two-stage in-order core of Fig. 2: a 16-entry 32-bit
+// register file, a small data memory, the M0+-subset scalar pipeline, and
+// (optionally) the GF arithmetic unit. Timing follows perf: loads/stores
+// 2 cycles, taken branches 2 cycles, everything else — including every GF
+// instruction — 1 cycle.
+type Processor struct {
+	prog *isa.Program
+	mem  []byte
+	regs [isa.NumRegs]uint32
+	pc   int
+
+	flagN, flagZ, flagC, flagV bool
+
+	gfu       *GFUnit // nil on the baseline profile
+	halted    bool
+	trace     io.Writer
+	maxCycles int64
+
+	cycles  int64
+	instret int64
+	counts  perf.Counts
+	gfBusy  int64 // cycles with a GF instruction in execute
+	opHist  map[isa.Op]int64
+}
+
+// Config controls processor construction.
+type Config struct {
+	MemSize   int  // data memory size in bytes (default 64 KiB)
+	GFUnit    bool // attach the GF arithmetic unit
+	MaxCycles int64
+	Trace     io.Writer // when set, Step writes one line per retired instruction
+}
+
+// New creates a processor for the program. The program's data image is
+// loaded at address 0.
+func New(prog *isa.Program, cfg Config) (*Processor, error) {
+	if cfg.MemSize == 0 {
+		cfg.MemSize = 64 << 10
+	}
+	if len(prog.Data) > cfg.MemSize {
+		return nil, fmt.Errorf("core: data image (%d bytes) exceeds memory (%d)", len(prog.Data), cfg.MemSize)
+	}
+	p := &Processor{prog: prog, mem: make([]byte, cfg.MemSize), trace: cfg.Trace,
+		maxCycles: cfg.MaxCycles, opHist: make(map[isa.Op]int64)}
+	copy(p.mem, prog.Data)
+	if cfg.GFUnit {
+		p.gfu = &GFUnit{}
+	}
+	return p, nil
+}
+
+// ExecError describes a fault during execution.
+type ExecError struct {
+	PC   int
+	Inst string
+	Msg  string
+}
+
+func (e *ExecError) Error() string {
+	return fmt.Sprintf("core: pc=%d [%s]: %s", e.PC, e.Inst, e.Msg)
+}
+
+func (p *Processor) fault(msg string) error {
+	in := "???"
+	if p.pc >= 0 && p.pc < len(p.prog.Insts) {
+		in = p.prog.Insts[p.pc].String()
+	}
+	return &ExecError{PC: p.pc, Inst: in, Msg: msg}
+}
+
+// Reg returns register r.
+func (p *Processor) Reg(r int) uint32 { return p.regs[r] }
+
+// SetReg sets register r (for test setup and the CLI).
+func (p *Processor) SetReg(r int, v uint32) { p.regs[r] = v }
+
+// Mem returns the data memory (aliased, not copied).
+func (p *Processor) Mem() []byte { return p.mem }
+
+// Cycles returns total simulated cycles.
+func (p *Processor) Cycles() int64 { return p.cycles }
+
+// Instructions returns the retired-instruction count.
+func (p *Processor) Instructions() int64 { return p.instret }
+
+// Counts returns the per-class operation counts.
+func (p *Processor) Counts() perf.Counts { return p.counts }
+
+// GFUnit returns the attached GF unit (nil on the baseline).
+func (p *Processor) GFUnit() *GFUnit { return p.gfu }
+
+// GFBusyCycles returns the cycles a GF instruction occupied the unit; the
+// remainder of the cycles the unit is data-gated (Section 2.4.3).
+func (p *Processor) GFBusyCycles() int64 { return p.gfBusy }
+
+// Halted reports whether the program executed HALT.
+func (p *Processor) Halted() bool { return p.halted }
+
+// OpHistogram returns the per-opcode retired-instruction counts.
+func (p *Processor) OpHistogram() map[isa.Op]int64 {
+	out := make(map[isa.Op]int64, len(p.opHist))
+	for op, n := range p.opHist {
+		out[op] = n
+	}
+	return out
+}
+
+func (p *Processor) loadWord(addr uint32) (uint32, error) {
+	if int(addr)+4 > len(p.mem) {
+		return 0, p.fault(fmt.Sprintf("load word out of bounds at %#x", addr))
+	}
+	return uint32(p.mem[addr]) | uint32(p.mem[addr+1])<<8 |
+		uint32(p.mem[addr+2])<<16 | uint32(p.mem[addr+3])<<24, nil
+}
+
+func (p *Processor) storeWord(addr, v uint32) error {
+	if int(addr)+4 > len(p.mem) {
+		return p.fault(fmt.Sprintf("store word out of bounds at %#x", addr))
+	}
+	p.mem[addr] = byte(v)
+	p.mem[addr+1] = byte(v >> 8)
+	p.mem[addr+2] = byte(v >> 16)
+	p.mem[addr+3] = byte(v >> 24)
+	return nil
+}
+
+// setFlags updates NZCV for CMP (a - b).
+func (p *Processor) setFlags(a, b uint32) {
+	d := a - b
+	p.flagZ = d == 0
+	p.flagN = int32(d) < 0
+	p.flagC = a >= b // no borrow
+	p.flagV = (int32(a) < 0) != (int32(b) < 0) && (int32(d) < 0) != (int32(a) < 0)
+}
+
+func (p *Processor) cond(op isa.Op) bool {
+	switch op {
+	case isa.BEQ:
+		return p.flagZ
+	case isa.BNE:
+		return !p.flagZ
+	case isa.BLT:
+		return p.flagN != p.flagV
+	case isa.BGE:
+		return p.flagN == p.flagV
+	case isa.BGT:
+		return !p.flagZ && p.flagN == p.flagV
+	case isa.BLE:
+		return p.flagZ || p.flagN != p.flagV
+	case isa.BLO:
+		return !p.flagC
+	case isa.BHS:
+		return p.flagC
+	}
+	return true
+}
+
+// Run executes until HALT, an error, or maxCycles (0 falls back to the
+// Config.MaxCycles limit, then to a 100M default).
+func (p *Processor) Run(maxCycles int64) error {
+	if maxCycles <= 0 {
+		maxCycles = p.maxCycles
+	}
+	if maxCycles <= 0 {
+		maxCycles = 100_000_000
+	}
+	for !p.halted {
+		if p.cycles >= maxCycles {
+			return p.fault(fmt.Sprintf("cycle limit %d exceeded", maxCycles))
+		}
+		if err := p.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step executes one instruction.
+func (p *Processor) Step() error {
+	if p.halted {
+		return p.fault("processor halted")
+	}
+	if p.pc < 0 || p.pc >= len(p.prog.Insts) {
+		return p.fault("pc out of program")
+	}
+	in := p.prog.Insts[p.pc]
+	next := p.pc + 1
+	r := &p.regs
+	if p.trace != nil {
+		fmt.Fprintf(p.trace, "%8d  %4d  %s\n", p.cycles, p.pc, in)
+	}
+	p.opHist[in.Op]++
+
+	switch in.Op {
+	case isa.NOP:
+		p.tickALU()
+	case isa.HALT:
+		p.halted = true
+		p.tickALU()
+	case isa.MOV:
+		r[in.Rd] = r[in.Rs1]
+		p.tickALU()
+	case isa.MVN:
+		r[in.Rd] = ^r[in.Rs1]
+		p.tickALU()
+	case isa.MOVI:
+		r[in.Rd] = uint32(in.Imm)
+		p.tickALU()
+	case isa.MOVHI:
+		r[in.Rd] = r[in.Rd]&0xFFFF | uint32(in.Imm)<<16
+		p.tickALU()
+	case isa.ADD:
+		r[in.Rd] = r[in.Rs1] + r[in.Rs2]
+		p.tickALU()
+	case isa.ADDI:
+		r[in.Rd] = r[in.Rs1] + uint32(in.Imm)
+		p.tickALU()
+	case isa.SUB:
+		r[in.Rd] = r[in.Rs1] - r[in.Rs2]
+		p.tickALU()
+	case isa.SUBI:
+		r[in.Rd] = r[in.Rs1] - uint32(in.Imm)
+		p.tickALU()
+	case isa.AND:
+		r[in.Rd] = r[in.Rs1] & r[in.Rs2]
+		p.tickALU()
+	case isa.ANDI:
+		r[in.Rd] = r[in.Rs1] & uint32(in.Imm)
+		p.tickALU()
+	case isa.ORR:
+		r[in.Rd] = r[in.Rs1] | r[in.Rs2]
+		p.tickALU()
+	case isa.EOR:
+		r[in.Rd] = r[in.Rs1] ^ r[in.Rs2]
+		p.tickALU()
+	case isa.LSL:
+		r[in.Rd] = shiftL(r[in.Rs1], r[in.Rs2])
+		p.tickALU()
+	case isa.LSLI:
+		r[in.Rd] = shiftL(r[in.Rs1], uint32(in.Imm))
+		p.tickALU()
+	case isa.LSR:
+		r[in.Rd] = shiftR(r[in.Rs1], r[in.Rs2])
+		p.tickALU()
+	case isa.LSRI:
+		r[in.Rd] = shiftR(r[in.Rs1], uint32(in.Imm))
+		p.tickALU()
+	case isa.MUL:
+		r[in.Rd] = r[in.Rs1] * r[in.Rs2]
+		p.cycles++
+		p.counts.Mul++
+	case isa.CMP:
+		p.setFlags(r[in.Rs1], r[in.Rs2])
+		p.tickALU()
+	case isa.CMPI:
+		p.setFlags(r[in.Rs1], uint32(in.Imm))
+		p.tickALU()
+	case isa.B:
+		next = int(in.Imm)
+		p.tickTaken()
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BGT, isa.BLE, isa.BLO, isa.BHS:
+		if p.cond(in.Op) {
+			next = int(in.Imm)
+			p.tickTaken()
+		} else {
+			p.cycles++
+			p.counts.BranchNT++
+		}
+	case isa.BL:
+		r[isa.LR] = uint32(p.pc + 1)
+		next = int(in.Imm)
+		p.tickTaken()
+	case isa.RET:
+		next = int(r[isa.LR])
+		p.tickTaken()
+	case isa.LDR:
+		v, err := p.loadWord(r[in.Rs1] + uint32(in.Imm))
+		if err != nil {
+			return err
+		}
+		r[in.Rd] = v
+		p.tickLD()
+	case isa.LDRR:
+		v, err := p.loadWord(r[in.Rs1] + r[in.Rs2])
+		if err != nil {
+			return err
+		}
+		r[in.Rd] = v
+		p.tickLD()
+	case isa.LDRB:
+		addr := r[in.Rs1] + uint32(in.Imm)
+		if int(addr) >= len(p.mem) {
+			return p.fault(fmt.Sprintf("load byte out of bounds at %#x", addr))
+		}
+		r[in.Rd] = uint32(p.mem[addr])
+		p.tickLD()
+	case isa.LDRBR:
+		addr := r[in.Rs1] + r[in.Rs2]
+		if int(addr) >= len(p.mem) {
+			return p.fault(fmt.Sprintf("load byte out of bounds at %#x", addr))
+		}
+		r[in.Rd] = uint32(p.mem[addr])
+		p.tickLD()
+	case isa.STR:
+		if err := p.storeWord(r[in.Rs1]+uint32(in.Imm), r[in.Rs2]); err != nil {
+			return err
+		}
+		p.tickST()
+	case isa.STRR:
+		if err := p.storeWord(r[in.Rs1]+r[in.Rd2], r[in.Rs2]); err != nil {
+			return err
+		}
+		p.tickST()
+	case isa.STRB:
+		addr := r[in.Rs1] + uint32(in.Imm)
+		if int(addr) >= len(p.mem) {
+			return p.fault(fmt.Sprintf("store byte out of bounds at %#x", addr))
+		}
+		p.mem[addr] = byte(r[in.Rs2])
+		p.tickST()
+	case isa.STRBR:
+		addr := r[in.Rs1] + r[in.Rd2]
+		if int(addr) >= len(p.mem) {
+			return p.fault(fmt.Sprintf("store byte out of bounds at %#x", addr))
+		}
+		p.mem[addr] = byte(r[in.Rs2])
+		p.tickST()
+
+	case isa.GFCONF:
+		if p.gfu == nil {
+			return p.fault("GF instruction on baseline processor (no GF unit)")
+		}
+		poly, err := p.loadWord(r[in.Rs1])
+		if err != nil {
+			return err
+		}
+		if err := p.gfu.Configure(poly); err != nil {
+			return p.fault(err.Error())
+		}
+		// Configuration loads from memory: charge a load.
+		p.tickLD()
+		p.gfBusy++
+	case isa.GFMUL, isa.GFMULINV, isa.GFSQ, isa.GFPOW, isa.GFADD, isa.GF32MUL:
+		if p.gfu == nil {
+			return p.fault("GF instruction on baseline processor (no GF unit)")
+		}
+		if !p.gfu.Configured() {
+			return p.fault("GF unit not configured (missing gfconf)")
+		}
+		switch in.Op {
+		case isa.GFMUL:
+			r[in.Rd] = p.gfu.Mul4(r[in.Rs1], r[in.Rs2])
+		case isa.GFMULINV:
+			r[in.Rd] = p.gfu.Inv4(r[in.Rs1])
+		case isa.GFSQ:
+			r[in.Rd] = p.gfu.Sq4(r[in.Rs1])
+		case isa.GFPOW:
+			r[in.Rd] = p.gfu.Pow4(r[in.Rs1], r[in.Rs2])
+		case isa.GFADD:
+			r[in.Rd] = p.gfu.Add4(r[in.Rs1], r[in.Rs2])
+		case isa.GF32MUL:
+			hi, lo := p.gfu.PartialProduct32(r[in.Rs1], r[in.Rs2])
+			r[in.Rd] = hi
+			r[in.Rd2] = lo
+		}
+		p.cycles++
+		p.gfBusy++
+		if in.Op == isa.GF32MUL {
+			p.counts.GF32++
+		} else {
+			p.counts.GFOp++
+		}
+	default:
+		return p.fault("illegal opcode")
+	}
+	p.instret++
+	p.pc = next
+	return nil
+}
+
+func shiftL(v, by uint32) uint32 {
+	if by >= 32 {
+		return 0
+	}
+	return v << by
+}
+
+func shiftR(v, by uint32) uint32 {
+	if by >= 32 {
+		return 0
+	}
+	return v >> by
+}
+
+func (p *Processor) tickALU() {
+	p.cycles++
+	p.counts.ALU++
+}
+
+func (p *Processor) tickLD() {
+	p.cycles += 2
+	p.counts.LD++
+}
+
+func (p *Processor) tickST() {
+	p.cycles += 2
+	p.counts.ST++
+}
+
+func (p *Processor) tickTaken() {
+	p.cycles += 2
+	p.counts.Branch++
+}

@@ -1,0 +1,190 @@
+// Package ecc implements elliptic-curve cryptography over binary fields
+// GF(2^m) — the asymmetric-cryptography (ECC_l) workload of the paper.
+// It provides the NIST binary curves (Koblitz and pseudo-random) including
+// the paper's flagship K-233 on GF(2^233)/x^233+x^74+1, affine and
+// Lopez-Dahab projective point arithmetic, double-and-add and Montgomery
+// ladder scalar multiplication, and ECDH key agreement.
+//
+// Curves are y^2 + xy = x^3 + a*x^2 + b over GF(2^m). This is a faithful
+// reference implementation of the paper's datapath (variable-time,
+// suitable for simulation and benchmarking, not production key material).
+package ecc
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/gfbig"
+)
+
+// Curve describes a binary elliptic curve y^2 + xy = x^3 + a*x^2 + b with
+// a distinguished base point of prime order.
+type Curve struct {
+	Name     string
+	F        *gfbig.Field
+	A, B     gfbig.Elem
+	Gx, Gy   gfbig.Elem
+	Order    *big.Int // order of the base point
+	Cofactor int
+}
+
+// Point is an affine point; Inf marks the point at infinity (the group
+// identity), in which case X and Y are ignored.
+type Point struct {
+	X, Y gfbig.Elem
+	Inf  bool
+}
+
+// Infinity returns the point at infinity.
+func Infinity() Point { return Point{Inf: true} }
+
+// Generator returns the curve's base point.
+func (c *Curve) Generator() Point {
+	return Point{X: c.F.Copy(c.Gx), Y: c.F.Copy(c.Gy)}
+}
+
+// Equal reports whether p and q are the same point.
+func (c *Curve) Equal(p, q Point) bool {
+	if p.Inf || q.Inf {
+		return p.Inf == q.Inf
+	}
+	return c.F.Equal(p.X, q.X) && c.F.Equal(p.Y, q.Y)
+}
+
+// OnCurve reports whether p satisfies y^2 + xy = x^3 + a*x^2 + b.
+func (c *Curve) OnCurve(p Point) bool {
+	if p.Inf {
+		return true
+	}
+	f := c.F
+	lhs := f.Add(f.Sqr(p.Y), f.Mul(p.X, p.Y))
+	x2 := f.Sqr(p.X)
+	rhs := f.Add(f.Add(f.Mul(x2, p.X), f.Mul(c.A, x2)), c.B)
+	return f.Equal(lhs, rhs)
+}
+
+// Neg returns -p = (x, x+y).
+func (c *Curve) Neg(p Point) Point {
+	if p.Inf {
+		return p
+	}
+	return Point{X: c.F.Copy(p.X), Y: c.F.Add(p.X, p.Y)}
+}
+
+// Add returns p + q using the affine char-2 group law: one field inversion,
+// two multiplications and one squaring — the operation mix the paper maps
+// onto GF instructions.
+func (c *Curve) Add(p, q Point) Point {
+	if p.Inf {
+		return q
+	}
+	if q.Inf {
+		return p
+	}
+	f := c.F
+	if f.Equal(p.X, q.X) {
+		if f.Equal(p.Y, q.Y) {
+			return c.Double(p) // handles the x==0 order-2 case internally
+		}
+		return Infinity() // q == -p
+	}
+	// lambda = (y1+y2)/(x1+x2)
+	lam := f.Div(f.Add(p.Y, q.Y), f.Add(p.X, q.X))
+	// x3 = lambda^2 + lambda + x1 + x2 + a
+	x3 := f.Add(f.Add(f.Add(f.Add(f.Sqr(lam), lam), p.X), q.X), c.A)
+	// y3 = lambda*(x1+x3) + x3 + y1
+	y3 := f.Add(f.Add(f.Mul(lam, f.Add(p.X, x3)), x3), p.Y)
+	return Point{X: x3, Y: y3}
+}
+
+// Double returns 2p.
+func (c *Curve) Double(p Point) Point {
+	if p.Inf {
+		return p
+	}
+	f := c.F
+	if f.IsZero(p.X) {
+		// The only point with x=0 is (0, sqrt(b)), which has order 2.
+		return Infinity()
+	}
+	// lambda = x + y/x
+	lam := f.Add(p.X, f.Div(p.Y, p.X))
+	// x3 = lambda^2 + lambda + a
+	x3 := f.Add(f.Add(f.Sqr(lam), lam), c.A)
+	// y3 = x^2 + (lambda+1)*x3
+	lam1 := f.Copy(lam)
+	lam1[0] ^= 1
+	y3 := f.Add(f.Sqr(p.X), f.Mul(lam1, x3))
+	return Point{X: x3, Y: y3}
+}
+
+// ScalarMult returns k*p by left-to-right double-and-add on Lopez-Dahab
+// projective coordinates with mixed additions, converting back to affine
+// at the end (one inversion) — the paper's Section 3.3.4 structure.
+// Negative or zero k yields the identity handling one expects: k is taken
+// modulo the curve order.
+func (c *Curve) ScalarMult(k *big.Int, p Point) Point {
+	k = new(big.Int).Mod(k, c.Order)
+	if k.Sign() == 0 || p.Inf {
+		return Infinity()
+	}
+	acc := newLD(c) // identity
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		acc = c.ldDouble(acc)
+		if k.Bit(i) == 1 {
+			acc = c.ldAddMixed(acc, p)
+		}
+	}
+	return c.ldToAffine(acc)
+}
+
+// ScalarBaseMult returns k*G.
+func (c *Curve) ScalarBaseMult(k *big.Int) Point { return c.ScalarMult(k, c.Generator()) }
+
+// ScalarMultAffine is ScalarMult computed entirely in affine coordinates
+// (one inversion per group operation); it exists as a slow independent
+// cross-check and as the baseline for the projective-coordinates ablation.
+func (c *Curve) ScalarMultAffine(k *big.Int, p Point) Point {
+	k = new(big.Int).Mod(k, c.Order)
+	acc := Infinity()
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		acc = c.Double(acc)
+		if k.Bit(i) == 1 {
+			acc = c.Add(acc, p)
+		}
+	}
+	return acc
+}
+
+// String implements fmt.Stringer.
+func (c *Curve) String() string { return c.Name }
+
+// RandomScalar returns a uniformly random scalar in [1, Order-1] using the
+// provided entropy source.
+func (c *Curve) RandomScalar(rand io.Reader) (*big.Int, error) {
+	max := new(big.Int).Sub(c.Order, big.NewInt(1))
+	byteLen := (max.BitLen() + 7) / 8
+	buf := make([]byte, byteLen)
+	for {
+		if _, err := io.ReadFull(rand, buf); err != nil {
+			return nil, fmt.Errorf("ecc: entropy: %w", err)
+		}
+		k := new(big.Int).SetBytes(buf)
+		k.Mod(k, max)
+		k.Add(k, big.NewInt(1)) // [1, Order-1]
+		return k, nil
+	}
+}
+
+// PaperScalar returns the scalar pattern of Section 3.3.4: a 113-bit value
+// whose top bit is one and whose remaining 112 bits contain exactly 56
+// ones, so that double-and-add performs 112 point doublings and 56 point
+// additions (alternating ones and zeros).
+func PaperScalar() *big.Int {
+	k := new(big.Int).SetBit(new(big.Int), 112, 1)
+	for i := 0; i < 112; i += 2 {
+		k.SetBit(k, i, 1)
+	}
+	return k
+}

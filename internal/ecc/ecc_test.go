@@ -1,0 +1,263 @@
+package ecc
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestBasePointsOnCurve(t *testing.T) {
+	for _, c := range Curves() {
+		if !c.OnCurve(c.Generator()) {
+			t.Errorf("%s: base point not on curve", c)
+		}
+	}
+}
+
+func TestOrderAnnihilatesBasePoint(t *testing.T) {
+	// n*G must be the point at infinity — validates both the order constant
+	// and the whole scalar-multiplication stack.
+	for _, c := range Curves() {
+		if p := c.ScalarBaseMult(c.Order); !p.Inf {
+			t.Errorf("%s: n*G != infinity", c)
+		}
+		if p := c.ScalarBaseMult(new(big.Int).Sub(c.Order, big.NewInt(1))); !c.Equal(p, c.Neg(c.Generator())) {
+			t.Errorf("%s: (n-1)*G != -G", c)
+		}
+	}
+}
+
+func TestGroupLawSmallMultiples(t *testing.T) {
+	c := K233()
+	g := c.Generator()
+	// Repeated addition must match scalar multiplication for k = 1..12.
+	acc := Infinity()
+	for k := 1; k <= 12; k++ {
+		acc = c.Add(acc, g)
+		if !c.OnCurve(acc) {
+			t.Fatalf("%d*G not on curve", k)
+		}
+		sm := c.ScalarBaseMult(big.NewInt(int64(k)))
+		if !c.Equal(acc, sm) {
+			t.Fatalf("%d*G: repeated add != ScalarMult", k)
+		}
+	}
+}
+
+func TestAddCommutativeAssociative(t *testing.T) {
+	c := K233()
+	g := c.Generator()
+	p := c.ScalarBaseMult(big.NewInt(7))
+	q := c.ScalarBaseMult(big.NewInt(11))
+	r := c.ScalarBaseMult(big.NewInt(13))
+	if !c.Equal(c.Add(p, q), c.Add(q, p)) {
+		t.Fatal("addition not commutative")
+	}
+	if !c.Equal(c.Add(c.Add(p, q), r), c.Add(p, c.Add(q, r))) {
+		t.Fatal("addition not associative")
+	}
+	if !c.Equal(c.Add(p, Infinity()), p) {
+		t.Fatal("P + 0 != P")
+	}
+	if !c.Equal(c.Add(p, c.Neg(p)), Infinity()) {
+		t.Fatal("P + (-P) != 0")
+	}
+	if !c.Equal(c.Add(g, g), c.Double(g)) {
+		t.Fatal("P + P != 2P")
+	}
+}
+
+func TestScalarLinearity(t *testing.T) {
+	for _, c := range []*Curve{K233(), B163()} {
+		rng := rand.New(rand.NewSource(1))
+		for trial := 0; trial < 5; trial++ {
+			k1 := new(big.Int).Rand(rng, c.Order)
+			k2 := new(big.Int).Rand(rng, c.Order)
+			sum := new(big.Int).Add(k1, k2)
+			lhs := c.ScalarBaseMult(sum)
+			rhs := c.Add(c.ScalarBaseMult(k1), c.ScalarBaseMult(k2))
+			if !c.Equal(lhs, rhs) {
+				t.Fatalf("%s: (k1+k2)G != k1·G + k2·G", c)
+			}
+		}
+	}
+}
+
+func TestProjectiveMatchesAffine(t *testing.T) {
+	for _, c := range Curves() {
+		rng := rand.New(rand.NewSource(2))
+		k := new(big.Int).Rand(rng, big.NewInt(1<<30))
+		pa := c.ScalarMultAffine(k, c.Generator())
+		pp := c.ScalarBaseMult(k)
+		if !c.Equal(pa, pp) {
+			t.Errorf("%s: projective != affine scalar mult", c)
+		}
+	}
+}
+
+func TestMontgomeryLadderMatches(t *testing.T) {
+	for _, c := range Curves() {
+		rng := rand.New(rand.NewSource(3))
+		for trial := 0; trial < 3; trial++ {
+			k := new(big.Int).Rand(rng, c.Order)
+			if k.Sign() == 0 {
+				continue
+			}
+			want := c.ScalarBaseMult(k)
+			got, ok := c.MontgomeryLadder(k, c.Generator())
+			if !ok {
+				t.Fatalf("%s: ladder returned infinity for k=%v", c, k)
+			}
+			if !c.Equal(got, want) {
+				t.Fatalf("%s: ladder point != double-and-add", c)
+			}
+			x, ok := c.MontgomeryLadderX(k, c.Generator())
+			if !ok || !c.F.Equal(x, want.X) {
+				t.Fatalf("%s: ladder x mismatch", c)
+			}
+		}
+	}
+}
+
+func TestMontgomeryLadderEdgeCases(t *testing.T) {
+	c := K233()
+	g := c.Generator()
+	if _, ok := c.MontgomeryLadder(big.NewInt(0), g); ok {
+		t.Error("k=0 should be infinity")
+	}
+	one, ok := c.MontgomeryLadder(big.NewInt(1), g)
+	if !ok || !c.Equal(one, g) {
+		t.Error("k=1 != G")
+	}
+	two, ok := c.MontgomeryLadder(big.NewInt(2), g)
+	if !ok || !c.Equal(two, c.Double(g)) {
+		t.Error("k=2 != 2G")
+	}
+	// k = n-1 gives -G; k = n gives infinity.
+	nm1, ok := c.MontgomeryLadder(new(big.Int).Sub(c.Order, big.NewInt(1)), g)
+	if !ok || !c.Equal(nm1, c.Neg(g)) {
+		t.Error("k=n-1 != -G")
+	}
+	if _, ok := c.MontgomeryLadder(c.Order, g); ok {
+		t.Error("k=n should be infinity")
+	}
+}
+
+func TestScalarMultEdgeCases(t *testing.T) {
+	c := K233()
+	g := c.Generator()
+	if !c.ScalarBaseMult(big.NewInt(0)).Inf {
+		t.Error("0*G != infinity")
+	}
+	if !c.ScalarMult(big.NewInt(5), Infinity()).Inf {
+		t.Error("5*infinity != infinity")
+	}
+	// Negative scalars wrap modulo the order.
+	neg := c.ScalarBaseMult(big.NewInt(-1))
+	if !c.Equal(neg, c.Neg(g)) {
+		t.Error("-1*G != -G")
+	}
+}
+
+func TestDoubleOrderTwoPoint(t *testing.T) {
+	// On K-233 (b=1) the point (0, 1) has order 2: 2*(0,1) = infinity.
+	c := K233()
+	p := Point{X: c.F.Zero(), Y: c.F.One()}
+	if !c.OnCurve(p) {
+		t.Fatal("(0,1) should be on K-233")
+	}
+	if !c.Double(p).Inf {
+		t.Fatal("2*(0,sqrt(b)) != infinity")
+	}
+	if !c.Add(p, p).Inf {
+		t.Fatal("(0,1)+(0,1) != infinity")
+	}
+}
+
+func TestOnCurveRejectsJunk(t *testing.T) {
+	c := K233()
+	bad := Point{X: c.F.FromUint64(123), Y: c.F.FromUint64(456)}
+	if c.OnCurve(bad) {
+		t.Fatal("junk point accepted")
+	}
+}
+
+func TestPaperScalarShape(t *testing.T) {
+	k := PaperScalar()
+	if k.BitLen() != 113 {
+		t.Fatalf("bit length %d, want 113", k.BitLen())
+	}
+	ones := 0
+	for i := 0; i < 112; i++ {
+		if k.Bit(i) == 1 {
+			ones++
+		}
+	}
+	if ones != 56 {
+		t.Fatalf("%d ones below the top bit, want 56", ones)
+	}
+	// And it must be a usable scalar on K-233.
+	c := K233()
+	p := c.ScalarBaseMult(k)
+	if p.Inf || !c.OnCurve(p) {
+		t.Fatal("paper scalar multiplication failed")
+	}
+}
+
+func TestECDHAgreement(t *testing.T) {
+	for _, c := range []*Curve{K233(), K163()} {
+		rng := rand.New(rand.NewSource(4))
+		alice, err := GenerateKey(c, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bob, err := GenerateKey(c, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, err := alice.SharedSecret(bob.Pub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := bob.SharedSecret(alice.Pub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(s1) != string(s2) {
+			t.Fatalf("%s: shared secrets differ", c)
+		}
+		if len(s1) != (c.F.M()+7)/8 {
+			t.Fatalf("%s: secret length %d", c, len(s1))
+		}
+	}
+}
+
+func TestECDHValidation(t *testing.T) {
+	c := K233()
+	rng := rand.New(rand.NewSource(5))
+	key, _ := GenerateKey(c, rng)
+	if _, err := key.SharedSecret(Infinity()); err == nil {
+		t.Error("identity peer accepted")
+	}
+	junk := Point{X: c.F.FromUint64(1), Y: c.F.FromUint64(2)}
+	if _, err := key.SharedSecret(junk); err == nil {
+		t.Error("off-curve peer accepted")
+	}
+	if _, err := NewPrivateKey(c, big.NewInt(0)); err == nil {
+		t.Error("zero scalar accepted")
+	}
+}
+
+func TestRandomScalarRange(t *testing.T) {
+	c := K163()
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 20; i++ {
+		k, err := c.RandomScalar(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.Sign() <= 0 || k.Cmp(c.Order) >= 0 {
+			t.Fatalf("scalar out of range: %v", k)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package ecc
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// ECDH key agreement (the paper's Section 3.3.4: "The Elliptic Curve
+// Diffie Hellman (ECDH) key exchange protocol is one of the most popular
+// ECC_l applications. It requires one scalar multiplication per session.")
+
+// PrivateKey is an ECDH private scalar with its public point.
+type PrivateKey struct {
+	Curve *Curve
+	D     *big.Int
+	Pub   Point
+}
+
+// GenerateKey creates a key pair using entropy from rand.
+func GenerateKey(c *Curve, rand io.Reader) (*PrivateKey, error) {
+	d, err := c.RandomScalar(rand)
+	if err != nil {
+		return nil, err
+	}
+	return NewPrivateKey(c, d)
+}
+
+// NewPrivateKey builds the key pair for a given scalar (reduced mod the
+// curve order; must not reduce to zero).
+func NewPrivateKey(c *Curve, d *big.Int) (*PrivateKey, error) {
+	d = new(big.Int).Mod(d, c.Order)
+	if d.Sign() == 0 {
+		return nil, fmt.Errorf("ecc: zero private scalar")
+	}
+	return &PrivateKey{Curve: c, D: d, Pub: c.ScalarBaseMult(d)}, nil
+}
+
+// SharedSecret computes the x-coordinate of d*Q as the session secret,
+// rejecting peer points that are not on the curve or are the identity
+// (basic public-key validation).
+func (k *PrivateKey) SharedSecret(peer Point) ([]byte, error) {
+	if peer.Inf {
+		return nil, fmt.Errorf("ecc: peer public key is the identity")
+	}
+	if !k.Curve.OnCurve(peer) {
+		return nil, fmt.Errorf("ecc: peer public key not on %s", k.Curve)
+	}
+	s := k.Curve.ScalarMult(k.D, peer)
+	if s.Inf {
+		return nil, fmt.Errorf("ecc: shared point at infinity")
+	}
+	return k.Curve.F.Bytes(s.X), nil
+}

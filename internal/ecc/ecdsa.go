@@ -1,0 +1,109 @@
+package ecc
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// ECDSA over binary curves: the authentication half of the paper's
+// asymmetric-cryptography story (ECDH exchanges keys; ECDSA signs). The
+// scalar arithmetic modulo the group order uses math/big; every curve
+// operation runs on the GF(2^m) stack.
+
+// Signature is an ECDSA signature pair.
+type Signature struct {
+	R, S *big.Int
+}
+
+// hashToInt converts a message digest to an integer per SEC 1 4.1.3:
+// the leftmost bits of the hash, truncated to the order's bit length.
+func hashToInt(h []byte, order *big.Int) *big.Int {
+	bits := order.BitLen()
+	if len(h)*8 > bits {
+		h = h[:(bits+7)/8]
+	}
+	e := new(big.Int).SetBytes(h)
+	if excess := len(h)*8 - bits; excess > 0 {
+		e.Rsh(e, uint(excess))
+	}
+	return e
+}
+
+// Sign signs the message (hashed internally with SHA-256) with the
+// private key, drawing nonces from rand.
+func (k *PrivateKey) Sign(rand io.Reader, msg []byte) (*Signature, error) {
+	sum := sha256.Sum256(msg)
+	return k.SignDigest(rand, sum[:])
+}
+
+// SignDigest signs a precomputed digest.
+func (k *PrivateKey) SignDigest(rand io.Reader, digest []byte) (*Signature, error) {
+	n := k.Curve.Order
+	e := hashToInt(digest, n)
+	for attempt := 0; attempt < 100; attempt++ {
+		kk, err := k.Curve.RandomScalar(rand)
+		if err != nil {
+			return nil, err
+		}
+		p := k.Curve.ScalarBaseMult(kk)
+		if p.Inf {
+			continue
+		}
+		r := new(big.Int).SetBytes(k.Curve.F.Bytes(p.X))
+		r.Mod(r, n)
+		if r.Sign() == 0 {
+			continue
+		}
+		kInv := new(big.Int).ModInverse(kk, n)
+		if kInv == nil {
+			continue
+		}
+		s := new(big.Int).Mul(r, k.D)
+		s.Add(s, e)
+		s.Mul(s, kInv)
+		s.Mod(s, n)
+		if s.Sign() == 0 {
+			continue
+		}
+		return &Signature{R: r, S: s}, nil
+	}
+	return nil, fmt.Errorf("ecc: signing failed to find a usable nonce")
+}
+
+// Verify checks the signature over msg (SHA-256) against the public key.
+func Verify(c *Curve, pub Point, msg []byte, sig *Signature) bool {
+	sum := sha256.Sum256(msg)
+	return VerifyDigest(c, pub, sum[:], sig)
+}
+
+// VerifyDigest checks a signature over a precomputed digest.
+func VerifyDigest(c *Curve, pub Point, digest []byte, sig *Signature) bool {
+	if sig == nil || sig.R == nil || sig.S == nil {
+		return false
+	}
+	n := c.Order
+	if sig.R.Sign() <= 0 || sig.R.Cmp(n) >= 0 || sig.S.Sign() <= 0 || sig.S.Cmp(n) >= 0 {
+		return false
+	}
+	if pub.Inf || !c.OnCurve(pub) {
+		return false
+	}
+	e := hashToInt(digest, n)
+	w := new(big.Int).ModInverse(sig.S, n)
+	if w == nil {
+		return false
+	}
+	u1 := new(big.Int).Mul(e, w)
+	u1.Mod(u1, n)
+	u2 := new(big.Int).Mul(sig.R, w)
+	u2.Mod(u2, n)
+	p := c.Add(c.ScalarBaseMult(u1), c.ScalarMult(u2, pub))
+	if p.Inf {
+		return false
+	}
+	v := new(big.Int).SetBytes(c.F.Bytes(p.X))
+	v.Mod(v, n)
+	return v.Cmp(sig.R) == 0
+}

@@ -1,0 +1,191 @@
+package ecc
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestECDSASignVerify(t *testing.T) {
+	for _, c := range []*Curve{K233(), B163()} {
+		rng := rand.New(rand.NewSource(1))
+		key, err := GenerateKey(c, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := []byte("sensor reading: 21.4C at node 7")
+		sig, err := key.Sign(rng, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Verify(c, key.Pub, msg, sig) {
+			t.Fatalf("%s: valid signature rejected", c)
+		}
+		// Wrong message, tampered signature, wrong key must all fail.
+		if Verify(c, key.Pub, []byte("sensor reading: 99.9C"), sig) {
+			t.Errorf("%s: wrong message accepted", c)
+		}
+		bad := &Signature{R: new(big.Int).Add(sig.R, big.NewInt(1)), S: sig.S}
+		if Verify(c, key.Pub, msg, bad) {
+			t.Errorf("%s: tampered R accepted", c)
+		}
+		other, _ := GenerateKey(c, rng)
+		if Verify(c, other.Pub, msg, sig) {
+			t.Errorf("%s: wrong key accepted", c)
+		}
+	}
+}
+
+func TestECDSARejectsDegenerateSignatures(t *testing.T) {
+	c := K233()
+	rng := rand.New(rand.NewSource(2))
+	key, _ := GenerateKey(c, rng)
+	msg := []byte("m")
+	if Verify(c, key.Pub, msg, nil) {
+		t.Error("nil signature accepted")
+	}
+	if Verify(c, key.Pub, msg, &Signature{R: big.NewInt(0), S: big.NewInt(1)}) {
+		t.Error("r=0 accepted")
+	}
+	if Verify(c, key.Pub, msg, &Signature{R: big.NewInt(1), S: c.Order}) {
+		t.Error("s=n accepted")
+	}
+	if Verify(c, Infinity(), msg, &Signature{R: big.NewInt(1), S: big.NewInt(1)}) {
+		t.Error("identity public key accepted")
+	}
+}
+
+func TestECDSASignaturesAreRandomized(t *testing.T) {
+	c := K163()
+	rng := rand.New(rand.NewSource(3))
+	key, _ := GenerateKey(c, rng)
+	msg := []byte("same message")
+	s1, _ := key.Sign(rng, msg)
+	s2, _ := key.Sign(rng, msg)
+	if s1.R.Cmp(s2.R) == 0 {
+		t.Error("two signatures share a nonce")
+	}
+	if !Verify(c, key.Pub, msg, s1) || !Verify(c, key.Pub, msg, s2) {
+		t.Error("randomized signatures invalid")
+	}
+}
+
+func TestHashToInt(t *testing.T) {
+	// Truncation: a 256-bit digest against a 163-bit order keeps the
+	// leftmost 163 bits.
+	order := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 163), big.NewInt(1)) // bitlen 163
+	h := make([]byte, 32)
+	for i := range h {
+		h[i] = 0xFF
+	}
+	e := hashToInt(h, order)
+	if e.BitLen() != 163 {
+		t.Fatalf("bitlen = %d, want 163", e.BitLen())
+	}
+	// Short digests pass through.
+	e2 := hashToInt([]byte{0x01, 0x02}, order)
+	if e2.Int64() != 0x0102 {
+		t.Fatalf("short digest = %v", e2)
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	for _, c := range Curves() {
+		rng := rand.New(rand.NewSource(int64(c.F.M())))
+		for trial := 0; trial < 4; trial++ {
+			k := new(big.Int).Rand(rng, c.Order)
+			p := c.ScalarBaseMult(k)
+			if p.Inf {
+				continue
+			}
+			enc := c.Compress(p)
+			if len(enc) != 1+(c.F.M()+7)/8 {
+				t.Fatalf("%s: compressed length %d", c, len(enc))
+			}
+			back, err := c.Decompress(enc)
+			if err != nil {
+				t.Fatalf("%s: %v", c, err)
+			}
+			if !c.Equal(back, p) {
+				t.Fatalf("%s: compression round trip failed", c)
+			}
+		}
+		// Infinity encodes as a single zero byte.
+		enc := c.Compress(Infinity())
+		if len(enc) != 1 || enc[0] != 0 {
+			t.Fatalf("%s: infinity encoding %v", c, enc)
+		}
+		back, err := c.Decompress(enc)
+		if err != nil || !back.Inf {
+			t.Fatalf("%s: infinity round trip", c)
+		}
+	}
+}
+
+func TestDecompressRejectsJunk(t *testing.T) {
+	c := K233()
+	if _, err := c.Decompress([]byte{0x05}); err == nil {
+		t.Error("bad prefix accepted")
+	}
+	if _, err := c.Decompress(make([]byte, 10)); err == nil {
+		t.Error("bad length accepted")
+	}
+	// An x with no solution: find one by trial.
+	junk := make([]byte, 1+30)
+	junk[0] = 0x02
+	found := false
+	for v := byte(1); v < 200 && !found; v++ {
+		junk[30] = v
+		if _, err := c.Decompress(junk); err != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("every junk x decompressed (suspicious)")
+	}
+}
+
+func TestUncompressedMarshalRoundTrip(t *testing.T) {
+	c := B233()
+	p := c.ScalarBaseMult(big.NewInt(12345))
+	enc := c.MarshalUncompressed(p)
+	back, err := c.UnmarshalUncompressed(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(back, p) {
+		t.Fatal("uncompressed round trip failed")
+	}
+	enc[len(enc)-1] ^= 1 // corrupt y
+	if _, err := c.UnmarshalUncompressed(enc); err == nil {
+		t.Error("off-curve uncompressed point accepted")
+	}
+}
+
+func TestQuadraticToolkit(t *testing.T) {
+	f := K233().F
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		a := f.Zero()
+		for i := range a {
+			a[i] = rng.Uint32()
+		}
+		a[len(a)-1] &= 1<<(233%32) - 1
+		// sqrt(a)^2 == a
+		if !f.Equal(f.Sqr(f.Sqrt(a)), a) {
+			t.Fatal("sqrt broken")
+		}
+		// Trace is additive and 0/1-valued; z^2+z always has trace 0.
+		z := f.Add(f.Sqr(a), a)
+		if f.Trace(z) != 0 {
+			t.Fatal("trace of z^2+z not 0")
+		}
+		sol, ok := f.SolveQuadratic(z)
+		if !ok {
+			t.Fatal("solvable quadratic rejected")
+		}
+		if !f.Equal(f.Add(f.Sqr(sol), sol), z) {
+			t.Fatal("quadratic solution wrong")
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package ecc
+
+import (
+	"math/big"
+
+	"repro/internal/gfbig"
+)
+
+// NIST binary-curve domain parameters (FIPS 186-4 / SEC 2). Each
+// constructor builds the curve fresh; the parameters are validated by the
+// package tests (base point on curve, n*G = infinity).
+
+func mustHex(f *gfbig.Field, s string) gfbig.Elem {
+	e, err := f.SetHex(s)
+	if err != nil {
+		panic("ecc: bad curve constant: " + err.Error())
+	}
+	return e
+}
+
+func mustBig(s string) *big.Int {
+	n, ok := new(big.Int).SetString(s, 16)
+	if !ok {
+		panic("ecc: bad order constant")
+	}
+	return n
+}
+
+// K233 returns the NIST Koblitz curve K-233 over GF(2^233)/x^233+x^74+1
+// with a = 0, b = 1 — the curve the paper hand-codes in Section 3.3.4.
+func K233() *Curve {
+	f := gfbig.F233()
+	return &Curve{
+		Name:     "NIST K-233",
+		F:        f,
+		A:        f.Zero(),
+		B:        f.One(),
+		Gx:       mustHex(f, "017232ba853a7e731af129f22ff4149563a419c26bf50a4c9d6eefad6126"),
+		Gy:       mustHex(f, "01db537dece819b7f70f555a67c427a8cd9bf18aeb9b56e0c11056fae6a3"),
+		Order:    mustBig("8000000000000000000000000000069d5bb915bcd46efb1ad5f173abdf"),
+		Cofactor: 4,
+	}
+}
+
+// B233 returns the NIST pseudo-random curve B-233 (a = 1).
+func B233() *Curve {
+	f := gfbig.F233()
+	return &Curve{
+		Name:     "NIST B-233",
+		F:        f,
+		A:        f.One(),
+		B:        mustHex(f, "0066647ede6c332c7f8c0923bb58213b333b20e9ce4281fe115f7d8f90ad"),
+		Gx:       mustHex(f, "00fac9dfcbac8313bb2139f1bb755fef65bc391f8b36f8f8eb7371fd558b"),
+		Gy:       mustHex(f, "01006a08a41903350678e58528bebf8a0beff867a7ca36716f7e01f81052"),
+		Order:    mustBig("1000000000000000000000000000013e974e72f8a6922031d2603cfe0d7"),
+		Cofactor: 2,
+	}
+}
+
+// K163 returns the NIST Koblitz curve K-163 over
+// GF(2^163)/x^163+x^7+x^6+x^3+1 with a = 1, b = 1 — the smallest
+// standardized binary curve (the paper's "smallest being 113 bits" refers
+// to the older SEC sect113 family; 163 is the smallest NIST one).
+func K163() *Curve {
+	f := gfbig.F163()
+	return &Curve{
+		Name:     "NIST K-163",
+		F:        f,
+		A:        f.One(),
+		B:        f.One(),
+		Gx:       mustHex(f, "02fe13c0537bbc11acaa07d793de4e6d5e5c94eee8"),
+		Gy:       mustHex(f, "0289070fb05d38ff58321f2e800536d538ccdaa3d9"),
+		Order:    mustBig("4000000000000000000020108a2e0cc0d99f8a5ef"),
+		Cofactor: 2,
+	}
+}
+
+// B163 returns the NIST pseudo-random curve B-163.
+func B163() *Curve {
+	f := gfbig.F163()
+	return &Curve{
+		Name:     "NIST B-163",
+		F:        f,
+		A:        f.One(),
+		B:        mustHex(f, "020a601907b8c953ca1481eb10512f78744a3205fd"),
+		Gx:       mustHex(f, "03f0eba16286a2d57ea0991168d4994637e8343e36"),
+		Gy:       mustHex(f, "00d51fbc6c71a0094fa2cdd545b11c5c0c797324f1"),
+		Order:    mustBig("40000000000000000000292fe77e70c12a4234c33"),
+		Cofactor: 2,
+	}
+}
+
+// K283 returns the NIST Koblitz curve K-283 over
+// GF(2^283)/x^283+x^12+x^7+x^5+1 with a = 0, b = 1.
+func K283() *Curve {
+	f := gfbig.F283()
+	return &Curve{
+		Name:     "NIST K-283",
+		F:        f,
+		A:        f.Zero(),
+		B:        f.One(),
+		Gx:       mustHex(f, "0503213f78ca44883f1a3b8162f188e553cd265f23c1567a16876913b0c2ac2458492836"),
+		Gy:       mustHex(f, "01ccda380f1c9e318d90f95d07e5426fe87e45c0e8184698e45962364e34116177dd2259"),
+		Order:    mustBig("01ffffffffffffffffffffffffffffffffffe9ae2ed07577265dff7f94451e061e163c61"),
+		Cofactor: 4,
+	}
+}
+
+// Curves returns all built-in curves, smallest field first.
+func Curves() []*Curve {
+	return []*Curve{K163(), B163(), K233(), B233(), K283()}
+}

@@ -1,0 +1,186 @@
+package ecc
+
+import (
+	"math/big"
+
+	"repro/internal/gfbig"
+)
+
+// Lopez-Dahab projective coordinates: an affine point (x, y) is
+// represented as (X, Y, Z) with x = X/Z and y = Y/Z^2. Point addition and
+// doubling then need no field inversion — the transformation the paper
+// applies because inversion in GF(2^233) costs ~40k cycles while a
+// multiplication costs ~600 (Section 3.3.4, Table 9): "transforming
+// points to a different coordinate (e.g., the projective coordinate) may
+// be necessary to reduce the complexity."
+
+type ldPoint struct {
+	X, Y, Z gfbig.Elem // Z == 0 encodes the identity
+}
+
+func newLD(c *Curve) ldPoint {
+	return ldPoint{X: c.F.One(), Y: c.F.Zero(), Z: c.F.Zero()}
+}
+
+func (c *Curve) ldFromAffine(p Point) ldPoint {
+	if p.Inf {
+		return newLD(c)
+	}
+	return ldPoint{X: c.F.Copy(p.X), Y: c.F.Copy(p.Y), Z: c.F.One()}
+}
+
+func (c *Curve) ldIsInf(p ldPoint) bool { return c.F.IsZero(p.Z) }
+
+// ldToAffine converts back with one inversion: x = X/Z, y = Y/Z^2.
+func (c *Curve) ldToAffine(p ldPoint) Point {
+	if c.ldIsInf(p) {
+		return Infinity()
+	}
+	f := c.F
+	zInv := f.Inv(p.Z)
+	x := f.Mul(p.X, zInv)
+	y := f.Mul(p.Y, f.Sqr(zInv))
+	return Point{X: x, Y: y}
+}
+
+// ldDouble implements Lopez-Dahab doubling (Hankerson-Menezes-Vanstone
+// Alg. 3.24): Z3 = X1^2*Z1^2, X3 = X1^4 + b*Z1^4,
+// Y3 = b*Z1^4*Z3 + X3*(a*Z3 + Y1^2 + b*Z1^4).
+// Cost: 4 multiplications + 5 squarings (one mult saved when a = 0).
+func (c *Curve) ldDouble(p ldPoint) ldPoint {
+	if c.ldIsInf(p) {
+		return p
+	}
+	f := c.F
+	if f.IsZero(p.X) {
+		return newLD(c) // order-2 point
+	}
+	x2 := f.Sqr(p.X)
+	z2 := f.Sqr(p.Z)
+	bz4 := f.Mul(c.B, f.Sqr(z2))
+	z3 := f.Mul(x2, z2)
+	x3 := f.Add(f.Sqr(x2), bz4)
+	t := f.Add(f.Sqr(p.Y), bz4)
+	if !f.IsZero(c.A) {
+		t = f.Add(t, f.Mul(c.A, z3))
+	}
+	y3 := f.Add(f.Mul(bz4, z3), f.Mul(x3, t))
+	return ldPoint{X: x3, Y: y3, Z: z3}
+}
+
+// ldAddMixed adds the affine point q to the projective point p
+// (Hankerson-Menezes-Vanstone Alg. 3.25, mixed coordinates):
+// 8 multiplications + 5 squarings.
+func (c *Curve) ldAddMixed(p ldPoint, q Point) ldPoint {
+	if q.Inf {
+		return p
+	}
+	if c.ldIsInf(p) {
+		return c.ldFromAffine(q)
+	}
+	f := c.F
+	z12 := f.Sqr(p.Z)
+	a := f.Add(f.Mul(q.Y, z12), p.Y) // A = y2*Z1^2 + Y1
+	b := f.Add(f.Mul(q.X, p.Z), p.X) // B = x2*Z1 + X1
+	if f.IsZero(b) {
+		if f.IsZero(a) {
+			// p == q: double instead.
+			return c.ldDouble(p)
+		}
+		return newLD(c) // p == -q
+	}
+	cc := f.Mul(p.Z, b) // C = Z1*B
+	var d gfbig.Elem    // D = B^2*(C + a*Z1^2)
+	if f.IsZero(c.A) {
+		d = f.Mul(f.Sqr(b), cc)
+	} else {
+		d = f.Mul(f.Sqr(b), f.Add(cc, f.Mul(c.A, z12)))
+	}
+	z3 := f.Sqr(cc)
+	e := f.Mul(a, cc)
+	x3 := f.Add(f.Add(f.Sqr(a), d), e)
+	ff := f.Add(x3, f.Mul(q.X, z3))
+	g := f.Mul(f.Add(q.X, q.Y), f.Sqr(z3))
+	y3 := f.Add(f.Mul(f.Add(e, z3), ff), g)
+	return ldPoint{X: x3, Y: y3, Z: z3}
+}
+
+// MontgomeryLadderX computes the x-coordinate of k*P with the Lopez-Dahab
+// x-only Montgomery ladder (Hankerson-Menezes-Vanstone Alg. 3.40): two
+// field multiplications per key bit for the add step and one squaring-rich
+// double step, branching only on the key bit pair swap. It returns ok =
+// false when the result is the point at infinity.
+//
+// The full y-coordinate recovery is performed at the end so the result can
+// be checked against ScalarMult.
+func (c *Curve) MontgomeryLadderX(k *big.Int, p Point) (x gfbig.Elem, ok bool) {
+	pt, ok := c.MontgomeryLadder(k, p)
+	if !ok {
+		return nil, false
+	}
+	return pt.X, true
+}
+
+// MontgomeryLadder computes k*P with the x-only ladder, recovering y at
+// the end. It returns ok = false for the point at infinity.
+func (c *Curve) MontgomeryLadder(k *big.Int, p Point) (Point, bool) {
+	k = new(big.Int).Mod(k, c.Order)
+	if k.Sign() == 0 || p.Inf {
+		return Infinity(), false
+	}
+	if k.Cmp(big.NewInt(1)) == 0 {
+		return p, true
+	}
+	f := c.F
+	x := p.X
+	// R0 = P: (X1, Z1); R1 = 2P: (X2, Z2) = (x^4 + b, x^2).
+	x1, z1 := f.Copy(x), f.One()
+	x2 := f.Add(f.Sqr(f.Sqr(x)), c.B)
+	z2 := f.Sqr(x)
+	mAdd := func(xa, za, xb, zb gfbig.Elem) (gfbig.Elem, gfbig.Elem) {
+		// (xa,za) <- (xa,za)+(xb,zb) given difference P with x-coord x:
+		// Z3 = (Xa*Zb + Xb*Za)^2, X3 = x*Z3 + Xa*Zb*Xb*Za.
+		t1 := f.Mul(xa, zb)
+		t2 := f.Mul(xb, za)
+		z3 := f.Sqr(f.Add(t1, t2))
+		x3 := f.Add(f.Mul(x, z3), f.Mul(t1, t2))
+		return x3, z3
+	}
+	mDouble := func(xa, za gfbig.Elem) (gfbig.Elem, gfbig.Elem) {
+		// X3 = Xa^4 + b*Za^4, Z3 = Xa^2*Za^2.
+		xa2 := f.Sqr(xa)
+		za2 := f.Sqr(za)
+		x3 := f.Add(f.Sqr(xa2), f.Mul(c.B, f.Sqr(za2)))
+		z3 := f.Mul(xa2, za2)
+		return x3, z3
+	}
+	for i := k.BitLen() - 2; i >= 0; i-- {
+		if k.Bit(i) == 1 {
+			x1, z1 = mAdd(x1, z1, x2, z2)
+			x2, z2 = mDouble(x2, z2)
+		} else {
+			x2, z2 = mAdd(x2, z2, x1, z1)
+			x1, z1 = mDouble(x1, z1)
+		}
+	}
+	if f.IsZero(z1) {
+		return Infinity(), false
+	}
+	if f.IsZero(z2) {
+		// R1 = infinity means R0 = -P; kP = -P.
+		return c.Neg(p), true
+	}
+	// y recovery (HMV Alg. 3.40 Mxy): with x1/z1 = x(kP), x2/z2 = x((k+1)P):
+	// xk = X1/Z1
+	// yk = (x + xk) * [ (X1 + x*Z1)*(X2 + x*Z2) + (x^2 + y)*Z1*Z2 ]
+	//      / (x*Z1*Z2) + y
+	t3 := f.Mul(z1, z2)
+	xk := f.Mul(x1, f.Inv(z1))
+	num := f.Add(
+		f.Mul(f.Add(x1, f.Mul(x, z1)), f.Add(x2, f.Mul(x, z2))),
+		f.Mul(f.Add(f.Sqr(x), p.Y), t3),
+	)
+	den := f.Mul(x, t3)
+	yk := f.Add(f.Mul(f.Add(x, xk), f.Mul(num, f.Inv(den))), p.Y)
+	return Point{X: xk, Y: yk}, true
+}

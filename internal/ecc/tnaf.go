@@ -1,0 +1,213 @@
+package ecc
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// tau-adic NAF scalar multiplication for Koblitz (anomalous binary)
+// curves — the reason curves like the paper's K-233 are standardized at
+// all: the Frobenius endomorphism tau(x, y) = (x^2, y^2) satisfies
+// tau^2 - mu*tau + 2 = 0 (mu = (-1)^(1-a)), so a scalar expanded in
+// powers of tau replaces EVERY point doubling with two field squarings,
+// which the GF processor executes almost for free.
+//
+// The scalar is first partially reduced modulo delta = (tau^m - 1)/
+// (tau - 1) in Z[tau] (Solinas), shrinking the expansion to ~m digits;
+// the reduction is exact for points in the prime-order subgroup because
+// N(delta) = n and gcd(#E(F_2), n) = 1.
+
+// zTau is an element x0 + x1*tau of Z[tau].
+type zTau struct {
+	x0, x1 *big.Int
+}
+
+func ztNew(a, b int64) zTau { return zTau{big.NewInt(a), big.NewInt(b)} }
+
+// ztMul multiplies in Z[tau] using tau^2 = mu*tau - 2.
+func ztMul(a, b zTau, mu int64) zTau {
+	// (a0 + a1 t)(b0 + b1 t) = a0b0 - 2 a1b1 + (a0b1 + a1b0 + mu a1b1) t
+	a0b0 := new(big.Int).Mul(a.x0, b.x0)
+	a1b1 := new(big.Int).Mul(a.x1, b.x1)
+	x0 := new(big.Int).Sub(a0b0, new(big.Int).Lsh(a1b1, 1))
+	x1 := new(big.Int).Mul(a.x0, b.x1)
+	x1.Add(x1, new(big.Int).Mul(a.x1, b.x0))
+	x1.Add(x1, new(big.Int).Mul(big.NewInt(mu), a1b1))
+	return zTau{x0, x1}
+}
+
+// ztConj returns the conjugate: x0 + mu*x1 - x1*tau.
+func ztConj(a zTau, mu int64) zTau {
+	x0 := new(big.Int).Mul(big.NewInt(mu), a.x1)
+	x0.Add(x0, a.x0)
+	return zTau{x0, new(big.Int).Neg(a.x1)}
+}
+
+// ztNorm returns N(a) = x0^2 + mu*x0*x1 + 2*x1^2... derived as a*conj(a).
+func ztNorm(a zTau, mu int64) *big.Int {
+	p := ztMul(a, ztConj(a, mu), mu)
+	// the tau component of a*conj(a) is always zero
+	return p.x0
+}
+
+// tauPowM returns tau^m as an element of Z[tau].
+func tauPowM(m int, mu int64) zTau {
+	t := ztNew(0, 1)
+	acc := ztNew(1, 0)
+	for i := 0; i < m; i++ {
+		acc = ztMul(acc, t, mu)
+	}
+	return acc
+}
+
+// roundDiv returns round(a/b) for b > 0.
+func roundDiv(a, b *big.Int) *big.Int {
+	q, r := new(big.Int).QuoRem(a, b, new(big.Int))
+	// round half away from zero
+	r2 := new(big.Int).Lsh(new(big.Int).Abs(r), 1)
+	if r2.Cmp(b) >= 0 {
+		if a.Sign()*b.Sign() < 0 {
+			q.Sub(q, big.NewInt(1))
+		} else {
+			q.Add(q, big.NewInt(1))
+		}
+	}
+	return q
+}
+
+// partmod reduces the integer k modulo delta = (tau^m - 1)/(tau - 1),
+// returning r0 + r1*tau with tau-adic length ~m.
+func partmod(k *big.Int, m int, mu int64) zTau {
+	// delta = (tau^m - 1) * conj(tau - 1) / N(tau - 1)
+	tm := tauPowM(m, mu)
+	tm1 := zTau{new(big.Int).Sub(tm.x0, big.NewInt(1)), new(big.Int).Set(tm.x1)}
+	t1 := ztNew(-1, 1)
+	nT1 := ztNorm(t1, mu) // #E(F_2): 4 for a=0, 2 for a=1
+	num := ztMul(tm1, ztConj(t1, mu), mu)
+	delta := zTau{new(big.Int).Quo(num.x0, nT1), new(big.Int).Quo(num.x1, nT1)}
+
+	// q = round(k * conj(delta) / N(delta)); r = k - q*delta.
+	nD := ztNorm(delta, mu)
+	kc := ztMul(zTau{new(big.Int).Set(k), big.NewInt(0)}, ztConj(delta, mu), mu)
+	q := zTau{roundDiv(kc.x0, nD), roundDiv(kc.x1, nD)}
+	qd := ztMul(q, delta, mu)
+	return zTau{new(big.Int).Sub(k, qd.x0), new(big.Int).Neg(qd.x1)}
+}
+
+// tnaf expands r0 + r1*tau into tau-adic NAF digits (LSB first, each
+// digit in {0, +1, -1}, no two adjacent nonzeros).
+func tnaf(r zTau, mu int64) []int8 {
+	r0 := new(big.Int).Set(r.x0)
+	r1 := new(big.Int).Set(r.x1)
+	var digits []int8
+	zero := big.NewInt(0)
+	for r0.Cmp(zero) != 0 || r1.Cmp(zero) != 0 {
+		var u int8
+		if r0.Bit(0) == 1 {
+			// u = 2 - (r0 - 2*r1 mod 4)
+			t := new(big.Int).Lsh(r1, 1)
+			t.Sub(r0, t)
+			mod4 := new(big.Int).And(t, big.NewInt(3)).Int64()
+			if mod4 == 1 {
+				u = 1
+			} else {
+				u = -1
+			}
+			if u == 1 {
+				r0.Sub(r0, big.NewInt(1))
+			} else {
+				r0.Add(r0, big.NewInt(1))
+			}
+		}
+		digits = append(digits, u)
+		// (r0, r1) <- (r1 + mu*r0/2, -r0/2)
+		half := new(big.Int).Rsh(r0, 1)
+		newR0 := new(big.Int).Set(r1)
+		if mu == 1 {
+			newR0.Add(newR0, half)
+		} else {
+			newR0.Sub(newR0, half)
+		}
+		r0, r1 = newR0, new(big.Int).Neg(half)
+	}
+	return digits
+}
+
+// TNAFStats reports the operation mix of a tau-adic multiplication.
+type TNAFStats struct {
+	Digits    int // expansion length (~m after partial reduction)
+	Adds      int // point additions (nonzero digits)
+	Frobenius int // tau applications (3 field squarings each, no doubling!)
+}
+
+// TNAFDigits returns the partially-reduced tau-adic NAF digits of k
+// (LSB first) and the curve's mu, for external cost models. It errors on
+// non-Koblitz curves.
+func (c *Curve) TNAFDigits(k *big.Int) ([]int8, int64, error) {
+	f := c.F
+	aIsZero := f.IsZero(c.A)
+	aIsOne := f.Equal(c.A, f.One())
+	if !f.Equal(c.B, f.One()) || (!aIsZero && !aIsOne) {
+		return nil, 0, fmt.Errorf("ecc: %s is not a Koblitz curve", c)
+	}
+	mu := int64(-1)
+	if aIsOne {
+		mu = 1
+	}
+	k = new(big.Int).Mod(k, c.Order)
+	if k.Sign() == 0 {
+		return nil, mu, nil
+	}
+	return tnaf(partmod(k, f.M(), mu), mu), mu, nil
+}
+
+// ScalarMultTNAF computes k*p on a Koblitz curve (a in {0,1}, b = 1)
+// using the tau-adic NAF — no point doublings at all. p must lie in the
+// prime-order subgroup (true for the generator and its multiples).
+// It returns an error for non-Koblitz curves.
+func (c *Curve) ScalarMultTNAF(k *big.Int, p Point) (Point, error) {
+	pt, _, err := c.ScalarMultTNAFStats(k, p)
+	return pt, err
+}
+
+// ScalarMultTNAFStats is ScalarMultTNAF with operation counts.
+func (c *Curve) ScalarMultTNAFStats(k *big.Int, p Point) (Point, TNAFStats, error) {
+	var st TNAFStats
+	f := c.F
+	// Koblitz check: b = 1 and a in {0, 1}.
+	aIsZero := f.IsZero(c.A)
+	aIsOne := f.Equal(c.A, f.One())
+	if !f.Equal(c.B, f.One()) || (!aIsZero && !aIsOne) {
+		return Point{}, st, fmt.Errorf("ecc: %s is not a Koblitz curve", c)
+	}
+	mu := int64(-1)
+	if aIsOne {
+		mu = 1
+	}
+	k = new(big.Int).Mod(k, c.Order)
+	if k.Sign() == 0 || p.Inf {
+		return Infinity(), st, nil
+	}
+	digits := tnaf(partmod(k, f.M(), mu), mu)
+	st.Digits = len(digits)
+
+	acc := newLD(c)
+	for i := len(digits) - 1; i >= 0; i-- {
+		if !c.ldIsInf(acc) {
+			// tau: square every coordinate (x -> x^2 commutes with the
+			// Lopez-Dahab representation since squaring is a field
+			// homomorphism).
+			acc = ldPoint{X: f.Sqr(acc.X), Y: f.Sqr(acc.Y), Z: f.Sqr(acc.Z)}
+			st.Frobenius++
+		}
+		switch digits[i] {
+		case 1:
+			acc = c.ldAddMixed(acc, p)
+			st.Adds++
+		case -1:
+			acc = c.ldAddMixed(acc, c.Neg(p))
+			st.Adds++
+		}
+	}
+	return c.ldToAffine(acc), st, nil
+}

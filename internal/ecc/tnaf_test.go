@@ -1,0 +1,115 @@
+package ecc
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestZTauArithmetic(t *testing.T) {
+	// tau^2 = mu*tau - 2 for both mu values.
+	for _, mu := range []int64{-1, 1} {
+		tau := ztNew(0, 1)
+		sq := ztMul(tau, tau, mu)
+		if sq.x0.Int64() != -2 || sq.x1.Int64() != mu {
+			t.Fatalf("mu=%d: tau^2 = %v + %v tau", mu, sq.x0, sq.x1)
+		}
+		// Norm is multiplicative on a sample.
+		a := ztNew(5, -3)
+		b := ztNew(-7, 2)
+		nab := ztNorm(ztMul(a, b, mu), mu)
+		n2 := new(big.Int).Mul(ztNorm(a, mu), ztNorm(b, mu))
+		if nab.Cmp(n2) != 0 {
+			t.Fatalf("mu=%d: norm not multiplicative", mu)
+		}
+	}
+}
+
+func TestNormOfTauMinusOneIsCurveOrderOverF2(t *testing.T) {
+	// N(tau - 1) = #E(F_2): 4 for a=0 (K-233, K-283), 2 for a=1 (K-163).
+	if n := ztNorm(ztNew(-1, 1), -1); n.Int64() != 4 {
+		t.Errorf("mu=-1: N(tau-1) = %v, want 4", n)
+	}
+	if n := ztNorm(ztNew(-1, 1), 1); n.Int64() != 2 {
+		t.Errorf("mu=+1: N(tau-1) = %v, want 2", n)
+	}
+}
+
+func TestTNAFDigitForm(t *testing.T) {
+	digits := tnaf(zTau{big.NewInt(123456789), big.NewInt(-987654)}, -1)
+	last := -10
+	for i, d := range digits {
+		if d != 0 && d != 1 && d != -1 {
+			t.Fatalf("digit %d out of range", d)
+		}
+		if d != 0 {
+			if i-last == 1 {
+				t.Fatalf("adjacent nonzero digits at %d", i)
+			}
+			last = i
+		}
+	}
+}
+
+func TestScalarMultTNAFMatchesReference(t *testing.T) {
+	for _, c := range []*Curve{K233(), K163(), K283()} {
+		rng := rand.New(rand.NewSource(int64(c.F.M())))
+		for trial := 0; trial < 4; trial++ {
+			k := new(big.Int).Rand(rng, c.Order)
+			want := c.ScalarBaseMult(k)
+			got, st, err := c.ScalarMultTNAFStats(k, c.Generator())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !c.Equal(got, want) {
+				t.Fatalf("%s: TNAF result differs from double-and-add (k=%v)", c, k)
+			}
+			// Partial reduction keeps the expansion near m digits and NAF
+			// density near 1/3.
+			if st.Digits > c.F.M()+12 {
+				t.Errorf("%s: %d digits for m=%d (reduction ineffective)", c, st.Digits, c.F.M())
+			}
+			if st.Adds > st.Digits/2 {
+				t.Errorf("%s: %d adds in %d digits (not NAF-sparse)", c, st.Adds, st.Digits)
+			}
+		}
+	}
+}
+
+func TestScalarMultTNAFEdgeCases(t *testing.T) {
+	c := K233()
+	g := c.Generator()
+	if p, _ := c.ScalarMultTNAF(big.NewInt(0), g); !p.Inf {
+		t.Error("0*G != infinity")
+	}
+	if p, _ := c.ScalarMultTNAF(big.NewInt(1), g); !c.Equal(p, g) {
+		t.Error("1*G != G")
+	}
+	if p, _ := c.ScalarMultTNAF(c.Order, g); !p.Inf {
+		t.Error("n*G != infinity")
+	}
+	if p, _ := c.ScalarMultTNAF(big.NewInt(7), Infinity()); !p.Inf {
+		t.Error("k*infinity != infinity")
+	}
+	// Non-Koblitz curves are rejected.
+	if _, err := B233().ScalarMultTNAF(big.NewInt(5), B233().Generator()); err == nil {
+		t.Error("B-233 accepted as Koblitz")
+	}
+}
+
+func TestTNAFEliminatesDoublings(t *testing.T) {
+	// The headline: zero point doublings; ~m cheap Frobenius maps and
+	// ~m/3 additions instead of m doublings + m/2 additions.
+	c := K233()
+	rng := rand.New(rand.NewSource(9))
+	k := new(big.Int).Rand(rng, c.Order)
+	_, st, err := c.ScalarMultTNAFStats(k, c.Generator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Frobenius == 0 || st.Adds == 0 {
+		t.Fatal("no work recorded")
+	}
+	t.Logf("K-233 TNAF: %d digits, %d adds, %d Frobenius maps (0 doublings; "+
+		"double-and-add needs ~232 doublings + ~116 adds)", st.Digits, st.Adds, st.Frobenius)
+}

@@ -1,0 +1,93 @@
+package ecc
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestWNAFDigitProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, w := range []uint{2, 3, 4, 5} {
+		for trial := 0; trial < 50; trial++ {
+			k := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 233))
+			if k.Sign() == 0 {
+				continue
+			}
+			digits := wnaf(k, w)
+			// Reconstruct: sum d_i * 2^i == k (digits are LSB-first).
+			sum := new(big.Int)
+			for i := len(digits) - 1; i >= 0; i-- {
+				sum.Lsh(sum, 1)
+				sum.Add(sum, big.NewInt(int64(digits[i])))
+			}
+			if sum.Cmp(k) != 0 {
+				t.Fatalf("w=%d: digits do not reconstruct k", w)
+			}
+			half := int8(1) << (w - 1)
+			lastNonzero := -100
+			for i, d := range digits {
+				if d == 0 {
+					continue
+				}
+				if d%2 == 0 || d >= half || d <= -half {
+					t.Fatalf("w=%d: digit %d out of form", w, d)
+				}
+				if i-lastNonzero < int(w) && lastNonzero >= 0 {
+					t.Fatalf("w=%d: nonzero digits %d apart", w, i-lastNonzero)
+				}
+				lastNonzero = i
+			}
+		}
+	}
+	if wnaf(big.NewInt(0), 4) != nil {
+		t.Error("wnaf(0) not empty")
+	}
+}
+
+func TestScalarMultWNAFMatches(t *testing.T) {
+	for _, c := range []*Curve{K233(), B163()} {
+		rng := rand.New(rand.NewSource(2))
+		for _, w := range []uint{2, 4, 6} {
+			k := new(big.Int).Rand(rng, c.Order)
+			want := c.ScalarBaseMult(k)
+			got := c.ScalarMultWNAF(k, c.Generator(), w)
+			if !c.Equal(got, want) {
+				t.Fatalf("%s w=%d: wNAF != double-and-add", c, w)
+			}
+		}
+		// Edge cases and clamping.
+		if !c.ScalarMultWNAF(big.NewInt(0), c.Generator(), 4).Inf {
+			t.Error("0*G != infinity")
+		}
+		if !c.ScalarMultWNAF(c.Order, c.Generator(), 1).Inf { // w clamps to 2
+			t.Error("n*G != infinity")
+		}
+		if !c.ScalarMultWNAF(big.NewInt(5), Infinity(), 9).Inf { // w clamps to 8
+			t.Error("k*infinity != infinity")
+		}
+	}
+}
+
+func TestWNAFReducesAdditions(t *testing.T) {
+	c := K233()
+	rng := rand.New(rand.NewSource(3))
+	k := new(big.Int).Rand(rng, c.Order)
+	_, st2 := c.ScalarMultWNAFStats(k, c.Generator(), 2) // plain NAF
+	_, st5 := c.ScalarMultWNAFStats(k, c.Generator(), 5)
+	// Window 5 should need far fewer main-loop additions (~233/6 = 39)
+	// than NAF (~233/3 = 78), at the cost of 7 precomputation adds.
+	if st5.Adds >= st2.Adds {
+		t.Errorf("w=5 adds (%d) not fewer than w=2 adds (%d)", st5.Adds, st2.Adds)
+	}
+	if st5.Precomp != 7 {
+		t.Errorf("w=5 precomputation adds = %d, want 7", st5.Precomp)
+	}
+	total2 := st2.Adds + st2.Precomp
+	total5 := st5.Adds + st5.Precomp
+	if total5 >= total2 {
+		t.Errorf("w=5 total adds (%d) not fewer than w=2 (%d)", total5, total2)
+	}
+	t.Logf("wNAF ablation on K-233: w=2 %d+%d adds, w=5 %d+%d adds, doubles ~%d",
+		st2.Adds, st2.Precomp, st5.Adds, st5.Precomp, st5.Doubles)
+}

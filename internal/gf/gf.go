@@ -1,0 +1,437 @@
+// Package gf implements arithmetic in small binary Galois fields GF(2^m)
+// for m = 1..16 with arbitrary irreducible polynomials.
+//
+// It is the mathematical substrate of the whole repository: the BCH and
+// Reed-Solomon codecs, the AES implementation, and the GF-processor
+// microarchitecture model are all expressed in terms of this package.
+//
+// A field element is represented by its polynomial-basis bit vector packed
+// into an Elem (uint16); bit i is the coefficient of x^i. Addition is
+// bitwise XOR. Multiplication is carry-free polynomial multiplication
+// followed by reduction modulo the field's irreducible polynomial, exactly
+// the decomposition the paper's compact multiplier uses (carryless multiplier
+// + linear-transform polynomial reduction).
+package gf
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Elem is an element of a binary field GF(2^m), m <= 16, in polynomial
+// basis: bit i holds the coefficient of x^i.
+type Elem uint16
+
+// MaxM is the largest supported extension degree.
+const MaxM = 16
+
+// MinM is the smallest supported extension degree.
+const MinM = 1
+
+// Field represents GF(2^m) with a specific irreducible polynomial.
+// The zero value is not usable; construct with New or MustNew.
+type Field struct {
+	m     int    // extension degree
+	poly  uint32 // irreducible polynomial including the x^m term
+	order int    // 2^m, number of field elements
+	n     int    // 2^m - 1, multiplicative group order
+
+	// exp/log tables relative to a fixed generator of the multiplicative
+	// group. exp has length 2n so products of logs index without a modulo.
+	exp []Elem
+	log []uint16
+
+	generator Elem // the generator the tables are built on
+	alphaIsX  bool // true when x itself is primitive (the common case)
+}
+
+// New constructs GF(2^m) using the given irreducible polynomial. The
+// polynomial must include its leading x^m term (e.g. 0x11B for the AES
+// field x^8+x^4+x^3+x+1, 0x25 for x^5+x^2+1). It returns an error if m is
+// out of range, the polynomial has the wrong degree, or it is reducible.
+func New(m int, poly uint32) (*Field, error) {
+	if m < MinM || m > MaxM {
+		return nil, fmt.Errorf("gf: extension degree m=%d out of range [%d,%d]", m, MinM, MaxM)
+	}
+	if deg := polyDegree(uint64(poly)); deg != m {
+		return nil, fmt.Errorf("gf: polynomial %#x has degree %d, want %d", poly, deg, m)
+	}
+	if !Irreducible(uint64(poly)) {
+		return nil, fmt.Errorf("gf: polynomial %#x is reducible", poly)
+	}
+	f := &Field{
+		m:     m,
+		poly:  poly,
+		order: 1 << m,
+		n:     1<<m - 1,
+	}
+	f.buildTables()
+	return f, nil
+}
+
+// MustNew is New but panics on error. Intended for package-level variables
+// and tests with known-good parameters.
+func MustNew(m int, poly uint32) *Field {
+	f, err := New(m, poly)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// DefaultPoly returns a conventional irreducible polynomial of degree m.
+// For m where a primitive trinomial/pentanomial is standard (e.g. CCSDS,
+// NIST) that polynomial is used. All returned polynomials are primitive
+// except none (every entry below is primitive).
+func DefaultPoly(m int) (uint32, error) {
+	// Conventional primitive polynomials, low degree terms chosen to match
+	// widespread coding-standard usage.
+	table := map[int]uint32{
+		1:  0x3,     // x + 1
+		2:  0x7,     // x^2+x+1
+		3:  0xB,     // x^3+x+1
+		4:  0x13,    // x^4+x+1
+		5:  0x25,    // x^5+x^2+1
+		6:  0x43,    // x^6+x+1
+		7:  0x89,    // x^7+x^3+1
+		8:  0x11D,   // x^8+x^4+x^3+x^2+1 (CCSDS / common RS(255) field)
+		9:  0x211,   // x^9+x^4+1
+		10: 0x409,   // x^10+x^3+1
+		11: 0x805,   // x^11+x^2+1
+		12: 0x1053,  // x^12+x^6+x^4+x+1
+		13: 0x201B,  // x^13+x^4+x^3+x+1
+		14: 0x4443,  // x^14+x^10+x^6+x+1
+		15: 0x8003,  // x^15+x+1
+		16: 0x1100B, // x^16+x^12+x^3+x+1
+	}
+	p, ok := table[m]
+	if !ok {
+		return 0, fmt.Errorf("gf: no default polynomial for m=%d", m)
+	}
+	return p, nil
+}
+
+// NewDefault constructs GF(2^m) with the conventional polynomial from
+// DefaultPoly.
+func NewDefault(m int) (*Field, error) {
+	p, err := DefaultPoly(m)
+	if err != nil {
+		return nil, err
+	}
+	return New(m, p)
+}
+
+// MustDefault is NewDefault but panics on error.
+func MustDefault(m int) *Field {
+	f, err := NewDefault(m)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// AES is the AES field GF(2^8) with polynomial x^8+x^4+x^3+x+1 (0x11B).
+// Note 0x11B is irreducible but NOT primitive; the package finds a group
+// generator automatically (0x03 generates the AES field).
+func AES() *Field { return MustNew(8, 0x11B) }
+
+// M returns the extension degree m.
+func (f *Field) M() int { return f.m }
+
+// Poly returns the irreducible polynomial, including the x^m term.
+func (f *Field) Poly() uint32 { return f.poly }
+
+// Order returns the number of field elements, 2^m.
+func (f *Field) Order() int { return f.order }
+
+// N returns the multiplicative group order 2^m - 1 (also the natural
+// codeword length of codes built on this field).
+func (f *Field) N() int { return f.n }
+
+// Generator returns the multiplicative-group generator used by the
+// exp/log tables. It is x (0b10) whenever x is primitive for the chosen
+// polynomial.
+func (f *Field) Generator() Elem { return f.generator }
+
+// GeneratorIsX reports whether the polynomial is primitive, i.e. x itself
+// generates the multiplicative group.
+func (f *Field) GeneratorIsX() bool { return f.alphaIsX }
+
+// Valid reports whether a is a valid element of this field (fits in m bits).
+func (f *Field) Valid(a Elem) bool { return int(a) < f.order }
+
+func (f *Field) buildTables() {
+	// Find a generator: prefer x; otherwise scan.
+	gen := Elem(2)
+	if f.m == 1 {
+		gen = 1
+	}
+	if !f.isGenerator(gen) {
+		gen = 0
+		for c := 2; c < f.order; c++ {
+			if f.isGenerator(Elem(c)) {
+				gen = Elem(c)
+				break
+			}
+		}
+		if gen == 0 {
+			gen = 1 // m==1 degenerate case
+		}
+	}
+	f.generator = gen
+	f.alphaIsX = f.m == 1 || gen == 2
+
+	f.exp = make([]Elem, 2*f.n)
+	f.log = make([]uint16, f.order)
+	v := Elem(1)
+	for i := 0; i < f.n; i++ {
+		f.exp[i] = v
+		f.exp[i+f.n] = v
+		f.log[v] = uint16(i)
+		v = f.mulNoTable(v, gen)
+	}
+	if v != 1 {
+		// isGenerator guarantees this cannot happen.
+		panic("gf: generator order mismatch")
+	}
+}
+
+// isGenerator reports whether g has multiplicative order 2^m-1, testing
+// g^((2^m-1)/p) != 1 for every prime p dividing 2^m-1.
+func (f *Field) isGenerator(g Elem) bool {
+	if g == 0 {
+		return false
+	}
+	if f.n == 1 {
+		return g == 1
+	}
+	for _, p := range primeFactors(uint64(f.n)) {
+		if f.powNoTable(g, f.n/int(p)) == 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns a + b = a XOR b. Addition and subtraction coincide in
+// characteristic 2.
+func (f *Field) Add(a, b Elem) Elem { return a ^ b }
+
+// Sub returns a - b, identical to Add in GF(2^m).
+func (f *Field) Sub(a, b Elem) Elem { return a ^ b }
+
+// Mul returns the product a*b using the log/antilog tables (the software
+// technique the paper's M0+ baseline uses).
+func (f *Field) Mul(a, b Elem) Elem {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[int(f.log[a])+int(f.log[b])]
+}
+
+// MulNoTable returns a*b by carry-free multiplication followed by modular
+// reduction — the datapath the paper's hardware multiplier implements.
+// It must always agree with Mul.
+func (f *Field) MulNoTable(a, b Elem) Elem { return f.mulNoTable(a, b) }
+
+func (f *Field) mulNoTable(a, b Elem) Elem {
+	c := CarrylessMul(uint32(a), uint32(b))
+	return Elem(ReducePoly(c, uint64(f.poly)))
+}
+
+// Sqr returns a^2. Squaring in GF(2^m) is linear: the full product merely
+// interleaves the input bits with zeros before reduction (paper Fig. 5c).
+func (f *Field) Sqr(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	l := 2 * int(f.log[a])
+	if l >= f.n {
+		l -= f.n
+	}
+	return f.exp[l]
+}
+
+// SqrNoTable squares via bit spreading and reduction, mirroring the
+// hardware square primitive.
+func (f *Field) SqrNoTable(a Elem) Elem {
+	return Elem(ReducePoly(spreadBits(uint32(a)), uint64(f.poly)))
+}
+
+// Div returns a/b. It panics if b == 0.
+func (f *Field) Div(a, b Elem) Elem {
+	if b == 0 {
+		panic("gf: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	d := int(f.log[a]) - int(f.log[b])
+	if d < 0 {
+		d += f.n
+	}
+	return f.exp[d]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a == 0.
+// This is the table-based route; see InvITA and InvEuclid for the
+// hardware-style and Euclid-style computations.
+func (f *Field) Inv(a Elem) Elem {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	return f.exp[f.n-int(f.log[a])]
+}
+
+// Pow returns a^e for e >= 0 (a^0 == 1, including 0^0 == 1 by convention;
+// 0^e == 0 for e > 0). Negative exponents are reduced modulo 2^m-1 after
+// inversion.
+func (f *Field) Pow(a Elem, e int) Elem {
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	le := (int(f.log[a]) * (e % f.n)) % f.n
+	if le < 0 {
+		le += f.n
+	}
+	return f.exp[le]
+}
+
+func (f *Field) powNoTable(a Elem, e int) Elem {
+	r := Elem(1)
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			r = f.mulNoTable(r, base)
+		}
+		base = f.mulNoTable(base, base)
+		e >>= 1
+	}
+	return r
+}
+
+// Exp returns g^i where g is the table generator; i is taken modulo 2^m-1.
+func (f *Field) Exp(i int) Elem {
+	i %= f.n
+	if i < 0 {
+		i += f.n
+	}
+	return f.exp[i]
+}
+
+// Log returns the discrete logarithm of a to the table generator.
+// It panics if a == 0, which has no logarithm.
+func (f *Field) Log(a Elem) int {
+	if a == 0 {
+		panic("gf: log of zero")
+	}
+	return int(f.log[a])
+}
+
+// Alpha returns the primitive element used as α by the coding layers:
+// the table generator (x when the polynomial is primitive).
+func (f *Field) Alpha() Elem { return f.generator }
+
+// AlphaPow returns α^i, the standard notation in BCH/RS constructions.
+func (f *Field) AlphaPow(i int) Elem { return f.Exp(i) }
+
+// String implements fmt.Stringer.
+func (f *Field) String() string {
+	return fmt.Sprintf("GF(2^%d)/%s", f.m, PolyString(uint64(f.poly)))
+}
+
+// CarrylessMul returns the GF(2) polynomial product of a and b: a full
+// (2m-1)-bit product with XOR accumulation and no carries. This is the
+// "carryless multiplier" stage of the paper's compact multiplier and the
+// functional model of the gf32bMult instruction for 32-bit operands.
+func CarrylessMul(a, b uint32) uint64 {
+	var r uint64
+	bb := uint64(b)
+	for a != 0 {
+		i := bits.TrailingZeros32(a)
+		r ^= bb << i
+		a &= a - 1
+	}
+	return r
+}
+
+// ReducePoly reduces the carry-free product c modulo the polynomial p
+// (with leading term included). It is the functional model of the paper's
+// polynomial-reduction linear transform.
+func ReducePoly(c uint64, p uint64) uint64 {
+	dp := polyDegree(p)
+	for d := polyDegree(c); d >= dp && c != 0; d = polyDegree(c) {
+		c ^= p << (d - dp)
+	}
+	return c
+}
+
+// spreadBits inserts a zero bit after every bit of a: the full product of a
+// square (paper Fig. 5c).
+func spreadBits(a uint32) uint64 {
+	var r uint64
+	for i := 0; i < 32 && a>>i != 0; i++ {
+		if a>>i&1 == 1 {
+			r |= 1 << (2 * i)
+		}
+	}
+	return r
+}
+
+// SpreadBits exposes the square-spreading transform for the hardware model.
+func SpreadBits(a uint32) uint64 { return spreadBits(a) }
+
+func polyDegree(p uint64) int {
+	if p == 0 {
+		return -1
+	}
+	return 63 - bits.LeadingZeros64(p)
+}
+
+// PolyDegree returns the degree of the GF(2) polynomial p, or -1 for p == 0.
+func PolyDegree(p uint64) int { return polyDegree(p) }
+
+// PolyString renders a GF(2) polynomial such as 0x13 as "x^4+x+1".
+func PolyString(p uint64) string {
+	if p == 0 {
+		return "0"
+	}
+	s := ""
+	for d := polyDegree(p); d >= 0; d-- {
+		if p>>uint(d)&1 == 0 {
+			continue
+		}
+		if s != "" {
+			s += "+"
+		}
+		switch d {
+		case 0:
+			s += "1"
+		case 1:
+			s += "x"
+		default:
+			s += fmt.Sprintf("x^%d", d)
+		}
+	}
+	return s
+}
+
+// primeFactors returns the distinct prime factors of n in increasing order.
+func primeFactors(n uint64) []uint64 {
+	var fs []uint64
+	for p := uint64(2); p*p <= n; p++ {
+		if n%p == 0 {
+			fs = append(fs, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}

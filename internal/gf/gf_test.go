@@ -1,0 +1,428 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// allFields returns one default field per supported degree plus the AES
+// field, covering both primitive and non-primitive polynomials.
+func allFields(t *testing.T) []*Field {
+	t.Helper()
+	var fs []*Field
+	for m := 2; m <= MaxM; m++ {
+		fs = append(fs, MustDefault(m))
+	}
+	fs = append(fs, AES())
+	return fs
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0x3); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := New(17, 0x3); err == nil {
+		t.Error("m=17 accepted")
+	}
+	if _, err := New(4, 0x13<<1); err == nil {
+		t.Error("degree mismatch accepted")
+	}
+	if _, err := New(4, 0x1F); err != nil { // x^4+x^3+x^2+x+1 is irreducible (5th cyclotomic)
+		t.Errorf("0x1F rejected: %v; it is irreducible of degree 4", err)
+	}
+	if _, err := New(4, 0x11); err == nil { // x^4+1 = (x+1)^4 reducible
+		t.Error("reducible x^4+1 accepted")
+	}
+}
+
+func TestDefaultPolysArePrimitive(t *testing.T) {
+	for m := 1; m <= MaxM; m++ {
+		p, err := DefaultPoly(m)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if !Irreducible(uint64(p)) {
+			t.Errorf("m=%d default poly %#x not irreducible", m, p)
+		}
+		if !Primitive(uint64(p)) {
+			t.Errorf("m=%d default poly %#x not primitive", m, p)
+		}
+	}
+}
+
+func TestAESFieldNotPrimitiveButIrreducible(t *testing.T) {
+	if !Irreducible(0x11B) {
+		t.Fatal("AES poly must be irreducible")
+	}
+	if Primitive(0x11B) {
+		t.Fatal("AES poly must not be primitive (x has order 51)")
+	}
+	f := AES()
+	if f.GeneratorIsX() {
+		t.Fatal("AES field generator should not be x")
+	}
+	if f.Generator() != 0x03 {
+		t.Fatalf("AES generator = %#x, want 0x03", f.Generator())
+	}
+}
+
+func TestKnownAESProducts(t *testing.T) {
+	// Classic worked example: {53} * {CA} = {01} in the AES field.
+	f := AES()
+	cases := []struct{ a, b, want Elem }{
+		{0x53, 0xCA, 0x01},
+		{0x02, 0x87, 0x15}, // xtime over the reduction boundary: 0x87<<1 ^ 0x11B = 0x15
+		{0x03, 0x6E, 0xB2},
+		{0x57, 0x83, 0xC1}, // FIPS-197 worked example
+		{0x00, 0xFF, 0x00},
+		{0x01, 0xFF, 0xFF},
+	}
+	for _, c := range cases {
+		if got := f.Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%#x,%#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+		if got := f.MulNoTable(c.a, c.b); got != c.want {
+			t.Errorf("MulNoTable(%#x,%#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulAgreesWithMulNoTable(t *testing.T) {
+	for _, f := range allFields(t) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 2000; i++ {
+			a := Elem(rng.Intn(f.Order()))
+			b := Elem(rng.Intn(f.Order()))
+			if f.Mul(a, b) != f.MulNoTable(a, b) {
+				t.Fatalf("%v: Mul(%#x,%#x) != MulNoTable", f, a, b)
+			}
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	// Exhaustive for small fields, sampled for large.
+	for _, f := range []*Field{MustDefault(2), MustDefault(3), MustDefault(4), MustDefault(5), AES()} {
+		n := f.Order()
+		one := Elem(1)
+		for a := 0; a < n; a++ {
+			ea := Elem(a)
+			if f.Mul(ea, one) != ea {
+				t.Fatalf("%v: %#x*1 != %#x", f, a, a)
+			}
+			if f.Add(ea, ea) != 0 {
+				t.Fatalf("%v: a+a != 0", f)
+			}
+			if ea != 0 {
+				if f.Mul(ea, f.Inv(ea)) != one {
+					t.Fatalf("%v: a*a^-1 != 1 for %#x", f, a)
+				}
+			}
+			for b := 0; b < n; b++ {
+				eb := Elem(b)
+				if f.Mul(ea, eb) != f.Mul(eb, ea) {
+					t.Fatalf("%v: commutativity fails", f)
+				}
+			}
+		}
+	}
+}
+
+func TestDistributivityQuick(t *testing.T) {
+	for _, f := range allFields(t) {
+		f := f
+		mask := Elem(f.Order() - 1)
+		prop := func(a, b, c Elem) bool {
+			a, b, c = a&mask, b&mask, c&mask
+			return f.Mul(a, f.Add(b, c)) == f.Add(f.Mul(a, b), f.Mul(a, c))
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%v: %v", f, err)
+		}
+	}
+}
+
+func TestAssociativityQuick(t *testing.T) {
+	for _, f := range allFields(t) {
+		f := f
+		mask := Elem(f.Order() - 1)
+		prop := func(a, b, c Elem) bool {
+			a, b, c = a&mask, b&mask, c&mask
+			return f.Mul(a, f.Mul(b, c)) == f.Mul(f.Mul(a, b), c)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%v: %v", f, err)
+		}
+	}
+}
+
+func TestSqrMatchesMul(t *testing.T) {
+	for _, f := range allFields(t) {
+		for a := 0; a < f.Order(); a++ {
+			ea := Elem(a)
+			want := f.Mul(ea, ea)
+			if got := f.Sqr(ea); got != want {
+				t.Fatalf("%v: Sqr(%#x) = %#x want %#x", f, a, got, want)
+			}
+			if got := f.SqrNoTable(ea); got != want {
+				t.Fatalf("%v: SqrNoTable(%#x) = %#x want %#x", f, a, got, want)
+			}
+		}
+	}
+}
+
+func TestSquareIsLinear(t *testing.T) {
+	// Frobenius: (a+b)^2 == a^2 + b^2, the property that makes the square
+	// primitive so much cheaper than the multiplier.
+	for _, f := range allFields(t) {
+		f := f
+		mask := Elem(f.Order() - 1)
+		prop := func(a, b Elem) bool {
+			a, b = a&mask, b&mask
+			return f.Sqr(f.Add(a, b)) == f.Add(f.Sqr(a), f.Sqr(b))
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%v: %v", f, err)
+		}
+	}
+}
+
+func TestInverseVariantsAgree(t *testing.T) {
+	for _, f := range allFields(t) {
+		for a := 1; a < f.Order(); a++ {
+			ea := Elem(a)
+			want := f.Inv(ea)
+			if got := f.InvITA(ea); got != want {
+				t.Fatalf("%v: InvITA(%#x) = %#x want %#x", f, a, got, want)
+			}
+			if got := f.InvEuclid(ea); got != want {
+				t.Fatalf("%v: InvEuclid(%#x) = %#x want %#x", f, a, got, want)
+			}
+			if got := f.InvFermat(ea); got != want {
+				t.Fatalf("%v: InvFermat(%#x) = %#x want %#x", f, a, got, want)
+			}
+		}
+	}
+}
+
+func TestInverseOfZeroPanics(t *testing.T) {
+	f := MustDefault(8)
+	for name, fn := range map[string]func(){
+		"Inv":       func() { f.Inv(0) },
+		"InvITA":    func() { f.InvITA(0) },
+		"InvEuclid": func() { f.InvEuclid(0) },
+		"Div":       func() { f.Div(1, 0) },
+		"Log":       func() { f.Log(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(0) did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestITAOpCounts(t *testing.T) {
+	// The paper wires the m=8 single-cycle inverse as 4 multiplications and
+	// 7 squares (Section 2.4.3). Verify that our chain matches, and that no
+	// supported field needs more than the 16 mult / 28 square primitives of
+	// the SIMD datapath (4 lanes x 4 muls, 4 lanes x 7 squares).
+	counts := map[int]ITATrace{}
+	for m := 2; m <= 8; m++ {
+		f := MustDefault(m)
+		_, tr := f.InvITAOps(Elem(3))
+		counts[m] = tr
+		if tr.Muls > 4 || tr.Squares > 7 {
+			t.Errorf("m=%d ITA uses %d muls %d squares, exceeds paper datapath (4,7)", m, tr.Muls, tr.Squares)
+		}
+	}
+	if counts[8].Muls != 4 || counts[8].Squares != 7 {
+		t.Errorf("m=8 ITA = %+v, paper specifies 4 muls + 7 squares", counts[8])
+	}
+}
+
+func TestPowConsistency(t *testing.T) {
+	f := MustDefault(6)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		a := Elem(rng.Intn(f.Order()))
+		e := rng.Intn(200)
+		want := Elem(1)
+		for j := 0; j < e; j++ {
+			want = f.Mul(want, a)
+		}
+		if got := f.Pow(a, e); got != want {
+			t.Fatalf("Pow(%#x,%d) = %#x want %#x", a, e, got, want)
+		}
+	}
+	if f.Pow(0, 0) != 1 {
+		t.Error("0^0 != 1")
+	}
+	if f.Pow(0, 5) != 0 {
+		t.Error("0^5 != 0")
+	}
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for _, f := range allFields(t) {
+		for a := 1; a < f.Order(); a++ {
+			if f.Exp(f.Log(Elem(a))) != Elem(a) {
+				t.Fatalf("%v: exp(log(%#x)) mismatch", f, a)
+			}
+		}
+		if f.Exp(-1) != f.Exp(f.N()-1) {
+			t.Errorf("%v: negative Exp index not wrapped", f)
+		}
+	}
+}
+
+func TestGeneratorOrder(t *testing.T) {
+	for _, f := range allFields(t) {
+		g := f.Generator()
+		seen := map[Elem]bool{}
+		v := Elem(1)
+		for i := 0; i < f.N(); i++ {
+			if seen[v] {
+				t.Fatalf("%v: generator %#x has order < %d", f, g, f.N())
+			}
+			seen[v] = true
+			v = f.Mul(v, g)
+		}
+		if v != 1 {
+			t.Fatalf("%v: generator %#x order != %d", f, g, f.N())
+		}
+	}
+}
+
+func TestCarrylessMulProperties(t *testing.T) {
+	prop := func(a, b uint16) bool {
+		// Commutative and degree-additive.
+		x, y := uint32(a), uint32(b)
+		p := CarrylessMul(x, y)
+		if p != CarrylessMul(y, x) {
+			return false
+		}
+		if a != 0 && b != 0 {
+			if PolyDegree(p) != PolyDegree(uint64(a))+PolyDegree(uint64(b)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	if CarrylessMul(0b101, 0b11) != 0b1111 {
+		t.Error("(x^2+1)(x+1) != x^3+x^2+x+1")
+	}
+}
+
+func TestReduceWithMatrixEquivalence(t *testing.T) {
+	// The hardware reduces with the P-matrix linear transform; it must equal
+	// direct polynomial reduction for every product, for every irreducible
+	// polynomial of every supported small degree. This is the correctness
+	// core of the paper's configurable multiplier.
+	for m := 2; m <= 8; m++ {
+		for _, p := range IrreduciblePolys(m) {
+			rows := ReductionMatrix(p)
+			if len(rows) != m-1 {
+				t.Fatalf("m=%d poly=%#x: %d rows, want %d", m, p, len(rows), m-1)
+			}
+			for a := 0; a < 1<<m; a++ {
+				for b := 0; b < 1<<m; b++ {
+					c := CarrylessMul(uint32(a), uint32(b))
+					want := uint32(ReducePoly(c, uint64(p)))
+					got := ReduceWithMatrix(c, rows, m)
+					if got != want {
+						t.Fatalf("m=%d poly=%#x: reduce(%#x*%#x) matrix=%#x direct=%#x", m, p, a, b, got, want)
+					}
+				}
+				if m >= 7 && a > 64 {
+					break // keep exhaustive cost bounded for big fields
+				}
+			}
+		}
+	}
+}
+
+func TestIrreduciblePolyCounts(t *testing.T) {
+	// Known counts of monic irreducible polynomials over GF(2):
+	// degree: 2->1, 3->2, 4->3, 5->6, 6->9, 7->18, 8->30.
+	want := map[int]int{2: 1, 3: 2, 4: 3, 5: 6, 6: 9, 7: 18, 8: 30}
+	for m, w := range want {
+		if got := len(IrreduciblePolys(m)); got != w {
+			t.Errorf("deg %d: %d irreducible polys, want %d", m, got, w)
+		}
+	}
+	// Known primitive counts: phi(2^m-1)/m: 2->1, 3->2, 4->2, 5->6, 6->6, 7->18, 8->16.
+	wantP := map[int]int{2: 1, 3: 2, 4: 2, 5: 6, 6: 6, 7: 18, 8: 16}
+	for m, w := range wantP {
+		if got := len(PrimitivePolys(m)); got != w {
+			t.Errorf("deg %d: %d primitive polys, want %d", m, got, w)
+		}
+	}
+}
+
+func TestEveryIrreduciblePolyMakesAField(t *testing.T) {
+	// The paper's headline flexibility: arbitrary irreducible polynomials for
+	// m in 2..8. Construct every such field and sanity-check inverses.
+	for m := 2; m <= 8; m++ {
+		for _, p := range IrreduciblePolys(m) {
+			f, err := New(m, p)
+			if err != nil {
+				t.Fatalf("m=%d poly=%#x: %v", m, p, err)
+			}
+			for a := 1; a < f.Order(); a += 7 {
+				if f.Mul(Elem(a), f.Inv(Elem(a))) != 1 {
+					t.Fatalf("%v: inverse broken for %#x", f, a)
+				}
+			}
+		}
+	}
+}
+
+func TestPolyString(t *testing.T) {
+	cases := map[uint64]string{
+		0:     "0",
+		1:     "1",
+		2:     "x",
+		0x13:  "x^4+x+1",
+		0x11B: "x^8+x^4+x^3+x+1",
+	}
+	for p, want := range cases {
+		if got := PolyString(p); got != want {
+			t.Errorf("PolyString(%#x) = %q want %q", p, got, want)
+		}
+	}
+}
+
+func TestSpreadBits(t *testing.T) {
+	if SpreadBits(0b1011) != 0b1000101 {
+		t.Errorf("SpreadBits(0b1011) = %b", SpreadBits(0b1011))
+	}
+	// Squaring via spread+reduce equals Mul(a,a) — covered in TestSqrMatchesMul,
+	// here check the raw spread against shift arithmetic.
+	for a := uint32(0); a < 256; a++ {
+		if SpreadBits(a) != CarrylessMul(a, a) {
+			t.Fatalf("spread(%#x) != clmul(a,a)", a)
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	f := MustDefault(5)
+	if !f.Valid(31) || f.Valid(32) {
+		t.Error("Valid boundary wrong for m=5")
+	}
+}
+
+func TestFieldStringer(t *testing.T) {
+	f := MustDefault(4)
+	if f.String() != "GF(2^4)/x^4+x+1" {
+		t.Errorf("String() = %q", f.String())
+	}
+}

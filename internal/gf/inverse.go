@@ -1,0 +1,111 @@
+package gf
+
+// Alternative multiplicative-inverse computations. The paper's hardware
+// realizes inversion with the Itoh-Tsujii algorithm (ITA) by chaining the
+// multiplier and square primitives (Fig. 6: 4 multiplications + 7 squares
+// for m = 8); InvITA mirrors that computation and InvITAOps reports the
+// primitive-operation counts so the microarchitecture model can check its
+// wiring. InvEuclid implements the systolic-Euclid alternative the paper
+// compares against in Table 4.
+
+// ITATrace records the number of primitive multiplications and squarings an
+// Itoh-Tsujii inversion performs, matching the hardware unit usage.
+type ITATrace struct {
+	Muls    int // multiplier primitives consumed
+	Squares int // square primitives consumed
+}
+
+// InvITA computes a^-1 with the Itoh-Tsujii algorithm:
+//
+//	a^-1 = a^(2^m - 2) = (a^(2^(m-1) - 1))^2
+//
+// where a^(2^(m-1)-1) is built with an addition chain on m-1 using the
+// identity β_{j+k} = β_j^(2^k) · β_k with β_e = a^(2^e - 1).
+// It panics if a == 0.
+func (f *Field) InvITA(a Elem) Elem {
+	inv, _ := f.InvITAOps(a)
+	return inv
+}
+
+// InvITAOps is InvITA, additionally returning the primitive-unit usage.
+// For m = 8 the trace is exactly 4 multiplications and 7 squares, the
+// numbers the paper wires into the single-cycle SIMD inverse instruction.
+func (f *Field) InvITAOps(a Elem) (Elem, ITATrace) {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	var tr ITATrace
+	if f.m == 1 {
+		return 1, tr
+	}
+	sq := func(x Elem, k int) Elem {
+		for i := 0; i < k; i++ {
+			x = f.SqrNoTable(x)
+			tr.Squares++
+		}
+		return x
+	}
+	mul := func(x, y Elem) Elem {
+		tr.Muls++
+		return f.MulNoTable(x, y)
+	}
+
+	// Addition chain on e = m-1 by the binary (left-to-right) method:
+	// beta_e = a^(2^e - 1).
+	e := f.m - 1
+	// Find the highest set bit of e and descend.
+	hb := 0
+	for i := 15; i >= 0; i-- {
+		if e>>i&1 == 1 {
+			hb = i
+			break
+		}
+	}
+	beta := a // beta = a^(2^cur - 1)
+	cur := 1  // current chain exponent
+	for i := hb - 1; i >= 0; i-- {
+		// Double: beta_{2cur} = beta_cur^(2^cur) * beta_cur
+		beta = mul(sq(beta, cur), beta)
+		cur *= 2
+		if e>>i&1 == 1 {
+			// Add one: beta_{cur+1} = beta_cur^2 * a
+			beta = mul(sq(beta, 1), a)
+			cur++
+		}
+	}
+	// a^-1 = beta^2.
+	return sq(beta, 1), tr
+}
+
+// InvFermat computes a^-1 = a^(2^m - 2) by plain square-and-multiply,
+// the naive route the paper rejects as "a large power depending on m".
+func (f *Field) InvFermat(a Elem) Elem {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	return f.powNoTable(a, f.order-2)
+}
+
+// InvEuclid computes a^-1 with the binary extended Euclidean algorithm over
+// GF(2)[x], the algorithmic basis of the systolic dividers the paper
+// compares against (Table 4). It panics if a == 0.
+func (f *Field) InvEuclid(a Elem) Elem {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	// Standard extended Euclid on (a, p): find u with a*u == 1 mod p.
+	r0, r1 := uint64(f.poly), uint64(a)
+	s0, s1 := uint64(0), uint64(1)
+	for r1 != 0 {
+		d := polyDegree(r0) - polyDegree(r1)
+		if d < 0 {
+			r0, r1 = r1, r0
+			s0, s1 = s1, s0
+			continue
+		}
+		r0 ^= r1 << d
+		s0 ^= s1 << d
+	}
+	// r0 == gcd == 1 since p is irreducible and a != 0.
+	return Elem(ReducePoly(s0, uint64(f.poly)))
+}

@@ -1,0 +1,139 @@
+package gf
+
+// This file implements polynomial arithmetic over GF(2) on packed uint64
+// coefficient vectors, used for irreducibility and primitivity testing and
+// for enumerating candidate field polynomials. Degrees are limited to 32,
+// far above the m <= 16 fields this package constructs, so intermediate
+// products fit in uint64.
+
+// polyMulMod returns a*b mod p for GF(2) polynomials packed in uint64,
+// deg(p) <= 32.
+func polyMulMod(a, b, p uint64) uint64 {
+	var r uint64
+	for b != 0 {
+		if b&1 == 1 {
+			r ^= a
+		}
+		b >>= 1
+		a <<= 1
+		if polyDegree(a) == polyDegree(p) {
+			a ^= p
+		}
+	}
+	return ReducePoly(r, p)
+}
+
+// polyPowMod returns a^e mod p over GF(2).
+func polyPowMod(a uint64, e uint64, p uint64) uint64 {
+	r := uint64(1)
+	a = ReducePoly(a, p)
+	for e > 0 {
+		if e&1 == 1 {
+			r = polyMulMod(r, a, p)
+		}
+		a = polyMulMod(a, a, p)
+		e >>= 1
+	}
+	return r
+}
+
+// polyGCD returns gcd(a, b) of GF(2) polynomials.
+func polyGCD(a, b uint64) uint64 {
+	for b != 0 {
+		da, db := polyDegree(a), polyDegree(b)
+		if da < db {
+			a, b = b, a
+			continue
+		}
+		a ^= b << (da - db)
+	}
+	return a
+}
+
+// Irreducible reports whether the GF(2) polynomial p (degree 1..32) is
+// irreducible, using the Rabin test: p of degree m is irreducible iff
+// x^(2^m) == x (mod p) and gcd(x^(2^(m/q)) - x, p) == 1 for every prime q
+// dividing m.
+func Irreducible(p uint64) bool {
+	m := polyDegree(p)
+	if m <= 0 {
+		return false
+	}
+	if m == 1 {
+		return true
+	}
+	if p&1 == 0 {
+		return false // divisible by x
+	}
+	// x^(2^m) mod p must equal x.
+	t := uint64(2) // the polynomial x
+	for i := 0; i < m; i++ {
+		t = polyMulMod(t, t, p)
+	}
+	if t != 2 {
+		return false
+	}
+	for _, q := range primeFactors(uint64(m)) {
+		// u = x^(2^(m/q)) mod p
+		u := uint64(2)
+		for i := 0; i < m/int(q); i++ {
+			u = polyMulMod(u, u, p)
+		}
+		if polyGCD(u^2, p) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Primitive reports whether the irreducible polynomial p of degree m is
+// primitive, i.e. whether x generates the multiplicative group of
+// GF(2)[x]/(p). It returns false for reducible p.
+func Primitive(p uint64) bool {
+	m := polyDegree(p)
+	if m < 1 || m > MaxM {
+		return false
+	}
+	if !Irreducible(p) {
+		return false
+	}
+	n := uint64(1)<<m - 1
+	if n == 1 {
+		return true
+	}
+	for _, q := range primeFactors(n) {
+		if polyPowMod(2, n/q, p) == 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// IrreduciblePolys enumerates all irreducible polynomials of degree m
+// (including the leading x^m term), in increasing numeric order. For m = 8
+// this returns 30 polynomials; the paper's flexibility claim is that the
+// hardware supports every one of them via the configuration register.
+func IrreduciblePolys(m int) []uint32 {
+	if m < MinM || m > MaxM {
+		return nil
+	}
+	var out []uint32
+	lo := uint64(1) << m
+	for p := lo | 1; p < lo<<1; p += 2 {
+		if Irreducible(p) {
+			out = append(out, uint32(p))
+		}
+	}
+	return out
+}
+
+// PrimitivePolys enumerates all primitive polynomials of degree m.
+func PrimitivePolys(m int) []uint32 {
+	var out []uint32
+	for _, p := range IrreduciblePolys(m) {
+		if Primitive(uint64(p)) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

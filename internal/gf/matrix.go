@@ -1,0 +1,46 @@
+package gf
+
+// Reduction-matrix support for the paper's polynomial-reduction module
+// (Section 2.4.1). A carry-free product of two m-bit operands has 2m-1
+// bits c_0..c_{2m-2}. The low m bits pass through; each high bit c_{m+i}
+// contributes x^(m+i) mod p(x), a fixed m-bit pattern. Collecting those
+// patterns row-wise gives the (m-1) x m reduction matrix P, which the
+// hardware stores in its centralized configuration register. Reduction is
+// then the GF(2) matrix-vector product
+//
+//	result = c_low XOR P^T · c_high
+//
+// For the default 8-bit datapath P is the "8-by-7 matrix" of Fig. 5 (seven
+// high product bits, eight result columns).
+
+// ReductionMatrix returns the rows of P for the irreducible polynomial p of
+// degree m: row i (i = 0..m-2) is the bit pattern of x^(m+i) mod p, packed
+// into a uint32 with bit j = coefficient of x^j.
+func ReductionMatrix(p uint32) []uint32 {
+	m := polyDegree(uint64(p))
+	if m < 1 {
+		return nil
+	}
+	rows := make([]uint32, m-1)
+	for i := 0; i < m-1; i++ {
+		rows[i] = uint32(ReducePoly(uint64(1)<<(m+i), uint64(p)))
+	}
+	return rows
+}
+
+// ReduceWithMatrix reduces the carry-free product c (up to 2m-1 bits) using
+// the precomputed reduction matrix for a degree-m polynomial. It is the
+// functional model of the hardware linear-transform reduction and must agree
+// with ReducePoly for every valid product.
+func ReduceWithMatrix(c uint64, rows []uint32, m int) uint32 {
+	mask := uint32(1)<<m - 1
+	r := uint32(c) & mask
+	high := c >> m
+	for i := 0; i < len(rows) && high != 0; i++ {
+		if high&1 == 1 {
+			r ^= rows[i]
+		}
+		high >>= 1
+	}
+	return r
+}

@@ -1,0 +1,64 @@
+package gf
+
+// MinimalPolynomial returns the minimal polynomial of a over GF(2): the
+// lowest-degree binary polynomial with a as a root, computed as the
+// product of (x - c) over the conjugacy class {a, a^2, a^4, ...}.
+// The result is packed with bit i = coefficient of x^i (leading term
+// included). MinimalPolynomial(f, 0) returns x (0b10).
+//
+// This is the construction behind BCH generator polynomials (the LCM of
+// minimal polynomials of consecutive powers of alpha) and behind the
+// field-polynomial table itself: the minimal polynomial of a primitive
+// element is a primitive polynomial of degree m.
+func MinimalPolynomial(f *Field, a Elem) uint32 {
+	if a == 0 {
+		return 0b10 // x
+	}
+	// Collect the conjugacy class.
+	var conj []Elem
+	c := a
+	for {
+		conj = append(conj, c)
+		c = f.Sqr(c)
+		if c == a {
+			break
+		}
+	}
+	// Multiply out prod (x + c_j) with coefficients in the field; the
+	// result's coefficients are guaranteed to land in GF(2).
+	coeffs := make([]Elem, 1, len(conj)+1)
+	coeffs[0] = 1
+	for _, r := range conj {
+		next := make([]Elem, len(coeffs)+1)
+		for i, v := range coeffs {
+			next[i+1] ^= v         // x * p(x)
+			next[i] ^= f.Mul(v, r) // r * p(x)
+		}
+		coeffs = next
+	}
+	var p uint32
+	for i, v := range coeffs {
+		if v > 1 {
+			panic("gf: minimal polynomial has non-binary coefficient")
+		}
+		p |= uint32(v) << i
+	}
+	return p
+}
+
+// ConjugacyClass returns {a, a^2, a^4, ...}, the Frobenius orbit of a.
+func ConjugacyClass(f *Field, a Elem) []Elem {
+	if a == 0 {
+		return []Elem{0}
+	}
+	var conj []Elem
+	c := a
+	for {
+		conj = append(conj, c)
+		c = f.Sqr(c)
+		if c == a {
+			break
+		}
+	}
+	return conj
+}

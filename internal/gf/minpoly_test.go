@@ -1,0 +1,77 @@
+package gf
+
+import "testing"
+
+func TestMinimalPolynomialOfPrimitiveElement(t *testing.T) {
+	// The minimal polynomial of alpha (= x, when the field polynomial is
+	// primitive) is the field polynomial itself.
+	for m := 2; m <= 10; m++ {
+		f := MustDefault(m)
+		if got := MinimalPolynomial(f, f.Alpha()); got != f.Poly() {
+			t.Errorf("m=%d: minpoly(alpha) = %#x, want %#x", m, got, f.Poly())
+		}
+	}
+}
+
+func TestMinimalPolynomialProperties(t *testing.T) {
+	f := MustDefault(5)
+	for a := 1; a < f.Order(); a++ {
+		p := MinimalPolynomial(f, Elem(a))
+		// Irreducible, degree = conjugacy class size, degree divides m.
+		if !Irreducible(uint64(p)) {
+			t.Fatalf("minpoly(%#x) = %#x not irreducible", a, p)
+		}
+		cls := ConjugacyClass(f, Elem(a))
+		if PolyDegree(uint64(p)) != len(cls) {
+			t.Fatalf("minpoly(%#x) degree %d != class size %d", a, PolyDegree(uint64(p)), len(cls))
+		}
+		if f.M()%len(cls) != 0 {
+			t.Fatalf("class size %d does not divide m", len(cls))
+		}
+		// a is a root: evaluate over the field by Horner.
+		var acc Elem
+		for i := PolyDegree(uint64(p)); i >= 0; i-- {
+			acc = f.Mul(acc, Elem(a)) ^ Elem(p>>i&1)
+		}
+		if acc != 0 {
+			t.Fatalf("minpoly(%#x) does not vanish at its element", a)
+		}
+	}
+}
+
+func TestMinimalPolynomialSpecials(t *testing.T) {
+	f := MustDefault(8)
+	if MinimalPolynomial(f, 0) != 0b10 {
+		t.Error("minpoly(0) != x")
+	}
+	if MinimalPolynomial(f, 1) != 0b11 {
+		t.Error("minpoly(1) != x+1")
+	}
+	// In the AES field the generator 0x03 has full degree 8.
+	aes := AES()
+	if d := PolyDegree(uint64(MinimalPolynomial(aes, 0x03))); d != 8 {
+		t.Errorf("AES minpoly(0x03) degree = %d", d)
+	}
+	if len(ConjugacyClass(f, 0)) != 1 {
+		t.Error("conjugacy class of 0 wrong")
+	}
+}
+
+func TestMinimalPolynomialBuildsBCHGenerator(t *testing.T) {
+	// LCM of minpoly(alpha^1..alpha^4) for GF(2^4) must have degree 8 =
+	// deg generator of BCH(15,7,2): minpoly(a^1)=minpoly(a^2)=minpoly(a^4)
+	// (same class) and minpoly(a^3) add 4 + 4.
+	f := MustDefault(4)
+	seen := map[uint32]bool{}
+	deg := 0
+	for i := 1; i <= 4; i++ {
+		p := MinimalPolynomial(f, f.AlphaPow(i))
+		if !seen[p] {
+			seen[p] = true
+			deg += PolyDegree(uint64(p))
+		}
+	}
+	if deg != 8 {
+		t.Errorf("BCH(15,7,2) generator degree via minpolys = %d, want 8", deg)
+	}
+}

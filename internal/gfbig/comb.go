@@ -1,0 +1,58 @@
+package gfbig
+
+// Left-to-right comb multiplication with a 4-bit window (Lopez-Dahab /
+// Hankerson-Menezes-Vanstone Alg. 2.36) — the software method behind the
+// precomputed-table baselines (e.g. Clercq [11]) the paper compares
+// against. Included as a real algorithm (not just a cost model) so the
+// kernels' baseline pricing is backed by working code.
+
+// MulFullComb returns the unreduced product via the windowed comb. The
+// result always equals MulFull.
+func (f *Field) MulFullComb(a, b Elem) []uint32 {
+	const w = 4 // window width in bits
+	// Precompute T[u] = u(x) * b(x) for u = 0..15 (each W+1 words).
+	bw := f.words + 1
+	var tab [16][]uint32
+	tab[0] = make([]uint32, bw)
+	tab[1] = make([]uint32, bw)
+	copy(tab[1], b)
+	for u := 2; u < 16; u += 2 {
+		// T[u] = T[u/2] << 1; T[u+1] = T[u] + b.
+		tab[u] = make([]uint32, bw)
+		var carry uint32
+		for i, v := range tab[u/2] {
+			tab[u][i] = v<<1 | carry
+			carry = v >> 31
+		}
+		tab[u+1] = make([]uint32, bw)
+		for i := range tab[u] {
+			tab[u+1][i] = tab[u][i]
+		}
+		for i := 0; i < f.words; i++ {
+			tab[u+1][i] ^= b[i]
+		}
+	}
+	// Accumulate window positions from the top nibble down.
+	r := make([]uint32, 2*f.words+1)
+	for k := WordBits/w - 1; k >= 0; k-- {
+		for j := 0; j < f.words; j++ {
+			u := a[j] >> (w * k) & 0xF
+			if u != 0 {
+				for i, v := range tab[u] {
+					r[j+i] ^= v
+				}
+			}
+		}
+		if k > 0 {
+			var carry uint32
+			for i, v := range r {
+				r[i] = v<<w | carry
+				carry = v >> (WordBits - w)
+			}
+		}
+	}
+	return r[:2*f.words]
+}
+
+// MulComb returns the reduced windowed-comb product.
+func (f *Field) MulComb(a, b Elem) Elem { return f.Reduce(f.MulFullComb(a, b)) }

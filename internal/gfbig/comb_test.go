@@ -1,0 +1,47 @@
+package gfbig
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCombMatchesSchoolbook(t *testing.T) {
+	for _, f := range allFields() {
+		rng := rand.New(rand.NewSource(int64(f.M()) + 77))
+		for trial := 0; trial < 40; trial++ {
+			a := randElem(rng, f)
+			b := randElem(rng, f)
+			want := f.MulFull(a, b)
+			got := f.MulFullComb(a, b)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v: comb product differs at word %d", f, i)
+				}
+			}
+			if !f.Equal(f.MulComb(a, b), f.Mul(a, b)) {
+				t.Fatalf("%v: reduced comb product differs", f)
+			}
+		}
+	}
+}
+
+func TestCombEdgeCases(t *testing.T) {
+	f := F233()
+	zero := f.Zero()
+	one := f.One()
+	if !f.IsZero(f.MulComb(zero, one)) {
+		t.Fatal("0*1 != 0")
+	}
+	if !f.Equal(f.MulComb(one, one), one) {
+		t.Fatal("1*1 != 1")
+	}
+	// All-ones operand exercises every table entry.
+	a := f.Zero()
+	for i := range a {
+		a[i] = ^uint32(0)
+	}
+	a[len(a)-1] &= 1<<(233%32) - 1
+	if !f.Equal(f.MulComb(a, a), f.Mul(a, a)) {
+		t.Fatal("dense operand comb product differs")
+	}
+}

@@ -1,0 +1,95 @@
+package gfbig
+
+// Karatsuba carry-free multiplication (Section 3.3.4 of the paper): the
+// product of two w-word polynomials is formed from three w/2-word products
+// instead of four, at the cost of extra additions (free XORs in GF(2)).
+// The paper applies a two-level Karatsuba to GF(2^233) (8 words -> 4 -> 2)
+// and reports a 1.4x speedup over the direct product on their processor.
+
+// MulFullKaratsuba returns the unreduced product of a and b using
+// recursive Karatsuba with the given number of levels (0 = schoolbook).
+// The result is identical to MulFull.
+func (f *Field) MulFullKaratsuba(a, b Elem, levels int) []uint32 {
+	out := make([]uint32, 2*f.words)
+	karatsuba(out, a, b, levels)
+	return out
+}
+
+// MulKaratsuba returns the reduced product using the paper's two-level
+// Karatsuba decomposition.
+func (f *Field) MulKaratsuba(a, b Elem) Elem {
+	return f.Reduce(f.MulFullKaratsuba(a, b, 2))
+}
+
+// karatsuba xors a*b into out (len(out) >= len(a)+len(b)).
+func karatsuba(out []uint32, a, b []uint32, levels int) {
+	n := len(a)
+	if len(b) != n {
+		panic("gfbig: karatsuba operand length mismatch")
+	}
+	if levels <= 0 || n < 2 {
+		schoolbookInto(out, a, b)
+		return
+	}
+	h := n / 2
+	a0, a1 := a[:h], a[h:]
+	b0, b1 := b[:h], b[h:]
+	// p0 = a0*b0, p2 = a1*b1, p1 = (a0+a1)*(b0+b1).
+	// a1/b1 may be one word longer when n is odd; pad the sums.
+	hw := n - h
+	as := make([]uint32, hw)
+	bs := make([]uint32, hw)
+	copy(as, a1)
+	copy(bs, b1)
+	for i := 0; i < h; i++ {
+		as[i] ^= a0[i]
+		bs[i] ^= b0[i]
+	}
+	p0 := make([]uint32, 2*h)
+	p2 := make([]uint32, 2*hw)
+	p1 := make([]uint32, 2*hw)
+	karatsuba(p0, a0, b0, levels-1)
+	karatsuba(p2, a1, b1, levels-1)
+	karatsuba(p1, as, bs, levels-1)
+	// out += p0 + (p0+p1+p2) << h + p2 << 2h  (word shifts).
+	for i, w := range p0 {
+		out[i] ^= w
+		out[i+h] ^= w
+	}
+	for i, w := range p1 {
+		out[i+h] ^= w
+	}
+	for i, w := range p2 {
+		out[i+h] ^= w
+		out[i+2*h] ^= w
+	}
+}
+
+func schoolbookInto(out []uint32, a, b []uint32) {
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			if bj == 0 {
+				continue
+			}
+			p := Clmul32(ai, bj)
+			out[i+j] ^= uint32(p)
+			out[i+j+1] ^= uint32(p >> 32)
+		}
+	}
+}
+
+// Clmul32Count returns the number of 32-bit partial products Karatsuba at
+// the given level uses for w words (w a power of two times the residue):
+// schoolbook uses w^2, one level 3*(w/2)^2, two levels 9*(w/4)^2. This is
+// the count the paper's cycle model charges for the gf32bMult instruction.
+func Clmul32Count(words, levels int) int {
+	if levels <= 0 || words < 2 {
+		return words * words
+	}
+	h := words / 2
+	hw := words - h
+	return Clmul32Count(h, levels-1) + 2*Clmul32Count(hw, levels-1)
+}

@@ -1,0 +1,57 @@
+package gfbig
+
+// Square roots, traces and half-traces: the quadratic-equation toolkit
+// binary-curve point compression depends on. All NIST binary fields have
+// odd m, so the half-trace solves z^2 + z = c directly.
+
+// Sqrt returns the (unique) square root of a: a^(2^(m-1)), computed by
+// m-1 squarings. Squaring is a bijection in characteristic 2.
+func (f *Field) Sqrt(a Elem) Elem {
+	x := f.Copy(a)
+	for i := 0; i < f.m-1; i++ {
+		x = f.Sqr(x)
+	}
+	return x
+}
+
+// Trace returns the absolute trace Tr(a) = sum_{i=0}^{m-1} a^(2^i),
+// which is always 0 or 1.
+func (f *Field) Trace(a Elem) uint32 {
+	t := f.Copy(a)
+	x := f.Copy(a)
+	for i := 1; i < f.m; i++ {
+		x = f.Sqr(x)
+		t = f.Add(t, x)
+	}
+	return t[0] & 1
+}
+
+// HalfTrace returns H(a) = sum_{i=0}^{(m-1)/2} a^(2^(2i)) for odd m.
+// When Tr(a) = 0, z = H(a) satisfies z^2 + z = a (the other solution is
+// z + 1). It panics for even m.
+func (f *Field) HalfTrace(a Elem) Elem {
+	if f.m%2 == 0 {
+		panic("gfbig: half-trace requires odd extension degree")
+	}
+	h := f.Copy(a)
+	x := f.Copy(a)
+	for i := 1; i <= (f.m-1)/2; i++ {
+		x = f.Sqr(f.Sqr(x))
+		h = f.Add(h, x)
+	}
+	return h
+}
+
+// SolveQuadratic finds z with z^2 + z = a, reporting ok = false when no
+// solution exists (Tr(a) = 1). For odd m it uses the half-trace.
+func (f *Field) SolveQuadratic(a Elem) (Elem, bool) {
+	if f.Trace(a) != 0 {
+		return nil, false
+	}
+	z := f.HalfTrace(a)
+	// Verify (guards against even-m misuse and catches model bugs).
+	if !f.Equal(f.Add(f.Sqr(z), z), a) {
+		return nil, false
+	}
+	return z, true
+}

@@ -1,0 +1,43 @@
+package gfpoly
+
+import "repro/internal/gf"
+
+// BerlekampMassey finds the shortest LFSR (connection polynomial) that
+// generates the syndrome sequence synd: it returns Lambda(x) with
+// Lambda(0) = 1 such that for all n >= L,
+//
+//	synd[n] = sum_{i=1..L} Lambda_i * synd[n-i]
+//
+// For a received word with e <= t errors and 2t syndromes, Lambda is the
+// error-locator polynomial of degree e. This is the shared BMA kernel of
+// the paper's RS and BCH decoder datapaths (Fig. 1a/1b).
+func BerlekampMassey(f *gf.Field, synd []gf.Elem) Poly {
+	lambda := One(f)
+	prev := One(f)
+	l := 0
+	m := 1
+	b := gf.Elem(1)
+	for n := 0; n < len(synd); n++ {
+		// Discrepancy d = S_n + sum_{i=1..l} lambda_i * S_{n-i}.
+		d := synd[n]
+		for i := 1; i <= l; i++ {
+			d ^= f.Mul(lambda.Coeff(i), synd[n-i])
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		if 2*l <= n {
+			t := lambda.Clone()
+			lambda = lambda.Add(prev.Scale(f.Div(d, b)).MulX(m))
+			prev = t
+			l = n + 1 - l
+			b = d
+			m = 1
+		} else {
+			lambda = lambda.Add(prev.Scale(f.Div(d, b)).MulX(m))
+			m++
+		}
+	}
+	return lambda
+}

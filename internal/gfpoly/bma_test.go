@@ -1,0 +1,116 @@
+package gfpoly
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf"
+)
+
+func TestBerlekampMasseyRecoversLFSR(t *testing.T) {
+	// Generate a sequence from a known connection polynomial and check
+	// BMA recovers it (given >= 2L samples).
+	f := gf.MustDefault(8)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		l := 1 + rng.Intn(6)
+		coeffs := make([]gf.Elem, l+1)
+		coeffs[0] = 1
+		for i := 1; i <= l; i++ {
+			coeffs[i] = gf.Elem(rng.Intn(f.Order()))
+		}
+		coeffs[l] = gf.Elem(1 + rng.Intn(f.Order()-1)) // degree exactly l
+		conn := New(f, coeffs...)
+		// Seed l initial values (not all zero) and extend by the LFSR rule
+		// s[n] = sum_{i=1..l} conn_i * s[n-i].
+		s := make([]gf.Elem, 4*l)
+		any := false
+		for i := 0; i < l; i++ {
+			s[i] = gf.Elem(rng.Intn(f.Order()))
+			if s[i] != 0 {
+				any = true
+			}
+		}
+		if !any {
+			s[0] = 1
+		}
+		for n := l; n < len(s); n++ {
+			var v gf.Elem
+			for i := 1; i <= l; i++ {
+				v ^= f.Mul(conn.Coeff(i), s[n-i])
+			}
+			s[n] = v
+		}
+		got := BerlekampMassey(f, s)
+		// The recovered polynomial must regenerate the sequence.
+		lg := got.Degree()
+		if lg > l {
+			t.Fatalf("trial %d: recovered degree %d > true %d", trial, lg, l)
+		}
+		for n := lg; n < len(s); n++ {
+			var v gf.Elem
+			for i := 1; i <= lg; i++ {
+				v ^= f.Mul(got.Coeff(i), s[n-i])
+			}
+			if v != s[n] {
+				t.Fatalf("trial %d: recovered LFSR does not generate the sequence", trial)
+			}
+		}
+	}
+}
+
+func TestBerlekampMasseyZeroSequence(t *testing.T) {
+	f := gf.MustDefault(4)
+	lam := BerlekampMassey(f, make([]gf.Elem, 8))
+	if !lam.Equal(One(f)) {
+		t.Fatalf("BMA on zero sequence = %v", lam)
+	}
+}
+
+func TestCoeffLeadEqualEdges(t *testing.T) {
+	f := gf.MustDefault(8)
+	p := New(f, 1, 2, 3)
+	if p.Coeff(-1) != 0 || p.Coeff(99) != 0 {
+		t.Error("out-of-range Coeff not zero")
+	}
+	if p.Lead() != 3 {
+		t.Errorf("Lead = %v", p.Lead())
+	}
+	if Zero(f).Lead() != 0 {
+		t.Error("Lead of zero poly not 0")
+	}
+	if p.Equal(New(f, 1, 2)) {
+		t.Error("different degrees equal")
+	}
+	if p.Equal(New(f, 1, 2, 4)) {
+		t.Error("different coeffs equal")
+	}
+	if !p.Equal(New(f, 1, 2, 3, 0)) {
+		t.Error("trailing zero breaks equality")
+	}
+}
+
+func TestMulXZeroAndRootsOfZero(t *testing.T) {
+	f := gf.MustDefault(8)
+	if !Zero(f).MulX(3).IsZero() {
+		t.Error("0 * x^3 != 0")
+	}
+	if Zero(f).Roots() != nil {
+		t.Error("roots of zero poly not empty")
+	}
+}
+
+func TestStringEdgeTerms(t *testing.T) {
+	f := gf.MustDefault(8)
+	cases := map[string]Poly{
+		"x":         New(f, 0, 1),
+		"0x2*x":     New(f, 0, 2),
+		"x^3":       New(f, 0, 0, 0, 1),
+		"x^2 + 0x5": New(f, 5, 0, 1),
+	}
+	for want, p := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package gfpoly
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gf"
+)
+
+var f8 = gf.MustDefault(8)
+
+func randPoly(rng *rand.Rand, f *gf.Field, maxDeg int) Poly {
+	n := rng.Intn(maxDeg + 2)
+	coeffs := make([]gf.Elem, n)
+	for i := range coeffs {
+		coeffs[i] = gf.Elem(rng.Intn(f.Order()))
+	}
+	return New(f, coeffs...)
+}
+
+func TestDegreeAndTrim(t *testing.T) {
+	p := New(f8, 1, 2, 3, 0, 0)
+	if p.Degree() != 2 {
+		t.Fatalf("degree = %d, want 2", p.Degree())
+	}
+	if len(p.Coeffs) != 3 {
+		t.Fatalf("trim failed: %v", p.Coeffs)
+	}
+	if !Zero(f8).IsZero() || Zero(f8).Degree() != -1 {
+		t.Fatal("zero polynomial wrong")
+	}
+	if One(f8).Degree() != 0 || One(f8).Coeff(0) != 1 {
+		t.Fatal("one polynomial wrong")
+	}
+}
+
+func TestMono(t *testing.T) {
+	p := Mono(f8, 5, 3)
+	if p.Degree() != 3 || p.Coeff(3) != 5 || p.Coeff(0) != 0 {
+		t.Fatalf("Mono wrong: %v", p)
+	}
+	if !Mono(f8, 0, 3).IsZero() {
+		t.Fatal("Mono(0) not zero")
+	}
+}
+
+func TestAddSelfIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		p := randPoly(rng, f8, 10)
+		if !p.Add(p).IsZero() {
+			t.Fatalf("p+p != 0 for %v", p)
+		}
+	}
+}
+
+func TestMulProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		p := randPoly(rng, f8, 8)
+		q := randPoly(rng, f8, 8)
+		r := randPoly(rng, f8, 8)
+		// commutative
+		if !p.Mul(q).Equal(q.Mul(p)) {
+			t.Fatal("mul not commutative")
+		}
+		// distributive
+		if !p.Mul(q.Add(r)).Equal(p.Mul(q).Add(p.Mul(r))) {
+			t.Fatal("mul not distributive")
+		}
+		// degree additivity
+		if !p.IsZero() && !q.IsZero() {
+			if p.Mul(q).Degree() != p.Degree()+q.Degree() {
+				t.Fatal("degree not additive")
+			}
+		}
+	}
+}
+
+func TestDivModInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		p := randPoly(rng, f8, 12)
+		q := randPoly(rng, f8, 6)
+		if q.IsZero() {
+			continue
+		}
+		quo, rem := p.DivMod(q)
+		if rem.Degree() >= q.Degree() {
+			t.Fatalf("rem degree %d >= divisor degree %d", rem.Degree(), q.Degree())
+		}
+		if !quo.Mul(q).Add(rem).Equal(p) {
+			t.Fatalf("q*quo+rem != p for p=%v q=%v", p, q)
+		}
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	One(f8).DivMod(Zero(f8))
+}
+
+func TestEvalHorner(t *testing.T) {
+	// p(x) = x^2 + 3x + 2 at x: direct power evaluation must agree.
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		p := randPoly(rng, f8, 10)
+		x := gf.Elem(rng.Intn(f8.Order()))
+		var want gf.Elem
+		for j, c := range p.Coeffs {
+			want ^= f8.Mul(c, f8.Pow(x, j))
+		}
+		if got := p.Eval(x); got != want {
+			t.Fatalf("Eval mismatch: got %#x want %#x", got, want)
+		}
+	}
+}
+
+func TestRootsOfKnownFactorization(t *testing.T) {
+	// (x - a)(x - b) has roots {a, b}.
+	f := gf.MustDefault(5)
+	a, b := gf.Elem(7), gf.Elem(19)
+	p := New(f, a, 1).Mul(New(f, b, 1)) // (x+a)(x+b); minus == plus
+	roots := p.Roots()
+	if len(roots) != 2 || roots[0] != a || roots[1] != b {
+		t.Fatalf("roots = %v, want [%d %d]", roots, a, b)
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	// d/dx (x^3 + 5x^2 + 3x + 9) = 3x^2 + 3 -> in char 2: x^2 coeff from x^3 term, const from x term.
+	p := New(f8, 9, 3, 5, 1)
+	d := p.Derivative()
+	want := New(f8, 3, 0, 1)
+	if !d.Equal(want) {
+		t.Fatalf("derivative = %v, want %v", d, want)
+	}
+	// Derivative of a square is zero (char 2).
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		q := randPoly(rng, f8, 6)
+		if !q.Mul(q).Derivative().IsZero() {
+			t.Fatal("derivative of square not zero")
+		}
+	}
+}
+
+func TestDerivativeProductRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		p := randPoly(rng, f8, 6)
+		q := randPoly(rng, f8, 6)
+		lhs := p.Mul(q).Derivative()
+		rhs := p.Derivative().Mul(q).Add(p.Mul(q.Derivative()))
+		if !lhs.Equal(rhs) {
+			t.Fatalf("product rule fails for %v, %v", p, q)
+		}
+	}
+}
+
+func TestGCD(t *testing.T) {
+	// gcd((x+1)(x+2), (x+1)(x+3)) = x+1 (monic).
+	f := gf.MustDefault(4)
+	x1 := New(f, 1, 1)
+	g := GCD(x1.Mul(New(f, 2, 1)), x1.Mul(New(f, 3, 1)))
+	if !g.Equal(x1) {
+		t.Fatalf("gcd = %v, want %v", g, x1)
+	}
+	if !GCD(Zero(f), Zero(f)).IsZero() {
+		t.Fatal("gcd(0,0) != 0")
+	}
+}
+
+func TestModXn(t *testing.T) {
+	p := New(f8, 1, 2, 3, 4, 5)
+	q := p.ModXn(3)
+	if !q.Equal(New(f8, 1, 2, 3)) {
+		t.Fatalf("ModXn = %v", q)
+	}
+	if !p.ModXn(10).Equal(p) {
+		t.Fatal("ModXn beyond length changed poly")
+	}
+}
+
+func TestMulX(t *testing.T) {
+	p := New(f8, 1, 2)
+	q := p.MulX(2)
+	if !q.Equal(New(f8, 0, 0, 1, 2)) {
+		t.Fatalf("MulX = %v", q)
+	}
+}
+
+func TestScaleQuick(t *testing.T) {
+	prop := func(cs []byte, c byte) bool {
+		coeffs := make([]gf.Elem, len(cs))
+		for i, b := range cs {
+			coeffs[i] = gf.Elem(b)
+		}
+		p := New(f8, coeffs...)
+		// Scale then scale by inverse is identity (c != 0).
+		if c == 0 {
+			return p.Scale(0).IsZero()
+		}
+		return p.Scale(gf.Elem(c)).Scale(f8.Inv(gf.Elem(c))).Equal(p)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	p := New(f8, 1, 1, 3)
+	if p.String() != "0x3*x^2 + x + 0x1" {
+		t.Errorf("String() = %q", p.String())
+	}
+	if Zero(f8).String() != "0" {
+		t.Errorf("zero String() = %q", Zero(f8).String())
+	}
+}

@@ -1,0 +1,49 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEstimateFullActivity(t *testing.T) {
+	// 100% GF activity draws the full Table 11 budget.
+	e := Estimate(1000, 1000, 0)
+	if math.Abs(e.AvgPowerUW-TotalPowerUW) > 0.01 {
+		t.Errorf("full-activity power = %v, want %v", e.AvgPowerUW, TotalPowerUW)
+	}
+	if math.Abs(e.TimeUs-10) > 1e-9 { // 1000 cycles @ 100 MHz = 10 us
+		t.Errorf("time = %v us", e.TimeUs)
+	}
+	if math.Abs(e.EnergyNJ-431*10/1e3) > 1e-6 {
+		t.Errorf("energy = %v nJ", e.EnergyNJ)
+	}
+}
+
+func TestEstimateIdleGFUnit(t *testing.T) {
+	// A pure scalar program keeps only the gated GF-unit residue.
+	e := Estimate(1000, 0, 0)
+	want := ShellPowerUW + GFUnitPowerUW*(1-IdleGatingSavingFrac)
+	if math.Abs(e.AvgPowerUW-want) > 0.01 {
+		t.Errorf("idle power = %v, want %v", e.AvgPowerUW, want)
+	}
+	if e.AvgPowerUW >= TotalPowerUW {
+		t.Error("idle power not below full budget")
+	}
+}
+
+func TestEstimateEnergyPerBit(t *testing.T) {
+	// The paper's AES point: 1049 cycles per 128-bit block at full-ish
+	// activity gives ~35 pJ/b.
+	e := Estimate(1049, 1049, 128)
+	if e.EnergyPerBit < 33 || e.EnergyPerBit > 37 {
+		t.Errorf("energy/bit = %v pJ, want ~35", e.EnergyPerBit)
+	}
+	// Zero payload leaves the field at 0.
+	if Estimate(100, 50, 0).EnergyPerBit != 0 {
+		t.Error("energy/bit without payload not zero")
+	}
+	// Zero cycles does not divide by zero.
+	if Estimate(0, 0, 0).AvgPowerUW <= 0 {
+		t.Error("zero-cycle estimate broken")
+	}
+}

@@ -1,0 +1,174 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable2ReproducesPaperPolynomials(t *testing.T) {
+	// m = 8: systolic AND/XOR = 128 each; total 16.5*64 - 80 = 976;
+	// compact AND = 120, XOR = 105, total 6.5*64 - 62 = 354.
+	s := SystolicMultiplier(8)
+	if s.AND != 128 || s.XOR != 128 {
+		t.Errorf("systolic AND/XOR = %d/%d", s.AND, s.XOR)
+	}
+	if s.Total != 976 {
+		t.Errorf("systolic total = %v, want 976", s.Total)
+	}
+	if s.FF != 56+28+56 {
+		t.Errorf("systolic FF = %d", s.FF)
+	}
+	c := CompactMultiplier(8)
+	if c.AND != 120 || c.XOR != 105 || c.FF != 0 {
+		t.Errorf("compact = %+v", c)
+	}
+	if c.Total != 354 {
+		t.Errorf("compact total = %v, want 354", c.Total)
+	}
+	if c.ConfigFF != 56 {
+		t.Errorf("compact config FF = %d, want 56", c.ConfigFF)
+	}
+	// The headline claim: this work's multiplier is ~2.75x smaller.
+	for m := 5; m <= 8; m++ {
+		if CompactMultiplier(m).Total >= SystolicMultiplier(m).Total {
+			t.Errorf("m=%d: compact not smaller", m)
+		}
+	}
+}
+
+func TestTable4ReproducesPaperPolynomials(t *testing.T) {
+	s := SystolicEuclidInverse(8)
+	if s.XOR != 8*51 || s.AND != 8*55 || s.MUX != 8*53 || s.FF != 8*52 {
+		t.Errorf("systolic euclid = %+v", s)
+	}
+	if s.Total != 57*64 {
+		t.Errorf("systolic total = %v", s.Total)
+	}
+	i := ITAInverse(8)
+	if i.AND != 15*64-88 || i.XOR != 15*64-104+4 {
+		t.Errorf("ITA = %+v", i)
+	}
+	if i.Total != 48.75*64 {
+		t.Errorf("ITA total = %v", i.Total)
+	}
+	if i.Total >= s.Total {
+		t.Error("ITA not smaller than systolic Euclid")
+	}
+}
+
+func TestTable10Consistency(t *testing.T) {
+	b := Table10()
+	sum := b.MultArrayAreaUm2 + b.SquareArrayAreaUm2 + b.ControlAreaUm2
+	if math.Abs(sum-b.TotalAreaUm2) > 0.01 {
+		t.Errorf("breakdown sums to %v, total %v", sum, b.TotalAreaUm2)
+	}
+	if math.Abs(b.MultArrayAreaUm2-3193.44) > 0.1 {
+		t.Errorf("mult array = %v", b.MultArrayAreaUm2)
+	}
+	if math.Abs(b.SquareArrayAreaUm2-1777.44) > 0.1 {
+		t.Errorf("square array = %v", b.SquareArrayAreaUm2)
+	}
+	if b.CritPathNs != 2.91 {
+		t.Errorf("crit path = %v", b.CritPathNs)
+	}
+	// 300 MHz max clock implies crit path < 3.34 ns.
+	if b.CritPathNs > 1000.0/MaxClockMHz {
+		t.Error("critical path inconsistent with max clock")
+	}
+}
+
+func TestTable11Consistency(t *testing.T) {
+	p := Table11()
+	if p.ShellGates+p.GFGates != p.TotalGates {
+		t.Errorf("gates: %d + %d != %d", p.ShellGates, p.GFGates, p.TotalGates)
+	}
+	if math.Abs(p.ShellArea+p.GFArea-p.TotalArea) > 1 {
+		t.Errorf("area: %v + %v != %v", p.ShellArea, p.GFArea, p.TotalArea)
+	}
+	if math.Abs(p.ShellPower+p.GFPower-p.TotalPower) > 1 {
+		t.Errorf("power: %v + %v != %v", p.ShellPower, p.GFPower, p.TotalPower)
+	}
+	// 0.0103 mm^2 claim.
+	if mm2 := p.TotalArea / 1e6; mm2 < 0.010 || mm2 > 0.0104 {
+		t.Errorf("total area = %v mm^2", mm2)
+	}
+}
+
+func TestTable12Claims(t *testing.T) {
+	c := Table12()
+	if !c.GFUnitSmaller {
+		t.Error("GF unit should be smaller than Intel enc+dec")
+	}
+	// "With 63.5% additional area in total".
+	if math.Abs(c.ExtraAreaFrac-0.635) > 0.01 {
+		t.Errorf("extra area = %.3f, want ~0.635", c.ExtraAreaFrac)
+	}
+}
+
+func TestTable13Energy(t *testing.T) {
+	// The paper's 12.2 Mbps at 100 MHz implies ~1049 cycles per block;
+	// feeding that back must reproduce ~35.3 pJ/b.
+	rows := Table13(1049)
+	measured := rows[1]
+	if math.Abs(measured.ThroughputMbps-12.2) > 0.1 {
+		t.Errorf("throughput = %v, want ~12.2", measured.ThroughputMbps)
+	}
+	if math.Abs(measured.EnergyPJPerBit-35.3) > 0.5 {
+		t.Errorf("energy = %v, want ~35.3", measured.EnergyPJPerBit)
+	}
+	// The ASIC stays ~6x more efficient (the flexibility price).
+	ratio := measured.EnergyPJPerBit / rows[0].EnergyPJPerBit
+	if ratio < 4 || ratio > 8 {
+		t.Errorf("ASIC efficiency ratio = %.1f, want ~6", ratio)
+	}
+}
+
+func TestVoltageScaling(t *testing.T) {
+	v := VoltageScaled()
+	if v.TotalPower != 231 || v.GFPower != 75 {
+		t.Errorf("scaled powers: %+v", v)
+	}
+	// 1.86x energy gain claim: energy ratio at same frequency = power ratio.
+	gain := TotalPowerUW / v.TotalPower
+	if math.Abs(gain-VScaleEnergyGain) > 0.01 {
+		t.Errorf("energy gain = %.2f, want %.2f", gain, VScaleEnergyGain)
+	}
+}
+
+func TestGFUnitPowerModel(t *testing.T) {
+	full := GFUnitPowerModel(1)
+	idle := GFUnitPowerModel(0)
+	if full != GFUnitPowerUW {
+		t.Errorf("full-activity power = %v", full)
+	}
+	// Idle power reflects the 77% data-gating saving.
+	if math.Abs(idle-GFUnitPowerUW*0.23) > 0.01 {
+		t.Errorf("idle power = %v", idle)
+	}
+	if GFUnitPowerModel(-1) != idle || GFUnitPowerModel(2) != full {
+		t.Error("clamping broken")
+	}
+	if GFUnitPowerModel(0.5) <= idle || GFUnitPowerModel(0.5) >= full {
+		t.Error("not monotone")
+	}
+}
+
+func TestMappingOverheadClaim(t *testing.T) {
+	// The chosen mapping approach (8%) must undercut the alternative
+	// (+26%) — the Section 2.4.1 design decision.
+	if MappingOverheadFrac >= AltMatrixOverheadFrac {
+		t.Error("mapping overhead not smaller than alternative")
+	}
+}
+
+func TestEnergyPerBit(t *testing.T) {
+	if EnergyPerBit(431, 12.2) < 35 || EnergyPerBit(431, 12.2) > 36 {
+		t.Errorf("energy/bit = %v", EnergyPerBit(431, 12.2))
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if SystolicMultiplier(8).String() == "" || ITAInverse(8).String() == "" {
+		t.Error("empty stringer")
+	}
+}

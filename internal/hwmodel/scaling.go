@@ -1,0 +1,41 @@
+package hwmodel
+
+// Technology-node scaling, the convention behind the paper's "scaled to
+// 28 nm" comparison rows (Intel NanoAES from 22 nm, Mathew's 64-bit GF
+// multiplier from 45 nm, Zhang's AES from 40 nm): area scales with the
+// square of the feature size, switching power approximately linearly
+// with it at fixed voltage and frequency (C ~ node).
+
+// ScaleArea converts an area between process nodes (nm).
+func ScaleArea(area, fromNm, toNm float64) float64 {
+	r := toNm / fromNm
+	return area * r * r
+}
+
+// ScalePower converts dynamic power between nodes at fixed V and f.
+func ScalePower(power, fromNm, toNm float64) float64 {
+	return power * toNm / fromNm
+}
+
+// Reference designs at their native nodes, for the scaling cross-checks.
+const (
+	IntelAESNodeNm  = 22.0
+	ZhangAESNodeNm  = 40.0
+	MathewMulNodeNm = 45.0
+	PaperNodeNm     = 28.0
+)
+
+// Mathew64bScaled returns the 28 nm-equivalent power (mW) of the 45 nm
+// 64-bit GF multiplier accelerator [40], matching the paper's 1.25 mW
+// comparison point (Section 3.5) when scaled at fixed 0.9 V / 100 MHz.
+func Mathew64bScaled() float64 {
+	// The paper reports the already-scaled figure; expose the native
+	// number implied by the linear power rule for the cross-check.
+	return Mathew64bPowerMW
+}
+
+// Mathew64bNativePowerMW back-derives the native 45 nm power implied by
+// the scaled figure.
+func Mathew64bNativePowerMW() float64 {
+	return ScalePower(Mathew64bPowerMW, PaperNodeNm, MathewMulNodeNm)
+}

@@ -1,0 +1,48 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScaleAreaQuadratic(t *testing.T) {
+	// Halving the node quarters the area.
+	if got := ScaleArea(100, 28, 14); math.Abs(got-25) > 1e-9 {
+		t.Errorf("ScaleArea = %v, want 25", got)
+	}
+	// Round trip is identity.
+	if got := ScaleArea(ScaleArea(123, 22, 28), 28, 22); math.Abs(got-123) > 1e-9 {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestScalePowerLinear(t *testing.T) {
+	if got := ScalePower(100, 28, 14); math.Abs(got-50) > 1e-9 {
+		t.Errorf("ScalePower = %v, want 50", got)
+	}
+}
+
+func TestIntelScalingPlausibility(t *testing.T) {
+	// The paper's 28 nm Intel figures imply native 22 nm areas of
+	// enc ~1729, dec ~2150 um^2 — same order as the published NanoAES
+	// (2090 gates, ~O(1500-2500) um^2 at 22 nm). Sanity band check only.
+	encNative := ScaleArea(IntelAESEncAreaUm2, PaperNodeNm, IntelAESNodeNm)
+	if encNative < 1000 || encNative > 2500 {
+		t.Errorf("implied native Intel enc area %v um^2 implausible", encNative)
+	}
+}
+
+func TestMathewBackDerivation(t *testing.T) {
+	native := Mathew64bNativePowerMW()
+	if native <= Mathew64bPowerMW {
+		t.Error("native 45 nm power should exceed the 28 nm-scaled figure")
+	}
+	if math.Abs(ScalePower(native, MathewMulNodeNm, PaperNodeNm)-Mathew64bScaled()) > 1e-9 {
+		t.Error("scaling round trip broken")
+	}
+	// The paper's headline: our whole processor (0.431 mW) draws about a
+	// third of the scaled 64-bit multiplier accelerator (1.25 mW).
+	if ratio := Mathew64bPowerMW * 1000 / TotalPowerUW; ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("power ratio vs Mathew = %.2f, want ~2.9", ratio)
+	}
+}

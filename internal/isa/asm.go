@@ -1,0 +1,451 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is an assembled program: the instruction stream plus the initial
+// data-memory image and the resolved symbol tables.
+type Program struct {
+	Insts      []Inst
+	Data       []byte
+	Labels     map[string]int // code label -> instruction index
+	DataLabels map[string]int // data label -> byte address
+}
+
+// Assemble translates assembly text into a Program. The syntax is
+// described in the package documentation; briefly:
+//
+//	.text / .data         section switches (.text is the default)
+//	label:                code or data label
+//	movi r1, #42          immediate (decimal or 0x hex)
+//	movi r1, =buf         address of data label
+//	ldr  r2, [r1, #4]     word load, immediate offset
+//	ldrr r2, [r1, r3]     word load, register offset
+//	gfmul r4, r2, r3      GF instructions per Table 1
+//	.word 1, 2, 3         32-bit little-endian data
+//	.byte 1, 2            bytes
+//	.space 64             zero fill
+//	; or // comments
+func Assemble(src string) (*Program, error) {
+	p := &Program{Labels: map[string]int{}, DataLabels: map[string]int{}}
+	type pending struct {
+		instIdx int
+		line    int
+	}
+	inData := false
+
+	lines := strings.Split(src, "\n")
+	// Pass 1: parse instructions and data, record labels, leave symbolic
+	// references in Sym.
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several, possibly followed by an instruction).
+		for {
+			idx := strings.Index(line, ":")
+			if idx < 0 || strings.ContainsAny(line[:idx], " \t,[") {
+				break
+			}
+			label := line[:idx]
+			if !validIdent(label) {
+				return nil, fmt.Errorf("line %d: bad label %q", ln+1, label)
+			}
+			if inData {
+				if _, dup := p.DataLabels[label]; dup {
+					return nil, fmt.Errorf("line %d: duplicate data label %q", ln+1, label)
+				}
+				p.DataLabels[label] = len(p.Data)
+			} else {
+				if _, dup := p.Labels[label]; dup {
+					return nil, fmt.Errorf("line %d: duplicate label %q", ln+1, label)
+				}
+				p.Labels[label] = len(p.Insts)
+			}
+			line = strings.TrimSpace(line[idx+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		fields := splitOperands(line)
+		mn := strings.ToLower(fields[0])
+		args := fields[1:]
+		switch mn {
+		case ".text":
+			inData = false
+			continue
+		case ".data":
+			inData = true
+			continue
+		case ".word":
+			for _, a := range args {
+				v, err := parseImm(a)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", ln+1, err)
+				}
+				p.Data = append(p.Data, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+			continue
+		case ".byte":
+			for _, a := range args {
+				v, err := parseImm(a)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", ln+1, err)
+				}
+				p.Data = append(p.Data, byte(v))
+			}
+			continue
+		case ".space":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("line %d: .space needs one size", ln+1)
+			}
+			n, err := parseImm(args[0])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("line %d: bad .space size", ln+1)
+			}
+			p.Data = append(p.Data, make([]byte, n)...)
+			continue
+		}
+		if inData {
+			return nil, fmt.Errorf("line %d: instruction %q in .data section", ln+1, mn)
+		}
+		inst, err := parseInst(mn, args)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		p.Insts = append(p.Insts, inst)
+	}
+
+	// Pass 2: resolve symbols.
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if in.Sym == "" {
+			continue
+		}
+		if in.Op == MOVI { // =label -> data address
+			addr, ok := p.DataLabels[in.Sym]
+			if !ok {
+				return nil, fmt.Errorf("undefined data label %q", in.Sym)
+			}
+			in.Imm = int32(addr)
+			in.Sym = ""
+			continue
+		}
+		tgt, ok := p.Labels[in.Sym]
+		if !ok {
+			return nil, fmt.Errorf("undefined label %q", in.Sym)
+		}
+		in.Imm = int32(tgt)
+		// Keep Sym for disassembly readability.
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble but panics on error; for tests and fixed kernels.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(s string) string {
+	if i := strings.Index(s, ";"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitOperands splits "op a, b, [c, #4]" into ["op", "a", "b", "[c, #4]"].
+func splitOperands(line string) []string {
+	var out []string
+	// First token = mnemonic.
+	line = strings.TrimSpace(line)
+	sp := strings.IndexAny(line, " \t")
+	if sp < 0 {
+		return []string{line}
+	}
+	out = append(out, line[:sp])
+	rest := strings.TrimSpace(line[sp+1:])
+	depth := 0
+	start := 0
+	for i := 0; i <= len(rest); i++ {
+		if i == len(rest) || (rest[i] == ',' && depth == 0) {
+			tok := strings.TrimSpace(rest[start:i])
+			if tok != "" {
+				out = append(out, tok)
+			}
+			start = i + 1
+			continue
+		}
+		switch rest[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		}
+	}
+	return out
+}
+
+func parseReg(s string) (uint8, error) {
+	switch strings.ToLower(s) {
+	case "sp":
+		return SP, nil
+	case "lr":
+		return LR, nil
+	}
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int32, error) {
+	s = strings.TrimPrefix(s, "#")
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -(1<<31) || v > (1<<32)-1 {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return int32(uint32(v)), nil
+}
+
+// parseMem parses "[rn, #imm]" or "[rn, rm]" or "[rn]".
+func parseMem(s string) (base uint8, off int32, offReg uint8, regOff bool, err error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, 0, false, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	parts := strings.Split(inner, ",")
+	base, err = parseReg(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return
+	}
+	if len(parts) == 1 {
+		return base, 0, 0, false, nil
+	}
+	if len(parts) != 2 {
+		return 0, 0, 0, false, fmt.Errorf("bad memory operand %q", s)
+	}
+	arg := strings.TrimSpace(parts[1])
+	if r, rerr := parseReg(arg); rerr == nil {
+		return base, 0, r, true, nil
+	}
+	off, err = parseImm(arg)
+	return base, off, 0, false, err
+}
+
+func parseInst(mn string, args []string) (Inst, error) {
+	op, ok := nameOps[mn]
+	if !ok {
+		return Inst{}, fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s needs %d operands, got %d", mn, n, len(args))
+		}
+		return nil
+	}
+	in := Inst{Op: op}
+	var err error
+	switch op {
+	case NOP, HALT, RET:
+		return in, need(0)
+	case MOV, MVN:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return in, err
+		}
+		in.Rs1, err = parseReg(args[1])
+		return in, err
+	case MOVI, MOVHI:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return in, err
+		}
+		if strings.HasPrefix(args[1], "=") {
+			if op == MOVHI {
+				return in, fmt.Errorf("movhi cannot take =label")
+			}
+			in.Sym = args[1][1:]
+			return in, nil
+		}
+		in.Imm, err = parseImm(args[1])
+		return in, err
+	case ADD, SUB, AND, ORR, EOR, LSL, LSR, MUL, GFMUL, GFPOW, GFADD:
+		if err = need(3); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = parseReg(args[1]); err != nil {
+			return in, err
+		}
+		in.Rs2, err = parseReg(args[2])
+		return in, err
+	case ADDI, SUBI, ANDI, LSLI, LSRI:
+		if err = need(3); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = parseReg(args[1]); err != nil {
+			return in, err
+		}
+		in.Imm, err = parseImm(args[2])
+		return in, err
+	case CMP:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = parseReg(args[0]); err != nil {
+			return in, err
+		}
+		in.Rs2, err = parseReg(args[1])
+		return in, err
+	case CMPI:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = parseReg(args[0]); err != nil {
+			return in, err
+		}
+		in.Imm, err = parseImm(args[1])
+		return in, err
+	case B, BEQ, BNE, BLT, BGE, BGT, BLE, BLO, BHS, BL:
+		if err = need(1); err != nil {
+			return in, err
+		}
+		in.Sym = args[0]
+		if !validIdent(in.Sym) {
+			return in, fmt.Errorf("bad branch target %q", in.Sym)
+		}
+		return in, nil
+	case LDR, LDRB, LDRR, LDRBR:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return in, err
+		}
+		base, off, offReg, regOff, merr := parseMem(args[1])
+		if merr != nil {
+			return in, merr
+		}
+		in.Rs1 = base
+		if regOff {
+			if op == LDR {
+				in.Op = LDRR
+			} else if op == LDRB {
+				in.Op = LDRBR
+			}
+			in.Rs2 = offReg
+		} else {
+			if op == LDRR || op == LDRBR {
+				return in, fmt.Errorf("%s needs register offset", mn)
+			}
+			in.Imm = off
+		}
+		return in, nil
+	case STR, STRB, STRR, STRBR:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rs2, err = parseReg(args[0]); err != nil { // value to store
+			return in, err
+		}
+		base, off, offReg, regOff, merr := parseMem(args[1])
+		if merr != nil {
+			return in, merr
+		}
+		in.Rs1 = base
+		if regOff {
+			if op == STR {
+				in.Op = STRR
+			} else if op == STRB {
+				in.Op = STRBR
+			}
+			in.Rd2 = offReg
+		} else {
+			if op == STRR || op == STRBR {
+				return in, fmt.Errorf("%s needs register offset", mn)
+			}
+			in.Imm = off
+		}
+		return in, nil
+	case GFCONF:
+		if err = need(1); err != nil {
+			return in, err
+		}
+		in.Rs1, err = parseReg(args[0])
+		return in, err
+	case GFMULINV, GFSQ:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return in, err
+		}
+		in.Rs1, err = parseReg(args[1])
+		return in, err
+	case GF32MUL:
+		if err = need(4); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return in, err
+		}
+		if in.Rd2, err = parseReg(args[1]); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = parseReg(args[2]); err != nil {
+			return in, err
+		}
+		in.Rs2, err = parseReg(args[3])
+		return in, err
+	}
+	return in, fmt.Errorf("unhandled mnemonic %q", mn)
+}

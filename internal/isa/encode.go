@@ -1,0 +1,181 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Binary instruction encoding. GF instructions keep the paper's 26-bit
+// format (EncodeGF) embedded in a 32-bit word under a dedicated marker;
+// scalar instructions use three RISC-style formats:
+//
+//	R-type  (register ops):        op(6) rd(4) rd2(4) rs1(4) rs2(4) pad(10)
+//	I-type  (reg + immediate):     op(6) rd(4) rs1(4) rs2(4) imm14(signed)
+//	M-type  (movi/movhi/branches): op(6) rd(4) pad(6) imm16
+//
+// The immediate ranges are architectural limits: I-type offsets span
+// +/-8191, M-type immediates 16 bits (movi sign-extends, movhi is raw),
+// branch targets are absolute instruction indices up to 65535.
+
+const gfMarker = uint32(0x3F) << 26
+
+// instFormat classifies an opcode for encoding.
+func instFormat(op Op) byte {
+	switch op {
+	case NOP, HALT, RET, MOV, MVN, ADD, SUB, AND, ORR, EOR, LSL, LSR, MUL,
+		CMP, LDRR, LDRBR, STRR, STRBR:
+		return 'R'
+	case ADDI, SUBI, ANDI, LSLI, LSRI, CMPI, LDR, LDRB, STR, STRB:
+		return 'I'
+	case MOVI, MOVHI, B, BEQ, BNE, BLT, BGE, BGT, BLE, BLO, BHS, BL:
+		return 'M'
+	default:
+		if op >= GFCONF && op <= GF32MUL {
+			return 'G'
+		}
+		return 0
+	}
+}
+
+// Encode packs an instruction into a 32-bit word. Instructions with
+// unresolved symbols or out-of-range immediates return an error.
+func Encode(i Inst) (uint32, error) {
+	if i.Sym != "" && instFormat(i.Op) != 'M' {
+		return 0, fmt.Errorf("isa: cannot encode unresolved symbol %q", i.Sym)
+	}
+	switch instFormat(i.Op) {
+	case 'G':
+		w, err := EncodeGF(i)
+		if err != nil {
+			return 0, err
+		}
+		return gfMarker | w, nil
+	case 'R':
+		return uint32(i.Op)<<26 | uint32(i.Rd&0xF)<<22 | uint32(i.Rd2&0xF)<<18 |
+			uint32(i.Rs1&0xF)<<14 | uint32(i.Rs2&0xF)<<10, nil
+	case 'I':
+		if i.Imm < -(1<<13) || i.Imm >= 1<<13 {
+			return 0, fmt.Errorf("isa: immediate %d out of I-type range", i.Imm)
+		}
+		return uint32(i.Op)<<26 | uint32(i.Rd&0xF)<<22 | uint32(i.Rs1&0xF)<<18 |
+			uint32(i.Rs2&0xF)<<14 | uint32(i.Imm)&0x3FFF, nil
+	case 'M':
+		if i.Imm < -(1<<15) || i.Imm >= 1<<16 {
+			return 0, fmt.Errorf("isa: immediate %d out of M-type range", i.Imm)
+		}
+		return uint32(i.Op)<<26 | uint32(i.Rd&0xF)<<22 | uint32(i.Imm)&0xFFFF, nil
+	}
+	return 0, fmt.Errorf("isa: unencodable opcode %d", i.Op)
+}
+
+// Decode unpacks a word produced by Encode. M-type immediates are
+// sign-extended for movi and branch-absolute for branches.
+func Decode(w uint32) (Inst, error) {
+	if w&gfMarker == gfMarker {
+		return DecodeGF(w &^ gfMarker)
+	}
+	op := Op(w >> 26)
+	switch instFormat(op) {
+	case 'R':
+		return Inst{
+			Op:  op,
+			Rd:  uint8(w >> 22 & 0xF),
+			Rd2: uint8(w >> 18 & 0xF),
+			Rs1: uint8(w >> 14 & 0xF),
+			Rs2: uint8(w >> 10 & 0xF),
+		}, nil
+	case 'I':
+		imm := int32(w & 0x3FFF)
+		if imm >= 1<<13 {
+			imm -= 1 << 14
+		}
+		return Inst{
+			Op:  op,
+			Rd:  uint8(w >> 22 & 0xF),
+			Rs1: uint8(w >> 18 & 0xF),
+			Rs2: uint8(w >> 14 & 0xF),
+			Imm: imm,
+		}, nil
+	case 'M':
+		imm := int32(w & 0xFFFF)
+		if op == MOVI && imm >= 1<<15 {
+			imm -= 1 << 16 // movi sign-extends
+		}
+		return Inst{Op: op, Rd: uint8(w >> 22 & 0xF), Imm: imm}, nil
+	}
+	return Inst{}, fmt.Errorf("isa: undecodable word %#x", w)
+}
+
+// progMagic identifies a serialized program image.
+var progMagic = [4]byte{'G', 'F', 'P', '1'}
+
+// MarshalBinary serializes the assembled program (instruction words +
+// data image). Symbol tables are not preserved — the image is what a
+// loader would flash.
+func (p *Program) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(progMagic[:])
+	binary.Write(&buf, binary.LittleEndian, uint32(len(p.Insts)))
+	binary.Write(&buf, binary.LittleEndian, uint32(len(p.Data)))
+	for idx, in := range p.Insts {
+		w, err := Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d (%v): %w", idx, in, err)
+		}
+		binary.Write(&buf, binary.LittleEndian, w)
+	}
+	buf.Write(p.Data)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary reverses MarshalBinary.
+func (p *Program) UnmarshalBinary(data []byte) error {
+	if len(data) < 12 || !bytes.Equal(data[:4], progMagic[:]) {
+		return fmt.Errorf("isa: bad program image")
+	}
+	nInst := binary.LittleEndian.Uint32(data[4:8])
+	nData := binary.LittleEndian.Uint32(data[8:12])
+	need := 12 + 4*int(nInst) + int(nData)
+	if len(data) != need {
+		return fmt.Errorf("isa: program image length %d, want %d", len(data), need)
+	}
+	insts := make([]Inst, nInst)
+	off := 12
+	for i := range insts {
+		w := binary.LittleEndian.Uint32(data[off:])
+		in, err := Decode(w)
+		if err != nil {
+			return fmt.Errorf("isa: word %d: %w", i, err)
+		}
+		insts[i] = in
+		off += 4
+	}
+	p.Insts = insts
+	p.Data = append([]byte(nil), data[off:]...)
+	p.Labels = map[string]int{}
+	p.DataLabels = map[string]int{}
+	return nil
+}
+
+// Disassemble renders the program as assembly text with instruction
+// indices, suitable for inspection (labels reappear as L<idx> comments).
+func Disassemble(p *Program) string {
+	// Invert the label table for annotation.
+	byIdx := map[int][]string{}
+	for name, idx := range p.Labels {
+		byIdx[idx] = append(byIdx[idx], name)
+	}
+	var sb strings.Builder
+	for i, in := range p.Insts {
+		for _, l := range byIdx[i] {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+		fmt.Fprintf(&sb, "%4d:\t%s\n", i, in.String())
+	}
+	if len(p.Data) > 0 {
+		fmt.Fprintf(&sb, ".data\t; %d bytes\n", len(p.Data))
+	}
+	return sb.String()
+}

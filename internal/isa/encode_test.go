@@ -1,0 +1,186 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTripAllFormats(t *testing.T) {
+	src := `
+	start:
+		nop
+		movi r1, #100
+		movi r2, #-5
+		movhi r3, #0xABCD
+		mov r4, r1
+		mvn r5, r4
+		add r6, r1, r2
+		addi r7, r6, #-12
+		sub r8, r7, r1
+		subi r9, r8, #3
+		and r10, r9, r1
+		andi r11, r10, #0xFF
+		orr r12, r11, r1
+		eor r1, r12, r2
+		lsl r2, r1, r3
+		lsli r3, r2, #5
+		lsr r4, r3, r1
+		lsri r5, r4, #2
+		mul r6, r5, r1
+		cmp r6, r1
+		cmpi r6, #7
+		beq start
+		bne start
+		blt start
+		bge start
+		bgt start
+		ble start
+		blo start
+		bhs start
+		bl start
+		b start
+		ret
+		ldr r1, [r2, #8]
+		ldr r1, [r2, r3]
+		ldrb r4, [r5, #1]
+		ldrb r4, [r5, r6]
+		str r1, [r2, #4]
+		str r1, [r2, r3]
+		strb r4, [r5, #0]
+		strb r4, [r5, r6]
+		gfconf r1
+		gfmul r2, r3, r4
+		gfmulinv r5, r6
+		gfsq r7, r8
+		gfpow r9, r10, r11
+		gfadd r12, r1, r2
+		gf32mul r3, r4, r5, r6
+		halt
+	`
+	p := MustAssemble(src)
+	for idx, in := range p.Insts {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("inst %d (%v): %v", idx, in, err)
+		}
+		back, err := Decode(w)
+		if err != nil {
+			t.Fatalf("inst %d: decode: %v", idx, err)
+		}
+		// Symbols are not preserved in the binary image.
+		want := in
+		want.Sym = ""
+		if back != want {
+			t.Fatalf("inst %d: %+v -> %#x -> %+v", idx, want, w, back)
+		}
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	if _, err := Encode(Inst{Op: ADDI, Imm: 1 << 14}); err == nil {
+		t.Error("oversized I-type immediate accepted")
+	}
+	if _, err := Encode(Inst{Op: MOVI, Imm: 1 << 17}); err == nil {
+		t.Error("oversized M-type immediate accepted")
+	}
+	if _, err := Encode(Inst{Op: ADD, Sym: "unresolved"}); err == nil {
+		t.Error("unresolved symbol encoded on non-branch")
+	}
+	if _, err := Decode(45 << 26); err == nil { // opcode 45 is unassigned
+		t.Error("garbage word decoded")
+	}
+}
+
+func TestProgramImageRoundTrip(t *testing.T) {
+	src := `
+		movi r1, =buf
+		ldr r2, [r1, #0]
+		gfconf r1
+		gfmul r3, r2, r2
+	done:
+		halt
+	.data
+	buf: .word 0x11D, 42
+	`
+	p := MustAssemble(src)
+	img, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Program
+	if err := q.UnmarshalBinary(img); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Insts) != len(p.Insts) || len(q.Data) != len(p.Data) {
+		t.Fatal("image shape mismatch")
+	}
+	for i := range p.Insts {
+		want := p.Insts[i]
+		want.Sym = ""
+		if q.Insts[i] != want {
+			t.Fatalf("inst %d mismatch: %+v vs %+v", i, q.Insts[i], want)
+		}
+	}
+	for i := range p.Data {
+		if q.Data[i] != p.Data[i] {
+			t.Fatal("data mismatch")
+		}
+	}
+	// Corrupt images are rejected.
+	if err := new(Program).UnmarshalBinary(img[:8]); err == nil {
+		t.Error("truncated image accepted")
+	}
+	img[0] = 'X'
+	if err := new(Program).UnmarshalBinary(img); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p := MustAssemble(`
+	loop:
+		addi r1, r1, #1
+		b loop
+	.data
+		.word 7
+	`)
+	txt := Disassemble(p)
+	if !strings.Contains(txt, "loop:") {
+		t.Errorf("labels missing:\n%s", txt)
+	}
+	if !strings.Contains(txt, "addi r1, r1, #1") {
+		t.Errorf("instruction missing:\n%s", txt)
+	}
+	if !strings.Contains(txt, ".data") {
+		t.Errorf("data note missing:\n%s", txt)
+	}
+}
+
+func TestEncodedProgramRunsIdentically(t *testing.T) {
+	// A program that survives the binary round trip must execute the same.
+	// (The processor is in package core; here we just confirm structural
+	// identity, which core's determinism makes sufficient.)
+	src := `
+		movi r1, #5
+		movi r2, #0
+	loop:
+		add r2, r2, r1
+		subi r1, r1, #1
+		cmpi r1, #0
+		bgt loop
+		halt
+	`
+	p := MustAssemble(src)
+	img, _ := p.MarshalBinary()
+	var q Program
+	if err := q.UnmarshalBinary(img); err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Insts {
+		want := p.Insts[i]
+		want.Sym = ""
+		if q.Insts[i] != want {
+			t.Fatal("binary round trip changed the program")
+		}
+	}
+}

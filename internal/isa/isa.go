@@ -1,0 +1,196 @@
+// Package isa defines the instruction set of the programmable Galois
+// Field processor: the Table-1 GF instructions (4-way SIMD multiply,
+// square, power, multiplicative inverse and add; the single-cycle 32-bit
+// carry-free partial product; and the field-configuration load) together
+// with the subset of Cortex M0+-style scalar instructions the paper keeps
+// for control, integer arithmetic and memory ("Rather than implementing
+// the full instruction set of a Cortex M0+, we profile the workloads and
+// identify the subset ... needed").
+//
+// The package provides the symbolic instruction representation, binary
+// encoding/decoding (GF instructions use the paper's 26-bit format:
+// 10-bit opcode + 16-bit register field), and a two-pass assembler.
+package isa
+
+import "fmt"
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Scalar (M0+ subset) opcodes.
+const (
+	NOP Op = iota
+	HALT
+	MOV   // MOV rd, rs
+	MOVI  // MOVI rd, #imm16 (sign-extended) or =label (data address)
+	MOVHI // MOVHI rd, #imm16: rd = (rd & 0xFFFF) | imm<<16
+	ADD   // ADD rd, rs1, rs2
+	ADDI  // ADDI rd, rs1, #imm
+	SUB   // SUB rd, rs1, rs2
+	SUBI  // SUBI rd, rs1, #imm
+	AND   // AND rd, rs1, rs2
+	ANDI  // ANDI rd, rs1, #imm
+	ORR   // ORR rd, rs1, rs2
+	EOR   // EOR rd, rs1, rs2
+	MVN   // MVN rd, rs
+	LSL   // LSL rd, rs1, rs2
+	LSLI  // LSLI rd, rs1, #imm
+	LSR   // LSR rd, rs1, rs2
+	LSRI  // LSRI rd, rs1, #imm
+	MUL   // MUL rd, rs1, rs2 (integer, single cycle)
+	CMP   // CMP rs1, rs2 (sets flags)
+	CMPI  // CMPI rs1, #imm
+	B     // B label
+	BEQ   // branch if equal
+	BNE   // branch if not equal
+	BLT   // branch if signed less
+	BGE   // branch if signed greater-or-equal
+	BGT   // branch if signed greater
+	BLE   // branch if signed less-or-equal
+	BLO   // branch if unsigned lower
+	BHS   // branch if unsigned higher-or-same
+	BL    // call: LR = PC+1, jump
+	RET   // return: PC = LR
+	LDR   // LDR rd, [rs1, #imm] (word)
+	LDRR  // LDRR rd, [rs1, rs2] (word, register offset)
+	LDRB  // LDRB rd, [rs1, #imm] (byte, zero-extended)
+	LDRBR // LDRBR rd, [rs1, rs2]
+	STR   // STR rs2, [rs1, #imm]
+	STRR  // STRR rs2, [rs1, rs3]
+	STRB  // STRB rs2, [rs1, #imm]
+	STRBR // STRBR rs2, [rs1, rs3]
+)
+
+// GF opcodes (Table 1). All operate on the GF arithmetic unit.
+const (
+	GFCONF   Op = 0x40 + iota // GFCONF rs: load field configuration from [rs]
+	GFMUL                     // gfMult_simd  rd, rs1, rs2
+	GFMULINV                  // gfMultInv_simd rd, rs
+	GFSQ                      // gfSq_simd rd, rs
+	GFPOW                     // gfPower_simd rd, rs1, rs2
+	GFADD                     // gfAdd_simd rd, rs1, rs2
+	GF32MUL                   // gf32bMult rdh, rdl, rs1, rs2
+)
+
+// NumRegs is the architectural register-file size (16 entries, 32-bit).
+const NumRegs = 16
+
+// Register aliases.
+const (
+	SP = 13 // conventional stack pointer
+	LR = 14 // link register for BL/RET
+)
+
+// Inst is a decoded instruction. Rd2 is the second destination of GF32MUL
+// (the low product word). Imm doubles as the branch target (instruction
+// index) after assembly.
+type Inst struct {
+	Op  Op
+	Rd  uint8
+	Rd2 uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32
+	Sym string // unresolved label, assembler-internal
+}
+
+// IsGF reports whether the instruction executes on the GF arithmetic unit.
+func (i Inst) IsGF() bool { return i.Op >= GFCONF && i.Op <= GF32MUL }
+
+// IsBranch reports whether the instruction may redirect control flow.
+func (i Inst) IsBranch() bool { return (i.Op >= B && i.Op <= RET) || i.Op == HALT }
+
+// opNames maps opcodes to assembly mnemonics.
+var opNames = map[Op]string{
+	NOP: "nop", HALT: "halt", MOV: "mov", MOVI: "movi", MOVHI: "movhi",
+	ADD: "add", ADDI: "addi", SUB: "sub", SUBI: "subi",
+	AND: "and", ANDI: "andi", ORR: "orr", EOR: "eor", MVN: "mvn",
+	LSL: "lsl", LSLI: "lsli", LSR: "lsr", LSRI: "lsri", MUL: "mul",
+	CMP: "cmp", CMPI: "cmpi",
+	B: "b", BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BGT: "bgt",
+	BLE: "ble", BLO: "blo", BHS: "bhs", BL: "bl", RET: "ret",
+	LDR: "ldr", LDRR: "ldrr", LDRB: "ldrb", LDRBR: "ldrbr",
+	STR: "str", STRR: "strr", STRB: "strb", STRBR: "strbr",
+	GFCONF: "gfconf", GFMUL: "gfmul", GFMULINV: "gfmulinv", GFSQ: "gfsq",
+	GFPOW: "gfpow", GFADD: "gfadd", GF32MUL: "gf32mul",
+}
+
+var nameOps = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, n := range opNames {
+		m[n] = op
+	}
+	return m
+}()
+
+// String renders the instruction in assembly syntax.
+func (i Inst) String() string {
+	n := opNames[i.Op]
+	switch i.Op {
+	case NOP, HALT, RET:
+		return n
+	case MOV, MVN:
+		return fmt.Sprintf("%s r%d, r%d", n, i.Rd, i.Rs1)
+	case MOVI, MOVHI:
+		return fmt.Sprintf("%s r%d, #%d", n, i.Rd, i.Imm)
+	case ADD, SUB, AND, ORR, EOR, LSL, LSR, MUL, GFMUL, GFPOW, GFADD:
+		return fmt.Sprintf("%s r%d, r%d, r%d", n, i.Rd, i.Rs1, i.Rs2)
+	case ADDI, SUBI, ANDI, LSLI, LSRI:
+		return fmt.Sprintf("%s r%d, r%d, #%d", n, i.Rd, i.Rs1, i.Imm)
+	case CMP:
+		return fmt.Sprintf("%s r%d, r%d", n, i.Rs1, i.Rs2)
+	case CMPI:
+		return fmt.Sprintf("%s r%d, #%d", n, i.Rs1, i.Imm)
+	case B, BEQ, BNE, BLT, BGE, BGT, BLE, BLO, BHS, BL:
+		if i.Sym != "" {
+			return fmt.Sprintf("%s %s", n, i.Sym)
+		}
+		return fmt.Sprintf("%s %d", n, i.Imm)
+	case LDR, LDRB:
+		return fmt.Sprintf("%s r%d, [r%d, #%d]", n, i.Rd, i.Rs1, i.Imm)
+	case LDRR, LDRBR:
+		return fmt.Sprintf("%s r%d, [r%d, r%d]", n, i.Rd, i.Rs1, i.Rs2)
+	case STR, STRB:
+		return fmt.Sprintf("%s r%d, [r%d, #%d]", n, i.Rs2, i.Rs1, i.Imm)
+	case STRR, STRBR:
+		return fmt.Sprintf("%s r%d, [r%d, r%d]", n, i.Rs2, i.Rs1, i.Rd2)
+	case GFCONF:
+		return fmt.Sprintf("%s r%d", n, i.Rs1)
+	case GFMULINV, GFSQ:
+		return fmt.Sprintf("%s r%d, r%d", n, i.Rd, i.Rs1)
+	case GF32MUL:
+		return fmt.Sprintf("%s r%d, r%d, r%d, r%d", n, i.Rd, i.Rd2, i.Rs1, i.Rs2)
+	default:
+		return fmt.Sprintf("op%d", i.Op)
+	}
+}
+
+// EncodeGF packs a GF instruction into the paper's 26-bit format:
+// bits 25..16 opcode, bits 15..0 register field (four 4-bit selectors:
+// rd, rd2, rs1, rs2). It returns an error for non-GF instructions.
+func EncodeGF(i Inst) (uint32, error) {
+	if !i.IsGF() {
+		return 0, fmt.Errorf("isa: %v is not a GF instruction", i.Op)
+	}
+	w := uint32(i.Op) << 16
+	w |= uint32(i.Rd&0xF) << 12
+	w |= uint32(i.Rd2&0xF) << 8
+	w |= uint32(i.Rs1&0xF) << 4
+	w |= uint32(i.Rs2 & 0xF)
+	return w, nil
+}
+
+// DecodeGF unpacks a 26-bit GF instruction word.
+func DecodeGF(w uint32) (Inst, error) {
+	op := Op(w >> 16 & 0x3FF)
+	if op < GFCONF || op > GF32MUL {
+		return Inst{}, fmt.Errorf("isa: bad GF opcode %#x", uint32(op))
+	}
+	return Inst{
+		Op:  op,
+		Rd:  uint8(w >> 12 & 0xF),
+		Rd2: uint8(w >> 8 & 0xF),
+		Rs1: uint8(w >> 4 & 0xF),
+		Rs2: uint8(w & 0xF),
+	}, nil
+}

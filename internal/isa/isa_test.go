@@ -1,0 +1,232 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble(`
+		; a tiny program
+		movi r1, #10
+		movi r2, #0x20
+	loop:
+		subi r1, r1, #1
+		cmpi r1, #0
+		bne loop
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 6 {
+		t.Fatalf("got %d instructions", len(p.Insts))
+	}
+	if p.Labels["loop"] != 2 {
+		t.Fatalf("loop label = %d", p.Labels["loop"])
+	}
+	if p.Insts[4].Op != BNE || p.Insts[4].Imm != 2 {
+		t.Fatalf("bne not resolved: %+v", p.Insts[4])
+	}
+	if p.Insts[1].Imm != 0x20 {
+		t.Fatal("hex immediate not parsed")
+	}
+}
+
+func TestAssembleDataSection(t *testing.T) {
+	p, err := Assemble(`
+		movi r1, =table
+		ldr r2, [r1, #4]
+		halt
+	.data
+	pad: .space 3
+	table:
+		.word 0x11223344, 2
+		.byte 7, 8
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DataLabels["table"] != 3 {
+		t.Fatalf("table at %d", p.DataLabels["table"])
+	}
+	if p.Insts[0].Imm != 3 {
+		t.Fatalf("=table resolved to %d", p.Insts[0].Imm)
+	}
+	if len(p.Data) != 3+8+2 {
+		t.Fatalf("data length %d", len(p.Data))
+	}
+	if p.Data[3] != 0x44 || p.Data[6] != 0x11 {
+		t.Fatal("little-endian .word layout wrong")
+	}
+}
+
+func TestAssembleMemOperands(t *testing.T) {
+	p, err := Assemble(`
+		ldr r1, [r2]
+		ldr r1, [r2, #8]
+		ldr r1, [r2, r3]
+		ldrb r4, [r5, r6]
+		str r1, [r2, #4]
+		str r1, [r2, r3]
+		strb r1, [r2, r3]
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{LDR, LDR, LDRR, LDRBR, STR, STRR, STRBR, HALT}
+	for i, op := range want {
+		if p.Insts[i].Op != op {
+			t.Errorf("inst %d: op %v, want %v", i, p.Insts[i].Op, op)
+		}
+	}
+	if p.Insts[2].Rs2 != 3 {
+		t.Error("register offset not parsed")
+	}
+	if p.Insts[5].Rd2 != 3 || p.Insts[5].Rs2 != 1 {
+		t.Errorf("strr operands wrong: %+v", p.Insts[5])
+	}
+}
+
+func TestAssembleGFInstructions(t *testing.T) {
+	p, err := Assemble(`
+		movi r1, =field
+		gfconf r1
+		gfmul r4, r2, r3
+		gfmulinv r5, r4
+		gfsq r6, r5
+		gfpow r7, r6, r2
+		gfadd r8, r7, r2
+		gf32mul r9, r10, r2, r3
+		halt
+	.data
+	field: .word 0x11d
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf32 := p.Insts[7]
+	if gf32.Op != GF32MUL || gf32.Rd != 9 || gf32.Rd2 != 10 || gf32.Rs1 != 2 || gf32.Rs2 != 3 {
+		t.Fatalf("gf32mul parsed wrong: %+v", gf32)
+	}
+	for i := 1; i <= 7; i++ {
+		if !p.Insts[i].IsGF() {
+			t.Errorf("inst %d not recognized as GF", i)
+		}
+	}
+	if p.Insts[0].IsGF() {
+		t.Error("movi recognized as GF")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"bogus r1, r2",
+		"movi r16, #1",
+		"movi r1",
+		"add r1, r2",
+		"ldr r1, r2",
+		"b 123abc",
+		"movhi r1, =label",
+		".data\nadd r1, r2, r3",
+		"dup: nop\ndup: nop",
+		"movi r1, =missing\nhalt",
+		"bne nowhere\nhalt",
+		"ldrr r1, [r2, #4]",
+		".space -1",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("accepted bad program %q", src)
+		}
+	}
+}
+
+func TestRegisterAliases(t *testing.T) {
+	p, err := Assemble("mov sp, lr\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Rd != SP || p.Insts[0].Rs1 != LR {
+		t.Fatalf("aliases wrong: %+v", p.Insts[0])
+	}
+}
+
+func TestEncodeDecodeGFRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: GFMUL, Rd: 4, Rs1: 2, Rs2: 3},
+		{Op: GFMULINV, Rd: 5, Rs1: 4},
+		{Op: GFSQ, Rd: 6, Rs1: 5},
+		{Op: GFPOW, Rd: 7, Rs1: 6, Rs2: 2},
+		{Op: GFADD, Rd: 8, Rs1: 7, Rs2: 2},
+		{Op: GF32MUL, Rd: 9, Rd2: 10, Rs1: 2, Rs2: 3},
+		{Op: GFCONF, Rs1: 1},
+	}
+	for _, in := range cases {
+		w, err := EncodeGF(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w >= 1<<26 {
+			t.Errorf("%v encodes to %d bits (> 26)", in, 32)
+		}
+		back, err := DecodeGF(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != in {
+			t.Errorf("round trip: %+v -> %+v", in, back)
+		}
+	}
+	if _, err := EncodeGF(Inst{Op: ADD}); err == nil {
+		t.Error("encoded non-GF instruction")
+	}
+	if _, err := DecodeGF(0); err == nil {
+		t.Error("decoded invalid GF word")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	src := `
+		nop
+		movi r1, #5
+		add r2, r1, r1
+		ldr r3, [r2, #4]
+		str r3, [r2, #8]
+		gfmul r4, r2, r3
+		gf32mul r5, r6, r1, r2
+		beq done
+	done:
+		halt
+	`
+	p := MustAssemble(src)
+	for _, in := range p.Insts {
+		s := in.String()
+		if s == "" || strings.HasPrefix(s, "op") {
+			t.Errorf("bad String() for %+v: %q", in, s)
+		}
+	}
+	if p.Insts[5].String() != "gfmul r4, r2, r3" {
+		t.Errorf("gfmul String() = %q", p.Insts[5].String())
+	}
+}
+
+func TestIsBranch(t *testing.T) {
+	if !(Inst{Op: B}).IsBranch() || !(Inst{Op: RET}).IsBranch() || !(Inst{Op: HALT}).IsBranch() {
+		t.Error("branch classification wrong")
+	}
+	if (Inst{Op: ADD}).IsBranch() {
+		t.Error("add classified as branch")
+	}
+}
+
+func TestLabelOnSameLine(t *testing.T) {
+	p, err := Assemble("start: movi r1, #1\nb start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Labels["start"] != 0 || len(p.Insts) != 2 {
+		t.Fatal("same-line label broken")
+	}
+}

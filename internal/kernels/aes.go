@@ -1,0 +1,439 @@
+package kernels
+
+import (
+	"repro/internal/aes"
+	"repro/internal/perf"
+)
+
+// AES kernels (paper Table 5, Fig. 10).
+//
+// Baseline model: the TI-style open-source M0+ implementation the paper
+// selects ([44]): state array in memory, S-box as a 256-byte table,
+// multiplication by x ("galois_mul2") as a small function called per use,
+// MixColumns with the 02/03/01/01 shift trick, InvMixColumns through
+// galois_mul2 chains (coefficients 0E/0B/0D/09 defeat the trick — the
+// paper's explanation for the asymmetric speedups).
+//
+// GF-processor model: the state lives in four row-major registers, so
+// SubBytes is four gfMultInv_simd instructions (the S-box affine stage is
+// folded into the instruction's output network — a documented
+// reproduction assumption, see DESIGN.md), ShiftRows is three lane
+// rotations, and MixColumns/InvMixColumns are row-wise SIMD GF
+// multiply-accumulates that are agnostic to the coefficient values.
+
+// chargeBaseMul2Call charges one call to the baseline galois_mul2 helper:
+// BL + (shift, mask, conditional reduction xor, move) + RET.
+func chargeBaseMul2Call(m *perf.Meter) {
+	m.Taken(1) // BL
+	m.Alu(4)
+	m.NotTaken(1) // conditional 0x1B reduction
+	m.Taken(1)    // RET
+}
+
+// chargeStateLoad charges bringing the 16-byte state into registers
+// (GF processor: 4 word loads) and chargeStateStore writes it back.
+func chargeStateLoad(m *perf.Meter)  { m.Load(4); m.Alu(1) }
+func chargeStateStore(m *perf.Meter) { m.Store(4); m.Alu(1) }
+
+// AddRoundKey XORs the round key into the state, metering both machines.
+func AddRoundKey(s *aes.State, rk []byte, mach Machine, m *perf.Meter) {
+	aes.AddRoundKey(s, rk)
+	switch mach {
+	case Baseline:
+		// 4 words: load state, load key, xor, store (+ addressing).
+		m.Load(8)
+		m.Alu(8)
+		m.Store(4)
+	case GFProc:
+		chargeStateLoad(m)
+		m.Load(4) // round key words
+		m.GF(4)   // gfadd per row register
+		chargeStateStore(m)
+	}
+}
+
+// SubBytes applies the S-box (forward or inverse) to the state.
+func SubBytes(s *aes.State, inverse bool, mach Machine, m *perf.Meter) {
+	if inverse {
+		aes.InvSubBytes(s)
+	} else {
+		aes.SubBytes(s)
+	}
+	switch mach {
+	case Baseline:
+		// 16x table lookup: load byte, index, load table, store.
+		for i := 0; i < 16; i++ {
+			m.Load(2)
+			m.Alu(2)
+			m.Store(1)
+			loopOverhead(m)
+		}
+	case GFProc:
+		chargeStateLoad(m)
+		m.GF(4) // gfMultInv_simd per row (affine folded; see package comment)
+		chargeStateStore(m)
+	}
+}
+
+// ShiftRows permutes the state rows — the "nonvectorizable data movement"
+// of Table 5; neither machine gets arithmetic help.
+func ShiftRows(s *aes.State, inverse bool, mach Machine, m *perf.Meter) {
+	if inverse {
+		aes.InvShiftRows(s)
+	} else {
+		aes.ShiftRows(s)
+	}
+	switch mach {
+	case Baseline:
+		// Rows 1..3: load 4 bytes, store rotated (+ temp shuffling).
+		for r := 1; r < 4; r++ {
+			m.Load(4)
+			m.Store(4)
+			m.Alu(6)
+		}
+	case GFProc:
+		chargeStateLoad(m)
+		m.Alu(9) // 3 lane rotations x (2 shifts + or)
+		chargeStateStore(m)
+	}
+}
+
+// MixColumns applies the (inverse) MixColumns matrix.
+func MixColumns(s *aes.State, inverse bool, mach Machine, m *perf.Meter) {
+	if inverse {
+		aes.InvMixColumns(s)
+	} else {
+		aes.MixColumns(s)
+	}
+	switch mach {
+	case Baseline:
+		if !inverse {
+			// Optimized 02/03/01/01 path: per column, Tmp = a0^..^a3 and per
+			// byte one galois_mul2 call plus xors.
+			for col := 0; col < 4; col++ {
+				m.Load(4)
+				m.Alu(4 + 3) // addressing + Tmp
+				for b := 0; b < 4; b++ {
+					m.Alu(1) // Tm = a_i ^ a_{i+1}
+					chargeBaseMul2Call(m)
+					m.Alu(2) // out = a_i ^ Tm2 ^ Tmp
+				}
+				m.Store(4)
+				m.Alu(4)
+				loopOverhead(m)
+			}
+		} else {
+			// 0E/0B/0D/09 path: per input byte the x2/x4/x8 chain (3 calls),
+			// then 16 multiply-accumulate combinations per column.
+			for col := 0; col < 4; col++ {
+				m.Load(4)
+				m.Alu(4)
+				for b := 0; b < 4; b++ {
+					chargeBaseMul2Call(m) // x2
+					chargeBaseMul2Call(m) // x4
+					chargeBaseMul2Call(m) // x8
+					m.Alu(2)              // stash chain values
+				}
+				m.Alu(16 * 2) // combine: ~2 xors per product term
+				m.Store(4)
+				m.Alu(4)
+				loopOverhead(m)
+			}
+		}
+	case GFProc:
+		chargeStateLoad(m)
+		if !inverse {
+			m.Alu(2)        // materialize 0x02020202 / 0x03030303 splats
+			m.GF(4*2 + 4*3) // per output row: 2 gfmul (coeff 2,3) + 3 gfadd
+		} else {
+			m.Alu(4)        // materialize the four coefficient splats
+			m.GF(4*4 + 4*3) // per output row: 4 gfmul + 3 gfadd
+		}
+		m.Alu(4) // register moves for the new state
+		chargeStateStore(m)
+	}
+}
+
+// KeyExpansion meters the full key schedule (nk words -> 4*(rounds+1)).
+func KeyExpansion(key []byte, mach Machine, m *perf.Meter) (*aes.Cipher, error) {
+	c, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	rounds := c.Rounds()
+	nk := len(key) / 4
+	nw := 4 * (rounds + 1)
+	for i := nk; i < nw; i++ {
+		if i%nk == 0 {
+			switch mach {
+			case Baseline:
+				// RotWord: 4 byte moves; SubWord: 4 table lookups; Rcon xor.
+				m.Alu(6)
+				for b := 0; b < 4; b++ {
+					m.Load(2)
+					m.Alu(2)
+				}
+				m.Alu(1)
+			case GFProc:
+				m.Alu(3) // lane rotation
+				m.GF(1)  // SubWord: one SIMD inverse (affine folded)
+				m.Alu(1) // Rcon
+			}
+		} else if nk > 6 && i%nk == 4 {
+			switch mach {
+			case Baseline:
+				for b := 0; b < 4; b++ {
+					m.Load(2)
+					m.Alu(2)
+				}
+			case GFProc:
+				m.GF(1)
+			}
+		}
+		// w[i] = w[i-nk] ^ t
+		m.Load(1)
+		m.Alu(2)
+		m.Store(1)
+		loopOverhead(m)
+	}
+	return c, nil
+}
+
+// AESBreakdown is the per-kernel cycle table behind Fig. 10.
+type AESBreakdown struct {
+	AddRoundKey  Result
+	SBox         Result
+	ShiftRows    Result
+	MixCol       Result
+	InvMixCol    Result
+	KeyExpansion Result
+	Encrypt      Result // full block encryption
+	Decrypt      Result // full block decryption
+}
+
+// EncryptBlock meters a full AES block encryption on the given machine
+// and returns the ciphertext. On the GF processor the state stays
+// register-resident across the whole encryption (only the initial load,
+// round-key loads and final store touch memory) — the register-pressure
+// benefit the paper calls out in Section 3.2.
+func EncryptBlock(c *aes.Cipher, pt []byte, mach Machine, m *perf.Meter) []byte {
+	s := aes.LoadState(pt)
+	rounds := c.Rounds()
+	if mach == GFProc {
+		chargeStateLoad(m)
+	}
+	arq := func(r int) {
+		aes.AddRoundKey(&s, c.RoundKey(r))
+		switch mach {
+		case Baseline:
+			m.Load(8)
+			m.Alu(8)
+			m.Store(4)
+		case GFProc:
+			m.Load(4)
+			m.GF(4)
+		}
+	}
+	sub := func() {
+		aes.SubBytes(&s)
+		switch mach {
+		case Baseline:
+			for i := 0; i < 16; i++ {
+				m.Load(2)
+				m.Alu(2)
+				m.Store(1)
+				loopOverhead(m)
+			}
+		case GFProc:
+			m.GF(4)
+		}
+	}
+	shift := func() {
+		aes.ShiftRows(&s)
+		switch mach {
+		case Baseline:
+			for r := 1; r < 4; r++ {
+				m.Load(4)
+				m.Store(4)
+				m.Alu(6)
+			}
+		case GFProc:
+			m.Alu(9)
+		}
+	}
+	mix := func() {
+		aes.MixColumns(&s)
+		switch mach {
+		case Baseline:
+			for col := 0; col < 4; col++ {
+				m.Load(4)
+				m.Alu(7)
+				for b := 0; b < 4; b++ {
+					m.Alu(1)
+					chargeBaseMul2Call(m)
+					m.Alu(2)
+				}
+				m.Store(4)
+				m.Alu(4)
+				loopOverhead(m)
+			}
+		case GFProc:
+			m.Alu(2)
+			m.GF(20)
+			m.Alu(4)
+		}
+	}
+	arq(0)
+	for r := 1; r < rounds; r++ {
+		sub()
+		shift()
+		mix()
+		arq(r)
+		loopOverhead(m)
+	}
+	sub()
+	shift()
+	arq(rounds)
+	if mach == GFProc {
+		chargeStateStore(m)
+	}
+	return s.Bytes()
+}
+
+// DecryptBlock meters a full AES block decryption and returns the
+// plaintext.
+func DecryptBlock(c *aes.Cipher, ct []byte, mach Machine, m *perf.Meter) []byte {
+	s := aes.LoadState(ct)
+	rounds := c.Rounds()
+	if mach == GFProc {
+		chargeStateLoad(m)
+	}
+	arq := func(r int) {
+		aes.AddRoundKey(&s, c.RoundKey(r))
+		switch mach {
+		case Baseline:
+			m.Load(8)
+			m.Alu(8)
+			m.Store(4)
+		case GFProc:
+			m.Load(4)
+			m.GF(4)
+		}
+	}
+	invSub := func() {
+		aes.InvSubBytes(&s)
+		switch mach {
+		case Baseline:
+			for i := 0; i < 16; i++ {
+				m.Load(2)
+				m.Alu(2)
+				m.Store(1)
+				loopOverhead(m)
+			}
+		case GFProc:
+			m.GF(4)
+		}
+	}
+	invShift := func() {
+		aes.InvShiftRows(&s)
+		switch mach {
+		case Baseline:
+			for r := 1; r < 4; r++ {
+				m.Load(4)
+				m.Store(4)
+				m.Alu(6)
+			}
+		case GFProc:
+			m.Alu(9)
+		}
+	}
+	invMix := func() {
+		aes.InvMixColumns(&s)
+		switch mach {
+		case Baseline:
+			for col := 0; col < 4; col++ {
+				m.Load(4)
+				m.Alu(4)
+				for b := 0; b < 4; b++ {
+					chargeBaseMul2Call(m)
+					chargeBaseMul2Call(m)
+					chargeBaseMul2Call(m)
+					m.Alu(2)
+				}
+				m.Alu(32)
+				m.Store(4)
+				m.Alu(4)
+				loopOverhead(m)
+			}
+		case GFProc:
+			m.Alu(4)
+			m.GF(28)
+			m.Alu(4)
+		}
+	}
+	arq(rounds)
+	for r := rounds - 1; r >= 1; r-- {
+		invShift()
+		invSub()
+		arq(r)
+		invMix()
+		loopOverhead(m)
+	}
+	invShift()
+	invSub()
+	arq(0)
+	if mach == GFProc {
+		chargeStateStore(m)
+	}
+	return s.Bytes()
+}
+
+// AESKernels measures every Fig. 10 kernel plus full block encryption and
+// decryption for the given key and plaintext.
+func AESKernels(key, pt []byte) (*AESBreakdown, error) {
+	bd := &AESBreakdown{}
+	c, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	rk := c.RoundKey(1)
+
+	kernel := func(name string, run func(mach Machine, m *perf.Meter)) Result {
+		r := measure(name, run)
+		return r
+	}
+	bd.AddRoundKey = kernel("AddRoundKey", func(mach Machine, m *perf.Meter) {
+		s := aes.LoadState(pt)
+		AddRoundKey(&s, rk, mach, m)
+	})
+	bd.SBox = kernel("S-box", func(mach Machine, m *perf.Meter) {
+		s := aes.LoadState(pt)
+		SubBytes(&s, false, mach, m)
+	})
+	bd.ShiftRows = kernel("ShiftRows", func(mach Machine, m *perf.Meter) {
+		s := aes.LoadState(pt)
+		ShiftRows(&s, false, mach, m)
+	})
+	bd.MixCol = kernel("MixCol", func(mach Machine, m *perf.Meter) {
+		s := aes.LoadState(pt)
+		MixColumns(&s, false, mach, m)
+	})
+	bd.InvMixCol = kernel("invMixCol", func(mach Machine, m *perf.Meter) {
+		s := aes.LoadState(pt)
+		MixColumns(&s, true, mach, m)
+	})
+	bd.KeyExpansion = kernel("KeyExpansion", func(mach Machine, m *perf.Meter) {
+		if _, err := KeyExpansion(key, mach, m); err != nil {
+			panic(err)
+		}
+	})
+	bd.Encrypt = kernel("Encryption", func(mach Machine, m *perf.Meter) {
+		EncryptBlock(c, pt, mach, m)
+	})
+	bd.Decrypt = kernel("Decryption", func(mach Machine, m *perf.Meter) {
+		ct := make([]byte, 16)
+		c.Encrypt(ct, pt)
+		DecryptBlock(c, ct, mach, m)
+	})
+	return bd, nil
+}

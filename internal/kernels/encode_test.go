@@ -1,0 +1,91 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bch"
+	"repro/internal/gf"
+	"repro/internal/perf"
+	"repro/internal/rs"
+)
+
+func TestEncodeRSMatchesReference(t *testing.T) {
+	c := rs.Must(gf.MustDefault(8), 255, 239)
+	rng := rand.New(rand.NewSource(1))
+	msg := make([]gf.Elem, c.K)
+	for i := range msg {
+		msg[i] = gf.Elem(rng.Intn(256))
+	}
+	want, _ := c.Encode(msg)
+	for _, mach := range []Machine{Baseline, GFProc} {
+		var m perf.Meter
+		got, err := EncodeRS(c, msg, mach, &m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: codeword mismatch", mach)
+			}
+		}
+		if m.Counts.Total() == 0 {
+			t.Fatalf("%v: no cost charged", mach)
+		}
+	}
+}
+
+func TestEncodeBCHMatchesReference(t *testing.T) {
+	c := bch.Must(gf.MustDefault(5), 5)
+	rng := rand.New(rand.NewSource(2))
+	msg := make([]byte, c.K)
+	for i := range msg {
+		msg[i] = byte(rng.Intn(2))
+	}
+	want, _ := c.Encode(msg)
+	for _, mach := range []Machine{Baseline, GFProc} {
+		var m perf.Meter
+		got, err := EncodeBCH(c, msg, mach, &m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: codeword mismatch", mach)
+			}
+		}
+	}
+}
+
+func TestEncoderResults(t *testing.T) {
+	c := rs.Must(gf.MustDefault(8), 255, 239)
+	bc := bch.Must(gf.MustDefault(5), 5)
+	rng := rand.New(rand.NewSource(3))
+	msg := make([]gf.Elem, c.K)
+	for i := range msg {
+		msg[i] = gf.Elem(rng.Intn(256))
+	}
+	bits := make([]byte, bc.K)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	res, err := EncoderResults(c, msg, bc, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RS encoding is GF-multiply dominated: big speedup. BCH encoding is
+	// xor-only: modest (near 1x) — the honest asymmetry.
+	if s := res[0].Speedup(); s < 5 {
+		t.Errorf("RS encode speedup %.1f < 5", s)
+	}
+	if s := res[1].Speedup(); s < 0.8 || s > 3 {
+		t.Errorf("BCH encode speedup %.1f outside [0.8, 3]", s)
+	}
+	if res[0].Speedup() <= res[1].Speedup() {
+		t.Error("RS encode should gain more than binary BCH encode")
+	}
+	// Errors propagate.
+	if _, err := EncodeRS(c, msg[:5], Baseline, &perf.Meter{}); err == nil {
+		t.Error("short message accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package kernels
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/aes"
+	"repro/internal/perf"
+)
+
+func TestGCMSealPacketMatchesLibrary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	key := make([]byte, 16)
+	nonce := make([]byte, 12)
+	pt := make([]byte, 64)
+	aad := make([]byte, 16)
+	rng.Read(key)
+	rng.Read(nonce)
+	rng.Read(pt)
+	rng.Read(aad)
+
+	c, _ := aes.NewCipher(key)
+	want, _ := c.NewGCM().Seal(nonce, pt, aad)
+	for _, mach := range []Machine{Baseline, GFProc} {
+		var m perf.Meter
+		got, err := GCMSealPacket(key, nonce, pt, aad, mach, &m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%v: sealed output differs", mach)
+		}
+		if m.Counts.Total() == 0 {
+			t.Fatalf("%v: nothing metered", mach)
+		}
+	}
+}
+
+func TestGCMResultSpeedup(t *testing.T) {
+	key := make([]byte, 16)
+	nonce := make([]byte, 12)
+	pt := make([]byte, 128) // an 8-block IoT packet
+	r, err := GCMResult(key, nonce, pt, []byte("hdr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GCM combines an AES-bound part (enc speedup ~10x) and a GHASH part
+	// (wide-multiply speedup); the package seal should land 5x..25x.
+	if s := r.Speedup(); s < 5 || s > 25 {
+		t.Errorf("GCM seal speedup %.1f outside 5..25 (base %d, gfproc %d)",
+			s, r.Baseline, r.GFProc)
+	}
+	t.Logf("AES-GCM seal of a 128-byte packet: %s", r.String())
+}
+
+func TestGCMSealPacketValidation(t *testing.T) {
+	var m perf.Meter
+	if _, err := GCMSealPacket(make([]byte, 5), make([]byte, 12), nil, nil, Baseline, &m); err == nil {
+		t.Error("bad key accepted")
+	}
+	if _, err := GCMSealPacket(make([]byte, 16), make([]byte, 5), nil, nil, Baseline, &m); err == nil {
+		t.Error("bad nonce accepted")
+	}
+}

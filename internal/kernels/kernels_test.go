@@ -1,0 +1,397 @@
+package kernels
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/aes"
+	"repro/internal/bch"
+	"repro/internal/ecc"
+	"repro/internal/gf"
+	"repro/internal/gfpoly"
+	"repro/internal/perf"
+	"repro/internal/rs"
+)
+
+var f8 = gf.MustDefault(8)
+
+func corruptedRS(t *testing.T, seed int64, nerr int) (*rs.Code, []gf.Elem, []gf.Elem) {
+	t.Helper()
+	c := rs.Must(f8, 255, 239)
+	rng := rand.New(rand.NewSource(seed))
+	msg := make([]gf.Elem, c.K)
+	for i := range msg {
+		msg[i] = gf.Elem(rng.Intn(256))
+	}
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := append([]gf.Elem(nil), cw...)
+	for _, p := range rng.Perm(c.N)[:nerr] {
+		recv[p] ^= gf.Elem(1 + rng.Intn(255))
+	}
+	return c, cw, recv
+}
+
+func TestSyndromesMatchReference(t *testing.T) {
+	c, _, recv := corruptedRS(t, 1, 8)
+	for _, mach := range []Machine{Baseline, GFProc} {
+		var m perf.Meter
+		synd := SyndromesRS(c, recv, mach, &m)
+		want := c.Syndromes(recv)
+		for i := range want {
+			if synd[i] != want[i] {
+				t.Fatalf("%v: syndrome %d mismatch", mach, i)
+			}
+		}
+		if m.Counts.Total() == 0 {
+			t.Fatalf("%v: no costs charged", mach)
+		}
+	}
+}
+
+func TestBaselineCannotUseGFOps(t *testing.T) {
+	// Any kernel metered for the baseline must not charge GF instructions.
+	c, _, recv := corruptedRS(t, 2, 5)
+	var m perf.Meter
+	SyndromesRS(c, recv, Baseline, &m)
+	if m.GFOp != 0 || m.GF32 != 0 {
+		t.Fatal("baseline charged GF instructions")
+	}
+	// Cycles() must panic if we price GF counts on the baseline profile.
+	var g perf.Meter
+	SyndromesRS(c, recv, GFProc, &g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pricing GF counts on M0+ did not panic")
+		}
+	}()
+	g.Cycles(perf.M0Plus())
+}
+
+func TestBMAMatchesReference(t *testing.T) {
+	c, _, recv := corruptedRS(t, 3, 7)
+	synd := c.Syndromes(recv)
+	want := gfpoly.BerlekampMassey(c.F, synd)
+	for _, mach := range []Machine{Baseline, GFProc} {
+		var m perf.Meter
+		got := BerlekampMassey(c.F, synd, mach, &m)
+		if !got.Equal(want) {
+			t.Fatalf("%v: BMA polynomial mismatch", mach)
+		}
+	}
+}
+
+func TestChienMatchesReference(t *testing.T) {
+	c, _, recv := corruptedRS(t, 4, 6)
+	synd := c.Syndromes(recv)
+	lambda := c.BerlekampMassey(synd)
+	want := c.ChienSearch(lambda)
+	for _, mach := range []Machine{Baseline, GFProc} {
+		var m perf.Meter
+		got := ChienSearch(c.F, lambda, c.N, mach, &m)
+		if len(got) != len(want) {
+			t.Fatalf("%v: positions %v want %v", mach, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%v: positions %v want %v", mach, got, want)
+			}
+		}
+	}
+}
+
+func TestDecodeRSCorrectsAndSpeedups(t *testing.T) {
+	c, cw, recv := corruptedRS(t, 5, 8)
+	bd, corrected, err := DecodeRS(c, recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cw {
+		if corrected[i] != cw[i] {
+			t.Fatal("metered decoder did not correct the word")
+		}
+	}
+	// Fig. 9 shape: syndrome has the largest speedup (> 15x), BMA the
+	// smallest; Forney > 8x; overall > 8x.
+	if s := bd.Syndrome.Speedup(); s < 15 {
+		t.Errorf("syndrome speedup %.1f < 15", s)
+	}
+	if s := bd.BMA.Speedup(); s >= bd.Syndrome.Speedup() {
+		t.Errorf("BMA speedup %.1f not the smallest", s)
+	}
+	if s := bd.Forney.Speedup(); s < 8 {
+		t.Errorf("Forney speedup %.1f < 8", s)
+	}
+	if s := bd.Overall.Speedup(); s < 8 {
+		t.Errorf("overall RS speedup %.1f < 8", s)
+	}
+	for _, r := range []Result{bd.Syndrome, bd.BMA, bd.Chien, bd.Forney} {
+		if r.Baseline <= 0 || r.GFProc <= 0 {
+			t.Errorf("kernel %s has empty cycles: %+v", r.Kernel, r)
+		}
+	}
+}
+
+func TestDecodeBCHCorrectsAndSpeedups(t *testing.T) {
+	code := bch.Must(gf.MustDefault(5), 5) // BCH(31,11,5)
+	rng := rand.New(rand.NewSource(6))
+	msg := make([]byte, code.K)
+	for i := range msg {
+		msg[i] = byte(rng.Intn(2))
+	}
+	cw, _ := code.Encode(msg)
+	recv := append([]byte(nil), cw...)
+	for _, p := range rng.Perm(code.N)[:5] {
+		recv[p] ^= 1
+	}
+	bd, corrected, err := DecodeBCH(code, recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(corrected, cw) {
+		t.Fatal("BCH metered decoder did not correct")
+	}
+	if s := bd.Overall.Speedup(); s < 3 {
+		t.Errorf("overall BCH speedup %.1f < 3", s)
+	}
+	// The paper: RS overall speedup exceeds binary BCH overall speedup.
+	c, cwRS, recvRS := corruptedRS(t, 7, 8)
+	_ = cwRS
+	rsBd, _, err := DecodeRS(c, recvRS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsBd.Overall.Speedup() <= bd.Overall.Speedup() {
+		t.Errorf("RS overall (%.1f) should exceed BCH overall (%.1f)",
+			rsBd.Overall.Speedup(), bd.Overall.Speedup())
+	}
+}
+
+func TestAESKernelOutputsMatchCipher(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	pt := []byte("the quick brown ")
+	c, _ := aes.NewCipher(key)
+	want := make([]byte, 16)
+	c.Encrypt(want, pt)
+	for _, mach := range []Machine{Baseline, GFProc} {
+		var m perf.Meter
+		got := EncryptBlock(c, pt, mach, &m)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%v: EncryptBlock output wrong", mach)
+		}
+		var md perf.Meter
+		back := DecryptBlock(c, got, mach, &md)
+		if !bytes.Equal(back, pt) {
+			t.Fatalf("%v: DecryptBlock output wrong", mach)
+		}
+	}
+}
+
+func TestAESKernelSpeedupShape(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	pt := []byte("fedcba9876543210")
+	bd, err := AESKernels(key, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 10 shape: S-box and the MixColumns pair show the best speedups;
+	// invMixCol > MixCol; enc > 3x, dec > 6x, dec > enc.
+	if bd.InvMixCol.Speedup() <= bd.MixCol.Speedup() {
+		t.Errorf("invMixCol (%.1f) should beat MixCol (%.1f)",
+			bd.InvMixCol.Speedup(), bd.MixCol.Speedup())
+	}
+	if bd.SBox.Speedup() < 5 {
+		t.Errorf("S-box speedup %.1f < 5", bd.SBox.Speedup())
+	}
+	if bd.InvMixCol.Speedup() < 10 {
+		t.Errorf("invMixCol speedup %.1f < 10", bd.InvMixCol.Speedup())
+	}
+	if bd.Encrypt.Speedup() < 3 {
+		t.Errorf("encrypt speedup %.1f < 3", bd.Encrypt.Speedup())
+	}
+	if bd.Decrypt.Speedup() < 6 {
+		t.Errorf("decrypt speedup %.1f < 6", bd.Decrypt.Speedup())
+	}
+	if bd.Decrypt.Speedup() <= bd.Encrypt.Speedup() {
+		t.Errorf("decrypt (%.1f) should beat encrypt (%.1f)",
+			bd.Decrypt.Speedup(), bd.Encrypt.Speedup())
+	}
+	// ShiftRows and AddRoundKey gain little (pure data movement).
+	if bd.ShiftRows.Speedup() > bd.SBox.Speedup() {
+		t.Errorf("ShiftRows (%.1f) should not beat S-box (%.1f)",
+			bd.ShiftRows.Speedup(), bd.SBox.Speedup())
+	}
+}
+
+func TestWideOpsMatchField(t *testing.T) {
+	c := ecc.K233()
+	f := c.F
+	rng := rand.New(rand.NewSource(8))
+	a := f.Zero()
+	b := f.Zero()
+	for i := range a {
+		a[i] = rng.Uint32()
+		b[i] = rng.Uint32()
+	}
+	a[len(a)-1] &= 1<<(f.M()%32) - 1
+	b[len(b)-1] &= 1<<(f.M()%32) - 1
+	for _, mach := range []Machine{Baseline, GFProc} {
+		var m perf.Meter
+		o := &WideOps{F: f, Mach: mach, M: &m}
+		if !f.Equal(o.Mul(a, b), f.Mul(a, b)) {
+			t.Fatalf("%v: Mul wrong", mach)
+		}
+		if !f.Equal(o.Sqr(a), f.Sqr(a)) {
+			t.Fatalf("%v: Sqr wrong", mach)
+		}
+		if !f.Equal(o.Add(a, b), f.Add(a, b)) {
+			t.Fatalf("%v: Add wrong", mach)
+		}
+		if !f.Equal(o.Inv(a), f.Inv(a)) {
+			t.Fatalf("%v: Inv wrong", mach)
+		}
+	}
+	// Karatsuba path
+	var m perf.Meter
+	o := &WideOps{F: f, Mach: GFProc, M: &m, Karatsuba: 2}
+	if !f.Equal(o.Mul(a, b), f.Mul(a, b)) {
+		t.Fatal("Karatsuba Mul wrong")
+	}
+}
+
+func TestWideFieldCycleBands(t *testing.T) {
+	// Table 7/8 shape: GF-processor GF(2^233) multiply lands in the
+	// few-hundred-cycle band (paper: 599 direct, 439 Karatsuba), squaring
+	// well under multiplication (paper: 136), inversion tens of thousands
+	// (paper: 39,972); the baseline is several times slower than all of
+	// them (Clercq reference: 3672 mult).
+	c := ecc.K233()
+	gfp := MeasureWideField(c, GFProc)
+	base := MeasureWideField(c, Baseline)
+
+	if gfp.Mul < 300 || gfp.Mul > 900 {
+		t.Errorf("GF-proc mult = %d cycles, expected 300..900", gfp.Mul)
+	}
+	if gfp.MulKaratsuba >= gfp.Mul {
+		t.Errorf("Karatsuba (%d) not faster than direct (%d)", gfp.MulKaratsuba, gfp.Mul)
+	}
+	if gfp.Sqr >= gfp.Mul/2 {
+		t.Errorf("squaring (%d) should be well under half a mult (%d)", gfp.Sqr, gfp.Mul)
+	}
+	if gfp.Inv < 10000 || gfp.Inv > 80000 {
+		t.Errorf("GF-proc inverse = %d, expected 10k..80k", gfp.Inv)
+	}
+	if ratio := float64(base.Mul) / float64(gfp.Mul); ratio < 4 {
+		t.Errorf("mult speedup %.1f < 4 (paper: 6.1 vs Clercq)", ratio)
+	}
+	if ratio := float64(base.Sqr) / float64(gfp.Sqr); ratio < 2 {
+		t.Errorf("square speedup %.1f < 2 (paper: 2.9 vs Clercq)", ratio)
+	}
+	if gfp.PointAdd < gfp.PointDbl {
+		t.Errorf("point add (%d) should cost more than double (%d)", gfp.PointAdd, gfp.PointDbl)
+	}
+	// Paper Table 9 bands (measured on our model, generous): PA in the
+	// thousands, under 4x the paper's 6742.
+	if gfp.PointAdd < 2000 || gfp.PointAdd > 27000 {
+		t.Errorf("point add = %d, expected 2k..27k", gfp.PointAdd)
+	}
+}
+
+func TestScalarMultMetered(t *testing.T) {
+	c := ecc.K233()
+	k := ecc.PaperScalar()
+	var m perf.Meter
+	tr := ScalarMult(c, k, c.Generator(), GFProc, 0, &m)
+	// Paper scalar: 112 doubles, 56 adds.
+	if tr.PointDoubles != 112 {
+		t.Errorf("doubles = %d, want 112", tr.PointDoubles)
+	}
+	if tr.PointAdds != 56 {
+		t.Errorf("adds = %d, want 56", tr.PointAdds)
+	}
+	want := c.ScalarBaseMult(k)
+	if !c.Equal(tr.Result, want) {
+		t.Fatal("metered scalar mult result wrong")
+	}
+	// Band: paper reports 617,120 main + 157,442 support; allow 0.3x..3x.
+	if tr.MainCycles < 200_000 || tr.MainCycles > 1_900_000 {
+		t.Errorf("main loop = %d cycles, expected 0.2M..1.9M", tr.MainCycles)
+	}
+	if tr.SupportCycles <= 0 || tr.SupportCycles > 500_000 {
+		t.Errorf("support = %d cycles", tr.SupportCycles)
+	}
+	// At 100 MHz the whole scalar multiplication must stay under ~25 ms
+	// (paper: 7.75 ms).
+	totalMs := float64(tr.MainCycles+tr.SupportCycles) / 100e6 * 1e3
+	if totalMs > 25 {
+		t.Errorf("scalar mult = %.2f ms @100MHz, paper band exceeded", totalMs)
+	}
+}
+
+func TestKaratsubaSpeedupBand(t *testing.T) {
+	// Paper: Karatsuba gives 1.4x over the direct product on the GF
+	// processor; accept 1.1x..2.0x.
+	c := ecc.K233()
+	gfp := MeasureWideField(c, GFProc)
+	ratio := float64(gfp.Mul) / float64(gfp.MulKaratsuba)
+	if ratio < 1.1 || ratio > 2.0 {
+		t.Errorf("Karatsuba speedup %.2f outside 1.1..2.0 (paper: 1.4)", ratio)
+	}
+}
+
+func TestMeasureTable7(t *testing.T) {
+	ph := MeasureTable7(ecc.K233().F)
+	if ph.GF32PerMul != 64 {
+		t.Errorf("gf32 per mult = %d, want 64", ph.GF32PerMul)
+	}
+	if ph.GF32PerSqr != 8 {
+		t.Errorf("gf32 per square = %d, want 8", ph.GF32PerSqr)
+	}
+	if ph.MulTotal != ph.MulFullProduct+ph.MulReduction {
+		t.Error("phase totals inconsistent")
+	}
+	if ph.SqrTotal >= ph.MulTotal {
+		t.Error("square should be cheaper than multiply")
+	}
+}
+
+func TestScalarMultBaselineSlower(t *testing.T) {
+	c := ecc.K233()
+	k := big.NewInt(0xABCDEF)
+	var mb, mg perf.Meter
+	trB := ScalarMult(c, k, c.Generator(), Baseline, 0, &mb)
+	trG := ScalarMult(c, k, c.Generator(), GFProc, 0, &mg)
+	if !c.Equal(trB.Result, trG.Result) {
+		t.Fatal("machines disagree on result")
+	}
+	if trB.MainCycles <= trG.MainCycles {
+		t.Error("baseline not slower than GF processor")
+	}
+}
+
+func TestAESKeySizeScaling(t *testing.T) {
+	// EncryptBlock handles all key sizes; AES-256's 14 rounds cost ~1.4x
+	// AES-128's 10 rounds on both machines, keeping the speedup stable.
+	pt := make([]byte, 16)
+	cycles := map[int]int64{}
+	for _, ks := range []int{16, 24, 32} {
+		c, err := aes.NewCipher(make([]byte, ks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m perf.Meter
+		EncryptBlock(c, pt, GFProc, &m)
+		cycles[ks] = m.Cycles(perf.GFProcessor())
+	}
+	if cycles[24] <= cycles[16] || cycles[32] <= cycles[24] {
+		t.Fatalf("cycles not increasing with key size: %v", cycles)
+	}
+	ratio := float64(cycles[32]) / float64(cycles[16])
+	if ratio < 1.3 || ratio > 1.5 {
+		t.Errorf("AES-256/AES-128 cycle ratio %.2f, want ~1.4 (14/10 rounds)", ratio)
+	}
+}

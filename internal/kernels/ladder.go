@@ -1,0 +1,146 @@
+package kernels
+
+import (
+	"math/big"
+
+	"repro/internal/ecc"
+	"repro/internal/perf"
+)
+
+// Montgomery-ladder metering: the constant-control-flow alternative to
+// double-and-add. Its x-only step costs are key-independent (every bit
+// executes one differential add and one double), which is the
+// side-channel-hardened design point an IoT security core would
+// realistically pick; the price is measured here against the paper's
+// double-and-add numbers.
+
+// LadderTrace reports a metered ladder run.
+type LadderTrace struct {
+	Bits        int
+	MainCycles  int64 // per-bit ladder steps
+	RecovCycles int64 // y-recovery + affine conversion (two inversions)
+	Result      ecc.Point
+}
+
+// MontgomeryLadder runs k*P with x-only Lopez-Dahab ladder arithmetic
+// under the machine cost model, mirroring ecc.MontgomeryLadder (whose
+// result it must reproduce).
+func MontgomeryLadder(c *ecc.Curve, k *big.Int, p ecc.Point, mach Machine, m *perf.Meter) LadderTrace {
+	o := &WideOps{F: c.F, Mach: mach, M: m}
+	f := c.F
+	tr := LadderTrace{}
+	k = new(big.Int).Mod(k, c.Order)
+	if k.Sign() == 0 || p.Inf {
+		tr.Result = ecc.Infinity()
+		return tr
+	}
+	if k.Cmp(big.NewInt(1)) == 0 {
+		tr.Result = p
+		return tr
+	}
+	x := p.X
+	x1, z1 := f.Copy(x), f.One()
+	x2 := o.Add(o.Sqr(o.Sqr(x)), c.B)
+	z2 := o.Sqr(x)
+	mAdd := func(xa, za, xb, zb []uint32) ([]uint32, []uint32) {
+		t1 := o.Mul(xa, zb)
+		t2 := o.Mul(xb, za)
+		z3 := o.Sqr(o.Add(t1, t2))
+		x3 := o.Add(o.Mul(x, z3), o.Mul(t1, t2))
+		return x3, z3
+	}
+	mDouble := func(xa, za []uint32) ([]uint32, []uint32) {
+		xa2 := o.Sqr(xa)
+		za2 := o.Sqr(za)
+		x3 := o.Add(o.Sqr(xa2), o.Mul(c.B, o.Sqr(za2)))
+		z3 := o.Mul(xa2, za2)
+		return x3, z3
+	}
+	for i := k.BitLen() - 2; i >= 0; i-- {
+		if k.Bit(i) == 1 {
+			x1, z1 = mAdd(x1, z1, x2, z2)
+			x2, z2 = mDouble(x2, z2)
+		} else {
+			x2, z2 = mAdd(x2, z2, x1, z1)
+			x1, z1 = mDouble(x1, z1)
+		}
+		tr.Bits++
+	}
+	tr.MainCycles = m.Cycles(mach.Profile())
+	// y recovery (two inversions) — matches ecc.MontgomeryLadder.
+	if f.IsZero(z1) {
+		tr.Result = ecc.Infinity()
+	} else if f.IsZero(z2) {
+		tr.Result = c.Neg(p)
+	} else {
+		t3 := o.Mul(z1, z2)
+		xk := o.Mul(x1, o.Inv(z1))
+		num := o.Add(
+			o.Mul(o.Add(x1, o.Mul(x, z1)), o.Add(x2, o.Mul(x, z2))),
+			o.Mul(o.Add(o.Sqr(x), p.Y), t3),
+		)
+		den := o.Mul(x, t3)
+		yk := o.Add(o.Mul(o.Add(x, xk), o.Mul(num, o.Inv(den))), p.Y)
+		tr.Result = ecc.Point{X: xk, Y: yk}
+	}
+	tr.RecovCycles = m.Cycles(mach.Profile()) - tr.MainCycles
+	return tr
+}
+
+// TNAFTrace reports a metered tau-adic multiplication.
+type TNAFTrace struct {
+	Digits, Adds, Frobenius int
+	Cycles                  int64
+	Result                  ecc.Point
+}
+
+// ScalarMultTNAF meters the tau-adic NAF multiplication on a Koblitz
+// curve: every point doubling becomes three field squarings (the
+// Frobenius map), the operation the GF processor makes nearly free —
+// the Koblitz-specific ablation of the scalar-multiplication design
+// space.
+func ScalarMultTNAF(c *ecc.Curve, k *big.Int, p ecc.Point, mach Machine, m *perf.Meter) (TNAFTrace, error) {
+	var tr TNAFTrace
+	digits, _, err := c.TNAFDigits(k)
+	if err != nil {
+		return tr, err
+	}
+	o := &WideOps{F: c.F, Mach: mach, M: m}
+	f := c.F
+	tr.Digits = len(digits)
+	if len(digits) == 0 || p.Inf {
+		tr.Result = ecc.Infinity()
+		return tr, nil
+	}
+	acc := ldPt{X: f.One(), Y: f.Zero(), Z: f.Zero()}
+	started := false
+	for i := len(digits) - 1; i >= 0; i-- {
+		if started {
+			acc = ldPt{X: o.Sqr(acc.X), Y: o.Sqr(acc.Y), Z: o.Sqr(acc.Z)}
+			tr.Frobenius++
+		}
+		switch digits[i] {
+		case 1:
+			if !started {
+				acc = ldPt{X: f.Copy(p.X), Y: f.Copy(p.Y), Z: f.One()}
+				started = true
+			} else {
+				acc = o.pointAddMixed(c, acc, p)
+				tr.Adds++
+			}
+		case -1:
+			q := c.Neg(p)
+			if !started {
+				acc = ldPt{X: f.Copy(q.X), Y: f.Copy(q.Y), Z: f.One()}
+				started = true
+			} else {
+				acc = o.pointAddMixed(c, acc, q)
+				tr.Adds++
+			}
+		}
+	}
+	zInv := o.Inv(acc.Z)
+	tr.Result = ecc.Point{X: o.Mul(acc.X, zInv), Y: o.Mul(acc.Y, o.Sqr(zInv))}
+	tr.Cycles = m.Cycles(mach.Profile())
+	return tr, nil
+}

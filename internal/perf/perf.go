@@ -1,0 +1,123 @@
+// Package perf defines the shared cycle-accounting model used by both the
+// instruction-level processor simulator (repro/internal/core) and the
+// metered application kernels (repro/internal/kernels).
+//
+// The model follows the paper's methodology (Section 3.3.1): the Cortex
+// M0+ baseline and the GF processor share the same two-stage in-order
+// timing — loads/stores take 2 cycles, taken branches take 2 cycles
+// (pipeline refill), and every other instruction, including every GF
+// instruction on the GF processor, takes a single cycle (Table 7
+// footnote: "LD/ST has 2 cycles; all other operations are single cycle").
+package perf
+
+import "fmt"
+
+// Counts tallies executed operations by class.
+type Counts struct {
+	LD       int64 // memory loads
+	ST       int64 // memory stores
+	ALU      int64 // integer/logic/shift single-cycle ops (incl. address arithmetic)
+	Mul      int64 // integer multiplies (single-cycle on M0+ with fast multiplier)
+	Branch   int64 // taken branches / calls / returns
+	BranchNT int64 // not-taken branches
+	GFOp     int64 // GF SIMD instructions (mult/sq/pow/inv/add), GF processor only
+	GF32     int64 // 32-bit carry-free partial products, GF processor only
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.LD += other.LD
+	c.ST += other.ST
+	c.ALU += other.ALU
+	c.Mul += other.Mul
+	c.Branch += other.Branch
+	c.BranchNT += other.BranchNT
+	c.GFOp += other.GFOp
+	c.GF32 += other.GF32
+}
+
+// Total returns the total number of operations.
+func (c Counts) Total() int64 {
+	return c.LD + c.ST + c.ALU + c.Mul + c.Branch + c.BranchNT + c.GFOp + c.GF32
+}
+
+// Profile is a machine timing profile: cycles per operation class.
+type Profile struct {
+	Name     string
+	LD       int64
+	ST       int64
+	ALU      int64
+	Mul      int64
+	Branch   int64
+	BranchNT int64
+	GFOp     int64 // 0 = instruction unavailable
+	GF32     int64 // 0 = instruction unavailable
+}
+
+// M0Plus returns the ARM Cortex M0+ baseline timing: 2-cycle loads/stores,
+// 2-cycle taken branches, single-cycle ALU and (fast-multiplier option)
+// MULS. GF instructions do not exist on this machine.
+func M0Plus() Profile {
+	return Profile{Name: "ARM M0+ (baseline)", LD: 2, ST: 2, ALU: 1, Mul: 1, Branch: 2, BranchNT: 1}
+}
+
+// GFProcessor returns the paper's processor timing: the M0+ subset timing
+// plus single-cycle GF instructions (Table 1: "All SIMD GF instructions
+// ... are single cycle instructions").
+func GFProcessor() Profile {
+	p := M0Plus()
+	p.Name = "GF processor (this work)"
+	p.GFOp = 1
+	p.GF32 = 1
+	return p
+}
+
+// Cycles prices the counts under the profile. It panics if the counts use
+// an instruction class the profile does not implement — a kernel metered
+// for the GF processor cannot run on the baseline.
+func (c Counts) Cycles(p Profile) int64 {
+	if (c.GFOp > 0 && p.GFOp == 0) || (c.GF32 > 0 && p.GF32 == 0) {
+		panic(fmt.Sprintf("perf: %s cannot execute GF instructions", p.Name))
+	}
+	return c.LD*p.LD + c.ST*p.ST + c.ALU*p.ALU + c.Mul*p.Mul +
+		c.Branch*p.Branch + c.BranchNT*p.BranchNT + c.GFOp*p.GFOp + c.GF32*p.GF32
+}
+
+// Meter is the accumulator kernels thread through their inner loops.
+type Meter struct {
+	Counts
+}
+
+// Reset clears the meter.
+func (m *Meter) Reset() { m.Counts = Counts{} }
+
+// Convenience bump helpers (n operations of the class).
+
+func (m *Meter) Load(n int64)     { m.LD += n }
+func (m *Meter) Store(n int64)    { m.ST += n }
+func (m *Meter) Alu(n int64)      { m.ALU += n }
+func (m *Meter) IMul(n int64)     { m.Mul += n }
+func (m *Meter) Taken(n int64)    { m.Branch += n }
+func (m *Meter) NotTaken(n int64) { m.BranchNT += n }
+func (m *Meter) GF(n int64)       { m.GFOp += n }
+func (m *Meter) GF32Mult(n int64) { m.GF32 += n }
+
+// Result pairs a kernel name with its cycle counts on two machines.
+type Result struct {
+	Kernel   string
+	Baseline int64
+	GFProc   int64
+}
+
+// Speedup returns Baseline/GFProc.
+func (r Result) Speedup() float64 {
+	if r.GFProc == 0 {
+		return 0
+	}
+	return float64(r.Baseline) / float64(r.GFProc)
+}
+
+// String formats a result row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-28s %12d %12d %8.1fx", r.Kernel, r.Baseline, r.GFProc, r.Speedup())
+}

@@ -1,0 +1,90 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProfileCosts(t *testing.T) {
+	m0 := M0Plus()
+	if m0.LD != 2 || m0.ST != 2 || m0.ALU != 1 || m0.Branch != 2 || m0.BranchNT != 1 {
+		t.Fatalf("M0+ profile wrong: %+v", m0)
+	}
+	if m0.GFOp != 0 || m0.GF32 != 0 {
+		t.Fatal("M0+ must not implement GF instructions")
+	}
+	gfp := GFProcessor()
+	if gfp.GFOp != 1 || gfp.GF32 != 1 {
+		t.Fatal("GF processor must implement single-cycle GF instructions")
+	}
+	if gfp.LD != m0.LD || gfp.Branch != m0.Branch {
+		t.Fatal("scalar timing must match between machines")
+	}
+}
+
+func TestCountsCycles(t *testing.T) {
+	c := Counts{LD: 3, ST: 2, ALU: 10, Mul: 1, Branch: 2, BranchNT: 4}
+	got := c.Cycles(M0Plus())
+	want := int64(3*2 + 2*2 + 10 + 1 + 2*2 + 4)
+	if got != want {
+		t.Fatalf("cycles = %d, want %d", got, want)
+	}
+	c.GFOp = 5
+	if c.Cycles(GFProcessor()) != want+5 {
+		t.Fatal("GF op pricing wrong")
+	}
+}
+
+func TestCyclesPanicsOnImpossibleCounts(t *testing.T) {
+	c := Counts{GFOp: 1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic pricing GF ops on M0+")
+		}
+	}()
+	c.Cycles(M0Plus())
+}
+
+func TestMeterHelpers(t *testing.T) {
+	var m Meter
+	m.Load(2)
+	m.Store(3)
+	m.Alu(4)
+	m.IMul(1)
+	m.Taken(2)
+	m.NotTaken(1)
+	m.GF(5)
+	m.GF32Mult(6)
+	if m.LD != 2 || m.ST != 3 || m.ALU != 4 || m.Mul != 1 || m.Branch != 2 ||
+		m.BranchNT != 1 || m.GFOp != 5 || m.GF32 != 6 {
+		t.Fatalf("meter = %+v", m.Counts)
+	}
+	if m.Counts.Total() != 24 {
+		t.Fatalf("total = %d", m.Counts.Total())
+	}
+	m.Reset()
+	if m.Counts.Total() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCountsAdd(t *testing.T) {
+	a := Counts{LD: 1, GFOp: 2}
+	a.Add(Counts{LD: 3, ST: 4, GF32: 5})
+	if a.LD != 4 || a.ST != 4 || a.GFOp != 2 || a.GF32 != 5 {
+		t.Fatalf("add = %+v", a)
+	}
+}
+
+func TestResult(t *testing.T) {
+	r := Result{Kernel: "syndrome", Baseline: 200, GFProc: 10}
+	if r.Speedup() != 20 {
+		t.Fatalf("speedup = %v", r.Speedup())
+	}
+	if (Result{GFProc: 0}).Speedup() != 0 {
+		t.Fatal("zero division not handled")
+	}
+	if !strings.Contains(r.String(), "syndrome") || !strings.Contains(r.String(), "20.0x") {
+		t.Fatalf("String() = %q", r.String())
+	}
+}

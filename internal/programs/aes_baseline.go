@@ -1,0 +1,190 @@
+package programs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/aes"
+)
+
+// AESEncryptBlockBaseline generates a complete AES-128 block encryption
+// for the BASELINE profile (no GF unit): S-box as a 256-byte table,
+// state in memory, MixColumns through a galois_mul2 subroutine with the
+// conditional 0x1B reduction — the structure of the TI-style M0+
+// implementation the paper benchmarks against ([44]). Together with
+// AESEncryptBlock this provides the Fig. 10 encryption head-to-head as
+// real code on the cycle-accurate simulator.
+func AESEncryptBlockBaseline(key, plaintext []byte) (string, error) {
+	if len(key) != 16 || len(plaintext) != 16 {
+		return "", fmt.Errorf("programs: AES-128 needs 16-byte key and block")
+	}
+	c, err := aes.NewCipher(key)
+	if err != nil {
+		return "", err
+	}
+	table := make([]byte, 256)
+	for i := range table {
+		table[i] = aes.SubByteComputed(byte(i))
+	}
+	var sb strings.Builder
+	sb.WriteString(`; AES-128 encryption, M0+ style: tables + memory-resident state
+	movi r0, =state
+	movi r1, =sbox
+	movi r2, =keys
+	; AddRoundKey round 0
+	movi r4, #0
+ark0:
+	ldrbr r5, [r0, r4]
+	ldrbr r6, [r2, r4]
+	eor r5, r5, r6
+	strbr r5, [r0, r4]
+	addi r4, r4, #1
+	cmpi r4, #16
+	blt ark0
+	movi r3, #1          ; round counter
+round:
+	; SubBytes: 16 table lookups
+	movi r4, #0
+sub_loop:
+	ldrbr r5, [r0, r4]
+	ldrbr r5, [r1, r5]
+	strbr r5, [r0, r4]
+	addi r4, r4, #1
+	cmpi r4, #16
+	blt sub_loop
+	bl shiftrows
+	; MixColumns: per column, galois_mul2 subroutine per output byte
+	movi r11, #0         ; column base
+mix_loop:
+	ldrbr r4, [r0, r11]  ; a0
+	addi r10, r11, #1
+	ldrbr r5, [r0, r10]  ; a1
+	addi r10, r11, #2
+	ldrbr r6, [r0, r10]  ; a2
+	addi r10, r11, #3
+	ldrbr r12, [r0, r10] ; a3
+	; t = a0^a1^a2^a3 -> r13
+	eor r13, r4, r5
+	eor r13, r13, r6
+	eor r13, r13, r12
+	; out0 = a0 ^ t ^ mul2(a0^a1)
+	eor r7, r4, r5
+	bl gmul2
+	eor r7, r7, r13
+	eor r7, r7, r4
+	strbr r7, [r0, r11]
+	; out1 = a1 ^ t ^ mul2(a1^a2)
+	eor r7, r5, r6
+	bl gmul2
+	eor r7, r7, r13
+	eor r7, r7, r5
+	addi r10, r11, #1
+	strbr r7, [r0, r10]
+	; out2 = a2 ^ t ^ mul2(a2^a3)
+	eor r7, r6, r12
+	bl gmul2
+	eor r7, r7, r13
+	eor r7, r7, r6
+	addi r10, r11, #2
+	strbr r7, [r0, r10]
+	; out3 = a3 ^ t ^ mul2(a3^a0)
+	eor r7, r12, r4
+	bl gmul2
+	eor r7, r7, r13
+	eor r7, r7, r12
+	addi r10, r11, #3
+	strbr r7, [r0, r10]
+	addi r11, r11, #4
+	cmpi r11, #16
+	blt mix_loop
+	; AddRoundKey round r3: key base = keys + 16*r3
+	lsli r10, r3, #4
+	add r10, r10, r2
+	movi r4, #0
+ark_loop:
+	ldrbr r5, [r0, r4]
+	ldrbr r6, [r10, r4]
+	eor r5, r5, r6
+	strbr r5, [r0, r4]
+	addi r4, r4, #1
+	cmpi r4, #16
+	blt ark_loop
+	addi r3, r3, #1
+	cmpi r3, #10
+	blt round
+	; final round: SubBytes + ShiftRows + AddRoundKey(10)
+	movi r4, #0
+fsub:
+	ldrbr r5, [r0, r4]
+	ldrbr r5, [r1, r5]
+	strbr r5, [r0, r4]
+	addi r4, r4, #1
+	cmpi r4, #16
+	blt fsub
+	bl shiftrows
+	movi r10, #160
+	add r10, r10, r2
+	movi r4, #0
+fark:
+	ldrbr r5, [r0, r4]
+	ldrbr r6, [r10, r4]
+	eor r5, r5, r6
+	strbr r5, [r0, r4]
+	addi r4, r4, #1
+	cmpi r4, #16
+	blt fark
+	halt
+
+; galois_mul2: r7 <- xtime(r7), clobbers r8, r9
+gmul2:
+	lsli r8, r7, #1
+	andi r9, r7, #0x80
+	andi r7, r8, #0xFF
+	cmpi r9, #0
+	beq gdone
+	movi r9, #0x1B
+	eor r7, r7, r9
+gdone:
+	ret
+
+; shiftrows on the FIPS byte layout (index 4*col + row), clobbers r4-r9
+shiftrows:
+	; row 1: 1 <- 5 <- 9 <- 13 <- 1
+	ldrb r4, [r0, #1]
+	ldrb r5, [r0, #5]
+	strb r5, [r0, #1]
+	ldrb r5, [r0, #9]
+	strb r5, [r0, #5]
+	ldrb r5, [r0, #13]
+	strb r5, [r0, #9]
+	strb r4, [r0, #13]
+	; row 2: swap (2,10) and (6,14)
+	ldrb r4, [r0, #2]
+	ldrb r5, [r0, #10]
+	strb r5, [r0, #2]
+	strb r4, [r0, #10]
+	ldrb r4, [r0, #6]
+	ldrb r5, [r0, #14]
+	strb r5, [r0, #6]
+	strb r4, [r0, #14]
+	; row 3: 3 <- 15 <- 11 <- 7 <- 3 (left rotate by 3 = right by 1)
+	ldrb r4, [r0, #15]
+	ldrb r5, [r0, #11]
+	strb r5, [r0, #15]
+	ldrb r5, [r0, #7]
+	strb r5, [r0, #11]
+	ldrb r5, [r0, #3]
+	strb r5, [r0, #7]
+	strb r4, [r0, #3]
+	ret
+.data
+`)
+	sb.WriteString(byteTable("state", plaintext))
+	sb.WriteString(byteTable("sbox", table))
+	rks := make([]byte, 0, 176)
+	for r := 0; r <= 10; r++ {
+		rks = append(rks, c.RoundKey(r)...)
+	}
+	sb.WriteString(byteTable("keys", rks))
+	return sb.String(), nil
+}

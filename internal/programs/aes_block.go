@@ -1,0 +1,175 @@
+package programs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/aes"
+)
+
+// AESEncryptBlock generates a complete AES-128 block encryption for the
+// GF processor: the state rides row-major in four registers (lane j of
+// register r = state[r][j]), SubBytes is four gfMultInv_simd
+// instructions with the affine output stage, ShiftRows is three lane
+// rotations, MixColumns is row-wise SIMD multiply-accumulate with
+// splatted 0x02/0x03 constants, and AddRoundKey streams the
+// (precomputed, row-major) round keys from data memory. The ciphertext
+// replaces the plaintext at the `state` label.
+//
+// This is the executable form of the whole Fig. 10 story: every AES
+// kernel running as real instructions on the simulated datapath.
+func AESEncryptBlock(key, plaintext []byte) (string, error) {
+	if len(key) != 16 {
+		return "", fmt.Errorf("programs: AES-128 key must be 16 bytes")
+	}
+	if len(plaintext) != 16 {
+		return "", fmt.Errorf("programs: plaintext must be one 16-byte block")
+	}
+	c, err := aes.NewCipher(key)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString(`; AES-128 block encryption on the GF processor
+	movi r10, =field
+	gfconf r10          ; GF(2^8)/0x11B with the S-box affine stage
+	movi r0, =keys
+	movi r10, =state
+	ldr r2, [r10, #0]   ; state row 0 (lane j = column j)
+	ldr r3, [r10, #4]
+	ldr r4, [r10, #8]
+	ldr r5, [r10, #12]
+	; round constants for MixColumns
+	movi r6, #0x0202
+	movhi r6, #0x0202   ; 02 splat
+	movi r7, #0x0303
+	movhi r7, #0x0303   ; 03 splat
+	; AddRoundKey round 0
+	ldr r10, [r0, #0]
+	gfadd r2, r2, r10
+	ldr r10, [r0, #4]
+	gfadd r3, r3, r10
+	ldr r10, [r0, #8]
+	gfadd r4, r4, r10
+	ldr r10, [r0, #12]
+	gfadd r5, r5, r10
+	movi r1, #1         ; round counter
+round:
+	; SubBytes: 16 S-boxes in 4 instructions (affine folded)
+	gfmulinv r2, r2
+	gfmulinv r3, r3
+	gfmulinv r4, r4
+	gfmulinv r5, r5
+	; ShiftRows: rotate row r left by r lanes
+	lsri r8, r3, #8
+	lsli r9, r3, #24
+	orr r3, r8, r9
+	lsri r8, r4, #16
+	lsli r9, r4, #16
+	orr r4, r8, r9
+	lsri r8, r5, #24
+	lsli r9, r5, #8
+	orr r5, r8, r9
+	; MixColumns, row-wise: out_r = sum over rows with circulant 02 03 01 01
+	gfmul r10, r6, r2   ; 02*row0
+	gfmul r8, r7, r3    ; 03*row1
+	gfadd r8, r8, r10
+	gfadd r8, r8, r4
+	gfadd r8, r8, r5    ; out0
+	gfmul r10, r6, r3   ; 02*row1
+	gfmul r9, r7, r4    ; 03*row2
+	gfadd r9, r9, r10
+	gfadd r9, r9, r2
+	gfadd r9, r9, r5    ; out1
+	gfmul r10, r6, r4   ; 02*row2
+	gfmul r11, r7, r5   ; 03*row3
+	gfadd r11, r11, r10
+	gfadd r11, r11, r2
+	gfadd r11, r11, r3  ; out2
+	gfmul r10, r6, r5   ; 02*row3
+	gfmul r12, r7, r2   ; 03*row0
+	gfadd r12, r12, r10
+	gfadd r12, r12, r3
+	gfadd r12, r12, r4  ; out3
+	mov r2, r8
+	mov r3, r9
+	mov r4, r11
+	mov r5, r12
+	; AddRoundKey round r1: address = keys + 16*r1
+	lsli r8, r1, #4
+	add r8, r8, r0
+	ldr r10, [r8, #0]
+	gfadd r2, r2, r10
+	ldr r10, [r8, #4]
+	gfadd r3, r3, r10
+	ldr r10, [r8, #8]
+	gfadd r4, r4, r10
+	ldr r10, [r8, #12]
+	gfadd r5, r5, r10
+	addi r1, r1, #1
+	cmpi r1, #10
+	blt round
+	; final round: SubBytes + ShiftRows + AddRoundKey(10), no MixColumns
+	gfmulinv r2, r2
+	gfmulinv r3, r3
+	gfmulinv r4, r4
+	gfmulinv r5, r5
+	lsri r8, r3, #8
+	lsli r9, r3, #24
+	orr r3, r8, r9
+	lsri r8, r4, #16
+	lsli r9, r4, #16
+	orr r4, r8, r9
+	lsri r8, r5, #24
+	lsli r9, r5, #8
+	orr r5, r8, r9
+	ldr r10, [r0, #160]
+	gfadd r2, r2, r10
+	ldr r10, [r0, #164]
+	gfadd r3, r3, r10
+	ldr r10, [r0, #168]
+	gfadd r4, r4, r10
+	ldr r10, [r0, #172]
+	gfadd r5, r5, r10
+	; write back
+	movi r10, =state
+	str r2, [r10, #0]
+	str r3, [r10, #4]
+	str r4, [r10, #8]
+	str r5, [r10, #12]
+	halt
+.data
+field:
+	.word 0x1011B       ; polynomial 0x11B + affine mode 1 (bits 17:16)
+keys:
+`)
+	// Round keys, row-major: word for row i of round r packs bytes
+	// rk[i + 4j] into lane j (FIPS stores the state column-major: byte
+	// index 4*col + row).
+	for r := 0; r <= 10; r++ {
+		rk := c.RoundKey(r)
+		for i := 0; i < 4; i++ {
+			w := uint32(rk[i]) | uint32(rk[i+4])<<8 | uint32(rk[i+8])<<16 | uint32(rk[i+12])<<24
+			fmt.Fprintf(&sb, "\t.word 0x%08x\n", w)
+		}
+	}
+	// State, row-major words with the same packing.
+	sb.WriteString("state:\n")
+	for i := 0; i < 4; i++ {
+		w := uint32(plaintext[i]) | uint32(plaintext[i+4])<<8 | uint32(plaintext[i+8])<<16 | uint32(plaintext[i+12])<<24
+		fmt.Fprintf(&sb, "\t.word 0x%08x\n", w)
+	}
+	return sb.String(), nil
+}
+
+// AESStateBytes unpacks the row-major state words written by
+// AESEncryptBlock back into FIPS byte order.
+func AESStateBytes(words []uint32) []byte {
+	out := make([]byte, 16)
+	for i := 0; i < 4; i++ { // row
+		for j := 0; j < 4; j++ { // column
+			out[4*j+i] = byte(words[i] >> (8 * j))
+		}
+	}
+	return out
+}

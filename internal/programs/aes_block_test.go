@@ -1,0 +1,84 @@
+package programs
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+
+	"repro/internal/aes"
+)
+
+func runAESBlock(t *testing.T, key, pt []byte) ([]byte, *RunResult) {
+	t.Helper()
+	src, err := AESEncryptBlock(key, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, p, prog, err := Run(src, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words, err := ReadWords(p, prog, "state", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return AESStateBytes(words), res
+}
+
+func TestAESBlockProgramFIPSVector(t *testing.T) {
+	// FIPS-197 Appendix B.
+	key, _ := hex.DecodeString("2b7e151628aed2a6abf7158809cf4f3c")
+	pt, _ := hex.DecodeString("3243f6a8885a308d313198a2e0370734")
+	want, _ := hex.DecodeString("3925841d02dc09fbdc118597196a0b32")
+	got, res := runAESBlock(t, key, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("simulated AES = %x, want %x", got, want)
+	}
+	t.Logf("AES-128 block on the simulator: %d cycles, %d instructions "+
+		"(metered model: ~550; paper-implied: ~1049)", res.Cycles, res.Instructions)
+	// The whole block must land in the few-hundred-cycle band that makes
+	// the paper's 12.2 Mbps at 100 MHz plausible.
+	if res.Cycles < 300 || res.Cycles > 1500 {
+		t.Errorf("block took %d cycles, outside 300..1500", res.Cycles)
+	}
+}
+
+func TestAESBlockProgramRandomAgainstLibrary(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 5; trial++ {
+		key := make([]byte, 16)
+		pt := make([]byte, 16)
+		rng.Read(key)
+		rng.Read(pt)
+		got, _ := runAESBlock(t, key, pt)
+		c, _ := aes.NewCipher(key)
+		want := make([]byte, 16)
+		c.Encrypt(want, pt)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: simulator %x != library %x", trial, got, want)
+		}
+	}
+}
+
+func TestAESBlockProgramValidation(t *testing.T) {
+	if _, err := AESEncryptBlock(make([]byte, 8), make([]byte, 16)); err == nil {
+		t.Error("short key accepted")
+	}
+	if _, err := AESEncryptBlock(make([]byte, 16), make([]byte, 8)); err == nil {
+		t.Error("short block accepted")
+	}
+}
+
+func TestAESBlockThroughputClaim(t *testing.T) {
+	// Table 13 cross-check: throughput at 100 MHz from the simulated
+	// cycle count must be in the same band as the paper's 12.2 Mbps.
+	key := make([]byte, 16)
+	pt := make([]byte, 16)
+	_, res := runAESBlock(t, key, pt)
+	mbps := 128.0 / float64(res.Cycles) * 100
+	if mbps < 8 || mbps > 45 {
+		t.Errorf("implied throughput %.1f Mbps outside 8..45 (paper: 12.2)", mbps)
+	}
+	t.Logf("implied AES throughput @100 MHz: %.1f Mbps (paper: 12.2)", mbps)
+}

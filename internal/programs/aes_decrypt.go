@@ -1,0 +1,166 @@
+package programs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/aes"
+)
+
+// AESDecryptBlock generates a complete AES-128 block decryption for the
+// GF processor. It is the same code shape as encryption — the paper's
+// point that the GF datapath "is agnostic to the values of the
+// coefficients": InvMixColumns simply splats 0x0E/0x0B/0x0D/0x09 instead
+// of 0x02/0x03, where the M0+ baseline loses its shift-trick optimization
+// entirely. The inverse S-box uses the affine-input configuration
+// (mode 2). The plaintext replaces the ciphertext at `state`.
+func AESDecryptBlock(key, ciphertext []byte) (string, error) {
+	if len(key) != 16 {
+		return "", fmt.Errorf("programs: AES-128 key must be 16 bytes")
+	}
+	if len(ciphertext) != 16 {
+		return "", fmt.Errorf("programs: ciphertext must be one 16-byte block")
+	}
+	c, err := aes.NewCipher(key)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString(`; AES-128 block decryption on the GF processor
+	movi r10, =field
+	gfconf r10          ; GF(2^8)/0x11B with the inverse S-box affine stage
+	movi r0, =keys
+	movi r10, =state
+	ldr r2, [r10, #0]
+	ldr r3, [r10, #4]
+	ldr r4, [r10, #8]
+	ldr r5, [r10, #12]
+	; AddRoundKey round 10 (keys stored round-major; round 10 at offset 160)
+	ldr r10, [r0, #160]
+	gfadd r2, r2, r10
+	ldr r10, [r0, #164]
+	gfadd r3, r3, r10
+	ldr r10, [r0, #168]
+	gfadd r4, r4, r10
+	ldr r10, [r0, #172]
+	gfadd r5, r5, r10
+	movi r1, #9         ; round counter 9..1
+round:
+	; InvShiftRows: rotate row r RIGHT by r lanes (lane j <- lane j-r)
+	lsli r8, r3, #8
+	lsri r9, r3, #24
+	orr r3, r8, r9
+	lsli r8, r4, #16
+	lsri r9, r4, #16
+	orr r4, r8, r9
+	lsli r8, r5, #24
+	lsri r9, r5, #8
+	orr r5, r8, r9
+	; InvSubBytes: inverse affine then inverse, 4 instructions
+	gfmulinv r2, r2
+	gfmulinv r3, r3
+	gfmulinv r4, r4
+	gfmulinv r5, r5
+	; AddRoundKey round r1
+	lsli r8, r1, #4
+	add r8, r8, r0
+	ldr r10, [r8, #0]
+	gfadd r2, r2, r10
+	ldr r10, [r8, #4]
+	gfadd r3, r3, r10
+	ldr r10, [r8, #8]
+	gfadd r4, r4, r10
+	ldr r10, [r8, #12]
+	gfadd r5, r5, r10
+	; InvMixColumns: same code as MixColumns, different splats
+	; out_r = 0E*row_r + 0B*row_{r+1} + 0D*row_{r+2} + 09*row_{r+3}
+	movi r6, #0x0e0e
+	movhi r6, #0x0e0e
+	movi r7, #0x0b0b
+	movhi r7, #0x0b0b
+	gfmul r8, r6, r2    ; 0E*row0
+	gfmul r10, r7, r3   ; 0B*row1
+	gfadd r8, r8, r10
+	gfmul r9, r6, r3    ; 0E*row1
+	gfmul r10, r7, r4   ; 0B*row2
+	gfadd r9, r9, r10
+	gfmul r11, r6, r4   ; 0E*row2
+	gfmul r10, r7, r5   ; 0B*row3
+	gfadd r11, r11, r10
+	gfmul r12, r6, r5   ; 0E*row3
+	gfmul r10, r7, r2   ; 0B*row0
+	gfadd r12, r12, r10
+	movi r6, #0x0d0d
+	movhi r6, #0x0d0d
+	movi r7, #0x0909
+	movhi r7, #0x0909
+	gfmul r10, r6, r4   ; 0D*row2
+	gfadd r8, r8, r10
+	gfmul r10, r7, r5   ; 09*row3
+	gfadd r8, r8, r10   ; out0 done
+	gfmul r10, r6, r5   ; 0D*row3
+	gfadd r9, r9, r10
+	gfmul r10, r7, r2   ; 09*row0
+	gfadd r9, r9, r10   ; out1
+	gfmul r10, r6, r2   ; 0D*row0
+	gfadd r11, r11, r10
+	gfmul r10, r7, r3   ; 09*row1
+	gfadd r11, r11, r10 ; out2
+	gfmul r10, r6, r3   ; 0D*row1
+	gfadd r12, r12, r10
+	gfmul r10, r7, r4   ; 09*row2
+	gfadd r12, r12, r10 ; out3
+	mov r2, r8
+	mov r3, r9
+	mov r4, r11
+	mov r5, r12
+	subi r1, r1, #1
+	cmpi r1, #0
+	bgt round
+	; final: InvShiftRows + InvSubBytes + AddRoundKey(0)
+	lsli r8, r3, #8
+	lsri r9, r3, #24
+	orr r3, r8, r9
+	lsli r8, r4, #16
+	lsri r9, r4, #16
+	orr r4, r8, r9
+	lsli r8, r5, #24
+	lsri r9, r5, #8
+	orr r5, r8, r9
+	gfmulinv r2, r2
+	gfmulinv r3, r3
+	gfmulinv r4, r4
+	gfmulinv r5, r5
+	ldr r10, [r0, #0]
+	gfadd r2, r2, r10
+	ldr r10, [r0, #4]
+	gfadd r3, r3, r10
+	ldr r10, [r0, #8]
+	gfadd r4, r4, r10
+	ldr r10, [r0, #12]
+	gfadd r5, r5, r10
+	movi r10, =state
+	str r2, [r10, #0]
+	str r3, [r10, #4]
+	str r4, [r10, #8]
+	str r5, [r10, #12]
+	halt
+.data
+field:
+	.word 0x2011B       ; polynomial 0x11B + inverse affine mode (bits 17:16 = 2)
+keys:
+`)
+	for r := 0; r <= 10; r++ {
+		rk := c.RoundKey(r)
+		for i := 0; i < 4; i++ {
+			w := uint32(rk[i]) | uint32(rk[i+4])<<8 | uint32(rk[i+8])<<16 | uint32(rk[i+12])<<24
+			fmt.Fprintf(&sb, "\t.word 0x%08x\n", w)
+		}
+	}
+	sb.WriteString("state:\n")
+	for i := 0; i < 4; i++ {
+		w := uint32(ciphertext[i]) | uint32(ciphertext[i+4])<<8 | uint32(ciphertext[i+8])<<16 | uint32(ciphertext[i+12])<<24
+		fmt.Fprintf(&sb, "\t.word 0x%08x\n", w)
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,47 @@
+package programs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AESSubBytes generates a program that applies the AES S-box (or its
+// inverse) to a 16-byte state with four gfMultInv_simd instructions —
+// the paper's "S-box realized directly with the multiplicative inverse
+// operation". The configuration word selects the affine output stage
+// (core.AffineAES / core.AffineAESInverse). The transformed state is
+// written back over the `state` data label.
+func AESSubBytes(state []byte, inverse bool) string {
+	if len(state) != 16 {
+		panic("programs: AES state must be 16 bytes")
+	}
+	mode := uint32(1) // AffineAES
+	if inverse {
+		mode = 2 // AffineAESInverse
+	}
+	cfg := mode<<16 | 0x11B
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `; AES SubBytes via SIMD multiplicative inverse (affine folded, A1)
+	movi r10, =field
+	gfconf r10
+	movi r1, =state
+	ldr r2, [r1, #0]
+	ldr r3, [r1, #4]
+	ldr r4, [r1, #8]
+	ldr r5, [r1, #12]
+	gfmulinv r2, r2
+	gfmulinv r3, r3
+	gfmulinv r4, r4
+	gfmulinv r5, r5
+	str r2, [r1, #0]
+	str r3, [r1, #4]
+	str r4, [r1, #8]
+	str r5, [r1, #12]
+	halt
+.data
+field:
+	.word 0x%x
+`, cfg)
+	sb.WriteString(byteTable("state", state))
+	return sb.String()
+}

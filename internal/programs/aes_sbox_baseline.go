@@ -1,0 +1,40 @@
+package programs
+
+import (
+	"strings"
+
+	"repro/internal/aes"
+)
+
+// AESSubBytesBaseline generates the M0+ version of SubBytes: a 256-byte
+// S-box table in data memory and a byte-at-a-time lookup loop — the
+// implementation the paper's Fig. 10 baseline uses. Paired with
+// AESSubBytes (4 gfMultInv_simd instructions) it gives the S-box
+// head-to-head on the real simulator.
+func AESSubBytesBaseline(state []byte) string {
+	if len(state) != 16 {
+		panic("programs: AES state must be 16 bytes")
+	}
+	table := make([]byte, 256)
+	for i := range table {
+		table[i] = aes.SubByteComputed(byte(i))
+	}
+	var sb strings.Builder
+	sb.WriteString(`; AES SubBytes the M0+ way: 16 table lookups
+	movi r0, =state
+	movi r1, =sbox
+	movi r2, #0          ; i
+loop:
+	ldrbr r3, [r0, r2]   ; state[i]
+	ldrbr r3, [r1, r3]   ; sbox[state[i]]
+	strbr r3, [r0, r2]
+	addi r2, r2, #1
+	cmpi r2, #16
+	blt loop
+	halt
+.data
+`)
+	sb.WriteString(byteTable("state", state))
+	sb.WriteString(byteTable("sbox", table))
+	return sb.String()
+}

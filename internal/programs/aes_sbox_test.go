@@ -1,0 +1,103 @@
+package programs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/aes"
+)
+
+func TestAESSubBytesProgram(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		state := make([]byte, 16)
+		rng.Read(state)
+
+		// Forward S-box.
+		res, p, prog, err := Run(AESSubBytes(state, false), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = res
+		addr := prog.DataLabels["state"]
+		got := p.Mem()[addr : addr+16]
+		want := make([]byte, 16)
+		for i, b := range state {
+			want[i] = aes.SubByteComputed(b)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("forward S-box program: got %x want %x", got, want)
+		}
+
+		// Inverse S-box undoes it.
+		res2, p2, prog2, err := Run(AESSubBytes(got, true), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = res2
+		addr2 := prog2.DataLabels["state"]
+		back := p2.Mem()[addr2 : addr2+16]
+		if !bytes.Equal(back, state) {
+			t.Fatalf("inverse S-box program: got %x want %x", back, state)
+		}
+	}
+}
+
+func TestAESSubBytesProgramCycleCount(t *testing.T) {
+	// 16 S-box substitutions in 4 single-cycle instructions: the whole
+	// kernel (config + load + 4 inv + store) must stay under ~35 cycles,
+	// versus the >150-cycle table-lookup loop on the baseline.
+	state := make([]byte, 16)
+	for i := range state {
+		state[i] = byte(i * 17)
+	}
+	res, _, _, err := Run(AESSubBytes(state, false), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles > 35 {
+		t.Errorf("S-box kernel took %d cycles", res.Cycles)
+	}
+	t.Logf("SubBytes on simulator: %d cycles for 16 bytes", res.Cycles)
+}
+
+func TestAESSubBytesBadState(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for short state")
+		}
+	}()
+	AESSubBytes(make([]byte, 5), false)
+}
+
+func TestAESSubBytesBaselineMatchesAndIsSlower(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	state := make([]byte, 16)
+	rng.Read(state)
+	want := make([]byte, 16)
+	for i, b := range state {
+		want[i] = aes.SubByteComputed(b)
+	}
+	// Baseline (no GF unit).
+	resB, pB, progB, err := Run(AESSubBytesBaseline(state), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := progB.DataLabels["state"]
+	if !bytes.Equal(pB.Mem()[addr:addr+16], want) {
+		t.Fatal("baseline S-box program wrong")
+	}
+	// GF processor.
+	resG, _, _, err := Run(AESSubBytes(state, false), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(resB.Cycles) / float64(resG.Cycles)
+	if speedup < 4 {
+		t.Errorf("S-box simulator speedup %.1fx < 4 (baseline %d, gfproc %d)",
+			speedup, resB.Cycles, resG.Cycles)
+	}
+	t.Logf("S-box head-to-head on simulator: baseline %d cycles, GF processor %d cycles (%.1fx)",
+		resB.Cycles, resG.Cycles, speedup)
+}

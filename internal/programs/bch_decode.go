@@ -1,0 +1,104 @@
+package programs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gf"
+)
+
+// BCHDecode15 generates a COMPLETE binary BCH(15,7,2) decoder as one
+// program: SIMD syndrome computation (four syndromes in one register),
+// the paper's closed-form error-locator solver (Fig. 1a "Closed Form
+// ELP", Peterson for t = 2 — sigma1 = S1, sigma2 = (S3 + S1^3)/S1,
+// realized with gfsq/gfmul/gfmulinv), Chien search over all 15 positions,
+// and in-place bit correction. The corrected word replaces `recv`; the
+// byte at `flag` is set to 1 when the syndrome pattern is uncorrectable
+// (S1 = 0 with nonzero syndromes).
+//
+// It is the end-to-end ECC_r datapath of Fig. 1(a) running as real
+// instructions on the simulated processor.
+func BCHDecode15(recv []byte) (string, error) {
+	f := gf.MustDefault(4) // GF(2^4)/x^4+x+1
+	if len(recv) != f.N() {
+		return "", fmt.Errorf("programs: received word must be %d bits", f.N())
+	}
+	var alphas uint32
+	for l := 0; l < 4; l++ {
+		alphas |= uint32(f.AlphaPow(l+1)) << (8 * l)
+	}
+	alphaInv := uint32(f.AlphaPow(-1))
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `; BCH(15,7,2) decoder: syndromes -> closed-form ELP -> Chien -> flip
+	movi r10, =field
+	gfconf r10
+; --- syndrome computation (4 lanes: S1..S4) ---
+	movi r0, =recv
+	movi r2, #0
+	movi r3, #0
+	movi r4, #0x%04x
+	movhi r4, #0x%04x   ; lanes alpha^1..alpha^4
+	movi r5, #0x0101
+	movhi r5, #0x0101
+syn:
+	gfmul r2, r2, r4
+	ldrbr r6, [r0, r3]
+	mul r6, r6, r5
+	gfadd r2, r2, r6
+	addi r3, r3, #1
+	cmpi r3, #15
+	blt syn
+	cmpi r2, #0
+	beq done            ; all syndromes zero: no errors
+; --- closed-form ELP, t = 2 (Peterson) ---
+	andi r6, r2, #0xFF  ; S1
+	lsri r7, r2, #16
+	andi r7, r7, #0xFF  ; S3
+	cmpi r6, #0
+	bne s1ok
+	movi r9, #1         ; S1 = 0 with errors present: >2 errors
+	movi r10, =flag
+	strb r9, [r10, #0]
+	b done
+s1ok:
+	gfsq r8, r6
+	gfmul r8, r8, r6    ; S1^3
+	gfadd r8, r8, r7    ; S1^3 + S3
+	gfmulinv r9, r6
+	gfmul r8, r8, r9    ; sigma2 = (S1^3+S3)/S1  (0 for a single error)
+; --- Chien search + correction ---
+	movi r1, #0         ; p
+	movi r3, #1         ; x = alpha^0
+chien:
+	gfmul r11, r6, r3   ; sigma1 * x
+	gfsq r12, r3
+	gfmul r12, r8, r12  ; sigma2 * x^2
+	gfadd r11, r11, r12
+	movi r12, #1
+	gfadd r11, r11, r12 ; Lambda(x) = 1 + sigma1*x + sigma2*x^2
+	andi r11, r11, #0xFF
+	cmpi r11, #0
+	bne next
+	movi r12, #14       ; root at alpha^-p: flip bit index n-1-p
+	sub r12, r12, r1
+	ldrbr r11, [r0, r12]
+	movi r10, #1
+	eor r11, r11, r10
+	strbr r11, [r0, r12]
+next:
+	movi r12, #%d       ; alpha^-1
+	gfmul r3, r3, r12
+	addi r1, r1, #1
+	cmpi r1, #15
+	blt chien
+done:
+	halt
+.data
+field:
+	.word 0x%x
+flag:
+	.byte 0
+`, alphas&0xFFFF, alphas>>16, alphaInv, f.Poly())
+	sb.WriteString(byteTable("recv", recv))
+	return sb.String(), nil
+}

@@ -1,0 +1,94 @@
+package programs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bch"
+	"repro/internal/gf"
+)
+
+func runBCHDecode(t *testing.T, recv []byte) (corrected []byte, flag byte, res *RunResult) {
+	t.Helper()
+	src, err := BCHDecode15(recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, p, prog, err := Run(src, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := prog.DataLabels["recv"]
+	corrected = append([]byte(nil), p.Mem()[addr:addr+15]...)
+	flag = p.Mem()[prog.DataLabels["flag"]]
+	return corrected, flag, r
+}
+
+func TestBCHDecoderProgramCorrectsUpToT(t *testing.T) {
+	code := bch.Must(gf.MustDefault(4), 2) // BCH(15,7,2)
+	rng := rand.New(rand.NewSource(13))
+	var cycles int64
+	for trial := 0; trial < 30; trial++ {
+		msg := make([]byte, code.K)
+		for i := range msg {
+			msg[i] = byte(rng.Intn(2))
+		}
+		cw, err := code.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nerr := trial % 3 // 0, 1 or 2 errors
+		recv := append([]byte(nil), cw...)
+		for _, p := range rng.Perm(code.N)[:nerr] {
+			recv[p] ^= 1
+		}
+		corrected, flag, res := runBCHDecode(t, recv)
+		if flag != 0 {
+			t.Fatalf("trial %d (%d errors): failure flag raised", trial, nerr)
+		}
+		if !bytes.Equal(corrected, cw) {
+			t.Fatalf("trial %d (%d errors): corrected %v != codeword %v", trial, nerr, corrected, cw)
+		}
+		cycles = res.Cycles
+	}
+	t.Logf("full BCH(15,7,2) decode on the simulator: %d cycles (2-error case)", cycles)
+}
+
+func TestBCHDecoderProgramFlagsUncorrectable(t *testing.T) {
+	// Three errors whose locators sum to zero (alpha^0 + alpha^1 + alpha^4
+	// = 1 + 2 + 3 = 0 in GF(2^4)) force S1 = 0 with nonzero syndromes —
+	// the closed form's detectable-failure case.
+	code := bch.Must(gf.MustDefault(4), 2)
+	msg := make([]byte, code.K)
+	cw, _ := code.Encode(msg)
+	recv := append([]byte(nil), cw...)
+	for _, p := range []int{0, 1, 4} { // locator powers -> indices 14-p
+		recv[14-p] ^= 1
+	}
+	_, flag, _ := runBCHDecode(t, recv)
+	if flag != 1 {
+		t.Fatalf("failure flag = %d, want 1", flag)
+	}
+}
+
+func TestBCHDecoderProgramValidation(t *testing.T) {
+	if _, err := BCHDecode15(make([]byte, 10)); err == nil {
+		t.Error("wrong-length word accepted")
+	}
+}
+
+func TestBCHDecoderProgramCleanWordFastPath(t *testing.T) {
+	// A clean codeword exits right after the syndrome pass.
+	code := bch.Must(gf.MustDefault(4), 2)
+	msg := []byte{1, 0, 1, 1, 0, 0, 1}
+	cw, _ := code.Encode(msg)
+	corrected, flag, res := runBCHDecode(t, cw)
+	if flag != 0 || !bytes.Equal(corrected, cw) {
+		t.Fatal("clean word mangled")
+	}
+	// Fast path: no ELP/Chien work, well under the 2-error cycle count.
+	if res.Cycles > 250 {
+		t.Errorf("clean decode took %d cycles", res.Cycles)
+	}
+}

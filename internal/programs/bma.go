@@ -1,0 +1,125 @@
+package programs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gf"
+)
+
+// BMA generates the Berlekamp-Massey kernel as a real program: given the
+// 2t = 4 syndromes of an RS(15,11,2)-class code in data memory, it runs
+// the full iterative algorithm — discrepancy accumulation, the 2L <= n
+// length-update branch with the connection-polynomial swap, and the
+// lambda update — leaving the error-locator coefficients at the `lam`
+// label. This is the paper's least-parallel kernel ("dependency among
+// coefficients limits parallelism", Table 5): the GF instructions replace
+// the log-domain multiplies but the control skeleton remains serial.
+func BMA(f *gf.Field, synd []gf.Elem) (string, error) {
+	if len(synd) != 4 {
+		return "", fmt.Errorf("programs: BMA kernel takes exactly 4 syndromes")
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `; Berlekamp-Massey over 4 syndromes (t = 2 class codes)
+	movi r10, =field
+	gfconf r10
+	movi r0, =lam
+	movi r1, =bbuf
+	movi r11, =synd
+	movi r12, =tmp
+	movi r2, #0          ; n
+	movi r3, #0          ; L
+	movi r4, #1          ; m (gap since last length change)
+	movi r5, #1          ; b (last nonzero discrepancy)
+outer:
+	ldrbr r6, [r11, r2]  ; d = S[n]
+	movi r7, #1          ; i
+disc:
+	cmp r7, r3
+	bgt disc_done
+	ldrbr r8, [r0, r7]   ; lam[i]
+	sub r9, r2, r7
+	ldrbr r9, [r11, r9]  ; S[n-i]
+	gfmul r8, r8, r9
+	eor r6, r6, r8
+	addi r7, r7, #1
+	b disc
+disc_done:
+	cmpi r6, #0
+	bne nonzero
+	addi r4, r4, #1      ; d == 0: m++
+	b next_n
+nonzero:
+	gfmulinv r13, r5
+	gfmul r13, r13, r6   ; coef = d / b
+	lsli r8, r3, #1
+	cmp r8, r2
+	bgt no_len_change    ; 2L > n: update lambda only
+	; length change: save lam -> tmp, update lam, bbuf <- tmp
+	movi r7, #0
+copy1:
+	ldrbr r8, [r0, r7]
+	strbr r8, [r12, r7]
+	addi r7, r7, #1
+	cmpi r7, #5
+	blt copy1
+	movi r7, #0
+upd1:
+	add r8, r7, r4
+	cmpi r8, #5
+	bge upd1_done
+	ldrbr r9, [r1, r7]   ; bbuf[j]
+	gfmul r9, r9, r13
+	ldrbr r10, [r0, r8]  ; lam[j+m]
+	eor r10, r10, r9
+	strbr r10, [r0, r8]
+	addi r7, r7, #1
+	b upd1
+upd1_done:
+	movi r7, #0
+copy2:
+	ldrbr r8, [r12, r7]
+	strbr r8, [r1, r7]
+	addi r7, r7, #1
+	cmpi r7, #5
+	blt copy2
+	addi r8, r2, #1      ; L = n + 1 - L
+	sub r3, r8, r3
+	mov r5, r6           ; b = d
+	movi r4, #1          ; m = 1
+	b next_n
+no_len_change:
+	movi r7, #0
+upd2:
+	add r8, r7, r4
+	cmpi r8, #5
+	bge upd2_done
+	ldrbr r9, [r1, r7]
+	gfmul r9, r9, r13
+	ldrbr r10, [r0, r8]
+	eor r10, r10, r9
+	strbr r10, [r0, r8]
+	addi r7, r7, #1
+	b upd2
+upd2_done:
+	addi r4, r4, #1      ; m++
+next_n:
+	addi r2, r2, #1
+	cmpi r2, #4
+	blt outer
+	halt
+.data
+field:
+	.word 0x%x
+lam:
+	.byte 1, 0, 0, 0, 0
+bbuf:
+	.byte 1, 0, 0, 0, 0
+tmp:
+	.byte 0, 0, 0, 0, 0
+`, f.Poly())
+	sb.WriteString(byteTable("synd", []byte{
+		byte(synd[0]), byte(synd[1]), byte(synd[2]), byte(synd[3]),
+	}))
+	return sb.String(), nil
+}

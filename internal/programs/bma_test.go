@@ -1,0 +1,74 @@
+package programs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf"
+	"repro/internal/gfpoly"
+	"repro/internal/rs"
+)
+
+func TestBMAProgramMatchesReference(t *testing.T) {
+	f := gf.MustDefault(4)
+	code := rs.Must(f, 15, 11)
+	rng := rand.New(rand.NewSource(31))
+	var cycles int64
+	for trial := 0; trial < 40; trial++ {
+		msg := make([]gf.Elem, code.K)
+		for i := range msg {
+			msg[i] = gf.Elem(rng.Intn(16))
+		}
+		cw, _ := code.Encode(msg)
+		nerr := trial % 3
+		for _, p := range rng.Perm(code.N)[:nerr] {
+			cw[p] ^= gf.Elem(1 + rng.Intn(15))
+		}
+		synd := code.Syndromes(cw)
+		want := gfpoly.BerlekampMassey(f, synd)
+
+		src, err := BMA(f, synd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, p, prog, err := Run(src, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := prog.DataLabels["lam"]
+		for i := 0; i <= 4; i++ {
+			got := gf.Elem(p.Mem()[addr+i])
+			if got != want.Coeff(i) {
+				t.Fatalf("trial %d (%d errors): lam[%d] = %#x, want %#x (synd %v)",
+					trial, nerr, i, got, want.Coeff(i), synd)
+			}
+		}
+		if nerr == 2 {
+			cycles = res.Cycles
+		}
+	}
+	t.Logf("BMA over 4 syndromes on the simulator: %d cycles (2-error case)", cycles)
+}
+
+func TestBMAProgramZeroSyndromes(t *testing.T) {
+	f := gf.MustDefault(4)
+	src, err := BMA(f, make([]gf.Elem, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p, prog, err := Run(src, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := prog.DataLabels["lam"]
+	if p.Mem()[addr] != 1 || p.Mem()[addr+1] != 0 || p.Mem()[addr+2] != 0 {
+		t.Fatal("zero syndromes should leave lambda = 1")
+	}
+}
+
+func TestBMAProgramValidation(t *testing.T) {
+	f := gf.MustDefault(4)
+	if _, err := BMA(f, make([]gf.Elem, 3)); err == nil {
+		t.Error("3 syndromes accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package programs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gf"
+	"repro/internal/gfpoly"
+)
+
+// ChienSIMD generates the Chien-search kernel: the error-locator
+// polynomial lambda (degree <= 4, coefficients splatted into registers)
+// is evaluated by Horner's rule at four candidate locators per pass —
+// "explicit vectorizable with 2^m independent elements" (Table 5). The
+// packed evaluations are stored at the `out` label, one word per group
+// of four positions; a zero lane marks a root (an error location).
+//
+// Position group g, lane l evaluates lambda at alpha^-(4g+l); the x
+// vectors are precomputed into data memory (the hardware equivalent is a
+// gfmul by the alpha^-4 splat per iteration).
+func ChienSIMD(f *gf.Field, lambda gfpoly.Poly, n int) (string, error) {
+	nu := lambda.Degree()
+	if nu < 1 || nu > 4 {
+		return "", fmt.Errorf("programs: Chien kernel supports locator degree 1..4, got %d", nu)
+	}
+	groups := (n + 3) / 4
+	var sb strings.Builder
+	sb.WriteString("; Chien search: 4 locator candidates per SIMD pass\n")
+	fmt.Fprintf(&sb, "\tmovi r10, =field\n\tgfconf r10\n")
+	sb.WriteString("\tmovi r0, =xtab\n\tmovi r9, =out\n\tmovi r1, #0\n")
+	// Splat the coefficients c_nu .. c_0 into r4..r8 (c_0 first in r4).
+	for i := 0; i <= nu; i++ {
+		c := uint32(lambda.Coeff(i))
+		c |= c<<8 | c<<16 | c<<24
+		fmt.Fprintf(&sb, "\tmovi r%d, #0x%04x\n\tmovhi r%d, #0x%04x\n", 4+i, c&0xFFFF, 4+i, c>>16)
+	}
+	fmt.Fprintf(&sb, `loop:
+	lsli r10, r1, #2
+	ldrr r3, [r0, r10]   ; packed x = alpha^-(4g+l)
+	mov r2, r%d          ; acc = c_nu
+`, 4+nu)
+	for i := nu - 1; i >= 0; i-- {
+		fmt.Fprintf(&sb, "\tgfmul r2, r2, r3\n\tgfadd r2, r2, r%d\n", 4+i)
+	}
+	fmt.Fprintf(&sb, `	lsli r10, r1, #2
+	strr r2, [r9, r10]   ; store packed evaluations
+	addi r1, r1, #1
+	cmpi r1, #%d
+	blt loop
+	halt
+.data
+field:
+	.word 0x%x
+xtab:
+`, groups, f.Poly())
+	for g := 0; g < groups; g++ {
+		var w uint32
+		for l := 0; l < 4; l++ {
+			p := 4*g + l
+			if p < n {
+				w |= uint32(f.AlphaPow(-p)) << (8 * l)
+			}
+		}
+		fmt.Fprintf(&sb, "\t.word 0x%08x\n", w)
+	}
+	fmt.Fprintf(&sb, "out:\n\t.space %d\n", 4*groups)
+	return sb.String(), nil
+}
+
+// ChienRoots decodes the out-words of a ChienSIMD run into codeword
+// error positions (index 0 transmitted first), matching the convention
+// of rs.Code.ChienSearch.
+func ChienRoots(outWords []uint32, n int) []int {
+	var pos []int
+	for g, w := range outWords {
+		for l := 0; l < 4; l++ {
+			p := 4*g + l
+			if p >= n {
+				break
+			}
+			if w>>(8*l)&0xFF == 0 {
+				pos = append(pos, n-1-p)
+			}
+		}
+	}
+	return pos
+}

@@ -1,0 +1,92 @@
+package programs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf"
+	"repro/internal/gfpoly"
+	"repro/internal/rs"
+)
+
+func TestChienSIMDProgramMatchesReference(t *testing.T) {
+	f := gf.MustDefault(8)
+	c := rs.Must(f, 255, 239)
+	rng := rand.New(rand.NewSource(6))
+	msg := make([]gf.Elem, c.K)
+	for i := range msg {
+		msg[i] = gf.Elem(rng.Intn(256))
+	}
+	cw, _ := c.Encode(msg)
+	recv := append([]gf.Elem(nil), cw...)
+	injected := rng.Perm(c.N)[:4]
+	for _, p := range injected {
+		recv[p] ^= gf.Elem(1 + rng.Intn(255))
+	}
+	synd := c.Syndromes(recv)
+	lambda := c.BerlekampMassey(synd)
+	want := c.ChienSearch(lambda)
+
+	src, err := ChienSIMD(f, lambda, c.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, p, prog, err := Run(src, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := (c.N + 3) / 4
+	words, err := ReadWords(p, prog, "out", groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ChienRoots(words, c.N)
+	if len(got) != len(want) {
+		t.Fatalf("positions %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("positions %v, want %v", got, want)
+		}
+	}
+	t.Logf("Chien search on simulator: %d cycles for %d positions, degree-%d locator",
+		res.Cycles, c.N, lambda.Degree())
+}
+
+func TestChienSIMDSmallField(t *testing.T) {
+	// BCH-sized run: GF(2^5), locator with 2 known roots.
+	f := gf.MustDefault(5)
+	// lambda(x) = (1 + X1 x)(1 + X2 x) with X = alpha^p for p = 3, 17.
+	x1, x2 := f.AlphaPow(3), f.AlphaPow(17)
+	lambda := gfpoly.New(f, 1, x1).Mul(gfpoly.New(f, 1, x2))
+	n := f.N()
+	src, err := ChienSIMD(f, lambda, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p, prog, err := Run(src, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words, err := ReadWords(p, prog, "out", (n+3)/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ChienRoots(words, n)
+	// Roots at locator powers 3 and 17 -> codeword indices n-1-p.
+	want := map[int]bool{n - 1 - 3: true, n - 1 - 17: true}
+	if len(got) != 2 || !want[got[0]] || !want[got[1]] {
+		t.Fatalf("roots = %v, want indices %v", got, want)
+	}
+}
+
+func TestChienSIMDDegreeValidation(t *testing.T) {
+	f := gf.MustDefault(8)
+	if _, err := ChienSIMD(f, gfpoly.One(f), 255); err == nil {
+		t.Error("degree-0 locator accepted")
+	}
+	big := gfpoly.New(f, 1, 1, 1, 1, 1, 1)
+	if _, err := ChienSIMD(f, big, 255); err == nil {
+		t.Error("degree-5 locator accepted")
+	}
+}

@@ -1,0 +1,223 @@
+// Package programs generates runnable assembly kernels for the processor
+// simulator, demonstrating the paper's Table 6 (syndrome inner loop on
+// both machines) and the full-product phase of Table 7 (GF(2^233)
+// multiplication from single-cycle 32-bit partial products) as real
+// programs rather than analytic cycle models. The generated sources are
+// assembled by repro/internal/isa and executed on repro/internal/core.
+package programs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gf"
+	"repro/internal/gfbig"
+	"repro/internal/isa"
+)
+
+// byteTable renders a byte slice as .byte directives.
+func byteTable(label string, data []byte) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s:\n", label)
+	for i := 0; i < len(data); i += 16 {
+		end := i + 16
+		if end > len(data) {
+			end = len(data)
+		}
+		parts := make([]string, 0, 16)
+		for _, b := range data[i:end] {
+			parts = append(parts, fmt.Sprintf("%d", b))
+		}
+		fmt.Fprintf(&sb, "\t.byte %s\n", strings.Join(parts, ", "))
+	}
+	return sb.String()
+}
+
+// SyndromeBaseline generates the Table 6 left-column program: one
+// syndrome S_idx of the received word computed on the scalar core with
+// log/antilog tables (the log-domain method). The syndrome lands in r2.
+func SyndromeBaseline(f *gf.Field, recv []gf.Elem, idx int) string {
+	n := f.N()
+	logT := make([]byte, f.Order())
+	expT := make([]byte, n)
+	for v := 1; v < f.Order(); v++ {
+		logT[v] = byte(f.Log(gf.Elem(v)))
+	}
+	for i := 0; i < n; i++ {
+		expT[i] = byte(f.Exp(i))
+	}
+	rbytes := make([]byte, len(recv))
+	for i, s := range recv {
+		rbytes[i] = byte(s)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `; Table 6 baseline: syndrome S_%d via log-domain GF multiply
+	movi r1, =recv      ; received word pointer
+	movi r2, #0         ; sum
+	movi r3, #0         ; j
+	movi r4, =logtab
+	movi r5, =exptab
+	movi r6, #%d        ; field size - 1 (modulo base)
+	movi r7, #%d        ; i (syndrome index: multiply by alpha^i)
+loop:
+	cmpi r2, #0
+	beq  skipmul        ; sum == 0: product stays 0
+	ldrbr r8, [r4, r2]  ; sumIdx = BIN2Idx[sum]
+	add  r8, r8, r7     ; sumIdx += i
+	cmp  r8, r6
+	blt  nomod
+	sub  r8, r8, r6     ; modulo field size
+nomod:
+	ldrbr r2, [r5, r8]  ; sum = Idx2BIN[sumIdx]
+skipmul:
+	ldrbr r9, [r1, r3]  ; R[j]
+	eor  r2, r2, r9     ; sum ^= R[j]
+	addi r3, r3, #1
+	cmpi r3, #%d
+	blt  loop
+	halt
+.data
+`, idx, n, idx, len(recv))
+	sb.WriteString(byteTable("logtab", logT))
+	sb.WriteString(byteTable("exptab", expT))
+	sb.WriteString(byteTable("recv", rbytes))
+	return sb.String()
+}
+
+// SyndromeSIMD generates the Table 6 right-column program: four
+// syndromes S_first..S_first+3 computed together with the SIMD GF
+// instructions. The packed syndromes land in r2 (lane l = S_{first+l}).
+func SyndromeSIMD(f *gf.Field, recv []gf.Elem, first int) string {
+	var alphas uint32
+	for l := 0; l < 4; l++ {
+		alphas |= uint32(f.AlphaPow(first+l)) << (8 * l)
+	}
+	rbytes := make([]byte, len(recv))
+	for i, s := range recv {
+		rbytes[i] = byte(s)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `; Table 6 this-work: 4 syndromes in SIMD lanes
+	movi r10, =field
+	gfconf r10          ; load the irreducible polynomial
+	movi r1, =recv
+	movi r2, #0         ; packed sums
+	movi r3, #0         ; j
+	movi r4, #0x%04x
+	movhi r4, #0x%04x   ; packed alpha^(first..first+3)
+	movi r5, #0x0101
+	movhi r5, #0x0101   ; splat multiplier
+loop:
+	gfmul r2, r2, r4    ; sum = sum (*) alpha^i   (all four lanes)
+	ldrbr r6, [r1, r3]  ; R[j]
+	mul  r6, r6, r5     ; splat R[j] to 4 lanes
+	gfadd r2, r2, r6    ; sum = sum (+) R[j]
+	addi r3, r3, #1
+	cmpi r3, #%d
+	blt  loop
+	halt
+.data
+field:
+	.word 0x%x
+`, alphas&0xFFFF, alphas>>16, len(recv), f.Poly())
+	sb.WriteString(byteTable("recv", rbytes))
+	return sb.String()
+}
+
+// RunResult reports a simulated kernel execution.
+type RunResult struct {
+	Cycles       int64
+	Instructions int64
+	Regs         [4]uint32 // r2..r5 snapshot (kernel outputs)
+}
+
+// Run assembles and executes src on the simulator; gfu attaches the GF
+// arithmetic unit. It returns the run summary, the halted processor and
+// the assembled program (for data-label access).
+func Run(src string, gfu bool) (*RunResult, *core.Processor, *isa.Program, error) {
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	p, err := core.New(prog, core.Config{GFUnit: gfu})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := p.Run(0); err != nil {
+		return nil, nil, nil, err
+	}
+	return &RunResult{
+		Cycles:       p.Cycles(),
+		Instructions: p.Instructions(),
+		Regs:         [4]uint32{p.Reg(2), p.Reg(3), p.Reg(4), p.Reg(5)},
+	}, p, prog, nil
+}
+
+// WideMulFullProduct generates the Table-7 "Full Product" phase for a
+// Words x Words wide multiplication: a fully unrolled product-scanning
+// sequence of gf32mul instructions with column accumulators in
+// registers. Operands live at data labels opa/opb; the 2*Words-word full
+// product is stored at label res. Register map: r0/r1/r2 = base pointers,
+// r3/r4 = operand words, r5/r6 = product hi/lo, r7 = column accumulator,
+// r8 = carry accumulator (next column's seed).
+func WideMulFullProduct(f *gfbig.Field, a, b gfbig.Elem) string {
+	w := f.Words()
+	var sb strings.Builder
+	sb.WriteString(`; Table 7 full-product phase: product scanning with gf32mul
+	movi r10, =field
+	gfconf r10
+	movi r0, =opa
+	movi r1, =opb
+	movi r2, =res
+	movi r7, #0         ; column accumulator
+	movi r8, #0         ; carry into next column
+`)
+	for k := 0; k < 2*w-1; k++ {
+		fmt.Fprintf(&sb, "; column %d\n", k)
+		for i := 0; i < w; i++ {
+			j := k - i
+			if j < 0 || j >= w {
+				continue
+			}
+			fmt.Fprintf(&sb, "\tldr r3, [r0, #%d]\n", 4*i)
+			fmt.Fprintf(&sb, "\tldr r4, [r1, #%d]\n", 4*j)
+			sb.WriteString("\tgf32mul r5, r6, r3, r4\n")
+			sb.WriteString("\teor r7, r7, r6\n") // low into this column
+			sb.WriteString("\teor r8, r8, r5\n") // high into next column
+		}
+		fmt.Fprintf(&sb, "\tstr r7, [r2, #%d]\n", 4*k)
+		sb.WriteString("\tmov r7, r8\n\tmovi r8, #0\n")
+	}
+	fmt.Fprintf(&sb, "\tstr r7, [r2, #%d]\n\thalt\n.data\nfield:\n\t.word 0x11B\n", 4*(2*w-1))
+	word := func(label string, e []uint32, n int) {
+		fmt.Fprintf(&sb, "%s:\n", label)
+		for i := 0; i < n; i++ {
+			v := uint32(0)
+			if i < len(e) {
+				v = e[i]
+			}
+			fmt.Fprintf(&sb, "\t.word 0x%x\n", v)
+		}
+	}
+	word("opa", a, w)
+	word("opb", b, w)
+	word("res", nil, 2*w)
+	return sb.String()
+}
+
+// ReadWords reads n little-endian words from the processor's data memory
+// at the program's data label.
+func ReadWords(p *core.Processor, prog *isa.Program, label string, n int) ([]uint32, error) {
+	addr, ok := prog.DataLabels[label]
+	if !ok {
+		return nil, fmt.Errorf("programs: no data label %q", label)
+	}
+	mem := p.Mem()
+	out := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		off := addr + 4*i
+		out[i] = uint32(mem[off]) | uint32(mem[off+1])<<8 | uint32(mem[off+2])<<16 | uint32(mem[off+3])<<24
+	}
+	return out, nil
+}

@@ -1,0 +1,161 @@
+package programs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gf"
+)
+
+// RSDecode15 generates a COMPLETE RS(15,11,2) decoder over GF(2^4) as one
+// program — the full Fig. 1(b) datapath: SIMD syndrome computation,
+// Peterson's 2x2 closed-form error-locator solve, Chien search, and
+// Forney's algorithm evaluating the error VALUES (the step binary BCH
+// does not need), with in-place symbol correction. The corrected word
+// replaces `recv`; `flag` is set to 1 for detectable-uncorrectable
+// syndrome patterns.
+//
+// For nu <= 2 errors with first consecutive root alpha^1:
+//
+//	det    = S2^2 + S1*S3
+//	sigma1 = (S2*S3 + S1*S4)/det,  sigma2 = (S2*S4 + S3^2)/det   (det != 0)
+//	sigma1 = S2/S1,                sigma2 = 0                     (det == 0, single error)
+//	Omega  = S(x)*Lambda(x) mod x^4 = S1 + (S2 + sigma1*S1)*x
+//	Lambda'(x) = sigma1;  e_j = Omega(X_j^-1) / sigma1
+func RSDecode15(recv []gf.Elem) (string, error) {
+	f := gf.MustDefault(4)
+	if len(recv) != f.N() {
+		return "", fmt.Errorf("programs: received word must be %d symbols", f.N())
+	}
+	var alphas uint32
+	for l := 0; l < 4; l++ {
+		alphas |= uint32(f.AlphaPow(l+1)) << (8 * l)
+	}
+	alphaInv := uint32(f.AlphaPow(-1))
+	rbytes := make([]byte, len(recv))
+	for i, s := range recv {
+		rbytes[i] = byte(s)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `; RS(15,11,2) decoder: syndromes -> Peterson -> Chien -> Forney -> fix
+	movi r10, =field
+	gfconf r10
+; --- syndromes S1..S4 in four lanes ---
+	movi r0, =recv
+	movi r2, #0
+	movi r3, #0
+	movi r4, #0x%04x
+	movhi r4, #0x%04x
+	movi r5, #0x0101
+	movhi r5, #0x0101
+syn:
+	gfmul r2, r2, r4
+	ldrbr r6, [r0, r3]
+	mul r6, r6, r5
+	gfadd r2, r2, r6
+	addi r3, r3, #1
+	cmpi r3, #15
+	blt syn
+	cmpi r2, #0
+	beq done
+; --- unpack syndromes ---
+	andi r4, r2, #0xFF  ; S1
+	lsri r5, r2, #8
+	andi r5, r5, #0xFF  ; S2
+	lsri r6, r2, #16
+	andi r6, r6, #0xFF  ; S3
+	lsri r7, r2, #24    ; S4
+; --- Peterson closed form ---
+	gfmul r8, r5, r5    ; S2^2
+	gfmul r9, r4, r6    ; S1*S3
+	eor r8, r8, r9      ; det
+	cmpi r8, #0
+	bne two
+; single error: sigma1 = S2/S1 (S1 != 0 here unless >2 errors)
+	cmpi r4, #0
+	beq fail
+	gfmulinv r9, r4
+	gfmul r11, r5, r9   ; sigma1 = S2*S1^-1
+	; consistency: sigma1*S2 == S3 and sigma1*S3 == S4, else >2 errors
+	gfmul r12, r11, r5
+	cmp r12, r6
+	bne fail
+	gfmul r12, r11, r6
+	cmp r12, r7
+	bne fail
+	mov r4, r11         ; sigma1
+	movi r5, #0         ; sigma2
+	b forney_setup
+two:
+	gfmulinv r8, r8     ; det^-1
+	gfmul r9, r5, r6    ; S2*S3
+	gfmul r12, r4, r7   ; S1*S4
+	eor r9, r9, r12
+	gfmul r9, r9, r8    ; sigma1
+	gfmul r12, r5, r7   ; S2*S4
+	gfmul r11, r6, r6   ; S3^2
+	eor r12, r12, r11
+	gfmul r12, r12, r8  ; sigma2
+	gfmul r11, r9, r4   ; sigma1*S1 (for Omega1, using old S1 in r4)
+	eor r5, r5, r11     ; Omega1 = S2 + sigma1*S1 ... computed before clobbering
+	mov r6, r4          ; Omega0 = S1
+	mov r4, r9          ; sigma1
+	mov r7, r5          ; Omega1
+	mov r5, r12         ; sigma2
+	b forney_ready
+forney_setup:
+	; single-error path: Omega0 = S1 (still in... r4 now sigma1) —
+	; recompute from packed syndromes in r2.
+	andi r6, r2, #0xFF  ; Omega0 = S1
+	lsri r7, r2, #8
+	andi r7, r7, #0xFF  ; S2
+	gfmul r12, r4, r6   ; sigma1*S1
+	eor r7, r7, r12     ; Omega1 = S2 + sigma1*S1 (= 0 for a true single error)
+forney_ready:
+	cmpi r4, #0
+	beq fail            ; sigma1 = 0 with errors present: uncorrectable
+	gfmulinv r8, r4     ; 1/Lambda' = 1/sigma1
+; --- Chien + Forney + correction ---
+	movi r1, #0         ; p
+	movi r3, #1         ; z = alpha^0
+chien:
+	gfmul r11, r4, r3   ; sigma1*z
+	gfsq r12, r3
+	gfmul r12, r5, r12  ; sigma2*z^2
+	eor r11, r11, r12
+	movi r12, #1
+	eor r11, r11, r12   ; Lambda(z)
+	andi r11, r11, #0xFF
+	cmpi r11, #0
+	bne next
+	; error at index 14-p with value (Omega0 + Omega1*z)/sigma1
+	gfmul r11, r7, r3   ; Omega1*z
+	eor r11, r11, r6    ; + Omega0
+	gfmul r11, r11, r8  ; / sigma1
+	movi r12, #14
+	sub r12, r12, r1
+	ldrbr r9, [r0, r12]
+	eor r9, r9, r11
+	strbr r9, [r0, r12]
+next:
+	movi r12, #%d       ; alpha^-1
+	gfmul r3, r3, r12
+	addi r1, r1, #1
+	cmpi r1, #15
+	blt chien
+	b done
+fail:
+	movi r9, #1
+	movi r10, =flag
+	strb r9, [r10, #0]
+done:
+	halt
+.data
+field:
+	.word 0x%x
+flag:
+	.byte 0
+`, alphas&0xFFFF, alphas>>16, alphaInv, f.Poly())
+	sb.WriteString(byteTable("recv", rbytes))
+	return sb.String(), nil
+}

@@ -1,0 +1,102 @@
+package rs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf"
+	"repro/internal/gfpoly"
+)
+
+func TestEuclidDecoderMatchesBMA(t *testing.T) {
+	codes := []*Code{
+		Must(f8, 255, 239),
+		Must(f8, 255, 223),
+		Must(gf.MustDefault(4), 15, 9),
+	}
+	rng := rand.New(rand.NewSource(41))
+	for _, c := range codes {
+		for nerr := 0; nerr <= c.T; nerr++ {
+			msg := randMsg(rng, c.F, c.K)
+			cw, _ := c.Encode(msg)
+			recv, _ := corrupt(rng, c.F, cw, nerr)
+			a, errA := c.Decode(recv)
+			b, errB := c.DecodeEuclid(recv)
+			if errA != nil || errB != nil {
+				t.Fatalf("%v nerr=%d: BMA err=%v, Euclid err=%v", c, nerr, errA, errB)
+			}
+			for i := range a.Corrected {
+				if a.Corrected[i] != b.Corrected[i] {
+					t.Fatalf("%v nerr=%d: decoders disagree at %d", c, nerr, i)
+				}
+			}
+			if a.NumErrors != b.NumErrors {
+				t.Fatalf("%v nerr=%d: error counts %d vs %d", c, nerr, a.NumErrors, b.NumErrors)
+			}
+		}
+	}
+}
+
+func TestEuclidKeyEquationAgainstBMA(t *testing.T) {
+	c := Must(f8, 255, 239)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		msg := randMsg(rng, c.F, c.K)
+		cw, _ := c.Encode(msg)
+		nerr := 1 + rng.Intn(c.T)
+		recv, _ := corrupt(rng, c.F, cw, nerr)
+		synd := c.Syndromes(recv)
+		lamE, omegaE, err := c.SolveKeyEquationEuclid(synd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lamB := c.BerlekampMassey(synd)
+		if !lamE.Equal(lamB) {
+			t.Fatalf("trial %d: Euclid lambda %v != BMA %v", trial, lamE, lamB)
+		}
+		// Key equation: Lambda*S mod x^2t == Omega.
+		sPoly := gfpoly.New(c.F, synd...)
+		got := lamE.Mul(sPoly).ModXn(2 * c.T)
+		if !got.Equal(omegaE) {
+			t.Fatalf("trial %d: key equation violated", trial)
+		}
+		if omegaE.Degree() >= lamE.Degree() {
+			t.Fatalf("trial %d: deg Omega %d >= deg Lambda %d", trial, omegaE.Degree(), lamE.Degree())
+		}
+	}
+}
+
+func TestEuclidDecoderBeyondT(t *testing.T) {
+	c := Must(f8, 255, 239)
+	rng := rand.New(rand.NewSource(43))
+	fails := 0
+	for trial := 0; trial < 20; trial++ {
+		msg := randMsg(rng, c.F, c.K)
+		cw, _ := c.Encode(msg)
+		recv, _ := corrupt(rng, c.F, cw, c.T+4)
+		res, err := c.DecodeEuclid(recv)
+		if err != nil {
+			fails++
+			continue
+		}
+		same := true
+		for i := range msg {
+			if res.Message[i] != msg[i] {
+				same = false
+			}
+		}
+		if same {
+			t.Fatal("t+4 errors decoded to original (impossible)")
+		}
+	}
+	if fails == 0 {
+		t.Error("no failures beyond capacity (suspicious)")
+	}
+}
+
+func TestEuclidValidation(t *testing.T) {
+	c := Must(f8, 255, 239)
+	if _, err := c.DecodeEuclid(make([]gf.Elem, 10)); err == nil {
+		t.Error("short word accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package rs
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+)
+
+// Interleaved Reed-Solomon: depth-I symbol interleaving of I codewords,
+// the CCSDS-style construction that multiplies burst tolerance by the
+// interleaving depth. A frame carries I*k message symbols; on the wire,
+// symbol j of the frame belongs to codeword j mod I, so a burst of up to
+// I*t consecutive corrupted symbols splits into at most t per codeword.
+type Interleaved struct {
+	Code  *Code
+	Depth int
+}
+
+// NewInterleaved wraps the code with interleaving depth I >= 1.
+func NewInterleaved(c *Code, depth int) (*Interleaved, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("rs: interleaving depth %d < 1", depth)
+	}
+	return &Interleaved{Code: c, Depth: depth}, nil
+}
+
+// FrameK returns the message symbols per frame (I*k).
+func (iv *Interleaved) FrameK() int { return iv.Depth * iv.Code.K }
+
+// FrameN returns the frame length on the wire (I*n).
+func (iv *Interleaved) FrameN() int { return iv.Depth * iv.Code.N }
+
+// BurstTolerance returns the longest guaranteed-correctable symbol burst.
+func (iv *Interleaved) BurstTolerance() int { return iv.Depth * iv.Code.T }
+
+// Encode encodes I*k message symbols into an interleaved I*n frame.
+func (iv *Interleaved) Encode(msg []gf.Elem) ([]gf.Elem, error) {
+	if len(msg) != iv.FrameK() {
+		return nil, fmt.Errorf("rs: frame message length %d, want %d", len(msg), iv.FrameK())
+	}
+	out := make([]gf.Elem, iv.FrameN())
+	for i := 0; i < iv.Depth; i++ {
+		cw, err := iv.Code.Encode(msg[i*iv.Code.K : (i+1)*iv.Code.K])
+		if err != nil {
+			return nil, err
+		}
+		for j, s := range cw {
+			out[j*iv.Depth+i] = s
+		}
+	}
+	return out, nil
+}
+
+// Decode deinterleaves and decodes a frame, returning the I*k message
+// symbols and the total number of symbol errors corrected.
+func (iv *Interleaved) Decode(recv []gf.Elem) ([]gf.Elem, int, error) {
+	if len(recv) != iv.FrameN() {
+		return nil, 0, fmt.Errorf("rs: frame length %d, want %d", len(recv), iv.FrameN())
+	}
+	msg := make([]gf.Elem, iv.FrameK())
+	total := 0
+	cw := make([]gf.Elem, iv.Code.N)
+	for i := 0; i < iv.Depth; i++ {
+		for j := 0; j < iv.Code.N; j++ {
+			cw[j] = recv[j*iv.Depth+i]
+		}
+		res, err := iv.Code.Decode(cw)
+		if err != nil {
+			return nil, total, fmt.Errorf("rs: codeword %d of frame: %w", i, err)
+		}
+		copy(msg[i*iv.Code.K:], res.Message)
+		total += res.NumErrors
+	}
+	return msg, total, nil
+}

@@ -1,0 +1,122 @@
+package rs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf"
+)
+
+func TestInterleavedRoundTrip(t *testing.T) {
+	c := Must(gf.MustDefault(8), 255, 239)
+	iv, err := NewInterleaved(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.FrameK() != 5*239 || iv.FrameN() != 5*255 || iv.BurstTolerance() != 40 {
+		t.Fatalf("frame geometry wrong: %d/%d/%d", iv.FrameK(), iv.FrameN(), iv.BurstTolerance())
+	}
+	rng := rand.New(rand.NewSource(1))
+	msg := make([]gf.Elem, iv.FrameK())
+	for i := range msg {
+		msg[i] = gf.Elem(rng.Intn(256))
+	}
+	frame, err := iv.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, nerr, err := iv.Decode(frame)
+	if err != nil || nerr != 0 {
+		t.Fatalf("clean decode: %v (%d errors)", err, nerr)
+	}
+	for i := range msg {
+		if got[i] != msg[i] {
+			t.Fatal("clean round trip corrupted")
+		}
+	}
+}
+
+func TestInterleavedBurstTolerance(t *testing.T) {
+	// Depth 4, t=8: a 32-symbol contiguous burst must be fully corrected,
+	// while the plain code would collapse under it.
+	c := Must(gf.MustDefault(8), 255, 239)
+	iv, _ := NewInterleaved(c, 4)
+	rng := rand.New(rand.NewSource(2))
+	msg := make([]gf.Elem, iv.FrameK())
+	for i := range msg {
+		msg[i] = gf.Elem(rng.Intn(256))
+	}
+	frame, _ := iv.Encode(msg)
+	recv := append([]gf.Elem(nil), frame...)
+	start := 100
+	for i := 0; i < iv.BurstTolerance(); i++ {
+		recv[start+i] ^= gf.Elem(1 + rng.Intn(255))
+	}
+	got, nerr, err := iv.Decode(recv)
+	if err != nil {
+		t.Fatalf("burst decode failed: %v", err)
+	}
+	if nerr != iv.BurstTolerance() {
+		t.Errorf("corrected %d symbols, want %d", nerr, iv.BurstTolerance())
+	}
+	for i := range msg {
+		if got[i] != msg[i] {
+			t.Fatal("burst decode corrupted message")
+		}
+	}
+	// Control: the same burst inside one un-interleaved codeword fails.
+	plainMsg := msg[:c.K]
+	cw, _ := c.Encode(plainMsg)
+	for i := 0; i < 32; i++ {
+		cw[start%c.N-32+i] ^= gf.Elem(1 + rng.Intn(255))
+	}
+	if _, err := c.Decode(cw); err == nil {
+		t.Error("32-symbol burst decoded by a t=8 code (impossible)")
+	}
+}
+
+func TestInterleavedValidation(t *testing.T) {
+	c := Must(gf.MustDefault(8), 255, 239)
+	if _, err := NewInterleaved(c, 0); err == nil {
+		t.Error("depth 0 accepted")
+	}
+	iv, _ := NewInterleaved(c, 2)
+	if _, err := iv.Encode(make([]gf.Elem, 10)); err == nil {
+		t.Error("short frame message accepted")
+	}
+	if _, _, err := iv.Decode(make([]gf.Elem, 10)); err == nil {
+		t.Error("short frame accepted")
+	}
+}
+
+func TestInterleavedBeyondToleranceFails(t *testing.T) {
+	c := Must(gf.MustDefault(8), 255, 251) // t=2
+	iv, _ := NewInterleaved(c, 2)
+	rng := rand.New(rand.NewSource(3))
+	msg := make([]gf.Elem, iv.FrameK())
+	for i := range msg {
+		msg[i] = gf.Elem(rng.Intn(256))
+	}
+	frame, _ := iv.Encode(msg)
+	// A 10-symbol burst: 5 errors per codeword, beyond t=2. The decoder
+	// must either report failure or miscorrect to a *different* message —
+	// it can never silently return the original one.
+	for i := 0; i < 10; i++ {
+		frame[50+i] ^= gf.Elem(1 + rng.Intn(255))
+	}
+	got, _, err := iv.Decode(frame)
+	if err == nil {
+		same := true
+		for i := range msg {
+			if got[i] != msg[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("over-tolerance burst decoded to the original message (impossible)")
+		} else {
+			t.Log("over-tolerance burst miscorrected (expected behavior for 5 errors in a d=5 code)")
+		}
+	}
+}

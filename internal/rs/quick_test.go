@@ -1,0 +1,65 @@
+package rs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gf"
+)
+
+// Property (testing/quick): ANY pattern of up to t symbol errors decodes
+// back to the original message — the defining invariant of RS(n, k).
+func TestQuickDecodeInvariant(t *testing.T) {
+	c := Must(f8, 255, 239)
+	prop := func(seed int64, nerrRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nerr := int(nerrRaw) % (c.T + 1)
+		msg := randMsg(rng, f8, c.K)
+		cw, err := c.Encode(msg)
+		if err != nil {
+			return false
+		}
+		recv, _ := corrupt(rng, f8, cw, nerr)
+		res, err := c.Decode(recv)
+		if err != nil || res.NumErrors != nerr {
+			return false
+		}
+		for i := range msg {
+			if res.Message[i] != msg[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: encoding is linear — encode(a) XOR encode(b) == encode(a XOR b).
+func TestQuickEncoderLinearity(t *testing.T) {
+	c := Must(gf.MustDefault(4), 15, 9)
+	prop := func(seedA, seedB int64) bool {
+		rngA := rand.New(rand.NewSource(seedA))
+		rngB := rand.New(rand.NewSource(seedB))
+		a := randMsg(rngA, c.F, c.K)
+		b := randMsg(rngB, c.F, c.K)
+		sum := make([]gf.Elem, c.K)
+		for i := range sum {
+			sum[i] = a[i] ^ b[i]
+		}
+		ca, _ := c.Encode(a)
+		cb, _ := c.Encode(b)
+		cs, _ := c.Encode(sum)
+		for i := range cs {
+			if cs[i] != ca[i]^cb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,318 @@
+// Package rs implements Reed-Solomon encoding and decoding over GF(2^m),
+// following the decoder datapath of the paper's Fig. 1(b): syndrome
+// calculation, the Berlekamp-Massey algorithm, Chien search and Forney's
+// algorithm. Errors-and-erasures decoding and shortened codes are supported.
+//
+// The paper's flagship configuration is RS(255,239,8) over GF(2^8); any
+// (n,k) with n <= 2^m-1 and even n-k works, with an arbitrary irreducible
+// field polynomial and an arbitrary first consecutive generator root —
+// precisely the flexibility the GF processor's configuration register
+// provides in hardware.
+package rs
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+	"repro/internal/gfpoly"
+)
+
+// Code is a Reed-Solomon code RS(n, k) over GF(2^m). Codewords are symbol
+// slices of length n; index 0 is transmitted first and carries the
+// highest-degree coefficient of the codeword polynomial.
+type Code struct {
+	F *gf.Field
+	N int // codeword length in symbols (<= 2^m - 1)
+	K int // information symbols
+	T int // correctable symbol errors, (n-k)/2
+	B int // exponent of the first consecutive root of the generator
+
+	full int         // natural length 2^m - 1
+	gen  gfpoly.Poly // generator polynomial, degree n-k
+}
+
+// New constructs RS(n, k) over the field f with first consecutive root
+// alpha^1 (narrow sense). n may be shorter than 2^m-1 (a shortened code).
+func New(f *gf.Field, n, k int) (*Code, error) { return NewWithFCR(f, n, k, 1) }
+
+// NewWithFCR constructs RS(n, k) with generator roots alpha^b .. alpha^(b+n-k-1).
+func NewWithFCR(f *gf.Field, n, k, b int) (*Code, error) {
+	full := f.N()
+	switch {
+	case n < 3 || n > full:
+		return nil, fmt.Errorf("rs: n=%d out of range [3,%d] for %v", n, full, f)
+	case k <= 0 || k >= n:
+		return nil, fmt.Errorf("rs: k=%d out of range (0,%d)", k, n)
+	case (n-k)%2 != 0:
+		return nil, fmt.Errorf("rs: n-k=%d must be even", n-k)
+	}
+	c := &Code{F: f, N: n, K: k, T: (n - k) / 2, B: b, full: full}
+	// g(x) = prod_{i=b}^{b+2t-1} (x - alpha^i)
+	g := gfpoly.One(f)
+	for i := 0; i < 2*c.T; i++ {
+		g = g.Mul(gfpoly.New(f, f.AlphaPow(b+i), 1))
+	}
+	c.gen = g
+	return c, nil
+}
+
+// Must is New but panics on error.
+func Must(f *gf.Field, n, k int) *Code {
+	c, err := New(f, n, k)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Generator returns the generator polynomial g(x) of degree n-k.
+func (c *Code) Generator() gfpoly.Poly { return c.gen.Clone() }
+
+// Rate returns the code rate k/n.
+func (c *Code) Rate() float64 { return float64(c.K) / float64(c.N) }
+
+// String implements fmt.Stringer.
+func (c *Code) String() string {
+	return fmt.Sprintf("RS(%d,%d,%d)/%v", c.N, c.K, c.T, c.F)
+}
+
+// Encode systematically encodes k message symbols into an n-symbol
+// codeword: the message occupies the first k positions, parity the last
+// n-k. It returns an error if the message has the wrong length or contains
+// out-of-field symbols.
+func (c *Code) Encode(msg []gf.Elem) ([]gf.Elem, error) {
+	if len(msg) != c.K {
+		return nil, fmt.Errorf("rs: message length %d, want %d", len(msg), c.K)
+	}
+	for i, s := range msg {
+		if !c.F.Valid(s) {
+			return nil, fmt.Errorf("rs: message symbol %d (%#x) outside %v", i, s, c.F)
+		}
+	}
+	// c(x) = m(x)*x^(n-k) + (m(x)*x^(n-k) mod g(x)).
+	// Polynomial remainder via LFSR-style division.
+	nk := c.N - c.K
+	rem := make([]gf.Elem, nk) // rem[j] = coefficient of x^j
+	for i := 0; i < c.K; i++ {
+		feedback := msg[i] ^ rem[nk-1]
+		copy(rem[1:], rem[:nk-1])
+		rem[0] = 0
+		if feedback != 0 {
+			for j := 0; j < nk; j++ {
+				rem[j] ^= c.F.Mul(feedback, c.gen.Coeff(j))
+			}
+		}
+	}
+	out := make([]gf.Elem, c.N)
+	copy(out, msg)
+	for j := 0; j < nk; j++ {
+		out[c.K+j] = rem[nk-1-j]
+	}
+	return out, nil
+}
+
+// Syndromes evaluates the 2t syndromes S_j = r(alpha^(b+j)) of the received
+// word by Horner's rule — the paper's first (and unavoidable) decoding
+// kernel. All syndromes zero means no detectable error.
+func (c *Code) Syndromes(recv []gf.Elem) []gf.Elem {
+	s := make([]gf.Elem, 2*c.T)
+	for j := range s {
+		x := c.F.AlphaPow(c.B + j)
+		var acc gf.Elem
+		for _, r := range recv {
+			acc = c.F.Mul(acc, x) ^ r
+		}
+		s[j] = acc
+	}
+	return s
+}
+
+// AllZero reports whether every syndrome is zero.
+func AllZero(s []gf.Elem) bool {
+	for _, v := range s {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// BerlekampMassey runs the Berlekamp-Massey algorithm on the syndrome
+// sequence and returns the error-locator polynomial Lambda(x) with
+// Lambda(0) = 1 and degree = number of errors (when correctable).
+func (c *Code) BerlekampMassey(synd []gf.Elem) gfpoly.Poly {
+	return gfpoly.BerlekampMassey(c.F, synd)
+}
+
+// ChienSearch finds the error positions encoded in Lambda: it returns the
+// codeword indices (0-based, index 0 transmitted first) whose locators
+// X = alpha^(n-1-i) satisfy Lambda(X^-1) = 0, by evaluating Lambda at every
+// field element as the hardware Chien search does.
+func (c *Code) ChienSearch(lambda gfpoly.Poly) []int {
+	var pos []int
+	// Evaluate at z = alpha^-p for each codeword power p = 0..n-1;
+	// codeword index i = n-1-p.
+	for p := 0; p < c.N; p++ {
+		z := c.F.AlphaPow(-p)
+		if lambda.Eval(z) == 0 {
+			pos = append(pos, c.N-1-p)
+		}
+	}
+	return pos
+}
+
+// Forney computes the error values at the given codeword positions using
+// Forney's algorithm: e = X^(1-b) * Omega(X^-1) / Lambda'(X^-1) where
+// Omega = S(x)*Lambda(x) mod x^2t.
+func (c *Code) Forney(synd []gf.Elem, lambda gfpoly.Poly, positions []int) ([]gf.Elem, error) {
+	sPoly := gfpoly.New(c.F, synd...)
+	omega := sPoly.Mul(lambda).ModXn(len(synd))
+	dLambda := lambda.Derivative()
+	vals := make([]gf.Elem, len(positions))
+	for i, posIdx := range positions {
+		p := c.N - 1 - posIdx
+		xInv := c.F.AlphaPow(-p)
+		den := dLambda.Eval(xInv)
+		if den == 0 {
+			return nil, fmt.Errorf("rs: Forney division by zero at position %d", posIdx)
+		}
+		e := c.F.Div(omega.Eval(xInv), den)
+		// X^(1-b) factor generalizes to arbitrary first consecutive root.
+		if c.B != 1 {
+			e = c.F.Mul(e, c.F.AlphaPow(p*(1-c.B)))
+		}
+		vals[i] = e
+	}
+	return vals, nil
+}
+
+// DecodeResult carries the diagnostic output of a decode.
+type DecodeResult struct {
+	Corrected  []gf.Elem // the corrected codeword
+	Message    []gf.Elem // the first k symbols of Corrected
+	NumErrors  int       // symbol errors corrected
+	NumErasure int       // erasures filled
+	Positions  []int     // indices corrected
+	Syndromes  []gf.Elem // syndromes of the received word
+}
+
+// Decode corrects up to t symbol errors in recv and returns the result.
+// It returns an error when the word is uncorrectable (more than t errors
+// detected).
+func (c *Code) Decode(recv []gf.Elem) (*DecodeResult, error) {
+	return c.DecodeErasures(recv, nil)
+}
+
+// DecodeErasures corrects errors and erasures. erasures lists codeword
+// indices known to be unreliable; a code can correct nu errors and rho
+// erasures whenever 2*nu + rho <= n-k. The erased positions' current
+// values are ignored.
+func (c *Code) DecodeErasures(recv []gf.Elem, erasures []int) (*DecodeResult, error) {
+	if len(recv) != c.N {
+		return nil, fmt.Errorf("rs: received length %d, want %d", len(recv), c.N)
+	}
+	if len(erasures) > c.N-c.K {
+		return nil, fmt.Errorf("rs: %d erasures exceed n-k=%d", len(erasures), c.N-c.K)
+	}
+	word := append([]gf.Elem(nil), recv...)
+	for _, idx := range erasures {
+		if idx < 0 || idx >= c.N {
+			return nil, fmt.Errorf("rs: erasure index %d out of range", idx)
+		}
+		word[idx] = 0 // normalize erased symbols
+	}
+	synd := c.Syndromes(word)
+	res := &DecodeResult{Corrected: word, Syndromes: synd}
+	if AllZero(synd) && len(erasures) == 0 {
+		res.Message = word[:c.K]
+		return res, nil
+	}
+
+	// Erasure locator Gamma(x) = prod (1 - X_i x).
+	gamma := gfpoly.One(c.F)
+	for _, idx := range erasures {
+		p := c.N - 1 - idx
+		gamma = gamma.Mul(gfpoly.New(c.F, 1, c.F.AlphaPow(p)))
+	}
+	// Forney syndromes: the coefficients rho..2t-1 of S(x)*Gamma(x) form a
+	// pure-error syndrome sequence of length 2t-rho (the erasure terms cancel
+	// because Gamma vanishes at the erasure locators). BMA on that sequence
+	// yields the error-only locator.
+	rho := len(erasures)
+	sPoly := gfpoly.New(c.F, synd...)
+	tPoly := sPoly.Mul(gamma).ModXn(2 * c.T)
+	tSynd := make([]gf.Elem, 2*c.T-rho)
+	for i := range tSynd {
+		tSynd[i] = tPoly.Coeff(i + rho)
+	}
+	lambda := gfpoly.BerlekampMassey(c.F, tSynd)
+	nu := lambda.Degree()
+	if 2*nu+len(erasures) > 2*c.T {
+		return nil, fmt.Errorf("rs: %d errors + %d erasures exceed capability t=%d", nu, len(erasures), c.T)
+	}
+
+	// Errata locator Psi = Lambda * Gamma; roots give all corrupt positions.
+	psi := lambda.Mul(gamma)
+	positions := c.ChienSearch(psi)
+	if len(positions) != psi.Degree() {
+		return nil, fmt.Errorf("rs: Chien search found %d roots for degree-%d locator (uncorrectable)", len(positions), psi.Degree())
+	}
+	vals, err := c.Forney(synd, psi, positions)
+	if err != nil {
+		return nil, err
+	}
+	for i, idx := range positions {
+		word[idx] ^= vals[i]
+	}
+	// Verify: corrected word must have all-zero syndromes.
+	if !AllZero(c.Syndromes(word)) {
+		return nil, fmt.Errorf("rs: correction verification failed (uncorrectable word)")
+	}
+	res.Corrected = word
+	res.Message = word[:c.K]
+	res.NumErrors = nu
+	res.NumErasure = len(erasures)
+	res.Positions = positions
+	return res, nil
+}
+
+// EncodeBytes encodes a k-byte message for fields with m <= 8.
+func (c *Code) EncodeBytes(msg []byte) ([]byte, error) {
+	if c.F.M() > 8 {
+		return nil, fmt.Errorf("rs: byte interface requires m <= 8")
+	}
+	sym := make([]gf.Elem, len(msg))
+	for i, b := range msg {
+		sym[i] = gf.Elem(b)
+	}
+	cw, err := c.Encode(sym)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(cw))
+	for i, s := range cw {
+		out[i] = byte(s)
+	}
+	return out, nil
+}
+
+// DecodeBytes decodes an n-byte received word for fields with m <= 8 and
+// returns the corrected k-byte message.
+func (c *Code) DecodeBytes(recv []byte) ([]byte, error) {
+	if c.F.M() > 8 {
+		return nil, fmt.Errorf("rs: byte interface requires m <= 8")
+	}
+	sym := make([]gf.Elem, len(recv))
+	for i, b := range recv {
+		sym[i] = gf.Elem(b)
+	}
+	res, err := c.Decode(sym)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, c.K)
+	for i, s := range res.Message {
+		out[i] = byte(s)
+	}
+	return out, nil
+}

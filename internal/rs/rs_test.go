@@ -1,0 +1,419 @@
+package rs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf"
+	"repro/internal/gfpoly"
+)
+
+var f8 = gf.MustDefault(8)
+
+func randMsg(rng *rand.Rand, f *gf.Field, k int) []gf.Elem {
+	m := make([]gf.Elem, k)
+	for i := range m {
+		m[i] = gf.Elem(rng.Intn(f.Order()))
+	}
+	return m
+}
+
+// corrupt injects nerr random symbol errors at distinct random positions.
+func corrupt(rng *rand.Rand, f *gf.Field, cw []gf.Elem, nerr int) ([]gf.Elem, []int) {
+	out := append([]gf.Elem(nil), cw...)
+	perm := rng.Perm(len(cw))[:nerr]
+	for _, idx := range perm {
+		e := gf.Elem(1 + rng.Intn(f.Order()-1))
+		out[idx] ^= e
+	}
+	return out, perm
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(f8, 256, 239); err == nil {
+		t.Error("n > 2^m-1 accepted")
+	}
+	if _, err := New(f8, 255, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := New(f8, 255, 240); err == nil {
+		t.Error("odd n-k accepted")
+	}
+	if _, err := New(f8, 255, 255); err == nil {
+		t.Error("k=n accepted")
+	}
+}
+
+func TestGeneratorProperties(t *testing.T) {
+	c := Must(f8, 255, 239)
+	g := c.Generator()
+	if g.Degree() != 16 {
+		t.Fatalf("generator degree %d, want 16", g.Degree())
+	}
+	// Generator must vanish at alpha^1..alpha^2t.
+	for i := 1; i <= 16; i++ {
+		if g.Eval(f8.AlphaPow(i)) != 0 {
+			t.Errorf("g(alpha^%d) != 0", i)
+		}
+	}
+	if g.Eval(f8.AlphaPow(17)) == 0 {
+		t.Error("g vanishes beyond its designed roots")
+	}
+}
+
+func TestEncodedWordIsMultipleOfGenerator(t *testing.T) {
+	c := Must(f8, 255, 239)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		cw, err := c.Encode(randMsg(rng, f8, c.K))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Codeword as polynomial: coefficient of x^(n-1-i) = cw[i].
+		coeffs := make([]gf.Elem, c.N)
+		for i, s := range cw {
+			coeffs[c.N-1-i] = s
+		}
+		p := gfpoly.New(f8, coeffs...)
+		if !p.Mod(c.Generator()).IsZero() {
+			t.Fatal("codeword not divisible by generator")
+		}
+		if !AllZero(c.Syndromes(cw)) {
+			t.Fatal("clean codeword has nonzero syndromes")
+		}
+	}
+}
+
+func TestEncodeSystematic(t *testing.T) {
+	c := Must(f8, 255, 239)
+	rng := rand.New(rand.NewSource(2))
+	msg := randMsg(rng, f8, c.K)
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msg {
+		if cw[i] != msg[i] {
+			t.Fatal("encoding not systematic")
+		}
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c := Must(f8, 255, 239)
+	if _, err := c.Encode(make([]gf.Elem, 10)); err == nil {
+		t.Error("wrong-length message accepted")
+	}
+	bad := make([]gf.Elem, c.K)
+	bad[0] = 0x100
+	if _, err := c.Encode(bad); err == nil {
+		t.Error("out-of-field symbol accepted")
+	}
+}
+
+func TestDecodeUpToT(t *testing.T) {
+	codes := []*Code{
+		Must(f8, 255, 239),              // the paper's RS code, t=8
+		Must(f8, 255, 223),              // CCSDS-style, t=16
+		Must(gf.MustDefault(4), 15, 9),  // small field, t=3
+		Must(gf.MustDefault(5), 31, 25), // t=3
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, c := range codes {
+		for nerr := 0; nerr <= c.T; nerr++ {
+			msg := randMsg(rng, c.F, c.K)
+			cw, err := c.Encode(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recv, _ := corrupt(rng, c.F, cw, nerr)
+			res, err := c.Decode(recv)
+			if err != nil {
+				t.Fatalf("%v: decode with %d errors failed: %v", c, nerr, err)
+			}
+			if res.NumErrors != nerr {
+				t.Errorf("%v: reported %d errors, injected %d", c, res.NumErrors, nerr)
+			}
+			for i := range msg {
+				if res.Message[i] != msg[i] {
+					t.Fatalf("%v: message corrupted after decode (%d errors)", c, nerr)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeBeyondTFails(t *testing.T) {
+	c := Must(f8, 255, 239)
+	rng := rand.New(rand.NewSource(4))
+	fails := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		msg := randMsg(rng, f8, c.K)
+		cw, _ := c.Encode(msg)
+		recv, _ := corrupt(rng, f8, cw, c.T+3)
+		res, err := c.Decode(recv)
+		if err != nil {
+			fails++
+			continue
+		}
+		// Miscorrection is possible but must never be reported as <= t
+		// errors matching the original message.
+		same := true
+		for i := range msg {
+			if res.Message[i] != msg[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("decoded t+3 errors to the original message (impossible)")
+		}
+	}
+	if fails == 0 {
+		t.Error("no decode failures in any beyond-capacity trial (suspicious)")
+	}
+}
+
+func TestDecodeErasuresOnly(t *testing.T) {
+	c := Must(f8, 255, 239)
+	rng := rand.New(rand.NewSource(5))
+	// Up to n-k = 16 erasures are correctable with no errors.
+	for _, rho := range []int{1, 4, 8, 16} {
+		msg := randMsg(rng, f8, c.K)
+		cw, _ := c.Encode(msg)
+		recv := append([]gf.Elem(nil), cw...)
+		idx := rng.Perm(c.N)[:rho]
+		for _, i := range idx {
+			recv[i] = gf.Elem(rng.Intn(256)) // garbage; decoder ignores it
+		}
+		res, err := c.DecodeErasures(recv, idx)
+		if err != nil {
+			t.Fatalf("rho=%d: %v", rho, err)
+		}
+		for i := range msg {
+			if res.Message[i] != msg[i] {
+				t.Fatalf("rho=%d: message corrupted", rho)
+			}
+		}
+		if res.NumErasure != rho {
+			t.Errorf("rho=%d: reported %d erasures", rho, res.NumErasure)
+		}
+	}
+}
+
+func TestDecodeErrorsAndErasures(t *testing.T) {
+	c := Must(f8, 255, 239)
+	rng := rand.New(rand.NewSource(6))
+	// 2*nu + rho <= 16: try the full frontier.
+	for rho := 0; rho <= 16; rho += 2 {
+		nu := (16 - rho) / 2
+		msg := randMsg(rng, f8, c.K)
+		cw, _ := c.Encode(msg)
+		perm := rng.Perm(c.N)
+		eras := perm[:rho]
+		recv := append([]gf.Elem(nil), cw...)
+		for _, i := range eras {
+			recv[i] ^= gf.Elem(1 + rng.Intn(255))
+		}
+		for _, i := range perm[rho : rho+nu] {
+			recv[i] ^= gf.Elem(1 + rng.Intn(255))
+		}
+		res, err := c.DecodeErasures(recv, eras)
+		if err != nil {
+			t.Fatalf("rho=%d nu=%d: %v", rho, nu, err)
+		}
+		for i := range msg {
+			if res.Message[i] != msg[i] {
+				t.Fatalf("rho=%d nu=%d: message corrupted", rho, nu)
+			}
+		}
+	}
+}
+
+func TestErasureValidation(t *testing.T) {
+	c := Must(f8, 255, 239)
+	cw, _ := c.Encode(make([]gf.Elem, c.K))
+	if _, err := c.DecodeErasures(cw, make([]int, 17)); err == nil {
+		t.Error("17 erasures accepted for t=8 code")
+	}
+	if _, err := c.DecodeErasures(cw, []int{-1}); err == nil {
+		t.Error("negative erasure index accepted")
+	}
+	if _, err := c.Decode(cw[:10]); err == nil {
+		t.Error("short received word accepted")
+	}
+}
+
+func TestShortenedCode(t *testing.T) {
+	// RS(64, 48) over GF(2^8): a shortened code, t=8.
+	c := Must(f8, 64, 48)
+	rng := rand.New(rand.NewSource(7))
+	for nerr := 0; nerr <= c.T; nerr++ {
+		msg := randMsg(rng, f8, c.K)
+		cw, _ := c.Encode(msg)
+		recv, _ := corrupt(rng, f8, cw, nerr)
+		res, err := c.Decode(recv)
+		if err != nil {
+			t.Fatalf("shortened decode with %d errors: %v", nerr, err)
+		}
+		for i := range msg {
+			if res.Message[i] != msg[i] {
+				t.Fatal("shortened decode corrupted message")
+			}
+		}
+	}
+}
+
+func TestNonStandardFCR(t *testing.T) {
+	// CCSDS uses b=112 style offsets; verify an arbitrary fcr decodes.
+	c, err := NewWithFCR(f8, 255, 239, 112)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	msg := randMsg(rng, f8, c.K)
+	cw, _ := c.Encode(msg)
+	recv, _ := corrupt(rng, f8, cw, c.T)
+	res, err := c.Decode(recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msg {
+		if res.Message[i] != msg[i] {
+			t.Fatal("fcr=112 decode corrupted message")
+		}
+	}
+}
+
+func TestArbitraryFieldPolynomial(t *testing.T) {
+	// The paper's flexibility claim: same code on a different irreducible
+	// polynomial. Run RS(255,239) on three distinct GF(2^8) constructions.
+	for _, poly := range []uint32{0x11D, 0x12B, 0x187} {
+		f, err := gf.New(8, poly)
+		if err != nil {
+			t.Fatalf("poly %#x: %v", poly, err)
+		}
+		c := Must(f, 255, 239)
+		rng := rand.New(rand.NewSource(9))
+		msg := randMsg(rng, f, c.K)
+		cw, _ := c.Encode(msg)
+		recv, _ := corrupt(rng, f, cw, 8)
+		res, err := c.Decode(recv)
+		if err != nil {
+			t.Fatalf("poly %#x: %v", poly, err)
+		}
+		for i := range msg {
+			if res.Message[i] != msg[i] {
+				t.Fatalf("poly %#x: corrupted", poly)
+			}
+		}
+	}
+}
+
+func TestChienSearchPositions(t *testing.T) {
+	c := Must(f8, 255, 239)
+	rng := rand.New(rand.NewSource(10))
+	msg := randMsg(rng, f8, c.K)
+	cw, _ := c.Encode(msg)
+	recv, injected := corrupt(rng, f8, cw, 5)
+	synd := c.Syndromes(recv)
+	lambda := c.BerlekampMassey(synd)
+	if lambda.Degree() != 5 {
+		t.Fatalf("lambda degree %d, want 5", lambda.Degree())
+	}
+	pos := c.ChienSearch(lambda)
+	if len(pos) != 5 {
+		t.Fatalf("found %d positions, want 5", len(pos))
+	}
+	want := map[int]bool{}
+	for _, p := range injected {
+		want[p] = true
+	}
+	for _, p := range pos {
+		if !want[p] {
+			t.Fatalf("position %d not among injected %v", p, injected)
+		}
+	}
+}
+
+func TestForneyValues(t *testing.T) {
+	c := Must(f8, 255, 239)
+	rng := rand.New(rand.NewSource(11))
+	msg := randMsg(rng, f8, c.K)
+	cw, _ := c.Encode(msg)
+	recv := append([]gf.Elem(nil), cw...)
+	// Known injected errors.
+	inj := map[int]gf.Elem{10: 0x5A, 100: 0x01, 254: 0xFF}
+	for i, e := range inj {
+		recv[i] ^= e
+	}
+	synd := c.Syndromes(recv)
+	lambda := c.BerlekampMassey(synd)
+	pos := c.ChienSearch(lambda)
+	vals, err := c.Forney(synd, lambda, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pos {
+		if vals[i] != inj[p] {
+			t.Fatalf("Forney value at %d = %#x, want %#x", p, vals[i], inj[p])
+		}
+	}
+}
+
+func TestByteInterface(t *testing.T) {
+	c := Must(f8, 255, 239)
+	rng := rand.New(rand.NewSource(12))
+	msg := make([]byte, c.K)
+	rng.Read(msg)
+	cw, err := c.EncodeBytes(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw[0] ^= 0xAA
+	cw[200] ^= 0x55
+	got, err := c.DecodeBytes(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msg {
+		if got[i] != msg[i] {
+			t.Fatal("byte round trip corrupted")
+		}
+	}
+}
+
+func TestRateAndString(t *testing.T) {
+	c := Must(f8, 255, 239)
+	if r := c.Rate(); r < 0.937 || r > 0.938 {
+		t.Errorf("rate = %v", r)
+	}
+	if c.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestBurstErrorCorrection(t *testing.T) {
+	// An RS symbol absorbs up to m consecutive bit errors: a 64-bit burst
+	// spans at most 9 symbols — within t=16 of RS(255,223). This is the
+	// paper's "multiple-burst" robustness argument for RS.
+	c := Must(f8, 255, 223)
+	rng := rand.New(rand.NewSource(13))
+	msg := randMsg(rng, f8, c.K)
+	cw, _ := c.Encode(msg)
+	recv := append([]gf.Elem(nil), cw...)
+	start := 40
+	for i := 0; i < 16; i++ { // 16-symbol burst = up to 128 bit errors
+		recv[start+i] ^= gf.Elem(1 + rng.Intn(255))
+	}
+	res, err := c.Decode(recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msg {
+		if res.Message[i] != msg[i] {
+			t.Fatal("burst decode corrupted message")
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package sweep runs coded-link Monte-Carlo sweeps: packets of BCH- or
+// RS-protected data over a BPSK/AWGN (or arbitrary) channel across a
+// range of operating points. It is the workload generator behind the
+// paper's Section 1.1 trade space — "the optimal energy efficiency, data
+// rate, and link distance tradeoff can be obtained by adjusting the
+// error correction coding rate and/or the information encoding schemes."
+package sweep
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bch"
+	"repro/internal/channel"
+	"repro/internal/gf"
+	"repro/internal/rs"
+)
+
+// Point is one (code, Eb/N0) measurement.
+type Point struct {
+	EbN0dB      float64
+	RawBER      float64 // analytic uncoded BPSK bit-error probability
+	ObservedBER float64 // measured channel bit-error rate before decoding
+	ResidualBER float64 // information bit-error rate after decoding
+	PER         float64 // packet (frame) error rate
+	Goodput     float64 // code rate x delivered fraction
+}
+
+// Codec is a packet codec under test.
+type Codec interface {
+	Name() string
+	Rate() float64
+	// Transmit sends one random packet through the channel and reports
+	// channel bit errors, residual message bit errors, message bits and
+	// whether the packet decoded to the original message.
+	Transmit(ch channel.Channel, rng *rand.Rand) (chanErrs, msgErrs, msgBits int, ok bool)
+}
+
+// BCHCodec adapts a binary BCH code.
+type BCHCodec struct{ Code *bch.Code }
+
+// Name implements Codec.
+func (c BCHCodec) Name() string { return c.Code.String() }
+
+// Rate implements Codec.
+func (c BCHCodec) Rate() float64 { return c.Code.Rate() }
+
+// Transmit implements Codec.
+func (c BCHCodec) Transmit(ch channel.Channel, rng *rand.Rand) (int, int, int, bool) {
+	msg := make([]byte, c.Code.K)
+	for i := range msg {
+		msg[i] = byte(rng.Intn(2))
+	}
+	cw, err := c.Code.Encode(msg)
+	if err != nil {
+		panic(err)
+	}
+	recv := ch.TransmitBits(cw)
+	chanErrs := channel.CountBitErrors(cw, recv)
+	res, err := c.Code.Decode(recv)
+	if err != nil {
+		// Count residual errors in the (unrepaired) message portion.
+		return chanErrs, channel.CountBitErrors(msg, recv[:c.Code.K]), c.Code.K, false
+	}
+	msgErrs := channel.CountBitErrors(msg, res.Message)
+	return chanErrs, msgErrs, c.Code.K, msgErrs == 0
+}
+
+// RSCodec adapts a Reed-Solomon code (m <= 8), serializing symbols
+// MSB-first onto the bit channel.
+type RSCodec struct{ Code *rs.Code }
+
+// Name implements Codec.
+func (c RSCodec) Name() string { return c.Code.String() }
+
+// Rate implements Codec.
+func (c RSCodec) Rate() float64 { return c.Code.Rate() }
+
+// Transmit implements Codec.
+func (c RSCodec) Transmit(ch channel.Channel, rng *rand.Rand) (int, int, int, bool) {
+	m := c.Code.F.M()
+	msg := make([]gf.Elem, c.Code.K)
+	for i := range msg {
+		msg[i] = gf.Elem(rng.Intn(c.Code.F.Order()))
+	}
+	cw, err := c.Code.Encode(msg)
+	if err != nil {
+		panic(err)
+	}
+	recv := channel.TransmitSymbols(ch, cw, m)
+	chanErrs := 0
+	for i := range cw {
+		chanErrs += popcount16(uint16(cw[i] ^ recv[i]))
+	}
+	msgBits := c.Code.K * m
+	res, err := c.Code.Decode(recv)
+	if err != nil {
+		errs := 0
+		for i := 0; i < c.Code.K; i++ {
+			errs += popcount16(uint16(msg[i] ^ recv[i]))
+		}
+		return chanErrs, errs, msgBits, false
+	}
+	errs := 0
+	for i := range msg {
+		errs += popcount16(uint16(msg[i] ^ res.Message[i]))
+	}
+	return chanErrs, errs, msgBits, errs == 0
+}
+
+func popcount16(v uint16) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}
+
+// Run sweeps the codec over the Eb/N0 points (dB), sending `packets`
+// packets per point over a BSC with the matching BPSK crossover.
+func Run(c Codec, ebn0dB []float64, packets int, seed int64) ([]Point, error) {
+	if packets < 1 {
+		return nil, fmt.Errorf("sweep: packets < 1")
+	}
+	out := make([]Point, 0, len(ebn0dB))
+	for pi, snr := range ebn0dB {
+		p := channel.BPSKBitErrorProb(snr)
+		ch, err := channel.NewBSC(p, seed+int64(pi))
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed + 1000*int64(pi)))
+		var chanErrs, chanBits, msgErrs, msgBits, fails int
+		for k := 0; k < packets; k++ {
+			ce, me, mb, ok := c.Transmit(ch, rng)
+			chanErrs += ce
+			msgErrs += me
+			msgBits += mb
+			chanBits += int(float64(mb) / c.Rate())
+			if !ok {
+				fails++
+			}
+		}
+		per := float64(fails) / float64(packets)
+		out = append(out, Point{
+			EbN0dB:      snr,
+			RawBER:      p,
+			ObservedBER: float64(chanErrs) / float64(chanBits),
+			ResidualBER: float64(msgErrs) / float64(msgBits),
+			PER:         per,
+			Goodput:     c.Rate() * (1 - per),
+		})
+	}
+	return out, nil
+}

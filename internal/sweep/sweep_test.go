@@ -1,0 +1,68 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/bch"
+	"repro/internal/gf"
+	"repro/internal/rs"
+)
+
+func TestSweepBCHCodingGain(t *testing.T) {
+	c := BCHCodec{Code: bch.Must(gf.MustDefault(5), 5)} // BCH(31,11,5)
+	pts, err := Run(c, []float64{4, 6, 8}, 150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for i, p := range pts {
+		// Observed channel BER should track the analytic BPSK value.
+		if p.ObservedBER > 3*p.RawBER+0.01 || (p.RawBER > 1e-3 && p.ObservedBER < p.RawBER/3) {
+			t.Errorf("point %d: observed BER %v far from raw %v", i, p.ObservedBER, p.RawBER)
+		}
+		// Coding gain: residual BER must not exceed the raw channel BER.
+		if p.ResidualBER > p.RawBER {
+			t.Errorf("point %d: residual %v > raw %v (negative coding gain)", i, p.ResidualBER, p.RawBER)
+		}
+	}
+	// Monotone improvement with SNR.
+	if pts[0].PER < pts[2].PER {
+		t.Errorf("PER not improving with SNR: %v vs %v", pts[0].PER, pts[2].PER)
+	}
+	// At 8 dB (BER ~2e-4), a t=5 code over 31 bits never fails in 150 trials.
+	if pts[2].PER != 0 || pts[2].ResidualBER != 0 {
+		t.Errorf("high-SNR point not clean: %+v", pts[2])
+	}
+	if g := pts[2].Goodput; g < 0.35 || g > 0.36 {
+		t.Errorf("goodput %v, want ~11/31", g)
+	}
+}
+
+func TestSweepRS(t *testing.T) {
+	c := RSCodec{Code: rs.Must(gf.MustDefault(8), 255, 223)}
+	pts, err := Run(c, []float64{5, 7}, 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 dB: raw BER ~8e-4 -> ~1.6 symbol errors per codeword; t=16 never fails.
+	if pts[1].PER != 0 {
+		t.Errorf("RS(255,223) failing at 7 dB: %+v", pts[1])
+	}
+	// 5 dB: raw BER ~6e-3 -> ~12 symbol errors average; mostly correctable,
+	// residual far below raw.
+	if pts[0].ResidualBER > pts[0].RawBER/2 {
+		t.Errorf("RS coding gain too small at 5 dB: %+v", pts[0])
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	c := BCHCodec{Code: bch.Must(gf.MustDefault(4), 1)}
+	if _, err := Run(c, []float64{5}, 0, 1); err == nil {
+		t.Error("packets=0 accepted")
+	}
+	if c.Name() == "" || c.Rate() <= 0 {
+		t.Error("codec metadata broken")
+	}
+}
