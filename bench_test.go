@@ -7,8 +7,10 @@ package gfp
 // data as formatted tables.
 
 import (
+	"fmt"
 	"math/big"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/aes"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/hwmodel"
 	"repro/internal/kernels"
 	"repro/internal/perf"
+	"repro/internal/pipeline"
 	"repro/internal/programs"
 	"repro/internal/rs"
 )
@@ -536,4 +539,70 @@ func BenchmarkAESBlockOnSimulator(b *testing.B) {
 		cycles = res.Cycles
 	}
 	b.ReportMetric(float64(cycles), "sim-cycles(model:~550)")
+}
+
+// --- Pipeline throughput: frames/s scaling across worker counts ---
+
+// benchmarkPipelineRS drives encode -> corrupt -> decode over one shared
+// RS(255,239) codec with the given per-stage worker count, reporting
+// message-payload MB/s via SetBytes. Corruption is derived from the
+// frame sequence number (8 symbol errors, the code's capability), so
+// every configuration decodes an identical workload.
+func benchmarkPipelineRS(b *testing.B, workers int) {
+	c := rs.Must(gf.MustDefault(8), 255, 239)
+	enc, err := pipeline.NewRSEncode(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := pipeline.NewRSDecode(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flip := pipeline.Func{Label: "flip(8)", F: func(f *pipeline.Frame) error {
+		for i := 0; i < 8; i++ {
+			f.Data[(int(f.Seq)%31+i*31)%c.N] ^= byte(1 + (f.Seq+uint64(i))%255)
+		}
+		return nil
+	}}
+	p, err := pipeline.New(pipeline.Config{Workers: workers}, enc, flip, dec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, c.K)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	b.SetBytes(int64(c.K))
+	b.ResetTimer()
+	r := p.Start()
+	failed := make(chan int)
+	go func() {
+		bad := 0
+		for f := range r.Out() {
+			if f.Err != nil {
+				bad++
+			}
+		}
+		failed <- bad
+	}()
+	for i := 0; i < b.N; i++ {
+		r.Submit(payload)
+	}
+	r.Close()
+	if bad := <-failed; bad > 0 {
+		b.Fatalf("%d frames failed", bad)
+	}
+}
+
+// BenchmarkPipelineRS255_239 contrasts a fully serialized pipeline
+// (1 worker per stage) with one sized to the host (GOMAXPROCS workers
+// per stage); on a multi-core machine the latter should scale decode
+// throughput near-linearly until memory bandwidth intervenes.
+func BenchmarkPipelineRS255_239(b *testing.B) {
+	b.Run("workers=1", func(b *testing.B) { benchmarkPipelineRS(b, 1) })
+	if w := runtime.GOMAXPROCS(0); w > 1 {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchmarkPipelineRS(b, w) })
+	} else {
+		b.Run("workers=4", func(b *testing.B) { benchmarkPipelineRS(b, 4) })
+	}
 }

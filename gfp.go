@@ -31,6 +31,7 @@ import (
 	"repro/internal/gf"
 	"repro/internal/gfbig"
 	"repro/internal/isa"
+	"repro/internal/pipeline"
 	"repro/internal/rs"
 )
 
@@ -196,3 +197,79 @@ func NewBurstChannel(pGB, pBG, peGood, peBad float64, seed int64) (*channel.Gilb
 // BPSKBitErrorProb maps Eb/N0 (dB) to the uncoded BPSK/AWGN bit-error
 // probability.
 func BPSKBitErrorProb(ebn0dB float64) float64 { return channel.BPSKBitErrorProb(ebn0dB) }
+
+// ForkableChannel is a Channel that derives independent deterministic
+// per-worker instances — required by concurrent pipelines, since the
+// channel models themselves are not goroutine-safe.
+type ForkableChannel = channel.Forker
+
+// --- Concurrent frame pipelines ---
+
+// Pipeline is a concurrent, batched, backpressured frame-processing
+// engine: an ordered list of stages, each fanned out over a bounded
+// worker pool, with output delivered strictly in submission order. See
+// docs/PIPELINE.md and cmd/gfpipe.
+type Pipeline = pipeline.Pipeline
+
+// PipelineConfig sizes a pipeline (workers per stage, queue depth).
+type PipelineConfig = pipeline.Config
+
+// PipelineRun is one execution of a pipeline: Submit frames, range over
+// Out, Close when done.
+type PipelineRun = pipeline.Run
+
+// Frame is one unit of work flowing through a pipeline.
+type Frame = pipeline.Frame
+
+// PipelineStage transforms frames; implementations must be safe for
+// concurrent use (see StageFunc and the adapters in internal/pipeline).
+type PipelineStage = pipeline.Stage
+
+// StageFunc adapts a function to a stateless pipeline stage.
+type StageFunc = pipeline.Func
+
+// StageStats is the per-stage counter set a pipeline accumulates.
+type StageStats = pipeline.StageStats
+
+// NewPipeline builds a pipeline from stages.
+func NewPipeline(cfg PipelineConfig, stages ...PipelineStage) (*Pipeline, error) {
+	return pipeline.New(cfg, stages...)
+}
+
+// RSEncodeStage / RSDecodeStage wrap an RS codec (field m <= 8, one
+// symbol per payload byte) as pipeline stages.
+func RSEncodeStage(c *RSCode) (PipelineStage, error) { return pipeline.NewRSEncode(c) }
+
+// RSDecodeStage is the decoding counterpart of RSEncodeStage.
+func RSDecodeStage(c *RSCode) (PipelineStage, error) { return pipeline.NewRSDecode(c) }
+
+// RSFrameEncodeStage / RSFrameDecodeStage wrap an interleaved RS frame
+// codec as pipeline stages.
+func RSFrameEncodeStage(iv *InterleavedRS) (PipelineStage, error) {
+	return pipeline.NewRSFrameEncode(iv)
+}
+
+// RSFrameDecodeStage is the decoding counterpart of RSFrameEncodeStage.
+func RSFrameDecodeStage(iv *InterleavedRS) (PipelineStage, error) {
+	return pipeline.NewRSFrameDecode(iv)
+}
+
+// BCHEncodeStage / BCHDecodeStage wrap a binary BCH codec (one bit per
+// payload byte) as pipeline stages.
+func BCHEncodeStage(c *BCHCode) PipelineStage { return pipeline.NewBCHEncode(c) }
+
+// BCHDecodeStage is the decoding counterpart of BCHEncodeStage.
+func BCHDecodeStage(c *BCHCode) PipelineStage { return pipeline.NewBCHDecode(c) }
+
+// SealStage / OpenStage wrap AES-GCM as pipeline stages; the per-frame
+// nonce is derived from the frame sequence number.
+func SealStage(g *GCM, aad []byte) PipelineStage { return pipeline.NewSealAEAD(g, aad) }
+
+// OpenStage is the opening counterpart of SealStage.
+func OpenStage(g *GCM, aad []byte) PipelineStage { return pipeline.NewOpenAEAD(g, aad) }
+
+// CorruptStage pushes payloads through a channel model (m bits per
+// payload byte), forking one deterministic channel per worker.
+func CorruptStage(proto ForkableChannel, m int, seed int64) (PipelineStage, error) {
+	return pipeline.NewCorrupt(proto, m, seed)
+}

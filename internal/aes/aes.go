@@ -9,6 +9,15 @@
 // and the FIPS-197 vectors in the tests. It is a reference/teaching
 // implementation of the paper's datapath, not a constant-time production
 // cipher.
+//
+// Concurrency: a *Cipher is immutable once NewCipher has expanded the
+// key schedule, and a *GCM is immutable once NewGCM has derived the
+// GHASH subkey; Encrypt, Decrypt, Seal and Open keep all per-call state
+// in locals (the package-level sbox tables are written only at init).
+// One shared instance may therefore be used from many goroutines
+// concurrently, as the repro/internal/pipeline worker pools do; the
+// CTR/CBC helpers in modes.go take the IV per call and are equally safe
+// as long as callers pass distinct dst buffers.
 package aes
 
 import (

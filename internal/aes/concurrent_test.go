@@ -1,0 +1,66 @@
+package aes
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCipherAndGCM exercises one shared *Cipher and one shared
+// *GCM from many goroutines — with -race this proves the documented
+// contract that both are immutable after construction (the expanded key
+// schedule and the GHASH subkey are read-only; all per-call state lives
+// on the stack).
+func TestConcurrentCipherAndGCM(t *testing.T) {
+	c, err := NewCipher([]byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.NewGCM()
+	aad := []byte("header")
+
+	const goroutines = 8
+	const iters = 50
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for gid := 0; gid < goroutines; gid++ {
+		go func(gid int) {
+			defer wg.Done()
+			var blk, out, back [BlockSize]byte
+			nonce := make([]byte, 12)
+			pt := make([]byte, 64)
+			for it := 0; it < iters; it++ {
+				// Block round trip.
+				binary.BigEndian.PutUint64(blk[:], uint64(gid))
+				binary.BigEndian.PutUint64(blk[8:], uint64(it))
+				c.Encrypt(out[:], blk[:])
+				c.Decrypt(back[:], out[:])
+				if back != blk {
+					t.Errorf("goroutine %d iter %d: block round trip failed", gid, it)
+					return
+				}
+				// GCM round trip with per-call nonce and payload.
+				binary.BigEndian.PutUint64(nonce[4:], uint64(gid*1000+it))
+				for i := range pt {
+					pt[i] = byte(gid + it + i)
+				}
+				sealed, err := g.Seal(nonce, pt, aad)
+				if err != nil {
+					t.Errorf("seal: %v", err)
+					return
+				}
+				opened, err := g.Open(nonce, sealed, aad)
+				if err != nil {
+					t.Errorf("open: %v", err)
+					return
+				}
+				if !bytes.Equal(opened, pt) {
+					t.Errorf("goroutine %d iter %d: GCM round trip mismatch", gid, it)
+					return
+				}
+			}
+		}(gid)
+	}
+	wg.Wait()
+}

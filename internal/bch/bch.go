@@ -6,6 +6,13 @@
 //
 // The paper's flagship configuration is BCH(31,11,5) over GF(2^5);
 // BCH(63,51,2)-style codes appear in IEEE 802.15.6 body-area networks.
+//
+// Concurrency: a *Code is immutable after construction (generator,
+// cosets and field tables are only written by New), and Encode, Decode
+// and the syndrome/locator helpers keep all per-call state in local
+// buffers, so one shared instance is safe for concurrent use by many
+// goroutines — the contract the repro/internal/pipeline worker pools
+// depend on.
 package bch
 
 import (

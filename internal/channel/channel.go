@@ -4,6 +4,13 @@
 // symmetric channel, a Gilbert-Elliott bursty channel (the "burst bit
 // errors" the paper says RS codes absorb), and BPSK-over-AWGN bit-error
 // probability so link budgets map to flip probabilities.
+//
+// Concurrency: the channel models are NOT goroutine-safe. Each carries a
+// seeded math/rand.Rand (and GilbertElliott additionally its Markov
+// state), and concurrent TransmitBits calls race on it. Concurrent users
+// — e.g. the worker pools of package pipeline — must give every worker
+// its own instance via Fork, which derives an independent deterministic
+// stream from a per-worker seed.
 package channel
 
 import (
@@ -22,8 +29,20 @@ type Channel interface {
 	Description() string
 }
 
+// Forker is a Channel that can derive an independent same-parameter
+// instance with its own deterministic random stream — the per-worker
+// constructor concurrent pipelines need, since Channels themselves are
+// not goroutine-safe.
+type Forker interface {
+	Channel
+	// Fork returns a fresh channel with identical parameters, reset
+	// state, and a new RNG seeded with seed.
+	Fork(seed int64) Channel
+}
+
 // BSC is the memoryless binary symmetric channel with crossover
-// probability P.
+// probability P. Not goroutine-safe: use Fork to give each goroutine its
+// own instance.
 type BSC struct {
 	P   float64
 	rng *rand.Rand
@@ -51,9 +70,16 @@ func (c *BSC) TransmitBits(bits []byte) []byte {
 // Description implements Channel.
 func (c *BSC) Description() string { return fmt.Sprintf("BSC(p=%.2g)", c.P) }
 
+// Fork implements Forker: a BSC with the same crossover probability and
+// an independent RNG stream.
+func (c *BSC) Fork(seed int64) Channel {
+	return &BSC{P: c.P, rng: rand.New(rand.NewSource(seed))}
+}
+
 // GilbertElliott is the two-state bursty channel: a good state with a low
 // flip probability and a bad state with a high one, with geometric
-// sojourn times.
+// sojourn times. Not goroutine-safe (RNG plus Markov state): use Fork to
+// give each goroutine its own instance.
 type GilbertElliott struct {
 	PGoodToBad float64 // transition probability good -> bad per bit
 	PBadToGood float64 // transition probability bad -> good per bit
@@ -99,6 +125,16 @@ func (c *GilbertElliott) TransmitBits(bits []byte) []byte {
 		}
 	}
 	return out
+}
+
+// Fork implements Forker: same channel parameters, reset to the good
+// state, independent RNG stream.
+func (c *GilbertElliott) Fork(seed int64) Channel {
+	return &GilbertElliott{
+		PGoodToBad: c.PGoodToBad, PBadToGood: c.PBadToGood,
+		PErrGood: c.PErrGood, PErrBad: c.PErrBad,
+		rng: rand.New(rand.NewSource(seed)),
+	}
 }
 
 // Description implements Channel.

@@ -1,0 +1,319 @@
+// Package pipeline composes the repository's codecs into concurrent,
+// batched, backpressured frame-processing pipelines — the scaling layer
+// that lets a multi-core host exploit the parallelism the paper's
+// processor finds inside one cycle (its 4-way SIMD GF ops) across many
+// frames at once.
+//
+// A Pipeline is an ordered list of Stages. Each stage runs a private
+// worker pool (Config.Workers goroutines) fed by a bounded channel, so a
+// slow stage exerts backpressure all the way back to Run.Submit instead
+// of buffering without limit. Frames are stamped with a sequence number
+// on submission and reordered at the sink, so output order always equals
+// submission order no matter how workers interleave.
+//
+// Stage implementations must be safe for concurrent use by multiple
+// workers (the codec adapters in stages.go are — see the concurrency
+// notes in packages rs, bch and aes); a stage holding per-worker mutable
+// state (e.g. a channel-model RNG) instead implements WorkerLocal to get
+// one private instance per worker.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/perf"
+)
+
+// Frame is one unit of work flowing through a pipeline. The payload in
+// Data is rewritten by each stage (message -> codeword -> corrupted
+// codeword -> message ...). A Frame is owned by exactly one stage worker
+// at a time, so stages may mutate it freely without locking.
+type Frame struct {
+	// Seq is the submission sequence number, assigned by Run.Submit.
+	// Frames leave the pipeline in increasing Seq order.
+	Seq uint64
+	// Data is the current payload.
+	Data []byte
+	// Err is the first stage error encountered; once set, later stages
+	// skip the frame and it is delivered as-is so the caller can account
+	// for it. FailedAt names the stage that set Err.
+	Err      error
+	FailedAt string
+	// Corrected accumulates symbol/bit corrections reported by decode
+	// stages.
+	Corrected int
+	// Counts accumulates perf cycle accounting reported by metered
+	// stages (zero for unmetered pipelines).
+	Counts perf.Counts
+	// Latency is the submit-to-delivery wall-clock time, set at the sink.
+	Latency time.Duration
+
+	submitted time.Time
+}
+
+// Stage transforms frames. Process is called concurrently from many
+// worker goroutines, each call with exclusive ownership of its frame;
+// implementations must not keep per-call mutable state on the receiver
+// unless they also implement WorkerLocal.
+type Stage interface {
+	// Name labels the stage in stats and reports.
+	Name() string
+	// Process transforms f.Data in place (replacing the slice is fine).
+	// Returning an error marks the frame failed; the pipeline keeps
+	// running.
+	Process(f *Frame) error
+}
+
+// WorkerLocal is implemented by stages that need private per-worker
+// state. At Start, the pipeline calls ForWorker once per worker and
+// routes each worker's frames through its own instance.
+type WorkerLocal interface {
+	Stage
+	// ForWorker returns the stage instance worker w (0-based) will use.
+	ForWorker(w int) Stage
+}
+
+// Func adapts a function to a stateless Stage.
+type Func struct {
+	Label string
+	F     func(f *Frame) error
+}
+
+// Name implements Stage.
+func (s Func) Name() string { return s.Label }
+
+// Process implements Stage.
+func (s Func) Process(f *Frame) error { return s.F(f) }
+
+// Config sizes a pipeline.
+type Config struct {
+	// Workers is the worker-pool size of every stage. 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Queue is the depth of each stage's input channel (and of the output
+	// channel). 0 means 2*Workers. Smaller values tighten backpressure;
+	// larger values smooth out latency jitter between stages.
+	Queue int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue <= 0 {
+		c.Queue = 2 * c.Workers
+	}
+	return c
+}
+
+// Pipeline is an immutable description of a stage sequence plus the
+// stats the stages accumulate across runs. Build one with New, then
+// Start it (possibly several times, though stats are cumulative).
+type Pipeline struct {
+	cfg    Config
+	stages []Stage
+	stats  []*StageStats
+	// Total observes end-to-end submit-to-delivery latency.
+	Total Hist
+}
+
+// New builds a pipeline from the given stages.
+func New(cfg Config, stages ...Stage) (*Pipeline, error) {
+	if len(stages) == 0 {
+		return nil, errors.New("pipeline: no stages")
+	}
+	p := &Pipeline{cfg: cfg.withDefaults(), stages: stages}
+	for _, s := range stages {
+		if s == nil {
+			return nil, errors.New("pipeline: nil stage")
+		}
+		p.stats = append(p.stats, &StageStats{Name: s.Name()})
+	}
+	return p, nil
+}
+
+// Must is New but panics on error.
+func Must(cfg Config, stages ...Stage) *Pipeline {
+	p, err := New(cfg, stages...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Stats returns the per-stage statistics, in stage order. The returned
+// values are live: they keep updating while a run is active.
+func (p *Pipeline) Stats() []*StageStats { return p.stats }
+
+// Config returns the resolved configuration (defaults applied).
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Run is one execution of a pipeline: submit frames, read them back in
+// submission order from Out, Close when done.
+type Run struct {
+	p    *Pipeline
+	in   chan *Frame
+	out  chan *Frame
+	seq  atomic.Uint64
+	done chan struct{}
+}
+
+// Start launches the worker pools and returns a Run accepting frames.
+func (p *Pipeline) Start() *Run {
+	cfg := p.cfg
+	r := &Run{
+		p:    p,
+		in:   make(chan *Frame, cfg.Queue),
+		out:  make(chan *Frame, cfg.Queue),
+		done: make(chan struct{}),
+	}
+	src := r.in
+	for i, s := range p.stages {
+		dst := make(chan *Frame, cfg.Queue)
+		startStage(s, p.stats[i], cfg.Workers, src, dst)
+		src = dst
+	}
+	go r.reorder(src)
+	return r
+}
+
+// startStage spawns the worker pool for one stage and closes dst once
+// every worker has drained src.
+func startStage(s Stage, st *StageStats, workers int, src <-chan *Frame, dst chan<- *Frame) {
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		inst := s
+		if wl, ok := s.(WorkerLocal); ok {
+			inst = wl.ForWorker(w)
+		}
+		go func(inst Stage) {
+			defer wg.Done()
+			for f := range src {
+				if f.Err == nil {
+					runStage(inst, st, f)
+				}
+				dst <- f
+			}
+		}(inst)
+	}
+	go func() {
+		wg.Wait()
+		close(dst)
+	}()
+}
+
+func runStage(s Stage, st *StageStats, f *Frame) {
+	st.BytesIn.Add(int64(len(f.Data)))
+	beforeCorrected := f.Corrected
+	beforeCounts := f.Counts
+	start := time.Now()
+	err := s.Process(f)
+	st.Latency.Observe(time.Since(start))
+	st.Frames.Add(1)
+	if f.Counts != beforeCounts {
+		st.counts.add(subCounts(f.Counts, beforeCounts))
+	}
+	if err != nil {
+		f.Err = err
+		f.FailedAt = s.Name()
+		st.Errors.Add(1)
+		return
+	}
+	st.BytesOut.Add(int64(len(f.Data)))
+	if d := f.Corrected - beforeCorrected; d > 0 {
+		st.Corrected.Add(int64(d))
+	}
+}
+
+// subCounts returns a - b field-wise, attributing a frame's counts delta
+// to the stage that produced it.
+func subCounts(a, b perf.Counts) perf.Counts {
+	return perf.Counts{
+		LD: a.LD - b.LD, ST: a.ST - b.ST, ALU: a.ALU - b.ALU, Mul: a.Mul - b.Mul,
+		Branch: a.Branch - b.Branch, BranchNT: a.BranchNT - b.BranchNT,
+		GFOp: a.GFOp - b.GFOp, GF32: a.GF32 - b.GF32,
+	}
+}
+
+// reorder is the sink: it buffers out-of-order frames and releases them
+// strictly by Seq. The buffer is bounded by the number of in-flight
+// frames, which the bounded stage channels already cap.
+func (r *Run) reorder(src <-chan *Frame) {
+	defer close(r.out)
+	defer close(r.done)
+	next := uint64(0)
+	pending := make(map[uint64]*Frame)
+	for f := range src {
+		pending[f.Seq] = f
+		for {
+			g, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			g.Latency = time.Since(g.submitted)
+			r.p.Total.Observe(g.Latency)
+			r.out <- g
+		}
+	}
+	// src closed: every submitted frame has arrived, so pending is empty
+	// unless seq assignment was bypassed.
+	for seq, g := range pending {
+		g.Latency = time.Since(g.submitted)
+		g.Err = fmt.Errorf("pipeline: frame %d delivered out of band", seq)
+		r.out <- g
+	}
+}
+
+// Submit injects a payload as the next frame and returns its sequence
+// number. It blocks when the first stage's queue is full (backpressure).
+// Submit is safe for concurrent use; "submission order" is then the
+// order of sequence assignment. Submit must not be called after Close.
+func (r *Run) Submit(data []byte) uint64 {
+	f := &Frame{Data: data, submitted: time.Now()}
+	f.Seq = r.seq.Add(1) - 1
+	r.in <- f
+	return f.Seq
+}
+
+// Out delivers processed frames in submission order. It is closed after
+// Close once every submitted frame has been delivered.
+func (r *Run) Out() <-chan *Frame { return r.out }
+
+// Close declares the input complete. In-flight frames still drain to
+// Out, which is closed afterwards.
+func (r *Run) Close() { close(r.in) }
+
+// Wait blocks until the pipeline has fully drained (Close called and
+// every frame delivered). The caller must be consuming Out — or have
+// consumed it — for Wait to return.
+func (r *Run) Wait() { <-r.done }
+
+// Drain submits every payload, closes the input and collects all frames
+// in submission order — the convenient batch entry point. Frames whose
+// stages failed carry Err; the first such error (by Seq) is returned
+// alongside the full frame list.
+func (r *Run) Drain(payloads [][]byte) ([]*Frame, error) {
+	go func() {
+		for _, d := range payloads {
+			r.Submit(d)
+		}
+		r.Close()
+	}()
+	frames := make([]*Frame, 0, len(payloads))
+	var firstErr error
+	for f := range r.Out() {
+		frames = append(frames, f)
+		if f.Err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("pipeline: frame %d failed in %s: %w", f.Seq, f.FailedAt, f.Err)
+		}
+	}
+	return frames, firstErr
+}

@@ -1,0 +1,366 @@
+package pipeline
+
+// Stage adapters wrapping the repository's codecs. All adapters except
+// Corrupt are stateless per call and therefore safe to share across the
+// worker pool; Corrupt carries a channel-model RNG and implements
+// WorkerLocal so every worker gets an independent deterministic stream.
+//
+// Byte-oriented stages (RS, GCM) require fields with m <= 8 — symbols
+// travel one per byte, matching rs.Code.EncodeBytes. BCH stages treat
+// the payload as one bit per byte (values 0/1).
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/aes"
+	"repro/internal/bch"
+	"repro/internal/channel"
+	"repro/internal/gf"
+	"repro/internal/kernels"
+	"repro/internal/perf"
+	"repro/internal/rs"
+)
+
+func bytesToElems(b []byte) []gf.Elem {
+	out := make([]gf.Elem, len(b))
+	for i, v := range b {
+		out[i] = gf.Elem(v)
+	}
+	return out
+}
+
+func elemsToBytes(e []gf.Elem) []byte {
+	out := make([]byte, len(e))
+	for i, v := range e {
+		out[i] = byte(v)
+	}
+	return out
+}
+
+func requireByteField(f *gf.Field, what string) error {
+	if f.M() > 8 {
+		return fmt.Errorf("pipeline: %s requires a field with m <= 8, got %v", what, f)
+	}
+	return nil
+}
+
+// --- Reed-Solomon ---
+
+// RSEncode encodes a k-byte message frame into an n-byte codeword.
+type RSEncode struct{ Code *rs.Code }
+
+// NewRSEncode wraps the code's systematic encoder as a stage.
+func NewRSEncode(c *rs.Code) (*RSEncode, error) {
+	if err := requireByteField(c.F, "RSEncode"); err != nil {
+		return nil, err
+	}
+	return &RSEncode{Code: c}, nil
+}
+
+// Name implements Stage.
+func (s *RSEncode) Name() string { return fmt.Sprintf("rs-encode(%d,%d)", s.Code.N, s.Code.K) }
+
+// Process implements Stage.
+func (s *RSEncode) Process(f *Frame) error {
+	out, err := s.Code.EncodeBytes(f.Data)
+	if err != nil {
+		return err
+	}
+	f.Data = out
+	return nil
+}
+
+// RSDecode corrects an n-byte received word into its k-byte message,
+// adding the number of corrected symbols to Frame.Corrected.
+type RSDecode struct{ Code *rs.Code }
+
+// NewRSDecode wraps the full decoder datapath as a stage.
+func NewRSDecode(c *rs.Code) (*RSDecode, error) {
+	if err := requireByteField(c.F, "RSDecode"); err != nil {
+		return nil, err
+	}
+	return &RSDecode{Code: c}, nil
+}
+
+// Name implements Stage.
+func (s *RSDecode) Name() string { return fmt.Sprintf("rs-decode(%d,%d)", s.Code.N, s.Code.K) }
+
+// Process implements Stage.
+func (s *RSDecode) Process(f *Frame) error {
+	res, err := s.Code.Decode(bytesToElems(f.Data))
+	if err != nil {
+		return err
+	}
+	f.Corrected += res.NumErrors
+	f.Data = elemsToBytes(res.Message)
+	return nil
+}
+
+// RSFrameEncode encodes an I*k-byte message into a depth-I interleaved
+// I*n-byte frame (burst tolerance I*t symbols).
+type RSFrameEncode struct{ IV *rs.Interleaved }
+
+// NewRSFrameEncode wraps the interleaved encoder as a stage.
+func NewRSFrameEncode(iv *rs.Interleaved) (*RSFrameEncode, error) {
+	if err := requireByteField(iv.Code.F, "RSFrameEncode"); err != nil {
+		return nil, err
+	}
+	return &RSFrameEncode{IV: iv}, nil
+}
+
+// Name implements Stage.
+func (s *RSFrameEncode) Name() string {
+	return fmt.Sprintf("rsx%d-encode(%d,%d)", s.IV.Depth, s.IV.Code.N, s.IV.Code.K)
+}
+
+// Process implements Stage.
+func (s *RSFrameEncode) Process(f *Frame) error {
+	out, err := s.IV.Encode(bytesToElems(f.Data))
+	if err != nil {
+		return err
+	}
+	f.Data = elemsToBytes(out)
+	return nil
+}
+
+// RSFrameDecode deinterleaves and decodes an I*n-byte frame back to its
+// I*k-byte message.
+type RSFrameDecode struct{ IV *rs.Interleaved }
+
+// NewRSFrameDecode wraps the interleaved decoder as a stage.
+func NewRSFrameDecode(iv *rs.Interleaved) (*RSFrameDecode, error) {
+	if err := requireByteField(iv.Code.F, "RSFrameDecode"); err != nil {
+		return nil, err
+	}
+	return &RSFrameDecode{IV: iv}, nil
+}
+
+// Name implements Stage.
+func (s *RSFrameDecode) Name() string {
+	return fmt.Sprintf("rsx%d-decode(%d,%d)", s.IV.Depth, s.IV.Code.N, s.IV.Code.K)
+}
+
+// Process implements Stage.
+func (s *RSFrameDecode) Process(f *Frame) error {
+	msg, corrected, err := s.IV.Decode(bytesToElems(f.Data))
+	if err != nil {
+		return err
+	}
+	f.Corrected += corrected
+	f.Data = elemsToBytes(msg)
+	return nil
+}
+
+// MeteredRSDecode is RSDecode through the metered kernel datapath of
+// internal/kernels: the same syndrome/BMA/Chien/Forney pipeline, but
+// each frame also charges its operation counts to Frame.Counts under the
+// chosen machine model, so stage stats accumulate the cycle accounting
+// of the paper's Section 3.3.1 methodology across the whole run.
+type MeteredRSDecode struct {
+	Code *rs.Code
+	Mach kernels.Machine
+}
+
+// NewMeteredRSDecode wraps the metered decoder kernels as a stage.
+func NewMeteredRSDecode(c *rs.Code, mach kernels.Machine) (*MeteredRSDecode, error) {
+	if err := requireByteField(c.F, "MeteredRSDecode"); err != nil {
+		return nil, err
+	}
+	return &MeteredRSDecode{Code: c, Mach: mach}, nil
+}
+
+// Name implements Stage.
+func (s *MeteredRSDecode) Name() string {
+	return fmt.Sprintf("rs-decode-metered(%d,%d)", s.Code.N, s.Code.K)
+}
+
+// Process implements Stage.
+func (s *MeteredRSDecode) Process(f *Frame) error {
+	c := s.Code
+	recv := bytesToElems(f.Data)
+	if len(recv) != c.N {
+		return fmt.Errorf("pipeline: received length %d, want %d", len(recv), c.N)
+	}
+	var m perf.Meter
+	defer func() { f.Counts.Add(m.Counts) }()
+	synd := kernels.SyndromesRS(c, recv, s.Mach, &m)
+	if rs.AllZero(synd) {
+		f.Data = f.Data[:c.K]
+		return nil
+	}
+	lambda := kernels.BerlekampMassey(c.F, synd, s.Mach, &m)
+	if lambda.Degree() > c.T {
+		return fmt.Errorf("pipeline: locator degree %d exceeds t=%d (uncorrectable)", lambda.Degree(), c.T)
+	}
+	positions := kernels.ChienSearch(c.F, lambda, c.N, s.Mach, &m)
+	if len(positions) != lambda.Degree() {
+		return fmt.Errorf("pipeline: Chien found %d roots for degree-%d locator (uncorrectable)",
+			len(positions), lambda.Degree())
+	}
+	vals, err := kernels.Forney(c, synd, lambda, positions, s.Mach, &m)
+	if err != nil {
+		return err
+	}
+	for i, p := range positions {
+		recv[p] ^= vals[i]
+	}
+	if !rs.AllZero(c.Syndromes(recv)) {
+		return fmt.Errorf("pipeline: correction verification failed (uncorrectable word)")
+	}
+	f.Corrected += len(positions)
+	f.Data = elemsToBytes(recv[:c.K])
+	return nil
+}
+
+// --- BCH ---
+
+// BCHEncode encodes k message bits (one bit per byte, values 0/1) into
+// an n-bit codeword.
+type BCHEncode struct{ Code *bch.Code }
+
+// NewBCHEncode wraps the BCH encoder as a stage.
+func NewBCHEncode(c *bch.Code) *BCHEncode { return &BCHEncode{Code: c} }
+
+// Name implements Stage.
+func (s *BCHEncode) Name() string {
+	return fmt.Sprintf("bch-encode(%d,%d,%d)", s.Code.N, s.Code.K, s.Code.T)
+}
+
+// Process implements Stage.
+func (s *BCHEncode) Process(f *Frame) error {
+	out, err := s.Code.Encode(f.Data)
+	if err != nil {
+		return err
+	}
+	f.Data = out
+	return nil
+}
+
+// BCHDecode corrects an n-bit received word into its k message bits.
+type BCHDecode struct{ Code *bch.Code }
+
+// NewBCHDecode wraps the BCH decoder as a stage.
+func NewBCHDecode(c *bch.Code) *BCHDecode { return &BCHDecode{Code: c} }
+
+// Name implements Stage.
+func (s *BCHDecode) Name() string {
+	return fmt.Sprintf("bch-decode(%d,%d,%d)", s.Code.N, s.Code.K, s.Code.T)
+}
+
+// Process implements Stage.
+func (s *BCHDecode) Process(f *Frame) error {
+	res, err := s.Code.Decode(f.Data)
+	if err != nil {
+		return err
+	}
+	f.Corrected += res.NumErrors
+	f.Data = res.Message
+	return nil
+}
+
+// --- AES-GCM ---
+
+// gcmNonce derives the 12-byte per-frame nonce from the sequence number:
+// a fixed 4-byte label plus the big-endian Seq. Unique per frame within
+// a run, and reconstructible on the open side without shipping it in the
+// payload.
+func gcmNonce(seq uint64) []byte {
+	n := make([]byte, 12)
+	copy(n, "gfp\x00")
+	binary.BigEndian.PutUint64(n[4:], seq)
+	return n
+}
+
+// SealAEAD encrypts and authenticates the payload with AES-GCM,
+// replacing it with ciphertext || 16-byte tag (16 bytes longer). The
+// nonce is derived from Frame.Seq.
+type SealAEAD struct {
+	G *aes.GCM
+	// AAD is bound into every frame's tag (may be nil).
+	AAD []byte
+}
+
+// NewSealAEAD wraps GCM sealing as a stage.
+func NewSealAEAD(g *aes.GCM, aad []byte) *SealAEAD { return &SealAEAD{G: g, AAD: aad} }
+
+// Name implements Stage.
+func (s *SealAEAD) Name() string { return "gcm-seal" }
+
+// Process implements Stage.
+func (s *SealAEAD) Process(f *Frame) error {
+	out, err := s.G.Seal(gcmNonce(f.Seq), f.Data, s.AAD)
+	if err != nil {
+		return err
+	}
+	f.Data = out
+	return nil
+}
+
+// OpenAEAD verifies and decrypts a SealAEAD payload, failing the frame
+// when authentication fails (e.g. residual errors survived decoding).
+type OpenAEAD struct {
+	G   *aes.GCM
+	AAD []byte
+}
+
+// NewOpenAEAD wraps GCM opening as a stage.
+func NewOpenAEAD(g *aes.GCM, aad []byte) *OpenAEAD { return &OpenAEAD{G: g, AAD: aad} }
+
+// Name implements Stage.
+func (s *OpenAEAD) Name() string { return "gcm-open" }
+
+// Process implements Stage.
+func (s *OpenAEAD) Process(f *Frame) error {
+	pt, err := s.G.Open(gcmNonce(f.Seq), f.Data, s.AAD)
+	if err != nil {
+		return err
+	}
+	f.Data = pt
+	return nil
+}
+
+// --- Channel corruption (loopback testing) ---
+
+// Corrupt pushes each payload through a channel model, serializing every
+// byte as an m-bit symbol (m=8 for RS symbol streams, m=1 for BCH bit
+// streams). It implements WorkerLocal: worker w transmits through
+// proto.Fork(seed+w), so runs are deterministic for a fixed worker count
+// and every worker's error process is independent.
+type Corrupt struct {
+	proto channel.Forker
+	ch    channel.Channel // this instance's private channel
+	m     int
+	seed  int64
+}
+
+// NewCorrupt builds the corruption stage from a forkable channel
+// prototype and the per-symbol bit width m (1..8).
+func NewCorrupt(proto channel.Forker, m int, seed int64) (*Corrupt, error) {
+	if m < 1 || m > 8 {
+		return nil, fmt.Errorf("pipeline: symbol width %d outside [1,8]", m)
+	}
+	return &Corrupt{proto: proto, m: m, seed: seed}, nil
+}
+
+// Name implements Stage.
+func (s *Corrupt) Name() string { return "channel[" + s.proto.Description() + "]" }
+
+// ForWorker implements WorkerLocal.
+func (s *Corrupt) ForWorker(w int) Stage {
+	return &Corrupt{proto: s.proto, ch: s.proto.Fork(s.seed + int64(w)), m: s.m, seed: s.seed}
+}
+
+// Process implements Stage.
+func (s *Corrupt) Process(f *Frame) error {
+	ch := s.ch
+	if ch == nil {
+		// Not running under a pipeline worker (e.g. direct use in a test):
+		// fall back to a single fork.
+		s.ch = s.proto.Fork(s.seed)
+		ch = s.ch
+	}
+	out := channel.TransmitSymbols(ch, bytesToElems(f.Data), s.m)
+	f.Data = elemsToBytes(out)
+	return nil
+}

@@ -1,0 +1,167 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/perf"
+)
+
+// histBuckets is the number of power-of-two latency buckets. Bucket i
+// holds samples with latency in [2^(i-1), 2^i) nanoseconds (bucket 0
+// holds 0ns and 1ns); the last bucket absorbs everything longer.
+const histBuckets = 40
+
+// Hist is a lock-free power-of-two latency histogram. All methods are
+// safe for concurrent use.
+type Hist struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // total nanoseconds
+	max     atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Hist) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		old := h.max.Load()
+		if ns <= old || h.max.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean observed latency.
+func (h *Hist) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest observed latency.
+func (h *Hist) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
+// top edge of the bucket containing it. Resolution is a factor of two,
+// which is enough to tell microseconds from milliseconds in a report.
+func (h *Hist) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			if i == histBuckets-1 {
+				return h.Max()
+			}
+			return time.Duration(int64(1) << i)
+		}
+	}
+	return h.Max()
+}
+
+// String summarizes the histogram as mean/p50/p99/max.
+func (h *Hist) String() string {
+	return fmt.Sprintf("mean=%v p50<%v p99<%v max=%v",
+		h.Mean().Round(time.Microsecond), h.Quantile(0.50), h.Quantile(0.99),
+		h.Max().Round(time.Microsecond))
+}
+
+// StageStats aggregates what one stage did across all of its workers.
+// All counters are updated atomically by the stage's worker goroutines;
+// reading them while the pipeline runs yields a consistent-enough live
+// snapshot, and an exact one once Run.Wait has returned.
+type StageStats struct {
+	Name string
+
+	Frames    atomic.Int64 // frames processed (excluding skipped error frames)
+	Errors    atomic.Int64 // frames this stage failed
+	BytesIn   atomic.Int64 // payload bytes entering the stage
+	BytesOut  atomic.Int64 // payload bytes leaving the stage
+	Corrected atomic.Int64 // symbol/bit errors corrected (decode stages)
+
+	Latency Hist // wall-clock Process latency per frame
+
+	// counts accumulates perf.Counts cycle accounting reported by metered
+	// stages (each field atomically).
+	counts countsAccum
+}
+
+// countsAccum is perf.Counts with every field updated atomically.
+type countsAccum struct {
+	ld, st, alu, mul, br, brnt, gfop, gf32 atomic.Int64
+}
+
+func (a *countsAccum) add(c perf.Counts) {
+	a.ld.Add(c.LD)
+	a.st.Add(c.ST)
+	a.alu.Add(c.ALU)
+	a.mul.Add(c.Mul)
+	a.br.Add(c.Branch)
+	a.brnt.Add(c.BranchNT)
+	a.gfop.Add(c.GFOp)
+	a.gf32.Add(c.GF32)
+}
+
+func (a *countsAccum) snapshot() perf.Counts {
+	return perf.Counts{
+		LD: a.ld.Load(), ST: a.st.Load(), ALU: a.alu.Load(), Mul: a.mul.Load(),
+		Branch: a.br.Load(), BranchNT: a.brnt.Load(),
+		GFOp: a.gfop.Load(), GF32: a.gf32.Load(),
+	}
+}
+
+// Counts returns the accumulated cycle accounting from metered stages
+// (zero unless a metered stage ran).
+func (s *StageStats) Counts() perf.Counts { return s.counts.snapshot() }
+
+// String formats one report row.
+func (s *StageStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s frames=%-8d err=%-6d in=%s out=%s",
+		s.Name, s.Frames.Load(), s.Errors.Load(),
+		fmtBytes(s.BytesIn.Load()), fmtBytes(s.BytesOut.Load()))
+	if c := s.Corrected.Load(); c > 0 {
+		fmt.Fprintf(&b, " corrected=%d", c)
+	}
+	fmt.Fprintf(&b, " lat[%s]", s.Latency.String())
+	return b.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,94 @@
+package rs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/gf"
+)
+
+// TestConcurrentEncodeDecodeSharedCode hammers one shared *Code (and one
+// shared *Interleaved) from many goroutines. Run with -race this proves
+// the concurrency contract documented in the package comment: a codec
+// instance is immutable after construction, so one instance may serve a
+// whole worker pool.
+func TestConcurrentEncodeDecodeSharedCode(t *testing.T) {
+	f := gf.MustDefault(8)
+	code := Must(f, 255, 239)
+	iv, err := NewInterleaved(code, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const iters = 30
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			msg := make([]gf.Elem, code.K)
+			for it := 0; it < iters; it++ {
+				for i := range msg {
+					msg[i] = gf.Elem(rng.Intn(256))
+				}
+				cw, err := code.Encode(msg)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				// Inject t errors at goroutine-dependent positions.
+				for e := 0; e < code.T; e++ {
+					cw[(g*17+e*29)%code.N] ^= gf.Elem(1 + rng.Intn(255))
+				}
+				res, err := code.Decode(cw)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for i := range msg {
+					if res.Message[i] != msg[i] {
+						t.Errorf("goroutine %d iter %d: symbol %d mismatch", g, it, i)
+						return
+					}
+				}
+
+				// Interleaved frame round trip on the same shared codec.
+				frame := make([]gf.Elem, iv.FrameK())
+				for i := range frame {
+					frame[i] = gf.Elem(rng.Intn(256))
+				}
+				enc, err := iv.Encode(frame)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				// A burst of depth*t consecutive corrupted symbols is
+				// guaranteed correctable.
+				start := rng.Intn(iv.FrameN() - iv.BurstTolerance())
+				for e := 0; e < iv.BurstTolerance(); e++ {
+					enc[start+e] ^= gf.Elem(1 + rng.Intn(255))
+				}
+				dec, _, err := iv.Decode(enc)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for i := range frame {
+					if dec[i] != frame[i] {
+						t.Errorf("goroutine %d iter %d: frame symbol %d mismatch", g, it, i)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

@@ -8,6 +8,14 @@
 // field polynomial and an arbitrary first consecutive generator root —
 // precisely the flexibility the GF processor's configuration register
 // provides in hardware.
+//
+// Concurrency: a *Code (and a *Interleaved wrapping it) is immutable
+// after construction — the generator polynomial and the underlying
+// gf.Field tables are only written by New — and every Encode/Decode call
+// allocates its own working buffers. One shared instance may therefore
+// serve any number of goroutines concurrently (see the -race test
+// TestConcurrentEncodeDecodeSharedCode), which is what the worker pools
+// of repro/internal/pipeline rely on.
 package rs
 
 import (
