@@ -1,0 +1,155 @@
+package main
+
+import (
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func baseConfig() cliConfig {
+	return cliConfig{
+		frames: 40, n: 255, k: 239, depth: 2,
+		workers: 2, queue: 4,
+		chName: "bsc", ebn0: 6.5,
+		seed:  1,
+		quiet: true,
+		// adaptive defaults (unused unless adaptiveMode)
+		ladder:   "251,239,223,191,127",
+		schedule: "30:8,40:8>4:burst,30:4>8",
+		stepUp:   8,
+	}
+}
+
+// TestExplicitZeroCrossover: `-p 0` must mean a genuinely error-free
+// channel. Regression: p == 0 used to be indistinguishable from "flag
+// unset" and silently fell back to the Eb/N0-derived probability.
+func TestExplicitZeroCrossover(t *testing.T) {
+	cfg := baseConfig()
+	cfg.ebn0 = 0.5 // ~8% raw BER: would corrupt heavily if -p 0 were ignored
+	cfg.pSet = true
+	cfg.pOverride = 0
+	res, err := run(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.failed != 0 || res.corrected != 0 {
+		t.Fatalf("explicit -p 0: %d failed, %d corrected; want a clean channel",
+			res.failed, res.corrected)
+	}
+
+	// Same operating point without -p: the Eb/N0 fallback must still
+	// corrupt (and at 0.5dB with t=8, visibly so).
+	cfg.pSet = false
+	res, err = run(cfg, io.Discard)
+	if err == nil && res.corrected == 0 && res.failed == 0 {
+		t.Fatal("Eb/N0 fallback no longer corrupts; the -p test is vacuous")
+	}
+}
+
+// TestExplicitNonzeroCrossover: an explicit -p still overrides -ebn0.
+func TestExplicitNonzeroCrossover(t *testing.T) {
+	cfg := baseConfig()
+	cfg.ebn0 = 12 // essentially clean if the override were dropped
+	cfg.pSet = true
+	cfg.pOverride = 0.004
+	res, err := run(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.corrected == 0 {
+		t.Fatal("explicit -p 0.004 produced no corrections; override ignored")
+	}
+}
+
+// TestAdaptiveWalksLadderDeterministically is the CLI-level acceptance
+// check: over a degrade-then-recover schedule the run must step down
+// the rate ladder during the degraded episode and back up after it,
+// with epoch stats covering every frame — and two identically seeded
+// runs must produce the identical trajectory and stats.
+func TestAdaptiveWalksLadderDeterministically(t *testing.T) {
+	cfg := baseConfig()
+	cfg.adaptiveMode = true
+	cfg.schedule = "60:8,120:8>4:burst,120:4>8"
+	cfg.stepUp = 16
+
+	var sb strings.Builder
+	res1, err := run(cfg, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := run(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1.transitions, res2.transitions) {
+		t.Fatalf("trajectories diverged across identical runs:\n%v\n%v",
+			res1.transitions, res2.transitions)
+	}
+	if !reflect.DeepEqual(res1.epochs, res2.epochs) {
+		t.Fatal("epoch stats diverged across identical runs")
+	}
+
+	var downs, ups int
+	for _, tr := range res1.transitions {
+		if tr.To > tr.From {
+			downs++
+		} else {
+			ups++
+		}
+	}
+	if downs == 0 || ups == 0 {
+		t.Fatalf("trajectory %v: want steps down during degradation and back up after",
+			res1.transitions)
+	}
+	frames := 0
+	for _, e := range res1.epochs {
+		frames += e.Frames
+	}
+	if frames != 300 {
+		t.Fatalf("epoch stats cover %d frames, want 300", frames)
+	}
+	out := sb.String()
+	for _, want := range []string{"rate trajectory", "per-epoch", "goodput"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q section", want)
+		}
+	}
+}
+
+// TestAdaptiveFramesOverride: an explicit -frames runs past the
+// schedule's end (clamped to the last operating point).
+func TestAdaptiveFramesOverride(t *testing.T) {
+	cfg := baseConfig()
+	cfg.adaptiveMode = true
+	cfg.schedule = "40:8"
+	cfg.frames = 70
+	cfg.framesSet = true
+	res, err := run(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.frames != 70 {
+		t.Fatalf("ran %d frames, want 70", res.frames)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	cfg := baseConfig()
+	cfg.chName = "plasma"
+	if _, err := run(cfg, io.Discard); err == nil {
+		t.Error("unknown channel accepted")
+	}
+	cfg = baseConfig()
+	cfg.adaptiveMode = true
+	cfg.ladder = "239,abc"
+	if _, err := run(cfg, io.Discard); err == nil {
+		t.Error("bad ladder accepted")
+	}
+	cfg = baseConfig()
+	cfg.adaptiveMode = true
+	cfg.schedule = "nope"
+	if _, err := run(cfg, io.Discard); err == nil {
+		t.Error("bad schedule accepted")
+	}
+}

@@ -1,0 +1,207 @@
+package adaptive
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Config tunes the controller's switching policy. The zero value picks
+// the defaults noted on each field.
+type Config struct {
+	// StepDownFrac: step down to a stronger code when a frame's worst
+	// codeword needed >= ceil(StepDownFrac * t) corrections (or failed
+	// outright). Default 0.75.
+	StepDownFrac float64
+	// StepUpFrac: a frame counts toward the clean streak only when its
+	// worst codeword needed <= floor(StepUpFrac * t') corrections, where
+	// t' is the bound of the next *weaker* rung — the streak predicts
+	// the frame would also have been comfortable after relaxing, which
+	// keeps the controller from bouncing off a rung it can't hold.
+	// Default 0.25.
+	StepUpFrac float64
+	// StepUpAfter: consecutive clean frames (under the current code)
+	// required before relaxing to a weaker code — the hysteresis that
+	// keeps the controller from oscillating at an episode boundary.
+	// Default 48.
+	StepUpAfter int
+}
+
+func (c Config) withDefaults() Config {
+	if c.StepDownFrac <= 0 {
+		c.StepDownFrac = 0.75
+	}
+	if c.StepUpFrac <= 0 {
+		c.StepUpFrac = 0.25
+	}
+	if c.StepUpAfter <= 0 {
+		c.StepUpAfter = 48
+	}
+	return c
+}
+
+// Feedback is one frame's decode outcome, fed to Observe in delivery
+// (Seq) order.
+type Feedback struct {
+	Seq   uint64
+	Epoch int
+	// Failed marks an uncorrectable frame (decode error).
+	Failed bool
+	// CorrectedMax is the worst per-codeword correction count
+	// (pipeline.Frame.CorrectedMax).
+	CorrectedMax int
+}
+
+// Transition records one rung switch.
+type Transition struct {
+	// Seq is the frame whose feedback triggered the switch; Epoch is the
+	// newly opened epoch.
+	Seq    uint64
+	Epoch  int
+	From   int
+	To     int
+	Reason string // "failure", "margin" or "clean-streak"
+}
+
+// String formats the transition for reports.
+func (t Transition) String() string {
+	dir := "down"
+	if t.To < t.From {
+		dir = "up"
+	}
+	return fmt.Sprintf("seq %d: rung %d -> %d (%s, %s) epoch %d", t.Seq, t.From, t.To, dir, t.Reason, t.Epoch)
+}
+
+// Controller walks the rate ladder from decode feedback. Observe and
+// CurrentEpoch belong to the single control-loop goroutine (the Driver);
+// RungFor is read concurrently by encode/decode stage workers.
+//
+// Policy: fast attack, slow release. Degradation — a decode failure or a
+// worst-codeword correction count at >= StepDownFrac of the bound t —
+// steps to the next stronger code immediately. Relaxing back requires
+// StepUpAfter consecutive comfortable frames. Only feedback from frames
+// encoded under the *current* epoch drives decisions: in-flight frames
+// of an older epoch judge the code the controller already left.
+type Controller struct {
+	ladder *Ladder
+	cfg    Config
+
+	mu          sync.RWMutex
+	epochRung   []int // epoch id -> rung index (append-only)
+	rung        int
+	epoch       int
+	cleanStreak int
+	transitions []Transition
+	observed    uint64 // frames observed, total
+}
+
+// NewController starts a controller at the given initial rung.
+func NewController(l *Ladder, startRung int, cfg Config) (*Controller, error) {
+	if startRung < 0 || startRung >= l.Len() {
+		return nil, fmt.Errorf("adaptive: start rung %d outside ladder [0,%d)", startRung, l.Len())
+	}
+	return &Controller{
+		ladder:    l,
+		cfg:       cfg.withDefaults(),
+		epochRung: []int{startRung},
+		rung:      startRung,
+	}, nil
+}
+
+// Ladder returns the controller's ladder.
+func (c *Controller) Ladder() *Ladder { return c.ladder }
+
+// CurrentEpoch returns the epoch new frames should be tagged with.
+func (c *Controller) CurrentEpoch() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.epoch
+}
+
+// RungIndexFor returns the rung index epoch e used, or -1 when e was
+// never opened.
+func (c *Controller) RungIndexFor(e int) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if e < 0 || e >= len(c.epochRung) {
+		return -1
+	}
+	return c.epochRung[e]
+}
+
+// RungFor returns the code rung of epoch e — the lookup the epoch-
+// switchable stage pair performs per frame. Safe for concurrent use.
+func (c *Controller) RungFor(e int) (Rung, error) {
+	i := c.RungIndexFor(e)
+	if i < 0 {
+		return Rung{}, fmt.Errorf("adaptive: unknown epoch %d", e)
+	}
+	return c.ladder.Rung(i), nil
+}
+
+// Transitions returns the rung switches so far, in order.
+func (c *Controller) Transitions() []Transition {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]Transition(nil), c.transitions...)
+}
+
+// downAt returns the worst-codeword correction count that triggers a
+// step down under a code correcting t errors.
+func (c *Controller) downAt(t int) int {
+	at := int(math.Ceil(c.cfg.StepDownFrac * float64(t)))
+	if at < 1 {
+		at = 1
+	}
+	return at
+}
+
+// upBelow returns the largest worst-codeword correction count that still
+// counts as a comfortable frame under a code correcting t errors.
+func (c *Controller) upBelow(t int) int {
+	return int(math.Floor(c.cfg.StepUpFrac * float64(t)))
+}
+
+// Observe feeds one frame's decode outcome to the policy. Callers must
+// deliver feedback in Seq order from a single goroutine.
+func (c *Controller) Observe(fb Feedback) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.observed++
+	if fb.Epoch != c.epoch {
+		// An in-flight frame from an epoch the controller already left:
+		// it judges an old code, not the current one.
+		return
+	}
+	t := c.ladder.Rung(c.rung).Code.T
+	switch {
+	case fb.Failed || fb.CorrectedMax >= c.downAt(t):
+		c.cleanStreak = 0
+		if c.rung < c.ladder.Len()-1 {
+			reason := "margin"
+			if fb.Failed {
+				reason = "failure"
+			}
+			c.switchTo(c.rung+1, fb.Seq, reason)
+		}
+	case c.rung > 0 && fb.CorrectedMax <= c.upBelow(c.ladder.Rung(c.rung-1).Code.T):
+		c.cleanStreak++
+		if c.cleanStreak >= c.cfg.StepUpAfter {
+			c.cleanStreak = 0
+			c.switchTo(c.rung-1, fb.Seq, "clean-streak")
+		}
+	default:
+		c.cleanStreak = 0
+	}
+}
+
+// switchTo opens a new epoch on the given rung. Caller holds mu.
+func (c *Controller) switchTo(rung int, seq uint64, reason string) {
+	from := c.rung
+	c.rung = rung
+	c.epoch++
+	c.epochRung = append(c.epochRung, rung)
+	c.transitions = append(c.transitions, Transition{
+		Seq: seq, Epoch: c.epoch, From: from, To: rung, Reason: reason,
+	})
+}

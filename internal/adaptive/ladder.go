@@ -1,0 +1,102 @@
+// Package adaptive implements a closed-loop link controller that adapts
+// the Reed-Solomon code rate to channel conditions at runtime — the
+// paper's Section 1.1 motivation for a *programmable* GF datapath: an
+// IoT node should strengthen its error-correcting code when the channel
+// degrades and relax it back (recovering goodput) when conditions clear,
+// instead of shipping one fixed codec.
+//
+// The pieces:
+//
+//   - Ladder: an ordered family of RS(n,k) codes over one field, from
+//     highest rate (weakest) to lowest rate (strongest).
+//   - Controller: watches per-frame decode feedback — corrections
+//     approaching the code's bound t, or outright failures — and walks
+//     the ladder: stepping down (stronger) immediately on degradation,
+//     stepping back up only after a long clean streak (hysteresis).
+//     Every switch opens a new epoch.
+//   - EncodeStage / DecodeStage: an epoch-switchable pipeline stage
+//     pair. Frames carry the epoch they were submitted under
+//     (pipeline.Frame.Epoch), and both stages look the epoch's code up
+//     in the controller, so the pipeline switches codes coherently with
+//     frames of different epochs in flight — no drain required.
+//   - Driver: the closed loop itself. It submits frames tagged with the
+//     controller's current epoch, consumes decoded frames in delivery
+//     order, and feeds outcomes back. Submission runs at most a fixed
+//     window ahead of feedback, which makes the whole rate trajectory a
+//     pure function of (seed, schedule, config) — bit-identical across
+//     runs regardless of worker scheduling.
+package adaptive
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+	"repro/internal/rs"
+)
+
+// Rung is one operating point of the rate ladder.
+type Rung struct {
+	// Index is the rung's position: 0 is the highest-rate (weakest)
+	// code; higher indices are stronger.
+	Index int
+	Code  *rs.Code
+	IV    *rs.Interleaved
+}
+
+// String labels the rung for reports.
+func (r Rung) String() string {
+	return fmt.Sprintf("RS(%d,%d,t=%d)", r.Code.N, r.Code.K, r.Code.T)
+}
+
+// Ladder is an immutable ordered code family sharing one field, length n
+// and interleaving depth; ks runs from highest rate to lowest.
+type Ladder struct {
+	rungs []Rung
+	depth int
+}
+
+// NewLadder builds the ladder RS(n, ks[0]) .. RS(n, ks[last]) over f with
+// the given interleaving depth. ks must be strictly decreasing (strictly
+// increasing protection).
+func NewLadder(f *gf.Field, n int, ks []int, depth int) (*Ladder, error) {
+	if len(ks) < 2 {
+		return nil, fmt.Errorf("adaptive: ladder needs >= 2 rungs, got %d", len(ks))
+	}
+	l := &Ladder{depth: depth}
+	for i, k := range ks {
+		if i > 0 && k >= ks[i-1] {
+			return nil, fmt.Errorf("adaptive: ladder ks must strictly decrease, got %v", ks)
+		}
+		code, err := rs.New(f, n, k)
+		if err != nil {
+			return nil, fmt.Errorf("adaptive: rung %d: %w", i, err)
+		}
+		iv, err := rs.NewInterleaved(code, depth)
+		if err != nil {
+			return nil, fmt.Errorf("adaptive: rung %d: %w", i, err)
+		}
+		l.rungs = append(l.rungs, Rung{Index: i, Code: code, IV: iv})
+	}
+	return l, nil
+}
+
+// Len returns the number of rungs.
+func (l *Ladder) Len() int { return len(l.rungs) }
+
+// Depth returns the interleaving depth shared by all rungs.
+func (l *Ladder) Depth() int { return l.depth }
+
+// Rung returns rung i (0 = highest rate).
+func (l *Ladder) Rung(i int) Rung { return l.rungs[i] }
+
+// String lists the rungs for reports.
+func (l *Ladder) String() string {
+	s := ""
+	for i, r := range l.rungs {
+		if i > 0 {
+			s += " | "
+		}
+		s += r.String()
+	}
+	return fmt.Sprintf("%s x%d", s, l.depth)
+}

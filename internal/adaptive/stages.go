@@ -1,0 +1,105 @@
+package adaptive
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+	"repro/internal/pipeline"
+)
+
+// Epoch-switchable stage pair. Both stages resolve the frame's code from
+// its Epoch tag through the shared controller, so an encode worker and a
+// decode worker always agree on the code a given frame uses even while
+// the controller switches rungs with frames in flight. Both stages are
+// stateless per call and safe to share across the worker pool (the
+// controller's epoch table is guarded internally, and codes are
+// immutable after construction).
+
+func bytesToElems(b []byte) []gf.Elem {
+	out := make([]gf.Elem, len(b))
+	for i, v := range b {
+		out[i] = gf.Elem(v)
+	}
+	return out
+}
+
+func elemsToBytes(e []gf.Elem) []byte {
+	out := make([]byte, len(e))
+	for i, v := range e {
+		out[i] = byte(v)
+	}
+	return out
+}
+
+// EncodeStage interleave-encodes each frame with its epoch's code. The
+// payload must be the epoch rung's IV.FrameK() bytes.
+type EncodeStage struct{ C *Controller }
+
+// NewEncodeStage wraps the controller's ladder as the encode side.
+func NewEncodeStage(c *Controller) (*EncodeStage, error) {
+	if err := requireByteField(c); err != nil {
+		return nil, err
+	}
+	return &EncodeStage{C: c}, nil
+}
+
+// Name implements pipeline.Stage.
+func (s *EncodeStage) Name() string { return "adaptive-encode" }
+
+// Process implements pipeline.Stage.
+func (s *EncodeStage) Process(f *pipeline.Frame) error {
+	rung, err := s.C.RungFor(f.Epoch)
+	if err != nil {
+		return err
+	}
+	out, err := rung.IV.Encode(bytesToElems(f.Data))
+	if err != nil {
+		return fmt.Errorf("adaptive: epoch %d %s: %w", f.Epoch, rung, err)
+	}
+	f.Data = elemsToBytes(out)
+	return nil
+}
+
+// DecodeStage deinterleaves and decodes each frame with its epoch's
+// code, recording total corrections in Frame.Corrected and the worst
+// per-codeword count in Frame.CorrectedMax — the controller's feedback
+// signal — even when the frame is uncorrectable.
+type DecodeStage struct{ C *Controller }
+
+// NewDecodeStage wraps the controller's ladder as the decode side.
+func NewDecodeStage(c *Controller) (*DecodeStage, error) {
+	if err := requireByteField(c); err != nil {
+		return nil, err
+	}
+	return &DecodeStage{C: c}, nil
+}
+
+// Name implements pipeline.Stage.
+func (s *DecodeStage) Name() string { return "adaptive-decode" }
+
+// Process implements pipeline.Stage.
+func (s *DecodeStage) Process(f *pipeline.Frame) error {
+	rung, err := s.C.RungFor(f.Epoch)
+	if err != nil {
+		return err
+	}
+	msg, st, err := rung.IV.DecodeWithStats(bytesToElems(f.Data))
+	if st != nil {
+		f.Corrected += st.Total
+		if st.Max > f.CorrectedMax {
+			f.CorrectedMax = st.Max
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("adaptive: epoch %d %s: %w", f.Epoch, rung, err)
+	}
+	f.Data = elemsToBytes(msg)
+	return nil
+}
+
+func requireByteField(c *Controller) error {
+	if f := c.ladder.Rung(0).Code.F; f.M() > 8 {
+		return fmt.Errorf("adaptive: stages require a field with m <= 8, got %v", f)
+	}
+	return nil
+}

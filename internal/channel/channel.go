@@ -172,9 +172,15 @@ func TransmitSymbols(ch Channel, syms []gf.Elem, m int) []gf.Elem {
 }
 
 // CountBitErrors returns the Hamming distance between two bit slices.
+// When the lengths differ, positions past the shorter slice count as
+// errors (a truncated or padded stream is maximally wrong there).
 func CountBitErrors(a, b []byte) int {
-	n := 0
-	for i := range a {
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	n := len(a) + len(b) - 2*m
+	for i := 0; i < m; i++ {
 		if a[i] != b[i] {
 			n++
 		}
@@ -182,10 +188,15 @@ func CountBitErrors(a, b []byte) int {
 	return n
 }
 
-// CountSymbolErrors returns the number of differing symbols.
+// CountSymbolErrors returns the number of differing symbols. When the
+// lengths differ, positions past the shorter slice count as errors.
 func CountSymbolErrors(a, b []gf.Elem) int {
-	n := 0
-	for i := range a {
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	n := len(a) + len(b) - 2*m
+	for i := 0; i < m; i++ {
 		if a[i] != b[i] {
 			n++
 		}

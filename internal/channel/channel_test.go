@@ -140,3 +140,44 @@ func TestDescriptions(t *testing.T) {
 		t.Error("empty description")
 	}
 }
+
+// Regression: CountBitErrors/CountSymbolErrors used to index b[i] for
+// i := range a and panicked with index-out-of-range whenever
+// len(a) > len(b). Length differences now count as errors.
+func TestCountBitErrorsLengthMismatch(t *testing.T) {
+	cases := []struct {
+		a, b []byte
+		want int
+	}{
+		{[]byte{0, 1, 1}, []byte{0, 1, 1}, 0},
+		{[]byte{0, 1, 1}, []byte{1, 1, 0}, 2},
+		{[]byte{0, 1, 1, 0, 1}, []byte{0, 1}, 3}, // longer a: 3 extra positions
+		{[]byte{0, 1}, []byte{0, 0, 1, 1, 1}, 4}, // longer b: 1 flip + 3 extra
+		{nil, []byte{1, 0}, 2},
+		{[]byte{1, 0}, nil, 2},
+		{nil, nil, 0},
+	}
+	for i, c := range cases {
+		if got := CountBitErrors(c.a, c.b); got != c.want {
+			t.Errorf("case %d: CountBitErrors(%v, %v) = %d, want %d", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCountSymbolErrorsLengthMismatch(t *testing.T) {
+	cases := []struct {
+		a, b []gf.Elem
+		want int
+	}{
+		{[]gf.Elem{1, 2, 3}, []gf.Elem{1, 2, 3}, 0},
+		{[]gf.Elem{1, 2, 3}, []gf.Elem{1, 9, 3}, 1},
+		{[]gf.Elem{1, 2, 3, 4}, []gf.Elem{1, 2}, 2},
+		{[]gf.Elem{1}, []gf.Elem{2, 3, 4}, 3},
+		{nil, []gf.Elem{7}, 1},
+	}
+	for i, c := range cases {
+		if got := CountSymbolErrors(c.a, c.b); got != c.want {
+			t.Errorf("case %d: CountSymbolErrors(%v, %v) = %d, want %d", i, c.a, c.b, got, c.want)
+		}
+	}
+}

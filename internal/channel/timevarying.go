@@ -1,0 +1,223 @@
+package channel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Time-varying channel: the fault-injection substrate for adaptive-coding
+// experiments. A schedule of Episodes drifts the operating point (Eb/N0
+// for BPSK over AWGN) linearly across frames and can toggle bursty
+// Gilbert-Elliott behavior per episode — the "channel conditions vary"
+// scenario of the paper's Section 1.1, made reproducible.
+
+// Episode is one segment of a TimeVarying schedule: Frames frames over
+// which Eb/N0 drifts linearly from StartEbN0 to EndEbN0 (dB). With Burst
+// set the flip process is a Gilbert-Elliott bursty channel with the same
+// average flip probability instead of a memoryless BSC.
+type Episode struct {
+	Frames             int
+	StartEbN0, EndEbN0 float64
+	Burst              bool
+}
+
+// TimeVarying maps a frame index to channel conditions according to an
+// episode schedule. Frames past the schedule's end hold the last
+// episode's final operating point.
+//
+// Per-frame corruption is deterministic in (seed, frame index) alone:
+// FrameChannel derives an independent RNG stream for every frame, so a
+// concurrent pipeline corrupting frames in any worker interleaving
+// produces bit-identical results. TimeVarying also implements Channel /
+// Forker with an internal frame counter (one TransmitBits call = one
+// frame) for sequential use; that mode, like the other channel models,
+// is not goroutine-safe.
+type TimeVarying struct {
+	episodes []Episode
+	total    uint64
+	seed     int64
+	frame    uint64 // Channel-interface call counter
+}
+
+// NewTimeVarying builds a time-varying channel from a non-empty episode
+// schedule.
+func NewTimeVarying(episodes []Episode, seed int64) (*TimeVarying, error) {
+	if len(episodes) == 0 {
+		return nil, fmt.Errorf("channel: empty episode schedule")
+	}
+	total := uint64(0)
+	for i, ep := range episodes {
+		if ep.Frames < 1 {
+			return nil, fmt.Errorf("channel: episode %d has %d frames, want >= 1", i, ep.Frames)
+		}
+		total += uint64(ep.Frames)
+	}
+	eps := append([]Episode(nil), episodes...)
+	return &TimeVarying{episodes: eps, total: total, seed: seed}, nil
+}
+
+// TotalFrames returns the number of frames the schedule spans.
+func (tv *TimeVarying) TotalFrames() int { return int(tv.total) }
+
+// Episodes returns a copy of the schedule.
+func (tv *TimeVarying) Episodes() []Episode { return append([]Episode(nil), tv.episodes...) }
+
+// EpisodeAt returns the index of the episode covering the given frame
+// (the last episode for frames past the schedule's end).
+func (tv *TimeVarying) EpisodeAt(frame uint64) int {
+	var start uint64
+	for i, ep := range tv.episodes {
+		start += uint64(ep.Frames)
+		if frame < start {
+			return i
+		}
+	}
+	return len(tv.episodes) - 1
+}
+
+// EbN0At returns the scheduled Eb/N0 (dB) at the given frame, linearly
+// interpolated within its episode.
+func (tv *TimeVarying) EbN0At(frame uint64) float64 {
+	var start uint64
+	for _, ep := range tv.episodes {
+		if frame < start+uint64(ep.Frames) {
+			if ep.Frames == 1 {
+				return ep.EndEbN0
+			}
+			frac := float64(frame-start) / float64(ep.Frames-1)
+			return ep.StartEbN0 + (ep.EndEbN0-ep.StartEbN0)*frac
+		}
+		start += uint64(ep.Frames)
+	}
+	return tv.episodes[len(tv.episodes)-1].EndEbN0
+}
+
+// PAt returns the scheduled raw bit-flip probability at the given frame.
+func (tv *TimeVarying) PAt(frame uint64) float64 {
+	return BPSKBitErrorProb(tv.EbN0At(frame))
+}
+
+// FrameChannel returns the channel instance corrupting the given frame:
+// the scheduled operating point with an RNG stream derived from (seed,
+// frame) alone. Calling it twice with the same frame yields channels
+// producing identical corruption.
+func (tv *TimeVarying) FrameChannel(frame uint64) Channel {
+	p := tv.PAt(frame)
+	seed := int64(mix64(uint64(tv.seed), frame))
+	if tv.episodes[tv.EpisodeAt(frame)].Burst {
+		if ge, err := NewBurstAvg(p, seed); err == nil {
+			return ge
+		}
+	}
+	if p > 0.5 {
+		p = 0.5
+	}
+	bsc, _ := NewBSC(p, seed)
+	return bsc
+}
+
+// TransmitBits implements Channel: each call corrupts one frame and
+// advances the internal frame counter.
+func (tv *TimeVarying) TransmitBits(bits []byte) []byte {
+	ch := tv.FrameChannel(tv.frame)
+	tv.frame++
+	return ch.TransmitBits(bits)
+}
+
+// Fork implements Forker: same schedule, reset frame counter, new seed.
+func (tv *TimeVarying) Fork(seed int64) Channel {
+	return &TimeVarying{episodes: tv.episodes, total: tv.total, seed: seed}
+}
+
+// Description implements Channel.
+func (tv *TimeVarying) Description() string {
+	var b strings.Builder
+	b.WriteString("TimeVarying(")
+	for i, ep := range tv.episodes {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if ep.StartEbN0 == ep.EndEbN0 {
+			fmt.Fprintf(&b, "%d@%.3gdB", ep.Frames, ep.StartEbN0)
+		} else {
+			fmt.Fprintf(&b, "%d@%.3g>%.3gdB", ep.Frames, ep.StartEbN0, ep.EndEbN0)
+		}
+		if ep.Burst {
+			b.WriteString("+burst")
+		}
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// NewBurstAvg builds a Gilbert-Elliott channel with average flip
+// probability p: rare transitions into a bad state 50x noisier than the
+// good one (mean sojourn 5 bits bad, ~1% of the time bad) — the bursty
+// counterpart of a BSC(p) used by gfpipe's -channel burst and by
+// TimeVarying burst episodes.
+func NewBurstAvg(p float64, seed int64) (*GilbertElliott, error) {
+	// Solve 0.99*pg + 0.01*pb = p with pb = 50*pg.
+	pBad := 50 * p / (0.99 + 50*0.01)
+	if pBad > 0.5 {
+		pBad = 0.5
+	}
+	return NewGilbertElliott(0.002, 0.2, pBad/50, pBad, seed)
+}
+
+// mix64 is a splitmix64-style finalizer mixing a base seed with a frame
+// index into an independent per-frame seed.
+func mix64(a, b uint64) uint64 {
+	x := a ^ (b+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// ParseSchedule parses a compact schedule string into episodes. The
+// format is a comma-separated list of
+//
+//	FRAMES:EBN0[>EBN0END][:burst]
+//
+// e.g. "500:7,1000:7>4:burst,500:4>7" — 500 frames at 7dB, then 1000
+// frames drifting 7dB down to 4dB with bursty errors, then 500 frames
+// recovering to 7dB. '>' (not '-') separates the drift endpoints so
+// negative Eb/N0 values stay unambiguous.
+func ParseSchedule(s string) ([]Episode, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("channel: empty schedule")
+	}
+	var eps []Episode
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("channel: episode %q, want FRAMES:EBN0[>END][:burst]", part)
+		}
+		frames, err := strconv.Atoi(fields[0])
+		if err != nil || frames < 1 {
+			return nil, fmt.Errorf("channel: episode %q: bad frame count %q", part, fields[0])
+		}
+		ep := Episode{Frames: frames}
+		drift := strings.SplitN(fields[1], ">", 2)
+		if ep.StartEbN0, err = strconv.ParseFloat(drift[0], 64); err != nil {
+			return nil, fmt.Errorf("channel: episode %q: bad Eb/N0 %q", part, drift[0])
+		}
+		ep.EndEbN0 = ep.StartEbN0
+		if len(drift) == 2 {
+			if ep.EndEbN0, err = strconv.ParseFloat(drift[1], 64); err != nil {
+				return nil, fmt.Errorf("channel: episode %q: bad Eb/N0 %q", part, drift[1])
+			}
+		}
+		if len(fields) == 3 {
+			if fields[2] != "burst" {
+				return nil, fmt.Errorf("channel: episode %q: unknown modifier %q", part, fields[2])
+			}
+			ep.Burst = true
+		}
+		eps = append(eps, ep)
+	}
+	return eps, nil
+}

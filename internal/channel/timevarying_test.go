@@ -1,0 +1,157 @@
+package channel
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestParseSchedule(t *testing.T) {
+	eps, err := ParseSchedule("500:7,1000:7>4:burst,500:-1.5>7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Episode{
+		{Frames: 500, StartEbN0: 7, EndEbN0: 7},
+		{Frames: 1000, StartEbN0: 7, EndEbN0: 4, Burst: true},
+		{Frames: 500, StartEbN0: -1.5, EndEbN0: 7},
+	}
+	if len(eps) != len(want) {
+		t.Fatalf("got %d episodes, want %d", len(eps), len(want))
+	}
+	for i := range want {
+		if eps[i] != want[i] {
+			t.Errorf("episode %d = %+v, want %+v", i, eps[i], want[i])
+		}
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	for _, s := range []string{
+		"", "abc", "10", "0:7", "-3:7", "10:x", "10:7>x", "10:7:bursty", "10:7:burst:extra",
+	} {
+		if _, err := ParseSchedule(s); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", s)
+		}
+	}
+}
+
+func TestTimeVaryingDrift(t *testing.T) {
+	tv, err := NewTimeVarying([]Episode{
+		{Frames: 10, StartEbN0: 8, EndEbN0: 8},
+		{Frames: 11, StartEbN0: 8, EndEbN0: 4},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv.TotalFrames() != 21 {
+		t.Fatalf("TotalFrames = %d, want 21", tv.TotalFrames())
+	}
+	if got := tv.EbN0At(0); got != 8 {
+		t.Errorf("EbN0At(0) = %v, want 8", got)
+	}
+	if got := tv.EbN0At(9); got != 8 {
+		t.Errorf("EbN0At(9) = %v, want 8", got)
+	}
+	// Drift endpoints are inclusive: frame 10 starts at 8dB, frame 20
+	// ends at 4dB, frame 15 sits exactly halfway.
+	if got := tv.EbN0At(10); got != 8 {
+		t.Errorf("EbN0At(10) = %v, want 8", got)
+	}
+	if got := tv.EbN0At(15); got != 6 {
+		t.Errorf("EbN0At(15) = %v, want 6", got)
+	}
+	if got := tv.EbN0At(20); got != 4 {
+		t.Errorf("EbN0At(20) = %v, want 4", got)
+	}
+	// Past the schedule: clamped to the last episode's end point.
+	if got := tv.EbN0At(1000); got != 4 {
+		t.Errorf("EbN0At(1000) = %v, want 4", got)
+	}
+	if got := tv.EpisodeAt(1000); got != 1 {
+		t.Errorf("EpisodeAt(1000) = %d, want 1", got)
+	}
+}
+
+// TestTimeVaryingFrameDeterminism: FrameChannel must corrupt a given
+// frame identically no matter how many times (or in what order) it is
+// asked — the property the concurrent pipeline's reproducibility rests
+// on.
+func TestTimeVaryingFrameDeterminism(t *testing.T) {
+	tv, err := NewTimeVarying([]Episode{
+		{Frames: 50, StartEbN0: 2, EndEbN0: 2},
+		{Frames: 50, StartEbN0: 2, EndEbN0: 1, Burst: true},
+	}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := make([]byte, 512) // all zeros: output ones are the flips
+	for _, frame := range []uint64{0, 49, 50, 99, 7} {
+		a := tv.FrameChannel(frame).TransmitBits(bits)
+		b := tv.FrameChannel(frame).TransmitBits(bits)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("frame %d corrupted differently across FrameChannel calls", frame)
+		}
+	}
+	// Distinct frames get independent streams (overwhelmingly likely to
+	// differ at these noise levels).
+	a := tv.FrameChannel(3).TransmitBits(bits)
+	b := tv.FrameChannel(4).TransmitBits(bits)
+	if bytes.Equal(a, b) {
+		t.Error("adjacent frames got identical corruption")
+	}
+}
+
+// TestTimeVaryingChannelInterface: the sequential Channel mode advances
+// one frame per TransmitBits call and Fork resets the counter.
+func TestTimeVaryingChannelInterface(t *testing.T) {
+	mk := func() *TimeVarying {
+		tv, err := NewTimeVarying([]Episode{{Frames: 4, StartEbN0: 1, EndEbN0: 1}}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tv
+	}
+	bits := make([]byte, 256)
+	tv1, tv2 := mk(), mk()
+	for i := 0; i < 3; i++ {
+		if !bytes.Equal(tv1.TransmitBits(bits), tv2.TransmitBits(bits)) {
+			t.Fatalf("call %d diverged between identical instances", i)
+		}
+	}
+	var f Forker = mk()
+	fork := f.Fork(7).(*TimeVarying)
+	ref := mk()
+	if !bytes.Equal(fork.TransmitBits(bits), ref.TransmitBits(bits)) {
+		t.Error("Fork(sameSeed) did not reproduce the frame-0 stream")
+	}
+	if tv1.Description() == "" {
+		t.Error("empty description")
+	}
+}
+
+func TestTimeVaryingValidation(t *testing.T) {
+	if _, err := NewTimeVarying(nil, 1); err == nil {
+		t.Error("empty schedule accepted")
+	}
+	if _, err := NewTimeVarying([]Episode{{Frames: 0}}, 1); err == nil {
+		t.Error("zero-length episode accepted")
+	}
+}
+
+// TestNewBurstAvg: the bursty channel's long-run average flip rate
+// should approximate the target p.
+func TestNewBurstAvg(t *testing.T) {
+	const p = 0.01
+	ge, err := NewBurstAvg(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 400000
+	bits := make([]byte, n)
+	out := ge.TransmitBits(bits)
+	flips := CountBitErrors(bits, out)
+	rate := float64(flips) / float64(n)
+	if rate < p/2 || rate > 2*p {
+		t.Errorf("average flip rate %v, want ~%v", rate, p)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,12 @@ type Frame struct {
 	// Seq is the submission sequence number, assigned by Run.Submit.
 	// Frames leave the pipeline in increasing Seq order.
 	Seq uint64
+	// Epoch tags the frame with the configuration epoch it was submitted
+	// under (see Run.SubmitTagged). Epoch-aware stage pairs — e.g. the
+	// switchable encoder/decoder of package adaptive — use it to apply
+	// the same per-epoch configuration on both sides of the channel, so
+	// the pipeline can change codes coherently without draining.
+	Epoch int
 	// Data is the current payload.
 	Data []byte
 	// Err is the first stage error encountered; once set, later stages
@@ -45,8 +52,12 @@ type Frame struct {
 	Err      error
 	FailedAt string
 	// Corrected accumulates symbol/bit corrections reported by decode
-	// stages.
-	Corrected int
+	// stages. CorrectedMax is the worst per-codeword correction count an
+	// interleaved decode stage observed — the frame's distance to the
+	// code's correction bound t, which adaptive controllers use as their
+	// degradation signal.
+	Corrected    int
+	CorrectedMax int
 	// Counts accumulates perf cycle accounting reported by metered
 	// stages (zero for unmetered pipelines).
 	Counts perf.Counts
@@ -264,10 +275,24 @@ func (r *Run) reorder(src <-chan *Frame) {
 		}
 	}
 	// src closed: every submitted frame has arrived, so pending is empty
-	// unless seq assignment was bypassed.
-	for seq, g := range pending {
-		g.Latency = time.Since(g.submitted)
-		g.Err = fmt.Errorf("pipeline: frame %d delivered out of band", seq)
+	// unless seq assignment was bypassed. Emit the leftovers in Seq order
+	// (the delivery contract), preserving any stage error the frame
+	// already carries, and leave Latency zero when the frame never went
+	// through Submit (submitted unset).
+	leftover := make([]uint64, 0, len(pending))
+	for seq := range pending {
+		leftover = append(leftover, seq)
+	}
+	sort.Slice(leftover, func(i, j int) bool { return leftover[i] < leftover[j] })
+	for _, seq := range leftover {
+		g := pending[seq]
+		if !g.submitted.IsZero() {
+			g.Latency = time.Since(g.submitted)
+		}
+		if g.Err == nil {
+			g.Err = fmt.Errorf("pipeline: frame %d delivered out of band", seq)
+			g.FailedAt = "reorder"
+		}
 		r.out <- g
 	}
 }
@@ -276,8 +301,12 @@ func (r *Run) reorder(src <-chan *Frame) {
 // number. It blocks when the first stage's queue is full (backpressure).
 // Submit is safe for concurrent use; "submission order" is then the
 // order of sequence assignment. Submit must not be called after Close.
-func (r *Run) Submit(data []byte) uint64 {
-	f := &Frame{Data: data, submitted: time.Now()}
+func (r *Run) Submit(data []byte) uint64 { return r.SubmitTagged(data, 0) }
+
+// SubmitTagged is Submit with an explicit configuration epoch stamped on
+// the frame, for pipelines whose stages switch behavior per epoch.
+func (r *Run) SubmitTagged(data []byte, epoch int) uint64 {
+	f := &Frame{Data: data, Epoch: epoch, submitted: time.Now()}
 	f.Seq = r.seq.Add(1) - 1
 	r.in <- f
 	return f.Seq

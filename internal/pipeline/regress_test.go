@@ -1,0 +1,173 @@
+package pipeline
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/channel"
+)
+
+// TestHistBucketBoundaries pins the documented bucket layout: bucket 0
+// holds 0ns and 1ns, bucket i holds [2^i, 2^(i+1)). Regression for the
+// off-by-one that put 1ns in bucket 1.
+func TestHistBucketBoundaries(t *testing.T) {
+	bucketOf := func(ns int64) int {
+		var h Hist
+		h.Observe(time.Duration(ns))
+		for i := range h.buckets {
+			if h.buckets[i].Load() == 1 {
+				return i
+			}
+		}
+		t.Fatalf("no bucket recorded %dns", ns)
+		return -1
+	}
+	if got := bucketOf(0); got != 0 {
+		t.Errorf("0ns in bucket %d, want 0", got)
+	}
+	if got := bucketOf(1); got != 0 {
+		t.Errorf("1ns in bucket %d, want 0", got)
+	}
+	if got := bucketOf(2); got != 1 {
+		t.Errorf("2ns in bucket %d, want 1", got)
+	}
+	for i := 2; i < 20; i++ {
+		lo := int64(1) << i
+		if got := bucketOf(lo - 1); got != i-1 {
+			t.Errorf("%dns (2^%d-1) in bucket %d, want %d", lo-1, i, got, i-1)
+		}
+		if got := bucketOf(lo); got != i {
+			t.Errorf("%dns (2^%d) in bucket %d, want %d", lo, i, got, i)
+		}
+	}
+}
+
+// TestHistQuantileUpperBound: Quantile must return an inclusive upper
+// bound for the bucket holding the sample.
+func TestHistQuantileUpperBound(t *testing.T) {
+	var h Hist
+	h.Observe(1) // bucket 0, top edge 2
+	if q := h.Quantile(1); q < 1 || q > 2 {
+		t.Errorf("Quantile(1) after Observe(1ns) = %v, want in [1,2]", q)
+	}
+	var h2 Hist
+	h2.Observe(3) // bucket 1, top edge 4
+	if q := h2.Quantile(1); q < 3 || q > 4 {
+		t.Errorf("Quantile(1) after Observe(3ns) = %v, want in [3,4]", q)
+	}
+}
+
+// TestReorderOutOfBand exercises the sink's leftover path by injecting
+// frames directly into the run (bypassing Submit's seq assignment) with
+// a sequence gap, so none can be released in band. Regression: the
+// leftovers used to come out in nondeterministic map order, any stage
+// error was overwritten, and Latency was computed from a zero submitted
+// timestamp.
+func TestReorderOutOfBand(t *testing.T) {
+	sentinel := errors.New("stage failure to preserve")
+	pl := Must(Config{Workers: 1, Queue: 8}, Func{Label: "id", F: func(f *Frame) error {
+		return nil
+	}})
+	r := pl.Start()
+	// Seqs 5, 3, 4: seq 0 never arrives, so the in-band loop releases
+	// nothing and every frame takes the out-of-band path.
+	f5 := &Frame{Seq: 5, Data: []byte{5}}
+	f3 := &Frame{Seq: 3, Data: []byte{3}, Err: sentinel, FailedAt: "earlier-stage"}
+	f4 := &Frame{Seq: 4, Data: []byte{4}}
+	for _, f := range []*Frame{f5, f3, f4} {
+		r.in <- f
+	}
+	close(r.in)
+
+	var got []*Frame
+	for f := range r.Out() {
+		got = append(got, f)
+	}
+	if len(got) != 3 {
+		t.Fatalf("delivered %d frames, want 3", len(got))
+	}
+	for i, want := range []uint64{3, 4, 5} {
+		if got[i].Seq != want {
+			t.Fatalf("delivery order %v, want Seq ascending [3 4 5]",
+				[]uint64{got[0].Seq, got[1].Seq, got[2].Seq})
+		}
+	}
+	if !errors.Is(got[0].Err, sentinel) {
+		t.Errorf("pre-existing error overwritten: %v", got[0].Err)
+	}
+	if got[0].FailedAt != "earlier-stage" {
+		t.Errorf("FailedAt overwritten: %q", got[0].FailedAt)
+	}
+	for _, f := range got[1:] {
+		if f.Err == nil {
+			t.Errorf("frame %d missing out-of-band error", f.Seq)
+		}
+	}
+	// None of these frames went through Submit: Latency must not be
+	// computed from the zero timestamp (which would be ~25 years).
+	for _, f := range got {
+		if f.Latency != 0 {
+			t.Errorf("frame %d Latency = %v from zero submitted time, want 0", f.Seq, f.Latency)
+		}
+	}
+}
+
+// TestSubmitTaggedEpoch: the epoch tag must ride the frame through the
+// pipeline unchanged, and plain Submit means epoch 0.
+func TestSubmitTaggedEpoch(t *testing.T) {
+	pl := Must(Config{Workers: 2, Queue: 4}, Func{Label: "id", F: func(f *Frame) error { return nil }})
+	r := pl.Start()
+	go func() {
+		r.SubmitTagged([]byte{0}, 7)
+		r.Submit([]byte{1})
+		r.SubmitTagged([]byte{2}, 9)
+		r.Close()
+	}()
+	var epochs []int
+	for f := range r.Out() {
+		epochs = append(epochs, f.Epoch)
+	}
+	if len(epochs) != 3 || epochs[0] != 7 || epochs[1] != 0 || epochs[2] != 9 {
+		t.Fatalf("epochs %v, want [7 0 9]", epochs)
+	}
+}
+
+// TestCorruptTVWorkerIndependence: schedule-driven corruption is keyed
+// on Frame.Seq, so the corrupted bytes must be identical for any worker
+// count — unlike Corrupt, whose streams are per worker.
+func TestCorruptTVWorkerIndependence(t *testing.T) {
+	tv, err := channel.NewTimeVarying([]channel.Episode{
+		{Frames: 16, StartEbN0: 2, EndEbN0: 2},
+		{Frames: 16, StartEbN0: 2, EndEbN0: 0, Burst: true},
+	}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := func(workers int) [][]byte {
+		stage, err := NewCorruptTV(tv, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl := Must(Config{Workers: workers, Queue: 32}, stage)
+		r := pl.Start()
+		payloads := randPayloads(t, 32, 64, 5)
+		frames, err := r.Drain(payloads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]byte, len(frames))
+		for i, f := range frames {
+			out[i] = f.Data
+		}
+		return out
+	}
+	a := corrupted(1)
+	b := corrupted(4)
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("frame %d corrupted differently with 1 vs 4 workers", i)
+		}
+	}
+}

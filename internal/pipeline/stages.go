@@ -364,3 +364,34 @@ func (s *Corrupt) Process(f *Frame) error {
 	f.Data = elemsToBytes(out)
 	return nil
 }
+
+// CorruptTV corrupts frames through a time-varying channel schedule,
+// deriving each frame's channel conditions and RNG stream from Frame.Seq
+// alone (channel.TimeVarying.FrameChannel). Unlike Corrupt, the result is
+// bit-identical for any worker count and interleaving — the determinism
+// the adaptive link controller's reproducibility guarantee rests on. The
+// stage itself is stateless and safe to share across workers.
+type CorruptTV struct {
+	TV *channel.TimeVarying
+	m  int
+}
+
+// NewCorruptTV builds the schedule-driven corruption stage with per-symbol
+// bit width m (1..8).
+func NewCorruptTV(tv *channel.TimeVarying, m int) (*CorruptTV, error) {
+	if m < 1 || m > 8 {
+		return nil, fmt.Errorf("pipeline: symbol width %d outside [1,8]", m)
+	}
+	return &CorruptTV{TV: tv, m: m}, nil
+}
+
+// Name implements Stage.
+func (s *CorruptTV) Name() string { return "channel[" + s.TV.Description() + "]" }
+
+// Process implements Stage.
+func (s *CorruptTV) Process(f *Frame) error {
+	ch := s.TV.FrameChannel(f.Seq)
+	out := channel.TransmitSymbols(ch, bytesToElems(f.Data), s.m)
+	f.Data = elemsToBytes(out)
+	return nil
+}

@@ -11,7 +11,7 @@ import (
 )
 
 // histBuckets is the number of power-of-two latency buckets. Bucket i
-// holds samples with latency in [2^(i-1), 2^i) nanoseconds (bucket 0
+// holds samples with latency in [2^i, 2^(i+1)) nanoseconds (bucket 0
 // holds 0ns and 1ns); the last bucket absorbs everything longer.
 const histBuckets = 40
 
@@ -30,7 +30,11 @@ func (h *Hist) Observe(d time.Duration) {
 	if ns < 0 {
 		ns = 0
 	}
+	// Bucket index: 0 and 1 land in bucket 0, [2^i, 2^(i+1)) in bucket i.
 	i := bits.Len64(uint64(ns))
+	if i > 0 {
+		i--
+	}
 	if i >= histBuckets {
 		i = histBuckets - 1
 	}
@@ -79,7 +83,8 @@ func (h *Hist) Quantile(q float64) time.Duration {
 			if i == histBuckets-1 {
 				return h.Max()
 			}
-			return time.Duration(int64(1) << i)
+			// Top edge of bucket i = 2^(i+1) (exclusive upper bound).
+			return time.Duration(int64(1) << (i + 1))
 		}
 	}
 	return h.Max()

@@ -73,3 +73,59 @@ func (iv *Interleaved) Decode(recv []gf.Elem) ([]gf.Elem, int, error) {
 	}
 	return msg, total, nil
 }
+
+// FrameStats reports per-codeword decode detail for one interleaved
+// frame — the margin signal adaptive link controllers feed on.
+type FrameStats struct {
+	// PerCodeword holds the corrections made in each of the Depth
+	// codewords; -1 marks a codeword the decoder could not correct.
+	PerCodeword []int
+	// Failed counts uncorrectable codewords.
+	Failed int
+	// Total is the corrections summed over the decodable codewords.
+	Total int
+	// Max is the worst per-codeword correction count (failed codewords
+	// count as the full bound t+1, i.e. past the correctable limit).
+	Max int
+}
+
+// DecodeWithStats deinterleaves and decodes a frame like Decode but keeps
+// going past uncorrectable codewords, so the returned FrameStats always
+// covers every codeword. The message is complete only when err is nil;
+// failed codewords leave their message symbols as received (systematic
+// prefix, uncorrected). The returned error is the first codeword's decode
+// error, wrapped with its index.
+func (iv *Interleaved) DecodeWithStats(recv []gf.Elem) ([]gf.Elem, *FrameStats, error) {
+	if len(recv) != iv.FrameN() {
+		return nil, nil, fmt.Errorf("rs: frame length %d, want %d", len(recv), iv.FrameN())
+	}
+	msg := make([]gf.Elem, iv.FrameK())
+	st := &FrameStats{PerCodeword: make([]int, iv.Depth)}
+	var firstErr error
+	cw := make([]gf.Elem, iv.Code.N)
+	for i := 0; i < iv.Depth; i++ {
+		for j := 0; j < iv.Code.N; j++ {
+			cw[j] = recv[j*iv.Depth+i]
+		}
+		res, err := iv.Code.Decode(cw)
+		if err != nil {
+			st.PerCodeword[i] = -1
+			st.Failed++
+			if over := iv.Code.T + 1; over > st.Max {
+				st.Max = over
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("rs: codeword %d of frame: %w", i, err)
+			}
+			copy(msg[i*iv.Code.K:], cw[:iv.Code.K])
+			continue
+		}
+		st.PerCodeword[i] = res.NumErrors
+		st.Total += res.NumErrors
+		if res.NumErrors > st.Max {
+			st.Max = res.NumErrors
+		}
+		copy(msg[i*iv.Code.K:], res.Message)
+	}
+	return msg, st, firstErr
+}

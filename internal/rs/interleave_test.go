@@ -120,3 +120,86 @@ func TestInterleavedBeyondToleranceFails(t *testing.T) {
 		}
 	}
 }
+
+// TestDecodeWithStats checks per-codeword decode detail: clean frames,
+// unevenly distributed errors, and frames with an uncorrectable
+// codeword (stats must still cover every codeword).
+func TestDecodeWithStats(t *testing.T) {
+	f := gf.MustDefault(8)
+	code := Must(f, 255, 239) // t=8
+	iv, err := NewInterleaved(code, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]gf.Elem, iv.FrameK())
+	for i := range msg {
+		msg[i] = gf.Elem(i % 251)
+	}
+	frame, err := iv.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean frame.
+	got, st, err := iv.DecodeWithStats(append([]gf.Elem(nil), frame...))
+	if err != nil || st.Failed != 0 || st.Total != 0 || st.Max != 0 {
+		t.Fatalf("clean frame: stats %+v err %v", st, err)
+	}
+	for i := range msg {
+		if got[i] != msg[i] {
+			t.Fatal("clean frame decoded to wrong message")
+		}
+	}
+
+	// 5 errors in codeword 1, 2 in codeword 2: PerCodeword [0 5 2].
+	recv := append([]gf.Elem(nil), frame...)
+	for j := 0; j < 5; j++ {
+		recv[(j*3)*iv.Depth+1] ^= 0xA5
+	}
+	for j := 0; j < 2; j++ {
+		recv[(j*7)*iv.Depth+2] ^= 0x3C
+	}
+	got, st, err = iv.DecodeWithStats(recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 5, 2}
+	for i, w := range want {
+		if st.PerCodeword[i] != w {
+			t.Errorf("PerCodeword = %v, want %v", st.PerCodeword, want)
+			break
+		}
+	}
+	if st.Total != 7 || st.Max != 5 || st.Failed != 0 {
+		t.Errorf("stats %+v, want Total 7 Max 5 Failed 0", st)
+	}
+	for i := range msg {
+		if got[i] != msg[i] {
+			t.Fatal("corrupted frame decoded to wrong message")
+		}
+	}
+
+	// Overwhelm codeword 0 (t+1 scattered errors) while codeword 1 keeps
+	// 3 correctable ones: stats still cover all codewords, Max reports
+	// past-the-bound, and the error names the failed codeword.
+	recv = append([]gf.Elem(nil), frame...)
+	for j := 0; j <= code.T; j++ {
+		recv[(j*11)*iv.Depth] ^= 0x55
+	}
+	for j := 0; j < 3; j++ {
+		recv[(j*5)*iv.Depth+1] ^= 0x66
+	}
+	_, st, err = iv.DecodeWithStats(recv)
+	if err == nil {
+		t.Fatal("overwhelmed codeword decoded without error")
+	}
+	if st == nil || st.Failed != 1 || st.PerCodeword[0] != -1 {
+		t.Fatalf("stats %+v, want Failed 1 and PerCodeword[0] = -1", st)
+	}
+	if st.PerCodeword[1] != 3 {
+		t.Errorf("PerCodeword[1] = %d, want 3", st.PerCodeword[1])
+	}
+	if st.Max != code.T+1 {
+		t.Errorf("Max = %d, want t+1 = %d", st.Max, code.T+1)
+	}
+}
