@@ -354,6 +354,45 @@ func BenchmarkGFMulTable(b *testing.B) {
 	}
 }
 
+// BenchmarkGFKernelMulConstAddSlice measures the flat-table GF(2^8)
+// multiply-accumulate kernel — the workhorse of encode, BMA and Forney.
+func BenchmarkGFKernelMulConstAddSlice(b *testing.B) {
+	k := gf.MustDefault(8).Kernels()
+	src := make([]gf.Elem, 4096)
+	acc := make([]gf.Elem, 4096)
+	for i := range src {
+		src[i] = gf.Elem((i*13 + 1) & 0xFF)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.MulConstAddSlice(acc, src, gf.Elem(i%255+1))
+	}
+}
+
+// BenchmarkGFKernelSyndromeSlice measures the interleaved multi-point
+// Horner kernel at RS(255,223) shape (32 evaluation points, 255 symbols).
+func BenchmarkGFKernelSyndromeSlice(b *testing.B) {
+	f := gf.MustDefault(8)
+	k := f.Kernels()
+	word := make([]gf.Elem, 255)
+	for i := range word {
+		word[i] = gf.Elem((i*31 + 5) & 0xFF)
+	}
+	roots := make([]gf.Elem, 32)
+	for i := range roots {
+		roots[i] = f.AlphaPow(i + 1)
+	}
+	dst := make([]gf.Elem, len(roots))
+	b.SetBytes(int64(len(word)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.SyndromeSlice(dst, word, roots)
+	}
+}
+
 func BenchmarkGFMulHardwarePath(b *testing.B) {
 	f := gf.MustDefault(8)
 	var x gf.Elem = 1
@@ -373,6 +412,42 @@ func BenchmarkRSEncode255_239(b *testing.B) {
 		if _, err := c.Encode(msg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRSEncode255_223 exercises the buffer-reusing bulk encode path
+// (gf.LFSR feedback bank) on the classic CCSDS shape.
+func BenchmarkRSEncode255_223(b *testing.B) {
+	c := rs.Must(gf.MustDefault(8), 255, 223)
+	msg := make([]gf.Elem, c.K)
+	for i := range msg {
+		msg[i] = gf.Elem((i*11 + 3) & 0xFF)
+	}
+	dst := make([]gf.Elem, c.N)
+	b.SetBytes(int64(c.K))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EncodeTo(dst, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRSSyndromes255_223 exercises the 4-way batched Horner
+// syndrome kernel over a full received word.
+func BenchmarkRSSyndromes255_223(b *testing.B) {
+	c := rs.Must(gf.MustDefault(8), 255, 223)
+	recv := make([]gf.Elem, c.N)
+	for i := range recv {
+		recv[i] = gf.Elem((i*29 + 7) & 0xFF)
+	}
+	dst := make([]gf.Elem, 2*c.T)
+	b.SetBytes(int64(c.N))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SyndromesTo(dst, recv)
 	}
 }
 
@@ -582,6 +657,7 @@ func benchmarkPipelineRS(b *testing.B, workers int) {
 			if f.Err != nil {
 				bad++
 			}
+			f.Recycle()
 		}
 		failed <- bad
 	}()

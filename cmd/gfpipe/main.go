@@ -279,6 +279,7 @@ func runFixed(cfg cliConfig, w io.Writer) (*result, error) {
 		if !bytes.Equal(fr.Data, payloads[i]) {
 			mismatched++
 		}
+		fr.Recycle()
 	}
 	if mismatched > 0 {
 		return res, fmt.Errorf("%d frames round-tripped to wrong bytes", mismatched)
@@ -404,6 +405,7 @@ func runAdaptive(cfg cliConfig, w io.Writer) (*result, error) {
 			if f.Err == nil && !bytes.Equal(f.Data, want) {
 				mismatched++
 			}
+			f.Recycle()
 		},
 	}
 

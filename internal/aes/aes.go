@@ -135,7 +135,7 @@ func expandKey(key []byte, rounds int) [][]byte {
 			// RotWord + SubWord + Rcon
 			t = [4]byte{sbox[t[1]], sbox[t[2]], sbox[t[3]], sbox[t[0]]}
 			t[0] ^= rcon
-			rcon = byte(aesField.Mul(gf.Elem(rcon), 2))
+			rcon = Xtime(rcon)
 		} else if nk > 6 && i%nk == 4 {
 			t = [4]byte{sbox[t[0]], sbox[t[1]], sbox[t[2]], sbox[t[3]]}
 		}
@@ -234,14 +234,61 @@ var (
 	invMixColCoeff = [4]byte{0x0E, 0x0B, 0x0D, 0x09}
 )
 
+// mixT/invMixT hold the four mul-by-coefficient rows of the (inverse)
+// MixColumns matrices, derived at init from the field's bulk kernels:
+// mixT[i][x] = coeff[i] * x. One table lookup per product replaces
+// Field.Mul's two lookups plus branch in the block cipher's hottest
+// non-S-box step — the software image of feeding the paper's wide GF
+// multiplier with constant operands.
+var mixT, invMixT [4][256]byte
+
+func init() {
+	k := aesField.Kernels()
+	src := make([]gf.Elem, 256)
+	for x := range src {
+		src[x] = gf.Elem(x)
+	}
+	row := make([]gf.Elem, 256)
+	for i := 0; i < 4; i++ {
+		k.MulConstSlice(row, src, gf.Elem(mixColCoeff[i]))
+		for x, v := range row {
+			mixT[i][x] = byte(v)
+		}
+		k.MulConstSlice(row, src, gf.Elem(invMixColCoeff[i]))
+		for x, v := range row {
+			invMixT[i][x] = byte(v)
+		}
+	}
+}
+
+// Xtime multiplies by x (0x02) in the AES field — the doubling primitive
+// classic byte-sliced AES implementations build MixColumns from.
+func Xtime(b byte) byte { return mixT[0][b] }
+
 // MixColumns multiplies each state column by the MixColumns matrix in
-// GF(2^8) — 4 independent 4x4 GF matrix-vector products (Table 5).
-func MixColumns(s *State) { mixWith(s, mixColCoeff) }
+// GF(2^8) — 4 independent 4x4 GF matrix-vector products (Table 5),
+// table-driven via the precomputed coefficient rows.
+func MixColumns(s *State) { mixWith(s, &mixT) }
 
 // InvMixColumns applies the inverse matrix.
-func InvMixColumns(s *State) { mixWith(s, invMixColCoeff) }
+func InvMixColumns(s *State) { mixWith(s, &invMixT) }
 
-func mixWith(s *State, coeff [4]byte) {
+// mixWith applies the circulant matrix whose mul-by-coefficient rows are
+// t: out[r] = sum_i t[(i-r+4)%4][col[i]], fully unrolled per column.
+func mixWith(s *State, t *[4][256]byte) {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[0][c], s[1][c], s[2][c], s[3][c]
+		s[0][c] = t[0][a0] ^ t[1][a1] ^ t[2][a2] ^ t[3][a3]
+		s[1][c] = t[3][a0] ^ t[0][a1] ^ t[1][a2] ^ t[2][a3]
+		s[2][c] = t[2][a0] ^ t[3][a1] ^ t[0][a2] ^ t[1][a3]
+		s[3][c] = t[1][a0] ^ t[2][a1] ^ t[3][a2] ^ t[0][a3]
+	}
+}
+
+// mixWithGF is the arithmetic reference for mixWith: the same circulant
+// product evaluated through Field.Mul. Tests assert the table path agrees
+// with it for both coefficient sets over all byte values.
+func mixWithGF(s *State, coeff [4]byte) {
 	for c := 0; c < 4; c++ {
 		var col, out [4]byte
 		for r := 0; r < 4; r++ {

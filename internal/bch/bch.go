@@ -34,6 +34,11 @@ type Code struct {
 
 	gen    gfpoly.Poly // generator polynomial with 0/1 coefficients
 	cosets [][]int     // cyclotomic cosets used (mod 2^m-1)
+
+	// Hot-path precomputation (immutable after New).
+	kern     *gf.Kernels // the field's bulk slice kernels
+	roots    []gf.Elem   // alpha^1 .. alpha^2t, the syndrome evaluation points
+	oddRoots []gf.Elem   // alpha^1, alpha^3, ... — SyndromesFast evaluation points
 }
 
 // New constructs the narrow-sense binary BCH code of designed distance
@@ -67,6 +72,15 @@ func New(f *gf.Field, t int) (*Code, error) {
 	c.K = n - g.Degree()
 	if c.K <= 0 {
 		return nil, fmt.Errorf("bch: t=%d leaves no information bits (deg g = %d)", t, g.Degree())
+	}
+	c.kern = f.Kernels()
+	c.roots = make([]gf.Elem, 2*t)
+	for j := range c.roots {
+		c.roots[j] = f.AlphaPow(j + 1)
+	}
+	c.oddRoots = make([]gf.Elem, t)
+	for i := range c.oddRoots {
+		c.oddRoots[i] = f.AlphaPow(2*i + 1)
 	}
 	return c, nil
 }
@@ -189,6 +203,14 @@ func (c *Code) Encode(msg []byte) ([]byte, error) {
 // detect inconsistencies.
 func (c *Code) Syndromes(recv []byte) []gf.Elem {
 	s := make([]gf.Elem, 2*c.T)
+	c.kern.SyndromeBitSlice(s, recv, c.roots)
+	return s
+}
+
+// syndromesScalar is the bit-at-a-time reference implementation of
+// Syndromes, kept as the behavioral baseline for tests and benchmarks.
+func (c *Code) syndromesScalar(recv []byte) []gf.Elem {
+	s := make([]gf.Elem, 2*c.T)
 	for j := range s {
 		x := c.F.AlphaPow(j + 1)
 		var acc gf.Elem
@@ -205,17 +227,14 @@ func (c *Code) Syndromes(recv []byte) []gf.Elem {
 // optimization available to binary BCH.
 func (c *Code) SyndromesFast(recv []byte) []gf.Elem {
 	s := make([]gf.Elem, 2*c.T)
+	odd := make([]gf.Elem, c.T)
+	c.kern.SyndromeBitSlice(odd, recv, c.oddRoots)
 	for i := 1; i <= 2*c.T; i++ {
 		if i%2 == 0 {
 			s[i-1] = c.F.Sqr(s[i/2-1])
-			continue
+		} else {
+			s[i-1] = odd[(i-1)/2]
 		}
-		x := c.F.AlphaPow(i)
-		var acc gf.Elem
-		for _, bit := range recv {
-			acc = c.F.Mul(acc, x) ^ gf.Elem(bit)
-		}
-		s[i-1] = acc
 	}
 	return s
 }

@@ -29,6 +29,14 @@ type Channel interface {
 	Description() string
 }
 
+// InPlacer is implemented by channels that can corrupt a bit buffer in
+// place — the allocation-free path TransmitSymbolsTo and the bulk
+// pipeline's corruption stage use.
+type InPlacer interface {
+	// TransmitBitsInPlace corrupts bits (values 0/1) in place.
+	TransmitBitsInPlace(bits []byte)
+}
+
 // Forker is a Channel that can derive an independent same-parameter
 // instance with its own deterministic random stream — the per-worker
 // constructor concurrent pipelines need, since Channels themselves are
@@ -59,12 +67,17 @@ func NewBSC(p float64, seed int64) (*BSC, error) {
 // TransmitBits flips each bit independently with probability P.
 func (c *BSC) TransmitBits(bits []byte) []byte {
 	out := append([]byte(nil), bits...)
-	for i := range out {
+	c.TransmitBitsInPlace(out)
+	return out
+}
+
+// TransmitBitsInPlace implements InPlacer.
+func (c *BSC) TransmitBitsInPlace(bits []byte) {
+	for i := range bits {
 		if c.rng.Float64() < c.P {
-			out[i] ^= 1
+			bits[i] ^= 1
 		}
 	}
-	return out
 }
 
 // Description implements Channel.
@@ -106,7 +119,13 @@ func NewGilbertElliott(pGB, pBG, peGood, peBad float64, seed int64) (*GilbertEll
 // TransmitBits runs the two-state Markov chain across the bits.
 func (c *GilbertElliott) TransmitBits(bits []byte) []byte {
 	out := append([]byte(nil), bits...)
-	for i := range out {
+	c.TransmitBitsInPlace(out)
+	return out
+}
+
+// TransmitBitsInPlace implements InPlacer.
+func (c *GilbertElliott) TransmitBitsInPlace(bits []byte) {
+	for i := range bits {
 		if c.bad {
 			if c.rng.Float64() < c.PBadToGood {
 				c.bad = false
@@ -121,10 +140,9 @@ func (c *GilbertElliott) TransmitBits(bits []byte) []byte {
 			pe = c.PErrBad
 		}
 		if c.rng.Float64() < pe {
-			out[i] ^= 1
+			bits[i] ^= 1
 		}
 	}
-	return out
 }
 
 // Fork implements Forker: same channel parameters, reset to the good
@@ -153,22 +171,40 @@ func BPSKBitErrorProb(ebn0dB float64) float64 {
 // TransmitSymbols pushes m-bit field symbols through a bit channel,
 // serializing each symbol MSB-first — the mapping a radio would use.
 func TransmitSymbols(ch Channel, syms []gf.Elem, m int) []gf.Elem {
-	bits := make([]byte, 0, len(syms)*m)
+	return TransmitSymbolsTo(make([]gf.Elem, len(syms)), ch, syms, m, nil)
+}
+
+// TransmitSymbolsTo is TransmitSymbols into a caller-owned destination
+// (len(dst) == len(syms); dst may alias syms) with an optional reusable
+// bit buffer of capacity >= len(syms)*m. When the channel also implements
+// InPlacer and the scratch is big enough, the whole transmission is
+// allocation-free. Returns dst.
+func TransmitSymbolsTo(dst []gf.Elem, ch Channel, syms []gf.Elem, m int, scratch []byte) []gf.Elem {
+	if len(dst) != len(syms) {
+		panic(fmt.Sprintf("channel: TransmitSymbolsTo length mismatch dst=%d syms=%d", len(dst), len(syms)))
+	}
+	if need := len(syms) * m; cap(scratch) < need {
+		scratch = make([]byte, need)
+	}
+	bits := scratch[:0]
 	for _, s := range syms {
 		for b := m - 1; b >= 0; b-- {
 			bits = append(bits, byte(s>>b&1))
 		}
 	}
-	bits = ch.TransmitBits(bits)
-	out := make([]gf.Elem, len(syms))
-	for i := range out {
+	if ip, ok := ch.(InPlacer); ok {
+		ip.TransmitBitsInPlace(bits)
+	} else {
+		bits = ch.TransmitBits(bits)
+	}
+	for i := range dst {
 		var v gf.Elem
 		for b := 0; b < m; b++ {
 			v = v<<1 | gf.Elem(bits[i*m+b])
 		}
-		out[i] = v
+		dst[i] = v
 	}
-	return out
+	return dst
 }
 
 // CountBitErrors returns the Hamming distance between two bit slices.

@@ -1,0 +1,64 @@
+package gf
+
+import "testing"
+
+// TestPowNegativeExponents pins the negative-exponent contract across
+// field widths: a^-e == (a^-1)^e == (a^e)^-1, periodicity modulo 2^m-1,
+// and the extreme int16-ish magnitudes a caller might compute from a
+// degree difference.
+func TestPowNegativeExponents(t *testing.T) {
+	for _, m := range []int{2, 4, 8, 12} {
+		f := MustDefault(m)
+		n := f.N()
+		for _, a := range []Elem{1, 2, 3, Elem(n - 1), Elem(n)} {
+			if !f.Valid(a) || a == 0 {
+				continue
+			}
+			inv := f.Inv(a)
+			for _, e := range []int{-1, -2, -7, -n, -n - 1, -3 * n, -(1 << 20)} {
+				want := Elem(1)
+				for i := 0; i < ((-e)%n+n)%n; i++ {
+					want = f.Mul(want, a)
+				}
+				want = f.Inv(want)
+				got := f.Pow(a, e)
+				if got != want {
+					t.Fatalf("m=%d: Pow(%#x,%d) = %#x, want %#x", m, a, e, got, want)
+				}
+				if alt := f.Pow(inv, -e); alt != got {
+					t.Fatalf("m=%d: Pow(a,%d)=%#x but Pow(a^-1,%d)=%#x", m, e, got, -e, alt)
+				}
+				// Periodicity: shifting the exponent by the group order is a
+				// no-op.
+				if per := f.Pow(a, e+n); per != got {
+					t.Fatalf("m=%d: Pow(%#x,%d)=%#x != Pow(..,%d)=%#x", m, a, e+n, per, e, got)
+				}
+			}
+			if got := f.Pow(a, -1); got != inv {
+				t.Fatalf("m=%d: Pow(%#x,-1) = %#x, want Inv = %#x", m, a, got, inv)
+			}
+		}
+	}
+}
+
+// TestExpNegativeIndex pins Exp's modular index handling far below zero,
+// where a naive `i % n` would index negatively.
+func TestExpNegativeIndex(t *testing.T) {
+	for _, m := range []int{3, 8, 16} {
+		f := MustDefault(m)
+		n := f.N()
+		for _, i := range []int{-1, -2, -n, -n - 1, -2*n + 3, -(1 << 30)} {
+			want := f.Exp(((i % n) + n) % n)
+			if got := f.Exp(i); got != want {
+				t.Fatalf("m=%d: Exp(%d) = %#x, want %#x", m, i, got, want)
+			}
+			// Exp(i) * Exp(-i) == g^0 == 1.
+			if p := f.Mul(f.Exp(i), f.Exp(-i)); p != 1 {
+				t.Fatalf("m=%d: Exp(%d)*Exp(%d) = %#x, want 1", m, i, -i, p)
+			}
+		}
+		if f.Exp(-n) != 1 || f.Exp(0) != 1 {
+			t.Fatalf("m=%d: Exp at multiples of n must be 1", m)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package gf
+
+import "testing"
+
+// fuzzFields caches one field per width so fuzz iterations skip table
+// construction.
+var fuzzFields = func() map[int]*Field {
+	fs := make(map[int]*Field)
+	for m := 1; m <= 16; m++ {
+		fs[m] = MustDefault(m)
+	}
+	return fs
+}()
+
+// FuzzMulAgainstNoTable cross-checks the log/antilog table arithmetic
+// against the carry-less polynomial reference for every default field
+// width: Mul vs MulNoTable, Sqr vs SqrNoTable, Pow vs powNoTable, plus
+// the Inv/Pow(-1) and Exp/Log consistency laws the coding layers rely on.
+func FuzzMulAgainstNoTable(f *testing.F) {
+	f.Add(uint8(8), uint16(0x57), uint16(0x83), int16(3))
+	f.Add(uint8(4), uint16(0xF), uint16(0x9), int16(-2))
+	f.Add(uint8(1), uint16(1), uint16(1), int16(5))
+	f.Add(uint8(16), uint16(0xFFFF), uint16(0x1234), int16(-1))
+	f.Fuzz(func(t *testing.T, mRaw uint8, aRaw, bRaw uint16, e int16) {
+		m := int(mRaw)%16 + 1
+		fld := fuzzFields[m]
+		a := Elem(int(aRaw) % fld.Order())
+		b := Elem(int(bRaw) % fld.Order())
+
+		if got, want := fld.Mul(a, b), fld.MulNoTable(a, b); got != want {
+			t.Fatalf("m=%d: Mul(%#x,%#x) = %#x, MulNoTable = %#x", m, a, b, got, want)
+		}
+		if got, want := fld.Sqr(a), fld.SqrNoTable(a); got != want {
+			t.Fatalf("m=%d: Sqr(%#x) = %#x, SqrNoTable = %#x", m, a, got, want)
+		}
+
+		// Pow vs square-and-multiply on the non-negative range the
+		// reference implements; negative exponents via the a^-e == (a^e)^-1
+		// law (a != 0).
+		pe := int(e)
+		if pe < 0 {
+			pe = -pe
+		}
+		if got, want := fld.Pow(a, pe), fld.powNoTable(a, pe); got != want {
+			t.Fatalf("m=%d: Pow(%#x,%d) = %#x, powNoTable = %#x", m, a, pe, got, want)
+		}
+		if a != 0 && pe > 0 {
+			if got, want := fld.Pow(a, -pe), fld.Inv(fld.Pow(a, pe)); got != want {
+				t.Fatalf("m=%d: Pow(%#x,%d) = %#x, want Inv(Pow) = %#x", m, a, -pe, got, want)
+			}
+		}
+		if a != 0 {
+			if got := fld.Mul(a, fld.Inv(a)); got != 1 {
+				t.Fatalf("m=%d: %#x * Inv = %#x, want 1", m, a, got)
+			}
+			if got := fld.Exp(fld.Log(a)); got != a {
+				t.Fatalf("m=%d: Exp(Log(%#x)) = %#x", m, a, got)
+			}
+		}
+	})
+}

@@ -16,6 +16,7 @@ package gf
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 )
 
 // Elem is an element of a binary field GF(2^m), m <= 16, in polynomial
@@ -43,6 +44,13 @@ type Field struct {
 
 	generator Elem // the generator the tables are built on
 	alphaIsX  bool // true when x itself is primitive (the common case)
+
+	// Bulk-arithmetic kernels (kernels.go), built lazily on first use so
+	// fields that never touch the slice operations pay nothing. The Once
+	// keeps the otherwise-immutable Field safe for concurrent callers.
+	kernOnce   sync.Once
+	kern       *Kernels
+	scalarKern *Kernels
 }
 
 // New constructs GF(2^m) using the given irreducible polynomial. The

@@ -1,0 +1,466 @@
+package gf
+
+// Bulk (slice-at-a-time) arithmetic: the software analogue of the paper's
+// 4-way SIMD GF instructions. Where the GF processor wires 16 multiplier
+// primitives into gfMult4/gfSquare4/gfInv4 so a whole vector of symbols
+// moves through the datapath in one cycle, this layer replaces the
+// symbol-at-a-time Field.Mul route (two table lookups plus a zero branch
+// per product) with flat mul-by-constant rows applied across whole slices
+// — one dependent lookup per symbol, and four independent accumulator
+// chains in the syndrome kernel so the lookups pipeline the way the
+// hardware lanes do.
+//
+// Three implementation tiers, selected per field:
+//
+//   - m <= 4: each mul-by-constant row (<= 16 products of <= 4 bits) packs
+//     into a single 64-bit word, so a product is a register shift+mask
+//     with no memory traffic at all — the nibble-split trick, cousin of
+//     the paper's gf32bMult packing.
+//   - m <= 8: a flat order x order product table; row c is a contiguous
+//     256-entry (at most) slice, one L1 lookup per product.
+//   - m > 8 (and ScalarKernels): the pure-scalar reference path on top of
+//     Field.Mul. This is the behavioral specification; the property tests
+//     assert the table and packed tiers agree with it exactly.
+//
+// All operations are allocation-free: callers own every buffer.
+
+import "fmt"
+
+// packedMaxM is the largest extension degree whose mul-by-constant rows
+// fit one uint64 (16 products x 4 bits).
+const packedMaxM = 4
+
+// tableMaxM is the largest extension degree for which the flat product
+// table is built (2^8 x 2^8 entries = 128 KiB of Elem).
+const tableMaxM = 8
+
+// Kernels provides bulk slice operations over one field. Obtain one with
+// Field.Kernels (fast path: tables for m <= 8, scalar above) or
+// Field.ScalarKernels (the pure-scalar reference used by tests and A/B
+// benchmarks). A Kernels is immutable after construction and safe for
+// concurrent use by any number of goroutines.
+//
+// Inputs must be valid field elements (Field.Valid); out-of-field values
+// may panic (table tiers) or produce junk (packed tier), exactly as the
+// scalar table lookups in Field.Mul do.
+type Kernels struct {
+	f      *Field
+	order  int
+	mul    []Elem   // flat product table, row c at [c*order : (c+1)*order]; nil on the scalar tier
+	packed []uint64 // packed rows for m <= packedMaxM; nil otherwise
+}
+
+// Kernels returns the field's bulk-arithmetic kernels, built lazily on
+// first use and cached on the Field. For m <= 8 the table tiers are used;
+// wider fields fall back to the scalar reference (still correct, no
+// tables).
+func (f *Field) Kernels() *Kernels {
+	f.kernOnce.Do(f.buildKernels)
+	return f.kern
+}
+
+// ScalarKernels returns the pure-scalar reference kernels: same API,
+// every product routed through Field.Mul. Tests and benchmarks use it as
+// the behavioral baseline the table tiers are checked against.
+func (f *Field) ScalarKernels() *Kernels {
+	f.kernOnce.Do(f.buildKernels)
+	return f.scalarKern
+}
+
+func (f *Field) buildKernels() {
+	f.scalarKern = &Kernels{f: f, order: f.order}
+	if f.m > tableMaxM {
+		f.kern = f.scalarKern
+		return
+	}
+	k := &Kernels{f: f, order: f.order}
+	k.mul = make([]Elem, f.order*f.order)
+	for c := 0; c < f.order; c++ {
+		row := k.mul[c*f.order : (c+1)*f.order]
+		for x := 0; x < f.order; x++ {
+			row[x] = f.Mul(Elem(c), Elem(x))
+		}
+	}
+	if f.m <= packedMaxM {
+		k.packed = make([]uint64, f.order)
+		for c := 0; c < f.order; c++ {
+			var w uint64
+			for x := 0; x < f.order; x++ {
+				w |= uint64(f.Mul(Elem(c), Elem(x))) << (4 * x)
+			}
+			k.packed[c] = w
+		}
+	}
+	f.kern = k
+}
+
+// Field returns the field these kernels operate in.
+func (k *Kernels) Field() *Field { return k.f }
+
+// Table reports whether the table tiers are active (false on the scalar
+// reference path and for fields with m > 8).
+func (k *Kernels) Table() bool { return k.mul != nil }
+
+// row returns the mul-by-c table row (table tier only).
+func (k *Kernels) row(c Elem) []Elem {
+	o := k.order
+	return k.mul[int(c)*o : int(c)*o+o]
+}
+
+// AddSlice sets dst[i] = a[i] + b[i] (XOR). dst may alias a or b. All
+// three slices must have equal length.
+func (k *Kernels) AddSlice(dst, a, b []Elem) {
+	if len(a) != len(dst) || len(b) != len(dst) {
+		panic(fmt.Sprintf("gf: AddSlice length mismatch dst=%d a=%d b=%d", len(dst), len(a), len(b)))
+	}
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] = a[i] ^ b[i]
+		dst[i+1] = a[i+1] ^ b[i+1]
+		dst[i+2] = a[i+2] ^ b[i+2]
+		dst[i+3] = a[i+3] ^ b[i+3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+// XorSlice folds src into dst: dst[i] ^= src[i]. src must not be longer
+// than dst.
+func (k *Kernels) XorSlice(dst, src []Elem) {
+	if len(src) > len(dst) {
+		panic(fmt.Sprintf("gf: XorSlice src length %d exceeds dst %d", len(src), len(dst)))
+	}
+	for i, v := range src {
+		dst[i] ^= v
+	}
+}
+
+// MulConstSlice sets dst[i] = c * src[i]. dst may alias src. Both slices
+// must have equal length.
+func (k *Kernels) MulConstSlice(dst, src []Elem, c Elem) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("gf: MulConstSlice length mismatch dst=%d src=%d", len(dst), len(src)))
+	}
+	switch {
+	case c == 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case c == 1:
+		copy(dst, src)
+	case k.packed != nil:
+		w := k.packed[c]
+		for i, s := range src {
+			dst[i] = Elem(w >> (uint(s) * 4) & 0xF)
+		}
+	case k.mul != nil:
+		row := k.row(c)
+		for i, s := range src {
+			dst[i] = row[s]
+		}
+	default:
+		for i, s := range src {
+			dst[i] = k.f.Mul(c, s)
+		}
+	}
+}
+
+// MulConstAddSlice folds c * src into dst: dst[i] ^= c * src[i] — the
+// LFSR/encode primitive (one generator-row update per feedback symbol).
+// dst must not alias src. Both slices must have equal length.
+func (k *Kernels) MulConstAddSlice(dst, src []Elem, c Elem) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("gf: MulConstAddSlice length mismatch dst=%d src=%d", len(dst), len(src)))
+	}
+	switch {
+	case c == 0:
+	case c == 1:
+		k.XorSlice(dst, src)
+	case k.packed != nil:
+		w := k.packed[c]
+		for i, s := range src {
+			dst[i] ^= Elem(w >> (uint(s) * 4) & 0xF)
+		}
+	case k.mul != nil:
+		row := k.row(c)
+		for i, s := range src {
+			dst[i] ^= row[s]
+		}
+	default:
+		for i, s := range src {
+			dst[i] ^= k.f.Mul(c, s)
+		}
+	}
+}
+
+// DotSlice returns the inner product sum_i a[i]*b[i]. Both slices must
+// have equal length.
+func (k *Kernels) DotSlice(a, b []Elem) Elem {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("gf: DotSlice length mismatch a=%d b=%d", len(a), len(b)))
+	}
+	var acc Elem
+	if k.mul == nil {
+		for i := range a {
+			acc ^= k.f.Mul(a[i], b[i])
+		}
+		return acc
+	}
+	o := k.order
+	for i := range a {
+		acc ^= k.mul[int(a[i])*o+int(b[i])]
+	}
+	return acc
+}
+
+// HornerSlice evaluates the polynomial whose coefficients are given in
+// transmission order — word[0] is the highest-degree coefficient — at x:
+//
+//	acc <- acc*x + word[i]   for i = 0..len(word)-1
+//
+// This is the received-word layout of the RS/BCH codecs and the paper's
+// syndrome recursion S_j <- S_j*alpha^j + R.
+func (k *Kernels) HornerSlice(word []Elem, x Elem) Elem {
+	var acc Elem
+	switch {
+	case k.packed != nil:
+		w := k.packed[x]
+		for _, r := range word {
+			acc = Elem(w>>(uint(acc)*4)&0xF) ^ r
+		}
+	case k.mul != nil:
+		row := k.row(x)
+		for _, r := range word {
+			acc = row[acc] ^ r
+		}
+	default:
+		for _, r := range word {
+			acc = k.f.Mul(acc, x) ^ r
+		}
+	}
+	return acc
+}
+
+// EvalSlice evaluates the polynomial with coeffs[i] the coefficient of
+// x^i (package gfpoly's storage order) at x by Horner's rule.
+func (k *Kernels) EvalSlice(coeffs []Elem, x Elem) Elem {
+	var acc Elem
+	switch {
+	case k.packed != nil:
+		w := k.packed[x]
+		for i := len(coeffs) - 1; i >= 0; i-- {
+			acc = Elem(w>>(uint(acc)*4)&0xF) ^ coeffs[i]
+		}
+	case k.mul != nil:
+		row := k.row(x)
+		for i := len(coeffs) - 1; i >= 0; i-- {
+			acc = row[acc] ^ coeffs[i]
+		}
+	default:
+		for i := len(coeffs) - 1; i >= 0; i-- {
+			acc = k.f.Mul(acc, x) ^ coeffs[i]
+		}
+	}
+	return acc
+}
+
+// SyndromeSlice sets dst[j] = HornerSlice(word, xs[j]) for every
+// evaluation point, four points per pass over the word — the software
+// image of the paper's 4-lane SIMD syndrome kernel: four independent
+// accumulator chains overlap their table lookups instead of serializing
+// them. dst and xs must have equal length.
+func (k *Kernels) SyndromeSlice(dst []Elem, word []Elem, xs []Elem) {
+	if len(dst) != len(xs) {
+		panic(fmt.Sprintf("gf: SyndromeSlice length mismatch dst=%d xs=%d", len(dst), len(xs)))
+	}
+	j := 0
+	if k.mul != nil {
+		for ; j+4 <= len(xs); j += 4 {
+			r0, r1, r2, r3 := k.row(xs[j]), k.row(xs[j+1]), k.row(xs[j+2]), k.row(xs[j+3])
+			var a0, a1, a2, a3 Elem
+			for _, r := range word {
+				a0 = r0[a0] ^ r
+				a1 = r1[a1] ^ r
+				a2 = r2[a2] ^ r
+				a3 = r3[a3] ^ r
+			}
+			dst[j], dst[j+1], dst[j+2], dst[j+3] = a0, a1, a2, a3
+		}
+	}
+	for ; j < len(xs); j++ {
+		dst[j] = k.HornerSlice(word, xs[j])
+	}
+}
+
+// HornerBitSlice is HornerSlice for a binary word stored one bit per
+// byte (values 0/1), the BCH codeword layout.
+func (k *Kernels) HornerBitSlice(bits []byte, x Elem) Elem {
+	var acc Elem
+	switch {
+	case k.packed != nil:
+		w := k.packed[x]
+		for _, b := range bits {
+			acc = Elem(w>>(uint(acc)*4)&0xF) ^ Elem(b)
+		}
+	case k.mul != nil:
+		row := k.row(x)
+		for _, b := range bits {
+			acc = row[acc] ^ Elem(b)
+		}
+	default:
+		for _, b := range bits {
+			acc = k.f.Mul(acc, x) ^ Elem(b)
+		}
+	}
+	return acc
+}
+
+// SyndromeBitSlice is SyndromeSlice for a binary word stored one bit per
+// byte — the BCH syndrome kernel, four evaluation points per pass.
+func (k *Kernels) SyndromeBitSlice(dst []Elem, bits []byte, xs []Elem) {
+	if len(dst) != len(xs) {
+		panic(fmt.Sprintf("gf: SyndromeBitSlice length mismatch dst=%d xs=%d", len(dst), len(xs)))
+	}
+	j := 0
+	if k.mul != nil {
+		for ; j+4 <= len(xs); j += 4 {
+			r0, r1, r2, r3 := k.row(xs[j]), k.row(xs[j+1]), k.row(xs[j+2]), k.row(xs[j+3])
+			var a0, a1, a2, a3 Elem
+			for _, b := range bits {
+				e := Elem(b)
+				a0 = r0[a0] ^ e
+				a1 = r1[a1] ^ e
+				a2 = r2[a2] ^ e
+				a3 = r3[a3] ^ e
+			}
+			dst[j], dst[j+1], dst[j+2], dst[j+3] = a0, a1, a2, a3
+		}
+	}
+	for ; j < len(xs); j++ {
+		dst[j] = k.HornerBitSlice(bits, xs[j])
+	}
+}
+
+// LFSR is a multiply-accumulate bank precomputed for one fixed
+// coefficient vector — a generator polynomial in transmission order, the
+// systematic encoder's feedback taps. On the table tiers every possible
+// feedback row fb*coeffs is materialized once, so an LFSR step collapses
+// to a single fused shift-XOR pass with no multiplies at all: the
+// software image of the paper's hard-wired encoder datapath, where the
+// constant multiplications are baked into the routing.
+//
+// An LFSR is immutable after construction and safe for concurrent use.
+type LFSR struct {
+	k      *Kernels
+	nk     int
+	coeffs []Elem
+	tab    []Elem // flat order x nk feedback rows; nil on the scalar tier
+}
+
+// NewLFSR builds the feedback bank for the given taps (len >= 1).
+func (k *Kernels) NewLFSR(coeffs []Elem) *LFSR {
+	if len(coeffs) == 0 {
+		panic("gf: NewLFSR with no coefficients")
+	}
+	l := &LFSR{k: k, nk: len(coeffs), coeffs: append([]Elem(nil), coeffs...)}
+	if k.mul != nil {
+		l.tab = make([]Elem, k.order*l.nk)
+		for fb := 0; fb < k.order; fb++ {
+			k.MulConstSlice(l.tab[fb*l.nk:(fb+1)*l.nk], l.coeffs, Elem(fb))
+		}
+	}
+	return l
+}
+
+// Run feeds msg through the register: for each symbol s,
+//
+//	feedback = s ^ par[0]; par shifts down one; par ^= feedback*coeffs
+//
+// updating par (length = len(coeffs)) in place. Seed par with zeros to
+// compute the systematic RS parity of msg.
+func (l *LFSR) Run(par, msg []Elem) {
+	nk := l.nk
+	if len(par) != nk {
+		panic(fmt.Sprintf("gf: LFSR.Run register length %d, want %d", len(par), nk))
+	}
+	if l.tab == nil {
+		for _, s := range msg {
+			fb := s ^ par[0]
+			copy(par, par[1:])
+			par[nk-1] = 0
+			if fb != 0 {
+				l.k.MulConstAddSlice(par, l.coeffs, fb)
+			}
+		}
+		return
+	}
+	for _, s := range msg {
+		fb := s ^ par[0]
+		if fb == 0 {
+			copy(par, par[1:])
+			par[nk-1] = 0
+			continue
+		}
+		row := l.tab[int(fb)*nk : int(fb)*nk+nk]
+		// Fused shift + XOR: each write at j consumes the old value at
+		// j+1 before the next iteration overwrites it.
+		j := 0
+		for ; j+4 <= nk-1; j += 4 {
+			par[j] = par[j+1] ^ row[j]
+			par[j+1] = par[j+2] ^ row[j+1]
+			par[j+2] = par[j+3] ^ row[j+2]
+			par[j+3] = par[j+4] ^ row[j+3]
+		}
+		for ; j < nk-1; j++ {
+			par[j] = par[j+1] ^ row[j]
+		}
+		par[nk-1] = row[nk-1]
+	}
+}
+
+// GatherStride copies len(dst) elements src[off], src[off+stride], ...
+// into dst — the deinterleave copy kernel (column i of a depth-`stride`
+// interleaved frame is off=i).
+func GatherStride(dst, src []Elem, off, stride int) {
+	if stride == 1 {
+		copy(dst, src[off:])
+		return
+	}
+	si := off
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] = src[si]
+		dst[i+1] = src[si+stride]
+		dst[i+2] = src[si+2*stride]
+		dst[i+3] = src[si+3*stride]
+		si += 4 * stride
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = src[si]
+		si += stride
+	}
+}
+
+// ScatterStride copies len(src) elements of src into dst[off],
+// dst[off+stride], ... — the interleave copy kernel, inverse of
+// GatherStride.
+func ScatterStride(dst, src []Elem, off, stride int) {
+	if stride == 1 {
+		copy(dst[off:], src)
+		return
+	}
+	di := off
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		dst[di] = src[i]
+		dst[di+stride] = src[i+1]
+		dst[di+2*stride] = src[i+2]
+		dst[di+3*stride] = src[i+3]
+		di += 4 * stride
+	}
+	for ; i < len(src); i++ {
+		dst[di] = src[i]
+		di += stride
+	}
+}

@@ -96,8 +96,8 @@ func (p Poly) Add(q Poly) Poly {
 	}
 	out := make([]gf.Elem, n)
 	copy(out, p.Coeffs)
-	for i, c := range q.Coeffs {
-		out[i] ^= c
+	if len(q.Coeffs) > 0 {
+		q.F.Kernels().XorSlice(out, q.Coeffs)
 	}
 	return Poly{F: p.F, Coeffs: out}.trim()
 }
@@ -108,28 +108,25 @@ func (p Poly) Scale(c gf.Elem) Poly {
 		return Zero(p.F)
 	}
 	out := make([]gf.Elem, len(p.Coeffs))
-	for i, pc := range p.Coeffs {
-		out[i] = p.F.Mul(pc, c)
-	}
+	p.F.Kernels().MulConstSlice(out, p.Coeffs, c)
 	return Poly{F: p.F, Coeffs: out}.trim()
 }
 
-// Mul returns p * q by schoolbook convolution.
+// Mul returns p * q by schoolbook convolution, one bulk
+// multiply-accumulate row (gf.Kernels.MulConstAddSlice) per nonzero
+// coefficient of p.
 func (p Poly) Mul(q Poly) Poly {
 	if p.IsZero() || q.IsZero() {
 		return Zero(p.F)
 	}
+	k := p.F.Kernels()
 	out := make([]gf.Elem, p.Degree()+q.Degree()+2)
-	for i, a := range p.Coeffs {
+	qc := q.Coeffs[:q.Degree()+1] // tolerate untrimmed inputs
+	for i, a := range p.Coeffs[:p.Degree()+1] {
 		if a == 0 {
 			continue
 		}
-		for j, b := range q.Coeffs {
-			if b == 0 {
-				continue
-			}
-			out[i+j] ^= p.F.Mul(a, b)
-		}
+		k.MulConstAddSlice(out[i:i+len(qc)], qc, a)
 	}
 	return Poly{F: p.F, Coeffs: out}.trim()
 }
@@ -157,15 +154,14 @@ func (p Poly) DivMod(q Poly) (quo, rem Poly) {
 	}
 	quoC := make([]gf.Elem, dr-dq+1)
 	invLead := p.F.Inv(q.Coeffs[dq])
+	k := p.F.Kernels()
 	for d := dr; d >= dq; d-- {
 		if r[d] == 0 {
 			continue
 		}
 		c := p.F.Mul(r[d], invLead)
 		quoC[d-dq] = c
-		for i := 0; i <= dq; i++ {
-			r[d-dq+i] ^= p.F.Mul(c, q.Coeffs[i])
-		}
+		k.MulConstAddSlice(r[d-dq:d+1], q.Coeffs[:dq+1], c)
 	}
 	return Poly{F: p.F, Coeffs: quoC}.trim(), Poly{F: p.F, Coeffs: r}.trim()
 }
@@ -186,13 +182,14 @@ func (p Poly) ModXn(n int) Poly {
 }
 
 // Eval evaluates p at x using Horner's rule, the recursion the paper's
-// syndrome kernel implements (S_{i,j} = S_{i,j-1}*a^i + R_{n-j}).
+// syndrome kernel implements (S_{i,j} = S_{i,j-1}*a^i + R_{n-j}). The
+// loop runs through the field's bulk kernels (one table lookup per
+// coefficient instead of Field.Mul's two plus a branch).
 func (p Poly) Eval(x gf.Elem) gf.Elem {
-	var acc gf.Elem
-	for i := len(p.Coeffs) - 1; i >= 0; i-- {
-		acc = p.F.Mul(acc, x) ^ p.Coeffs[i]
+	if len(p.Coeffs) == 0 {
+		return 0
 	}
-	return acc
+	return p.F.Kernels().EvalSlice(p.Coeffs, x)
 }
 
 // Derivative returns the formal derivative of p. In characteristic 2 the

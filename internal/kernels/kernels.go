@@ -16,6 +16,11 @@
 //
 // All baseline cost assumptions are centralized in this file as named
 // constants with the reasoning attached, so the model is auditable.
+//
+// This package models cycle costs; it does not try to be fast on the
+// host. The host-performance counterpart — bulk slice kernels the real
+// codecs run on (flat product tables, batched Horner, LFSR feedback
+// banks) — lives in gf.Kernels (internal/gf/kernels.go).
 package kernels
 
 import (

@@ -1,0 +1,53 @@
+package pipeline
+
+import "sync"
+
+// Payload buffer pool. The codec stages produce a fresh payload per frame
+// (message -> codeword -> message); drawing those from a shared pool and
+// recycling them once the frame is consumed makes the steady-state hot
+// path allocation-free. A frame carries at most one pool-owned buffer —
+// the one currently backing Frame.Data — and a stage installing a new one
+// releases the previous, which it has fully consumed by then.
+//
+// The pool stores *pooledBuf holders rather than raw slices so Get/Put
+// move only a pointer through the interface (no slice-header boxing
+// allocation).
+type pooledBuf struct{ data []byte }
+
+var bufPool = sync.Pool{New: func() any { return new(pooledBuf) }}
+
+// getBuf returns a pool buffer with data length n.
+func getBuf(n int) *pooledBuf {
+	pb := bufPool.Get().(*pooledBuf)
+	if cap(pb.data) < n {
+		pb.data = make([]byte, n)
+	}
+	pb.data = pb.data[:n]
+	return pb
+}
+
+func putBuf(pb *pooledBuf) { bufPool.Put(pb) }
+
+// Recycle returns the frame's pool-owned payload buffer (if any) to the
+// stage buffer pool and clears Data. Call it once the payload has been
+// consumed — e.g. after the sink loop of a load driver has checked the
+// frame — and never touch Data afterwards. Frames without a pool-owned
+// buffer (no buffer-reusing stage ran) are a no-op, so it is always safe
+// to call.
+func (f *Frame) Recycle() {
+	if f.pooled != nil {
+		putBuf(f.pooled)
+		f.pooled = nil
+		f.Data = nil
+	}
+}
+
+// setPooled installs a pool buffer as the frame's payload, releasing the
+// previously installed one.
+func (f *Frame) setPooled(pb *pooledBuf) {
+	if f.pooled != nil {
+		putBuf(f.pooled)
+	}
+	f.pooled = pb
+	f.Data = pb.data
+}

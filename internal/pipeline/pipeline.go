@@ -65,6 +65,9 @@ type Frame struct {
 	Latency time.Duration
 
 	submitted time.Time
+	// pooled, when non-nil, is the pool-owned buffer backing Data,
+	// installed by a buffer-reusing stage and released by Frame.Recycle.
+	pooled *pooledBuf
 }
 
 // Stage transforms frames. Process is called concurrently from many

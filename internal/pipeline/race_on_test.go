@@ -1,0 +1,8 @@
+//go:build race
+
+package pipeline
+
+// raceEnabled reports whether the race detector is active. Race
+// instrumentation randomizes sync.Pool retention, so allocation-count
+// assertions are skipped under -race (the functional checks still run).
+const raceEnabled = true

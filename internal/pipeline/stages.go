@@ -1,9 +1,16 @@
 package pipeline
 
-// Stage adapters wrapping the repository's codecs. All adapters except
-// Corrupt are stateless per call and therefore safe to share across the
-// worker pool; Corrupt carries a channel-model RNG and implements
-// WorkerLocal so every worker gets an independent deterministic stream.
+// Stage adapters wrapping the repository's codecs.
+//
+// The Reed-Solomon and corruption stages implement WorkerLocal: every
+// pipeline worker gets a private instance holding its own conversion
+// scratch and rs decode buffers, and payloads are drawn from the shared
+// buffer pool (bufpool.go), so steady-state frame processing allocates
+// nothing. The shared prototype instances remain safe for direct
+// concurrent Process calls (as tests do) — they just allocate transient
+// scratch per call. Corrupt additionally carries a channel-model RNG, so
+// worker w transmits through proto.Fork(seed+w) for an independent
+// deterministic stream.
 //
 // Byte-oriented stages (RS, GCM) require fields with m <= 8 — symbols
 // travel one per byte, matching rs.Code.EncodeBytes. BCH stages treat
@@ -24,18 +31,26 @@ import (
 
 func bytesToElems(b []byte) []gf.Elem {
 	out := make([]gf.Elem, len(b))
-	for i, v := range b {
-		out[i] = gf.Elem(v)
-	}
+	bytesToElemsInto(out, b)
 	return out
 }
 
 func elemsToBytes(e []gf.Elem) []byte {
 	out := make([]byte, len(e))
-	for i, v := range e {
-		out[i] = byte(v)
-	}
+	elemsToBytesInto(out, e)
 	return out
+}
+
+func bytesToElemsInto(dst []gf.Elem, b []byte) {
+	for i, v := range b {
+		dst[i] = gf.Elem(v)
+	}
+}
+
+func elemsToBytesInto(dst []byte, e []gf.Elem) {
+	for i, v := range e {
+		dst[i] = byte(v)
+	}
 }
 
 func requireByteField(f *gf.Field, what string) error {
@@ -47,8 +62,27 @@ func requireByteField(f *gf.Field, what string) error {
 
 // --- Reed-Solomon ---
 
+// rsScratch is the per-worker working set of the plain RS stages: elem
+// staging for both codeword and message plus the decode buffer.
+type rsScratch struct {
+	msg []gf.Elem
+	cw  []gf.Elem
+	dec *rs.DecodeBuf
+}
+
+func newRSScratch(c *rs.Code) *rsScratch {
+	return &rsScratch{
+		msg: make([]gf.Elem, c.K),
+		cw:  make([]gf.Elem, c.N),
+		dec: c.NewDecodeBuf(),
+	}
+}
+
 // RSEncode encodes a k-byte message frame into an n-byte codeword.
-type RSEncode struct{ Code *rs.Code }
+type RSEncode struct {
+	Code *rs.Code
+	sc   *rsScratch // per-worker; nil on the shared prototype
+}
 
 // NewRSEncode wraps the code's systematic encoder as a stage.
 func NewRSEncode(c *rs.Code) (*RSEncode, error) {
@@ -61,19 +95,35 @@ func NewRSEncode(c *rs.Code) (*RSEncode, error) {
 // Name implements Stage.
 func (s *RSEncode) Name() string { return fmt.Sprintf("rs-encode(%d,%d)", s.Code.N, s.Code.K) }
 
+// ForWorker implements WorkerLocal: each worker encodes through private
+// scratch, so the steady state allocates nothing.
+func (s *RSEncode) ForWorker(w int) Stage { return &RSEncode{Code: s.Code, sc: newRSScratch(s.Code)} }
+
 // Process implements Stage.
 func (s *RSEncode) Process(f *Frame) error {
-	out, err := s.Code.EncodeBytes(f.Data)
-	if err != nil {
+	sc := s.sc
+	if sc == nil { // direct use of the shared prototype: stay concurrency-safe
+		sc = newRSScratch(s.Code)
+	}
+	if len(f.Data) != s.Code.K {
+		return fmt.Errorf("rs: message length %d, want %d", len(f.Data), s.Code.K)
+	}
+	bytesToElemsInto(sc.msg, f.Data)
+	if _, err := s.Code.EncodeTo(sc.cw, sc.msg); err != nil {
 		return err
 	}
-	f.Data = out
+	pb := getBuf(s.Code.N)
+	elemsToBytesInto(pb.data, sc.cw)
+	f.setPooled(pb)
 	return nil
 }
 
 // RSDecode corrects an n-byte received word into its k-byte message,
 // adding the number of corrected symbols to Frame.Corrected.
-type RSDecode struct{ Code *rs.Code }
+type RSDecode struct {
+	Code *rs.Code
+	sc   *rsScratch // per-worker; nil on the shared prototype
+}
 
 // NewRSDecode wraps the full decoder datapath as a stage.
 func NewRSDecode(c *rs.Code) (*RSDecode, error) {
@@ -86,20 +136,53 @@ func NewRSDecode(c *rs.Code) (*RSDecode, error) {
 // Name implements Stage.
 func (s *RSDecode) Name() string { return fmt.Sprintf("rs-decode(%d,%d)", s.Code.N, s.Code.K) }
 
+// ForWorker implements WorkerLocal: each worker decodes through a private
+// rs.DecodeBuf, so the steady state allocates nothing.
+func (s *RSDecode) ForWorker(w int) Stage { return &RSDecode{Code: s.Code, sc: newRSScratch(s.Code)} }
+
 // Process implements Stage.
 func (s *RSDecode) Process(f *Frame) error {
-	res, err := s.Code.Decode(bytesToElems(f.Data))
+	sc := s.sc
+	if sc == nil {
+		sc = newRSScratch(s.Code)
+	}
+	if len(f.Data) != s.Code.N {
+		return fmt.Errorf("rs: received length %d, want %d", len(f.Data), s.Code.N)
+	}
+	bytesToElemsInto(sc.cw, f.Data)
+	res, err := s.Code.DecodeTo(sc.dec, sc.cw)
 	if err != nil {
 		return err
 	}
 	f.Corrected += res.NumErrors
-	f.Data = elemsToBytes(res.Message)
+	pb := getBuf(s.Code.K)
+	elemsToBytesInto(pb.data, res.Message)
+	f.setPooled(pb)
 	return nil
+}
+
+// rsFrameScratch is the per-worker working set of the interleaved RS
+// stages.
+type rsFrameScratch struct {
+	msg   []gf.Elem
+	frame []gf.Elem
+	fb    *rs.FrameBuf
+}
+
+func newRSFrameScratch(iv *rs.Interleaved) *rsFrameScratch {
+	return &rsFrameScratch{
+		msg:   make([]gf.Elem, iv.FrameK()),
+		frame: make([]gf.Elem, iv.FrameN()),
+		fb:    iv.NewFrameBuf(),
+	}
 }
 
 // RSFrameEncode encodes an I*k-byte message into a depth-I interleaved
 // I*n-byte frame (burst tolerance I*t symbols).
-type RSFrameEncode struct{ IV *rs.Interleaved }
+type RSFrameEncode struct {
+	IV *rs.Interleaved
+	sc *rsFrameScratch // per-worker; nil on the shared prototype
+}
 
 // NewRSFrameEncode wraps the interleaved encoder as a stage.
 func NewRSFrameEncode(iv *rs.Interleaved) (*RSFrameEncode, error) {
@@ -114,19 +197,38 @@ func (s *RSFrameEncode) Name() string {
 	return fmt.Sprintf("rsx%d-encode(%d,%d)", s.IV.Depth, s.IV.Code.N, s.IV.Code.K)
 }
 
+// ForWorker implements WorkerLocal.
+func (s *RSFrameEncode) ForWorker(w int) Stage {
+	return &RSFrameEncode{IV: s.IV, sc: newRSFrameScratch(s.IV)}
+}
+
 // Process implements Stage.
 func (s *RSFrameEncode) Process(f *Frame) error {
-	out, err := s.IV.Encode(bytesToElems(f.Data))
-	if err != nil {
+	sc := s.sc
+	if sc == nil {
+		sc = newRSFrameScratch(s.IV)
+	}
+	if len(f.Data) != s.IV.FrameK() {
+		return fmt.Errorf("rs: frame message length %d, want %d", len(f.Data), s.IV.FrameK())
+	}
+	bytesToElemsInto(sc.msg, f.Data)
+	if _, err := s.IV.EncodeTo(sc.frame, sc.msg, sc.fb); err != nil {
 		return err
 	}
-	f.Data = elemsToBytes(out)
+	pb := getBuf(s.IV.FrameN())
+	elemsToBytesInto(pb.data, sc.frame)
+	f.setPooled(pb)
 	return nil
 }
 
 // RSFrameDecode deinterleaves and decodes an I*n-byte frame back to its
-// I*k-byte message.
-type RSFrameDecode struct{ IV *rs.Interleaved }
+// I*k-byte message. Beyond Frame.Corrected it also raises
+// Frame.CorrectedMax to the worst per-codeword correction count — the
+// margin signal adaptive controllers feed on.
+type RSFrameDecode struct {
+	IV *rs.Interleaved
+	sc *rsFrameScratch // per-worker; nil on the shared prototype
+}
 
 // NewRSFrameDecode wraps the interleaved decoder as a stage.
 func NewRSFrameDecode(iv *rs.Interleaved) (*RSFrameDecode, error) {
@@ -141,14 +243,32 @@ func (s *RSFrameDecode) Name() string {
 	return fmt.Sprintf("rsx%d-decode(%d,%d)", s.IV.Depth, s.IV.Code.N, s.IV.Code.K)
 }
 
+// ForWorker implements WorkerLocal.
+func (s *RSFrameDecode) ForWorker(w int) Stage {
+	return &RSFrameDecode{IV: s.IV, sc: newRSFrameScratch(s.IV)}
+}
+
 // Process implements Stage.
 func (s *RSFrameDecode) Process(f *Frame) error {
-	msg, corrected, err := s.IV.Decode(bytesToElems(f.Data))
+	sc := s.sc
+	if sc == nil {
+		sc = newRSFrameScratch(s.IV)
+	}
+	if len(f.Data) != s.IV.FrameN() {
+		return fmt.Errorf("rs: frame length %d, want %d", len(f.Data), s.IV.FrameN())
+	}
+	bytesToElemsInto(sc.frame, f.Data)
+	st, err := s.IV.DecodeWithStatsTo(sc.msg, sc.frame, sc.fb)
 	if err != nil {
 		return err
 	}
-	f.Corrected += corrected
-	f.Data = elemsToBytes(msg)
+	f.Corrected += st.Total
+	if st.Max > f.CorrectedMax {
+		f.CorrectedMax = st.Max
+	}
+	pb := getBuf(s.IV.FrameK())
+	elemsToBytesInto(pb.data, sc.msg)
+	f.setPooled(pb)
 	return nil
 }
 
@@ -332,6 +452,34 @@ type Corrupt struct {
 	ch    channel.Channel // this instance's private channel
 	m     int
 	seed  int64
+	sc    *corruptScratch // per-worker; nil on the shared prototype
+}
+
+// corruptScratch holds a worker's symbol staging and serialized-bit
+// buffers. Frame sizes can vary across a run, so transmit grows the
+// buffers as needed instead of fixing their size at construction.
+type corruptScratch struct {
+	in, out []gf.Elem
+	bits    []byte
+}
+
+// transmit pushes the frame payload through ch and installs a pooled
+// result buffer, reusing the scratch across calls.
+func (sc *corruptScratch) transmit(f *Frame, ch channel.Channel, m int) {
+	n := len(f.Data)
+	if cap(sc.in) < n {
+		sc.in = make([]gf.Elem, n)
+		sc.out = make([]gf.Elem, n)
+	}
+	if cap(sc.bits) < n*m {
+		sc.bits = make([]byte, n*m)
+	}
+	in, out := sc.in[:n], sc.out[:n]
+	bytesToElemsInto(in, f.Data)
+	channel.TransmitSymbolsTo(out, ch, in, m, sc.bits)
+	pb := getBuf(n)
+	elemsToBytesInto(pb.data, out)
+	f.setPooled(pb)
 }
 
 // NewCorrupt builds the corruption stage from a forkable channel
@@ -348,7 +496,10 @@ func (s *Corrupt) Name() string { return "channel[" + s.proto.Description() + "]
 
 // ForWorker implements WorkerLocal.
 func (s *Corrupt) ForWorker(w int) Stage {
-	return &Corrupt{proto: s.proto, ch: s.proto.Fork(s.seed + int64(w)), m: s.m, seed: s.seed}
+	return &Corrupt{
+		proto: s.proto, ch: s.proto.Fork(s.seed + int64(w)),
+		m: s.m, seed: s.seed, sc: new(corruptScratch),
+	}
 }
 
 // Process implements Stage.
@@ -360,8 +511,11 @@ func (s *Corrupt) Process(f *Frame) error {
 		s.ch = s.proto.Fork(s.seed)
 		ch = s.ch
 	}
-	out := channel.TransmitSymbols(ch, bytesToElems(f.Data), s.m)
-	f.Data = elemsToBytes(out)
+	sc := s.sc
+	if sc == nil {
+		sc = new(corruptScratch)
+	}
+	sc.transmit(f, ch, s.m)
 	return nil
 }
 
@@ -370,10 +524,13 @@ func (s *Corrupt) Process(f *Frame) error {
 // alone (channel.TimeVarying.FrameChannel). Unlike Corrupt, the result is
 // bit-identical for any worker count and interleaving — the determinism
 // the adaptive link controller's reproducibility guarantee rests on. The
-// stage itself is stateless and safe to share across workers.
+// shared instance holds no mutable state and is safe across workers; it
+// implements WorkerLocal only to give each worker private conversion
+// scratch.
 type CorruptTV struct {
 	TV *channel.TimeVarying
 	m  int
+	sc *corruptScratch // per-worker; nil on the shared prototype
 }
 
 // NewCorruptTV builds the schedule-driven corruption stage with per-symbol
@@ -388,10 +545,18 @@ func NewCorruptTV(tv *channel.TimeVarying, m int) (*CorruptTV, error) {
 // Name implements Stage.
 func (s *CorruptTV) Name() string { return "channel[" + s.TV.Description() + "]" }
 
+// ForWorker implements WorkerLocal.
+func (s *CorruptTV) ForWorker(w int) Stage {
+	return &CorruptTV{TV: s.TV, m: s.m, sc: new(corruptScratch)}
+}
+
 // Process implements Stage.
 func (s *CorruptTV) Process(f *Frame) error {
 	ch := s.TV.FrameChannel(f.Seq)
-	out := channel.TransmitSymbols(ch, bytesToElems(f.Data), s.m)
-	f.Data = elemsToBytes(out)
+	sc := s.sc
+	if sc == nil {
+		sc = new(corruptScratch)
+	}
+	sc.transmit(f, ch, s.m)
 	return nil
 }

@@ -1,0 +1,359 @@
+package rs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf"
+)
+
+// bulkCodes returns the code shapes the bulk ≡ scalar property tests run
+// over: the paper's flagship, the deep-parity CCSDS shape, a shortened
+// code, a small-field code and a non-narrow-sense code.
+func bulkCodes(t testing.TB) []*Code {
+	t.Helper()
+	f8 := gf.MustDefault(8)
+	f4 := gf.MustDefault(4)
+	mk := func(f *gf.Field, n, k, b int) *Code {
+		c, err := NewWithFCR(f, n, k, b)
+		if err != nil {
+			t.Fatalf("NewWithFCR(%d,%d,%d): %v", n, k, b, err)
+		}
+		return c
+	}
+	return []*Code{
+		mk(f8, 255, 239, 1),
+		mk(f8, 255, 223, 1),
+		mk(f8, 64, 40, 1),
+		mk(f8, 255, 251, 0),
+		mk(f4, 15, 9, 1),
+		mk(f4, 15, 11, 2),
+		mk(gf.MustDefault(10), 50, 30, 1), // scalar kernel tier (m > 8)
+	}
+}
+
+func bulkRandMsg(rng *rand.Rand, c *Code) []gf.Elem {
+	msg := make([]gf.Elem, c.K)
+	for i := range msg {
+		msg[i] = gf.Elem(rng.Intn(c.F.Order()))
+	}
+	return msg
+}
+
+// bulkCorrupt flips nerr distinct random symbols of cw in place.
+func bulkCorrupt(rng *rand.Rand, c *Code, cw []gf.Elem, nerr int) {
+	perm := rng.Perm(c.N)
+	for _, idx := range perm[:nerr] {
+		delta := gf.Elem(1 + rng.Intn(c.F.Order()-1))
+		cw[idx] ^= delta
+	}
+}
+
+// TestEncodeBulkMatchesScalar: the kernel-driven encoder agrees with the
+// symbol-at-a-time reference for every code shape.
+func TestEncodeBulkMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range bulkCodes(t) {
+		for trial := 0; trial < 50; trial++ {
+			msg := bulkRandMsg(rng, c)
+			fast, err := c.Encode(msg)
+			if err != nil {
+				t.Fatalf("%v: Encode: %v", c, err)
+			}
+			ref, err := c.encodeScalar(msg)
+			if err != nil {
+				t.Fatalf("%v: encodeScalar: %v", c, err)
+			}
+			for i := range ref {
+				if fast[i] != ref[i] {
+					t.Fatalf("%v trial %d: codeword[%d] = %#x, want %#x", c, trial, i, fast[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeToInPlace: msg may alias dst[:k].
+func TestEncodeToInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, c := range bulkCodes(t) {
+		msg := bulkRandMsg(rng, c)
+		want, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]gf.Elem, c.N)
+		copy(dst, msg)
+		if _, err := c.EncodeTo(dst, dst[:c.K]); err != nil {
+			t.Fatalf("%v: in-place EncodeTo: %v", c, err)
+		}
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("%v: in-place codeword[%d] = %#x, want %#x", c, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSyndromesBulkMatchesScalar: the 4-way batched syndrome kernel
+// agrees with the per-syndrome Horner reference.
+func TestSyndromesBulkMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, c := range bulkCodes(t) {
+		for trial := 0; trial < 50; trial++ {
+			word := make([]gf.Elem, c.N)
+			for i := range word {
+				word[i] = gf.Elem(rng.Intn(c.F.Order()))
+			}
+			fast := c.Syndromes(word)
+			ref := c.syndromesScalar(word)
+			for j := range ref {
+				if fast[j] != ref[j] {
+					t.Fatalf("%v trial %d: S[%d] = %#x, want %#x", c, trial, j, fast[j], ref[j])
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeToMatchesDecodeErasures: the allocation-free decode chain
+// produces the same corrections, positions and diagnostics as the
+// polynomial-object reference path (DecodeErasures with no erasures),
+// over error weights 0..t+2 — including the uncorrectable regime, where
+// both must reject.
+func TestDecodeToMatchesDecodeErasures(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, c := range bulkCodes(t) {
+		buf := c.NewDecodeBuf()
+		for trial := 0; trial < 60; trial++ {
+			msg := bulkRandMsg(rng, c)
+			cw, err := c.Encode(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nerr := rng.Intn(c.T + 3)
+			if max := c.N; nerr > max {
+				nerr = max
+			}
+			recv := append([]gf.Elem(nil), cw...)
+			bulkCorrupt(rng, c, recv, nerr)
+
+			got, gotErr := c.DecodeTo(buf, recv)
+			want, wantErr := c.DecodeErasures(recv, nil)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("%v trial %d (%d errs): DecodeTo err=%v, reference err=%v", c, trial, nerr, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				if gotErr.Error() != wantErr.Error() {
+					t.Fatalf("%v trial %d: error text %q vs %q", c, trial, gotErr, wantErr)
+				}
+				continue
+			}
+			if got.NumErrors != want.NumErrors {
+				t.Fatalf("%v trial %d: NumErrors %d vs %d", c, trial, got.NumErrors, want.NumErrors)
+			}
+			for i := range want.Corrected {
+				if got.Corrected[i] != want.Corrected[i] {
+					t.Fatalf("%v trial %d: Corrected[%d] mismatch", c, trial, i)
+				}
+			}
+			if len(got.Positions) != len(want.Positions) {
+				t.Fatalf("%v trial %d: positions %v vs %v", c, trial, got.Positions, want.Positions)
+			}
+			for i := range want.Positions {
+				if got.Positions[i] != want.Positions[i] {
+					t.Fatalf("%v trial %d: positions %v vs %v", c, trial, got.Positions, want.Positions)
+				}
+			}
+			for j := range want.Syndromes {
+				if got.Syndromes[j] != want.Syndromes[j] {
+					t.Fatalf("%v trial %d: syndromes differ at %d", c, trial, j)
+				}
+			}
+			if nerr <= c.T {
+				for i := range msg {
+					if got.Message[i] != msg[i] {
+						t.Fatalf("%v trial %d: message not recovered at %d", c, trial, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeToZeroAlloc pins the acceptance criterion: the steady-state
+// encode → corrupt → decode chain with reused buffers performs zero
+// allocations per operation.
+func TestDecodeToZeroAlloc(t *testing.T) {
+	c := Must(gf.MustDefault(8), 255, 223)
+	rng := rand.New(rand.NewSource(5))
+	msg := bulkRandMsg(rng, c)
+	cw := make([]gf.Elem, c.N)
+	if _, err := c.EncodeTo(cw, msg); err != nil {
+		t.Fatal(err)
+	}
+	recv := append([]gf.Elem(nil), cw...)
+	bulkCorrupt(rng, c, recv, c.T)
+	buf := c.NewDecodeBuf()
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := c.EncodeTo(cw, msg); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("EncodeTo: %v allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		res, err := c.DecodeTo(buf, recv)
+		if err != nil || res.NumErrors != c.T {
+			t.Fatalf("decode: %v (errs=%d)", err, res.NumErrors)
+		}
+	}); allocs != 0 {
+		t.Errorf("DecodeTo: %v allocs/op, want 0", allocs)
+	}
+
+	iv, _ := NewInterleaved(c, 4)
+	fmsg := make([]gf.Elem, iv.FrameK())
+	for i := range fmsg {
+		fmsg[i] = gf.Elem(rng.Intn(256))
+	}
+	frame := make([]gf.Elem, iv.FrameN())
+	fb := iv.NewFrameBuf()
+	if _, err := iv.EncodeTo(frame, fmsg, fb); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]gf.Elem, iv.FrameK())
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := iv.EncodeTo(frame, fmsg, fb); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := iv.DecodeWithStatsTo(out, frame, fb); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("interleaved EncodeTo+DecodeWithStatsTo: %v allocs/op, want 0", allocs)
+	}
+	for i := range fmsg {
+		if out[i] != fmsg[i] {
+			t.Fatalf("frame roundtrip mismatch at %d", i)
+		}
+	}
+}
+
+// TestFrameBufReuseAcrossOutcomes: one FrameBuf must stay correct when a
+// failed decode is followed by clean ones (stale scratch must not leak).
+func TestFrameBufReuseAcrossOutcomes(t *testing.T) {
+	c := Must(gf.MustDefault(8), 255, 239)
+	iv, _ := NewInterleaved(c, 3)
+	rng := rand.New(rand.NewSource(6))
+	fb := iv.NewFrameBuf()
+	msg := make([]gf.Elem, iv.FrameK())
+	for i := range msg {
+		msg[i] = gf.Elem(rng.Intn(256))
+	}
+	frame, err := iv.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Destroy codeword 1 beyond repair.
+	bad := append([]gf.Elem(nil), frame...)
+	for j := 0; j < c.N; j++ {
+		if j%2 == 0 {
+			bad[j*iv.Depth+1] ^= 0x5a
+		}
+	}
+	out := make([]gf.Elem, iv.FrameK())
+	st, err := iv.DecodeWithStatsTo(out, bad, fb)
+	if err == nil {
+		t.Fatal("expected decode failure for destroyed codeword")
+	}
+	if st.Failed != 1 || st.PerCodeword[1] != -1 || st.Max != c.T+1 {
+		t.Fatalf("stats after failure: %+v", st)
+	}
+	// Clean frame through the same buffer must fully recover.
+	st, err = iv.DecodeWithStatsTo(out, frame, fb)
+	if err != nil {
+		t.Fatalf("clean frame after failed frame: %v", err)
+	}
+	if st.Failed != 0 || st.Total != 0 {
+		t.Fatalf("stats after clean frame: %+v", st)
+	}
+	for i := range msg {
+		if out[i] != msg[i] {
+			t.Fatalf("message mismatch at %d after buffer reuse", i)
+		}
+	}
+}
+
+func benchCode(b *testing.B, n, k int) (*Code, []gf.Elem, []gf.Elem) {
+	b.Helper()
+	c := Must(gf.MustDefault(8), n, k)
+	rng := rand.New(rand.NewSource(7))
+	msg := bulkRandMsg(rng, c)
+	cw, err := c.Encode(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, msg, cw
+}
+
+func BenchmarkEncode255_223Bulk(b *testing.B) {
+	c, msg, _ := benchCode(b, 255, 223)
+	dst := make([]gf.Elem, c.N)
+	b.SetBytes(int64(c.K))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EncodeTo(dst, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncode255_223Scalar(b *testing.B) {
+	c, msg, _ := benchCode(b, 255, 223)
+	b.SetBytes(int64(c.K))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.encodeScalar(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSyndromes255_223Bulk(b *testing.B) {
+	c, _, cw := benchCode(b, 255, 223)
+	dst := make([]gf.Elem, 2*c.T)
+	b.SetBytes(int64(c.N))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SyndromesTo(dst, cw)
+	}
+}
+
+func BenchmarkSyndromes255_223Scalar(b *testing.B) {
+	c, _, cw := benchCode(b, 255, 223)
+	b.SetBytes(int64(c.N))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.syndromesScalar(cw)
+	}
+}
+
+func BenchmarkDecodeTo255_223_16errors(b *testing.B) {
+	c, _, cw := benchCode(b, 255, 223)
+	rng := rand.New(rand.NewSource(8))
+	recv := append([]gf.Elem(nil), cw...)
+	bulkCorrupt(rng, c, recv, c.T)
+	buf := c.NewDecodeBuf()
+	b.SetBytes(int64(c.N))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.DecodeTo(buf, recv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package rs
+
+import (
+	"testing"
+
+	"repro/internal/gf"
+)
+
+// fuzzRSCodes: one byte-symbol and one nibble-symbol code, built once.
+var fuzzRSCodes = []*Code{
+	Must(gf.MustDefault(8), 255, 223),
+	Must(gf.MustDefault(4), 15, 9),
+}
+
+// FuzzRSRoundtrip drives encode -> corrupt -> decode with fuzzer-chosen
+// message bytes and error pattern. Up to t injected errors must decode
+// back to the message with the positions reported exactly; beyond t the
+// decoder may fail but must never return success with a wrong message
+// (miscorrection detection via the verify pass).
+func FuzzRSRoundtrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, uint64(0), uint8(0))
+	f.Add([]byte{0xFF, 0x00, 0xAA, 0x55}, uint64(1<<40|1<<3), uint8(1))
+	f.Add([]byte("fuzz the decoder"), uint64(0xDEADBEEF), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, errBits uint64, codeSel uint8) {
+		c := fuzzRSCodes[int(codeSel)%len(fuzzRSCodes)]
+		msg := make([]gf.Elem, c.K)
+		for i := range msg {
+			if len(data) > 0 {
+				msg[i] = gf.Elem(int(data[i%len(data)]) % c.F.Order())
+			}
+		}
+		cw, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Corrupt: bit i of errBits flips symbol at a position derived from
+		// i, value derived from the message. Up to 64 candidate positions,
+		// truncated to at most t actual errors so decode must succeed.
+		recv := make([]gf.Elem, c.N)
+		copy(recv, cw)
+		seen := map[int]bool{}
+		var positions []int
+		for i := 0; i < 64 && len(positions) < c.T; i++ {
+			if errBits>>i&1 == 0 {
+				continue
+			}
+			pos := (i*37 + int(errBits>>32)) % c.N
+			if seen[pos] {
+				continue
+			}
+			seen[pos] = true
+			positions = append(positions, pos)
+			recv[pos] ^= gf.Elem(i%(c.F.Order()-1) + 1)
+		}
+
+		res, err := c.Decode(recv)
+		if err != nil {
+			t.Fatalf("decode failed with %d <= t=%d errors: %v", len(positions), c.T, err)
+		}
+		if res.NumErrors != len(positions) {
+			t.Fatalf("NumErrors = %d, want %d", res.NumErrors, len(positions))
+		}
+		for i, s := range msg {
+			if res.Message[i] != s {
+				t.Fatalf("message[%d] = %#x, want %#x", i, res.Message[i], s)
+			}
+		}
+		for _, p := range positions {
+			found := false
+			for _, q := range res.Positions {
+				if q == p {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("error position %d not reported (got %v)", p, res.Positions)
+			}
+		}
+
+		// Heavier corruption: whatever happens, a success result must
+		// round-trip its own re-encode (decoder soundness).
+		for i := 0; i < c.T+2 && i < c.N; i++ {
+			recv[(i*11)%c.N] ^= gf.Elem(int(errBits>>(i%56))%(c.F.Order()-1) + 1)
+		}
+		if res2, err := c.Decode(recv); err == nil {
+			re, err := c.Encode(res2.Message)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range re {
+				if re[i] != res2.Corrected[i] {
+					t.Fatalf("accepted word is not a codeword at %d", i)
+				}
+			}
+		}
+	})
+}

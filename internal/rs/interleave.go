@@ -33,38 +33,67 @@ func (iv *Interleaved) FrameN() int { return iv.Depth * iv.Code.N }
 // BurstTolerance returns the longest guaranteed-correctable symbol burst.
 func (iv *Interleaved) BurstTolerance() int { return iv.Depth * iv.Code.T }
 
+// FrameBuf holds the per-frame scratch of the interleaved codec: one
+// codeword staging buffer, one decode buffer, and the FrameStats storage.
+// A FrameBuf belongs to one goroutine at a time; reusing it across *To
+// calls makes steady-state frame processing allocation-free.
+type FrameBuf struct {
+	cw    []gf.Elem
+	dec   *DecodeBuf
+	stats FrameStats
+}
+
+// NewFrameBuf allocates frame scratch sized for this interleaver.
+func (iv *Interleaved) NewFrameBuf() *FrameBuf {
+	return &FrameBuf{
+		cw:    make([]gf.Elem, iv.Code.N),
+		dec:   iv.Code.NewDecodeBuf(),
+		stats: FrameStats{PerCodeword: make([]int, iv.Depth)},
+	}
+}
+
 // Encode encodes I*k message symbols into an interleaved I*n frame.
 func (iv *Interleaved) Encode(msg []gf.Elem) ([]gf.Elem, error) {
+	return iv.EncodeTo(make([]gf.Elem, iv.FrameN()), msg, nil)
+}
+
+// EncodeTo is Encode into a caller-owned I*n destination using FrameBuf
+// scratch: with a reused fb it allocates nothing. Each codeword is
+// encoded into the staging buffer and interleaved onto the wire with the
+// stride copy kernel (gf.ScatterStride). A nil fb allocates fresh
+// scratch. Returns dst.
+func (iv *Interleaved) EncodeTo(dst, msg []gf.Elem, fb *FrameBuf) ([]gf.Elem, error) {
 	if len(msg) != iv.FrameK() {
 		return nil, fmt.Errorf("rs: frame message length %d, want %d", len(msg), iv.FrameK())
 	}
-	out := make([]gf.Elem, iv.FrameN())
+	if len(dst) != iv.FrameN() {
+		return nil, fmt.Errorf("rs: frame destination length %d, want %d", len(dst), iv.FrameN())
+	}
+	if fb == nil {
+		fb = iv.NewFrameBuf()
+	}
 	for i := 0; i < iv.Depth; i++ {
-		cw, err := iv.Code.Encode(msg[i*iv.Code.K : (i+1)*iv.Code.K])
-		if err != nil {
+		if _, err := iv.Code.EncodeTo(fb.cw, msg[i*iv.Code.K:(i+1)*iv.Code.K]); err != nil {
 			return nil, err
 		}
-		for j, s := range cw {
-			out[j*iv.Depth+i] = s
-		}
+		gf.ScatterStride(dst, fb.cw, i, iv.Depth)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Decode deinterleaves and decodes a frame, returning the I*k message
-// symbols and the total number of symbol errors corrected.
+// symbols and the total number of symbol errors corrected. It stops at
+// the first uncorrectable codeword.
 func (iv *Interleaved) Decode(recv []gf.Elem) ([]gf.Elem, int, error) {
 	if len(recv) != iv.FrameN() {
 		return nil, 0, fmt.Errorf("rs: frame length %d, want %d", len(recv), iv.FrameN())
 	}
 	msg := make([]gf.Elem, iv.FrameK())
+	fb := iv.NewFrameBuf()
 	total := 0
-	cw := make([]gf.Elem, iv.Code.N)
 	for i := 0; i < iv.Depth; i++ {
-		for j := 0; j < iv.Code.N; j++ {
-			cw[j] = recv[j*iv.Depth+i]
-		}
-		res, err := iv.Code.Decode(cw)
+		gf.GatherStride(fb.cw, recv, i, iv.Depth)
+		res, err := iv.Code.DecodeTo(fb.dec, fb.cw)
 		if err != nil {
 			return nil, total, fmt.Errorf("rs: codeword %d of frame: %w", i, err)
 		}
@@ -94,20 +123,40 @@ type FrameStats struct {
 // covers every codeword. The message is complete only when err is nil;
 // failed codewords leave their message symbols as received (systematic
 // prefix, uncorrected). The returned error is the first codeword's decode
-// error, wrapped with its index.
+// error, wrapped with its index. Every call allocates fresh buffers, so
+// one shared *Interleaved may serve any number of goroutines; use
+// DecodeWithStatsTo with a per-worker FrameBuf for the zero-alloc path.
 func (iv *Interleaved) DecodeWithStats(recv []gf.Elem) ([]gf.Elem, *FrameStats, error) {
 	if len(recv) != iv.FrameN() {
 		return nil, nil, fmt.Errorf("rs: frame length %d, want %d", len(recv), iv.FrameN())
 	}
 	msg := make([]gf.Elem, iv.FrameK())
-	st := &FrameStats{PerCodeword: make([]int, iv.Depth)}
+	st, err := iv.DecodeWithStatsTo(msg, recv, iv.NewFrameBuf())
+	return msg, st, err
+}
+
+// DecodeWithStatsTo is DecodeWithStats writing the I*k message into a
+// caller-owned msg buffer and using FrameBuf scratch: with a reused fb
+// the steady state allocates nothing (error wrapping on failed codewords
+// is the only allocating path). The returned *FrameStats points into fb
+// and is invalidated by the next call with the same buffer. A nil fb
+// allocates fresh scratch.
+func (iv *Interleaved) DecodeWithStatsTo(msg, recv []gf.Elem, fb *FrameBuf) (*FrameStats, error) {
+	if len(recv) != iv.FrameN() {
+		return nil, fmt.Errorf("rs: frame length %d, want %d", len(recv), iv.FrameN())
+	}
+	if len(msg) != iv.FrameK() {
+		return nil, fmt.Errorf("rs: frame message length %d, want %d", len(msg), iv.FrameK())
+	}
+	if fb == nil {
+		fb = iv.NewFrameBuf()
+	}
+	st := &fb.stats
+	*st = FrameStats{PerCodeword: st.PerCodeword[:iv.Depth]}
 	var firstErr error
-	cw := make([]gf.Elem, iv.Code.N)
 	for i := 0; i < iv.Depth; i++ {
-		for j := 0; j < iv.Code.N; j++ {
-			cw[j] = recv[j*iv.Depth+i]
-		}
-		res, err := iv.Code.Decode(cw)
+		gf.GatherStride(fb.cw, recv, i, iv.Depth)
+		res, err := iv.Code.DecodeTo(fb.dec, fb.cw)
 		if err != nil {
 			st.PerCodeword[i] = -1
 			st.Failed++
@@ -117,7 +166,7 @@ func (iv *Interleaved) DecodeWithStats(recv []gf.Elem) ([]gf.Elem, *FrameStats, 
 			if firstErr == nil {
 				firstErr = fmt.Errorf("rs: codeword %d of frame: %w", i, err)
 			}
-			copy(msg[i*iv.Code.K:], cw[:iv.Code.K])
+			copy(msg[i*iv.Code.K:], fb.cw[:iv.Code.K])
 			continue
 		}
 		st.PerCodeword[i] = res.NumErrors
@@ -127,5 +176,5 @@ func (iv *Interleaved) DecodeWithStats(recv []gf.Elem) ([]gf.Elem, *FrameStats, 
 		}
 		copy(msg[i*iv.Code.K:], res.Message)
 	}
-	return msg, st, firstErr
+	return st, firstErr
 }

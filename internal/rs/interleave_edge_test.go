@@ -1,0 +1,115 @@
+package rs
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gf"
+)
+
+// TestInterleavedDecodeErrorPaths pins the Decode failure contracts: the
+// wrong-length message, the partial progress returned when a middle
+// codeword is unrecoverable, and the index wrapping in the error text.
+func TestInterleavedDecodeErrorPaths(t *testing.T) {
+	c := Must(gf.MustDefault(8), 15, 9)
+	iv, err := NewInterleaved(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong frame length: every entry point must refuse it up front.
+	short := make([]gf.Elem, iv.FrameN()-1)
+	if _, _, err := iv.Decode(short); err == nil || !strings.Contains(err.Error(), "frame length") {
+		t.Fatalf("Decode(short) err = %v, want frame length error", err)
+	}
+	if _, _, err := iv.DecodeWithStats(short); err == nil || !strings.Contains(err.Error(), "frame length") {
+		t.Fatalf("DecodeWithStats(short) err = %v, want frame length error", err)
+	}
+	if _, err := iv.DecodeWithStatsTo(make([]gf.Elem, iv.FrameK()), short, nil); err == nil {
+		t.Fatal("DecodeWithStatsTo(short): expected error")
+	}
+	if _, err := iv.DecodeWithStatsTo(make([]gf.Elem, 1), make([]gf.Elem, iv.FrameN()), nil); err == nil ||
+		!strings.Contains(err.Error(), "frame message length") {
+		t.Fatalf("DecodeWithStatsTo(short msg) err = %v, want frame message length error", err)
+	}
+	if _, err := iv.Encode(make([]gf.Elem, 1)); err == nil || !strings.Contains(err.Error(), "frame message length") {
+		t.Fatalf("Encode(short) err = %v, want frame message length error", err)
+	}
+	if _, err := iv.EncodeTo(make([]gf.Elem, 1), make([]gf.Elem, iv.FrameK()), nil); err == nil ||
+		!strings.Contains(err.Error(), "frame destination length") {
+		t.Fatalf("EncodeTo(short dst) err = %v, want frame destination length error", err)
+	}
+
+	// Unrecoverable middle codeword: Decode stops there, names the index,
+	// and reports the corrections made before the failure.
+	rng := rand.New(rand.NewSource(77))
+	msg := make([]gf.Elem, iv.FrameK())
+	for i := range msg {
+		msg[i] = gf.Elem(rng.Intn(256))
+	}
+	frame, err := iv.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Codeword 0: t correctable errors. Codeword 1: destroyed (> t errors).
+	for j := 0; j < c.T; j++ {
+		frame[(3*j)*iv.Depth] ^= gf.Elem(1 + rng.Intn(255)) // stride offset 0
+	}
+	for j := 0; j < c.N; j += 2 {
+		frame[j*iv.Depth+1] ^= gf.Elem(1 + rng.Intn(255)) // stride offset 1
+	}
+	_, total, err := iv.Decode(frame)
+	if err == nil {
+		t.Fatal("Decode: expected unrecoverable codeword error")
+	}
+	if !strings.Contains(err.Error(), "codeword 1 of frame") {
+		t.Fatalf("Decode err = %v, want codeword 1 index", err)
+	}
+	if total != c.T {
+		t.Fatalf("Decode partial corrections = %d, want %d (codeword 0)", total, c.T)
+	}
+
+	// DecodeWithStats keeps going: codeword 2 still decodes cleanly and
+	// the stats cover the whole frame.
+	got, st, err := iv.DecodeWithStats(frame)
+	if err == nil || !strings.Contains(err.Error(), "codeword 1 of frame") {
+		t.Fatalf("DecodeWithStats err = %v, want codeword 1 wrapped error", err)
+	}
+	if st.Failed != 1 || st.PerCodeword[1] != -1 {
+		t.Fatalf("stats = %+v, want exactly codeword 1 failed", st)
+	}
+	if st.PerCodeword[0] != c.T || st.PerCodeword[2] != 0 || st.Total != c.T {
+		t.Fatalf("stats = %+v, want %d corrections in codeword 0, none in 2", st, c.T)
+	}
+	if st.Max != c.T+1 {
+		t.Fatalf("stats.Max = %d, want t+1 = %d for a failed codeword", st.Max, c.T+1)
+	}
+	// Codewords 0 and 2 of the returned message are still intact.
+	for i := 0; i < c.K; i++ {
+		if got[0*c.K+i] != msg[0*c.K+i] {
+			t.Fatalf("codeword 0 message symbol %d corrupted", i)
+		}
+		if got[2*c.K+i] != msg[2*c.K+i] {
+			t.Fatalf("codeword 2 message symbol %d corrupted", i)
+		}
+	}
+}
+
+// TestInterleavedDecodeInvalidSymbol: a frame carrying symbols outside
+// the field must be rejected, not silently masked.
+func TestInterleavedDecodeInvalidSymbol(t *testing.T) {
+	c := Must(gf.MustDefault(4), 15, 9)
+	iv, err := NewInterleaved(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := iv.Encode(make([]gf.Elem, iv.FrameK()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[5] = 0x10 // outside GF(2^4)
+	if _, _, err := iv.Decode(frame); err == nil {
+		t.Fatal("Decode accepted an out-of-field symbol")
+	}
+}

@@ -37,6 +37,12 @@ type Code struct {
 
 	full int         // natural length 2^m - 1
 	gen  gfpoly.Poly // generator polynomial, degree n-k
+
+	// Hot-path precomputation (immutable after New).
+	kern   *gf.Kernels // the field's bulk slice kernels
+	genTop []gf.Elem   // generator coefficients in transmission order: genTop[j] = gen.Coeff(n-k-1-j)
+	enc    *gf.LFSR    // precomputed encoder feedback bank over genTop
+	roots  []gf.Elem   // the 2t generator roots alpha^b .. alpha^(b+2t-1)
 }
 
 // New constructs RS(n, k) over the field f with first consecutive root
@@ -61,6 +67,17 @@ func NewWithFCR(f *gf.Field, n, k, b int) (*Code, error) {
 		g = g.Mul(gfpoly.New(f, f.AlphaPow(b+i), 1))
 	}
 	c.gen = g
+	c.kern = f.Kernels()
+	nk := n - k
+	c.genTop = make([]gf.Elem, nk)
+	for j := 0; j < nk; j++ {
+		c.genTop[j] = g.Coeff(nk - 1 - j)
+	}
+	c.enc = c.kern.NewLFSR(c.genTop)
+	c.roots = make([]gf.Elem, 2*c.T)
+	for j := range c.roots {
+		c.roots[j] = f.AlphaPow(b + j)
+	}
 	return c, nil
 }
 
@@ -89,16 +106,46 @@ func (c *Code) String() string {
 // n-k. It returns an error if the message has the wrong length or contains
 // out-of-field symbols.
 func (c *Code) Encode(msg []gf.Elem) ([]gf.Elem, error) {
+	return c.EncodeTo(make([]gf.Elem, c.N), msg)
+}
+
+// EncodeTo is Encode reusing a caller-owned n-symbol destination buffer:
+// it performs no allocation. msg may alias dst[:k] (encode in place). The
+// parity is computed by the precomputed LFSR feedback bank (gf.LFSR): one
+// fused shift-XOR pass per message symbol, no multiplies in the loop —
+// the software form of the paper's hard-wired encoder datapath. Returns
+// dst.
+func (c *Code) EncodeTo(dst, msg []gf.Elem) ([]gf.Elem, error) {
 	if len(msg) != c.K {
 		return nil, fmt.Errorf("rs: message length %d, want %d", len(msg), c.K)
+	}
+	if len(dst) != c.N {
+		return nil, fmt.Errorf("rs: destination length %d, want %d", len(dst), c.N)
 	}
 	for i, s := range msg {
 		if !c.F.Valid(s) {
 			return nil, fmt.Errorf("rs: message symbol %d (%#x) outside %v", i, s, c.F)
 		}
 	}
-	// c(x) = m(x)*x^(n-k) + (m(x)*x^(n-k) mod g(x)).
-	// Polynomial remainder via LFSR-style division.
+	// c(x) = m(x)*x^(n-k) + (m(x)*x^(n-k) mod g(x)). The remainder is kept
+	// in transmission order directly in the parity slots dst[k:], so
+	// par[0] is the highest-degree remainder coefficient.
+	par := dst[c.K:]
+	for j := range par {
+		par[j] = 0
+	}
+	c.enc.Run(par, msg)
+	copy(dst, msg) // no-op when encoding in place
+	return dst, nil
+}
+
+// encodeScalar is the symbol-at-a-time reference implementation of Encode,
+// kept as the behavioral baseline the bulk path is property-tested and
+// benchmarked against.
+func (c *Code) encodeScalar(msg []gf.Elem) ([]gf.Elem, error) {
+	if len(msg) != c.K {
+		return nil, fmt.Errorf("rs: message length %d, want %d", len(msg), c.K)
+	}
 	nk := c.N - c.K
 	rem := make([]gf.Elem, nk) // rem[j] = coefficient of x^j
 	for i := 0; i < c.K; i++ {
@@ -123,6 +170,21 @@ func (c *Code) Encode(msg []gf.Elem) ([]gf.Elem, error) {
 // word by Horner's rule — the paper's first (and unavoidable) decoding
 // kernel. All syndromes zero means no detectable error.
 func (c *Code) Syndromes(recv []gf.Elem) []gf.Elem {
+	return c.SyndromesTo(make([]gf.Elem, 2*c.T), recv)
+}
+
+// SyndromesTo is Syndromes into a caller-owned 2t-element destination
+// buffer: no allocation. The batched kernel runs four Horner accumulator
+// chains per pass over the word (gf.Kernels.SyndromeSlice), mirroring the
+// paper's 4-lane SIMD syndrome unit. Returns dst.
+func (c *Code) SyndromesTo(dst []gf.Elem, recv []gf.Elem) []gf.Elem {
+	c.kern.SyndromeSlice(dst, recv, c.roots)
+	return dst
+}
+
+// syndromesScalar is the symbol-at-a-time reference implementation of
+// Syndromes, kept as the behavioral baseline for tests and benchmarks.
+func (c *Code) syndromesScalar(recv []gf.Elem) []gf.Elem {
 	s := make([]gf.Elem, 2*c.T)
 	for j := range s {
 		x := c.F.AlphaPow(c.B + j)
@@ -206,9 +268,192 @@ type DecodeResult struct {
 
 // Decode corrects up to t symbol errors in recv and returns the result.
 // It returns an error when the word is uncorrectable (more than t errors
-// detected).
+// detected). Every call allocates fresh buffers, so one *Code may decode
+// on any number of goroutines; use DecodeTo with a per-worker DecodeBuf
+// for the allocation-free hot path.
 func (c *Code) Decode(recv []gf.Elem) (*DecodeResult, error) {
-	return c.DecodeErasures(recv, nil)
+	return c.DecodeTo(nil, recv)
+}
+
+// DecodeBuf holds all scratch a decode needs: syndrome, Berlekamp-Massey,
+// Chien and Forney working storage plus the DecodeResult itself. A buffer
+// belongs to one goroutine at a time; reusing it across DecodeTo calls
+// makes steady-state decoding allocation-free. The DecodeResult returned
+// by DecodeTo points into the buffer and is invalidated by the next call.
+type DecodeBuf struct {
+	word      []gf.Elem // received word copy, corrected in place (len n)
+	synd      []gf.Elem // syndromes of the received word (len 2t)
+	vsynd     []gf.Elem // verification syndromes of the corrected word
+	lambda    []gf.Elem // BMA connection polynomial
+	prev      []gf.Elem // BMA previous connection polynomial
+	swap      []gf.Elem // BMA copy scratch
+	omega     []gf.Elem // error evaluator S*Lambda mod x^2t (len 2t)
+	dlam      []gf.Elem // formal derivative of lambda
+	positions []int     // Chien search roots (cap 2t)
+	vals      []gf.Elem // Forney error values (cap 2t)
+	res       DecodeResult
+}
+
+// NewDecodeBuf allocates a decode buffer sized for this code.
+func (c *Code) NewDecodeBuf() *DecodeBuf {
+	t2 := 2 * c.T
+	// The BMA polynomials can transiently exceed degree 2t before the
+	// final trim; 2*(2t)+2 coefficients bound every intermediate.
+	bl := 2*t2 + 2
+	return &DecodeBuf{
+		word:      make([]gf.Elem, c.N),
+		synd:      make([]gf.Elem, t2),
+		vsynd:     make([]gf.Elem, t2),
+		lambda:    make([]gf.Elem, bl),
+		prev:      make([]gf.Elem, bl),
+		swap:      make([]gf.Elem, bl),
+		omega:     make([]gf.Elem, t2),
+		dlam:      make([]gf.Elem, t2),
+		positions: make([]int, 0, t2),
+		vals:      make([]gf.Elem, t2),
+	}
+}
+
+// DecodeTo is Decode using caller-owned scratch: with a reused buf the
+// whole syndrome → BMA → Chien → Forney → verify chain performs zero
+// allocations, every bulk step running on the field's slice kernels. A
+// nil buf allocates a fresh one (making DecodeTo(nil, recv) ≡ Decode).
+// The returned DecodeResult and its slices point into buf and are only
+// valid until the next DecodeTo call with the same buffer.
+func (c *Code) DecodeTo(buf *DecodeBuf, recv []gf.Elem) (*DecodeResult, error) {
+	if len(recv) != c.N {
+		return nil, fmt.Errorf("rs: received length %d, want %d", len(recv), c.N)
+	}
+	for i, s := range recv {
+		if !c.F.Valid(s) {
+			return nil, fmt.Errorf("rs: received symbol %d (%#x) outside %v", i, s, c.F)
+		}
+	}
+	if buf == nil {
+		buf = c.NewDecodeBuf()
+	}
+	word := buf.word
+	copy(word, recv)
+	synd := c.SyndromesTo(buf.synd, word)
+
+	res := &buf.res
+	*res = DecodeResult{Corrected: word, Message: word[:c.K], Syndromes: synd}
+	if AllZero(synd) {
+		return res, nil
+	}
+
+	nu := c.bmaTo(buf, synd)
+	if 2*nu > 2*c.T {
+		return nil, fmt.Errorf("rs: %d errors + %d erasures exceed capability t=%d", nu, 0, c.T)
+	}
+	lam := buf.lambda[:nu+1]
+
+	// Chien search: evaluate Lambda at alpha^-p for every codeword power.
+	positions := buf.positions[:0]
+	for p := 0; p < c.N; p++ {
+		if c.kern.EvalSlice(lam, c.F.AlphaPow(-p)) == 0 {
+			positions = append(positions, c.N-1-p)
+		}
+	}
+	if len(positions) != nu {
+		return nil, fmt.Errorf("rs: Chien search found %d roots for degree-%d locator (uncorrectable)", len(positions), nu)
+	}
+
+	// Forney: Omega = S*Lambda mod x^2t by bulk convolution rows, then
+	// e = X^(1-b) * Omega(X^-1) / Lambda'(X^-1) at each located position.
+	t2 := 2 * c.T
+	omega := buf.omega
+	for i := range omega {
+		omega[i] = 0
+	}
+	for j, s := range synd {
+		if s == 0 {
+			continue
+		}
+		lim := len(lam)
+		if j+lim > t2 {
+			lim = t2 - j
+		}
+		c.kern.MulConstAddSlice(omega[j:j+lim], lam[:lim], s)
+	}
+	dlam := buf.dlam[:nu]
+	for i := range dlam {
+		dlam[i] = 0
+	}
+	for i := 1; i <= nu; i += 2 {
+		dlam[i-1] = lam[i]
+	}
+	vals := buf.vals[:len(positions)]
+	for i, posIdx := range positions {
+		p := c.N - 1 - posIdx
+		xInv := c.F.AlphaPow(-p)
+		den := c.kern.EvalSlice(dlam, xInv)
+		if den == 0 {
+			return nil, fmt.Errorf("rs: Forney division by zero at position %d", posIdx)
+		}
+		e := c.F.Div(c.kern.EvalSlice(omega, xInv), den)
+		// X^(1-b) factor generalizes to arbitrary first consecutive root.
+		if c.B != 1 {
+			e = c.F.Mul(e, c.F.AlphaPow(p*(1-c.B)))
+		}
+		vals[i] = e
+	}
+	for i, idx := range positions {
+		word[idx] ^= vals[i]
+	}
+	// Verify: corrected word must have all-zero syndromes.
+	if !AllZero(c.SyndromesTo(buf.vsynd, word)) {
+		return nil, fmt.Errorf("rs: correction verification failed (uncorrectable word)")
+	}
+	res.NumErrors = nu
+	res.Positions = positions
+	return res, nil
+}
+
+// bmaTo runs Berlekamp-Massey in buf's scratch (no allocation) and
+// returns the degree of the error locator left in buf.lambda. It mirrors
+// gfpoly.BerlekampMassey exactly, with the polynomial update folded into
+// one bulk multiply-accumulate row per discrepancy.
+func (c *Code) bmaTo(buf *DecodeBuf, synd []gf.Elem) int {
+	lambda, prev, swap := buf.lambda, buf.prev, buf.swap
+	for i := range lambda {
+		lambda[i] = 0
+		prev[i] = 0
+	}
+	lambda[0] = 1
+	prev[0] = 1
+	l, m, b := 0, 1, gf.Elem(1)
+	for n := 0; n < len(synd); n++ {
+		// Discrepancy d = S_n + sum_{i=1..l} lambda_i * S_{n-i}.
+		d := synd[n]
+		for i := 1; i <= l; i++ {
+			d ^= c.F.Mul(lambda[i], synd[n-i])
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		coef := c.F.Div(d, b)
+		if 2*l <= n {
+			copy(swap, lambda)
+			c.kern.MulConstAddSlice(lambda[m:], prev[:len(lambda)-m], coef)
+			copy(prev, swap)
+			l = n + 1 - l
+			b = d
+			m = 1
+		} else {
+			c.kern.MulConstAddSlice(lambda[m:], prev[:len(lambda)-m], coef)
+			m++
+		}
+	}
+	deg := 0
+	for i := len(lambda) - 1; i > 0; i-- {
+		if lambda[i] != 0 {
+			deg = i
+			break
+		}
+	}
+	return deg
 }
 
 // DecodeErasures corrects errors and erasures. erasures lists codeword
@@ -221,6 +466,11 @@ func (c *Code) DecodeErasures(recv []gf.Elem, erasures []int) (*DecodeResult, er
 	}
 	if len(erasures) > c.N-c.K {
 		return nil, fmt.Errorf("rs: %d erasures exceed n-k=%d", len(erasures), c.N-c.K)
+	}
+	for i, s := range recv {
+		if !c.F.Valid(s) {
+			return nil, fmt.Errorf("rs: received symbol %d (%#x) outside %v", i, s, c.F)
+		}
 	}
 	word := append([]gf.Elem(nil), recv...)
 	for _, idx := range erasures {

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench.sh — run the repository's throughput benchmarks and emit a
+# machine-readable BENCH_<n>.json summary (name, ns/op, MB/s, B/op,
+# allocs/op per benchmark).
+#
+# Usage:
+#   scripts/bench.sh [out.json] [benchtime]
+#
+# Defaults: out=BENCH_3.json, benchtime=0.5s. Runs from the repo root.
+# The benchmark set covers the bulk GF kernel layer and everything built
+# on it: root RS/GF/pipeline benches plus the per-package Bulk-vs-Scalar
+# pairs in internal/rs, internal/bch, internal/aes and the pipeline link
+# chain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_3.json}"
+benchtime="${2:-0.5s}"
+
+pattern='RSEncode255|RSSyndromes255|RSDecode255|GFKernel|GFMul|PipelineRS255_239'
+pkg_pattern='Bulk|Scalar|DecodeTo255|Syndromes63|MixColumns|LinkStages'
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run 'ZZZNONE' -bench "$pattern" -benchtime "$benchtime" -benchmem . >>"$raw"
+go test -run 'ZZZNONE' -bench "$pkg_pattern" -benchtime "$benchtime" -benchmem \
+    ./internal/rs ./internal/bch ./internal/aes ./internal/pipeline >>"$raw"
+
+# Parse `go test -bench` lines:
+#   BenchmarkName-8   1234   5678 ns/op [12.3 MB/s] [45 B/op] [6 allocs/op] [...]
+awk -v OFS='' '
+BEGIN { print "[" ; first = 1 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; mbs = ""; bop = ""; aop = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns  = $(i-1)
+        if ($i == "MB/s")      mbs = $(i-1)
+        if ($i == "B/op")      bop = $(i-1)
+        if ($i == "allocs/op") aop = $(i-1)
+    }
+    if (ns == "") next
+    if (!first) print ","
+    first = 0
+    line = "  {\"name\": \"" name "\", \"ns_op\": " ns
+    if (mbs != "") line = line ", \"mb_s\": " mbs
+    if (bop != "") line = line ", \"b_op\": " bop
+    if (aop != "") line = line ", \"allocs_op\": " aop
+    printf "%s}", line
+}
+END { print "\n]" }
+' "$raw" >"$out"
+
+n="$(grep -c '"name"' "$out" || true)"
+echo "wrote $out ($n benchmarks)"
