@@ -1,0 +1,223 @@
+// Command gfload is a closed-loop load generator for gfserved: it opens
+// -conns connections, runs -window concurrent workers per connection
+// (so each connection keeps up to -window requests pipelined), and
+// drives RS round trips through the server — encode a random message,
+// corrupt the codeword client-side through a binary symmetric channel,
+// send it back for decode, and verify the recovered bytes match.
+//
+// The run fails (nonzero exit) on any transport error or any round trip
+// that delivers wrong bytes; uncorrectable words (the server's
+// codec-failed status) are counted and only fatal on a clean channel
+// (-p 0), where every word must decode.
+//
+// Usage:
+//
+//	gfload [-addr 127.0.0.1:4650] [-conns 8] [-window 8]
+//	       [-requests 10000] [-p 0] [-seed 1] [-wait 5s] [-quiet]
+//
+// Examples:
+//
+//	gfload                          # 10k clean round trips over 8 conns
+//	gfload -p 0.004                 # ~1 symbol error per codeword
+//	gfload -conns 32 -window 16     # deeper concurrency
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/gf"
+	"repro/internal/perf"
+	"repro/internal/server"
+)
+
+type cliConfig struct {
+	addr     string
+	conns    int
+	window   int
+	requests int
+	p        float64
+	seed     int64
+	wait     time.Duration
+	quiet    bool
+}
+
+// result summarizes a run for CLI-level tests.
+type result struct {
+	completed     atomic.Int64 // round trips that produced the original bytes
+	uncorrectable atomic.Int64 // server reported codec-failed (channel beat the code)
+	residual      atomic.Int64 // round trips that delivered wrong bytes
+	hist          *perf.Hist
+	elapsed       time.Duration
+}
+
+func main() {
+	var cfg cliConfig
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:4650", "gfserved address")
+	flag.IntVar(&cfg.conns, "conns", 8, "concurrent connections")
+	flag.IntVar(&cfg.window, "window", 8, "pipelined requests per connection")
+	flag.IntVar(&cfg.requests, "requests", 10000, "total round trips")
+	flag.Float64Var(&cfg.p, "p", 0, "channel bit-flip probability applied client-side")
+	flag.Int64Var(&cfg.seed, "seed", 1, "rng seed (payloads and channel)")
+	flag.DurationVar(&cfg.wait, "wait", 5*time.Second, "retry budget while connecting")
+	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress the report")
+	flag.Parse()
+
+	if _, err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gfload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg cliConfig, w io.Writer) (*result, error) {
+	if cfg.conns < 1 || cfg.window < 1 || cfg.requests < 1 {
+		return nil, fmt.Errorf("-conns, -window and -requests must be positive")
+	}
+	if cfg.p < 0 || cfg.p >= 1 {
+		return nil, fmt.Errorf("channel probability %v outside [0,1)", cfg.p)
+	}
+
+	// One probe connection discovers the server's frame geometry so the
+	// generator never guesses payload sizes.
+	probe, err := server.Dial(cfg.addr, cfg.wait)
+	if err != nil {
+		return nil, fmt.Errorf("connect %s: %w", cfg.addr, err)
+	}
+	snap, err := probe.Stats()
+	probe.Close()
+	if err != nil {
+		return nil, fmt.Errorf("stats probe: %w", err)
+	}
+	frameK := snap.Config.FrameK
+	if !cfg.quiet {
+		fmt.Fprintf(w, "gfload: %s — RS(%d,%d) depth %d (%dB messages), %d conns x %d window, %d round trips, channel p=%g\n",
+			cfg.addr, snap.Config.N, snap.Config.K, snap.Config.Depth,
+			frameK, cfg.conns, cfg.window, cfg.requests, cfg.p)
+	}
+
+	res := &result{hist: &perf.Hist{}}
+	var issued atomic.Int64 // round trips claimed so far, capped at cfg.requests
+	errs := make(chan error, cfg.conns*cfg.window)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for ci := 0; ci < cfg.conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := server.Dial(cfg.addr, cfg.wait)
+			if err != nil {
+				errs <- fmt.Errorf("conn %d: %w", ci, err)
+				return
+			}
+			defer c.Close()
+			var inner sync.WaitGroup
+			for wi := 0; wi < cfg.window; wi++ {
+				inner.Add(1)
+				go func(wi int) {
+					defer inner.Done()
+					if err := worker(cfg, c, frameK, int64(ci*cfg.window+wi), &issued, res); err != nil {
+						errs <- fmt.Errorf("conn %d worker %d: %w", ci, wi, err)
+					}
+				}(wi)
+			}
+			inner.Wait()
+		}(ci)
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	close(errs)
+	for err := range errs {
+		return res, err
+	}
+
+	if !cfg.quiet {
+		report(w, cfg, res, frameK)
+	}
+	if n := res.residual.Load(); n > 0 {
+		return res, fmt.Errorf("%d round trips delivered wrong bytes", n)
+	}
+	if n := res.uncorrectable.Load(); cfg.p == 0 && n > 0 {
+		return res, fmt.Errorf("%d decode failures on a clean channel", n)
+	}
+	return res, nil
+}
+
+// worker claims round trips off the shared budget until it is spent.
+// Each round trip is two pipelined calls on the connection shared with
+// the sibling workers: encode, client-side corruption, decode, verify.
+func worker(cfg cliConfig, c *server.Client, frameK int, id int64, issued *atomic.Int64, res *result) error {
+	rng := rand.New(rand.NewSource(cfg.seed + 7919*id))
+	var ch channel.Channel
+	if cfg.p > 0 {
+		var err error
+		if ch, err = channel.NewBSC(cfg.p, cfg.seed+104729*id); err != nil {
+			return err
+		}
+	}
+	msg := make([]byte, frameK)
+	for issued.Add(1) <= int64(cfg.requests) {
+		rng.Read(msg)
+		t0 := time.Now()
+		cw, err := c.RSEncode(msg)
+		if err != nil {
+			return fmt.Errorf("encode: %w", err)
+		}
+		if ch != nil {
+			cw = corruptBytes(ch, cw)
+		}
+		got, err := c.RSDecode(cw)
+		if err != nil {
+			var se *server.StatusError
+			if errors.As(err, &se) && se.Status == server.StatusCodecFailed {
+				res.uncorrectable.Add(1)
+				continue
+			}
+			return fmt.Errorf("decode: %w", err)
+		}
+		res.hist.Observe(time.Since(t0))
+		if !bytes.Equal(got, msg) {
+			res.residual.Add(1)
+			continue
+		}
+		res.completed.Add(1)
+	}
+	return nil
+}
+
+// corruptBytes pushes a byte frame through the channel model (8-bit
+// symbols).
+func corruptBytes(ch channel.Channel, b []byte) []byte {
+	syms := make([]gf.Elem, len(b))
+	for i, v := range b {
+		syms[i] = gf.Elem(v)
+	}
+	out := channel.TransmitSymbols(ch, syms, 8)
+	res := make([]byte, len(out))
+	for i, v := range out {
+		res[i] = byte(v)
+	}
+	return res
+}
+
+func report(w io.Writer, cfg cliConfig, res *result, frameK int) {
+	done := res.completed.Load()
+	secs := res.elapsed.Seconds()
+	fmt.Fprintf(w, "\n%-22s %d ok, %d uncorrectable, %d wrong-byte deliveries\n",
+		"round trips:", done, res.uncorrectable.Load(), res.residual.Load())
+	fmt.Fprintf(w, "%-22s %v wall, %.0f round trips/s, %.2f MB/s payload\n",
+		"throughput:", res.elapsed.Round(time.Millisecond),
+		float64(done)/secs, float64(done)*float64(frameK)/secs/1e6)
+	p50, p95, p99 := res.hist.Percentiles()
+	fmt.Fprintf(w, "%-22s p50 %v  p95 %v  p99 %v  max %v\n",
+		"round-trip latency:", p50, p95, p99, res.hist.Max())
+}

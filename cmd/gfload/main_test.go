@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// startServer brings up an in-process codec server on an ephemeral
+// loopback port and tears it down with a bounded drain.
+func startServer(t *testing.T, cfg server.Config) string {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe("127.0.0.1:0") }()
+	for s.Addr() == nil {
+		select {
+		case err := <-done:
+			t.Fatalf("serve: %v", err)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s.Addr().String()
+}
+
+// TestLoadCleanChannel is the acceptance run: 10k RS(255,239) round
+// trips over 8 connections x 8 pipelined workers against a live server,
+// clean channel — every word must come back bit-exact.
+func TestLoadCleanChannel(t *testing.T) {
+	addr := startServer(t, server.Config{N: 255, K: 239, Depth: 1, Window: 8})
+	var out bytes.Buffer
+	res, err := run(cliConfig{
+		addr: addr, conns: 8, window: 8, requests: 10000,
+		seed: 1, wait: 2 * time.Second,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if got := res.completed.Load(); got != 10000 {
+		t.Errorf("completed = %d, want 10000", got)
+	}
+	if res.residual.Load() != 0 || res.uncorrectable.Load() != 0 {
+		t.Errorf("residual %d, uncorrectable %d, want 0/0",
+			res.residual.Load(), res.uncorrectable.Load())
+	}
+	if res.hist.Count() != 10000 {
+		t.Errorf("latency samples = %d, want 10000", res.hist.Count())
+	}
+	if !strings.Contains(out.String(), "round-trip latency:") {
+		t.Errorf("report missing latency line:\n%s", out.String())
+	}
+}
+
+// TestLoadNoisyChannel drives a corrupting channel well inside the
+// code's correction power: every word must still round-trip, now with
+// real symbol errors being fixed server-side.
+func TestLoadNoisyChannel(t *testing.T) {
+	addr := startServer(t, server.Config{N: 255, K: 223, Depth: 1, Window: 4})
+	var out bytes.Buffer
+	res, err := run(cliConfig{
+		addr: addr, conns: 3, window: 4, requests: 300,
+		p: 0.002, seed: 42, wait: 2 * time.Second, quiet: true,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	// p=0.002 over 255 bytes ≈ 4 bit flips/word — far below t=16, so
+	// uncorrectable words mean the generator or server is broken.
+	if res.uncorrectable.Load() > 0 || res.residual.Load() != 0 {
+		t.Errorf("uncorrectable %d, residual %d", res.uncorrectable.Load(), res.residual.Load())
+	}
+	if got := res.completed.Load(); got != 300 {
+		t.Errorf("completed = %d, want 300", got)
+	}
+}
+
+// TestRunRejects: config validation happens before any sockets open.
+func TestRunRejects(t *testing.T) {
+	cases := []cliConfig{
+		{conns: 0, window: 8, requests: 100},
+		{conns: 8, window: 0, requests: 100},
+		{conns: 8, window: 8, requests: 0},
+		{conns: 8, window: 8, requests: 100, p: 1.0},
+		{conns: 8, window: 8, requests: 100, p: -0.1},
+	}
+	for _, cfg := range cases {
+		if _, err := run(cfg, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%+v) accepted bad config", cfg)
+		}
+	}
+}

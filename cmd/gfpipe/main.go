@@ -130,20 +130,53 @@ func main() {
 }
 
 func run(cfg cliConfig, w io.Writer) (*result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	if cfg.adaptiveMode {
 		return runAdaptive(cfg, w)
 	}
 	return runFixed(cfg, w)
 }
 
-// runFixed is the original single-code load driver.
-func runFixed(cfg cliConfig, w io.Writer) (*result, error) {
-	if cfg.frames < 1 {
-		return nil, fmt.Errorf("need at least one frame")
+// validate rejects nonsensical flag combinations up front, before any
+// codec tables are built or goroutines started, so the error names the
+// flag instead of surfacing as a construction failure deep in a
+// subsystem.
+func (cfg cliConfig) validate() error {
+	if cfg.n <= 0 || cfg.k <= 0 {
+		return fmt.Errorf("-n %d and -k %d must be positive", cfg.n, cfg.k)
+	}
+	if cfg.k >= cfg.n {
+		return fmt.Errorf("-k %d must be below -n %d (no parity symbols otherwise)", cfg.k, cfg.n)
+	}
+	if cfg.depth <= 0 {
+		return fmt.Errorf("-depth %d must be positive", cfg.depth)
+	}
+	if cfg.workers < 0 || cfg.queue < 0 {
+		return fmt.Errorf("-workers %d and -queue %d must be non-negative", cfg.workers, cfg.queue)
 	}
 	if cfg.metered && cfg.depth != 1 {
-		return nil, fmt.Errorf("-metered requires -depth 1 (per-codeword cycle accounting)")
+		return fmt.Errorf("-metered requires -depth 1 (per-codeword cycle accounting)")
 	}
+	if !cfg.adaptiveMode || cfg.framesSet {
+		if cfg.frames < 1 {
+			return fmt.Errorf("-frames %d: need at least one frame", cfg.frames)
+		}
+	}
+	if cfg.adaptiveMode {
+		if cfg.window < 0 {
+			return fmt.Errorf("-window %d must be non-negative", cfg.window)
+		}
+		if cfg.stepUp < 1 {
+			return fmt.Errorf("-stepup %d must be positive", cfg.stepUp)
+		}
+	}
+	return nil
+}
+
+// runFixed is the original single-code load driver.
+func runFixed(cfg cliConfig, w io.Writer) (*result, error) {
 	f8 := gf.MustDefault(8)
 	code, err := rs.New(f8, cfg.n, cfg.k)
 	if err != nil {

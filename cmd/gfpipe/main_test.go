@@ -153,3 +153,56 @@ func TestBadFlags(t *testing.T) {
 		t.Error("bad schedule accepted")
 	}
 }
+
+// TestValidateRejectsBadCombos: every nonsensical flag combination must
+// be refused up front with an error naming the flag, before any codec
+// construction runs.
+func TestValidateRejectsBadCombos(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*cliConfig)
+		want   string // substring the error must carry
+	}{
+		{"zero n", func(c *cliConfig) { c.n = 0 }, "-n"},
+		{"negative k", func(c *cliConfig) { c.k = -1 }, "-k"},
+		{"k at n", func(c *cliConfig) { c.k = c.n }, "below"},
+		{"k above n", func(c *cliConfig) { c.k = c.n + 1 }, "below"},
+		{"zero depth", func(c *cliConfig) { c.depth = 0 }, "-depth"},
+		{"negative workers", func(c *cliConfig) { c.workers = -1 }, "-workers"},
+		{"negative queue", func(c *cliConfig) { c.queue = -3 }, "-queue"},
+		{"metered at depth 4", func(c *cliConfig) { c.metered = true; c.depth = 4 }, "-metered"},
+		{"zero frames", func(c *cliConfig) { c.frames = 0 }, "-frames"},
+		{"adaptive zero frames", func(c *cliConfig) {
+			c.adaptiveMode = true
+			c.framesSet = true
+			c.frames = 0
+		}, "-frames"},
+		{"adaptive negative window", func(c *cliConfig) { c.adaptiveMode = true; c.window = -1 }, "-window"},
+		{"adaptive zero stepup", func(c *cliConfig) { c.adaptiveMode = true; c.stepUp = 0 }, "-stepup"},
+	}
+	for _, tc := range cases {
+		cfg := baseConfig()
+		tc.mutate(&cfg)
+		_, err := run(cfg, io.Discard)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestValidateAcceptsDefaults: the flag defaults themselves must pass
+// validation in both modes.
+func TestValidateAcceptsDefaults(t *testing.T) {
+	cfg := baseConfig()
+	if err := cfg.validate(); err != nil {
+		t.Errorf("fixed-mode defaults rejected: %v", err)
+	}
+	cfg.adaptiveMode = true
+	if err := cfg.validate(); err != nil {
+		t.Errorf("adaptive-mode defaults rejected: %v", err)
+	}
+}

@@ -1,0 +1,143 @@
+// Command gfserved serves the GF codec pipeline over TCP: a
+// length-prefixed binary protocol (see docs/SERVER.md) carrying
+// rs-encode / rs-decode / aes-gcm-seal / aes-gcm-open / stats requests
+// from many concurrent connections, multiplexed into one shared
+// internal/pipeline run and answered out of order by request id.
+//
+// The codec knobs mirror cmd/gfpipe: one RS(n,k) code over GF(2^8),
+// interleaved to -depth, with per-stage worker pools sized by -workers
+// and -queue. SIGINT/SIGTERM triggers a graceful shutdown — the
+// listener closes, every in-flight request drains to its connection,
+// and a final stats snapshot is printed.
+//
+// Usage:
+//
+//	gfserved [-addr :4650] [-n 255] [-k 239] [-depth 1] [-workers 0]
+//	         [-queue 0] [-window 32] [-max-payload 1048576]
+//	         [-key STRING] [-read-timeout 2m] [-write-timeout 30s]
+//	         [-grace 30s] [-quiet]
+//
+// Examples:
+//
+//	gfserved                        # RS(255,239) on :4650
+//	gfserved -n 255 -k 223 -depth 4 # deeper code, interleaved frames
+//	gfserved -addr 127.0.0.1:0      # ephemeral port (printed on start)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+type cliConfig struct {
+	addr         string
+	n, k         int
+	depth        int
+	workers      int
+	queue        int
+	window       int
+	maxPayload   int
+	key          string
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	grace        time.Duration
+	quiet        bool
+}
+
+func main() {
+	var cfg cliConfig
+	flag.StringVar(&cfg.addr, "addr", ":4650", "TCP listen address")
+	flag.IntVar(&cfg.n, "n", 255, "RS codeword length (symbols, over GF(2^8))")
+	flag.IntVar(&cfg.k, "k", 239, "RS message length (symbols)")
+	flag.IntVar(&cfg.depth, "depth", 1, "interleaving depth (codewords per frame)")
+	flag.IntVar(&cfg.workers, "workers", 0, "pipeline workers per stage (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.queue, "queue", 0, "pipeline queue depth (0 = 2*workers)")
+	flag.IntVar(&cfg.window, "window", 32, "max in-flight requests per connection")
+	flag.IntVar(&cfg.maxPayload, "max-payload", server.DefaultMaxPayload, "max request payload bytes")
+	flag.StringVar(&cfg.key, "key", "", "AES key for seal/open (16/24/32 bytes; empty = demo key)")
+	flag.DurationVar(&cfg.readTimeout, "read-timeout", 2*time.Minute, "per-connection idle limit (0 = none)")
+	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 30*time.Second, "per-response write limit (0 = none)")
+	flag.DurationVar(&cfg.grace, "grace", 30*time.Second, "shutdown drain budget before connections are cut")
+	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress the final stats snapshot")
+	flag.Parse()
+
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gfserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg cliConfig, w io.Writer) error {
+	logger := log.New(os.Stderr, "gfserved: ", log.LstdFlags)
+	s, err := server.New(server.Config{
+		N: cfg.n, K: cfg.k, Depth: cfg.depth,
+		Workers: cfg.workers, Queue: cfg.queue,
+		Key:         []byte(cfg.key),
+		MaxPayload:  cfg.maxPayload,
+		Window:      cfg.window,
+		ReadTimeout: cfg.readTimeout, WriteTimeout: cfg.writeTimeout,
+		Logf: logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- s.ListenAndServe(cfg.addr)
+	}()
+
+	// Wait for the listener so the printed address is real (matters for
+	// -addr :0); New has already built the pipeline, so a bind error is
+	// the only thing that can race us here.
+	for s.Addr() == nil {
+		select {
+		case err := <-serveErr:
+			return err
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	snap := s.Snapshot()
+	fmt.Fprintf(w, "gfserved: listening on %s — RS(%d,%d) depth %d, %d workers, window %d\n",
+		s.Addr(), snap.Config.N, snap.Config.K, snap.Config.Depth,
+		snap.Config.Workers, snap.Config.Window)
+
+	select {
+	case sig := <-stop:
+		fmt.Fprintf(w, "gfserved: %v — draining (budget %v)\n", sig, cfg.grace)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.grace)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		<-serveErr // Serve returns nil once the listener closes
+	case err := <-serveErr:
+		if err != nil {
+			return err
+		}
+	}
+
+	if !cfg.quiet {
+		final := s.Snapshot()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(final); err != nil {
+			return err
+		}
+	}
+	return nil
+}

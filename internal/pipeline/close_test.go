@@ -1,0 +1,119 @@
+package pipeline
+
+import (
+	"errors"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+func idStage() Func {
+	return Func{Label: "id", F: func(f *Frame) error { return nil }}
+}
+
+// TestNewRejectsBadConfig: negative sizes are rejected in New, not
+// deferred to a misbehaving run.
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Workers: -1}, idStage()); err == nil {
+		t.Error("New accepted Workers=-1")
+	}
+	if _, err := New(Config{Queue: -3}, idStage()); err == nil {
+		t.Error("New accepted Queue=-3")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted zero stages")
+	}
+	if _, err := New(Config{}, nil); err == nil {
+		t.Error("New accepted a nil stage")
+	}
+	// Zero still means "default", not an error.
+	p, err := New(Config{}, idStage())
+	if err != nil {
+		t.Fatalf("New with zero config: %v", err)
+	}
+	if c := p.Config(); c.Workers <= 0 || c.Queue <= 0 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+}
+
+// TestCloseIdempotent: double Close must be a no-op, not a panic.
+func TestCloseIdempotent(t *testing.T) {
+	r := Must(Config{Workers: 1}, idStage()).Start()
+	r.Close()
+	r.Close()
+	for range r.Out() {
+	}
+}
+
+// TestSubmitCheckedAfterClose returns ErrClosed, and SubmitTagged
+// panics with it.
+func TestSubmitCheckedAfterClose(t *testing.T) {
+	r := Must(Config{Workers: 1}, idStage()).Start()
+	r.Close()
+	if _, err := r.SubmitChecked([]byte{1}, 0, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SubmitChecked after Close = %v, want ErrClosed", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SubmitTagged after Close did not panic")
+		}
+	}()
+	r.SubmitTagged([]byte{1}, 0)
+}
+
+// TestSubmitCheckedRacesClose hammers SubmitChecked from many
+// goroutines while Close lands in the middle: every accepted frame must
+// be delivered exactly once, every rejection must be ErrClosed, and
+// nothing may panic. Run under -race this is the server-shutdown drain
+// guarantee.
+func TestSubmitCheckedRacesClose(t *testing.T) {
+	const submitters = 8
+	const perSubmitter = 200
+	r := Must(Config{Workers: 2, Queue: 4}, idStage()).Start()
+
+	var accepted, rejected int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perSubmitter; i++ {
+				_, err := r.SubmitChecked([]byte(strconv.Itoa(s)), 0, nil)
+				mu.Lock()
+				if err == nil {
+					accepted++
+				} else if errors.Is(err, ErrClosed) {
+					rejected++
+				} else {
+					t.Errorf("unexpected error: %v", err)
+				}
+				mu.Unlock()
+			}
+		}(s)
+	}
+
+	delivered := 0
+	sink := make(chan struct{})
+	go func() {
+		defer close(sink)
+		for range r.Out() {
+			delivered++
+		}
+	}()
+
+	close(start)
+	// Let some submissions through, then close concurrently.
+	r.Close()
+	wg.Wait()
+	<-sink
+
+	if int64(delivered) != accepted {
+		t.Fatalf("delivered %d frames, accepted %d", delivered, accepted)
+	}
+	if accepted+rejected != submitters*perSubmitter {
+		t.Fatalf("accepted %d + rejected %d != %d", accepted, rejected, submitters*perSubmitter)
+	}
+}

@@ -61,6 +61,11 @@ type Frame struct {
 	// Counts accumulates perf cycle accounting reported by metered
 	// stages (zero for unmetered pipelines).
 	Counts perf.Counts
+	// Tag is opaque caller context carried through the pipeline
+	// untouched. Multiplexers (e.g. the codec server) attach their
+	// routing state here at submission and read it back at delivery,
+	// with no map or lock between the two.
+	Tag any
 	// Latency is the submit-to-delivery wall-clock time, set at the sink.
 	Latency time.Duration
 
@@ -136,8 +141,17 @@ type Pipeline struct {
 	Total Hist
 }
 
-// New builds a pipeline from the given stages.
+// New builds a pipeline from the given stages. The configuration is
+// validated here — negative sizes are programming errors, rejected
+// up front instead of producing a pipeline that deadlocks or panics
+// once started (zero still means "use the default").
 func New(cfg Config, stages ...Stage) (*Pipeline, error) {
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("pipeline: negative worker count %d", cfg.Workers)
+	}
+	if cfg.Queue < 0 {
+		return nil, fmt.Errorf("pipeline: negative queue depth %d", cfg.Queue)
+	}
 	if len(stages) == 0 {
 		return nil, errors.New("pipeline: no stages")
 	}
@@ -175,6 +189,14 @@ type Run struct {
 	out  chan *Frame
 	seq  atomic.Uint64
 	done chan struct{}
+
+	// mu gates submissions against Close: SubmitChecked holds it shared
+	// while sending on in, Close holds it exclusively while closing in,
+	// so a long-lived concurrent submitter (e.g. a server connection
+	// handler) can race Close safely and get ErrClosed instead of a send
+	// on a closed channel.
+	mu     sync.RWMutex
+	closed bool
 }
 
 // Start launches the worker pools and returns a Run accepting frames.
@@ -300,19 +322,42 @@ func (r *Run) reorder(src <-chan *Frame) {
 	}
 }
 
+// ErrClosed is returned by SubmitChecked once Close has been called.
+var ErrClosed = errors.New("pipeline: run closed")
+
 // Submit injects a payload as the next frame and returns its sequence
 // number. It blocks when the first stage's queue is full (backpressure).
 // Submit is safe for concurrent use; "submission order" is then the
-// order of sequence assignment. Submit must not be called after Close.
+// order of sequence assignment. Submit must not be called after Close
+// (it panics with ErrClosed); callers that cannot order their
+// submissions against Close use SubmitChecked.
 func (r *Run) Submit(data []byte) uint64 { return r.SubmitTagged(data, 0) }
 
 // SubmitTagged is Submit with an explicit configuration epoch stamped on
 // the frame, for pipelines whose stages switch behavior per epoch.
 func (r *Run) SubmitTagged(data []byte, epoch int) uint64 {
-	f := &Frame{Data: data, Epoch: epoch, submitted: time.Now()}
+	seq, err := r.SubmitChecked(data, epoch, nil)
+	if err != nil {
+		panic(err)
+	}
+	return seq
+}
+
+// SubmitChecked is SubmitTagged for submitters that may race Close — a
+// server draining live connections, for example. It returns ErrClosed
+// (instead of panicking) once the run's input has been closed, and
+// stamps tag (which may be nil) onto Frame.Tag for delivery-time
+// routing. Like Submit it blocks while the first stage's queue is full.
+func (r *Run) SubmitChecked(data []byte, epoch int, tag any) (uint64, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		return 0, ErrClosed
+	}
+	f := &Frame{Data: data, Epoch: epoch, Tag: tag, submitted: time.Now()}
 	f.Seq = r.seq.Add(1) - 1
 	r.in <- f
-	return f.Seq
+	return f.Seq, nil
 }
 
 // Out delivers processed frames in submission order. It is closed after
@@ -320,8 +365,18 @@ func (r *Run) SubmitTagged(data []byte, epoch int) uint64 {
 func (r *Run) Out() <-chan *Frame { return r.out }
 
 // Close declares the input complete. In-flight frames still drain to
-// Out, which is closed afterwards.
-func (r *Run) Close() { close(r.in) }
+// Out, which is closed afterwards. Close is idempotent and safe to call
+// concurrently with SubmitChecked; it blocks until submitters already
+// inside SubmitChecked have handed their frame to the first stage.
+func (r *Run) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	close(r.in)
+}
 
 // Wait blocks until the pipeline has fully drained (Close called and
 // every frame delivered). The caller must be consuming Out — or have

@@ -4,60 +4,12 @@ import (
 	"bytes"
 	"errors"
 	"testing"
-	"time"
 
 	"repro/internal/channel"
 )
 
-// TestHistBucketBoundaries pins the documented bucket layout: bucket 0
-// holds 0ns and 1ns, bucket i holds [2^i, 2^(i+1)). Regression for the
-// off-by-one that put 1ns in bucket 1.
-func TestHistBucketBoundaries(t *testing.T) {
-	bucketOf := func(ns int64) int {
-		var h Hist
-		h.Observe(time.Duration(ns))
-		for i := range h.buckets {
-			if h.buckets[i].Load() == 1 {
-				return i
-			}
-		}
-		t.Fatalf("no bucket recorded %dns", ns)
-		return -1
-	}
-	if got := bucketOf(0); got != 0 {
-		t.Errorf("0ns in bucket %d, want 0", got)
-	}
-	if got := bucketOf(1); got != 0 {
-		t.Errorf("1ns in bucket %d, want 0", got)
-	}
-	if got := bucketOf(2); got != 1 {
-		t.Errorf("2ns in bucket %d, want 1", got)
-	}
-	for i := 2; i < 20; i++ {
-		lo := int64(1) << i
-		if got := bucketOf(lo - 1); got != i-1 {
-			t.Errorf("%dns (2^%d-1) in bucket %d, want %d", lo-1, i, got, i-1)
-		}
-		if got := bucketOf(lo); got != i {
-			t.Errorf("%dns (2^%d) in bucket %d, want %d", lo, i, got, i)
-		}
-	}
-}
-
-// TestHistQuantileUpperBound: Quantile must return an inclusive upper
-// bound for the bucket holding the sample.
-func TestHistQuantileUpperBound(t *testing.T) {
-	var h Hist
-	h.Observe(1) // bucket 0, top edge 2
-	if q := h.Quantile(1); q < 1 || q > 2 {
-		t.Errorf("Quantile(1) after Observe(1ns) = %v, want in [1,2]", q)
-	}
-	var h2 Hist
-	h2.Observe(3) // bucket 1, top edge 4
-	if q := h2.Quantile(1); q < 3 || q > 4 {
-		t.Errorf("Quantile(1) after Observe(3ns) = %v, want in [3,4]", q)
-	}
-}
+// The Hist bucket-boundary and quantile regressions moved to
+// internal/perf/hist_test.go with the type.
 
 // TestReorderOutOfBand exercises the sink's leftover path by injecting
 // frames directly into the run (bypassing Submit's seq assignment) with

@@ -2,100 +2,17 @@ package pipeline
 
 import (
 	"fmt"
-	"math/bits"
 	"strings"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/perf"
 )
 
-// histBuckets is the number of power-of-two latency buckets. Bucket i
-// holds samples with latency in [2^i, 2^(i+1)) nanoseconds (bucket 0
-// holds 0ns and 1ns); the last bucket absorbs everything longer.
-const histBuckets = 40
-
-// Hist is a lock-free power-of-two latency histogram. All methods are
-// safe for concurrent use.
-type Hist struct {
-	buckets [histBuckets]atomic.Int64
-	count   atomic.Int64
-	sum     atomic.Int64 // total nanoseconds
-	max     atomic.Int64
-}
-
-// Observe records one latency sample.
-func (h *Hist) Observe(d time.Duration) {
-	ns := int64(d)
-	if ns < 0 {
-		ns = 0
-	}
-	// Bucket index: 0 and 1 land in bucket 0, [2^i, 2^(i+1)) in bucket i.
-	i := bits.Len64(uint64(ns))
-	if i > 0 {
-		i--
-	}
-	if i >= histBuckets {
-		i = histBuckets - 1
-	}
-	h.buckets[i].Add(1)
-	h.count.Add(1)
-	h.sum.Add(ns)
-	for {
-		old := h.max.Load()
-		if ns <= old || h.max.CompareAndSwap(old, ns) {
-			break
-		}
-	}
-}
-
-// Count returns the number of samples observed.
-func (h *Hist) Count() int64 { return h.count.Load() }
-
-// Mean returns the mean observed latency.
-func (h *Hist) Mean() time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(h.sum.Load() / n)
-}
-
-// Max returns the largest observed latency.
-func (h *Hist) Max() time.Duration { return time.Duration(h.max.Load()) }
-
-// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
-// top edge of the bucket containing it. Resolution is a factor of two,
-// which is enough to tell microseconds from milliseconds in a report.
-func (h *Hist) Quantile(q float64) time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	rank := int64(q * float64(n))
-	if rank >= n {
-		rank = n - 1
-	}
-	var seen int64
-	for i := 0; i < histBuckets; i++ {
-		seen += h.buckets[i].Load()
-		if seen > rank {
-			if i == histBuckets-1 {
-				return h.Max()
-			}
-			// Top edge of bucket i = 2^(i+1) (exclusive upper bound).
-			return time.Duration(int64(1) << (i + 1))
-		}
-	}
-	return h.Max()
-}
-
-// String summarizes the histogram as mean/p50/p99/max.
-func (h *Hist) String() string {
-	return fmt.Sprintf("mean=%v p50<%v p99<%v max=%v",
-		h.Mean().Round(time.Microsecond), h.Quantile(0.50), h.Quantile(0.99),
-		h.Max().Round(time.Microsecond))
-}
+// Hist is the shared lock-free power-of-two latency histogram, defined
+// in package perf so that servers and load drivers report latency in the
+// same buckets as pipeline stages. The alias keeps the historical
+// pipeline.Hist name working.
+type Hist = perf.Hist
 
 // StageStats aggregates what one stage did across all of its workers.
 // All counters are updated atomically by the stage's worker goroutines;

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// StatusError is the typed error for a non-OK response status; the
+// response's payload (the server's message) is preserved.
+type StatusError struct {
+	Op     Op
+	Status Status
+	Msg    string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server: %v: %v: %s", e.Op, e.Status, e.Msg)
+}
+
+// Client is a connection to a codec server. Call (and the typed
+// wrappers) are safe for concurrent use: concurrent callers pipeline
+// their requests on the single connection and responses are matched
+// back by request id, in whatever order the server finishes them.
+type Client struct {
+	nc net.Conn
+	bw *bufio.Writer
+
+	wmu sync.Mutex // serializes writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *Message
+	err     error         // terminal receive/connection error
+	closed  chan struct{} // closed when the read loop exits
+}
+
+// Dial connects to a codec server, retrying refused connections until
+// wait has elapsed (wait 0 means a single attempt) — handy while a
+// freshly spawned server is still binding its listener.
+func Dial(addr string, wait time.Duration) (*Client, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		nc, err := net.Dial("tcp", addr)
+		if err == nil {
+			return NewClient(nc), nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// NewClient wraps an established connection and starts its read loop.
+func NewClient(nc net.Conn) *Client {
+	c := &Client{
+		nc:      nc,
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		pending: make(map[uint64]chan *Message),
+		closed:  make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	for {
+		m, err := readMessage(br, DefaultMaxPayload)
+		if err != nil {
+			c.fail(fmt.Errorf("server: connection lost: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[m.ID]
+		delete(c.pending, m.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- m
+		}
+	}
+}
+
+// fail records the terminal error and wakes every waiting call.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+		close(c.closed)
+	}
+	c.mu.Unlock()
+}
+
+// Close tears the connection down; in-flight calls fail.
+func (c *Client) Close() error {
+	err := c.nc.Close()
+	c.fail(fmt.Errorf("server: client closed"))
+	return err
+}
+
+// Call sends one request and blocks for its response. A non-OK status
+// comes back as a *StatusError (alongside the raw response).
+func (c *Client) Call(op Op, params, payload []byte) (*Message, error) {
+	ch := make(chan *Message, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	id := c.nextID
+	c.nextID++
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := writeMessage(c.bw, &Message{Op: op, ID: id, Params: params, Payload: payload})
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		c.fail(fmt.Errorf("server: send: %w", err))
+		return nil, err
+	}
+
+	select {
+	case m := <-ch:
+		if m.Status != StatusOK {
+			return m, &StatusError{Op: m.Op, Status: m.Status, Msg: string(m.Payload)}
+		}
+		return m, nil
+	case <-c.closed:
+		c.mu.Lock()
+		err := c.err
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+}
+
+// RSEncode encodes a k×depth-byte message into an n×depth-byte frame.
+func (c *Client) RSEncode(msg []byte) ([]byte, error) {
+	m, err := c.Call(OpRSEncode, nil, msg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Payload, nil
+}
+
+// RSDecode corrects an n×depth-byte received frame back to its message.
+func (c *Client) RSDecode(recv []byte) ([]byte, error) {
+	m, err := c.Call(OpRSDecode, nil, recv)
+	if err != nil {
+		return nil, err
+	}
+	return m.Payload, nil
+}
+
+// Seal AES-GCM-encrypts plaintext under the client-chosen 12-byte nonce.
+func (c *Client) Seal(nonce, plaintext []byte) ([]byte, error) {
+	m, err := c.Call(OpSeal, nonce, plaintext)
+	if err != nil {
+		return nil, err
+	}
+	return m.Payload, nil
+}
+
+// Open verifies and decrypts Seal's output.
+func (c *Client) Open(nonce, sealed []byte) ([]byte, error) {
+	m, err := c.Call(OpOpen, nonce, sealed)
+	if err != nil {
+		return nil, err
+	}
+	return m.Payload, nil
+}
+
+// Stats fetches the server's statistics snapshot.
+func (c *Client) Stats() (*StatsSnapshot, error) {
+	m, err := c.Call(OpStats, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	var snap StatsSnapshot
+	if err := json.Unmarshal(m.Payload, &snap); err != nil {
+		return nil, fmt.Errorf("server: stats payload: %w", err)
+	}
+	return &snap, nil
+}

@@ -1,0 +1,211 @@
+// Package server exposes the repository's codec pipeline as a network
+// service: a concurrent TCP server speaking a length-prefixed binary
+// protocol whose requests (RS encode/decode, AES-GCM seal/open, stats)
+// are multiplexed from many connections into one shared
+// pipeline.Pipeline and routed back by request id — the system-level
+// serving layer over the paper's GF protection engine.
+//
+// # Wire format
+//
+// Every message — request or response — is a 24-byte header followed by
+// a params section and a payload section, all integers big-endian:
+//
+//	offset  size  field
+//	0       4     magic 0x47465031 ("GFP1")
+//	4       1     version (1)
+//	5       1     op
+//	6       2     status (0 in requests; response status code)
+//	8       8     request id (echoed verbatim in the response)
+//	16      4     params length P (≤ 256)
+//	20      4     payload length L (≤ the server's max payload)
+//	24      P     params (op-specific, e.g. the 12-byte GCM nonce)
+//	24+P    L     payload
+//
+// Request ids are chosen by the client and only need to be unique among
+// that connection's in-flight requests; responses may arrive in any
+// order. Error responses carry a non-zero status and a human-readable
+// message as their payload.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol constants.
+const (
+	Magic      = 0x47465031 // "GFP1"
+	Version    = 1
+	headerSize = 24
+
+	// MaxParams bounds the params section of any message.
+	MaxParams = 256
+
+	// DefaultMaxPayload is the payload-size guard applied when
+	// Config.MaxPayload is zero.
+	DefaultMaxPayload = 1 << 20
+
+	// NonceSize is the GCM nonce carried in seal/open params.
+	NonceSize = 12
+)
+
+// Op identifies the requested codec operation.
+type Op uint8
+
+// The protocol ops.
+const (
+	OpRSEncode Op = 1 // payload: K·depth message bytes -> N·depth codeword bytes
+	OpRSDecode Op = 2 // payload: N·depth received bytes -> K·depth corrected message
+	OpSeal     Op = 3 // params: 12-byte nonce; payload: plaintext -> ciphertext||tag
+	OpOpen     Op = 4 // params: 12-byte nonce; payload: ciphertext||tag -> plaintext
+	OpStats    Op = 5 // payload: none -> JSON StatsSnapshot
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpRSEncode:
+		return "rs-encode"
+	case OpRSDecode:
+		return "rs-decode"
+	case OpSeal:
+		return "aes-gcm-seal"
+	case OpOpen:
+		return "aes-gcm-open"
+	case OpStats:
+		return "stats"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Status is the response status code.
+type Status uint16
+
+// The response status codes.
+const (
+	StatusOK           Status = 0 // success; payload is the result
+	StatusBadRequest   Status = 1 // malformed params or payload for the op
+	StatusUnsupported  Status = 2 // unknown op or protocol version
+	StatusTooLarge     Status = 3 // declared frame size beyond the guard
+	StatusCodecFailed  Status = 4 // codec error (uncorrectable word, auth failure)
+	StatusShuttingDown Status = 5 // server draining; request was not processed
+	StatusInternal     Status = 6 // server-side invariant failure
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBadRequest:
+		return "bad-request"
+	case StatusUnsupported:
+		return "unsupported"
+	case StatusTooLarge:
+		return "too-large"
+	case StatusCodecFailed:
+		return "codec-failed"
+	case StatusShuttingDown:
+		return "shutting-down"
+	case StatusInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("status(%d)", uint16(s))
+	}
+}
+
+// Message is one decoded protocol frame.
+type Message struct {
+	Op      Op
+	Status  Status
+	ID      uint64
+	Params  []byte
+	Payload []byte
+}
+
+// protoError is a framing violation that poisons the byte stream: after
+// one, the connection cannot be resynchronized and must be closed. It
+// wraps the status the server reports (best effort) before closing.
+type protoError struct {
+	status Status
+	msg    string
+}
+
+func (e *protoError) Error() string { return e.msg }
+
+func protoErrorf(st Status, format string, args ...any) error {
+	return &protoError{status: st, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeMessage serializes m to w. Callers serialize access to w.
+func writeMessage(w io.Writer, m *Message) error {
+	if len(m.Params) > MaxParams {
+		return fmt.Errorf("server: params %dB exceeds %dB", len(m.Params), MaxParams)
+	}
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[0:], Magic)
+	hdr[4] = Version
+	hdr[5] = byte(m.Op)
+	binary.BigEndian.PutUint16(hdr[6:], uint16(m.Status))
+	binary.BigEndian.PutUint64(hdr[8:], m.ID)
+	binary.BigEndian.PutUint32(hdr[16:], uint32(len(m.Params)))
+	binary.BigEndian.PutUint32(hdr[20:], uint32(len(m.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(m.Params); err != nil {
+		return err
+	}
+	_, err := w.Write(m.Payload)
+	return err
+}
+
+// readMessage reads one message from r, enforcing the magic/version and
+// the params/payload size guards. Size and framing violations come back
+// as *protoError; the caller should report the status and drop the
+// connection, since the stream position is lost. A clean EOF before the
+// first header byte is io.EOF; EOF mid-message is ErrUnexpectedEOF.
+func readMessage(r io.Reader, maxPayload int) (*Message, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if got := binary.BigEndian.Uint32(hdr[0:]); got != Magic {
+		return nil, protoErrorf(StatusBadRequest, "bad magic %#08x", got)
+	}
+	if hdr[4] != Version {
+		return nil, protoErrorf(StatusUnsupported, "protocol version %d, want %d", hdr[4], Version)
+	}
+	m := &Message{
+		Op:     Op(hdr[5]),
+		Status: Status(binary.BigEndian.Uint16(hdr[6:])),
+		ID:     binary.BigEndian.Uint64(hdr[8:]),
+	}
+	paramsLen := binary.BigEndian.Uint32(hdr[16:])
+	payloadLen := binary.BigEndian.Uint32(hdr[20:])
+	if paramsLen > MaxParams {
+		return nil, protoErrorf(StatusTooLarge, "params %dB exceeds %dB", paramsLen, MaxParams)
+	}
+	if int64(payloadLen) > int64(maxPayload) {
+		return nil, protoErrorf(StatusTooLarge, "payload %dB exceeds %dB guard", payloadLen, maxPayload)
+	}
+	buf := make([]byte, paramsLen+payloadLen)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	m.Params = buf[:paramsLen:paramsLen]
+	m.Payload = buf[paramsLen:]
+	return m, nil
+}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestMessageRoundTrip: write → read must be the identity for every
+// field, including empty params/payload.
+func TestMessageRoundTrip(t *testing.T) {
+	cases := []*Message{
+		{Op: OpRSEncode, ID: 0, Payload: []byte("hello")},
+		{Op: OpSeal, ID: 1<<64 - 1, Params: bytes.Repeat([]byte{7}, NonceSize), Payload: []byte{}},
+		{Op: OpStats, Status: StatusShuttingDown, ID: 42},
+	}
+	for _, want := range cases {
+		var buf bytes.Buffer
+		if err := writeMessage(&buf, want); err != nil {
+			t.Fatalf("write %v: %v", want.Op, err)
+		}
+		got, err := readMessage(&buf, DefaultMaxPayload)
+		if err != nil {
+			t.Fatalf("read %v: %v", want.Op, err)
+		}
+		if got.Op != want.Op || got.Status != want.Status || got.ID != want.ID ||
+			!bytes.Equal(got.Params, want.Params) || !bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("round trip %+v -> %+v", want, got)
+		}
+	}
+}
+
+// TestReadMessageRejects: framing violations must come back as typed
+// protocol errors carrying the right status.
+func TestReadMessageRejects(t *testing.T) {
+	frame := func(mutate func(hdr []byte)) []byte {
+		var buf bytes.Buffer
+		if err := writeMessage(&buf, &Message{Op: OpRSEncode, ID: 9, Payload: []byte("abc")}); err != nil {
+			t.Fatal(err)
+		}
+		b := buf.Bytes()
+		mutate(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		raw  []byte
+		want Status
+	}{
+		{"bad magic", frame(func(h []byte) { h[0] = 'X' }), StatusBadRequest},
+		{"bad version", frame(func(h []byte) { h[4] = 99 }), StatusUnsupported},
+		{"oversized params", frame(func(h []byte) {
+			binary.BigEndian.PutUint32(h[16:], MaxParams+1)
+		}), StatusTooLarge},
+		{"oversized payload", frame(func(h []byte) {
+			binary.BigEndian.PutUint32(h[20:], 1<<30)
+		}), StatusTooLarge},
+	}
+	for _, tc := range cases {
+		_, err := readMessage(bytes.NewReader(tc.raw), DefaultMaxPayload)
+		var pe *protoError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: err = %v, want *protoError", tc.name, err)
+			continue
+		}
+		if pe.status != tc.want {
+			t.Errorf("%s: status %v, want %v", tc.name, pe.status, tc.want)
+		}
+	}
+}
+
+// TestReadMessageTruncated: EOF cleanly between messages is io.EOF; EOF
+// anywhere inside one is ErrUnexpectedEOF.
+func TestReadMessageTruncated(t *testing.T) {
+	if _, err := readMessage(bytes.NewReader(nil), DefaultMaxPayload); !errors.Is(err, io.EOF) {
+		t.Errorf("empty stream: %v, want io.EOF", err)
+	}
+	var buf bytes.Buffer
+	if err := writeMessage(&buf, &Message{Op: OpRSDecode, ID: 3, Payload: []byte("payload")}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, headerSize - 1, headerSize, len(full) - 1} {
+		_, err := readMessage(bytes.NewReader(full[:cut]), DefaultMaxPayload)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("cut at %d: %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+// TestOpStatusStrings: every named op and status has a stable label.
+func TestOpStatusStrings(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpRSEncode: "rs-encode", OpRSDecode: "rs-decode",
+		OpSeal: "aes-gcm-seal", OpOpen: "aes-gcm-open", OpStats: "stats",
+		Op(200): "op(200)",
+	} {
+		if op.String() != want {
+			t.Errorf("Op(%d).String() = %q, want %q", uint8(op), op.String(), want)
+		}
+	}
+	if StatusCodecFailed.String() != "codec-failed" || Status(999).String() != "status(999)" {
+		t.Error("Status.String labels changed")
+	}
+}

@@ -1,0 +1,656 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/aes"
+	"repro/internal/gf"
+	"repro/internal/pipeline"
+	"repro/internal/rs"
+)
+
+// demoKey is the AES-128 key used when Config.Key is empty — the same
+// well-known demo key the gfpipe loopback driver uses. Real deployments
+// must supply their own key.
+var demoKey = []byte("gfpipe-demo-key!")
+
+// Config sizes and parameterizes a Server. The codec knobs mirror
+// cmd/gfpipe: one RS(n,k) code over GF(2^8), interleaved to the given
+// depth, plus an AES-GCM instance for the seal/open ops.
+type Config struct {
+	// N, K, Depth select the RS code and interleaving depth. Zero values
+	// default to RS(255,239) at depth 1.
+	N, K, Depth int
+	// Workers and Queue size the shared pipeline (see pipeline.Config).
+	Workers, Queue int
+	// Key is the AES key for the seal/open ops (empty selects a
+	// well-known demo key). AAD is bound into every tag (may be nil).
+	Key, AAD []byte
+	// MaxPayload is the per-request payload guard (0 = DefaultMaxPayload).
+	MaxPayload int
+	// Window caps each connection's in-flight requests; a client
+	// pipelining deeper simply blocks in its own socket (0 = 32).
+	Window int
+	// ReadTimeout is the per-connection idle limit between requests
+	// (0 = no limit). WriteTimeout bounds each response write (0 = no
+	// limit).
+	ReadTimeout, WriteTimeout time.Duration
+	// Logf, when set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.N == 0 && c.K == 0 {
+		c.N, c.K = 255, 239
+	}
+	if c.Depth == 0 {
+		c.Depth = 1
+	}
+	if len(c.Key) == 0 {
+		c.Key = demoKey
+	}
+	if c.MaxPayload <= 0 {
+		c.MaxPayload = DefaultMaxPayload
+	}
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	return c
+}
+
+// Server is the network-facing codec service. Construct with New, run
+// with Serve (or ListenAndServe), stop with Shutdown.
+type Server struct {
+	cfg Config
+	iv  *rs.Interleaved
+	pl  *pipeline.Pipeline
+	run *pipeline.Run
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+	serving  bool
+
+	readerWG     sync.WaitGroup // connection read loops
+	writerWG     sync.WaitGroup // connection write loops
+	inflight     sync.WaitGroup // frames submitted but not yet routed
+	dispatchDone chan struct{}
+
+	ctr counters
+}
+
+// pendingReq rides pipeline.Frame.Tag from submission to delivery: the
+// connection and request id a completed frame's response belongs to.
+type pendingReq struct {
+	c  *conn
+	op Op
+	id uint64
+}
+
+// New builds the server: codec instances, the shared pipeline (one
+// dispatch stage fanned out over Workers goroutines), and a started run
+// ready to accept frames.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.N <= 0 || cfg.K <= 0 {
+		return nil, fmt.Errorf("server: non-positive code parameters n=%d k=%d", cfg.N, cfg.K)
+	}
+	if cfg.K >= cfg.N {
+		return nil, fmt.Errorf("server: k=%d must be below n=%d", cfg.K, cfg.N)
+	}
+	if cfg.Depth <= 0 {
+		return nil, fmt.Errorf("server: non-positive interleave depth %d", cfg.Depth)
+	}
+	f8 := gf.MustDefault(8)
+	code, err := rs.New(f8, cfg.N, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	iv, err := rs.NewInterleaved(code, cfg.Depth)
+	if err != nil {
+		return nil, err
+	}
+	var enc, dec pipeline.Stage
+	if cfg.Depth == 1 {
+		if enc, err = pipeline.NewRSEncode(code); err != nil {
+			return nil, err
+		}
+		if dec, err = pipeline.NewRSDecode(code); err != nil {
+			return nil, err
+		}
+	} else {
+		if enc, err = pipeline.NewRSFrameEncode(iv); err != nil {
+			return nil, err
+		}
+		if dec, err = pipeline.NewRSFrameDecode(iv); err != nil {
+			return nil, err
+		}
+	}
+	cipher, err := aes.NewCipher(cfg.Key)
+	if err != nil {
+		return nil, err
+	}
+	disp := &dispatchStage{enc: enc, dec: dec, gcm: cipher.NewGCM(), aad: cfg.AAD}
+	pl, err := pipeline.New(pipeline.Config{Workers: cfg.Workers, Queue: cfg.Queue}, disp)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:          cfg,
+		iv:           iv,
+		pl:           pl,
+		run:          pl.Start(),
+		conns:        make(map[*conn]struct{}),
+		dispatchDone: make(chan struct{}),
+	}
+	go s.dispatch()
+	return s, nil
+}
+
+// Code returns the server's interleaved RS configuration.
+func (s *Server) Code() *rs.Interleaved { return s.iv }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown (which closes ln) or a
+// listener failure. It returns nil after a clean Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		// Shutdown won the race to start: nothing to serve, cleanly.
+		s.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	if s.serving {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: Serve called twice")
+	}
+	s.serving = true
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.startConn(nc)
+	}
+}
+
+// Addr returns the listener address once Serve has been called
+// (nil before).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// startConn registers and launches one connection's read and write
+// loops, unless the server is already draining.
+func (s *Server) startConn(nc net.Conn) {
+	c := &conn{
+		s:      s,
+		nc:     nc,
+		bw:     bufio.NewWriterSize(nc, 64<<10),
+		writeq: make(chan outMsg, s.cfg.Window+1), // +1: one conn-fatal error reply past the window
+		sem:    make(chan struct{}, s.cfg.Window),
+		dead:   make(chan struct{}),
+		drain:  make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.readerWG.Add(1)
+	s.writerWG.Add(1)
+	s.mu.Unlock()
+	s.ctr.connsAccepted.Add(1)
+	s.ctr.connsActive.Add(1)
+	go c.readLoop()
+	go c.writeLoop()
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.ctr.connsActive.Add(-1)
+}
+
+// dispatch is the single response router: it consumes delivered frames
+// from the shared run and hands each response to its connection's write
+// queue. The per-connection window guarantees the queue has room, so
+// dispatch never blocks on a slow client — it drops the response only
+// when the connection has already died.
+func (s *Server) dispatch() {
+	defer close(s.dispatchDone)
+	for f := range s.run.Out() {
+		pr, ok := f.Tag.(*pendingReq)
+		if !ok { // not ours; nothing to route
+			f.Recycle()
+			continue
+		}
+		var om outMsg
+		if f.Err != nil {
+			payload := []byte(f.Err.Error())
+			f.Recycle()
+			s.ctr.rejects.Add(1)
+			om = outMsg{m: &Message{Op: pr.op, Status: StatusCodecFailed, ID: pr.id, Payload: payload}}
+		} else {
+			// The response references the frame's (pool-backed) payload;
+			// the writer recycles it after the bytes hit the socket.
+			om = outMsg{m: &Message{Op: pr.op, ID: pr.id, Payload: f.Data}, f: f}
+		}
+		switch pr.c.route(om) {
+		case routeOK:
+		case routeClosed:
+			if om.f != nil {
+				om.f.Recycle()
+			}
+			s.ctr.dropped.Add(1)
+		case routeFull:
+			// Window invariant broken — should be impossible. Kill the
+			// connection rather than stall every other client.
+			if om.f != nil {
+				om.f.Recycle()
+			}
+			s.ctr.dropped.Add(1)
+			s.logf("server: write queue overflow on %v (window invariant)", pr.c.nc.RemoteAddr())
+			pr.c.fail()
+		}
+		s.inflight.Done()
+	}
+}
+
+// Shutdown gracefully stops the server: it stops accepting, lets every
+// connection finish reading its current request, drains all in-flight
+// frames through the pipeline, flushes every pending response, then
+// closes the connections and returns. If ctx expires first, remaining
+// connections are closed immediately and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Kick blocked readers out of their socket reads; they observe
+	// draining and stop instead of treating it as an idle timeout.
+	for c := range s.conns {
+		c.nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if already {
+		return errors.New("server: Shutdown called twice")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.readerWG.Wait()   // no more submissions
+		s.inflight.Wait()   // every submitted frame routed to a write queue
+		s.run.Close()       // idempotent; lets the dispatcher exit
+		<-s.dispatchDone    //
+		s.closeConnsDrain() // writers flush their queues and close
+		s.writerWG.Wait()
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.fail()
+		}
+		s.mu.Unlock()
+		s.run.Close()
+		return ctx.Err()
+	}
+}
+
+func (s *Server) closeConnsDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		close(c.drain)
+	}
+}
+
+// isDraining reports the shutdown flag.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// armRead sets the connection's idle read deadline for the next
+// request, unless the server is draining (in which case the deadline
+// kick from Shutdown must stay in force). Returns false when draining.
+func (s *Server) armRead(c *conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	if rt := s.cfg.ReadTimeout; rt > 0 {
+		c.nc.SetReadDeadline(time.Now().Add(rt))
+	} else {
+		c.nc.SetReadDeadline(time.Time{})
+	}
+	return true
+}
+
+// outMsg is one queued response. f, when non-nil, is the pipeline frame
+// whose pooled payload backs m.Payload; the writer recycles it once the
+// message is on the wire.
+type outMsg struct {
+	m *Message
+	f *pipeline.Frame
+}
+
+// conn is one client connection: a read loop that frames requests and
+// submits them, and a write loop that serializes responses.
+type conn struct {
+	s      *Server
+	nc     net.Conn
+	bw     *bufio.Writer
+	writeq chan outMsg
+	sem    chan struct{} // window slots; held from read to response-written
+	dead   chan struct{} // closed on error teardown
+	drain  chan struct{} // closed by Shutdown once in-flight is drained
+
+	failOnce sync.Once
+	broken   bool // write side failed; set only by the write loop
+
+	// wqMu/wqClosed serialize dispatcher routing against write-loop
+	// teardown: once the writer abandons the queue it flips wqClosed, so
+	// a response can never be enqueued after the final drain and leak
+	// unaccounted.
+	wqMu     sync.Mutex
+	wqClosed bool
+}
+
+// routeResult is route's outcome.
+type routeResult int
+
+const (
+	routeOK     routeResult = iota
+	routeClosed             // connection torn down; response not queued
+	routeFull               // queue full — the window invariant is broken
+)
+
+// route enqueues a dispatcher response, never blocking.
+func (c *conn) route(om outMsg) routeResult {
+	c.wqMu.Lock()
+	defer c.wqMu.Unlock()
+	if c.wqClosed {
+		return routeClosed
+	}
+	select {
+	case c.writeq <- om:
+		return routeOK
+	default:
+		return routeFull
+	}
+}
+
+// closeWriteq bars further routing; after it returns the write loop
+// owns every remaining queued response.
+func (c *conn) closeWriteq() {
+	c.wqMu.Lock()
+	c.wqClosed = true
+	c.wqMu.Unlock()
+}
+
+// fail tears the connection down: the write loop exits (dropping queued
+// responses), its deferred close unblocks the read loop, and the
+// dispatcher drops any still-in-flight responses for this connection.
+func (c *conn) fail() {
+	c.failOnce.Do(func() { close(c.dead) })
+}
+
+// readLoop frames requests off the socket and hands them to handle
+// until the client disconnects, a framing violation poisons the stream,
+// the idle deadline expires, or the server drains.
+func (c *conn) readLoop() {
+	defer c.s.readerWG.Done()
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	for {
+		if !c.s.armRead(c) {
+			return // draining: stop intake, leave teardown to Shutdown
+		}
+		m, err := readMessage(br, c.s.cfg.MaxPayload)
+		if err != nil {
+			if c.s.isDraining() {
+				return
+			}
+			var pe *protoError
+			if errors.As(err, &pe) {
+				// Report the violation, then drop the connection: the
+				// stream cannot be resynchronized.
+				c.s.ctr.rejects.Add(1)
+				c.send(outMsg{m: &Message{Status: pe.status, Payload: []byte(pe.msg)}})
+			} else if !errors.Is(err, io.EOF) {
+				c.s.logf("server: read from %v: %v", c.nc.RemoteAddr(), err)
+			}
+			c.fail()
+			return
+		}
+		c.s.ctr.requests.Add(1)
+		c.s.ctr.bytesIn.Add(int64(headerSize + len(m.Params) + len(m.Payload)))
+		if !c.handle(m) {
+			return
+		}
+	}
+}
+
+// handle processes one framed request; it returns false when the
+// connection should stop reading.
+func (c *conn) handle(m *Message) bool {
+	// Acquire a window slot (released by the write loop once the
+	// response is written). Blocking here is the per-connection
+	// backpressure: a client pipelining beyond its window waits.
+	select {
+	case c.sem <- struct{}{}:
+	case <-c.dead:
+		c.s.ctr.dropped.Add(1) // framed but the connection died first
+		return false
+	}
+	reject := func(st Status, format string, args ...any) bool {
+		c.s.ctr.rejects.Add(1)
+		return c.send(outMsg{m: &Message{Op: m.Op, Status: st, ID: m.ID,
+			Payload: []byte(fmt.Sprintf(format, args...))}})
+	}
+	iv := c.s.iv
+	switch m.Op {
+	case OpStats:
+		payload, err := json.Marshal(c.s.Snapshot())
+		if err != nil {
+			return reject(StatusInternal, "stats: %v", err)
+		}
+		return c.send(outMsg{m: &Message{Op: m.Op, ID: m.ID, Payload: payload}})
+	case OpRSEncode:
+		if len(m.Payload) != iv.FrameK() {
+			return reject(StatusBadRequest, "rs-encode payload %dB, want k×depth = %dB",
+				len(m.Payload), iv.FrameK())
+		}
+		return c.submit(m, m.Payload)
+	case OpRSDecode:
+		if len(m.Payload) != iv.FrameN() {
+			return reject(StatusBadRequest, "rs-decode payload %dB, want n×depth = %dB",
+				len(m.Payload), iv.FrameN())
+		}
+		return c.submit(m, m.Payload)
+	case OpSeal, OpOpen:
+		if len(m.Params) != NonceSize {
+			return reject(StatusBadRequest, "%v params %dB, want %d-byte nonce",
+				m.Op, len(m.Params), NonceSize)
+		}
+		if m.Op == OpOpen && len(m.Payload) < aes.BlockSize {
+			return reject(StatusCodecFailed, "aes-gcm-open payload %dB shorter than the tag",
+				len(m.Payload))
+		}
+		// The frame carries nonce‖body; the dispatch stage splits them.
+		data := make([]byte, NonceSize+len(m.Payload))
+		copy(data, m.Params)
+		copy(data[NonceSize:], m.Payload)
+		return c.submit(m, data)
+	default:
+		return reject(StatusUnsupported, "unknown op %d", uint8(m.Op))
+	}
+}
+
+// submit pushes one request into the shared pipeline, tagged with its
+// op (as the frame epoch) and routing state.
+func (c *conn) submit(m *Message, data []byte) bool {
+	c.s.inflight.Add(1)
+	_, err := c.s.run.SubmitChecked(data, int(m.Op), &pendingReq{c: c, op: m.Op, id: m.ID})
+	if err != nil {
+		c.s.inflight.Done()
+		c.s.ctr.rejects.Add(1)
+		c.send(outMsg{m: &Message{Op: m.Op, Status: StatusShuttingDown, ID: m.ID,
+			Payload: []byte("server draining")}})
+		return false
+	}
+	return true
+}
+
+// send enqueues a reader-originated response (stats, rejections)
+// through the same routing gate the dispatcher uses. The window slot
+// the reader holds guarantees queue room, so the full-queue retry is a
+// safety net, not a steady state. Returns false once the connection is
+// dead.
+func (c *conn) send(om outMsg) bool {
+	for {
+		switch c.route(om) {
+		case routeOK:
+			return true
+		case routeClosed:
+			c.s.ctr.dropped.Add(1)
+			return false
+		case routeFull:
+			select {
+			case <-c.dead: // writer is tearing down; next route sees closed
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+}
+
+// writeLoop serializes responses onto the socket. On drain (graceful
+// shutdown) it flushes everything queued before closing; on dead it
+// exits immediately. The deferred close also unblocks the read loop.
+func (c *conn) writeLoop() {
+	defer c.s.writerWG.Done()
+	defer c.s.removeConn(c)
+	defer c.nc.Close()
+	for {
+		select {
+		case om := <-c.writeq:
+			c.write(om)
+		case <-c.dead:
+			c.closeWriteq()
+			c.drainRecycle()
+			return
+		case <-c.drain:
+			// In-flight is globally drained: everything this connection
+			// will ever get is already queued.
+			for {
+				select {
+				case om := <-c.writeq:
+					c.write(om)
+				default:
+					c.bw.Flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// drainRecycle accounts for and releases responses abandoned by an
+// error teardown: they were routed but will never reach the client.
+func (c *conn) drainRecycle() {
+	for {
+		select {
+		case om := <-c.writeq:
+			if om.f != nil {
+				om.f.Recycle()
+			}
+			c.s.ctr.dropped.Add(1)
+		default:
+			return
+		}
+	}
+}
+
+// write puts one response on the wire (buffered; flushed when the queue
+// momentarily empties), releases its window slot, and recycles the
+// backing frame. After a write error the connection is failed and
+// further writes are dropped.
+func (c *conn) write(om outMsg) {
+	if c.broken {
+		c.s.ctr.dropped.Add(1)
+	} else {
+		if wt := c.s.cfg.WriteTimeout; wt > 0 {
+			c.nc.SetWriteDeadline(time.Now().Add(wt))
+		}
+		err := writeMessage(c.bw, om.m)
+		if err == nil && len(c.writeq) == 0 {
+			err = c.bw.Flush()
+		}
+		if err != nil {
+			c.broken = true
+			c.s.ctr.dropped.Add(1)
+			c.s.logf("server: write to %v: %v", c.nc.RemoteAddr(), err)
+			c.fail()
+		} else {
+			c.s.ctr.responses.Add(1)
+			c.s.ctr.bytesOut.Add(int64(headerSize + len(om.m.Params) + len(om.m.Payload)))
+		}
+	}
+	if om.f != nil {
+		om.f.Recycle()
+	}
+	select {
+	case <-c.sem:
+	default: // conn-fatal replies are sent without a slot
+	}
+}

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/aes"
+	"repro/internal/pipeline"
+)
+
+// dispatchStage is the single stage of the server's shared pipeline: it
+// routes each frame to the codec op encoded in Frame.Epoch. Multiplexing
+// every op through one stage (instead of one pipeline per op) keeps a
+// single worker pool hot regardless of the op mix.
+//
+// It implements pipeline.WorkerLocal so each worker gets private RS
+// scratch (the underlying RS stages are WorkerLocal); the GCM instance
+// is immutable after construction and shared.
+type dispatchStage struct {
+	enc, dec pipeline.Stage
+	gcm      *aes.GCM
+	aad      []byte
+}
+
+// Name implements pipeline.Stage.
+func (d *dispatchStage) Name() string { return "codec-dispatch" }
+
+// ForWorker implements pipeline.WorkerLocal.
+func (d *dispatchStage) ForWorker(w int) pipeline.Stage {
+	cp := *d
+	if wl, ok := d.enc.(pipeline.WorkerLocal); ok {
+		cp.enc = wl.ForWorker(w)
+	}
+	if wl, ok := d.dec.(pipeline.WorkerLocal); ok {
+		cp.dec = wl.ForWorker(w)
+	}
+	return &cp
+}
+
+// Process implements pipeline.Stage. Seal/open frames carry nonce‖body
+// (the nonce is client-chosen so the peer can reconstruct it; the
+// server is a codec, not a key manager — nonce uniqueness is the
+// client's contract, as with any GCM API).
+func (d *dispatchStage) Process(f *pipeline.Frame) error {
+	switch Op(f.Epoch) {
+	case OpRSEncode:
+		return d.enc.Process(f)
+	case OpRSDecode:
+		return d.dec.Process(f)
+	case OpSeal:
+		out, err := d.gcm.Seal(f.Data[:NonceSize], f.Data[NonceSize:], d.aad)
+		if err != nil {
+			return err
+		}
+		f.Data = out
+		return nil
+	case OpOpen:
+		out, err := d.gcm.Open(f.Data[:NonceSize], f.Data[NonceSize:], d.aad)
+		if err != nil {
+			return err
+		}
+		f.Data = out
+		return nil
+	default:
+		return fmt.Errorf("server: unroutable op %d", f.Epoch)
+	}
+}

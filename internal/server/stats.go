@@ -1,0 +1,103 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"repro/internal/perf"
+)
+
+// counters are the server-level atomics exported by the stats op.
+type counters struct {
+	connsAccepted atomic.Int64
+	connsActive   atomic.Int64
+	requests      atomic.Int64
+	responses     atomic.Int64
+	rejects       atomic.Int64
+	dropped       atomic.Int64
+	bytesIn       atomic.Int64
+	bytesOut      atomic.Int64
+}
+
+// Counters is the serialized form of the server-level counters.
+type Counters struct {
+	ConnsAccepted int64 `json:"conns_accepted"`
+	ConnsActive   int64 `json:"conns_active"`
+	Requests      int64 `json:"requests"`
+	Responses     int64 `json:"responses"`
+	// Rejects counts error responses (malformed requests and codec
+	// failures); Dropped counts responses abandoned because their
+	// connection died first.
+	Rejects  int64 `json:"rejects"`
+	Dropped  int64 `json:"dropped"`
+	BytesIn  int64 `json:"bytes_in"`
+	BytesOut int64 `json:"bytes_out"`
+}
+
+// ConfigInfo describes the server's codec configuration, so clients
+// (gfload) can discover frame sizes instead of guessing them.
+type ConfigInfo struct {
+	N          int `json:"n"`
+	K          int `json:"k"`
+	Depth      int `json:"depth"`
+	FrameK     int `json:"frame_k"` // rs-encode request payload size
+	FrameN     int `json:"frame_n"` // rs-decode request payload size
+	Workers    int `json:"workers"`
+	Queue      int `json:"queue"`
+	Window     int `json:"window"`
+	MaxPayload int `json:"max_payload"`
+}
+
+// StageSnapshot is one pipeline stage's statistics at snapshot time.
+type StageSnapshot struct {
+	Name      string           `json:"name"`
+	Frames    int64            `json:"frames"`
+	Errors    int64            `json:"errors"`
+	BytesIn   int64            `json:"bytes_in"`
+	BytesOut  int64            `json:"bytes_out"`
+	Corrected int64            `json:"corrected"`
+	Latency   perf.HistSummary `json:"latency"`
+}
+
+// StatsSnapshot is the stats op's response payload (JSON).
+type StatsSnapshot struct {
+	Config ConfigInfo       `json:"config"`
+	Server Counters         `json:"server"`
+	Stages []StageSnapshot  `json:"stages"`
+	Total  perf.HistSummary `json:"total"` // pipeline submit-to-delivery latency
+}
+
+// Snapshot captures the live server and pipeline statistics.
+func (s *Server) Snapshot() *StatsSnapshot {
+	pcfg := s.pl.Config()
+	snap := &StatsSnapshot{
+		Config: ConfigInfo{
+			N: s.cfg.N, K: s.cfg.K, Depth: s.cfg.Depth,
+			FrameK: s.iv.FrameK(), FrameN: s.iv.FrameN(),
+			Workers: pcfg.Workers, Queue: pcfg.Queue,
+			Window: s.cfg.Window, MaxPayload: s.cfg.MaxPayload,
+		},
+		Server: Counters{
+			ConnsAccepted: s.ctr.connsAccepted.Load(),
+			ConnsActive:   s.ctr.connsActive.Load(),
+			Requests:      s.ctr.requests.Load(),
+			Responses:     s.ctr.responses.Load(),
+			Rejects:       s.ctr.rejects.Load(),
+			Dropped:       s.ctr.dropped.Load(),
+			BytesIn:       s.ctr.bytesIn.Load(),
+			BytesOut:      s.ctr.bytesOut.Load(),
+		},
+		Total: s.pl.Total.Summary(),
+	}
+	for _, st := range s.pl.Stats() {
+		snap.Stages = append(snap.Stages, StageSnapshot{
+			Name:      st.Name,
+			Frames:    st.Frames.Load(),
+			Errors:    st.Errors.Load(),
+			BytesIn:   st.BytesIn.Load(),
+			BytesOut:  st.BytesOut.Load(),
+			Corrected: st.Corrected.Load(),
+			Latency:   st.Latency.Summary(),
+		})
+	}
+	return snap
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Loopback smoke test: build gfserved + gfload, bring the server up,
+# drive 10k RS(255,239) round trips over 8 connections through a noisy
+# channel, then shut the server down gracefully (SIGINT) and check it
+# drains and exits cleanly. Run from the repo root; exits nonzero on
+# any failure.
+set -euo pipefail
+
+ADDR="${ADDR:-127.0.0.1:46500}"
+REQUESTS="${REQUESTS:-10000}"
+CONNS="${CONNS:-8}"
+WINDOW="${WINDOW:-8}"
+# ~2 bit flips per 255-byte word: real corrections on every frame, but
+# comfortably inside RS(255,239)'s t=8 bound (p=0.004 would sit AT the
+# bound and fail half the words).
+P="${P:-0.001}"
+
+workdir=$(mktemp -d)
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/gfserved" ./cmd/gfserved
+go build -o "$workdir/gfload" ./cmd/gfload
+
+"$workdir/gfserved" -addr "$ADDR" >"$workdir/server.log" 2>&1 &
+server_pid=$!
+
+"$workdir/gfload" -addr "$ADDR" -wait 10s \
+  -conns "$CONNS" -window "$WINDOW" -requests "$REQUESTS" -p "$P"
+
+kill -INT "$server_pid"
+for _ in $(seq 1 100); do
+  kill -0 "$server_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+  echo "smoke: gfserved did not exit within 10s of SIGINT" >&2
+  cat "$workdir/server.log" >&2
+  exit 1
+fi
+wait "$server_pid" || {
+  status=$?
+  echo "smoke: gfserved exited with status $status" >&2
+  cat "$workdir/server.log" >&2
+  exit "$status"
+}
+
+grep -q '"requests"' "$workdir/server.log" || {
+  echo "smoke: no final stats snapshot in server log" >&2
+  cat "$workdir/server.log" >&2
+  exit 1
+}
+echo "smoke: ok — $REQUESTS round trips + graceful drain"
