@@ -36,19 +36,21 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/gf"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/server"
 )
 
 type cliConfig struct {
-	addr     string
-	conns    int
-	window   int
-	requests int
-	p        float64
-	seed     int64
-	wait     time.Duration
-	quiet    bool
+	addr       string
+	conns      int
+	window     int
+	requests   int
+	p          float64
+	seed       int64
+	wait       time.Duration
+	quiet      bool
+	metricsOut string
 }
 
 // result summarizes a run for CLI-level tests.
@@ -70,6 +72,7 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 1, "rng seed (payloads and channel)")
 	flag.DurationVar(&cfg.wait, "wait", 5*time.Second, "retry budget while connecting")
 	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress the report")
+	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "write a JSON metrics registry dump to this file on exit")
 	flag.Parse()
 
 	if _, err := run(cfg, os.Stdout); err != nil {
@@ -136,6 +139,14 @@ func run(cfg cliConfig, w io.Writer) (*result, error) {
 	wg.Wait()
 	res.elapsed = time.Since(start)
 	close(errs)
+
+	// Dump metrics before the failure checks so a failed run still
+	// leaves its numbers on disk for inspection.
+	if cfg.metricsOut != "" {
+		if err := writeMetricsDump(cfg.metricsOut, res); err != nil {
+			return res, err
+		}
+	}
 	for err := range errs {
 		return res, err
 	}
@@ -207,6 +218,30 @@ func corruptBytes(ch channel.Channel, b []byte) []byte {
 		res[i] = byte(v)
 	}
 	return res
+}
+
+// registerMetrics exposes the run's counters as gfp_load_* instruments.
+func registerMetrics(reg *obs.Registry, res *result) {
+	const name, help = "gfp_load_round_trips_total", "Round trips by outcome."
+	reg.CounterFunc(name, help, res.completed.Load, obs.L("result", "ok"))
+	reg.CounterFunc(name, help, res.uncorrectable.Load, obs.L("result", "uncorrectable"))
+	reg.CounterFunc(name, help, res.residual.Load, obs.L("result", "wrong-bytes"))
+	reg.HistogramFunc("gfp_load_round_trip_seconds",
+		"Successful round-trip latency (encode + corrupt + decode).", res.hist)
+}
+
+func writeMetricsDump(path string, res *result) error {
+	reg := obs.NewRegistry()
+	registerMetrics(reg, res)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	return f.Close()
 }
 
 func report(w io.Writer, cfg cliConfig, res *result, frameK int) {

@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"io"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -102,5 +105,57 @@ func TestRunRejects(t *testing.T) {
 		if _, err := run(cfg, &bytes.Buffer{}); err == nil {
 			t.Errorf("run(%+v) accepted bad config", cfg)
 		}
+	}
+}
+
+// TestMetricsOutDump: -metrics-out writes the gfp_load_* registry dump,
+// with per-outcome round-trip counters and the latency histogram.
+func TestMetricsOutDump(t *testing.T) {
+	addr := startServer(t, server.Config{N: 255, K: 239, Depth: 1, Window: 8})
+	path := t.TempDir() + "/metrics.json"
+	res, err := run(cliConfig{
+		addr: addr, conns: 2, window: 2, requests: 200,
+		seed: 1, wait: 2 * time.Second, quiet: true, metricsOut: path,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics []struct {
+		Name    string `json:"name"`
+		Samples []struct {
+			Labels []struct {
+				Key   string `json:"key"`
+				Value string `json:"value"`
+			} `json:"labels"`
+			Value float64 `json:"value"`
+			Hist  *struct {
+				Count int64 `json:"count"`
+			} `json:"hist"`
+		} `json:"samples"`
+	}
+	if err := json.Unmarshal(raw, &metrics); err != nil {
+		t.Fatalf("dump not JSON: %v", err)
+	}
+	var okTrips, histCount int64 = -1, -1
+	for _, m := range metrics {
+		for _, s := range m.Samples {
+			switch {
+			case m.Name == "gfp_load_round_trips_total" &&
+				len(s.Labels) == 1 && s.Labels[0].Value == "ok":
+				okTrips = int64(s.Value)
+			case m.Name == "gfp_load_round_trip_seconds" && s.Hist != nil:
+				histCount = s.Hist.Count
+			}
+		}
+	}
+	if okTrips != res.completed.Load() {
+		t.Errorf("dump ok trips = %d, want %d", okTrips, res.completed.Load())
+	}
+	if histCount != res.completed.Load() {
+		t.Errorf("dump hist count = %d, want %d", histCount, res.completed.Load())
 	}
 }

@@ -48,6 +48,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/gf"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/rs"
 )
@@ -57,19 +58,20 @@ import (
 // zero-crossover channel instead of falling back to the Eb/N0-derived
 // probability.
 type cliConfig struct {
-	frames    int
-	n, k      int
-	depth     int
-	workers   int
-	queue     int
-	chName    string
-	ebn0      float64
-	pOverride float64
-	pSet      bool
-	useGCM    bool
-	metered   bool
-	seed      int64
-	quiet     bool
+	frames     int
+	n, k       int
+	depth      int
+	workers    int
+	queue      int
+	chName     string
+	ebn0       float64
+	pOverride  float64
+	pSet       bool
+	useGCM     bool
+	metered    bool
+	seed       int64
+	quiet      bool
+	metricsOut string
 
 	adaptiveMode bool
 	ladder       string
@@ -106,6 +108,7 @@ func main() {
 	flag.BoolVar(&cfg.metered, "metered", false, "metered RS decode with cycle accounting (needs -depth 1)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "rng seed (payloads and channel)")
 	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress the per-stage table")
+	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "write a JSON metrics registry dump to this file on exit")
 	flag.BoolVar(&cfg.adaptiveMode, "adaptive", false, "closed-loop rate adaptation over a time-varying channel")
 	flag.StringVar(&cfg.ladder, "ladder", "251,239,223,191,127",
 		"adaptive: comma-separated k values of the RS(n,k) rate ladder, highest rate first")
@@ -293,9 +296,21 @@ func runFixed(cfg cliConfig, w io.Writer) (*result, error) {
 		fmt.Fprintf(w, "channel: %s (bit flip p=%.3e)\n", cfg.chName, p)
 	}
 
+	reg := obs.NewRegistry()
+	pl.RegisterMetrics(reg)
+	pipeline.RegisterGFKernelMetrics(reg)
+
 	start := time.Now()
 	got, runErr := pl.Start().Drain(payloads)
 	elapsed := time.Since(start)
+
+	// Dump before the failure checks so a failed run still leaves its
+	// numbers on disk.
+	if cfg.metricsOut != "" {
+		if err := dumpRegistry(cfg.metricsOut, reg); err != nil {
+			return nil, err
+		}
+	}
 
 	res := &result{frames: cfg.frames}
 	mismatched := 0
@@ -353,6 +368,19 @@ func runFixed(cfg cliConfig, w io.Writer) (*result, error) {
 	// interpretable when pasted into reports.
 	fmt.Fprintf(w, "\nhost: GOMAXPROCS=%d NumCPU=%d\n", runtime.GOMAXPROCS(0), runtime.NumCPU())
 	return res, nil
+}
+
+// dumpRegistry writes the registry's JSON snapshot to path.
+func dumpRegistry(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	return f.Close()
 }
 
 // parseLadder parses the -ladder k list.
@@ -442,9 +470,20 @@ func runAdaptive(cfg cliConfig, w io.Writer) (*result, error) {
 		},
 	}
 
+	reg := obs.NewRegistry()
+	pl.RegisterMetrics(reg)
+	pipeline.RegisterGFKernelMetrics(reg)
+	ctrl.RegisterMetrics(reg)
+	drv.RegisterMetrics(reg)
+
 	start := time.Now()
 	epochs, err := drv.Run(pl, frames)
 	elapsed := time.Since(start)
+	if cfg.metricsOut != "" {
+		if derr := dumpRegistry(cfg.metricsOut, reg); derr != nil && err == nil {
+			err = derr
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
+	"os"
 	"reflect"
 	"strings"
 	"testing"
@@ -204,5 +206,65 @@ func TestValidateAcceptsDefaults(t *testing.T) {
 	cfg.adaptiveMode = true
 	if err := cfg.validate(); err != nil {
 		t.Errorf("adaptive-mode defaults rejected: %v", err)
+	}
+}
+
+// TestMetricsOutDump: -metrics-out leaves a JSON registry dump on disk
+// with the pipeline stage instruments populated.
+func TestMetricsOutDump(t *testing.T) {
+	cfg := baseConfig()
+	cfg.metricsOut = t.TempDir() + "/metrics.json"
+	if _, err := run(cfg, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(cfg.metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics []struct {
+		Name    string `json:"name"`
+		Kind    string `json:"kind"`
+		Samples []struct {
+			Value float64 `json:"value"`
+		} `json:"samples"`
+	}
+	if err := json.Unmarshal(raw, &metrics); err != nil {
+		t.Fatalf("dump not JSON: %v", err)
+	}
+	byName := map[string]float64{}
+	for _, m := range metrics {
+		if len(m.Samples) > 0 {
+			byName[m.Name] = m.Samples[0].Value
+		}
+	}
+	if got := byName["gfp_pipeline_stage_frames_total"]; got != float64(cfg.frames) {
+		t.Errorf("stage frames = %g, want %d", got, cfg.frames)
+	}
+	if _, ok := byName["gfp_gf_kernel_calls_total"]; !ok {
+		t.Error("dump missing gfp_gf_kernel_calls_total")
+	}
+}
+
+// TestMetricsOutAdaptive: the adaptive run's dump includes controller
+// and driver instruments.
+func TestMetricsOutAdaptive(t *testing.T) {
+	cfg := baseConfig()
+	cfg.adaptiveMode = true
+	cfg.workers, cfg.queue, cfg.window = 1, 2, 2
+	cfg.metricsOut = t.TempDir() + "/metrics.json"
+	if _, err := run(cfg, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(cfg.metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"gfp_adaptive_rung", "gfp_adaptive_frames_delivered_total",
+		"gfp_adaptive_goodput", "gfp_pipeline_stage_frames_total",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("adaptive dump missing %s", want)
+		}
 	}
 }

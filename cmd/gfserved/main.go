@@ -15,13 +15,16 @@
 //	gfserved [-addr :4650] [-n 255] [-k 239] [-depth 1] [-workers 0]
 //	         [-queue 0] [-window 32] [-max-payload 1048576]
 //	         [-key STRING] [-read-timeout 2m] [-write-timeout 30s]
-//	         [-grace 30s] [-quiet]
+//	         [-grace 30s] [-quiet] [-admin ADDR] [-progress DUR]
+//	         [-trace-every 64] [-trace-slowest 16]
 //
 // Examples:
 //
 //	gfserved                        # RS(255,239) on :4650
 //	gfserved -n 255 -k 223 -depth 4 # deeper code, interleaved frames
 //	gfserved -addr 127.0.0.1:0      # ephemeral port (printed on start)
+//	gfserved -admin :9090           # /metrics, /healthz, /statsz, pprof
+//	gfserved -progress 5s           # one summary line every 5s
 package main
 
 import (
@@ -31,11 +34,15 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -52,6 +59,23 @@ type cliConfig struct {
 	writeTimeout time.Duration
 	grace        time.Duration
 	quiet        bool
+	adminAddr    string
+	progress     time.Duration
+	traceEvery   int
+	traceSlowest int
+}
+
+// syncWriter serializes writes so the progress goroutine and the main
+// goroutine can share one output stream without interleaving lines.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (sw *syncWriter) Write(p []byte) (int, error) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.w.Write(p)
 }
 
 func main() {
@@ -69,6 +93,10 @@ func main() {
 	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 30*time.Second, "per-response write limit (0 = none)")
 	flag.DurationVar(&cfg.grace, "grace", 30*time.Second, "shutdown drain budget before connections are cut")
 	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress the final stats snapshot")
+	flag.StringVar(&cfg.adminAddr, "admin", "", "admin HTTP listen address for /metrics, /healthz, /statsz and /debug/pprof (empty = off)")
+	flag.DurationVar(&cfg.progress, "progress", 0, "print a one-line stats summary at this interval (0 = off)")
+	flag.IntVar(&cfg.traceEvery, "trace-every", 64, "sample every Nth frame for lifecycle tracing (1 = all, 0 = off)")
+	flag.IntVar(&cfg.traceSlowest, "trace-slowest", 16, "slowest traced frames kept for /statsz")
 	flag.Parse()
 
 	if err := run(cfg, os.Stdout); err != nil {
@@ -77,7 +105,8 @@ func main() {
 	}
 }
 
-func run(cfg cliConfig, w io.Writer) error {
+func run(cfg cliConfig, out io.Writer) error {
+	w := &syncWriter{w: out}
 	logger := log.New(os.Stderr, "gfserved: ", log.LstdFlags)
 	s, err := server.New(server.Config{
 		N: cfg.n, K: cfg.k, Depth: cfg.depth,
@@ -86,10 +115,35 @@ func run(cfg cliConfig, w io.Writer) error {
 		MaxPayload:  cfg.maxPayload,
 		Window:      cfg.window,
 		ReadTimeout: cfg.readTimeout, WriteTimeout: cfg.writeTimeout,
+		TraceEvery: cfg.traceEvery, TraceSlowest: cfg.traceSlowest,
 		Logf: logger.Printf,
 	})
 	if err != nil {
 		return err
+	}
+
+	reg := obs.NewRegistry()
+	s.RegisterMetrics(reg)
+
+	if cfg.adminAddr != "" {
+		aln, err := net.Listen("tcp", cfg.adminAddr)
+		if err != nil {
+			return fmt.Errorf("admin listen: %w", err)
+		}
+		admin := &http.Server{Handler: s.AdminHandler(reg)}
+		go admin.Serve(aln)
+		defer admin.Close()
+		fmt.Fprintf(w, "gfserved: admin on http://%s — /metrics /healthz /statsz /debug/pprof\n", aln.Addr())
+	}
+
+	if cfg.progress > 0 {
+		progressDone := make(chan struct{})
+		progressStop := make(chan struct{})
+		go func() {
+			defer close(progressDone)
+			progressLoop(w, reg, cfg.progress, progressStop)
+		}()
+		defer func() { close(progressStop); <-progressDone }()
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -140,4 +194,33 @@ func run(cfg cliConfig, w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// progressLoop prints one summary line per interval out of the metrics
+// registry: the request ledger, live connections, traced frames and the
+// pipeline p95 latency.
+func progressLoop(w io.Writer, reg *obs.Registry, interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		req, _ := reg.Value("gfp_server_requests_total")
+		resp, _ := reg.Value("gfp_server_responses_total")
+		rej, _ := reg.Value("gfp_server_rejects_total")
+		drop, _ := reg.Value("gfp_server_dropped_total")
+		conns, _ := reg.Value("gfp_server_connections_active")
+		line := fmt.Sprintf("gfserved: req=%.0f resp=%.0f rej=%.0f drop=%.0f conns=%.0f",
+			req, resp, rej, drop, conns)
+		if traced, ok := reg.Value("gfp_pipeline_traced_frames_total"); ok {
+			line += fmt.Sprintf(" traced=%.0f", traced)
+		}
+		if h, ok := reg.HistValue("gfp_pipeline_latency_seconds"); ok && h.Count > 0 {
+			line += fmt.Sprintf(" p95=%s", time.Duration(h.Quantile(0.95)))
+		}
+		fmt.Fprintln(w, line)
+	}
 }

@@ -146,6 +146,29 @@ func (c *Controller) Transitions() []Transition {
 	return append([]Transition(nil), c.transitions...)
 }
 
+// CurrentRung returns the rung index new frames encode under. Safe for
+// concurrent use (metrics and reporters poll it while the loop runs).
+func (c *Controller) CurrentRung() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.rung
+}
+
+// TransitionCount returns how many rung switches have happened.
+func (c *Controller) TransitionCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.transitions)
+}
+
+// Observed returns the total frames of feedback seen, current epoch or
+// not.
+func (c *Controller) Observed() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.observed
+}
+
 // downAt returns the worst-codeword correction count that triggers a
 // step down under a code correcting t errors.
 func (c *Controller) downAt(t int) int {

@@ -2,6 +2,7 @@ package adaptive
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/pipeline"
 )
@@ -62,6 +63,13 @@ type Driver struct {
 	// from the driver goroutine) after the controller has seen its
 	// feedback — the hook for round-trip verification and reporting.
 	OnFrame func(f *pipeline.Frame)
+
+	// Running link totals, updated atomically by account so metrics can
+	// read them while Run is live.
+	delivered    atomic.Int64
+	failed       atomic.Int64
+	payloadBytes atomic.Int64
+	channelBytes atomic.Int64
 }
 
 // Run pushes `frames` frames through the pipeline's closed loop and
@@ -130,10 +138,14 @@ func (d *Driver) account(epochs []EpochStats, f *pipeline.Frame) []EpochStats {
 	st.Corrected += f.Corrected
 	rung := d.Ctrl.Ladder().Rung(st.Rung)
 	st.ChannelBytes += int64(rung.IV.FrameN())
+	d.delivered.Add(1)
+	d.channelBytes.Add(int64(rung.IV.FrameN()))
 	if f.Err != nil {
 		st.Failed++
+		d.failed.Add(1)
 	} else {
 		st.PayloadBytes += int64(rung.IV.FrameK())
+		d.payloadBytes.Add(int64(rung.IV.FrameK()))
 	}
 	return epochs
 }

@@ -1,0 +1,50 @@
+package adaptive
+
+import "repro/internal/obs"
+
+// RegisterMetrics registers the controller's live rate-ladder position
+// with reg under the gfp_adaptive_* names. Call once per controller per
+// registry.
+func (c *Controller) RegisterMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("gfp_adaptive_rung",
+		"Current rate-ladder rung index (0 = weakest code, highest rate).",
+		func() float64 { return float64(c.CurrentRung()) })
+	reg.GaugeFunc("gfp_adaptive_code_rate",
+		"Code rate of the current rung (message bytes / channel bytes).",
+		func() float64 {
+			r := c.ladder.Rung(c.CurrentRung())
+			return float64(r.IV.FrameK()) / float64(r.IV.FrameN())
+		})
+	reg.GaugeFunc("gfp_adaptive_epoch",
+		"Current configuration epoch id.",
+		func() float64 { return float64(c.CurrentEpoch()) })
+	reg.CounterFunc("gfp_adaptive_transitions_total",
+		"Rung switches taken by the controller.",
+		func() int64 { return int64(c.TransitionCount()) })
+	reg.CounterFunc("gfp_adaptive_frames_observed_total",
+		"Decode-feedback frames the controller has seen.",
+		func() int64 { return int64(c.Observed()) })
+}
+
+// RegisterMetrics registers the driver's running link totals with reg.
+// The goodput gauge is delivered payload bytes per channel byte across
+// the whole run so far — the link's epoch-weighted efficiency.
+func (d *Driver) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("gfp_adaptive_frames_delivered_total",
+		"Frames delivered through the adaptive link.", d.delivered.Load)
+	reg.CounterFunc("gfp_adaptive_frames_failed_total",
+		"Frames whose decode failed (residual losses).", d.failed.Load)
+	reg.CounterFunc("gfp_adaptive_payload_bytes_total",
+		"Message bytes of successfully decoded frames.", d.payloadBytes.Load)
+	reg.CounterFunc("gfp_adaptive_channel_bytes_total",
+		"Coded bytes the link put on the wire.", d.channelBytes.Load)
+	reg.GaugeFunc("gfp_adaptive_goodput",
+		"Delivered payload bytes per channel byte, run to date.",
+		func() float64 {
+			ch := d.channelBytes.Load()
+			if ch == 0 {
+				return 0
+			}
+			return float64(d.payloadBytes.Load()) / float64(ch)
+		})
+}

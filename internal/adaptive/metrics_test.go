@@ -1,0 +1,70 @@
+package adaptive
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestControllerRegisterMetrics(t *testing.T) {
+	ctrl, err := NewController(testLadder(t), 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ctrl.RegisterMetrics(reg)
+
+	if v, ok := reg.Value("gfp_adaptive_rung"); !ok || v != 1 {
+		t.Errorf("rung gauge = %g,%v, want 1", v, ok)
+	}
+	r := ctrl.Ladder().Rung(1)
+	wantRate := float64(r.IV.FrameK()) / float64(r.IV.FrameN())
+	if v, _ := reg.Value("gfp_adaptive_code_rate"); v != wantRate {
+		t.Errorf("code rate gauge = %g, want %g", v, wantRate)
+	}
+
+	ctrl.Observe(Feedback{Seq: 0, Epoch: 0, Failed: true}) // step down -> rung 2
+	if v, _ := reg.Value("gfp_adaptive_rung"); v != 2 {
+		t.Errorf("rung gauge after failure = %g, want 2", v)
+	}
+	if v, _ := reg.Value("gfp_adaptive_epoch"); v != 1 {
+		t.Errorf("epoch gauge = %g, want 1", v)
+	}
+	if v, _ := reg.Value("gfp_adaptive_transitions_total"); v != 1 {
+		t.Errorf("transitions counter = %g, want 1", v)
+	}
+	if v, _ := reg.Value("gfp_adaptive_frames_observed_total"); v != 1 {
+		t.Errorf("observed counter = %g, want 1", v)
+	}
+}
+
+func TestDriverRegisterMetrics(t *testing.T) {
+	ctrl, err := NewController(testLadder(t), 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Driver{Ctrl: ctrl}
+	reg := obs.NewRegistry()
+	d.RegisterMetrics(reg)
+
+	if v, ok := reg.Value("gfp_adaptive_goodput"); !ok || v != 0 {
+		t.Errorf("goodput before traffic = %g,%v, want 0", v, ok)
+	}
+	// Fold two frames in directly: one delivered, one failed.
+	rung := ctrl.Ladder().Rung(0)
+	d.delivered.Add(2)
+	d.failed.Add(1)
+	d.channelBytes.Add(2 * int64(rung.IV.FrameN()))
+	d.payloadBytes.Add(int64(rung.IV.FrameK()))
+
+	if v, _ := reg.Value("gfp_adaptive_frames_delivered_total"); v != 2 {
+		t.Errorf("delivered = %g, want 2", v)
+	}
+	if v, _ := reg.Value("gfp_adaptive_frames_failed_total"); v != 1 {
+		t.Errorf("failed = %g, want 1", v)
+	}
+	want := float64(rung.IV.FrameK()) / float64(2*rung.IV.FrameN())
+	if v, _ := reg.Value("gfp_adaptive_goodput"); v != want {
+		t.Errorf("goodput = %g, want %g", v, want)
+	}
+}

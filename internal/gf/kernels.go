@@ -46,6 +46,7 @@ const tableMaxM = 8
 type Kernels struct {
 	f      *Field
 	order  int
+	tier   kernelTier
 	mul    []Elem   // flat product table, row c at [c*order : (c+1)*order]; nil on the scalar tier
 	packed []uint64 // packed rows for m <= packedMaxM; nil otherwise
 }
@@ -68,12 +69,15 @@ func (f *Field) ScalarKernels() *Kernels {
 }
 
 func (f *Field) buildKernels() {
-	f.scalarKern = &Kernels{f: f, order: f.order}
+	f.scalarKern = &Kernels{f: f, order: f.order, tier: tierScalar}
 	if f.m > tableMaxM {
 		f.kern = f.scalarKern
 		return
 	}
-	k := &Kernels{f: f, order: f.order}
+	k := &Kernels{f: f, order: f.order, tier: tierTable}
+	if f.m <= packedMaxM {
+		k.tier = tierPacked
+	}
 	k.mul = make([]Elem, f.order*f.order)
 	for c := 0; c < f.order; c++ {
 		row := k.mul[c*f.order : (c+1)*f.order]
@@ -113,6 +117,7 @@ func (k *Kernels) AddSlice(dst, a, b []Elem) {
 	if len(a) != len(dst) || len(b) != len(dst) {
 		panic(fmt.Sprintf("gf: AddSlice length mismatch dst=%d a=%d b=%d", len(dst), len(a), len(b)))
 	}
+	k.hit()
 	i := 0
 	for ; i+4 <= len(dst); i += 4 {
 		dst[i] = a[i] ^ b[i]
@@ -131,6 +136,7 @@ func (k *Kernels) XorSlice(dst, src []Elem) {
 	if len(src) > len(dst) {
 		panic(fmt.Sprintf("gf: XorSlice src length %d exceeds dst %d", len(src), len(dst)))
 	}
+	k.hit()
 	for i, v := range src {
 		dst[i] ^= v
 	}
@@ -142,6 +148,7 @@ func (k *Kernels) MulConstSlice(dst, src []Elem, c Elem) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("gf: MulConstSlice length mismatch dst=%d src=%d", len(dst), len(src)))
 	}
+	k.hit()
 	switch {
 	case c == 0:
 		for i := range dst {
@@ -173,6 +180,7 @@ func (k *Kernels) MulConstAddSlice(dst, src []Elem, c Elem) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("gf: MulConstAddSlice length mismatch dst=%d src=%d", len(dst), len(src)))
 	}
+	k.hit()
 	switch {
 	case c == 0:
 	case c == 1:
@@ -200,6 +208,7 @@ func (k *Kernels) DotSlice(a, b []Elem) Elem {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("gf: DotSlice length mismatch a=%d b=%d", len(a), len(b)))
 	}
+	k.hit()
 	var acc Elem
 	if k.mul == nil {
 		for i := range a {
@@ -222,6 +231,7 @@ func (k *Kernels) DotSlice(a, b []Elem) Elem {
 // This is the received-word layout of the RS/BCH codecs and the paper's
 // syndrome recursion S_j <- S_j*alpha^j + R.
 func (k *Kernels) HornerSlice(word []Elem, x Elem) Elem {
+	k.hit()
 	var acc Elem
 	switch {
 	case k.packed != nil:
@@ -245,6 +255,7 @@ func (k *Kernels) HornerSlice(word []Elem, x Elem) Elem {
 // EvalSlice evaluates the polynomial with coeffs[i] the coefficient of
 // x^i (package gfpoly's storage order) at x by Horner's rule.
 func (k *Kernels) EvalSlice(coeffs []Elem, x Elem) Elem {
+	k.hit()
 	var acc Elem
 	switch {
 	case k.packed != nil:
@@ -274,6 +285,7 @@ func (k *Kernels) SyndromeSlice(dst []Elem, word []Elem, xs []Elem) {
 	if len(dst) != len(xs) {
 		panic(fmt.Sprintf("gf: SyndromeSlice length mismatch dst=%d xs=%d", len(dst), len(xs)))
 	}
+	k.hit()
 	j := 0
 	if k.mul != nil {
 		for ; j+4 <= len(xs); j += 4 {
@@ -296,6 +308,7 @@ func (k *Kernels) SyndromeSlice(dst []Elem, word []Elem, xs []Elem) {
 // HornerBitSlice is HornerSlice for a binary word stored one bit per
 // byte (values 0/1), the BCH codeword layout.
 func (k *Kernels) HornerBitSlice(bits []byte, x Elem) Elem {
+	k.hit()
 	var acc Elem
 	switch {
 	case k.packed != nil:
@@ -322,6 +335,7 @@ func (k *Kernels) SyndromeBitSlice(dst []Elem, bits []byte, xs []Elem) {
 	if len(dst) != len(xs) {
 		panic(fmt.Sprintf("gf: SyndromeBitSlice length mismatch dst=%d xs=%d", len(dst), len(xs)))
 	}
+	k.hit()
 	j := 0
 	if k.mul != nil {
 		for ; j+4 <= len(xs); j += 4 {
@@ -384,6 +398,7 @@ func (l *LFSR) Run(par, msg []Elem) {
 	if len(par) != nk {
 		panic(fmt.Sprintf("gf: LFSR.Run register length %d, want %d", len(par), nk))
 	}
+	l.k.hit()
 	if l.tab == nil {
 		for _, s := range msg {
 			fb := s ^ par[0]

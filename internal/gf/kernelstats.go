@@ -1,0 +1,37 @@
+package gf
+
+import "sync/atomic"
+
+// Kernel-tier accounting: every exported bulk operation records one hit
+// against the tier that served it (packed word, flat table, or scalar
+// fallback), the software analogue of counting which hardware datapath a
+// GF instruction was issued to. The counters are process-wide so a
+// metrics registry can report how much of the workload ran on each tier
+// without threading a registry into every codec.
+
+// kernelTier indexes the implementation tiers of a Kernels.
+type kernelTier uint8
+
+const (
+	tierPacked kernelTier = iota // m <= 4: rows packed into one uint64
+	tierTable                    // m <= 8: flat order x order product table
+	tierScalar                   // reference path over Field.Mul
+	numTiers
+)
+
+var tierNames = [numTiers]string{"packed", "table", "scalar"}
+
+var tierCalls [numTiers]atomic.Int64
+
+// hit records one bulk-kernel invocation on k's tier.
+func (k *Kernels) hit() { tierCalls[k.tier].Add(1) }
+
+// Tier names the implementation tier serving this Kernels: "packed",
+// "table" or "scalar".
+func (k *Kernels) Tier() string { return tierNames[k.tier] }
+
+// KernelCalls returns the process-wide cumulative number of bulk-kernel
+// invocations served by each tier.
+func KernelCalls() (packed, table, scalar int64) {
+	return tierCalls[tierPacked].Load(), tierCalls[tierTable].Load(), tierCalls[tierScalar].Load()
+}

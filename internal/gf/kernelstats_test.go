@@ -1,0 +1,63 @@
+package gf
+
+import "testing"
+
+func TestKernelTierNames(t *testing.T) {
+	cases := []struct {
+		m    int
+		want string
+	}{
+		{4, "packed"},
+		{8, "table"},
+		{13, "scalar"},
+	}
+	for _, tc := range cases {
+		f, err := NewDefault(tc.m)
+		if err != nil {
+			t.Fatalf("NewDefault(%d): %v", tc.m, err)
+		}
+		if got := f.Kernels().Tier(); got != tc.want {
+			t.Errorf("m=%d: Tier() = %q, want %q", tc.m, got, tc.want)
+		}
+		if got := f.ScalarKernels().Tier(); got != "scalar" {
+			t.Errorf("m=%d: ScalarKernels().Tier() = %q, want scalar", tc.m, got)
+		}
+	}
+}
+
+func TestKernelCallsCount(t *testing.T) {
+	f, err := NewDefault(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := f.Kernels()
+	buf := make([]Elem, 32)
+
+	_, table0, _ := KernelCalls()
+	k.AddSlice(buf, buf, buf)
+	k.MulConstSlice(buf, buf, 3)
+	_ = k.HornerSlice(buf, 2)
+	_, table1, _ := KernelCalls()
+	if table1-table0 < 3 {
+		t.Errorf("table tier calls grew by %d, want >= 3", table1-table0)
+	}
+
+	_, _, scalar0 := KernelCalls()
+	f.ScalarKernels().MulConstSlice(buf, buf, 3)
+	_, _, scalar1 := KernelCalls()
+	if scalar1-scalar0 < 1 {
+		t.Errorf("scalar tier calls grew by %d, want >= 1", scalar1-scalar0)
+	}
+
+	f4, err := NewDefault(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed0, _, _ := KernelCalls()
+	small := make([]Elem, 8)
+	f4.Kernels().MulConstSlice(small, small, 3)
+	packed1, _, _ := KernelCalls()
+	if packed1-packed0 < 1 {
+		t.Errorf("packed tier calls grew by %d, want >= 1", packed1-packed0)
+	}
+}

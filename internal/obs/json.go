@@ -1,0 +1,15 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteJSON writes the gathered registry as an indented JSON array of
+// Metric families — the format gfpipe/gfload dump via -metrics-out and
+// gfserved serves inside /statsz.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Gather())
+}

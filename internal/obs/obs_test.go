@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops", L("kind", "a"))
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %g, want 1.5", got)
+	}
+	h := r.Histogram("test_latency_seconds", "latency")
+	h.Observe(100)
+	h.Hist().Observe(3 * time.Microsecond)
+	if got := h.Hist().Count(); got != 2 {
+		t.Errorf("histogram count = %d, want 2", got)
+	}
+}
+
+func TestGetOrCreateIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", L("k", "v"))
+	b := r.Counter("x_total", "x", L("k", "v"))
+	if a != b {
+		t.Error("same name+labels must return the same counter")
+	}
+	c := r.Counter("x_total", "x", L("k", "other"))
+	if a == c {
+		t.Error("different label values must return distinct counters")
+	}
+	// Label order must not matter.
+	d1 := r.Counter("y_total", "y", L("a", "1"), L("b", "2"))
+	d2 := r.Counter("y_total", "y", L("b", "2"), L("a", "1"))
+	if d1 != d2 {
+		t.Error("label order must not create a new series")
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"kind mismatch", func(r *Registry) {
+			r.Counter("m_total", "m")
+			r.Gauge("m_total", "m")
+		}},
+		{"help mismatch", func(r *Registry) {
+			r.Counter("m_total", "m")
+			r.Counter("m_total", "other help")
+		}},
+		{"bad name", func(r *Registry) { r.Counter("bad-name", "x") }},
+		{"leading digit", func(r *Registry) { r.Counter("1bad", "x") }},
+		{"empty name", func(r *Registry) { r.Counter("", "x") }},
+		{"bad label key", func(r *Registry) { r.Counter("m_total", "m", L("bad-key", "v")) }},
+		{"dup label key", func(r *Registry) { r.Counter("m_total", "m", L("k", "1"), L("k", "2")) }},
+		{"dup func series", func(r *Registry) {
+			r.CounterFunc("f_total", "f", func() int64 { return 0 })
+			r.CounterFunc("f_total", "f", func() int64 { return 1 })
+		}},
+		{"func over instrument", func(r *Registry) {
+			r.Counter("g_total", "g")
+			r.CounterFunc("g_total", "g", func() int64 { return 0 })
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+func TestGatherStableOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "z")
+	r.Counter("aa_total", "a", L("stage", "rs-decode"))
+	r.Counter("aa_total", "a", L("stage", "corrupt"))
+	r.GaugeFunc("mm_depth", "m", func() float64 { return 7 })
+
+	first := r.Gather()
+	second := r.Gather()
+	if len(first) != 3 {
+		t.Fatalf("gathered %d families, want 3", len(first))
+	}
+	wantNames := []string{"aa_total", "mm_depth", "zz_total"}
+	for i, m := range first {
+		if m.Name != wantNames[i] {
+			t.Errorf("family %d = %s, want %s", i, m.Name, wantNames[i])
+		}
+		if second[i].Name != m.Name || len(second[i].Samples) != len(m.Samples) {
+			t.Errorf("gather order not stable at family %d", i)
+		}
+	}
+	// aa_total series sorted by label value: corrupt before rs-decode.
+	aa := first[0]
+	if aa.Samples[0].Labels[0].Value != "corrupt" || aa.Samples[1].Labels[0].Value != "rs-decode" {
+		t.Errorf("series not label-sorted: %+v", aa.Samples)
+	}
+}
+
+func TestReadThroughCollectors(t *testing.T) {
+	r := NewRegistry()
+	var backing int64 = 42
+	r.CounterFunc("rt_total", "rt", func() int64 { return backing })
+	if v, ok := r.Value("rt_total"); !ok || v != 42 {
+		t.Errorf("Value = %g,%v, want 42,true", v, ok)
+	}
+	backing = 99
+	if v, _ := r.Value("rt_total"); v != 99 {
+		t.Errorf("read-through counter must track backing value, got %g", v)
+	}
+}
+
+func TestValueLookup(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c", L("k", "v")).Add(3)
+	h := r.Histogram("h_seconds", "h")
+	h.Observe(1000)
+
+	if v, ok := r.Value("c_total", L("k", "v")); !ok || v != 3 {
+		t.Errorf("Value = %g,%v, want 3,true", v, ok)
+	}
+	if _, ok := r.Value("c_total", L("k", "missing")); ok {
+		t.Error("missing series must report !ok")
+	}
+	if _, ok := r.Value("absent_total"); ok {
+		t.Error("missing family must report !ok")
+	}
+	if _, ok := r.Value("h_seconds"); ok {
+		t.Error("Value on a histogram must report !ok")
+	}
+	if s, ok := r.HistValue("h_seconds"); !ok || s.Count != 1 {
+		t.Errorf("HistValue = %+v,%v, want count 1", s, ok)
+	}
+	if _, ok := r.HistValue("c_total", L("k", "v")); ok {
+		t.Error("HistValue on a counter must report !ok")
+	}
+}
+
+// TestScrapeUnderLoad hammers instruments from many goroutines while
+// another goroutine gathers and writes exposition — the satellite's
+// scrape-under-load race test; meaningful under -race.
+func TestScrapeUnderLoad(t *testing.T) {
+	r := NewRegistry()
+	var fnBacking int64
+	r.CounterFunc("load_fn_total", "fn", func() int64 { return fnBacking })
+
+	const workers = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Seed each worker's series before the scrape loop starts so the
+		// post-quiesce check doesn't depend on goroutine scheduling.
+		r.Counter("load_ops_total", "ops", L("worker", string(rune('a'+w)))).Inc()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("load_ops_total", "ops", L("worker", string(rune('a'+w))))
+			g := r.Gauge("load_depth", "depth", L("worker", string(rune('a'+w))))
+			h := r.Histogram("load_latency_seconds", "lat")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(int64(i % 4096))
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		if err := r.WriteJSON(&sb); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		_ = r.Gather()
+	}
+	close(stop)
+	wg.Wait()
+
+	// Post-quiesce sanity: every worker's counter made it into a gather.
+	var series int
+	for _, m := range r.Gather() {
+		if m.Name == "load_ops_total" {
+			series = len(m.Samples)
+			for _, s := range m.Samples {
+				if s.Value <= 0 {
+					t.Errorf("worker counter %v never incremented", s.Labels)
+				}
+			}
+		}
+	}
+	if series != workers {
+		t.Errorf("gathered %d load_ops_total series, want %d", series, workers)
+	}
+}

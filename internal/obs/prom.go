@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition format content type
+// served by Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+var (
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	valueEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+)
+
+func escapeLabelValue(v string) string { return valueEscaper.Replace(v) }
+
+// WritePrometheus writes every registered metric in Prometheus text
+// exposition format v0.0.4: a # HELP and # TYPE line per family, then
+// one sample line per series, families sorted by name and series by
+// label values. Histograms emit cumulative le buckets in seconds plus
+// _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range r.Gather() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(m.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(helpEscaper.Replace(m.Help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(m.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(m.Kind.String())
+		bw.WriteByte('\n')
+		for _, s := range m.Samples {
+			if m.Kind == KindHistogram {
+				writeHistSample(bw, m.Name, s)
+				continue
+			}
+			bw.WriteString(m.Name)
+			writeLabels(bw, s.Labels, "")
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(s.Value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistSample emits the cumulative bucket series, _sum and _count
+// for one histogram sample. Bucket bounds are converted from the
+// perf.Hist nanosecond edges to seconds; the overflow bucket is folded
+// into +Inf.
+func writeHistSample(bw *bufio.Writer, name string, s Sample) {
+	var cum int64
+	for _, b := range s.Hist.Buckets {
+		if b.UpperNs == math.MaxInt64 {
+			break // overflow bucket: counted via +Inf below
+		}
+		cum += b.Count
+		bw.WriteString(name)
+		bw.WriteString("_bucket")
+		writeLabels(bw, s.Labels, formatValue(float64(b.UpperNs)/1e9))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatInt(cum, 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(name)
+	bw.WriteString("_bucket")
+	writeLabels(bw, s.Labels, "+Inf")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(s.Hist.Count, 10))
+	bw.WriteByte('\n')
+
+	bw.WriteString(name)
+	bw.WriteString("_sum")
+	writeLabels(bw, s.Labels, "")
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(float64(s.Hist.SumNs) / 1e9))
+	bw.WriteByte('\n')
+
+	bw.WriteString(name)
+	bw.WriteString("_count")
+	writeLabels(bw, s.Labels, "")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(s.Hist.Count, 10))
+	bw.WriteByte('\n')
+}
+
+// writeLabels renders {k="v",...}; le, when non-empty, is appended as
+// the final label per the histogram bucket convention.
+func writeLabels(bw *bufio.Writer, ls []Label, le string) {
+	if len(ls) == 0 && le == "" {
+		return
+	}
+	bw.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(l.Key)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabelValue(l.Value))
+		bw.WriteByte('"')
+	}
+	if le != "" {
+		if len(ls) > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`le="`)
+		bw.WriteString(le)
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format, for mounting at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WritePrometheus(w)
+	})
+}

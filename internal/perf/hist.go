@@ -2,6 +2,7 @@ package perf
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,29 @@ func (h *Hist) Observe(d time.Duration) {
 	for {
 		old := h.max.Load()
 		if ns <= old || h.max.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+}
+
+// Merge folds a point-in-time snapshot of o's samples into h. Both
+// histograms stay live: Merge is safe to run concurrently with Observe
+// on either side, and merging the per-worker histograms of a sharded
+// producer into one report histogram yields exactly the same buckets,
+// count and sum as observing every sample in one shared Hist (max is
+// the max of the two).
+func (h *Hist) Merge(o *Hist) {
+	for i := range o.buckets {
+		if n := o.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	m := o.max.Load()
+	for {
+		old := h.max.Load()
+		if m <= old || h.max.CompareAndSwap(old, m) {
 			break
 		}
 	}
@@ -133,4 +157,75 @@ func (h *Hist) String() string {
 	return fmt.Sprintf("mean=%v p50<%v p99<%v max=%v",
 		h.Mean().Round(time.Microsecond), h.Quantile(0.50), h.Quantile(0.99),
 		h.Max().Round(time.Microsecond))
+}
+
+// NumBuckets is the number of buckets a HistSnapshot exposes — one per
+// power-of-two latency bucket of the live Hist.
+const NumBuckets = histBuckets
+
+// BucketUpperNs returns bucket i's exclusive upper bound in nanoseconds
+// (2^(i+1)); the overflow bucket's bound is math.MaxInt64.
+func BucketUpperNs(i int) int64 {
+	if i >= histBuckets-1 {
+		return math.MaxInt64
+	}
+	return int64(1) << (i + 1)
+}
+
+// HistSnapshot is a point-in-time copy of a Hist with the raw buckets
+// exposed, for exporters (Prometheus exposition, JSON metric dumps)
+// that need more than the Summary percentiles. Count is computed as the
+// sum of the copied buckets, so a snapshot is always self-consistent
+// (the cumulative +Inf bucket equals Count) even when taken while
+// observers are running; SumNs and MaxNs are read separately and may
+// trail the buckets by in-flight observations.
+type HistSnapshot struct {
+	Count   int64
+	SumNs   int64
+	MaxNs   int64
+	Buckets [NumBuckets]int64 // Buckets[i] holds samples in [2^i, 2^(i+1)) ns
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	s.SumNs = h.sum.Load()
+	s.MaxNs = h.max.Load()
+	return s
+}
+
+// MeanNs returns the snapshot's mean sample in nanoseconds.
+func (s HistSnapshot) MeanNs() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.SumNs / s.Count
+}
+
+// Quantile returns an upper bound in nanoseconds for the q-quantile
+// (0 < q <= 1), with the same bucket-edge resolution as Hist.Quantile.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen int64
+	for i := 0; i < NumBuckets; i++ {
+		seen += s.Buckets[i]
+		if seen > rank {
+			if i == NumBuckets-1 {
+				return s.MaxNs
+			}
+			return BucketUpperNs(i)
+		}
+	}
+	return s.MaxNs
 }

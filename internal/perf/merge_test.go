@@ -1,0 +1,142 @@
+package perf
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistMerge is the Merge regression test: folding two independently
+// observed histograms together must be indistinguishable — buckets,
+// count, sum, max, quantiles — from observing every sample in one
+// shared histogram.
+func TestHistMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var a, b, all Hist
+	for i := 0; i < 500; i++ {
+		d := time.Duration(rng.Int63n(int64(50 * time.Millisecond)))
+		all.Observe(d)
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+	}
+	var merged Hist
+	merged.Merge(&a)
+	merged.Merge(&b)
+
+	ms, as := merged.Snapshot(), all.Snapshot()
+	if ms != as {
+		t.Fatalf("merged snapshot diverges from shared-histogram snapshot:\n got %+v\nwant %+v", ms, as)
+	}
+	if merged.Count() != all.Count() || merged.Max() != all.Max() || merged.Mean() != all.Mean() {
+		t.Fatalf("merged summary stats diverge: count %d/%d max %v/%v mean %v/%v",
+			merged.Count(), all.Count(), merged.Max(), all.Max(), merged.Mean(), all.Mean())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		if merged.Quantile(q) != all.Quantile(q) {
+			t.Errorf("Quantile(%g) = %v, want %v", q, merged.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+// TestHistMergeConcurrent runs Merge against live Observe traffic on
+// both sides (meaningful under -race) and checks nothing is lost: after
+// everything quiesces, the destination holds every merged sample plus
+// its own.
+func TestHistMergeConcurrent(t *testing.T) {
+	const workers, perWorker, merges = 4, 1000, 50
+	var src, dst Hist
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				src.Observe(time.Duration(i%1000) * time.Microsecond)
+				dst.Observe(time.Duration(i%1000) * time.Nanosecond)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var mergeWG sync.WaitGroup
+	mergeWG.Add(1)
+	go func() {
+		defer mergeWG.Done()
+		for i := 0; i < merges; i++ {
+			var scratch Hist
+			scratch.Merge(&src) // concurrent reads of a live histogram
+			_ = scratch.Snapshot()
+		}
+		<-stop
+	}()
+	wg.Wait()
+	close(stop)
+	mergeWG.Wait()
+
+	// Quiesced: one final merge must land every src sample in dst.
+	before := dst.Count()
+	dst.Merge(&src)
+	if got, want := dst.Count(), before+int64(workers*perWorker); got != want {
+		t.Fatalf("post-merge count = %d, want %d", got, want)
+	}
+	if dst.Max() < src.Max() {
+		t.Fatalf("merge lost max: dst %v < src %v", dst.Max(), src.Max())
+	}
+}
+
+// TestHistSnapshot pins the snapshot contract: self-consistent count,
+// exported bucket bounds, and quantiles matching the live histogram.
+func TestHistSnapshot(t *testing.T) {
+	var h Hist
+	if s := h.Snapshot(); s.Count != 0 || s.SumNs != 0 || s.MaxNs != 0 {
+		t.Fatalf("empty snapshot = %+v, want zero", s)
+	}
+	samples := []time.Duration{1, 3, 100, 5 * time.Microsecond, 2 * time.Millisecond, 2 * time.Millisecond}
+	var sum int64
+	for _, d := range samples {
+		h.Observe(d)
+		sum += int64(d)
+	}
+	s := h.Snapshot()
+	if s.Count != int64(len(samples)) {
+		t.Errorf("Count = %d, want %d", s.Count, len(samples))
+	}
+	var bucketSum int64
+	for _, n := range s.Buckets {
+		bucketSum += n
+	}
+	if bucketSum != s.Count {
+		t.Errorf("bucket sum %d != Count %d", bucketSum, s.Count)
+	}
+	if s.SumNs != sum || s.MaxNs != int64(2*time.Millisecond) {
+		t.Errorf("SumNs=%d MaxNs=%d, want %d and %d", s.SumNs, s.MaxNs, sum, int64(2*time.Millisecond))
+	}
+	if s.MeanNs() != sum/int64(len(samples)) {
+		t.Errorf("MeanNs = %d, want %d", s.MeanNs(), sum/int64(len(samples)))
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got, want := s.Quantile(q), int64(h.Quantile(q)); got != want {
+			t.Errorf("snapshot Quantile(%g) = %d, live = %d", q, got, want)
+		}
+	}
+}
+
+// TestBucketUpperNs: bounds double per bucket and the overflow bucket
+// is unbounded.
+func TestBucketUpperNs(t *testing.T) {
+	if got := BucketUpperNs(0); got != 2 {
+		t.Errorf("BucketUpperNs(0) = %d, want 2", got)
+	}
+	for i := 1; i < NumBuckets-1; i++ {
+		if got, want := BucketUpperNs(i), int64(1)<<(i+1); got != want {
+			t.Errorf("BucketUpperNs(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := BucketUpperNs(NumBuckets - 1); got != math.MaxInt64 {
+		t.Errorf("overflow bucket bound = %d, want MaxInt64", got)
+	}
+}

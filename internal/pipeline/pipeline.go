@@ -73,6 +73,9 @@ type Frame struct {
 	// pooled, when non-nil, is the pool-owned buffer backing Data,
 	// installed by a buffer-reusing stage and released by Frame.Recycle.
 	pooled *pooledBuf
+	// trace, when non-nil, is the sampled lifecycle record stamped by the
+	// stage workers and folded into the tracer's histograms at the sink.
+	trace *frameTrace
 }
 
 // Stage transforms frames. Process is called concurrently from many
@@ -137,6 +140,7 @@ type Pipeline struct {
 	cfg    Config
 	stages []Stage
 	stats  []*StageStats
+	tracer *Tracer // nil unless EnableTracing was called
 	// Total observes end-to-end submit-to-delivery latency.
 	Total Hist
 }
@@ -211,16 +215,16 @@ func (p *Pipeline) Start() *Run {
 	src := r.in
 	for i, s := range p.stages {
 		dst := make(chan *Frame, cfg.Queue)
-		startStage(s, p.stats[i], cfg.Workers, src, dst)
+		startStage(s, p.stats[i], i, p.tracer, cfg.Workers, src, dst)
 		src = dst
 	}
 	go r.reorder(src)
 	return r
 }
 
-// startStage spawns the worker pool for one stage and closes dst once
+// startStage spawns the worker pool for stage idx and closes dst once
 // every worker has drained src.
-func startStage(s Stage, st *StageStats, workers int, src <-chan *Frame, dst chan<- *Frame) {
+func startStage(s Stage, st *StageStats, idx int, tr *Tracer, workers int, src <-chan *Frame, dst chan<- *Frame) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -231,8 +235,21 @@ func startStage(s Stage, st *StageStats, workers int, src <-chan *Frame, dst cha
 		go func(inst Stage) {
 			defer wg.Done()
 			for f := range src {
+				if f.trace != nil {
+					f.trace.spans[idx].start = tr.now()
+				}
 				if f.Err == nil {
 					runStage(inst, st, f)
+				}
+				if f.trace != nil {
+					now := tr.now()
+					f.trace.spans[idx].fin = now
+					// The frame is ready for the next stage the moment this
+					// one finishes; a blocked send below (backpressure) then
+					// counts as that stage's queue wait.
+					if idx+1 < len(f.trace.spans) {
+						f.trace.spans[idx+1].enq = now
+					}
 				}
 				dst <- f
 			}
@@ -296,6 +313,9 @@ func (r *Run) reorder(src <-chan *Frame) {
 			next++
 			g.Latency = time.Since(g.submitted)
 			r.p.Total.Observe(g.Latency)
+			if g.trace != nil {
+				r.p.tracer.complete(g)
+			}
 			r.out <- g
 		}
 	}
@@ -317,6 +337,9 @@ func (r *Run) reorder(src <-chan *Frame) {
 		if g.Err == nil {
 			g.Err = fmt.Errorf("pipeline: frame %d delivered out of band", seq)
 			g.FailedAt = "reorder"
+		}
+		if g.trace != nil {
+			r.p.tracer.complete(g)
 		}
 		r.out <- g
 	}
@@ -356,8 +379,22 @@ func (r *Run) SubmitChecked(data []byte, epoch int, tag any) (uint64, error) {
 	}
 	f := &Frame{Data: data, Epoch: epoch, Tag: tag, submitted: time.Now()}
 	f.Seq = r.seq.Add(1) - 1
+	if tr := r.p.tracer; tr != nil {
+		if ft := tr.sample(); ft != nil {
+			ft.spans[0].enq = tr.now()
+			f.trace = ft
+		}
+	}
 	r.in <- f
 	return f.Seq, nil
+}
+
+// Closed reports whether Close has been called on this run. Health
+// endpoints use it to tell "draining" from "accepting".
+func (r *Run) Closed() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.closed
 }
 
 // Out delivers processed frames in submission order. It is closed after

@@ -1,0 +1,221 @@
+package pipeline
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/perf"
+)
+
+// Frame-lifecycle tracing: a sampled subset of frames carries a compact
+// per-stage timestamp record (enqueue/start/finish, nanoseconds on the
+// tracer's monotonic clock) through the pipeline. At the reorder sink
+// the record is folded into per-stage queue-wait and service-time
+// histograms and — if the frame is among the slowest seen — retained for
+// TraceDump tail forensics, then recycled to a pool. Unsampled frames
+// pay one atomic increment and zero allocations.
+
+// TraceConfig sizes a pipeline tracer.
+type TraceConfig struct {
+	// SampleEvery traces one in every SampleEvery submitted frames.
+	// 1 traces every frame; <= 0 defaults to 64.
+	SampleEvery int
+	// Slowest is how many of the slowest traced frames Dump retains.
+	// <= 0 defaults to 16.
+	Slowest int
+}
+
+func (c TraceConfig) withDefaults() TraceConfig {
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 64
+	}
+	if c.Slowest <= 0 {
+		c.Slowest = 16
+	}
+	return c
+}
+
+// span is one stage's lifecycle timestamps, nanoseconds since the
+// tracer's base time; zero means the event was never stamped.
+type span struct {
+	enq   int64 // frame became ready for this stage's queue
+	start int64 // a worker began Process
+	fin   int64 // Process returned
+}
+
+// frameTrace rides Frame.trace for sampled frames. Pool-recycled.
+type frameTrace struct {
+	spans []span
+}
+
+// Tracer samples frame lifecycles for one pipeline. All methods are
+// safe for concurrent use.
+type Tracer struct {
+	every  uint64
+	base   time.Time
+	stages []string
+
+	tick   atomic.Uint64
+	traced atomic.Int64
+
+	queueWait []perf.Hist // per stage: enq -> start
+	service   []perf.Hist // per stage: start -> fin
+
+	pool sync.Pool
+
+	mu   sync.Mutex
+	slow []FrameTrace // up to slowCap slowest completed traces
+	cap  int
+}
+
+// EnableTracing attaches a tracer to the pipeline. It must be called
+// before Start; runs started earlier are not traced. It returns the
+// tracer for metric registration and dumps (also available via Tracer).
+func (p *Pipeline) EnableTracing(cfg TraceConfig) *Tracer {
+	cfg = cfg.withDefaults()
+	t := &Tracer{
+		every:     uint64(cfg.SampleEvery),
+		base:      time.Now(),
+		queueWait: make([]perf.Hist, len(p.stages)),
+		service:   make([]perf.Hist, len(p.stages)),
+		cap:       cfg.Slowest,
+	}
+	for _, s := range p.stages {
+		t.stages = append(t.stages, s.Name())
+	}
+	n := len(p.stages)
+	t.pool.New = func() any { return &frameTrace{spans: make([]span, n)} }
+	p.tracer = t
+	return t
+}
+
+// Tracer returns the pipeline's tracer, or nil if tracing is disabled.
+func (p *Pipeline) Tracer() *Tracer { return p.tracer }
+
+// now returns nanoseconds since the tracer's base time (monotonic).
+func (t *Tracer) now() int64 { return int64(time.Since(t.base)) }
+
+// sample decides whether the next submitted frame is traced, returning
+// a cleared trace record or nil. The untraced path is one atomic
+// increment — no allocation (benchmark-pinned in trace_test.go).
+func (t *Tracer) sample() *frameTrace {
+	if t.tick.Add(1)%t.every != 0 {
+		return nil
+	}
+	ft := t.pool.Get().(*frameTrace)
+	for i := range ft.spans {
+		ft.spans[i] = span{}
+	}
+	return ft
+}
+
+// complete folds a delivered frame's trace into the histograms and the
+// slowest ring, then recycles the record. Called from the reorder sink.
+func (t *Tracer) complete(f *Frame) {
+	ft := f.trace
+	f.trace = nil
+	t.traced.Add(1)
+	for i := range ft.spans {
+		sp := ft.spans[i]
+		// Out-of-band frames can carry partially stamped spans; fold in
+		// only the intervals whose both endpoints exist.
+		if sp.enq != 0 && sp.start != 0 {
+			t.queueWait[i].Observe(time.Duration(sp.start - sp.enq))
+		}
+		if sp.start != 0 && sp.fin != 0 {
+			t.service[i].Observe(time.Duration(sp.fin - sp.start))
+		}
+	}
+	t.offerSlow(f, ft)
+	t.pool.Put(ft)
+}
+
+// offerSlow retains the frame's trace if it ranks among the slowest.
+func (t *Tracer) offerSlow(f *Frame, ft *frameTrace) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.slow) >= t.cap {
+		// Replace the fastest retained trace, if this one is slower.
+		min := 0
+		for i := 1; i < len(t.slow); i++ {
+			if t.slow[i].LatencyNs < t.slow[min].LatencyNs {
+				min = i
+			}
+		}
+		if int64(f.Latency) <= t.slow[min].LatencyNs {
+			return
+		}
+		t.slow[min] = t.export(f, ft)
+		return
+	}
+	t.slow = append(t.slow, t.export(f, ft))
+}
+
+// export materializes a retained FrameTrace (allocates; slow-ring only).
+func (t *Tracer) export(f *Frame, ft *frameTrace) FrameTrace {
+	out := FrameTrace{
+		Seq:       f.Seq,
+		Epoch:     f.Epoch,
+		LatencyNs: int64(f.Latency),
+		Spans:     make([]StageSpan, len(ft.spans)),
+	}
+	for i, sp := range ft.spans {
+		ss := StageSpan{Stage: t.stages[i], EnqNs: sp.enq, StartNs: sp.start, FinNs: sp.fin}
+		if sp.enq != 0 && sp.start != 0 {
+			ss.QueueWaitNs = sp.start - sp.enq
+		}
+		if sp.start != 0 && sp.fin != 0 {
+			ss.ServiceNs = sp.fin - sp.start
+		}
+		out.Spans[i] = ss
+	}
+	return out
+}
+
+// StageSpan is one stage's lifecycle in a dumped trace. Timestamps are
+// nanoseconds since the tracer's base time; zero means unstamped.
+type StageSpan struct {
+	Stage       string `json:"stage"`
+	EnqNs       int64  `json:"enq_ns"`
+	StartNs     int64  `json:"start_ns"`
+	FinNs       int64  `json:"fin_ns"`
+	QueueWaitNs int64  `json:"queue_wait_ns"`
+	ServiceNs   int64  `json:"service_ns"`
+}
+
+// FrameTrace is one retained frame lifecycle.
+type FrameTrace struct {
+	Seq       uint64      `json:"seq"`
+	Epoch     int         `json:"epoch"`
+	LatencyNs int64       `json:"latency_ns"`
+	Spans     []StageSpan `json:"spans"`
+}
+
+// Dump returns the retained slowest traces, slowest first.
+func (t *Tracer) Dump() []FrameTrace {
+	t.mu.Lock()
+	out := make([]FrameTrace, len(t.slow))
+	copy(out, t.slow)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].LatencyNs > out[j].LatencyNs })
+	return out
+}
+
+// Stages returns the traced pipeline's stage names, in stage order.
+func (t *Tracer) Stages() []string { return append([]string(nil), t.stages...) }
+
+// QueueWait returns stage i's live queue-wait histogram (time between a
+// frame becoming ready for the stage and a worker picking it up).
+func (t *Tracer) QueueWait(i int) *perf.Hist { return &t.queueWait[i] }
+
+// Service returns stage i's live service-time histogram (Process
+// duration of sampled frames).
+func (t *Tracer) Service(i int) *perf.Hist { return &t.service[i] }
+
+// Traced returns how many sampled frames have completed.
+func (t *Tracer) Traced() int64 { return t.traced.Load() }
+
+// SampleEvery returns the sampling period.
+func (t *Tracer) SampleEvery() int { return int(t.every) }

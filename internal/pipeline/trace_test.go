@@ -1,0 +1,243 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func tracedPipeline(t testing.TB, cfg TraceConfig) (*Pipeline, *Tracer) {
+	t.Helper()
+	p, err := New(Config{Workers: 2, Queue: 4},
+		Func{Label: "double", F: func(f *Frame) error {
+			for i := range f.Data {
+				f.Data[i] *= 2
+			}
+			return nil
+		}},
+		Func{Label: "sleepy", F: func(f *Frame) error {
+			time.Sleep(50 * time.Microsecond)
+			return nil
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, p.EnableTracing(cfg)
+}
+
+// TestTraceEveryFrame: with SampleEvery=1 every frame is traced, so the
+// queue-wait and service histograms each hold exactly frames samples
+// per stage and Dump retains the slowest.
+func TestTraceEveryFrame(t *testing.T) {
+	const frames = 40
+	p, tr := tracedPipeline(t, TraceConfig{SampleEvery: 1, Slowest: 4})
+	run := p.Start()
+	payloads := make([][]byte, frames)
+	for i := range payloads {
+		payloads[i] = []byte{1, 2, 3}
+	}
+	if _, err := run.Drain(payloads); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Traced(); got != frames {
+		t.Errorf("Traced() = %d, want %d", got, frames)
+	}
+	for i, name := range tr.Stages() {
+		if got := tr.QueueWait(i).Count(); got != frames {
+			t.Errorf("stage %s queue-wait samples = %d, want %d", name, got, frames)
+		}
+		if got := tr.Service(i).Count(); got != frames {
+			t.Errorf("stage %s service samples = %d, want %d", name, got, frames)
+		}
+	}
+	// The sleepy stage's sampled service time must reflect the sleep.
+	if mean := tr.Service(1).Mean(); mean < 50*time.Microsecond {
+		t.Errorf("sleepy stage mean service %v, want >= 50us", mean)
+	}
+
+	dump := tr.Dump()
+	if len(dump) != 4 {
+		t.Fatalf("Dump retained %d traces, want 4", len(dump))
+	}
+	for i := 1; i < len(dump); i++ {
+		if dump[i].LatencyNs > dump[i-1].LatencyNs {
+			t.Errorf("Dump not sorted slowest-first at %d", i)
+		}
+	}
+	ft := dump[0]
+	if len(ft.Spans) != 2 || ft.Spans[0].Stage != "double" || ft.Spans[1].Stage != "sleepy" {
+		t.Fatalf("trace spans malformed: %+v", ft.Spans)
+	}
+	for _, sp := range ft.Spans {
+		if sp.EnqNs == 0 || sp.StartNs == 0 || sp.FinNs == 0 {
+			t.Errorf("stage %s has unstamped event: %+v", sp.Stage, sp)
+		}
+		if sp.StartNs < sp.EnqNs || sp.FinNs < sp.StartNs {
+			t.Errorf("stage %s events out of order: %+v", sp.Stage, sp)
+		}
+		if sp.QueueWaitNs != sp.StartNs-sp.EnqNs || sp.ServiceNs != sp.FinNs-sp.StartNs {
+			t.Errorf("stage %s derived intervals wrong: %+v", sp.Stage, sp)
+		}
+	}
+	if ft.LatencyNs < int64(50*time.Microsecond) {
+		t.Errorf("slowest latency %dns below the sleepy stage's floor", ft.LatencyNs)
+	}
+}
+
+// TestTraceSampling: SampleEvery=4 traces one quarter of the frames.
+func TestTraceSampling(t *testing.T) {
+	const frames = 100
+	p, tr := tracedPipeline(t, TraceConfig{SampleEvery: 4})
+	run := p.Start()
+	payloads := make([][]byte, frames)
+	for i := range payloads {
+		payloads[i] = []byte{1}
+	}
+	if _, err := run.Drain(payloads); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Traced(); got != frames/4 {
+		t.Errorf("Traced() = %d, want %d", got, frames/4)
+	}
+	if got := tr.SampleEvery(); got != 4 {
+		t.Errorf("SampleEvery() = %d, want 4", got)
+	}
+}
+
+// TestTraceConfigDefaults pins the zero-value defaults.
+func TestTraceConfigDefaults(t *testing.T) {
+	p, tr := tracedPipeline(t, TraceConfig{})
+	if got := tr.SampleEvery(); got != 64 {
+		t.Errorf("default SampleEvery = %d, want 64", got)
+	}
+	if tr.cap != 16 {
+		t.Errorf("default Slowest = %d, want 16", tr.cap)
+	}
+	if p.Tracer() != tr {
+		t.Error("Pipeline.Tracer() must return the enabled tracer")
+	}
+}
+
+// TestTraceUnsampledZeroAlloc is the acceptance criterion: the sampling
+// decision on the untraced path allocates nothing.
+func TestTraceUnsampledZeroAlloc(t *testing.T) {
+	_, tr := tracedPipeline(t, TraceConfig{SampleEvery: 1 << 30})
+	if raceEnabled {
+		t.Skip("alloc counting is unreliable under -race")
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		if ft := tr.sample(); ft != nil {
+			t.Fatal("unexpected sample")
+		}
+	}); avg != 0 {
+		t.Fatalf("unsampled path allocates %.2f per frame, want 0", avg)
+	}
+}
+
+// TestPipelineRegisterMetrics wires a traced pipeline into a registry
+// and checks the instrument families and read-through values.
+func TestPipelineRegisterMetrics(t *testing.T) {
+	const frames = 20
+	p, _ := tracedPipeline(t, TraceConfig{SampleEvery: 1})
+	reg := obs.NewRegistry()
+	p.RegisterMetrics(reg)
+	RegisterGFKernelMetrics(reg)
+
+	run := p.Start()
+	payloads := make([][]byte, frames)
+	for i := range payloads {
+		payloads[i] = []byte{9, 9}
+	}
+	if _, err := run.Drain(payloads); err != nil {
+		t.Fatal(err)
+	}
+
+	if v, ok := reg.Value("gfp_pipeline_stage_frames_total", obs.L("stage", "double")); !ok || v != frames {
+		t.Errorf("stage frames metric = %g,%v, want %d", v, ok, frames)
+	}
+	if v, ok := reg.Value("gfp_pipeline_stage_bytes_in_total", obs.L("stage", "sleepy")); !ok || v != frames*2 {
+		t.Errorf("bytes_in metric = %g,%v, want %d", v, ok, frames*2)
+	}
+	if s, ok := reg.HistValue("gfp_pipeline_stage_queue_wait_seconds", obs.L("stage", "double")); !ok || s.Count != frames {
+		t.Errorf("queue-wait hist = %+v,%v, want count %d", s, ok, frames)
+	}
+	if s, ok := reg.HistValue("gfp_pipeline_latency_seconds"); !ok || s.Count != frames {
+		t.Errorf("total latency hist count = %d,%v, want %d", s.Count, ok, frames)
+	}
+	if v, ok := reg.Value("gfp_pipeline_traced_frames_total"); !ok || v != frames {
+		t.Errorf("traced frames metric = %g,%v, want %d", v, ok, frames)
+	}
+	if _, ok := reg.Value("gfp_gf_kernel_calls_total", obs.L("tier", "table")); !ok {
+		t.Error("kernel tier metric missing")
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`gfp_pipeline_stage_frames_total{stage="double"}`,
+		`gfp_model_ops_total{class="gf_op",stage="double"}`,
+		`gfp_model_cycles_total{machine="gfproc",stage="sleepy"}`,
+		`gfp_pipeline_stage_service_seconds_bucket{stage="sleepy",le=`,
+		`gfp_gf_kernel_calls_total{tier="scalar"}`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestRegisterMetricsDuplicateStageNames: two stages with the same name
+// must not collide in the registry.
+func TestRegisterMetricsDuplicateStageNames(t *testing.T) {
+	nop := func(f *Frame) error { return nil }
+	p := Must(Config{Workers: 1}, Func{Label: "nop", F: nop}, Func{Label: "nop", F: nop})
+	reg := obs.NewRegistry()
+	p.RegisterMetrics(reg) // must not panic
+	if _, ok := reg.Value("gfp_pipeline_stage_frames_total", obs.L("stage", "nop")); !ok {
+		t.Error("first nop stage missing")
+	}
+	if _, ok := reg.Value("gfp_pipeline_stage_frames_total", obs.L("stage", "nop#1")); !ok {
+		t.Error("second nop stage not disambiguated")
+	}
+}
+
+// TestRunClosed pins the Closed() accessor.
+func TestRunClosed(t *testing.T) {
+	p := Must(Config{Workers: 1}, Func{Label: "nop", F: func(f *Frame) error { return nil }})
+	run := p.Start()
+	if run.Closed() {
+		t.Error("fresh run reports closed")
+	}
+	run.Close()
+	if !run.Closed() {
+		t.Error("closed run reports open")
+	}
+	run.Wait()
+}
+
+// BenchmarkTracedPipeline drives the full pipeline with tracing enabled
+// at the default sampling rate; allocs/op shows the tracing overhead on
+// the submit path (sampled frames amortized).
+func BenchmarkTracedPipeline(b *testing.B) {
+	p, _ := tracedPipeline(b, TraceConfig{SampleEvery: 64})
+	run := p.Start()
+	payload := []byte{1, 2, 3, 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := make(chan struct{})
+	go func() {
+		for range run.Out() {
+		}
+		close(done)
+	}()
+	for i := 0; i < b.N; i++ {
+		run.Submit(payload)
+	}
+	run.Close()
+	<-done
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// RegisterMetrics registers the server ledger, the shared pipeline's
+// stage/trace instruments and the process-wide GF kernel tier counters
+// with reg. Call once per server per registry.
+func (s *Server) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("gfp_server_connections_accepted_total",
+		"Client connections accepted.", s.ctr.connsAccepted.Load)
+	reg.GaugeFunc("gfp_server_connections_active",
+		"Client connections currently open.",
+		func() float64 { return float64(s.ctr.connsActive.Load()) })
+	reg.CounterFunc("gfp_server_requests_total",
+		"Requests framed off client connections.", s.ctr.requests.Load)
+	reg.CounterFunc("gfp_server_responses_total",
+		"OK responses written to clients.", s.ctr.responses.Load)
+	reg.CounterFunc("gfp_server_rejects_total",
+		"Error-status responses written to clients.", s.ctr.rejects.Load)
+	reg.CounterFunc("gfp_server_dropped_total",
+		"Requests whose response was never written (connection died).",
+		s.ctr.dropped.Load)
+	reg.CounterFunc("gfp_server_protocol_errors_total",
+		"Framing violations that poisoned a connection (outside the request ledger).",
+		s.ctr.protoErrors.Load)
+	reg.CounterFunc("gfp_server_bytes_in_total",
+		"Request bytes read off the wire (headers included).", s.ctr.bytesIn.Load)
+	reg.CounterFunc("gfp_server_bytes_out_total",
+		"Response bytes written to the wire (headers included).", s.ctr.bytesOut.Load)
+	reg.GaugeFunc("gfp_server_info",
+		"Constant 1; labels carry the codec configuration.",
+		func() float64 { return 1 },
+		obs.L("code", fmt.Sprintf("RS(%d,%d)", s.cfg.N, s.cfg.K)),
+		obs.L("depth", fmt.Sprintf("%d", s.cfg.Depth)))
+
+	s.pl.RegisterMetrics(reg)
+	pipeline.RegisterGFKernelMetrics(reg)
+}
+
+// Healthy reports nil while the server is accepting and processing:
+// Serve has been called, Shutdown has not, and the shared pipeline
+// still takes frames. /healthz maps nil to 200 and an error to 503.
+func (s *Server) Healthy() error {
+	s.mu.Lock()
+	serving, draining := s.serving, s.draining
+	s.mu.Unlock()
+	switch {
+	case draining:
+		return errors.New("draining")
+	case !serving:
+		return errors.New("not serving")
+	case s.run.Closed():
+		return errors.New("pipeline closed")
+	}
+	return nil
+}
+
+// Tracer returns the shared pipeline's frame tracer, or nil when
+// Config.TraceEvery was 0.
+func (s *Server) Tracer() *pipeline.Tracer { return s.pl.Tracer() }
+
+// Statsz is the /statsz payload: the GFP1 stats-op snapshot plus the
+// full metrics registry and the slowest traced frames — a superset of
+// what the wire protocol's OpStats returns.
+type Statsz struct {
+	*StatsSnapshot
+	Metrics []obs.Metric          `json:"metrics"`
+	Traces  []pipeline.FrameTrace `json:"traces,omitempty"`
+}
+
+// AdminHandler returns the admin mux gfserved mounts on -admin:
+// /metrics (Prometheus text), /healthz, /statsz (JSON) and the
+// net/http/pprof endpoints under /debug/pprof/.
+func (s *Server) AdminHandler(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if err := s.Healthy(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, _ *http.Request) {
+		sz := Statsz{StatsSnapshot: s.Snapshot(), Metrics: reg.Gather()}
+		if t := s.Tracer(); t != nil {
+			sz.Traces = t.Dump()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(sz)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

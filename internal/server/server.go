@@ -43,6 +43,11 @@ type Config struct {
 	// (0 = no limit). WriteTimeout bounds each response write (0 = no
 	// limit).
 	ReadTimeout, WriteTimeout time.Duration
+	// TraceEvery enables frame-lifecycle tracing on the shared pipeline:
+	// one in every TraceEvery frames is traced (1 = all, 0 = tracing
+	// off). TraceSlowest is how many of the slowest traces are retained
+	// for the /statsz dump (0 = 16 when tracing is on).
+	TraceEvery, TraceSlowest int
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -144,6 +149,9 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.TraceEvery > 0 {
+		pl.EnableTracing(pipeline.TraceConfig{SampleEvery: cfg.TraceEvery, Slowest: cfg.TraceSlowest})
+	}
 	s := &Server{
 		cfg:          cfg,
 		iv:           iv,
@@ -229,6 +237,7 @@ func (s *Server) startConn(nc net.Conn) {
 		writeq: make(chan outMsg, s.cfg.Window+1), // +1: one conn-fatal error reply past the window
 		sem:    make(chan struct{}, s.cfg.Window),
 		dead:   make(chan struct{}),
+		lame:   make(chan struct{}),
 		drain:  make(chan struct{}),
 	}
 	s.mu.Lock()
@@ -271,7 +280,6 @@ func (s *Server) dispatch() {
 		if f.Err != nil {
 			payload := []byte(f.Err.Error())
 			f.Recycle()
-			s.ctr.rejects.Add(1)
 			om = outMsg{m: &Message{Op: pr.op, Status: StatusCodecFailed, ID: pr.id, Payload: payload}}
 		} else {
 			// The response references the frame's (pool-backed) payload;
@@ -379,10 +387,13 @@ func (s *Server) armRead(c *conn) bool {
 
 // outMsg is one queued response. f, when non-nil, is the pipeline frame
 // whose pooled payload backs m.Payload; the writer recycles it once the
-// message is on the wire.
+// message is on the wire. unled marks replies outside the request ledger
+// (protocol-error reports, which never had a request counted), so the
+// terminal accounting in write/drop paths skips them.
 type outMsg struct {
-	m *Message
-	f *pipeline.Frame
+	m     *Message
+	f     *pipeline.Frame
+	unled bool
 }
 
 // conn is one client connection: a read loop that frames requests and
@@ -394,9 +405,11 @@ type conn struct {
 	writeq chan outMsg
 	sem    chan struct{} // window slots; held from read to response-written
 	dead   chan struct{} // closed on error teardown
+	lame   chan struct{} // closed on poisoned-stream teardown (flush first)
 	drain  chan struct{} // closed by Shutdown once in-flight is drained
 
 	failOnce sync.Once
+	lameOnce sync.Once
 	broken   bool // write side failed; set only by the write loop
 
 	// wqMu/wqClosed serialize dispatcher routing against write-loop
@@ -446,6 +459,14 @@ func (c *conn) fail() {
 	c.failOnce.Do(func() { close(c.dead) })
 }
 
+// failFlush tears the connection down like fail, but has the write loop
+// flush everything already queued first. Used when the reader poisons
+// the stream (framing violation): the socket can still carry the error
+// reply, and dropping it would race the client out of its diagnostic.
+func (c *conn) failFlush() {
+	c.lameOnce.Do(func() { close(c.lame) })
+}
+
 // readLoop frames requests off the socket and hands them to handle
 // until the client disconnects, a framing violation poisons the stream,
 // the idle deadline expires, or the server drains.
@@ -464,10 +485,15 @@ func (c *conn) readLoop() {
 			var pe *protoError
 			if errors.As(err, &pe) {
 				// Report the violation, then drop the connection: the
-				// stream cannot be resynchronized.
-				c.s.ctr.rejects.Add(1)
-				c.send(outMsg{m: &Message{Status: pe.status, Payload: []byte(pe.msg)}})
-			} else if !errors.Is(err, io.EOF) {
+				// stream cannot be resynchronized. No request was ever
+				// counted for the garbage bytes, so the error reply is
+				// unledgered — protoErrors tracks these separately.
+				c.s.ctr.protoErrors.Add(1)
+				c.send(outMsg{m: &Message{Status: pe.status, Payload: []byte(pe.msg)}, unled: true})
+				c.failFlush()
+				return
+			}
+			if !errors.Is(err, io.EOF) {
 				c.s.logf("server: read from %v: %v", c.nc.RemoteAddr(), err)
 			}
 			c.fail()
@@ -494,7 +520,6 @@ func (c *conn) handle(m *Message) bool {
 		return false
 	}
 	reject := func(st Status, format string, args ...any) bool {
-		c.s.ctr.rejects.Add(1)
 		return c.send(outMsg{m: &Message{Op: m.Op, Status: st, ID: m.ID,
 			Payload: []byte(fmt.Sprintf(format, args...))}})
 	}
@@ -544,7 +569,6 @@ func (c *conn) submit(m *Message, data []byte) bool {
 	_, err := c.s.run.SubmitChecked(data, int(m.Op), &pendingReq{c: c, op: m.Op, id: m.ID})
 	if err != nil {
 		c.s.inflight.Done()
-		c.s.ctr.rejects.Add(1)
 		c.send(outMsg{m: &Message{Op: m.Op, Status: StatusShuttingDown, ID: m.ID,
 			Payload: []byte("server draining")}})
 		return false
@@ -563,7 +587,9 @@ func (c *conn) send(om outMsg) bool {
 		case routeOK:
 			return true
 		case routeClosed:
-			c.s.ctr.dropped.Add(1)
+			if !om.unled {
+				c.s.ctr.dropped.Add(1)
+			}
 			return false
 		case routeFull:
 			select {
@@ -589,6 +615,20 @@ func (c *conn) writeLoop() {
 			c.closeWriteq()
 			c.drainRecycle()
 			return
+		case <-c.lame:
+			// Poisoned stream: bar further routing (late dispatcher
+			// responses are counted dropped at the route gate), write out
+			// what is already queued — the framing-error reply — and close.
+			c.closeWriteq()
+			for {
+				select {
+				case om := <-c.writeq:
+					c.write(om)
+				default:
+					c.bw.Flush()
+					return
+				}
+			}
 		case <-c.drain:
 			// In-flight is globally drained: everything this connection
 			// will ever get is already queued.
@@ -614,10 +654,29 @@ func (c *conn) drainRecycle() {
 			if om.f != nil {
 				om.f.Recycle()
 			}
-			c.s.ctr.dropped.Add(1)
+			c.account(om, false)
 		default:
 			return
 		}
+	}
+}
+
+// account classifies one ledgered response at its terminal point. Every
+// counted request reaches exactly one terminal: responses (an OK reply
+// hit the wire), rejects (an error-status reply hit the wire) or
+// dropped (no reply ever written) — disjoint by construction, so
+// requests == responses + rejects + dropped once the server quiesces.
+func (c *conn) account(om outMsg, written bool) {
+	if om.unled {
+		return
+	}
+	switch {
+	case !written:
+		c.s.ctr.dropped.Add(1)
+	case om.m.Status == StatusOK:
+		c.s.ctr.responses.Add(1)
+	default:
+		c.s.ctr.rejects.Add(1)
 	}
 }
 
@@ -627,7 +686,7 @@ func (c *conn) drainRecycle() {
 // further writes are dropped.
 func (c *conn) write(om outMsg) {
 	if c.broken {
-		c.s.ctr.dropped.Add(1)
+		c.account(om, false)
 	} else {
 		if wt := c.s.cfg.WriteTimeout; wt > 0 {
 			c.nc.SetWriteDeadline(time.Now().Add(wt))
@@ -638,11 +697,11 @@ func (c *conn) write(om outMsg) {
 		}
 		if err != nil {
 			c.broken = true
-			c.s.ctr.dropped.Add(1)
+			c.account(om, false)
 			c.s.logf("server: write to %v: %v", c.nc.RemoteAddr(), err)
 			c.fail()
 		} else {
-			c.s.ctr.responses.Add(1)
+			c.account(om, true)
 			c.s.ctr.bytesOut.Add(int64(headerSize + len(om.m.Params) + len(om.m.Payload)))
 		}
 	}

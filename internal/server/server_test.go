@@ -343,12 +343,12 @@ func TestMidFlightDisconnect(t *testing.T) {
 	for {
 		snap := s.Snapshot()
 		if snap.Server.Requests >= 5 &&
-			snap.Server.Responses+snap.Server.Dropped == snap.Server.Requests {
+			snap.Server.Responses+snap.Server.Rejects+snap.Server.Dropped == snap.Server.Requests {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("accounting never settled: framed %d, responses %d, dropped %d",
-				snap.Server.Requests, snap.Server.Responses, snap.Server.Dropped)
+			t.Fatalf("accounting never settled: framed %d, responses %d, rejects %d, dropped %d",
+				snap.Server.Requests, snap.Server.Responses, snap.Server.Rejects, snap.Server.Dropped)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -425,11 +425,13 @@ func TestGracefulShutdownDrain(t *testing.T) {
 		t.Fatal("graceful shutdown answered nothing")
 	}
 	snap := s.Snapshot()
-	// Every request the server framed got exactly one response written:
-	// nothing lost (responses < requests) and nothing abandoned.
-	if snap.Server.Responses != snap.Server.Requests {
-		t.Errorf("framed %d requests but wrote %d responses",
-			snap.Server.Requests, snap.Server.Responses)
+	// Every request the server framed got exactly one reply written — an
+	// OK response for requests accepted before the drain line, a
+	// shutting-down reject for ones framed after it. Nothing lost,
+	// nothing abandoned.
+	if snap.Server.Responses+snap.Server.Rejects != snap.Server.Requests {
+		t.Errorf("framed %d requests but wrote %d responses + %d rejects",
+			snap.Server.Requests, snap.Server.Responses, snap.Server.Rejects)
 	}
 	if snap.Server.Dropped != 0 {
 		t.Errorf("drained shutdown dropped %d responses", snap.Server.Dropped)

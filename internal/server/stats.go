@@ -14,23 +14,54 @@ type counters struct {
 	responses     atomic.Int64
 	rejects       atomic.Int64
 	dropped       atomic.Int64
+	protoErrors   atomic.Int64
 	bytesIn       atomic.Int64
 	bytesOut      atomic.Int64
 }
 
-// Counters is the serialized form of the server-level counters.
+// snapshot reads the counters in an order that keeps the request ledger
+// consistent under concurrency: the terminal counters (responses,
+// rejects, dropped) first, requests last. Every request is counted
+// before its terminal outcome, so any snapshot satisfies
+// Requests >= Responses + Rejects + Dropped, with equality once the
+// server has quiesced.
+func (c *counters) snapshot() Counters {
+	out := Counters{
+		Responses:   c.responses.Load(),
+		Rejects:     c.rejects.Load(),
+		Dropped:     c.dropped.Load(),
+		ProtoErrors: c.protoErrors.Load(),
+	}
+	out.ConnsAccepted = c.connsAccepted.Load()
+	out.ConnsActive = c.connsActive.Load()
+	out.BytesIn = c.bytesIn.Load()
+	out.BytesOut = c.bytesOut.Load()
+	out.Requests = c.requests.Load()
+	return out
+}
+
+// Counters is the serialized form of the server-level counters. The
+// request ledger is exact and disjoint: every framed request terminates
+// as exactly one of Responses (an OK reply reached the wire), Rejects
+// (an error-status reply reached the wire) or Dropped (the connection
+// died before any reply was written), so
+//
+//	Requests == Responses + Rejects + Dropped
+//
+// once the server quiesces, and Requests is never below the sum in a
+// live snapshot. ProtoErrors counts framing violations, which poison
+// the connection before a request is ever counted and therefore sit
+// outside the ledger.
 type Counters struct {
 	ConnsAccepted int64 `json:"conns_accepted"`
 	ConnsActive   int64 `json:"conns_active"`
 	Requests      int64 `json:"requests"`
 	Responses     int64 `json:"responses"`
-	// Rejects counts error responses (malformed requests and codec
-	// failures); Dropped counts responses abandoned because their
-	// connection died first.
-	Rejects  int64 `json:"rejects"`
-	Dropped  int64 `json:"dropped"`
-	BytesIn  int64 `json:"bytes_in"`
-	BytesOut int64 `json:"bytes_out"`
+	Rejects       int64 `json:"rejects"`
+	Dropped       int64 `json:"dropped"`
+	ProtoErrors   int64 `json:"proto_errors"`
+	BytesIn       int64 `json:"bytes_in"`
+	BytesOut      int64 `json:"bytes_out"`
 }
 
 // ConfigInfo describes the server's codec configuration, so clients
@@ -76,17 +107,8 @@ func (s *Server) Snapshot() *StatsSnapshot {
 			Workers: pcfg.Workers, Queue: pcfg.Queue,
 			Window: s.cfg.Window, MaxPayload: s.cfg.MaxPayload,
 		},
-		Server: Counters{
-			ConnsAccepted: s.ctr.connsAccepted.Load(),
-			ConnsActive:   s.ctr.connsActive.Load(),
-			Requests:      s.ctr.requests.Load(),
-			Responses:     s.ctr.responses.Load(),
-			Rejects:       s.ctr.rejects.Load(),
-			Dropped:       s.ctr.dropped.Load(),
-			BytesIn:       s.ctr.bytesIn.Load(),
-			BytesOut:      s.ctr.bytesOut.Load(),
-		},
-		Total: s.pl.Total.Summary(),
+		Server: s.ctr.snapshot(),
+		Total:  s.pl.Total.Summary(),
 	}
 	for _, st := range s.pl.Stats() {
 		snap.Stages = append(snap.Stages, StageSnapshot{

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Guard internal/obs's dependency budget: the metrics core must stay
+# stdlib-only (plus repro/internal/perf for the histogram buckets), so
+# it never drags a third-party client library into every binary that
+# links it. Run from the repo root; exits nonzero on any violation.
+set -euo pipefail
+
+allowed="repro/internal/perf"
+bad=0
+for imp in $(go list -f '{{join .Imports "\n"}}' ./internal/obs); do
+  if [ "$imp" = "$allowed" ]; then
+    continue
+  fi
+  std=$(go list -f '{{.Standard}}' "$imp")
+  if [ "$std" != "true" ]; then
+    echo "check_obs_imports: internal/obs imports non-stdlib package $imp" >&2
+    bad=1
+  fi
+done
+if [ "$bad" != 0 ]; then
+  exit 1
+fi
+go vet ./internal/obs/...
+echo "check_obs_imports: ok — internal/obs is stdlib + internal/perf only"
