@@ -12,14 +12,21 @@
 //
 // Usage:
 //
-//	gfload [-addr 127.0.0.1:4650] [-conns 8] [-window 8]
-//	       [-requests 10000] [-p 0] [-seed 1] [-wait 5s] [-quiet]
+//	gfload [-addr 127.0.0.1:4650] [-targets a:4650,b:4650,...]
+//	       [-conns 8] [-window 8] [-requests 10000] [-p 0] [-seed 1]
+//	       [-wait 5s] [-quiet]
+//
+// With -targets, connections round-robin across several gfserved (or
+// gfproxy) addresses; the report shows per-target and merged
+// percentiles, with the merged histogram built by bucket-merging the
+// per-target ones. All targets must serve the same code geometry.
 //
 // Examples:
 //
 //	gfload                          # 10k clean round trips over 8 conns
 //	gfload -p 0.004                 # ~1 symbol error per codeword
 //	gfload -conns 32 -window 16     # deeper concurrency
+//	gfload -targets :4650,:4651     # split load across two servers
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +51,7 @@ import (
 
 type cliConfig struct {
 	addr       string
+	targets    string
 	conns      int
 	window     int
 	requests   int
@@ -53,18 +62,24 @@ type cliConfig struct {
 	metricsOut string
 }
 
-// result summarizes a run for CLI-level tests.
+// result summarizes a run for CLI-level tests. In multi-target mode the
+// top-level result is the merged view (counters summed, latency
+// histograms bucket-merged via perf.Hist.Merge) and perTarget holds one
+// result per address.
 type result struct {
+	addr          string       // "" for the merged result
 	completed     atomic.Int64 // round trips that produced the original bytes
 	uncorrectable atomic.Int64 // server reported codec-failed (channel beat the code)
 	residual      atomic.Int64 // round trips that delivered wrong bytes
 	hist          *perf.Hist
 	elapsed       time.Duration
+	perTarget     []*result // one per target when more than one was given
 }
 
 func main() {
 	var cfg cliConfig
 	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:4650", "gfserved address")
+	flag.StringVar(&cfg.targets, "targets", "", "comma-separated gfserved/gfproxy addresses; connections round-robin across them (overrides -addr)")
 	flag.IntVar(&cfg.conns, "conns", 8, "concurrent connections")
 	flag.IntVar(&cfg.window, "window", 8, "pipelined requests per connection")
 	flag.IntVar(&cfg.requests, "requests", 10000, "total round trips")
@@ -89,25 +104,53 @@ func run(cfg cliConfig, w io.Writer) (*result, error) {
 		return nil, fmt.Errorf("channel probability %v outside [0,1)", cfg.p)
 	}
 
-	// One probe connection discovers the server's frame geometry so the
-	// generator never guesses payload sizes.
-	probe, err := server.Dial(cfg.addr, cfg.wait)
-	if err != nil {
-		return nil, fmt.Errorf("connect %s: %w", cfg.addr, err)
+	targets := []string{cfg.addr}
+	if cfg.targets != "" {
+		targets = targets[:0]
+		for _, raw := range strings.Split(cfg.targets, ",") {
+			addr := strings.TrimSpace(raw)
+			if addr == "" {
+				return nil, fmt.Errorf("-targets has an empty address in %q", cfg.targets)
+			}
+			targets = append(targets, addr)
+		}
 	}
-	snap, err := probe.Stats()
-	probe.Close()
-	if err != nil {
-		return nil, fmt.Errorf("stats probe: %w", err)
-	}
-	frameK := snap.Config.FrameK
-	if !cfg.quiet {
-		fmt.Fprintf(w, "gfload: %s — RS(%d,%d) depth %d (%dB messages), %d conns x %d window, %d round trips, channel p=%g\n",
-			cfg.addr, snap.Config.N, snap.Config.K, snap.Config.Depth,
-			frameK, cfg.conns, cfg.window, cfg.requests, cfg.p)
+	if cfg.conns < len(targets) {
+		return nil, fmt.Errorf("%d conns cannot cover %d targets", cfg.conns, len(targets))
 	}
 
-	res := &result{hist: &perf.Hist{}}
+	// One probe connection per target discovers the frame geometry so
+	// the generator never guesses payload sizes; every target must serve
+	// the same code, or a round trip verified against another target's
+	// geometry would be meaningless.
+	frameK := 0
+	for i, addr := range targets {
+		probe, err := server.Dial(addr, cfg.wait)
+		if err != nil {
+			return nil, fmt.Errorf("connect %s: %w", addr, err)
+		}
+		snap, err := probe.Stats()
+		probe.Close()
+		if err != nil {
+			return nil, fmt.Errorf("stats probe %s: %w", addr, err)
+		}
+		if i == 0 {
+			frameK = snap.Config.FrameK
+			if !cfg.quiet {
+				fmt.Fprintf(w, "gfload: %s — RS(%d,%d) depth %d (%dB messages), %d conns x %d window, %d round trips, channel p=%g\n",
+					strings.Join(targets, ","), snap.Config.N, snap.Config.K, snap.Config.Depth,
+					frameK, cfg.conns, cfg.window, cfg.requests, cfg.p)
+			}
+		} else if snap.Config.FrameK != frameK {
+			return nil, fmt.Errorf("target %s serves %dB frames, %s serves %dB: fleet geometry mismatch",
+				addr, snap.Config.FrameK, targets[0], frameK)
+		}
+	}
+
+	perTarget := make([]*result, len(targets))
+	for i, addr := range targets {
+		perTarget[i] = &result{addr: addr, hist: &perf.Hist{}}
+	}
 	var issued atomic.Int64 // round trips claimed so far, capped at cfg.requests
 	errs := make(chan error, cfg.conns*cfg.window)
 	var wg sync.WaitGroup
@@ -117,9 +160,10 @@ func run(cfg cliConfig, w io.Writer) (*result, error) {
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			c, err := server.Dial(cfg.addr, cfg.wait)
+			tres := perTarget[ci%len(targets)] // connections round-robin across targets
+			c, err := server.Dial(tres.addr, cfg.wait)
 			if err != nil {
-				errs <- fmt.Errorf("conn %d: %w", ci, err)
+				errs <- fmt.Errorf("conn %d (%s): %w", ci, tres.addr, err)
 				return
 			}
 			defer c.Close()
@@ -128,8 +172,8 @@ func run(cfg cliConfig, w io.Writer) (*result, error) {
 				inner.Add(1)
 				go func(wi int) {
 					defer inner.Done()
-					if err := worker(cfg, c, frameK, int64(ci*cfg.window+wi), &issued, res); err != nil {
-						errs <- fmt.Errorf("conn %d worker %d: %w", ci, wi, err)
+					if err := worker(cfg, c, frameK, int64(ci*cfg.window+wi), &issued, tres); err != nil {
+						errs <- fmt.Errorf("conn %d (%s) worker %d: %w", ci, tres.addr, wi, err)
 					}
 				}(wi)
 			}
@@ -137,7 +181,20 @@ func run(cfg cliConfig, w io.Writer) (*result, error) {
 		}(ci)
 	}
 	wg.Wait()
-	res.elapsed = time.Since(start)
+
+	// Merge the per-target views into the top-level result: counters
+	// sum, raw latency buckets merge, so the combined percentiles come
+	// from the union of samples.
+	res := &result{hist: &perf.Hist{}, elapsed: time.Since(start)}
+	for _, tr := range perTarget {
+		res.completed.Add(tr.completed.Load())
+		res.uncorrectable.Add(tr.uncorrectable.Load())
+		res.residual.Add(tr.residual.Load())
+		res.hist.Merge(tr.hist)
+	}
+	if len(perTarget) > 1 {
+		res.perTarget = perTarget
+	}
 	close(errs)
 
 	// Dump metrics before the failure checks so a failed run still
@@ -220,7 +277,9 @@ func corruptBytes(ch channel.Channel, b []byte) []byte {
 	return res
 }
 
-// registerMetrics exposes the run's counters as gfp_load_* instruments.
+// registerMetrics exposes the run's counters as gfp_load_* instruments:
+// the merged view unlabeled (as always), plus one target-labeled series
+// per address in multi-target mode.
 func registerMetrics(reg *obs.Registry, res *result) {
 	const name, help = "gfp_load_round_trips_total", "Round trips by outcome."
 	reg.CounterFunc(name, help, res.completed.Load, obs.L("result", "ok"))
@@ -228,6 +287,14 @@ func registerMetrics(reg *obs.Registry, res *result) {
 	reg.CounterFunc(name, help, res.residual.Load, obs.L("result", "wrong-bytes"))
 	reg.HistogramFunc("gfp_load_round_trip_seconds",
 		"Successful round-trip latency (encode + corrupt + decode).", res.hist)
+	for _, tr := range res.perTarget {
+		target := obs.L("target", tr.addr)
+		reg.CounterFunc(name, help, tr.completed.Load, obs.L("result", "ok"), target)
+		reg.CounterFunc(name, help, tr.uncorrectable.Load, obs.L("result", "uncorrectable"), target)
+		reg.CounterFunc(name, help, tr.residual.Load, obs.L("result", "wrong-bytes"), target)
+		reg.HistogramFunc("gfp_load_round_trip_seconds",
+			"Successful round-trip latency (encode + corrupt + decode).", tr.hist, target)
+	}
 }
 
 func writeMetricsDump(path string, res *result) error {
@@ -255,4 +322,9 @@ func report(w io.Writer, cfg cliConfig, res *result, frameK int) {
 	p50, p95, p99 := res.hist.Percentiles()
 	fmt.Fprintf(w, "%-22s p50 %v  p95 %v  p99 %v  max %v\n",
 		"round-trip latency:", p50, p95, p99, res.hist.Max())
+	for _, tr := range res.perTarget {
+		tp50, tp95, tp99 := tr.hist.Percentiles()
+		fmt.Fprintf(w, "  %-20s %d ok  p50 %v  p95 %v  p99 %v  max %v\n",
+			tr.addr+":", tr.completed.Load(), tp50, tp95, tp99, tr.hist.Max())
+	}
 }

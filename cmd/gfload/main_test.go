@@ -92,6 +92,60 @@ func TestLoadNoisyChannel(t *testing.T) {
 	}
 }
 
+// TestLoadMultiTarget splits one budget across two live servers:
+// every round trip lands somewhere, both targets take real load, and
+// the merged histogram is exactly the union of the per-target ones.
+func TestLoadMultiTarget(t *testing.T) {
+	a := startServer(t, server.Config{N: 255, K: 239, Depth: 1, Window: 8})
+	b := startServer(t, server.Config{N: 255, K: 239, Depth: 1, Window: 8})
+	var out bytes.Buffer
+	res, err := run(cliConfig{
+		addr: "ignored:0", targets: a + "," + b,
+		conns: 4, window: 4, requests: 800,
+		seed: 3, wait: 2 * time.Second,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if got := res.completed.Load(); got != 800 {
+		t.Errorf("completed = %d, want 800", got)
+	}
+	if len(res.perTarget) != 2 {
+		t.Fatalf("perTarget = %d entries, want 2", len(res.perTarget))
+	}
+	var sum int64
+	for _, tr := range res.perTarget {
+		if tr.completed.Load() == 0 {
+			t.Errorf("target %s took no load", tr.addr)
+		}
+		sum += tr.hist.Count()
+	}
+	if res.hist.Count() != sum {
+		t.Errorf("merged hist count %d != per-target sum %d", res.hist.Count(), sum)
+	}
+	// The report carries a per-target latency line for each address.
+	for _, addr := range []string{a, b} {
+		if !strings.Contains(out.String(), addr+":") {
+			t.Errorf("report missing per-target line for %s:\n%s", addr, out.String())
+		}
+	}
+}
+
+// TestLoadGeometryMismatch: targets serving different codes are refused
+// up front, before any load is generated.
+func TestLoadGeometryMismatch(t *testing.T) {
+	a := startServer(t, server.Config{N: 255, K: 239, Depth: 1})
+	b := startServer(t, server.Config{N: 255, K: 223, Depth: 1})
+	_, err := run(cliConfig{
+		addr: "ignored:0", targets: a + "," + b,
+		conns: 2, window: 2, requests: 10,
+		wait: 2 * time.Second, quiet: true,
+	}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "geometry mismatch") {
+		t.Errorf("mismatched fleet: err = %v, want geometry mismatch", err)
+	}
+}
+
 // TestRunRejects: config validation happens before any sockets open.
 func TestRunRejects(t *testing.T) {
 	cases := []cliConfig{

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// ProxyCounters is the serialized proxy-level ledger. Like the backend
+// server's, it is exact and disjoint once the proxy quiesces:
+//
+//	Requests == Responses + Rejects + Dropped
+//
+// AdmissionRejects and ProtoErrors are subsets of Rejects and of
+// connection teardowns respectively; Retries and BackendFailures count
+// forward attempts, not client requests, and sit outside the ledger.
+type ProxyCounters struct {
+	ConnsAccepted    int64 `json:"conns_accepted"`
+	ConnsActive      int64 `json:"conns_active"`
+	Requests         int64 `json:"requests"`
+	Responses        int64 `json:"responses"`
+	Rejects          int64 `json:"rejects"`
+	Dropped          int64 `json:"dropped"`
+	ProtoErrors      int64 `json:"proto_errors"`
+	Retries          int64 `json:"retries"`
+	BackendFailures  int64 `json:"backend_failures"`
+	AdmissionRejects int64 `json:"admission_rejects"`
+	Ejections        int64 `json:"ejections"`
+	Readmits         int64 `json:"readmits"`
+	BytesIn          int64 `json:"bytes_in"`
+	BytesOut         int64 `json:"bytes_out"`
+}
+
+// snapshot reads the counters terminal-outcomes-first (requests last),
+// so a live snapshot never shows Requests below the terminal sum.
+func (c *proxyCounters) snapshot() ProxyCounters {
+	out := ProxyCounters{
+		Responses:        c.responses.Load(),
+		Rejects:          c.rejects.Load(),
+		Dropped:          c.dropped.Load(),
+		ProtoErrors:      c.protoErrors.Load(),
+		Retries:          c.retries.Load(),
+		BackendFailures:  c.backendFails.Load(),
+		AdmissionRejects: c.admRejects.Load(),
+		Ejections:        c.ejections.Load(),
+		Readmits:         c.readmits.Load(),
+	}
+	out.ConnsAccepted = c.connsAccepted.Load()
+	out.ConnsActive = c.connsActive.Load()
+	out.BytesIn = c.bytesIn.Load()
+	out.BytesOut = c.bytesOut.Load()
+	out.Requests = c.requests.Load()
+	return out
+}
+
+// RegisterMetrics registers the proxy ledger and per-backend routing
+// counters with reg, under gfp_proxy_* — disjoint from the backend
+// servers' gfp_server_* families, so the proxy's /metrics can render
+// both sets on one page without collisions. Call once per proxy per
+// registry.
+func (p *Proxy) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("gfp_proxy_connections_accepted_total",
+		"Client connections accepted by the proxy.", p.ctr.connsAccepted.Load)
+	reg.GaugeFunc("gfp_proxy_connections_active",
+		"Client connections currently open on the proxy.",
+		func() float64 { return float64(p.ctr.connsActive.Load()) })
+	reg.CounterFunc("gfp_proxy_requests_total",
+		"Requests framed off client connections.", p.ctr.requests.Load)
+	reg.CounterFunc("gfp_proxy_responses_total",
+		"OK responses relayed to clients.", p.ctr.responses.Load)
+	reg.CounterFunc("gfp_proxy_rejects_total",
+		"Error-status responses written to clients (backend and proxy origin).",
+		p.ctr.rejects.Load)
+	reg.CounterFunc("gfp_proxy_dropped_total",
+		"Requests whose response was never written (connection died).",
+		p.ctr.dropped.Load)
+	reg.CounterFunc("gfp_proxy_protocol_errors_total",
+		"Framing violations that poisoned a client connection.",
+		p.ctr.protoErrors.Load)
+	reg.CounterFunc("gfp_proxy_retries_total",
+		"Forward attempts beyond the first (idempotent or retry-safe replays).",
+		p.ctr.retries.Load)
+	reg.CounterFunc("gfp_proxy_backend_failures_total",
+		"Transport-level forward failures across all backends.",
+		p.ctr.backendFails.Load)
+	reg.CounterFunc("gfp_proxy_admission_rejects_total",
+		"Requests rejected by the per-tenant in-flight bound.",
+		p.ctr.admRejects.Load)
+	reg.CounterFunc("gfp_proxy_ejections_total",
+		"Backend healthy->ejected transitions.", p.ctr.ejections.Load)
+	reg.CounterFunc("gfp_proxy_readmits_total",
+		"Backend ejected->healthy transitions.", p.ctr.readmits.Load)
+	reg.CounterFunc("gfp_proxy_bytes_in_total",
+		"Request bytes read off client connections (headers included).",
+		p.ctr.bytesIn.Load)
+	reg.CounterFunc("gfp_proxy_bytes_out_total",
+		"Response bytes written to client connections (headers included).",
+		p.ctr.bytesOut.Load)
+	reg.GaugeFunc("gfp_proxy_backends",
+		"Configured fleet size.",
+		func() float64 { return float64(len(p.backends)) })
+	reg.GaugeFunc("gfp_proxy_backends_healthy",
+		"Backends currently admitted to the ring.",
+		func() float64 { return float64(p.healthyBackends()) })
+
+	for _, b := range p.backends {
+		addr := obs.L("backend", b.spec.Addr)
+		reg.CounterFunc("gfp_proxy_backend_forwards_total",
+			"Forward attempts per backend (retries included).", b.forwards.Load, addr)
+		reg.CounterFunc("gfp_proxy_backend_failures_by_backend_total",
+			"Transport-level forward failures per backend.", b.failures.Load, addr)
+		reg.CounterFunc("gfp_proxy_backend_ejections_total",
+			"Ejections per backend.", b.ejections.Load, addr)
+		reg.CounterFunc("gfp_proxy_backend_readmits_total",
+			"Readmissions per backend.", b.readmits.Load, addr)
+		reg.GaugeFunc("gfp_proxy_backend_healthy",
+			"1 while the backend is admitted to the ring, 0 while ejected.",
+			func(b *backend) func() float64 {
+				return func() float64 {
+					if b.healthy() {
+						return 1
+					}
+					return 0
+				}
+			}(b), addr)
+	}
+}
+
+// Healthy reports nil while the proxy is accepting and at least one
+// backend is admitted to the ring. /healthz maps nil to 200 and an
+// error to 503, so a load balancer in front of several proxies drains
+// one whose whole fleet is dark.
+func (p *Proxy) Healthy() error {
+	p.mu.Lock()
+	serving, draining := p.serving, p.draining
+	p.mu.Unlock()
+	switch {
+	case draining:
+		return errors.New("draining")
+	case !serving:
+		return errors.New("not serving")
+	}
+	if n := p.healthyBackends(); n == 0 {
+		return fmt.Errorf("0 of %d backends healthy", len(p.backends))
+	}
+	return nil
+}
+
+// Statsz is the proxy's /statsz payload: its own ledger, the admission
+// table, and the fleet aggregate (per-backend status plus the summed
+// backend ledgers and merged latency).
+type Statsz struct {
+	ListenAddr string           `json:"listen_addr,omitempty"`
+	Proxy      ProxyCounters    `json:"proxy"`
+	Tenants    []TenantSnapshot `json:"tenants,omitempty"`
+	Fleet      *FleetStats      `json:"fleet"`
+}
+
+// Statsz captures the full admin snapshot: proxy ledger, tenants
+// sorted by class, and a fresh fleet scrape.
+func (p *Proxy) Statsz() Statsz {
+	sz := Statsz{
+		Proxy:   p.ctr.snapshot(),
+		Tenants: p.adm.snapshot(),
+		Fleet:   p.fleetSnapshot(),
+	}
+	sort.Slice(sz.Tenants, func(i, j int) bool { return sz.Tenants[i].Class < sz.Tenants[j].Class })
+	if a := p.Addr(); a != nil {
+		sz.ListenAddr = a.String()
+	}
+	return sz
+}
+
+// AdminHandler returns the admin mux gfproxy mounts on -admin:
+// /metrics (the proxy registry plus the fleet's merged gfp_server_* and
+// gfp_pipeline_* families as one Prometheus page), /healthz, /statsz
+// (JSON) and the net/http/pprof endpoints under /debug/pprof/.
+func (p *Proxy) AdminHandler(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		fleet := p.fleetSnapshot()
+		merged := obs.MergeMetrics(reg.Gather(), fleet.metrics)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WriteMetricsText(w, merged)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if err := p.Healthy(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(p.Statsz())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

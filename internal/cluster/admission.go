@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// admission is the per-tenant in-flight bound. A tenant is a client
+// class — by default the client's IP address, so every process on one
+// host shares a budget — and each tenant may hold at most limit
+// requests in flight through the proxy at once. Over-limit requests are
+// rejected immediately with StatusOverloaded instead of queuing: a hot
+// tenant saturating its budget slows only itself, and the bound on
+// total queued work per tenant keeps the proxy's memory flat under
+// abuse. limit 0 disables admission entirely.
+type admission struct {
+	limit int64
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+}
+
+// tenant tracks one client class's in-flight count and rejections.
+type tenant struct {
+	inflight atomic.Int64
+	rejects  atomic.Int64
+	admitted atomic.Int64
+}
+
+func newAdmission(limit int) *admission {
+	return &admission{limit: int64(limit), tenants: make(map[string]*tenant)}
+}
+
+// lookup returns (creating if needed) the tenant record for a class.
+func (a *admission) lookup(class string) *tenant {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.tenants[class]
+	if t == nil {
+		t = &tenant{}
+		a.tenants[class] = t
+	}
+	return t
+}
+
+// acquire claims one in-flight slot for the tenant; false means the
+// tenant is at its bound and the request must be rejected. The caller
+// pairs every true return with exactly one release.
+func (a *admission) acquire(t *tenant) bool {
+	if a.limit <= 0 {
+		t.admitted.Add(1)
+		return true
+	}
+	if n := t.inflight.Add(1); n > a.limit {
+		t.inflight.Add(-1)
+		t.rejects.Add(1)
+		return false
+	}
+	t.admitted.Add(1)
+	return true
+}
+
+// release returns a slot claimed by acquire.
+func (a *admission) release(t *tenant) {
+	if a.limit > 0 {
+		t.inflight.Add(-1)
+	}
+}
+
+// TenantSnapshot is one tenant's admission state on the admin plane.
+type TenantSnapshot struct {
+	Class    string `json:"class"`
+	Inflight int64  `json:"inflight"`
+	Admitted int64  `json:"admitted"`
+	Rejects  int64  `json:"rejects"`
+}
+
+// snapshot lists every tenant seen so far.
+func (a *admission) snapshot() []TenantSnapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]TenantSnapshot, 0, len(a.tenants))
+	for class, t := range a.tenants {
+		out = append(out, TenantSnapshot{
+			Class:    class,
+			Inflight: t.inflight.Load(),
+			Admitted: t.admitted.Load(),
+			Rejects:  t.rejects.Load(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/perf"
+	"repro/internal/server"
+)
+
+// statszTimeout bounds one backend /statsz scrape.
+const statszTimeout = 2 * time.Second
+
+// BackendStatus is one fleet member as the proxy's admin plane sees it:
+// routing-side counters, health state, and — when the backend has an
+// admin address and answered its /statsz — the backend's own ledger and
+// actually-bound listener address.
+type BackendStatus struct {
+	Index      int    `json:"index"`
+	Addr       string `json:"addr"`
+	Admin      string `json:"admin,omitempty"`
+	State      string `json:"state"` // "healthy" | "ejected"
+	LastErr    string `json:"last_err,omitempty"`
+	Forwards   int64  `json:"forwards"`
+	Failures   int64  `json:"failures"`
+	Ejections  int64  `json:"ejections"`
+	Readmits   int64  `json:"readmits"`
+	ListenAddr string `json:"listen_addr,omitempty"`
+	// Server is the backend's own request ledger, from its /statsz.
+	Server   *server.Counters `json:"server,omitempty"`
+	FetchErr string           `json:"fetch_err,omitempty"`
+}
+
+// FleetStats is the cluster-wide aggregate the proxy serves on /statsz:
+// per-backend status, the sum of every reachable backend's request
+// ledger, and the fleet's merged pipeline latency (raw histogram
+// buckets merged across backends, so the percentiles are computed from
+// the union of samples, not averaged from per-backend percentiles).
+type FleetStats struct {
+	Backends []BackendStatus  `json:"backends"`
+	Healthy  int              `json:"healthy"`
+	Scraped  int              `json:"scraped"` // backends whose /statsz answered
+	Fleet    server.Counters  `json:"fleet"`   // summed across scraped backends
+	Latency  perf.HistSummary `json:"latency"` // merged gfp_pipeline_latency_seconds
+
+	// metrics is the merged metric sets of every scraped backend, kept
+	// off the JSON surface (it is large); the /metrics endpoint renders
+	// it as Prometheus text instead.
+	metrics []obs.Metric
+}
+
+// fetchStatsz scrapes one backend's /statsz.
+func fetchStatsz(client *http.Client, admin string) (*server.Statsz, error) {
+	resp, err := client.Get("http://" + admin + "/statsz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("statsz %d: %s", resp.StatusCode, body)
+	}
+	var sz server.Statsz
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&sz); err != nil {
+		return nil, fmt.Errorf("statsz decode: %w", err)
+	}
+	return &sz, nil
+}
+
+// fleetSnapshot scrapes every admin-bearing backend concurrently and
+// folds the answers into one FleetStats. Backends without an admin
+// plane (or whose scrape failed) still appear with their routing-side
+// state; they just contribute nothing to the summed ledger or the
+// merged metrics.
+func (p *Proxy) fleetSnapshot() *FleetStats {
+	client := &http.Client{Timeout: statszTimeout}
+	type scrape struct {
+		sz  *server.Statsz
+		err error
+	}
+	results := make([]scrape, len(p.backends))
+	var wg sync.WaitGroup
+	for i, b := range p.backends {
+		if b.spec.Admin == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, admin string) {
+			defer wg.Done()
+			sz, err := fetchStatsz(client, admin)
+			results[i] = scrape{sz, err}
+		}(i, b.spec.Admin)
+	}
+	wg.Wait()
+
+	fs := &FleetStats{Backends: make([]BackendStatus, len(p.backends))}
+	var sets [][]obs.Metric
+	for i, b := range p.backends {
+		st := BackendStatus{
+			Index:     i,
+			Addr:      b.spec.Addr,
+			Admin:     b.spec.Admin,
+			State:     b.stateName(),
+			LastErr:   b.lastErr(),
+			Forwards:  b.forwards.Load(),
+			Failures:  b.failures.Load(),
+			Ejections: b.ejections.Load(),
+			Readmits:  b.readmits.Load(),
+		}
+		if b.healthy() {
+			fs.Healthy++
+		}
+		r := results[i]
+		switch {
+		case r.sz != nil:
+			fs.Scraped++
+			st.ListenAddr = r.sz.ListenAddr
+			ctr := r.sz.Server
+			st.Server = &ctr
+			addCounters(&fs.Fleet, ctr)
+			sets = append(sets, r.sz.Metrics)
+		case r.err != nil:
+			st.FetchErr = r.err.Error()
+		}
+		fs.Backends[i] = st
+	}
+	fs.metrics = obs.MergeMetrics(sets...)
+	fs.Latency = fleetLatency(fs.metrics)
+	return fs
+}
+
+// addCounters sums one backend's ledger into the fleet total.
+func addCounters(dst *server.Counters, src server.Counters) {
+	dst.ConnsAccepted += src.ConnsAccepted
+	dst.ConnsActive += src.ConnsActive
+	dst.Requests += src.Requests
+	dst.Responses += src.Responses
+	dst.Rejects += src.Rejects
+	dst.Dropped += src.Dropped
+	dst.ProtoErrors += src.ProtoErrors
+	dst.BytesIn += src.BytesIn
+	dst.BytesOut += src.BytesOut
+}
+
+// fleetLatency extracts the merged pipeline submit-to-delivery latency
+// from the merged metric set, recomputing the summary from the unioned
+// buckets.
+func fleetLatency(metrics []obs.Metric) perf.HistSummary {
+	i := sort.Search(len(metrics), func(i int) bool {
+		return metrics[i].Name >= "gfp_pipeline_latency_seconds"
+	})
+	if i >= len(metrics) || metrics[i].Name != "gfp_pipeline_latency_seconds" {
+		return perf.HistSummary{}
+	}
+	var h perf.Hist
+	for _, s := range metrics[i].Samples {
+		if s.Hist != nil {
+			h.MergeSnapshot(s.Hist.Snapshot())
+		}
+	}
+	return h.Summary()
+}

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// BackendSpec names one backend: the GFP1 address the proxy forwards
+// to, plus (optionally) the admin HTTP address whose /healthz the
+// health checker probes and whose /statsz the fleet aggregator scrapes.
+type BackendSpec struct {
+	Addr  string // GFP1 TCP address (required)
+	Admin string // admin HTTP address ("" = passive health only, no aggregation)
+}
+
+// ParseBackendSpec parses "addr" or "addr@adminAddr".
+func ParseBackendSpec(s string) (BackendSpec, error) {
+	addr, admin, found := strings.Cut(s, "@")
+	spec := BackendSpec{Addr: strings.TrimSpace(addr)}
+	if found {
+		spec.Admin = strings.TrimSpace(admin)
+		if spec.Admin == "" {
+			return spec, fmt.Errorf("cluster: backend spec %q has an empty admin address", s)
+		}
+	}
+	if spec.Addr == "" {
+		return spec, fmt.Errorf("cluster: backend spec %q has an empty address", s)
+	}
+	return spec, nil
+}
+
+// Backend states.
+const (
+	stateHealthy int32 = iota
+	stateEjected
+)
+
+// backend is one fleet member: its spec, health state and a small pool
+// of persistent GFP1 client connections. All methods are safe for
+// concurrent use.
+type backend struct {
+	spec BackendSpec
+	idx  int
+
+	state atomic.Int32
+
+	// Health bookkeeping (guarded by hmu): consecutive probe/dial
+	// failures and successes, fed by both the active checker and passive
+	// transport errors.
+	hmu           sync.Mutex
+	consecFails   int
+	consecOKs     int
+	lastHealthErr string
+
+	// Connection pool: idle clients ready to forward on. Broken clients
+	// are closed, never pooled.
+	pmu      sync.Mutex
+	idle     []*server.Client
+	poolSize int
+	dialWait time.Duration
+
+	// Counters surfaced per backend on the proxy's admin plane.
+	forwards  atomic.Int64 // requests forwarded (attempts, including retries)
+	failures  atomic.Int64 // transport-level forward failures
+	ejections atomic.Int64 // healthy -> ejected transitions
+	readmits  atomic.Int64 // ejected -> healthy transitions
+}
+
+func newBackend(idx int, spec BackendSpec, poolSize int, dialWait time.Duration) *backend {
+	return &backend{spec: spec, idx: idx, poolSize: poolSize, dialWait: dialWait}
+}
+
+func (b *backend) healthy() bool { return b.state.Load() == stateHealthy }
+
+// stateName renders the backend state for admin surfaces.
+func (b *backend) stateName() string {
+	if b.healthy() {
+		return "healthy"
+	}
+	return "ejected"
+}
+
+// get returns a pooled client or dials a fresh one.
+func (b *backend) get() (*server.Client, error) {
+	b.pmu.Lock()
+	if n := len(b.idle); n > 0 {
+		c := b.idle[n-1]
+		b.idle = b.idle[:n-1]
+		b.pmu.Unlock()
+		return c, nil
+	}
+	b.pmu.Unlock()
+	return server.Dial(b.spec.Addr, b.dialWait)
+}
+
+// put returns a client to the pool, or closes it when the pool is full
+// or the backend has been ejected (an ejected backend's sockets may be
+// half-dead; readmission starts from fresh dials).
+func (b *backend) put(c *server.Client) {
+	if !b.healthy() {
+		c.Close()
+		return
+	}
+	b.pmu.Lock()
+	if len(b.idle) < b.poolSize {
+		b.idle = append(b.idle, c)
+		b.pmu.Unlock()
+		return
+	}
+	b.pmu.Unlock()
+	c.Close()
+}
+
+// closePool drops every idle client (on ejection).
+func (b *backend) closePool() {
+	b.pmu.Lock()
+	idle := b.idle
+	b.idle = nil
+	b.pmu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+}

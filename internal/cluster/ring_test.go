@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testAddrs(n int) []string {
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("10.0.0.%d:7070", i+1)
+	}
+	return addrs
+}
+
+// TestRingDeterminism: two rings over the same addresses route every
+// key identically — routing is a pure function of the fleet.
+func TestRingDeterminism(t *testing.T) {
+	a, err := newRing(testAddrs(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newRing(testAddrs(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB [64]int
+	for i := 0; i < 1000; i++ {
+		key := hashKey(fmt.Sprintf("key-%d", i))
+		sa := a.sequence(key, bufA[:])
+		sb := b.sequence(key, bufB[:])
+		if len(sa) != len(sb) {
+			t.Fatalf("key %d: sequence lengths differ: %d vs %d", i, len(sa), len(sb))
+		}
+		for j := range sa {
+			if sa[j] != sb[j] {
+				t.Fatalf("key %d: sequences diverge at %d: %v vs %v", i, j, sa, sb)
+			}
+		}
+	}
+}
+
+// TestRingSequence: every preference sequence lists each backend
+// exactly once, and the primaries are not all the same backend.
+func TestRingSequence(t *testing.T) {
+	r, err := newRing(testAddrs(7), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primaries := make(map[int]bool)
+	var buf [64]int
+	for i := 0; i < 2000; i++ {
+		seq := r.sequence(hashKey(fmt.Sprintf("key-%d", i)), buf[:])
+		if len(seq) != 7 {
+			t.Fatalf("key %d: sequence %v covers %d of 7 backends", i, seq, len(seq))
+		}
+		seen := make(map[int]bool)
+		for _, b := range seq {
+			if b < 0 || b >= 7 {
+				t.Fatalf("key %d: backend %d out of range", i, b)
+			}
+			if seen[b] {
+				t.Fatalf("key %d: backend %d repeated in %v", i, b, seq)
+			}
+			seen[b] = true
+		}
+		primaries[seq[0]] = true
+	}
+	if len(primaries) != 7 {
+		t.Errorf("only %d of 7 backends ever primary", len(primaries))
+	}
+}
+
+// TestRingDistribution: with 64 virtual nodes per backend, primary
+// ownership across many keys stays within a loose band of uniform.
+func TestRingDistribution(t *testing.T) {
+	const backends, keys = 4, 20000
+	r, err := newRing(testAddrs(backends), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, backends)
+	var buf [64]int
+	for i := 0; i < keys; i++ {
+		counts[r.sequence(hashKey(fmt.Sprintf("key-%d", i)), buf[:])[0]]++
+	}
+	want := keys / backends
+	for b, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("backend %d owns %d of %d keys (uniform share %d): spread too skewed, counts %v",
+				b, c, keys, want, counts)
+		}
+	}
+}
+
+// TestRingMinimalDisruption: growing the fleet by one backend moves
+// only the keys the new backend claims; every other key keeps its
+// primary. This is the consistent-hash contract that keeps connection
+// routing stable across fleet changes.
+func TestRingMinimalDisruption(t *testing.T) {
+	const keys = 10000
+	small, err := newRing(testAddrs(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := newRing(testAddrs(5), 0) // same first 4, one more
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	var buf [64]int
+	for i := 0; i < keys; i++ {
+		key := hashKey(fmt.Sprintf("key-%d", i))
+		before := small.sequence(key, buf[:])[0]
+		after := big.sequence(key, buf[:])[0]
+		if before != after {
+			if after != 4 {
+				t.Fatalf("key %d moved from backend %d to %d, not to the new backend", i, before, after)
+			}
+			moved++
+		}
+	}
+	// The new backend should claim roughly 1/5 of the keyspace.
+	if moved < keys/10 || moved > keys/2 {
+		t.Errorf("%d of %d keys moved to the new backend, want about %d", moved, keys, keys/5)
+	}
+}
+
+// TestRingErrors: the constructor rejects empty and duplicate fleets.
+func TestRingErrors(t *testing.T) {
+	if _, err := newRing(nil, 0); err == nil {
+		t.Error("empty fleet: no error")
+	}
+	if _, err := newRing([]string{"a:1", "b:1", "a:1"}, 0); err == nil {
+		t.Error("duplicate address: no error")
+	}
+}
+
+// TestParseBackendSpec covers the addr and addr@admin forms.
+func TestParseBackendSpec(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    BackendSpec
+		wantErr bool
+	}{
+		{in: "10.0.0.1:7070", want: BackendSpec{Addr: "10.0.0.1:7070"}},
+		{in: "10.0.0.1:7070@10.0.0.1:7071", want: BackendSpec{Addr: "10.0.0.1:7070", Admin: "10.0.0.1:7071"}},
+		{in: " host:1 @ host:2 ", want: BackendSpec{Addr: "host:1", Admin: "host:2"}},
+		{in: "", wantErr: true},
+		{in: "@admin:1", wantErr: true},
+		{in: "addr:1@", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := ParseBackendSpec(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseBackendSpec(%q): no error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseBackendSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseBackendSpec(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package obs
+
+// Fleet aggregation: folding the gathered metric sets of N processes
+// (each one backend's /statsz "metrics" array) into a single set that
+// reads as one instrument — counters and histogram buckets sum exactly
+// (perf.Hist.Merge semantics over the wire), gauges sum (active
+// connections across a fleet add), and histogram summary fields are
+// recomputed from the merged buckets. gfproxy's admin endpoint serves
+// the result next to its own registry, so a whole cluster scrapes like
+// one process.
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/perf"
+)
+
+// Snapshot converts a gathered histogram sample back into the perf
+// bucket layout it was exported from, keyed by each bucket's exported
+// upper bound. Unknown bounds (not a power of two, out of range) are
+// folded into the overflow bucket rather than dropped, so counts are
+// never lost.
+func (hs *HistSample) Snapshot() perf.HistSnapshot {
+	var s perf.HistSnapshot
+	for _, b := range hs.Buckets {
+		s.Buckets[bucketIndex(b.UpperNs)] += b.Count
+		s.Count += b.Count
+	}
+	s.SumNs = hs.SumNs
+	s.MaxNs = hs.MaxNs
+	return s
+}
+
+// bucketIndex inverts perf.BucketUpperNs: bucket i exports bound 2^(i+1),
+// the overflow bucket exports MaxInt64.
+func bucketIndex(upperNs int64) int {
+	if upperNs == math.MaxInt64 {
+		return perf.NumBuckets - 1
+	}
+	if upperNs < 2 || upperNs&(upperNs-1) != 0 {
+		return perf.NumBuckets - 1
+	}
+	i := bits.Len64(uint64(upperNs)) - 2
+	if i >= perf.NumBuckets {
+		return perf.NumBuckets - 1
+	}
+	return i
+}
+
+// MergeMetrics folds any number of gathered metric sets into one:
+// families are matched by name, series within a family by their label
+// set. Counter and gauge samples sum; histogram samples merge their raw
+// buckets (via perf.Hist.MergeSnapshot) and recompute count, sum, max,
+// mean and percentiles from the merged state. A family appearing in
+// several sets with conflicting kinds keeps the first kind seen and
+// skips mismatched occurrences. The result is sorted like
+// Registry.Gather: families by name, series by label key.
+func MergeMetrics(sets ...[]Metric) []Metric {
+	type mergedSeries struct {
+		labels []Label
+		value  float64
+		hist   *perf.Hist
+	}
+	type mergedFamily struct {
+		help   string
+		kind   Kind
+		series map[string]*mergedSeries
+	}
+	families := make(map[string]*mergedFamily)
+
+	for _, set := range sets {
+		for _, m := range set {
+			f := families[m.Name]
+			if f == nil {
+				f = &mergedFamily{help: m.Help, kind: m.Kind, series: make(map[string]*mergedSeries)}
+				families[m.Name] = f
+			} else if f.kind != m.Kind {
+				continue // conflicting redefinition; keep the first kind
+			}
+			for _, s := range m.Samples {
+				key := labelKey(s.Labels)
+				ms := f.series[key]
+				if ms == nil {
+					ms = &mergedSeries{labels: s.Labels}
+					f.series[key] = ms
+				}
+				if m.Kind == KindHistogram {
+					if s.Hist == nil {
+						continue
+					}
+					if ms.hist == nil {
+						ms.hist = &perf.Hist{}
+					}
+					ms.hist.MergeSnapshot(s.Hist.Snapshot())
+				} else {
+					ms.value += s.Value
+				}
+			}
+		}
+	}
+
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Metric, 0, len(names))
+	for _, name := range names {
+		f := families[name]
+		m := Metric{Name: name, Help: f.help, Kind: f.kind}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ms := f.series[k]
+			sm := Sample{Labels: ms.labels, Value: ms.value}
+			if f.kind == KindHistogram {
+				sm.Value = 0
+				if ms.hist != nil {
+					sm.Hist = histSample(ms.hist.Snapshot())
+				}
+			}
+			m.Samples = append(m.Samples, sm)
+		}
+		out = append(out, m)
+	}
+	return out
+}

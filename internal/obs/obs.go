@@ -58,6 +58,23 @@ func (k Kind) String() string {
 // MarshalText makes Kind render as its TYPE keyword in JSON dumps.
 func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
 
+// UnmarshalText parses the TYPE keyword back, so a gathered metric set
+// round-trips through JSON (the fleet aggregator scrapes backend
+// /statsz dumps and merges them).
+func (k *Kind) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "counter":
+		*k = KindCounter
+	case "gauge":
+		*k = KindGauge
+	case "histogram":
+		*k = KindHistogram
+	default:
+		return fmt.Errorf("obs: unknown metric kind %q", text)
+	}
+	return nil
+}
+
 // Counter is a monotonically increasing atomic counter.
 type Counter struct{ v atomic.Int64 }
 

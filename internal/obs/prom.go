@@ -26,8 +26,17 @@ func escapeLabelValue(v string) string { return valueEscaper.Replace(v) }
 // label values. Histograms emit cumulative le buckets in seconds plus
 // _sum and _count.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WriteMetricsText(w, r.Gather())
+}
+
+// WriteMetricsText renders an already-gathered metric set in Prometheus
+// text exposition format — the same rendering WritePrometheus applies to
+// a live registry, usable on merged fleet snapshots (MergeMetrics) that
+// never lived in a registry. Families must not repeat names; samples are
+// rendered in the given order.
+func WriteMetricsText(w io.Writer, metrics []Metric) error {
 	bw := bufio.NewWriter(w)
-	for _, m := range r.Gather() {
+	for _, m := range metrics {
 		bw.WriteString("# HELP ")
 		bw.WriteString(m.Name)
 		bw.WriteByte(' ')

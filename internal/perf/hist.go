@@ -72,6 +72,30 @@ func (h *Hist) Merge(o *Hist) {
 	}
 }
 
+// MergeSnapshot folds an exported snapshot into h — the wire-format
+// counterpart of Merge, used by fleet aggregators that receive
+// HistSnapshot buckets over HTTP rather than sharing memory with the
+// producer. The snapshot's count is taken as the sum of its buckets (the
+// invariant Snapshot guarantees), so a merged histogram stays
+// self-consistent even if the snapshot's Count field disagrees.
+func (h *Hist) MergeSnapshot(s HistSnapshot) {
+	var n int64
+	for i, c := range s.Buckets {
+		if c != 0 {
+			h.buckets[i].Add(c)
+			n += c
+		}
+	}
+	h.count.Add(n)
+	h.sum.Add(s.SumNs)
+	for {
+		old := h.max.Load()
+		if s.MaxNs <= old || h.max.CompareAndSwap(old, s.MaxNs) {
+			break
+		}
+	}
+}
+
 // Count returns the number of samples observed.
 func (h *Hist) Count() int64 { return h.count.Load() }
 

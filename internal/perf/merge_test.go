@@ -88,6 +88,83 @@ func TestHistMergeConcurrent(t *testing.T) {
 	}
 }
 
+// TestHistMergeSnapshot: folding exported snapshots into a live
+// histogram must match folding the live histograms themselves — the
+// over-the-wire fan-in (proxy /statsz aggregation) and the in-memory
+// Merge are the same operation.
+func TestHistMergeSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b Hist
+	for i := 0; i < 300; i++ {
+		d := time.Duration(rng.Int63n(int64(20 * time.Millisecond)))
+		if i%3 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+	}
+	var viaMerge, viaSnap Hist
+	viaMerge.Merge(&a)
+	viaMerge.Merge(&b)
+	viaSnap.MergeSnapshot(a.Snapshot())
+	viaSnap.MergeSnapshot(b.Snapshot())
+	if viaSnap.Snapshot() != viaMerge.Snapshot() {
+		t.Fatalf("MergeSnapshot diverges from Merge:\n got %+v\nwant %+v",
+			viaSnap.Snapshot(), viaMerge.Snapshot())
+	}
+}
+
+// TestHistMergeSnapshotConcurrent folds snapshots of a live histogram
+// into a shared destination from several goroutines while observers are
+// still running — the proxy aggregating /statsz mid-load. Under -race
+// this proves the fan-in path is data-race free; afterwards a final
+// fold must account for every quiesced sample.
+func TestHistMergeSnapshotConcurrent(t *testing.T) {
+	const workers, perWorker, folds = 4, 1000, 50
+	var src, dst Hist
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				src.Observe(time.Duration(i%777) * time.Microsecond)
+			}
+		}()
+	}
+	var foldWG sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		foldWG.Add(1)
+		go func() {
+			defer foldWG.Done()
+			for i := 0; i < folds; i++ {
+				var scratch Hist
+				scratch.MergeSnapshot(src.Snapshot())
+				s := scratch.Snapshot()
+				var n int64
+				for _, c := range s.Buckets {
+					n += c
+				}
+				if n != s.Count {
+					panic("merged snapshot count != bucket sum")
+				}
+				dst.MergeSnapshot(scratch.Snapshot())
+			}
+		}()
+	}
+	wg.Wait()
+	foldWG.Wait()
+
+	var final Hist
+	final.MergeSnapshot(src.Snapshot())
+	if got, want := final.Count(), int64(workers*perWorker); got != want {
+		t.Fatalf("quiesced MergeSnapshot count = %d, want %d", got, want)
+	}
+	if final.Max() != src.Max() {
+		t.Fatalf("quiesced MergeSnapshot max = %v, want %v", final.Max(), src.Max())
+	}
+}
+
 // TestHistSnapshot pins the snapshot contract: self-consistent count,
 // exported bucket bounds, and quantiles matching the live histogram.
 func TestHistSnapshot(t *testing.T) {

@@ -47,8 +47,12 @@ func (s *Server) RegisterMetrics(reg *obs.Registry) {
 }
 
 // Healthy reports nil while the server is accepting and processing:
-// Serve has been called, Shutdown has not, and the shared pipeline
-// still takes frames. /healthz maps nil to 200 and an error to 503.
+// Serve has been called, Shutdown has not, the shared pipeline still
+// takes frames, and the once-per-process datapath self-test (see
+// SelfTest) has passed — a backend whose kernel tables disagree with
+// the scalar reference never reports healthy, so a routing front door
+// ejects it instead of spreading wrong math. /healthz maps nil to 200
+// and an error to 503.
 func (s *Server) Healthy() error {
 	s.mu.Lock()
 	serving, draining := s.serving, s.draining
@@ -60,6 +64,9 @@ func (s *Server) Healthy() error {
 		return errors.New("not serving")
 	case s.run.Closed():
 		return errors.New("pipeline closed")
+	}
+	if st := s.startupSelfTest(); !st.OK {
+		return fmt.Errorf("datapath selftest failed: %s", st.Error)
 	}
 	return nil
 }
@@ -78,7 +85,8 @@ type Statsz struct {
 }
 
 // AdminHandler returns the admin mux gfserved mounts on -admin:
-// /metrics (Prometheus text), /healthz, /statsz (JSON) and the
+// /metrics (Prometheus text), /healthz, /statsz (JSON), /selftest
+// (re-runs the differential datapath verification) and the
 // net/http/pprof endpoints under /debug/pprof/.
 func (s *Server) AdminHandler(reg *obs.Registry) http.Handler {
 	mux := http.NewServeMux()
@@ -100,6 +108,16 @@ func (s *Server) AdminHandler(reg *obs.Registry) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(sz)
+	})
+	mux.HandleFunc("/selftest", func(w http.ResponseWriter, _ *http.Request) {
+		res := s.SelfTest()
+		w.Header().Set("Content-Type", "application/json")
+		if !res.OK {
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(res)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

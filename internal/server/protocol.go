@@ -40,6 +40,10 @@ const (
 	Version    = 1
 	headerSize = 24
 
+	// HeaderSize is the fixed frame-header length, exported for wire
+	// accounting by clients and proxies.
+	HeaderSize = headerSize
+
 	// MaxParams bounds the params section of any message.
 	MaxParams = 256
 
@@ -62,6 +66,25 @@ const (
 	OpOpen     Op = 4 // params: 12-byte nonce; payload: ciphertext||tag -> plaintext
 	OpStats    Op = 5 // payload: none -> JSON StatsSnapshot
 )
+
+// Idempotent reports whether the op may be transparently retried by a
+// proxy after a backend is lost mid-flight. RS encode/decode and stats
+// are pure functions of their request bytes — replaying one on another
+// backend produces the same answer and mutates nothing. The AES-GCM ops
+// are deliberately excluded: the client chose the nonce, and a replayed
+// seal would emit a second ciphertext under the same (key, nonce) pair —
+// exactly the reuse GCM's security argument forbids — with no way for
+// the proxy to prove the first attempt never reached the cipher. (A
+// backend that *rejects* a request without processing it, e.g. with
+// StatusShuttingDown, is safe to retry regardless of op; see
+// Status.RetrySafe.)
+func (o Op) Idempotent() bool {
+	switch o {
+	case OpRSEncode, OpRSDecode, OpStats:
+		return true
+	}
+	return false
+}
 
 // String implements fmt.Stringer.
 func (o Op) String() string {
@@ -93,7 +116,19 @@ const (
 	StatusCodecFailed  Status = 4 // codec error (uncorrectable word, auth failure)
 	StatusShuttingDown Status = 5 // server draining; request was not processed
 	StatusInternal     Status = 6 // server-side invariant failure
+
+	// Statuses originated by a routing front door (gfproxy), never by a
+	// backend itself.
+	StatusUnavailable Status = 7 // no healthy backend could serve the request
+	StatusOverloaded  Status = 8 // per-tenant admission limit exceeded; retry later
 )
+
+// RetrySafe reports whether a response with this status guarantees the
+// request was never processed, making a retry safe for any op — even the
+// non-idempotent ones. A draining backend rejects before touching the
+// pipeline, so a proxy can replay the request elsewhere without risking
+// nonce reuse.
+func (s Status) RetrySafe() bool { return s == StatusShuttingDown }
 
 // String implements fmt.Stringer.
 func (s Status) String() string {
@@ -112,6 +147,10 @@ func (s Status) String() string {
 		return "shutting-down"
 	case StatusInternal:
 		return "internal"
+	case StatusUnavailable:
+		return "unavailable"
+	case StatusOverloaded:
+		return "overloaded"
 	default:
 		return fmt.Sprintf("status(%d)", uint16(s))
 	}
@@ -126,18 +165,19 @@ type Message struct {
 	Payload []byte
 }
 
-// protoError is a framing violation that poisons the byte stream: after
+// ProtoError is a framing violation that poisons the byte stream: after
 // one, the connection cannot be resynchronized and must be closed. It
-// wraps the status the server reports (best effort) before closing.
-type protoError struct {
-	status Status
+// wraps the status the server (or proxy) reports, best effort, before
+// closing.
+type ProtoError struct {
+	Status Status
 	msg    string
 }
 
-func (e *protoError) Error() string { return e.msg }
+func (e *ProtoError) Error() string { return e.msg }
 
 func protoErrorf(st Status, format string, args ...any) error {
-	return &protoError{status: st, msg: fmt.Sprintf(format, args...)}
+	return &ProtoError{Status: st, msg: fmt.Sprintf(format, args...)}
 }
 
 // writeMessage serializes m to w. Callers serialize access to w.
@@ -165,7 +205,7 @@ func writeMessage(w io.Writer, m *Message) error {
 
 // readMessage reads one message from r, enforcing the magic/version and
 // the params/payload size guards. Size and framing violations come back
-// as *protoError; the caller should report the status and drop the
+// as *ProtoError; the caller should report the status and drop the
 // connection, since the stream position is lost. A clean EOF before the
 // first header byte is io.EOF; EOF mid-message is ErrUnexpectedEOF.
 func readMessage(r io.Reader, maxPayload int) (*Message, error) {
@@ -208,4 +248,17 @@ func readMessage(r io.Reader, maxPayload int) (*Message, error) {
 	m.Params = buf[:paramsLen:paramsLen]
 	m.Payload = buf[paramsLen:]
 	return m, nil
+}
+
+// ReadRequest reads one frame from r under the given payload guard. It
+// is the exported face of the frame reader for GFP1 intermediaries
+// (gfproxy) that terminate the protocol without being a Server; the
+// error contract matches readMessage.
+func ReadRequest(r io.Reader, maxPayload int) (*Message, error) {
+	return readMessage(r, maxPayload)
+}
+
+// WriteResponse serializes m to w. Callers serialize access to w.
+func WriteResponse(w io.Writer, m *Message) error {
+	return writeMessage(w, m)
 }

@@ -60,13 +60,13 @@ func TestReadMessageRejects(t *testing.T) {
 	}
 	for _, tc := range cases {
 		_, err := readMessage(bytes.NewReader(tc.raw), DefaultMaxPayload)
-		var pe *protoError
+		var pe *ProtoError
 		if !errors.As(err, &pe) {
-			t.Errorf("%s: err = %v, want *protoError", tc.name, err)
+			t.Errorf("%s: err = %v, want *ProtoError", tc.name, err)
 			continue
 		}
-		if pe.status != tc.want {
-			t.Errorf("%s: status %v, want %v", tc.name, pe.status, tc.want)
+		if pe.Status != tc.want {
+			t.Errorf("%s: status %v, want %v", tc.name, pe.Status, tc.want)
 		}
 	}
 }

@@ -1,0 +1,80 @@
+package server
+
+// Datapath self-verification: a serving process proves its math before
+// reporting healthy. The fast GF kernel tiers (packed rows, product
+// tables) are differentially checked against the scalar reference for
+// both fields the server actually computes in — the RS field and the
+// AES field — via gf.VerifyKernels. The check runs once, lazily, the
+// first time health is probed (gfproxy's health gate therefore admits a
+// backend into the ring only after its datapath has verified), and can
+// be re-run on demand through the /selftest admin endpoint.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/gf"
+)
+
+// selftestVectors is how many pseudo-random vectors per op each field is
+// checked with. At GF(2^8) one run is a few hundred microseconds.
+const selftestVectors = 8
+
+// SelfTestResult reports one differential verification run.
+type SelfTestResult struct {
+	OK        bool     `json:"ok"`
+	Fields    []string `json:"fields"`  // fields checked, e.g. "GF(2^8) poly=0x11d"
+	Tiers     []string `json:"tiers"`   // active kernel tier per field
+	Vectors   int      `json:"vectors"` // vectors per op per field
+	ElapsedNs int64    `json:"elapsed_ns"`
+	Error     string   `json:"error,omitempty"` // first disagreement, when !OK
+}
+
+// selftest is the cached startup verification state.
+type selftest struct {
+	once sync.Once
+	res  SelfTestResult
+}
+
+// SelfTest runs the differential kernel verification for the server's
+// serving fields and returns the result. It is safe for concurrent use
+// and deliberately un-cached: the /selftest endpoint re-checks the live
+// tables on every call.
+func (s *Server) SelfTest() SelfTestResult {
+	return runSelfTest(s.iv.Code.F, time.Now().UnixNano())
+}
+
+// startupSelfTest returns the once-per-process verification run that
+// gates Healthy. The seed is fixed so a failing deployment reproduces
+// byte-for-byte.
+func (s *Server) startupSelfTest() SelfTestResult {
+	s.st.once.Do(func() {
+		s.st.res = runSelfTest(s.iv.Code.F, 1)
+	})
+	return s.st.res
+}
+
+func runSelfTest(rsField *gf.Field, seed int64) SelfTestResult {
+	fields := []*gf.Field{rsField}
+	// The AES-GCM ops compute in the AES field; check it too unless the
+	// RS field already is it.
+	aesF := gf.AES()
+	if rsField.Poly() != aesF.Poly() || rsField.M() != aesF.M() {
+		fields = append(fields, aesF)
+	}
+	res := SelfTestResult{OK: true, Vectors: selftestVectors}
+	start := time.Now()
+	for _, f := range fields {
+		res.Fields = append(res.Fields, fmt.Sprintf("%v poly=%#x", f, f.Poly()))
+		res.Tiers = append(res.Tiers, f.Kernels().Tier())
+		if res.OK {
+			if err := gf.VerifyKernels(f, selftestVectors, seed); err != nil {
+				res.OK = false
+				res.Error = err.Error()
+			}
+		}
+	}
+	res.ElapsedNs = time.Since(start).Nanoseconds()
+	return res
+}

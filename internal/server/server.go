@@ -90,6 +90,7 @@ type Server struct {
 	inflight     sync.WaitGroup // frames submitted but not yet routed
 	dispatchDone chan struct{}
 
+	st  selftest
 	ctr counters
 }
 
@@ -482,14 +483,14 @@ func (c *conn) readLoop() {
 			if c.s.isDraining() {
 				return
 			}
-			var pe *protoError
+			var pe *ProtoError
 			if errors.As(err, &pe) {
 				// Report the violation, then drop the connection: the
 				// stream cannot be resynchronized. No request was ever
 				// counted for the garbage bytes, so the error reply is
 				// unledgered — protoErrors tracks these separately.
 				c.s.ctr.protoErrors.Add(1)
-				c.send(outMsg{m: &Message{Status: pe.status, Payload: []byte(pe.msg)}, unled: true})
+				c.send(outMsg{m: &Message{Status: pe.Status, Payload: []byte(pe.Error())}, unled: true})
 				c.failFlush()
 				return
 			}

@@ -89,12 +89,15 @@ type StageSnapshot struct {
 	Latency   perf.HistSummary `json:"latency"`
 }
 
-// StatsSnapshot is the stats op's response payload (JSON).
+// StatsSnapshot is the stats op's response payload (JSON). ListenAddr
+// is the actually-bound GFP1 listener address (meaningful when the
+// server was started with ":0"), empty before Serve.
 type StatsSnapshot struct {
-	Config ConfigInfo       `json:"config"`
-	Server Counters         `json:"server"`
-	Stages []StageSnapshot  `json:"stages"`
-	Total  perf.HistSummary `json:"total"` // pipeline submit-to-delivery latency
+	ListenAddr string           `json:"listen_addr,omitempty"`
+	Config     ConfigInfo       `json:"config"`
+	Server     Counters         `json:"server"`
+	Stages     []StageSnapshot  `json:"stages"`
+	Total      perf.HistSummary `json:"total"` // pipeline submit-to-delivery latency
 }
 
 // Snapshot captures the live server and pipeline statistics.
@@ -109,6 +112,9 @@ func (s *Server) Snapshot() *StatsSnapshot {
 		},
 		Server: s.ctr.snapshot(),
 		Total:  s.pl.Total.Summary(),
+	}
+	if a := s.Addr(); a != nil {
+		snap.ListenAddr = a.String()
 	}
 	for _, st := range s.pl.Stats() {
 		snap.Stages = append(snap.Stages, StageSnapshot{

@@ -1,0 +1,220 @@
+#!/usr/bin/env bash
+# Cluster smoke test: build gfserved + gfproxy + gfload, bring up a
+# 3-backend fleet on ephemeral ports behind a gfproxy front door,
+# record 1-backend vs 3-backend throughput through the proxy, then
+# SIGKILL one backend mid-load and assert the run survives with zero
+# failed requests (rs encode/decode are idempotent, so the proxy
+# replays them on the surviving backends), the dead backend is ejected
+# and — once restarted on the same ports — readmitted, the proxy's
+# request ledger balances exactly, and its /metrics page carries both
+# its own gfp_proxy_* families and the fleet-merged gfp_server_*
+# families. Run from the repo root; exits nonzero on any failure.
+set -euo pipefail
+
+REQUESTS="${REQUESTS:-15000}"
+CHURN_REQUESTS="${CHURN_REQUESTS:-60000}"
+CONNS="${CONNS:-8}"
+WINDOW="${WINDOW:-8}"
+
+workdir=$(mktemp -d)
+pids=()
+trap 'kill "${pids[@]}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/gfserved" ./cmd/gfserved
+go build -o "$workdir/gfproxy" ./cmd/gfproxy
+go build -o "$workdir/gfload" ./cmd/gfload
+
+# wait_line FILE REGEX: polls until the first capture of REGEX appears
+# in FILE and prints it.
+wait_line() {
+  local file=$1 re=$2 m
+  for _ in $(seq 1 100); do
+    m=$(sed -nE "s#.*$re.*#\1#p" "$file" 2>/dev/null | head -1)
+    if [ -n "$m" ]; then echo "$m"; return 0; fi
+    sleep 0.1
+  done
+  echo "smoke-cluster: never saw /$re/ in $file" >&2
+  cat "$file" >&2
+  return 1
+}
+
+# start_backend IDX ADDR ADMIN: launches one gfserved (":0" ports on
+# first start, the recorded ports on restart) and records its pid and
+# bound addresses in b$IDX_addr / b$IDX_admin.
+start_backend() {
+  local i=$1 addr=$2 admin=$3
+  "$workdir/gfserved" -addr "$addr" -admin "$admin" -quiet \
+    >"$workdir/backend$i.log" 2>&1 &
+  pids+=($!)
+  eval "b${i}_pid=$!"
+  eval "b${i}_addr=\$(wait_line "$workdir/backend$i.log" 'listening on ([0-9.:]+)')"
+  eval "b${i}_admin=\$(wait_line "$workdir/backend$i.log" 'admin on http://([0-9.:]+)')"
+}
+
+for i in 1 2 3; do start_backend "$i" 127.0.0.1:0 127.0.0.1:0; done
+echo "smoke-cluster: backends $b1_addr $b2_addr $b3_addr"
+
+# Each backend's datapath self-test must pass before it takes traffic.
+# (Download before grepping: with pipefail, `curl | grep -q` fails
+# whenever grep matches and exits before curl finishes writing.)
+curl -fsS "http://$b1_admin/selftest" >"$workdir/selftest.json"
+grep -q '"ok": true' "$workdir/selftest.json" || {
+  echo "smoke-cluster: backend /selftest did not pass" >&2
+  exit 1
+}
+
+# start_proxy NAME BACKENDS: launches a gfproxy over the given fleet
+# with an aggressive health cadence; prints "addr admin".
+start_proxy() {
+  local name=$1 backends=$2
+  "$workdir/gfproxy" -addr 127.0.0.1:0 -admin 127.0.0.1:0 \
+    -backends "$backends" -route request -retries 3 \
+    -health-interval 200ms -health-timeout 1s -fail-after 2 -readmit-after 2 \
+    -dial-wait 200ms -quiet >"$workdir/$name.log" 2>&1 &
+  pids+=($!)
+  eval "${name}_pid=$!"
+  eval "${name}_addr=\$(wait_line "$workdir/$name.log" 'listening on ([0-9.:]+)')"
+  eval "${name}_admin=\$(wait_line "$workdir/$name.log" 'admin on http://([0-9.:]+)')"
+}
+
+rps_of() { sed -nE 's#.* ([0-9.]+) round trips/s.*#\1#p' "$1" | head -1; }
+
+# --- 1 vs 3 backend throughput through the proxy ------------------------
+start_proxy proxy1 "$b1_addr@$b1_admin"
+"$workdir/gfload" -addr "$proxy1_addr" -wait 10s \
+  -conns "$CONNS" -window "$WINDOW" -requests "$REQUESTS" \
+  >"$workdir/load1.log" 2>&1 || {
+  echo "smoke-cluster: gfload through 1-backend proxy failed" >&2
+  cat "$workdir/load1.log" >&2
+  exit 1
+}
+kill -INT "$proxy1_pid" && wait "$proxy1_pid" || true
+
+start_proxy proxy "$b1_addr@$b1_admin,$b2_addr@$b2_admin,$b3_addr@$b3_admin"
+"$workdir/gfload" -addr "$proxy_addr" -wait 10s \
+  -conns "$CONNS" -window "$WINDOW" -requests "$REQUESTS" \
+  >"$workdir/load3.log" 2>&1 || {
+  echo "smoke-cluster: gfload through 3-backend proxy failed" >&2
+  cat "$workdir/load3.log" >&2
+  exit 1
+}
+echo "smoke-cluster: throughput scaling 1->3 backends: $(rps_of "$workdir/load1.log") -> $(rps_of "$workdir/load3.log") round trips/s"
+
+# --- SIGKILL one backend under load -------------------------------------
+"$workdir/gfload" -addr "$proxy_addr" -wait 10s \
+  -conns "$CONNS" -window "$WINDOW" -requests "$CHURN_REQUESTS" \
+  >"$workdir/load-churn.log" 2>&1 &
+load_pid=$!
+pids+=($load_pid)
+
+sleep 1
+{ kill -9 "$b1_pid" && wait "$b1_pid"; } 2>/dev/null || true
+echo "smoke-cluster: SIGKILLed backend $b1_addr under load"
+
+metric() { curl -fsS "http://$proxy_admin/metrics" | awk -v m="$1" '$1 == m {print int($2)}'; }
+
+ejected=0
+for _ in $(seq 1 100); do
+  if [ "$(metric gfp_proxy_ejections_total)" -ge 1 ]; then ejected=1; break; fi
+  sleep 0.1
+done
+if [ "$ejected" != 1 ]; then
+  echo "smoke-cluster: killed backend was never ejected" >&2
+  curl -fsS "http://$proxy_admin/statsz" >&2 || true
+  exit 1
+fi
+echo "smoke-cluster: backend ejected"
+
+start_backend 1 "$b1_addr" "$b1_admin"
+readmitted=0
+for _ in $(seq 1 100); do
+  if [ "$(metric gfp_proxy_readmits_total)" -ge 1 ]; then readmitted=1; break; fi
+  sleep 0.1
+done
+if [ "$readmitted" != 1 ]; then
+  echo "smoke-cluster: restarted backend was never readmitted" >&2
+  curl -fsS "http://$proxy_admin/statsz" >&2 || true
+  exit 1
+fi
+echo "smoke-cluster: backend restarted on $b1_addr and readmitted"
+
+# The load must finish with zero failures: every rs round trip either
+# completed on the first try or was transparently replayed.
+wait "$load_pid" || {
+  status=$?
+  echo "smoke-cluster: gfload failed across the kill/restart (status $status)" >&2
+  cat "$workdir/load-churn.log" >&2
+  exit "$status"
+}
+echo "smoke-cluster: $CHURN_REQUESTS round trips survived the kill with zero failures"
+
+# --- proxy admin plane ---------------------------------------------------
+curl -fsS "http://$proxy_admin/metrics" >"$workdir/proxy-metrics.txt"
+# Well-formed Prometheus exposition.
+awk '
+  /^#/ {
+    if ($0 !~ /^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* /) { bad = 1; print "bad comment: " $0 > "/dev/stderr" }
+    next
+  }
+  !/^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)( [0-9]+)?$/ {
+    bad = 1; print "bad sample: " $0 > "/dev/stderr"
+  }
+  END { exit bad }
+' "$workdir/proxy-metrics.txt" || {
+  echo "smoke-cluster: malformed proxy /metrics exposition" >&2
+  exit 1
+}
+# The proxy's own families plus the fleet-merged backend families on one page.
+for want in gfp_proxy_requests_total gfp_proxy_backend_forwards_total \
+    gfp_proxy_backends_healthy gfp_server_requests_total \
+    gfp_pipeline_latency_seconds_bucket; do
+  grep -q "^$want" "$workdir/proxy-metrics.txt" || {
+    echo "smoke-cluster: proxy /metrics missing $want" >&2
+    exit 1
+  }
+done
+
+# Exact disjoint ledger: requests == responses + rejects + dropped once
+# the loaders are gone.
+awk '
+  $1 == "gfp_proxy_requests_total"  { req  = $2 }
+  $1 == "gfp_proxy_responses_total" { resp = $2 }
+  $1 == "gfp_proxy_rejects_total"   { rej  = $2 }
+  $1 == "gfp_proxy_dropped_total"   { drop = $2 }
+  END {
+    if (req == "" || req != resp + rej + drop) {
+      printf "ledger: requests=%d responses=%d rejects=%d dropped=%d\n", req, resp, rej, drop > "/dev/stderr"
+      exit 1
+    }
+  }
+' "$workdir/proxy-metrics.txt" || {
+  echo "smoke-cluster: proxy request ledger does not balance" >&2
+  exit 1
+}
+curl -fsS "http://$proxy_admin/statsz" >"$workdir/proxy-statsz.json"
+grep -q '"scraped": 3' "$workdir/proxy-statsz.json" || {
+  echo "smoke-cluster: proxy /statsz did not scrape all 3 backends" >&2
+  exit 1
+}
+
+# --- graceful teardown ---------------------------------------------------
+kill -INT "$proxy_pid"
+for _ in $(seq 1 100); do
+  kill -0 "$proxy_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$proxy_pid" 2>/dev/null; then
+  echo "smoke-cluster: gfproxy did not exit within 10s of SIGINT" >&2
+  cat "$workdir/proxy.log" >&2
+  exit 1
+fi
+wait "$proxy_pid" || {
+  status=$?
+  echo "smoke-cluster: gfproxy exited with status $status" >&2
+  cat "$workdir/proxy.log" >&2
+  exit "$status"
+}
+for pid in "$b1_pid" "$b2_pid" "$b3_pid"; do
+  kill -INT "$pid" 2>/dev/null || true
+done
+echo "smoke-cluster: ok — kill/eject/readmit under load with a balanced ledger and aggregated fleet metrics"

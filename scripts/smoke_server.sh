@@ -7,8 +7,8 @@
 # cleanly. Run from the repo root; exits nonzero on any failure.
 set -euo pipefail
 
-ADDR="${ADDR:-127.0.0.1:46500}"
-ADMIN="${ADMIN:-127.0.0.1:46590}"
+ADDR="${ADDR:-127.0.0.1:24650}"
+ADMIN="${ADMIN:-127.0.0.1:24690}"
 REQUESTS="${REQUESTS:-10000}"
 CONNS="${CONNS:-8}"
 WINDOW="${WINDOW:-8}"
@@ -71,7 +71,10 @@ for want in gfp_server_requests_total gfp_pipeline_stage_frames_total \
     exit 1
   }
 done
-curl -fsS "http://$ADMIN/statsz" | grep -q '"metrics"' || {
+# Download before grepping: with pipefail, `curl | grep -q` fails
+# whenever grep matches and exits before curl finishes writing.
+curl -fsS "http://$ADMIN/statsz" >"$workdir/statsz.json"
+grep -q '"metrics"' "$workdir/statsz.json" || {
   echo "smoke: /statsz missing metrics array" >&2
   exit 1
 }
