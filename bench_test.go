@@ -407,7 +407,29 @@ func BenchmarkRSEncode255_239(b *testing.B) {
 	for i := range msg {
 		msg[i] = gf.Elem(i & 0xFF)
 	}
+	dst := make([]gf.Elem, c.N)
 	b.SetBytes(int64(c.K))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EncodeTo(dst, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRSEncode255_239Alloc keeps the allocating Encode path measured
+// so a regression in the codeword-per-call allocation shows up next to
+// the zero-alloc EncodeTo number above.
+func BenchmarkRSEncode255_239Alloc(b *testing.B) {
+	c := rs.Must(gf.MustDefault(8), 255, 239)
+	msg := make([]gf.Elem, c.K)
+	for i := range msg {
+		msg[i] = gf.Elem(i & 0xFF)
+	}
+	b.SetBytes(int64(c.K))
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Encode(msg); err != nil {
 			b.Fatal(err)
@@ -619,11 +641,12 @@ func BenchmarkAESBlockOnSimulator(b *testing.B) {
 // --- Pipeline throughput: frames/s scaling across worker counts ---
 
 // benchmarkPipelineRS drives encode -> corrupt -> decode over one shared
-// RS(255,239) codec with the given per-stage worker count, reporting
-// message-payload MB/s via SetBytes. Corruption is derived from the
-// frame sequence number (8 symbol errors, the code's capability), so
-// every configuration decodes an identical workload.
-func benchmarkPipelineRS(b *testing.B, workers int) {
+// RS(255,239) codec with the given per-stage worker count and codewords
+// per frame, reporting message-payload MB/s via SetBytes. Corruption is
+// derived from the frame sequence number and chunk index (8 symbol
+// errors per codeword, the code's capability), so every configuration
+// decodes an identical workload.
+func benchmarkPipelineRS(b *testing.B, workers, batch int) {
 	c := rs.Must(gf.MustDefault(8), 255, 239)
 	enc, err := pipeline.NewRSEncode(c)
 	if err != nil {
@@ -634,20 +657,24 @@ func benchmarkPipelineRS(b *testing.B, workers int) {
 		b.Fatal(err)
 	}
 	flip := pipeline.Func{Label: "flip(8)", F: func(f *pipeline.Frame) error {
-		for i := 0; i < 8; i++ {
-			f.Data[(int(f.Seq)%31+i*31)%c.N] ^= byte(1 + (f.Seq+uint64(i))%255)
+		for w := 0; w < len(f.Data)/c.N; w++ {
+			cw := f.Data[w*c.N : (w+1)*c.N]
+			key := f.Seq*uint64(batch) + uint64(w)
+			for i := 0; i < 8; i++ {
+				cw[(int(key)%31+i*31)%c.N] ^= byte(1 + (key+uint64(i))%255)
+			}
 		}
 		return nil
 	}}
-	p, err := pipeline.New(pipeline.Config{Workers: workers}, enc, flip, dec)
+	p, err := pipeline.New(pipeline.Config{Workers: workers, Batch: batch}, enc, flip, dec)
 	if err != nil {
 		b.Fatal(err)
 	}
-	payload := make([]byte, c.K)
+	payload := make([]byte, batch*c.K)
 	for i := range payload {
 		payload[i] = byte(i * 7)
 	}
-	b.SetBytes(int64(c.K))
+	b.SetBytes(int64(batch * c.K))
 	b.ResetTimer()
 	r := p.Start()
 	failed := make(chan int)
@@ -657,7 +684,7 @@ func benchmarkPipelineRS(b *testing.B, workers int) {
 			if f.Err != nil {
 				bad++
 			}
-			f.Recycle()
+			f.Free()
 		}
 		failed <- bad
 	}()
@@ -673,12 +700,21 @@ func benchmarkPipelineRS(b *testing.B, workers int) {
 // BenchmarkPipelineRS255_239 contrasts a fully serialized pipeline
 // (1 worker per stage) with one sized to the host (GOMAXPROCS workers
 // per stage); on a multi-core machine the latter should scale decode
-// throughput near-linearly until memory bandwidth intervenes.
+// throughput near-linearly until memory bandwidth intervenes. Each
+// variant runs unbatched and with 16 codewords per frame — batching
+// amortizes the per-frame handoff cost that otherwise dominates small
+// codewords.
 func BenchmarkPipelineRS255_239(b *testing.B) {
-	b.Run("workers=1", func(b *testing.B) { benchmarkPipelineRS(b, 1) })
-	if w := runtime.GOMAXPROCS(0); w > 1 {
-		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchmarkPipelineRS(b, w) })
-	} else {
-		b.Run("workers=4", func(b *testing.B) { benchmarkPipelineRS(b, 4) })
+	for _, batch := range []int{1, 16} {
+		suffix := ""
+		if batch > 1 {
+			suffix = fmt.Sprintf("/batch=%d", batch)
+		}
+		b.Run("workers=1"+suffix, func(b *testing.B) { benchmarkPipelineRS(b, 1, batch) })
+		if w := runtime.GOMAXPROCS(0); w > 1 {
+			b.Run(fmt.Sprintf("workers=%d%s", w, suffix), func(b *testing.B) { benchmarkPipelineRS(b, w, batch) })
+		} else {
+			b.Run("workers=4"+suffix, func(b *testing.B) { benchmarkPipelineRS(b, 4, batch) })
+		}
 	}
 }

@@ -55,6 +55,7 @@ type cliConfig struct {
 	conns      int
 	window     int
 	requests   int
+	batch      int
 	p          float64
 	seed       int64
 	wait       time.Duration
@@ -83,6 +84,7 @@ func main() {
 	flag.IntVar(&cfg.conns, "conns", 8, "concurrent connections")
 	flag.IntVar(&cfg.window, "window", 8, "pipelined requests per connection")
 	flag.IntVar(&cfg.requests, "requests", 10000, "total round trips")
+	flag.IntVar(&cfg.batch, "batch", 1, "interleaver frames packed per request (server must allow it)")
 	flag.Float64Var(&cfg.p, "p", 0, "channel bit-flip probability applied client-side")
 	flag.Int64Var(&cfg.seed, "seed", 1, "rng seed (payloads and channel)")
 	flag.DurationVar(&cfg.wait, "wait", 5*time.Second, "retry budget while connecting")
@@ -97,8 +99,11 @@ func main() {
 }
 
 func run(cfg cliConfig, w io.Writer) (*result, error) {
-	if cfg.conns < 1 || cfg.window < 1 || cfg.requests < 1 {
-		return nil, fmt.Errorf("-conns, -window and -requests must be positive")
+	if cfg.batch == 0 {
+		cfg.batch = 1 // zero value from config literals = unbatched
+	}
+	if cfg.conns < 1 || cfg.window < 1 || cfg.requests < 1 || cfg.batch < 1 {
+		return nil, fmt.Errorf("-conns, -window, -requests and -batch must be positive")
 	}
 	if cfg.p < 0 || cfg.p >= 1 {
 		return nil, fmt.Errorf("channel probability %v outside [0,1)", cfg.p)
@@ -134,12 +139,16 @@ func run(cfg cliConfig, w io.Writer) (*result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("stats probe %s: %w", addr, err)
 		}
+		if cfg.batch > 1 && snap.Config.Batch < cfg.batch {
+			return nil, fmt.Errorf("target %s allows batch %d, want %d: restart it with -batch >= %d",
+				addr, snap.Config.Batch, cfg.batch, cfg.batch)
+		}
 		if i == 0 {
 			frameK = snap.Config.FrameK
 			if !cfg.quiet {
-				fmt.Fprintf(w, "gfload: %s — RS(%d,%d) depth %d (%dB messages), %d conns x %d window, %d round trips, channel p=%g\n",
+				fmt.Fprintf(w, "gfload: %s — RS(%d,%d) depth %d (%dB messages x batch %d), %d conns x %d window, %d round trips, channel p=%g\n",
 					strings.Join(targets, ","), snap.Config.N, snap.Config.K, snap.Config.Depth,
-					frameK, cfg.conns, cfg.window, cfg.requests, cfg.p)
+					frameK, cfg.batch, cfg.conns, cfg.window, cfg.requests, cfg.p)
 			}
 		} else if snap.Config.FrameK != frameK {
 			return nil, fmt.Errorf("target %s serves %dB frames, %s serves %dB: fleet geometry mismatch",
@@ -232,7 +241,7 @@ func worker(cfg cliConfig, c *server.Client, frameK int, id int64, issued *atomi
 			return err
 		}
 	}
-	msg := make([]byte, frameK)
+	msg := make([]byte, cfg.batch*frameK)
 	for issued.Add(1) <= int64(cfg.requests) {
 		rng.Read(msg)
 		t0 := time.Now()
@@ -318,7 +327,7 @@ func report(w io.Writer, cfg cliConfig, res *result, frameK int) {
 		"round trips:", done, res.uncorrectable.Load(), res.residual.Load())
 	fmt.Fprintf(w, "%-22s %v wall, %.0f round trips/s, %.2f MB/s payload\n",
 		"throughput:", res.elapsed.Round(time.Millisecond),
-		float64(done)/secs, float64(done)*float64(frameK)/secs/1e6)
+		float64(done)/secs, float64(done)*float64(cfg.batch*frameK)/secs/1e6)
 	p50, p95, p99 := res.hist.Percentiles()
 	fmt.Fprintf(w, "%-22s p50 %v  p95 %v  p99 %v  max %v\n",
 		"round-trip latency:", p50, p95, p99, res.hist.Max())

@@ -14,9 +14,9 @@
 //
 // Usage:
 //
-//	gfpipe [-frames 2000] [-n 255] [-k 239] [-depth 4] [-workers 0]
-//	       [-queue 0] [-channel bsc|burst|none] [-ebn0 6.5] [-p 0]
-//	       [-gcm] [-metered] [-seed 1] [-quiet]
+//	gfpipe [-frames 2000] [-n 255] [-k 239] [-depth 4] [-batch 1]
+//	       [-workers 0] [-queue 0] [-channel bsc|burst|none] [-ebn0 6.5]
+//	       [-p 0] [-gcm] [-metered] [-seed 1] [-quiet]
 //	gfpipe -adaptive [-ladder 251,239,223,191,127]
 //	       [-schedule 400:7,600:7>4:burst,400:4>7,400:7]
 //	       [-window 0] [-stepup 48]
@@ -61,6 +61,7 @@ type cliConfig struct {
 	frames     int
 	n, k       int
 	depth      int
+	batch      int
 	workers    int
 	queue      int
 	chName     string
@@ -99,6 +100,7 @@ func main() {
 	flag.IntVar(&cfg.n, "n", 255, "RS codeword length (symbols, over GF(2^8))")
 	flag.IntVar(&cfg.k, "k", 239, "RS message length (symbols)")
 	flag.IntVar(&cfg.depth, "depth", 4, "interleaving depth (codewords per frame)")
+	flag.IntVar(&cfg.batch, "batch", 1, "interleaver frames packed per pipeline frame (amortizes per-frame handoff)")
 	flag.IntVar(&cfg.workers, "workers", 0, "workers per stage (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.queue, "queue", 0, "per-stage queue depth (0 = 2*workers)")
 	flag.StringVar(&cfg.chName, "channel", "bsc", "channel model: bsc, burst or none")
@@ -133,6 +135,9 @@ func main() {
 }
 
 func run(cfg cliConfig, w io.Writer) (*result, error) {
+	if cfg.batch == 0 {
+		cfg.batch = 1 // zero value from config literals = unbatched
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -159,8 +164,17 @@ func (cfg cliConfig) validate() error {
 	if cfg.workers < 0 || cfg.queue < 0 {
 		return fmt.Errorf("-workers %d and -queue %d must be non-negative", cfg.workers, cfg.queue)
 	}
+	if cfg.batch < 0 {
+		return fmt.Errorf("-batch %d must be positive", cfg.batch)
+	}
 	if cfg.metered && cfg.depth != 1 {
 		return fmt.Errorf("-metered requires -depth 1 (per-codeword cycle accounting)")
+	}
+	if cfg.metered && cfg.batch > 1 {
+		return fmt.Errorf("-metered requires -batch 1 (per-codeword cycle accounting)")
+	}
+	if cfg.adaptiveMode && cfg.batch > 1 {
+		return fmt.Errorf("-adaptive requires -batch 1 (the feedback window is per frame)")
 	}
 	if !cfg.adaptiveMode || cfg.framesSet {
 		if cfg.frames < 1 {
@@ -273,14 +287,16 @@ func runFixed(cfg cliConfig, w io.Writer) (*result, error) {
 		stages = append(stages, pipeline.NewOpenAEAD(gcm, aad))
 	}
 
-	pl, err := pipeline.New(pipeline.Config{Workers: cfg.workers, Queue: cfg.queue}, stages...)
+	pl, err := pipeline.New(pipeline.Config{Workers: cfg.workers, Queue: cfg.queue, Batch: cfg.batch}, stages...)
 	if err != nil {
 		return nil, err
 	}
 
-	payloadLen := iv.FrameK()
+	// Each pipeline frame packs -batch interleaver frames; with -gcm one
+	// tag per pipeline frame rides inside the coded payload.
+	payloadLen := cfg.batch * iv.FrameK()
 	if cfg.useGCM {
-		payloadLen -= 16 // the GCM tag rides inside the coded frame
+		payloadLen -= 16
 	}
 	rng := rand.New(rand.NewSource(cfg.seed))
 	payloads := make([][]byte, cfg.frames)
@@ -290,8 +306,8 @@ func runFixed(cfg cliConfig, w io.Writer) (*result, error) {
 	}
 
 	pcfg := pl.Config()
-	fmt.Fprintf(w, "gfpipe: %d frames x %dB payload, RS(%d,%d) depth %d, %d workers/stage, queue %d\n",
-		cfg.frames, payloadLen, cfg.n, cfg.k, cfg.depth, pcfg.Workers, pcfg.Queue)
+	fmt.Fprintf(w, "gfpipe: %d frames x %dB payload, RS(%d,%d) depth %d, batch %d, %d workers/stage, queue %d\n",
+		cfg.frames, payloadLen, cfg.n, cfg.k, cfg.depth, cfg.batch, pcfg.Workers, pcfg.Queue)
 	if cfg.chName != "none" {
 		fmt.Fprintf(w, "channel: %s (bit flip p=%.3e)\n", cfg.chName, p)
 	}
@@ -337,9 +353,10 @@ func runFixed(cfg cliConfig, w io.Writer) (*result, error) {
 	fmt.Fprintf(w, "\n%-22s %d ok, %d failed (%.3g%% frame loss), %d symbols corrected\n",
 		"frames:", cfg.frames-res.failed, res.failed,
 		100*float64(res.failed)/float64(cfg.frames), res.corrected)
-	fmt.Fprintf(w, "%-22s %v wall, %.0f frames/s, %.2f MB/s goodput\n",
+	fmt.Fprintf(w, "%-22s %v wall, %.0f frames/s (%.0f codewords/s), %.2f MB/s goodput\n",
 		"throughput:", elapsed.Round(time.Millisecond),
-		float64(cfg.frames)/elapsed.Seconds(), goodput/1e6)
+		float64(cfg.frames)/elapsed.Seconds(),
+		float64(cfg.frames*cfg.batch*cfg.depth)/elapsed.Seconds(), goodput/1e6)
 	fmt.Fprintf(w, "%-22s %s\n", "end-to-end latency:", pl.Total.String())
 	if runErr != nil {
 		fmt.Fprintf(w, "%-22s %v\n", "first failure:", runErr)

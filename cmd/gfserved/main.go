@@ -52,6 +52,7 @@ type cliConfig struct {
 	depth        int
 	workers      int
 	queue        int
+	batch        int
 	window       int
 	maxPayload   int
 	key          string
@@ -84,6 +85,7 @@ func main() {
 	flag.IntVar(&cfg.n, "n", 255, "RS codeword length (symbols, over GF(2^8))")
 	flag.IntVar(&cfg.k, "k", 239, "RS message length (symbols)")
 	flag.IntVar(&cfg.depth, "depth", 1, "interleaving depth (codewords per frame)")
+	flag.IntVar(&cfg.batch, "batch", 1, "max interleaver frames per RS request (payload = multiple of the frame unit)")
 	flag.IntVar(&cfg.workers, "workers", 0, "pipeline workers per stage (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.queue, "queue", 0, "pipeline queue depth (0 = 2*workers)")
 	flag.IntVar(&cfg.window, "window", 32, "max in-flight requests per connection")
@@ -109,7 +111,7 @@ func run(cfg cliConfig, out io.Writer) error {
 	w := &syncWriter{w: out}
 	logger := log.New(os.Stderr, "gfserved: ", log.LstdFlags)
 	s, err := server.New(server.Config{
-		N: cfg.n, K: cfg.k, Depth: cfg.depth,
+		N: cfg.n, K: cfg.k, Depth: cfg.depth, Batch: cfg.batch,
 		Workers: cfg.workers, Queue: cfg.queue,
 		Key:         []byte(cfg.key),
 		MaxPayload:  cfg.maxPayload,

@@ -32,7 +32,9 @@ func elemsToBytes(e []gf.Elem) []byte {
 }
 
 // EncodeStage interleave-encodes each frame with its epoch's code. The
-// payload must be the epoch rung's IV.FrameK() bytes.
+// payload must be a positive multiple of the epoch rung's IV.FrameK()
+// bytes; batched frames carry several interleaver frames, all encoded
+// under the same epoch (a frame's epoch tags the whole batch).
 type EncodeStage struct{ C *Controller }
 
 // NewEncodeStage wraps the controller's ladder as the encode side.
@@ -52,11 +54,22 @@ func (s *EncodeStage) Process(f *pipeline.Frame) error {
 	if err != nil {
 		return err
 	}
-	out, err := rung.IV.Encode(bytesToElems(f.Data))
-	if err != nil {
-		return fmt.Errorf("adaptive: epoch %d %s: %w", f.Epoch, rung, err)
+	fk := rung.IV.FrameK()
+	if len(f.Data) == 0 || len(f.Data)%fk != 0 {
+		return fmt.Errorf("adaptive: epoch %d %s: message length %d, want a positive multiple of %d",
+			f.Epoch, rung, len(f.Data), fk)
 	}
-	f.Data = elemsToBytes(out)
+	w := len(f.Data) / fk
+	out := make([]byte, 0, w*rung.IV.FrameN())
+	for i := 0; i < w; i++ {
+		cw, err := rung.IV.Encode(bytesToElems(f.Data[i*fk : (i+1)*fk]))
+		if err != nil {
+			return fmt.Errorf("adaptive: epoch %d %s: %w", f.Epoch, rung, err)
+		}
+		out = append(out, elemsToBytes(cw)...)
+	}
+	f.Data = out
+	f.Width = w * rung.IV.Depth
 	return nil
 }
 
@@ -83,17 +96,28 @@ func (s *DecodeStage) Process(f *pipeline.Frame) error {
 	if err != nil {
 		return err
 	}
-	msg, st, err := rung.IV.DecodeWithStats(bytesToElems(f.Data))
-	if st != nil {
-		f.Corrected += st.Total
-		if st.Max > f.CorrectedMax {
-			f.CorrectedMax = st.Max
+	fn := rung.IV.FrameN()
+	if len(f.Data) == 0 || len(f.Data)%fn != 0 {
+		return fmt.Errorf("adaptive: epoch %d %s: received length %d, want a positive multiple of %d",
+			f.Epoch, rung, len(f.Data), fn)
+	}
+	w := len(f.Data) / fn
+	out := make([]byte, 0, w*rung.IV.FrameK())
+	for i := 0; i < w; i++ {
+		msg, st, err := rung.IV.DecodeWithStats(bytesToElems(f.Data[i*fn : (i+1)*fn]))
+		if st != nil {
+			f.Corrected += st.Total
+			if st.Max > f.CorrectedMax {
+				f.CorrectedMax = st.Max
+			}
 		}
+		if err != nil {
+			return fmt.Errorf("adaptive: epoch %d %s: %w", f.Epoch, rung, err)
+		}
+		out = append(out, elemsToBytes(msg)...)
 	}
-	if err != nil {
-		return fmt.Errorf("adaptive: epoch %d %s: %w", f.Epoch, rung, err)
-	}
-	f.Data = elemsToBytes(msg)
+	f.Data = out
+	f.Width = w * rung.IV.Depth
 	return nil
 }
 

@@ -202,7 +202,18 @@ func (c *Code) Encode(msg []byte) ([]byte, error) {
 // primitive exploits; they are still all computed here so the decoder can
 // detect inconsistencies.
 func (c *Code) Syndromes(recv []byte) []gf.Elem {
-	s := make([]gf.Elem, 2*c.T)
+	return c.SyndromesTo(make([]gf.Elem, 2*c.T), recv)
+}
+
+// SyndromesTo is Syndromes writing into caller scratch: dst must have
+// length at least 2t and the filled prefix dst[:2t] is returned. Hot
+// decode loops reuse one scratch slice across words and allocate
+// nothing per call.
+func (c *Code) SyndromesTo(dst []gf.Elem, recv []byte) []gf.Elem {
+	if len(dst) < 2*c.T {
+		panic(fmt.Sprintf("bch: syndrome scratch length %d, want >= %d", len(dst), 2*c.T))
+	}
+	s := dst[:2*c.T]
 	c.kern.SyndromeBitSlice(s, recv, c.roots)
 	return s
 }

@@ -23,6 +23,7 @@ func TestSyndromesBulkMatchesScalar(t *testing.T) {
 			ref := c.syndromesScalar(recv)
 			for name, got := range map[string][]gf.Elem{
 				"Syndromes":     c.Syndromes(recv),
+				"SyndromesTo":   c.SyndromesTo(make([]gf.Elem, 2*c.T), recv),
 				"SyndromesFast": c.SyndromesFast(recv),
 			} {
 				for j := range ref {
@@ -35,7 +36,45 @@ func TestSyndromesBulkMatchesScalar(t *testing.T) {
 	}
 }
 
+// TestSyndromesToZeroAlloc pins the scratch-reusing path: once warm,
+// SyndromesTo must not allocate (Syndromes paid one make per word —
+// 8 B/call on the 63,51 shape — in every decode).
+func TestSyndromesToZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counting is unreliable under -race")
+	}
+	c := Must(gf.MustDefault(6), 2)
+	rng := rand.New(rand.NewSource(23))
+	recv := make([]byte, c.N)
+	for i := range recv {
+		recv[i] = byte(rng.Intn(2))
+	}
+	scratch := make([]gf.Elem, 2*c.T)
+	if avg := testing.AllocsPerRun(100, func() {
+		_ = c.SyndromesTo(scratch, recv)
+	}); avg != 0 {
+		t.Fatalf("SyndromesTo allocates %.1f times per word, want 0", avg)
+	}
+}
+
 func BenchmarkSyndromes63_51(b *testing.B) {
+	c := Must(gf.MustDefault(6), 2)
+	rng := rand.New(rand.NewSource(22))
+	recv := make([]byte, c.N)
+	for i := range recv {
+		recv[i] = byte(rng.Intn(2))
+	}
+	scratch := make([]gf.Elem, 2*c.T)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.SyndromesTo(scratch, recv)
+	}
+}
+
+// BenchmarkSyndromes63_51Alloc keeps the allocating Syndromes path
+// measured next to the zero-alloc number above.
+func BenchmarkSyndromes63_51Alloc(b *testing.B) {
 	c := Must(gf.MustDefault(6), 2)
 	rng := rand.New(rand.NewSource(22))
 	recv := make([]byte, c.N)

@@ -1,0 +1,5 @@
+//go:build !race
+
+package bch
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package bch
+
+// raceEnabled reports whether the race detector is active. Race
+// instrumentation perturbs allocation accounting, so allocation-count
+// assertions are skipped under -race (the functional checks still run).
+const raceEnabled = true

@@ -122,6 +122,60 @@ func TestFrameLinkStagesZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestSubmitDeliverZeroAlloc walks the whole engine — Submit, ring
+// handoff, stage workers, reorder sink, delivery — and requires the
+// steady state to allocate nothing per frame. Regression: Submit used to
+// build a fresh &Frame{} per call (192 B/frame) instead of drawing from
+// framePool; the 0.5 threshold makes any reintroduced 1-alloc-per-frame
+// path fail, while tolerating a stray GC emptying a pool mid-run.
+func TestSubmitDeliverZeroAlloc(t *testing.T) {
+	c := rs.Must(gf.MustDefault(8), 255, 223)
+	e, err := NewRSEncode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewRSDecode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Must(Config{Workers: 1, Queue: 4}, e, d)
+	r := p.Start()
+	payload := make([]byte, 4*c.K)
+	rng := rand.New(rand.NewSource(7))
+	for i := range payload {
+		payload[i] = byte(rng.Intn(256))
+	}
+	delivered := make(chan struct{})
+	go func() {
+		for f := range r.Out() {
+			ok := f.Err == nil
+			f.Free()
+			if ok {
+				delivered <- struct{}{}
+			}
+		}
+		close(delivered)
+	}()
+	run := func() {
+		r.Submit(payload)
+		if _, ok := <-delivered; !ok {
+			t.Fatal("frame failed in pipeline")
+		}
+	}
+	for i := 0; i < 8; i++ {
+		run() // warm frame pool, payload pool and codec scratch
+	}
+	if raceEnabled {
+		r.Close()
+		t.Skip("alloc counting is unreliable under -race (pool randomization)")
+	}
+	avg := testing.AllocsPerRun(200, run)
+	r.Close()
+	if avg >= 0.5 {
+		t.Fatalf("steady-state submit->deliver allocates %.2f times per frame, want 0", avg)
+	}
+}
+
 // TestRecycleSafety pins the pool ownership contract: Recycle is a no-op
 // without a pooled buffer, idempotent with one, and a recycled buffer is
 // handed back out by the pool.

@@ -51,3 +51,20 @@ func (f *Frame) setPooled(pb *pooledBuf) {
 	f.pooled = pb
 	f.Data = pb.data
 }
+
+// framePool recycles Frame headers themselves. Submit draws frames from
+// it and Free returns them, closing the last per-frame allocation on the
+// steady-state submit->deliver path.
+var framePool = sync.Pool{New: func() any { return new(Frame) }}
+
+// Free recycles the frame after delivery: the pool-owned payload buffer
+// (as Recycle) and the Frame itself, which Submit will hand out again.
+// Call it instead of Recycle in delivery sinks that keep no reference to
+// the frame or its Data; unlike Recycle it must be called at most once,
+// and the frame must not be touched afterwards. Frames that never came
+// from Submit are safe to Free — they just seed the pool.
+func (f *Frame) Free() {
+	f.Recycle()
+	*f = Frame{}
+	framePool.Put(f)
+}

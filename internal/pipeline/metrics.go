@@ -31,6 +31,9 @@ func (p *Pipeline) RegisterMetrics(reg *obs.Registry) {
 		reg.CounterFunc("gfp_pipeline_stage_frames_total",
 			"Frames processed by the stage (error-skipped frames excluded).",
 			st.Frames.Load, l)
+		reg.CounterFunc("gfp_pipeline_stage_codewords_total",
+			"Codewords processed by the stage (>= frames when frames are batched).",
+			st.Codewords.Load, l)
 		reg.CounterFunc("gfp_pipeline_stage_errors_total",
 			"Frames the stage failed.", st.Errors.Load, l)
 		reg.CounterFunc("gfp_pipeline_stage_bytes_in_total",
@@ -73,6 +76,18 @@ func (p *Pipeline) RegisterMetrics(reg *obs.Registry) {
 
 	reg.HistogramFunc("gfp_pipeline_latency_seconds",
 		"End-to-end submit-to-delivery frame latency.", &p.Total)
+
+	reg.CounterFunc("gfp_pipeline_delivered_frames_total",
+		"Frames delivered by the reorder sink (with or without error).",
+		p.Sink.Frames.Load)
+	reg.CounterFunc("gfp_pipeline_delivered_codewords_total",
+		"Codewords delivered by the reorder sink (batch-aware frame widths).",
+		p.Sink.Codewords.Load)
+	reg.CounterFunc("gfp_pipeline_failed_frames_total",
+		"Frames delivered with an error set.", p.Sink.Failed.Load)
+	reg.CounterFunc("gfp_pipeline_failed_codewords_total",
+		"Codewords in frames delivered with an error set (a failed batched frame charges its full width).",
+		p.Sink.FailedCodewords.Load)
 
 	if t := p.tracer; t != nil {
 		for i := range p.stats {

@@ -22,7 +22,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,6 +65,12 @@ type Frame struct {
 	// routing state here at submission and read it back at delivery,
 	// with no map or lock between the two.
 	Tag any
+	// Width is the number of codewords packed into this frame's payload.
+	// The codec stages set it when they infer the batch width from the
+	// payload length; 0 is read as 1 (an unbatched frame). Delivery-side
+	// accounting (Pipeline.Sink) is per codeword, so a failed batched
+	// frame charges its full width.
+	Width int
 	// Latency is the submit-to-delivery wall-clock time, set at the sink.
 	Latency time.Duration
 
@@ -76,6 +81,15 @@ type Frame struct {
 	// trace, when non-nil, is the sampled lifecycle record stamped by the
 	// stage workers and folded into the tracer's histograms at the sink.
 	trace *frameTrace
+}
+
+// width returns the frame's codeword count for accounting (Width, with
+// 0 meaning 1).
+func (f *Frame) width() int {
+	if f.Width > 0 {
+		return f.Width
+	}
+	return 1
 }
 
 // Stage transforms frames. Process is called concurrently from many
@@ -117,10 +131,24 @@ type Config struct {
 	// Workers is the worker-pool size of every stage. 0 means
 	// runtime.GOMAXPROCS(0).
 	Workers int
-	// Queue is the depth of each stage's input channel (and of the output
-	// channel). 0 means 2*Workers. Smaller values tighten backpressure;
-	// larger values smooth out latency jitter between stages.
+	// Queue is the depth of each stage's input ring (and of the output
+	// channel), in frames. 0 means 2*Workers. Smaller values tighten
+	// backpressure; larger values smooth out latency jitter between
+	// stages. Note the unit is frames: with batching each slot holds
+	// Batch codewords, so byte-level buffering scales with the batch.
 	Queue int
+	// Batch is the number of codewords batch-aware submitters (the cmd
+	// drivers, the server) pack into each frame's payload. The codec
+	// stages infer every frame's width from its payload length — a
+	// multiple of the codeword size — so the engine itself accepts mixed
+	// widths; Batch is carried here so all layers size payloads and
+	// queues consistently. 0 means 1 (unbatched).
+	Batch int
+	// Shards is the number of reorder-sink shards: frames fan out by
+	// Seq%Shards to per-shard sequencers whose ordered streams a final
+	// selector merges, so delivery-side stats folding parallelizes
+	// instead of serializing on one goroutine. 0 means min(4, Workers).
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +157,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Queue <= 0 {
 		c.Queue = 2 * c.Workers
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = c.Workers
+		if c.Shards > 4 {
+			c.Shards = 4
+		}
 	}
 	return c
 }
@@ -143,6 +180,8 @@ type Pipeline struct {
 	tracer *Tracer // nil unless EnableTracing was called
 	// Total observes end-to-end submit-to-delivery latency.
 	Total Hist
+	// Sink counts delivered frames and codewords (see SinkStats).
+	Sink SinkStats
 }
 
 // New builds a pipeline from the given stages. The configuration is
@@ -155,6 +194,12 @@ func New(cfg Config, stages ...Stage) (*Pipeline, error) {
 	}
 	if cfg.Queue < 0 {
 		return nil, fmt.Errorf("pipeline: negative queue depth %d", cfg.Queue)
+	}
+	if cfg.Batch < 0 {
+		return nil, fmt.Errorf("pipeline: negative batch %d", cfg.Batch)
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("pipeline: negative shard count %d", cfg.Shards)
 	}
 	if len(stages) == 0 {
 		return nil, errors.New("pipeline: no stages")
@@ -189,7 +234,7 @@ func (p *Pipeline) Config() Config { return p.cfg }
 // submission order from Out, Close when done.
 type Run struct {
 	p    *Pipeline
-	in   chan *Frame
+	in   *frameRing
 	out  chan *Frame
 	seq  atomic.Uint64
 	done chan struct{}
@@ -204,27 +249,57 @@ type Run struct {
 }
 
 // Start launches the worker pools and returns a Run accepting frames.
+// Stages hand frames downstream through bulk rings; the last stage
+// scatters onto the sharded reorder sink (per-shard sequencers merged by
+// a selector), which delivers on Out in Seq order.
 func (p *Pipeline) Start() *Run {
 	cfg := p.cfg
 	r := &Run{
 		p:    p,
-		in:   make(chan *Frame, cfg.Queue),
+		in:   newFrameRing(cfg.Queue),
 		out:  make(chan *Frame, cfg.Queue),
 		done: make(chan struct{}),
 	}
+	merged := newFrameRing(cfg.Queue)
+	var sink frameSink = merged
+	if cfg.Shards > 1 {
+		shards := make([]*frameRing, cfg.Shards)
+		for i := range shards {
+			shards[i] = newFrameRing(cfg.Queue)
+		}
+		sink = &shardedSink{shards: shards}
+		var seqWG sync.WaitGroup
+		seqWG.Add(cfg.Shards)
+		for i := range shards {
+			go r.sequencer(shards[i], merged, &seqWG)
+		}
+		go func() {
+			seqWG.Wait()
+			merged.close()
+		}()
+	}
 	src := r.in
 	for i, s := range p.stages {
-		dst := make(chan *Frame, cfg.Queue)
-		startStage(s, p.stats[i], i, p.tracer, cfg.Workers, src, dst)
-		src = dst
+		if i == len(p.stages)-1 {
+			startStage(s, p.stats[i], i, p.tracer, cfg.Workers, src, sink)
+			break
+		}
+		next := newFrameRing(cfg.Queue)
+		startStage(s, p.stats[i], i, p.tracer, cfg.Workers, src, next)
+		src = next
 	}
-	go r.reorder(src)
+	// With one shard there is nothing to fold in parallel: the last stage
+	// feeds the merged ring directly and the selector folds stats inline,
+	// costing no more handoffs than the pre-shard engine.
+	go r.selector(merged, cfg.Shards == 1)
 	return r
 }
 
 // startStage spawns the worker pool for stage idx and closes dst once
-// every worker has drained src.
-func startStage(s Stage, st *StageStats, idx int, tr *Tracer, workers int, src <-chan *Frame, dst chan<- *Frame) {
+// every worker has drained src. Workers dequeue a run of frames per ring
+// synchronization and re-enqueue the whole run downstream in one bulk
+// put, so handoff cost amortizes over the run.
+func startStage(s Stage, st *StageStats, idx int, tr *Tracer, workers int, src *frameRing, dst frameSink) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -234,30 +309,41 @@ func startStage(s Stage, st *StageStats, idx int, tr *Tracer, workers int, src <
 		}
 		go func(inst Stage) {
 			defer wg.Done()
-			for f := range src {
-				if f.trace != nil {
-					f.trace.spans[idx].start = tr.now()
+			run := make([]*Frame, stageRun)
+			for {
+				n := src.getSome(run)
+				if n == 0 {
+					return
 				}
-				if f.Err == nil {
-					runStage(inst, st, f)
-				}
-				if f.trace != nil {
-					now := tr.now()
-					f.trace.spans[idx].fin = now
-					// The frame is ready for the next stage the moment this
-					// one finishes; a blocked send below (backpressure) then
-					// counts as that stage's queue wait.
-					if idx+1 < len(f.trace.spans) {
-						f.trace.spans[idx+1].enq = now
+				for _, f := range run[:n] {
+					if f.trace != nil {
+						f.trace.spans[idx].start = tr.now()
+					}
+					if f.Err == nil {
+						runStage(inst, st, f)
+					}
+					if f.trace != nil {
+						now := tr.now()
+						f.trace.spans[idx].fin = now
+						// The frame is ready for the next stage the moment this
+						// one finishes; time spent in the worker's run buffer and
+						// any blocked bulk put below (backpressure) then count as
+						// the next stage's queue wait.
+						if idx+1 < len(f.trace.spans) {
+							f.trace.spans[idx+1].enq = now
+						}
 					}
 				}
-				dst <- f
+				dst.putAll(run[:n])
+				for i := range run[:n] {
+					run[i] = nil
+				}
 			}
 		}(inst)
 	}
 	go func() {
 		wg.Wait()
-		close(dst)
+		dst.close()
 	}()
 }
 
@@ -279,6 +365,7 @@ func runStage(s Stage, st *StageStats, f *Frame) {
 		return
 	}
 	st.BytesOut.Add(int64(len(f.Data)))
+	st.Codewords.Add(int64(f.width()))
 	if d := f.Corrected - beforeCorrected; d > 0 {
 		st.Corrected.Add(int64(d))
 	}
@@ -291,57 +378,6 @@ func subCounts(a, b perf.Counts) perf.Counts {
 		LD: a.LD - b.LD, ST: a.ST - b.ST, ALU: a.ALU - b.ALU, Mul: a.Mul - b.Mul,
 		Branch: a.Branch - b.Branch, BranchNT: a.BranchNT - b.BranchNT,
 		GFOp: a.GFOp - b.GFOp, GF32: a.GF32 - b.GF32,
-	}
-}
-
-// reorder is the sink: it buffers out-of-order frames and releases them
-// strictly by Seq. The buffer is bounded by the number of in-flight
-// frames, which the bounded stage channels already cap.
-func (r *Run) reorder(src <-chan *Frame) {
-	defer close(r.out)
-	defer close(r.done)
-	next := uint64(0)
-	pending := make(map[uint64]*Frame)
-	for f := range src {
-		pending[f.Seq] = f
-		for {
-			g, ok := pending[next]
-			if !ok {
-				break
-			}
-			delete(pending, next)
-			next++
-			g.Latency = time.Since(g.submitted)
-			r.p.Total.Observe(g.Latency)
-			if g.trace != nil {
-				r.p.tracer.complete(g)
-			}
-			r.out <- g
-		}
-	}
-	// src closed: every submitted frame has arrived, so pending is empty
-	// unless seq assignment was bypassed. Emit the leftovers in Seq order
-	// (the delivery contract), preserving any stage error the frame
-	// already carries, and leave Latency zero when the frame never went
-	// through Submit (submitted unset).
-	leftover := make([]uint64, 0, len(pending))
-	for seq := range pending {
-		leftover = append(leftover, seq)
-	}
-	sort.Slice(leftover, func(i, j int) bool { return leftover[i] < leftover[j] })
-	for _, seq := range leftover {
-		g := pending[seq]
-		if !g.submitted.IsZero() {
-			g.Latency = time.Since(g.submitted)
-		}
-		if g.Err == nil {
-			g.Err = fmt.Errorf("pipeline: frame %d delivered out of band", seq)
-			g.FailedAt = "reorder"
-		}
-		if g.trace != nil {
-			r.p.tracer.complete(g)
-		}
-		r.out <- g
 	}
 }
 
@@ -377,7 +413,8 @@ func (r *Run) SubmitChecked(data []byte, epoch int, tag any) (uint64, error) {
 	if r.closed {
 		return 0, ErrClosed
 	}
-	f := &Frame{Data: data, Epoch: epoch, Tag: tag, submitted: time.Now()}
+	f := framePool.Get().(*Frame)
+	*f = Frame{Data: data, Epoch: epoch, Tag: tag, submitted: time.Now()}
 	f.Seq = r.seq.Add(1) - 1
 	if tr := r.p.tracer; tr != nil {
 		if ft := tr.sample(); ft != nil {
@@ -385,8 +422,11 @@ func (r *Run) SubmitChecked(data []byte, epoch int, tag any) (uint64, error) {
 			f.trace = ft
 		}
 	}
-	r.in <- f
-	return f.Seq, nil
+	// Copy Seq before the handoff: once put, the consumer may deliver
+	// and Free the frame (returning it to the pool) at any moment.
+	seq := f.Seq
+	r.in.put(f)
+	return seq, nil
 }
 
 // Closed reports whether Close has been called on this run. Health
@@ -412,7 +452,7 @@ func (r *Run) Close() {
 		return
 	}
 	r.closed = true
-	close(r.in)
+	r.in.close()
 }
 
 // Wait blocks until the pipeline has fully drained (Close called and

@@ -29,9 +29,9 @@ func TestReorderOutOfBand(t *testing.T) {
 	f3 := &Frame{Seq: 3, Data: []byte{3}, Err: sentinel, FailedAt: "earlier-stage"}
 	f4 := &Frame{Seq: 4, Data: []byte{4}}
 	for _, f := range []*Frame{f5, f3, f4} {
-		r.in <- f
+		r.in.put(f)
 	}
-	close(r.in)
+	r.Close()
 
 	var got []*Frame
 	for f := range r.Out() {
@@ -63,6 +63,45 @@ func TestReorderOutOfBand(t *testing.T) {
 		if f.Latency != 0 {
 			t.Errorf("frame %d Latency = %v from zero submitted time, want 0", f.Seq, f.Latency)
 		}
+	}
+}
+
+// TestReorderOutOfBandBatchedCounts: the leftover path must account
+// batched frames per codeword. Regression guard for the sharded sink: a
+// width-4 frame delivered out of band (or carrying a stage error)
+// charges 4 failed codewords to Pipeline.Sink, not 1.
+func TestReorderOutOfBandBatchedCounts(t *testing.T) {
+	pl := Must(Config{Workers: 1, Queue: 8}, Func{Label: "id", F: func(f *Frame) error {
+		return nil
+	}})
+	r := pl.Start()
+	// Both frames are batched (Width 4 and 3) and stranded behind the
+	// missing seq 0, so both take the out-of-band path.
+	r.in.put(&Frame{Seq: 2, Width: 4, Data: []byte{2}})
+	r.in.put(&Frame{Seq: 3, Width: 3, Data: []byte{3}, Err: errors.New("stage failed"), FailedAt: "enc"})
+	r.Close()
+	var n int
+	for f := range r.Out() {
+		if f.Err == nil {
+			t.Fatalf("frame %d delivered clean, want out-of-band or stage error", f.Seq)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("delivered %d frames, want 2", n)
+	}
+	sink := &pl.Sink
+	if got := sink.Frames.Load(); got != 2 {
+		t.Errorf("Sink.Frames = %d, want 2", got)
+	}
+	if got := sink.Codewords.Load(); got != 7 {
+		t.Errorf("Sink.Codewords = %d, want 7", got)
+	}
+	if got := sink.Failed.Load(); got != 2 {
+		t.Errorf("Sink.Failed = %d, want 2", got)
+	}
+	if got := sink.FailedCodewords.Load(); got != 7 {
+		t.Errorf("Sink.FailedCodewords = %d, want 7 (full width per failed frame)", got)
 	}
 }
 

@@ -99,21 +99,30 @@ func (s *RSEncode) Name() string { return fmt.Sprintf("rs-encode(%d,%d)", s.Code
 // scratch, so the steady state allocates nothing.
 func (s *RSEncode) ForWorker(w int) Stage { return &RSEncode{Code: s.Code, sc: newRSScratch(s.Code)} }
 
-// Process implements Stage.
+// Process implements Stage. The payload may pack several codewords: any
+// positive multiple of K encodes as that many back-to-back messages
+// (Config.Batch), reusing the same per-worker scratch for every chunk,
+// and Frame.Width records the inferred batch width.
 func (s *RSEncode) Process(f *Frame) error {
 	sc := s.sc
 	if sc == nil { // direct use of the shared prototype: stay concurrency-safe
 		sc = newRSScratch(s.Code)
 	}
-	if len(f.Data) != s.Code.K {
-		return fmt.Errorf("rs: message length %d, want %d", len(f.Data), s.Code.K)
+	k, n := s.Code.K, s.Code.N
+	if len(f.Data) == 0 || len(f.Data)%k != 0 {
+		return fmt.Errorf("rs: message length %d, want a positive multiple of %d", len(f.Data), k)
 	}
-	bytesToElemsInto(sc.msg, f.Data)
-	if _, err := s.Code.EncodeTo(sc.cw, sc.msg); err != nil {
-		return err
+	w := len(f.Data) / k
+	pb := getBuf(w * n)
+	for i := 0; i < w; i++ {
+		bytesToElemsInto(sc.msg, f.Data[i*k:(i+1)*k])
+		if _, err := s.Code.EncodeTo(sc.cw, sc.msg); err != nil {
+			putBuf(pb)
+			return err
+		}
+		elemsToBytesInto(pb.data[i*n:(i+1)*n], sc.cw)
 	}
-	pb := getBuf(s.Code.N)
-	elemsToBytesInto(pb.data, sc.cw)
+	f.Width = w
 	f.setPooled(pb)
 	return nil
 }
@@ -140,23 +149,35 @@ func (s *RSDecode) Name() string { return fmt.Sprintf("rs-decode(%d,%d)", s.Code
 // rs.DecodeBuf, so the steady state allocates nothing.
 func (s *RSDecode) ForWorker(w int) Stage { return &RSDecode{Code: s.Code, sc: newRSScratch(s.Code)} }
 
-// Process implements Stage.
+// Process implements Stage. Like RSEncode it accepts batched payloads:
+// any positive multiple of N decodes as that many received words. A
+// chunk failing to decode fails the whole frame (delivery accounting
+// then charges the frame's full codeword width).
 func (s *RSDecode) Process(f *Frame) error {
 	sc := s.sc
 	if sc == nil {
 		sc = newRSScratch(s.Code)
 	}
-	if len(f.Data) != s.Code.N {
-		return fmt.Errorf("rs: received length %d, want %d", len(f.Data), s.Code.N)
+	k, n := s.Code.K, s.Code.N
+	if len(f.Data) == 0 || len(f.Data)%n != 0 {
+		return fmt.Errorf("rs: received length %d, want a positive multiple of %d", len(f.Data), n)
 	}
-	bytesToElemsInto(sc.cw, f.Data)
-	res, err := s.Code.DecodeTo(sc.dec, sc.cw)
-	if err != nil {
-		return err
+	w := len(f.Data) / n
+	pb := getBuf(w * k)
+	for i := 0; i < w; i++ {
+		bytesToElemsInto(sc.cw, f.Data[i*n:(i+1)*n])
+		res, err := s.Code.DecodeTo(sc.dec, sc.cw)
+		if err != nil {
+			putBuf(pb)
+			return err
+		}
+		f.Corrected += res.NumErrors
+		if res.NumErrors > f.CorrectedMax {
+			f.CorrectedMax = res.NumErrors
+		}
+		elemsToBytesInto(pb.data[i*k:(i+1)*k], res.Message)
 	}
-	f.Corrected += res.NumErrors
-	pb := getBuf(s.Code.K)
-	elemsToBytesInto(pb.data, res.Message)
+	f.Width = w
 	f.setPooled(pb)
 	return nil
 }
@@ -202,21 +223,30 @@ func (s *RSFrameEncode) ForWorker(w int) Stage {
 	return &RSFrameEncode{IV: s.IV, sc: newRSFrameScratch(s.IV)}
 }
 
-// Process implements Stage.
+// Process implements Stage. The payload may batch several interleaved
+// frames: any positive multiple of FrameK encodes chunk by chunk through
+// the same per-worker scratch. Frame.Width counts codewords (chunks x
+// Depth).
 func (s *RSFrameEncode) Process(f *Frame) error {
 	sc := s.sc
 	if sc == nil {
 		sc = newRSFrameScratch(s.IV)
 	}
-	if len(f.Data) != s.IV.FrameK() {
-		return fmt.Errorf("rs: frame message length %d, want %d", len(f.Data), s.IV.FrameK())
+	fk, fn := s.IV.FrameK(), s.IV.FrameN()
+	if len(f.Data) == 0 || len(f.Data)%fk != 0 {
+		return fmt.Errorf("rs: frame message length %d, want a positive multiple of %d", len(f.Data), fk)
 	}
-	bytesToElemsInto(sc.msg, f.Data)
-	if _, err := s.IV.EncodeTo(sc.frame, sc.msg, sc.fb); err != nil {
-		return err
+	w := len(f.Data) / fk
+	pb := getBuf(w * fn)
+	for i := 0; i < w; i++ {
+		bytesToElemsInto(sc.msg, f.Data[i*fk:(i+1)*fk])
+		if _, err := s.IV.EncodeTo(sc.frame, sc.msg, sc.fb); err != nil {
+			putBuf(pb)
+			return err
+		}
+		elemsToBytesInto(pb.data[i*fn:(i+1)*fn], sc.frame)
 	}
-	pb := getBuf(s.IV.FrameN())
-	elemsToBytesInto(pb.data, sc.frame)
+	f.Width = w * s.IV.Depth
 	f.setPooled(pb)
 	return nil
 }
@@ -248,26 +278,34 @@ func (s *RSFrameDecode) ForWorker(w int) Stage {
 	return &RSFrameDecode{IV: s.IV, sc: newRSFrameScratch(s.IV)}
 }
 
-// Process implements Stage.
+// Process implements Stage. Accepts batched payloads (any positive
+// multiple of FrameN); CorrectedMax is the worst per-codeword correction
+// across every chunk in the batch.
 func (s *RSFrameDecode) Process(f *Frame) error {
 	sc := s.sc
 	if sc == nil {
 		sc = newRSFrameScratch(s.IV)
 	}
-	if len(f.Data) != s.IV.FrameN() {
-		return fmt.Errorf("rs: frame length %d, want %d", len(f.Data), s.IV.FrameN())
+	fk, fn := s.IV.FrameK(), s.IV.FrameN()
+	if len(f.Data) == 0 || len(f.Data)%fn != 0 {
+		return fmt.Errorf("rs: frame length %d, want a positive multiple of %d", len(f.Data), fn)
 	}
-	bytesToElemsInto(sc.frame, f.Data)
-	st, err := s.IV.DecodeWithStatsTo(sc.msg, sc.frame, sc.fb)
-	if err != nil {
-		return err
+	w := len(f.Data) / fn
+	pb := getBuf(w * fk)
+	for i := 0; i < w; i++ {
+		bytesToElemsInto(sc.frame, f.Data[i*fn:(i+1)*fn])
+		st, err := s.IV.DecodeWithStatsTo(sc.msg, sc.frame, sc.fb)
+		if err != nil {
+			putBuf(pb)
+			return err
+		}
+		f.Corrected += st.Total
+		if st.Max > f.CorrectedMax {
+			f.CorrectedMax = st.Max
+		}
+		elemsToBytesInto(pb.data[i*fk:(i+1)*fk], sc.msg)
 	}
-	f.Corrected += st.Total
-	if st.Max > f.CorrectedMax {
-		f.CorrectedMax = st.Max
-	}
-	pb := getBuf(s.IV.FrameK())
-	elemsToBytesInto(pb.data, sc.msg)
+	f.Width = w * s.IV.Depth
 	f.setPooled(pb)
 	return nil
 }
@@ -347,13 +385,33 @@ func (s *BCHEncode) Name() string {
 	return fmt.Sprintf("bch-encode(%d,%d,%d)", s.Code.N, s.Code.K, s.Code.T)
 }
 
-// Process implements Stage.
+// Process implements Stage. Batched payloads (a positive multiple of K
+// bits) encode chunk by chunk.
 func (s *BCHEncode) Process(f *Frame) error {
-	out, err := s.Code.Encode(f.Data)
-	if err != nil {
-		return err
+	k := s.Code.K
+	if len(f.Data) == 0 || len(f.Data)%k != 0 {
+		return fmt.Errorf("bch: message length %d, want a positive multiple of %d", len(f.Data), k)
+	}
+	w := len(f.Data) / k
+	if w == 1 {
+		out, err := s.Code.Encode(f.Data)
+		if err != nil {
+			return err
+		}
+		f.Data = out
+		f.Width = 1
+		return nil
+	}
+	out := make([]byte, 0, w*s.Code.N)
+	for i := 0; i < w; i++ {
+		cw, err := s.Code.Encode(f.Data[i*k : (i+1)*k])
+		if err != nil {
+			return err
+		}
+		out = append(out, cw...)
 	}
 	f.Data = out
+	f.Width = w
 	return nil
 }
 
@@ -368,14 +426,35 @@ func (s *BCHDecode) Name() string {
 	return fmt.Sprintf("bch-decode(%d,%d,%d)", s.Code.N, s.Code.K, s.Code.T)
 }
 
-// Process implements Stage.
+// Process implements Stage. Batched payloads (a positive multiple of N
+// bits) decode chunk by chunk; one uncorrectable chunk fails the frame.
 func (s *BCHDecode) Process(f *Frame) error {
-	res, err := s.Code.Decode(f.Data)
-	if err != nil {
-		return err
+	n := s.Code.N
+	if len(f.Data) == 0 || len(f.Data)%n != 0 {
+		return fmt.Errorf("bch: received length %d, want a positive multiple of %d", len(f.Data), n)
 	}
-	f.Corrected += res.NumErrors
-	f.Data = res.Message
+	w := len(f.Data) / n
+	if w == 1 {
+		res, err := s.Code.Decode(f.Data)
+		if err != nil {
+			return err
+		}
+		f.Corrected += res.NumErrors
+		f.Data = res.Message
+		f.Width = 1
+		return nil
+	}
+	out := make([]byte, 0, w*s.Code.K)
+	for i := 0; i < w; i++ {
+		res, err := s.Code.Decode(f.Data[i*n : (i+1)*n])
+		if err != nil {
+			return err
+		}
+		f.Corrected += res.NumErrors
+		out = append(out, res.Message...)
+	}
+	f.Data = out
+	f.Width = w
 	return nil
 }
 

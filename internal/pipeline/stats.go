@@ -22,6 +22,7 @@ type StageStats struct {
 	Name string
 
 	Frames    atomic.Int64 // frames processed (excluding skipped error frames)
+	Codewords atomic.Int64 // codewords processed (>= Frames when frames are batched)
 	Errors    atomic.Int64 // frames this stage failed
 	BytesIn   atomic.Int64 // payload bytes entering the stage
 	BytesOut  atomic.Int64 // payload bytes leaving the stage
@@ -62,12 +63,27 @@ func (a *countsAccum) snapshot() perf.Counts {
 // (zero unless a metered stage ran).
 func (s *StageStats) Counts() perf.Counts { return s.counts.snapshot() }
 
+// SinkStats counts what left the pipeline, folded at the reorder sink.
+// Frames are engine frames (one per Submit); Codewords unpacks batching
+// (a frame carrying a 16-codeword payload counts 16), so failure rates
+// stay comparable across batch settings — a failed batched frame charges
+// its full width, never 1.
+type SinkStats struct {
+	Frames          atomic.Int64 // frames delivered (with or without Err)
+	Codewords       atomic.Int64 // codewords delivered
+	Failed          atomic.Int64 // frames delivered with Err set
+	FailedCodewords atomic.Int64 // codewords in frames delivered with Err set
+}
+
 // String formats one report row.
 func (s *StageStats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-22s frames=%-8d err=%-6d in=%s out=%s",
 		s.Name, s.Frames.Load(), s.Errors.Load(),
 		fmtBytes(s.BytesIn.Load()), fmtBytes(s.BytesOut.Load()))
+	if cw := s.Codewords.Load(); cw > s.Frames.Load() {
+		fmt.Fprintf(&b, " cw=%d", cw)
+	}
 	if c := s.Corrected.Load(); c > 0 {
 		fmt.Fprintf(&b, " corrected=%d", c)
 	}

@@ -29,6 +29,12 @@ type Config struct {
 	// N, K, Depth select the RS code and interleaving depth. Zero values
 	// default to RS(255,239) at depth 1.
 	N, K, Depth int
+	// Batch is the maximum number of interleaver frames a single RS
+	// request may pack (its payload then being a multiple of the frame
+	// unit, up to Batch units). 1 (the default) keeps the strict
+	// one-frame-per-request contract; each request is still one pipeline
+	// frame and one window slot regardless of its width.
+	Batch int
 	// Workers and Queue size the shared pipeline (see pipeline.Config).
 	Workers, Queue int
 	// Key is the AES key for the seal/open ops (empty selects a
@@ -61,6 +67,9 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.Key) == 0 {
 		c.Key = demoKey
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
 	}
 	if c.MaxPayload <= 0 {
 		c.MaxPayload = DefaultMaxPayload
@@ -146,7 +155,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	disp := &dispatchStage{enc: enc, dec: dec, gcm: cipher.NewGCM(), aad: cfg.AAD}
-	pl, err := pipeline.New(pipeline.Config{Workers: cfg.Workers, Queue: cfg.Queue}, disp)
+	pl, err := pipeline.New(pipeline.Config{Workers: cfg.Workers, Queue: cfg.Queue, Batch: cfg.Batch}, disp)
 	if err != nil {
 		return nil, err
 	}
@@ -533,15 +542,15 @@ func (c *conn) handle(m *Message) bool {
 		}
 		return c.send(outMsg{m: &Message{Op: m.Op, ID: m.ID, Payload: payload}})
 	case OpRSEncode:
-		if len(m.Payload) != iv.FrameK() {
-			return reject(StatusBadRequest, "rs-encode payload %dB, want k×depth = %dB",
-				len(m.Payload), iv.FrameK())
+		if bad, why := c.badRSLen(len(m.Payload), iv.FrameK()); bad {
+			return reject(StatusBadRequest, "rs-encode payload %dB, want %s of k×depth = %dB",
+				len(m.Payload), why, iv.FrameK())
 		}
 		return c.submit(m, m.Payload)
 	case OpRSDecode:
-		if len(m.Payload) != iv.FrameN() {
-			return reject(StatusBadRequest, "rs-decode payload %dB, want n×depth = %dB",
-				len(m.Payload), iv.FrameN())
+		if bad, why := c.badRSLen(len(m.Payload), iv.FrameN()); bad {
+			return reject(StatusBadRequest, "rs-decode payload %dB, want %s of n×depth = %dB",
+				len(m.Payload), why, iv.FrameN())
 		}
 		return c.submit(m, m.Payload)
 	case OpSeal, OpOpen:
@@ -561,6 +570,18 @@ func (c *conn) handle(m *Message) bool {
 	default:
 		return reject(StatusUnsupported, "unknown op %d", uint8(m.Op))
 	}
+}
+
+// badRSLen validates an RS request payload length against the frame
+// unit: exactly one unit with Batch 1 (the strict contract), otherwise
+// a positive multiple of the unit up to Batch units per request. The
+// returned description names the expectation for the rejection message.
+func (c *conn) badRSLen(n, unit int) (bad bool, why string) {
+	if b := c.s.cfg.Batch; b > 1 {
+		return n == 0 || n%unit != 0 || n > b*unit,
+			fmt.Sprintf("a positive multiple (max %d)", b)
+	}
+	return n != unit, "exactly 1×"
 }
 
 // submit pushes one request into the shared pipeline, tagged with its

@@ -120,6 +120,87 @@ func TestRoundTripOps(t *testing.T) {
 	}
 }
 
+// TestBatchedRequests: with Config.Batch > 1 a single request may pack
+// several interleaver frames. One request stays one pipeline frame and
+// one window slot, so the request/response ledger counts it once, and a
+// Window's worth of maximum-width pipelined requests still completes
+// (the batch must not consume extra slots and wedge the window).
+func TestBatchedRequests(t *testing.T) {
+	const window = 2
+	s, addr := startServer(t, Config{N: 255, K: 239, Depth: 2, Workers: 2, Batch: 4, Window: window})
+	c := dialT(t, addr)
+
+	unit := s.Code().FrameK()
+	msg := make([]byte, 3*unit) // batched, below the 4-unit cap
+	rand.New(rand.NewSource(3)).Read(msg)
+	cw, err := c.RSEncode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cw) != 3*s.Code().FrameN() {
+		t.Fatalf("batched codeword %dB, want %d", len(cw), 3*s.Code().FrameN())
+	}
+	cw[0] ^= 0xff
+	cw[s.Code().FrameN()+17] ^= 0x55 // error in the second frame of the batch
+	got, err := c.RSDecode(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("batched rs round trip mismatch")
+	}
+
+	// Over-wide and ragged payloads are rejected without poisoning the
+	// connection.
+	if _, err := c.RSEncode(make([]byte, 5*unit)); err == nil {
+		t.Fatal("payload above the batch cap accepted")
+	}
+	if _, err := c.RSEncode(make([]byte, unit+1)); err == nil {
+		t.Fatal("ragged payload accepted")
+	}
+
+	// Saturate the window with maximum-width requests: completion proves
+	// a batched request holds exactly one slot.
+	var wg sync.WaitGroup
+	errs := make([]error, 2*window)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			full := make([]byte, 4*unit)
+			rand.New(rand.NewSource(int64(100 + i))).Read(full)
+			out, err := c.RSEncode(full)
+			if err == nil && len(out) != 4*s.Code().FrameN() {
+				err = fmt.Errorf("full-width response %dB", len(out))
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("pipelined batched request %d: %v", i, err)
+		}
+	}
+
+	snap, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Config.Batch != 4 {
+		t.Errorf("stats batch = %d, want 4", snap.Config.Batch)
+	}
+	// Ledger: encode + decode + 2 rejects + 2*window full-width + stats.
+	wantReq := int64(2 + 2 + 2*window + 1)
+	if snap.Server.Requests != wantReq {
+		t.Errorf("requests = %d, want %d (one per request regardless of width)",
+			snap.Server.Requests, wantReq)
+	}
+	if snap.Server.Rejects != 2 {
+		t.Errorf("rejects = %d, want 2", snap.Server.Rejects)
+	}
+}
+
 // TestConcurrentClients hammers one server from many connections with
 // pipelined round trips through a noisy channel — the -race workout for
 // the whole mux/dispatch path.

@@ -67,11 +67,14 @@ type Counters struct {
 // ConfigInfo describes the server's codec configuration, so clients
 // (gfload) can discover frame sizes instead of guessing them.
 type ConfigInfo struct {
-	N          int `json:"n"`
-	K          int `json:"k"`
-	Depth      int `json:"depth"`
-	FrameK     int `json:"frame_k"` // rs-encode request payload size
-	FrameN     int `json:"frame_n"` // rs-decode request payload size
+	N     int `json:"n"`
+	K     int `json:"k"`
+	Depth int `json:"depth"`
+	// FrameK/FrameN are the RS request payload units; with Batch > 1 a
+	// request may carry any positive multiple of the unit up to Batch.
+	FrameK     int `json:"frame_k"`
+	FrameN     int `json:"frame_n"`
+	Batch      int `json:"batch"`
 	Workers    int `json:"workers"`
 	Queue      int `json:"queue"`
 	Window     int `json:"window"`
@@ -106,7 +109,7 @@ func (s *Server) Snapshot() *StatsSnapshot {
 	snap := &StatsSnapshot{
 		Config: ConfigInfo{
 			N: s.cfg.N, K: s.cfg.K, Depth: s.cfg.Depth,
-			FrameK: s.iv.FrameK(), FrameN: s.iv.FrameN(),
+			FrameK: s.iv.FrameK(), FrameN: s.iv.FrameN(), Batch: s.cfg.Batch,
 			Workers: pcfg.Workers, Queue: pcfg.Queue,
 			Window: s.cfg.Window, MaxPayload: s.cfg.MaxPayload,
 		},

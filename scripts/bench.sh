@@ -1,20 +1,21 @@
 #!/usr/bin/env bash
 # bench.sh — run the repository's throughput benchmarks and emit a
-# machine-readable BENCH_<n>.json summary (name, ns/op, MB/s, B/op,
-# allocs/op per benchmark).
+# machine-readable BENCH_<n>.json summary: a "host" block (cores matter —
+# pipeline scaling numbers are meaningless without them) plus one entry
+# per benchmark (name, ns/op, MB/s, B/op, allocs/op).
 #
 # Usage:
 #   scripts/bench.sh [out.json] [benchtime]
 #
-# Defaults: out=BENCH_3.json, benchtime=0.5s. Runs from the repo root.
+# Defaults: out=BENCH_7.json, benchtime=0.5s. Runs from the repo root.
 # The benchmark set covers the bulk GF kernel layer and everything built
-# on it: root RS/GF/pipeline benches plus the per-package Bulk-vs-Scalar
-# pairs in internal/rs, internal/bch, internal/aes and the pipeline link
-# chain.
+# on it: root RS/GF/pipeline benches (including the batched pipeline
+# variants) plus the per-package Bulk-vs-Scalar pairs in internal/rs,
+# internal/bch, internal/aes and the pipeline link chain.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_3.json}"
+out="${1:-BENCH_7.json}"
 benchtime="${2:-0.5s}"
 
 pattern='RSEncode255|RSSyndromes255|RSDecode255|GFKernel|GFMul|PipelineRS255_239'
@@ -27,10 +28,18 @@ go test -run 'ZZZNONE' -bench "$pattern" -benchtime "$benchtime" -benchmem . >>"
 go test -run 'ZZZNONE' -bench "$pkg_pattern" -benchtime "$benchtime" -benchmem \
     ./internal/rs ./internal/bch ./internal/aes ./internal/pipeline >>"$raw"
 
+cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+goversion="$(go env GOVERSION)"
+
 # Parse `go test -bench` lines:
 #   BenchmarkName-8   1234   5678 ns/op [12.3 MB/s] [45 B/op] [6 allocs/op] [...]
-awk -v OFS='' '
-BEGIN { print "[" ; first = 1 }
+awk -v OFS='' -v cpus="$cpus" -v gover="$goversion" '
+BEGIN {
+    print "{"
+    print "  \"host\": {\"cpus\": " cpus ", \"go\": \"" gover "\"},"
+    print "  \"benchmarks\": ["
+    first = 1
+}
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     ns = ""; mbs = ""; bop = ""; aop = ""
@@ -43,14 +52,14 @@ BEGIN { print "[" ; first = 1 }
     if (ns == "") next
     if (!first) print ","
     first = 0
-    line = "  {\"name\": \"" name "\", \"ns_op\": " ns
+    line = "    {\"name\": \"" name "\", \"ns_op\": " ns
     if (mbs != "") line = line ", \"mb_s\": " mbs
     if (bop != "") line = line ", \"b_op\": " bop
     if (aop != "") line = line ", \"allocs_op\": " aop
     printf "%s}", line
 }
-END { print "\n]" }
+END { print "\n  ]\n}" }
 ' "$raw" >"$out"
 
 n="$(grep -c '"name"' "$out" || true)"
-echo "wrote $out ($n benchmarks)"
+echo "wrote $out ($n benchmarks, $cpus cpus)"

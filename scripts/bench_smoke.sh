@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# bench_smoke.sh — CI gate on pipeline scaling: workers=4 must deliver at
+# least MIN_SPEEDUP x the frames/s of workers=1. The assertion only fires
+# on hosts with >= 4 CPUs (the GitHub runner); on smaller hosts the ratio
+# is printed but not enforced, so the script stays runnable anywhere.
+#
+# Usage:
+#   scripts/bench_smoke.sh [benchtime]
+#
+# Environment:
+#   MIN_SPEEDUP   required workers=4 / workers=1 throughput ratio (default 2.0)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-1s}"
+min_speedup="${MIN_SPEEDUP:-2.0}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# The batch=16 children of the matched pair run too (Go matches -bench
+# per path segment); the awk below only scores the unbatched pair.
+go test -run 'ZZZNONE' -benchtime "$benchtime" -count 3 \
+    -bench 'PipelineRS255_239/^workers=[14]$' . | tee "$raw"
+
+cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+
+# Best-of-3 ns/op per variant, then frames/s ratio = ns(w1) / ns(w4).
+# The -N GOMAXPROCS suffix is absent on single-proc hosts, so it is optional.
+awk -v cpus="$cpus" -v min="$min_speedup" '
+$1 ~ /^BenchmarkPipelineRS255_239\/workers=1(-[0-9]+)?$/ { if (w1 == 0 || $3 < w1) w1 = $3 }
+$1 ~ /^BenchmarkPipelineRS255_239\/workers=4(-[0-9]+)?$/ { if (w4 == 0 || $3 < w4) w4 = $3 }
+END {
+    if (w1 == 0 || w4 == 0) {
+        print "bench_smoke: missing workers=1 or workers=4 results" > "/dev/stderr"
+        exit 1
+    }
+    ratio = w1 / w4
+    printf "bench_smoke: workers=1 %.0f ns/op, workers=4 %.0f ns/op, speedup %.2fx (%d cpus)\n",
+        w1, w4, ratio, cpus
+    if (cpus < 4) {
+        print "bench_smoke: < 4 cpus, scaling gate skipped"
+        exit 0
+    }
+    if (ratio < min) {
+        printf "bench_smoke: FAIL — workers=4 speedup %.2fx < required %.2fx\n",
+            ratio, min > "/dev/stderr"
+        exit 1
+    }
+    printf "bench_smoke: OK — speedup %.2fx >= %.2fx\n", ratio, min
+}
+' "$raw"
