@@ -393,6 +393,83 @@ func BenchmarkGFKernelSyndromeSlice(b *testing.B) {
 	}
 }
 
+// --- Kernel tier A/B: the same hot codec loops forced onto each GF
+// kernel tier (internal/gf/tier.go). The auto row is the calibrated
+// per-(op, length) dispatch; the other rows pin the process-wide tier
+// exactly as GFP_KERNEL_TIER / -kernel-tier would, so the BENCH json
+// records where each tier wins and that auto tracks the winner. ---
+
+// benchPerTier runs fn once per tier as a sub-benchmark named after the
+// tier, forcing the process-wide tier for its duration.
+func benchPerTier(b *testing.B, fn func(b *testing.B)) {
+	defer gf.ForceKernelTier(gf.TierAuto)
+	for _, tier := range []gf.TierID{
+		gf.TierAuto, gf.TierScalar, gf.TierTable, gf.TierBitsliced, gf.TierCLMul,
+	} {
+		b.Run(tier.String(), func(b *testing.B) {
+			gf.ForceKernelTier(tier)
+			b.ResetTimer()
+			fn(b)
+		})
+	}
+}
+
+// BenchmarkGFTierRSEncode255_223 drives the LFSR encode bank (MulConst /
+// MulConstAdd shape) per tier at the CCSDS RS(255,223) geometry.
+func BenchmarkGFTierRSEncode255_223(b *testing.B) {
+	c := rs.Must(gf.MustDefault(8), 255, 223)
+	msg := make([]gf.Elem, c.K)
+	for i := range msg {
+		msg[i] = gf.Elem((i*11 + 3) & 0xFF)
+	}
+	dst := make([]gf.Elem, c.N)
+	benchPerTier(b, func(b *testing.B) {
+		b.SetBytes(int64(c.K))
+		for i := 0; i < b.N; i++ {
+			if _, err := c.EncodeTo(dst, msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGFTierRSSyndromes255_223 drives the 32-point symbol-wise
+// syndrome kernel per tier over a full received word.
+func BenchmarkGFTierRSSyndromes255_223(b *testing.B) {
+	c := rs.Must(gf.MustDefault(8), 255, 223)
+	recv := make([]gf.Elem, c.N)
+	for i := range recv {
+		recv[i] = gf.Elem((i*29 + 7) & 0xFF)
+	}
+	dst := make([]gf.Elem, 2*c.T)
+	benchPerTier(b, func(b *testing.B) {
+		b.SetBytes(int64(c.N))
+		for i := 0; i < b.N; i++ {
+			c.SyndromesTo(dst, recv)
+		}
+	})
+}
+
+// BenchmarkGFTierBCHSyndromes255 drives the binary-word syndrome path
+// per tier on a long BCH code over GF(2^8): n = 255 bits through the
+// code's BitSyndromePlan, where the clmul minimal-polynomial fold is the
+// headline win over the table tier's bit-Horner.
+func BenchmarkGFTierBCHSyndromes255(b *testing.B) {
+	code := bch.Must(gf.MustDefault(8), 16)
+	rng := rand.New(rand.NewSource(88))
+	recv := make([]byte, code.N)
+	for i := range recv {
+		recv[i] = byte(rng.Intn(2))
+	}
+	dst := make([]gf.Elem, 2*code.T)
+	benchPerTier(b, func(b *testing.B) {
+		b.SetBytes(int64(code.N))
+		for i := 0; i < b.N; i++ {
+			code.SyndromesTo(dst, recv)
+		}
+	})
+}
+
 func BenchmarkGFMulHardwarePath(b *testing.B) {
 	f := gf.MustDefault(8)
 	var x gf.Elem = 1

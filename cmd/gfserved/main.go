@@ -42,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/gf"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -64,6 +65,7 @@ type cliConfig struct {
 	progress     time.Duration
 	traceEvery   int
 	traceSlowest int
+	kernelTier   string
 }
 
 // syncWriter serializes writes so the progress goroutine and the main
@@ -99,6 +101,8 @@ func main() {
 	flag.DurationVar(&cfg.progress, "progress", 0, "print a one-line stats summary at this interval (0 = off)")
 	flag.IntVar(&cfg.traceEvery, "trace-every", 64, "sample every Nth frame for lifecycle tracing (1 = all, 0 = off)")
 	flag.IntVar(&cfg.traceSlowest, "trace-slowest", 16, "slowest traced frames kept for /statsz")
+	flag.StringVar(&cfg.kernelTier, "kernel-tier", "",
+		"force every GF bulk kernel onto one tier: scalar, packed, table, bitsliced, clmul (empty/auto = calibrated per-op selection)")
 	flag.Parse()
 
 	if err := run(cfg, os.Stdout); err != nil {
@@ -110,6 +114,11 @@ func main() {
 func run(cfg cliConfig, out io.Writer) error {
 	w := &syncWriter{w: out}
 	logger := log.New(os.Stderr, "gfserved: ", log.LstdFlags)
+	tier, err := gf.ParseTier(cfg.kernelTier)
+	if err != nil {
+		return err
+	}
+	gf.ForceKernelTier(tier)
 	s, err := server.New(server.Config{
 		N: cfg.n, K: cfg.k, Depth: cfg.depth, Batch: cfg.batch,
 		Workers: cfg.workers, Queue: cfg.queue,

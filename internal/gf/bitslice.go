@@ -1,0 +1,213 @@
+package gf
+
+// The bitsliced tier: 64-bit SWAR (SIMD-within-a-register) kernels that
+// compute GF(2^m) products with shift-and-conditional-XOR steps over
+// packed lanes — no tables at all, so the tier is fully cache-resident
+// and its cost is independent of table locality. Fields with m <= 8
+// pack eight 8-bit lanes per uint64; wider fields pack four 16-bit
+// lanes. One xtime step (multiply every lane by x simultaneously)
+// costs four register ops:
+//
+//	hi  := w & top                      // lanes about to overflow x^m
+//	w    = (w ^ hi) << 1                // shift all lanes left
+//	w   ^= (hi >> (m-1)) * polyLow      // fold x^m back via the field poly
+//
+// which is the direct software transcription of the paper's multiplier
+// primitive (the AND/XOR array of Table 2) evaluated one column per
+// step across all lanes at once. The per-lane-mask trick
+// (bit * 0xFF.. broadcasts a lane's multiplier bit across its lane)
+// implements the conditional adds without branches.
+//
+// The tier covers the constant-multiply slice ops, the inner product
+// and the multi-point syndrome kernels (evaluation points packed into
+// lanes, per-bit masks precomputed from the points). Single-point
+// Horner remains with the lookup tiers: its loop-carried dependency
+// leaves nothing to slice across.
+
+func init() { registerTier(TierBitsliced, buildBitslicedOps) }
+
+// bsField carries the per-field SWAR geometry.
+type bsField struct {
+	f       *Field
+	m       int
+	lanes   int    // elements per uint64: 8 (m <= 8) or 4 (m <= 16)
+	w       uint   // lane width in bits: 8 or 16
+	lsb     uint64 // bit 0 of every lane
+	fill    uint64 // every lane bit set
+	top     uint64 // bit m-1 of every lane
+	polyLow uint64 // field poly without its leading term
+	mTop    uint   // m-1, the top-bit shift
+}
+
+func buildBitslicedOps(f *Field) *tierOps {
+	if f.m < 2 {
+		return nil // GF(2): multiplication is AND, nothing to slice
+	}
+	p := &bsField{f: f, m: f.m, polyLow: uint64(f.poly) &^ (1 << uint(f.m)), mTop: uint(f.m - 1)}
+	if f.m <= 8 {
+		p.lanes, p.w, p.lsb = 8, 8, 0x0101010101010101
+	} else {
+		p.lanes, p.w, p.lsb = 4, 16, 0x0001000100010001
+	}
+	p.fill = p.lsb * ((1 << p.w) - 1)
+	p.top = p.lsb << p.mTop
+	return &tierOps{
+		mulConst:    p.mulConst,
+		mulConstAdd: p.mulConstAdd,
+		dot:         p.dot,
+		syndrome:    p.syndrome,
+		syndromeBit: p.syndromeBit,
+	}
+}
+
+// xtime multiplies every lane by x, folding overflow through the field
+// polynomial. Lanes must hold valid field elements (< 2^m).
+func (p *bsField) xtime(v uint64) uint64 {
+	hi := v & p.top
+	return ((v ^ hi) << 1) ^ ((hi >> p.mTop) * p.polyLow)
+}
+
+// pack loads p.lanes elements from src into lanes of one word.
+func (p *bsField) pack(src []Elem) uint64 {
+	if p.w == 8 {
+		return uint64(src[0]) | uint64(src[1])<<8 | uint64(src[2])<<16 | uint64(src[3])<<24 |
+			uint64(src[4])<<32 | uint64(src[5])<<40 | uint64(src[6])<<48 | uint64(src[7])<<56
+	}
+	return uint64(src[0]) | uint64(src[1])<<16 | uint64(src[2])<<32 | uint64(src[3])<<48
+}
+
+// unpack stores the lanes of v into dst.
+func (p *bsField) unpack(v uint64, dst []Elem) {
+	if p.w == 8 {
+		dst[0] = Elem(v & 0xFF)
+		dst[1] = Elem(v >> 8 & 0xFF)
+		dst[2] = Elem(v >> 16 & 0xFF)
+		dst[3] = Elem(v >> 24 & 0xFF)
+		dst[4] = Elem(v >> 32 & 0xFF)
+		dst[5] = Elem(v >> 40 & 0xFF)
+		dst[6] = Elem(v >> 48 & 0xFF)
+		dst[7] = Elem(v >> 56 & 0xFF)
+		return
+	}
+	dst[0] = Elem(v & 0xFFFF)
+	dst[1] = Elem(v >> 16 & 0xFFFF)
+	dst[2] = Elem(v >> 32 & 0xFFFF)
+	dst[3] = Elem(v >> 48 & 0xFFFF)
+}
+
+// mulLanes multiplies the lanes of w by the single constant c via
+// double-and-add over c's bits.
+func (p *bsField) mulLanes(w uint64, c Elem) uint64 {
+	var acc uint64
+	cc := uint32(c)
+	for cc != 0 {
+		if cc&1 != 0 {
+			acc ^= w
+		}
+		cc >>= 1
+		w = p.xtime(w)
+	}
+	return acc
+}
+
+func (p *bsField) mulConst(dst, src []Elem, c Elem) {
+	n, L := len(src), p.lanes
+	i := 0
+	for ; i+L <= n; i += L {
+		p.unpack(p.mulLanes(p.pack(src[i:]), c), dst[i:])
+	}
+	for ; i < n; i++ {
+		dst[i] = p.f.Mul(c, src[i])
+	}
+}
+
+func (p *bsField) mulConstAdd(dst, src []Elem, c Elem) {
+	n, L := len(src), p.lanes
+	i := 0
+	var lanes [8]Elem
+	for ; i+L <= n; i += L {
+		p.unpack(p.mulLanes(p.pack(src[i:]), c), lanes[:L])
+		for j := 0; j < L; j++ {
+			dst[i+j] ^= lanes[j]
+		}
+	}
+	for ; i < n; i++ {
+		dst[i] ^= p.f.Mul(c, src[i])
+	}
+}
+
+func (p *bsField) dot(a, b []Elem) Elem {
+	n, L := len(a), p.lanes
+	var accW uint64
+	i := 0
+	for ; i+L <= n; i += L {
+		wa, wb := p.pack(a[i:]), p.pack(b[i:])
+		var prod uint64
+		for bit := 0; bit < p.m; bit++ {
+			lb := (wb >> uint(bit)) & p.lsb
+			prod ^= wa & (lb * ((1 << p.w) - 1))
+			wa = p.xtime(wa)
+		}
+		accW ^= prod
+	}
+	// Fold the lanes together.
+	accW ^= accW >> 32
+	accW ^= accW >> 16
+	if p.w == 8 {
+		accW ^= accW >> 8
+	}
+	acc := Elem(accW & (1<<p.w - 1))
+	for ; i < n; i++ {
+		acc ^= p.f.Mul(a[i], b[i])
+	}
+	return acc
+}
+
+// pointMasks precomputes, for one lane group of evaluation points, the
+// per-bit broadcast masks: masks[b] selects the lanes whose point has
+// bit b set, each selected lane filled with ones.
+func (p *bsField) pointMasks(masks *[16]uint64, xs []Elem) {
+	wx := uint64(0)
+	for j, x := range xs {
+		wx |= uint64(x) << (uint(j) * p.w)
+	}
+	for b := 0; b < p.m; b++ {
+		masks[b] = ((wx >> uint(b)) & p.lsb) * ((1 << p.w) - 1)
+	}
+}
+
+// syndromeLanes runs the multi-point Horner recursion with up to
+// p.lanes evaluation points resident in lanes: every step multiplies
+// each lane's accumulator by its own point (via the precomputed per-bit
+// masks) and adds the next symbol broadcast across all lanes.
+func (p *bsField) syndromeLanes(dst []Elem, xs []Elem, next func(int) uint64, n int) {
+	var masks [16]uint64
+	var lanes [8]Elem
+	for j := 0; j < len(xs); j += p.lanes {
+		g := xs[j:]
+		if len(g) > p.lanes {
+			g = g[:p.lanes]
+		}
+		p.pointMasks(&masks, g)
+		var acc uint64
+		for i := 0; i < n; i++ {
+			w := acc
+			var prod uint64
+			for b := 0; b < p.m; b++ {
+				prod ^= w & masks[b]
+				w = p.xtime(w)
+			}
+			acc = prod ^ next(i)
+		}
+		p.unpack(acc, lanes[:p.lanes])
+		copy(dst[j:j+len(g)], lanes[:len(g)])
+	}
+}
+
+func (p *bsField) syndrome(dst, word, xs []Elem) {
+	p.syndromeLanes(dst, xs, func(i int) uint64 { return uint64(word[i]) * p.lsb }, len(word))
+}
+
+func (p *bsField) syndromeBit(dst []Elem, bits []byte, xs []Elem) {
+	p.syndromeLanes(dst, xs, func(i int) uint64 { return uint64(bits[i]) * p.lsb }, len(bits))
+}

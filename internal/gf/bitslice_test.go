@@ -1,0 +1,95 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBitslicedTails drives the SWAR kernels at every length 0..3*lanes
+// so both the full-word body and the scalar tail paths are hit, for a
+// byte-lane field (m=8), a narrow field (m=5) and a halfword-lane field
+// (m=16).
+func TestBitslicedTails(t *testing.T) {
+	for _, m := range []int{5, 8, 16} {
+		f, err := NewDefault(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs := f.Kernels().forTier(TierBitsliced)
+		ref := f.ScalarKernels()
+		rng := rand.New(rand.NewSource(int64(m)))
+		for n := 0; n <= 24; n++ {
+			a, b := make([]Elem, n), make([]Elem, n)
+			for i := range a {
+				a[i] = Elem(rng.Intn(f.Order()))
+				b[i] = Elem(rng.Intn(f.Order()))
+			}
+			c := Elem(rng.Intn(f.Order()))
+
+			got, want := make([]Elem, n), make([]Elem, n)
+			bs.MulConstSlice(got, a, c)
+			ref.MulConstSlice(want, a, c)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("m=%d n=%d: MulConstSlice[%d] = %d, want %d", m, n, i, got[i], want[i])
+				}
+			}
+
+			copy(got, b)
+			copy(want, b)
+			bs.MulConstAddSlice(got, a, c)
+			ref.MulConstAddSlice(want, a, c)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("m=%d n=%d: MulConstAddSlice[%d] = %d, want %d", m, n, i, got[i], want[i])
+				}
+			}
+
+			if g, w := bs.DotSlice(a, b), ref.DotSlice(a, b); g != w {
+				t.Fatalf("m=%d n=%d: DotSlice = %d, want %d", m, n, g, w)
+			}
+		}
+	}
+}
+
+// TestBitslicedSyndromePointCounts checks the lane-packed multi-point
+// syndrome for point counts that leave partial lane groups (1..9 points
+// on 8-lane fields, 1..5 on 4-lane ones).
+func TestBitslicedSyndromePointCounts(t *testing.T) {
+	for _, m := range []int{8, 16} {
+		f, err := NewDefault(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs := f.Kernels().forTier(TierBitsliced)
+		ref := f.ScalarKernels()
+		rng := rand.New(rand.NewSource(int64(100 + m)))
+		word := make([]Elem, 100)
+		bits := make([]byte, 100)
+		for i := range word {
+			word[i] = Elem(rng.Intn(f.Order()))
+			bits[i] = byte(rng.Intn(2))
+		}
+		for np := 1; np <= 9; np++ {
+			xs := make([]Elem, np)
+			for i := range xs {
+				xs[i] = Elem(rng.Intn(f.Order()))
+			}
+			got, want := make([]Elem, np), make([]Elem, np)
+			bs.SyndromeSlice(got, word, xs)
+			ref.SyndromeSlice(want, word, xs)
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("m=%d np=%d: SyndromeSlice[%d] = %d, want %d", m, np, j, got[j], want[j])
+				}
+			}
+			bs.SyndromeBitSlice(got, bits, xs)
+			ref.SyndromeBitSlice(want, bits, xs)
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("m=%d np=%d: SyndromeBitSlice[%d] = %d, want %d", m, np, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package gf
+
+// One-shot micro-calibration: the first auto-dispatched kernel call on
+// a field shape races every candidate tier over a small grid of input
+// lengths and freezes a two-regime selection per op — one tier below a
+// crossover length, one at or above it. This is the software image of
+// the paper's evaluation method (profile each GF routine on each
+// datapath, then bind the routine to the cheaper one): instead of
+// baking the winner in at design time, every process measures its own
+// machine once and the dispatcher routes accordingly.
+//
+// Results are cached process-wide per (m, poly) shape, so the many
+// transient Field constructions the codecs make (MustDefault builds a
+// fresh Field per call) calibrate exactly once, and the selection rows
+// are published through Selections() for the observability plane.
+
+import (
+	"sync"
+	"time"
+)
+
+// calLens is the measurement grid. Calls shorter than the first point
+// behave like it; longer than the last, like it.
+var calLens = [...]int{16, 64, 256, 1024}
+
+// calPoints is the syndrome-op point count used for measurement
+// (RS(255,223)/BCH-16 shaped: 16 evaluation points).
+const calPoints = 16
+
+// tierSel is one op's frozen selection.
+type tierSel struct {
+	below     TierID // serves lengths < crossover
+	above     TierID // serves lengths >= crossover
+	crossover int    // 0 when below == above
+}
+
+// selTable lazily holds the per-op selections of one field shape.
+type selTable struct {
+	once sync.Once
+	ops  [numOps]tierSel
+}
+
+func (s *selTable) get(k *Kernels, op kernelOp) tierSel {
+	s.once.Do(func() { s.calibrate(k) })
+	return s.ops[op]
+}
+
+// calCache maps field shape (m << 32 | poly) to *[numOps]tierSel so a
+// shape is measured once per process no matter how many Field values
+// alias it.
+var calCache sync.Map
+
+func (s *selTable) calibrate(k *Kernels) {
+	key := uint64(k.f.m)<<32 | uint64(k.f.poly)
+	if v, ok := calCache.Load(key); ok {
+		s.ops = *(v.(*[numOps]tierSel))
+		return
+	}
+	ops := measureField(k)
+	if v, raced := calCache.LoadOrStore(key, &ops); raced {
+		ops = *(v.(*[numOps]tierSel))
+	} else {
+		publishSelections(k.f, &ops)
+	}
+	s.ops = ops
+}
+
+// timeOp returns the cost of one fn() invocation in nanoseconds,
+// growing the iteration count until the sample window is long enough
+// to trust (~20us).
+func timeOp(fn func()) float64 {
+	fn() // warm caches and lazy state
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= 20*time.Microsecond || iters >= 1<<22 {
+			return float64(elapsed.Nanoseconds()) / float64(iters)
+		}
+		iters *= 2
+	}
+}
+
+// measureField races every candidate tier over the length grid for
+// each op and derives the two-regime selection. Candidate op functions
+// are invoked directly (not through dispatch), so calibration neither
+// recurses into selection nor pollutes the tier hit counters.
+func measureField(k *Kernels) [numOps]tierSel {
+	f := k.f
+	maxLen := calLens[len(calLens)-1]
+
+	// Deterministic xorshift inputs; the multiplier constant has its top
+	// bit set so double-and-add tiers pay their full per-bit cost.
+	state := uint64(0x9E3779B97F4A7C15) ^ uint64(f.poly)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	src := make([]Elem, maxLen)
+	srcB := make([]Elem, maxLen)
+	dst := make([]Elem, maxLen)
+	bitsW := make([]byte, maxLen)
+	for i := range src {
+		src[i] = Elem(next() % uint64(f.order))
+		srcB[i] = Elem(next() % uint64(f.order))
+		bitsW[i] = byte(next() & 1)
+	}
+	c := Elem(f.order - 2)
+	if c < 2 {
+		c = 1
+	}
+	x := f.Generator()
+	xs := make([]Elem, calPoints)
+	for i := range xs {
+		xs[i] = f.Exp(2*i + 1) // odd powers, the BCH root shape
+	}
+	sdst := make([]Elem, calPoints)
+
+	// run builds the one-invocation closure for (op, tier ops, length).
+	run := func(op kernelOp, t *tierOps, n int) func() {
+		switch op {
+		case opMulConst:
+			return func() { t.mulConst(dst[:n], src[:n], c) }
+		case opMulConstAdd:
+			return func() { t.mulConstAdd(dst[:n], src[:n], c) }
+		case opDot:
+			return func() { t.dot(src[:n], srcB[:n]) }
+		case opHorner:
+			return func() { t.horner(src[:n], x) }
+		case opEval:
+			return func() { t.eval(src[:n], x) }
+		case opSyndrome:
+			return func() { t.syndrome(sdst, src[:n], xs) }
+		case opHornerBit:
+			return func() { t.hornerBit(bitsW[:n], x) }
+		case opSyndromeBit, opSyndromeBitFold:
+			return func() { t.syndromeBit(sdst, bitsW[:n], xs) }
+		}
+		return nil
+	}
+
+	// The clmul tier serves opSyndromeBit through BitSyndromePlan's
+	// minpoly fold, not a registered op function; measure that route on
+	// a throwaway plan.
+	foldPlan := k.NewBitSyndromePlan(xs)
+
+	var out [numOps]tierSel
+	for op := kernelOp(0); op < numOps; op++ {
+		const inf = 1e18
+		var cost [NumTiers][len(calLens)]float64
+		avail := [NumTiers]bool{}
+		for t := TierID(0); t < NumTiers; t++ {
+			ops := k.tiers[t]
+			special := op == opSyndromeBitFold && t == TierCLMul && ops != nil
+			if !ops.supports(op) && !special {
+				continue
+			}
+			avail[t] = true
+			for li, n := range calLens {
+				var fn func()
+				if special {
+					bits := bitsW[:n]
+					fn = func() { foldPlan.fold(sdst, bits) }
+				} else {
+					fn = run(op, ops, n)
+				}
+				cost[t][li] = timeOp(fn)
+			}
+		}
+		best := func(li int) TierID {
+			bt, bc := TierScalar, inf
+			for t := TierID(0); t < NumTiers; t++ {
+				if avail[t] && cost[t][li] < bc {
+					bt, bc = t, cost[t][li]
+				}
+			}
+			return bt
+		}
+		sel := tierSel{below: best(0), above: best(len(calLens) - 1)}
+		if sel.below != sel.above {
+			sel.crossover = calLens[len(calLens)-1]
+			for li, n := range calLens {
+				if cost[sel.above][li] <= cost[sel.below][li] {
+					sel.crossover = n
+					break
+				}
+			}
+		}
+		out[op] = sel
+	}
+	return out
+}
+
+// publishSelections records one shape's frozen selections for the
+// observability plane (gfserved /statsz, Selections()).
+func publishSelections(f *Field, ops *[numOps]tierSel) {
+	rows := make([]TierSelection, 0, numOps)
+	for op := kernelOp(0); op < numOps; op++ {
+		s := ops[op]
+		rows = append(rows, TierSelection{
+			Field:     f.String(),
+			Op:        opNames[op],
+			Below:     s.below.String(),
+			Above:     s.above.String(),
+			Crossover: s.crossover,
+		})
+	}
+	recordSelections(rows)
+}

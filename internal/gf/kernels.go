@@ -5,22 +5,18 @@ package gf
 // primitives into gfMult4/gfSquare4/gfInv4 so a whole vector of symbols
 // moves through the datapath in one cycle, this layer replaces the
 // symbol-at-a-time Field.Mul route (two table lookups plus a zero branch
-// per product) with flat mul-by-constant rows applied across whole slices
-// — one dependent lookup per symbol, and four independent accumulator
-// chains in the syndrome kernel so the lookups pipeline the way the
-// hardware lanes do.
+// per product) with whole-slice kernels.
 //
-// Three implementation tiers, selected per field:
-//
-//   - m <= 4: each mul-by-constant row (<= 16 products of <= 4 bits) packs
-//     into a single 64-bit word, so a product is a register shift+mask
-//     with no memory traffic at all — the nibble-split trick, cousin of
-//     the paper's gf32bMult packing.
-//   - m <= 8: a flat order x order product table; row c is a contiguous
-//     256-entry (at most) slice, one L1 lookup per product.
-//   - m > 8 (and ScalarKernels): the pure-scalar reference path on top of
-//     Field.Mul. This is the behavioral specification; the property tests
-//     assert the table and packed tiers agree with it exactly.
+// The implementation strategies live in a pluggable tier registry (see
+// tier.go): classic lookup tiers (packed rows for m <= 4, a flat product
+// table for m <= 8), a computed 64-bit SWAR tier (bitslice.go) and a
+// carry-less-multiply tier (clmul.go). Every exported operation picks
+// its tier per call from the calibrated per-(field, op, length)
+// selection — overridable process-wide via GFP_KERNEL_TIER /
+// ForceKernelTier — and falls back to the scalar reference for ops the
+// chosen tier does not implement. The scalar tier is the behavioral
+// specification; selftest.go proves every other tier extensionally
+// equal to it.
 //
 // All operations are allocation-free: callers own every buffer.
 
@@ -35,80 +31,144 @@ const packedMaxM = 4
 const tableMaxM = 8
 
 // Kernels provides bulk slice operations over one field. Obtain one with
-// Field.Kernels (fast path: tables for m <= 8, scalar above) or
-// Field.ScalarKernels (the pure-scalar reference used by tests and A/B
-// benchmarks). A Kernels is immutable after construction and safe for
-// concurrent use by any number of goroutines.
+// Field.Kernels (auto-dispatched across the registered tiers) or
+// Field.ScalarKernels (a view pinned to the pure-scalar reference, used
+// by tests and A/B benchmarks). A Kernels is immutable after
+// construction and safe for concurrent use by any number of goroutines.
 //
 // Inputs must be valid field elements (Field.Valid); out-of-field values
-// may panic (table tiers) or produce junk (packed tier), exactly as the
-// scalar table lookups in Field.Mul do.
+// may panic (table tiers) or produce junk (computed tiers), exactly as
+// the scalar table lookups in Field.Mul do.
 type Kernels struct {
-	f      *Field
-	order  int
-	tier   kernelTier
-	mul    []Elem   // flat product table, row c at [c*order : (c+1)*order]; nil on the scalar tier
-	packed []uint64 // packed rows for m <= packedMaxM; nil otherwise
+	f     *Field
+	order int
+	base  TierID // the classic tier for the field shape; names Tier()
+	pin   TierID // TierAuto unless this view is pinned to one tier
+
+	tiers *[NumTiers]*tierOps // shared between the auto and pinned views
+	sel   *selTable           // calibrated per-op selection (shared)
+
+	mul    []Elem   // table tier's product table (nil on pinned-scalar views)
+	packed []uint64 // packed tier's rows (nil on pinned-scalar views)
 }
 
 // Kernels returns the field's bulk-arithmetic kernels, built lazily on
-// first use and cached on the Field. For m <= 8 the table tiers are used;
-// wider fields fall back to the scalar reference (still correct, no
-// tables).
+// first use and cached on the Field. Tier choice is per (op, length),
+// calibrated once per field shape; see tier.go for the override knobs.
 func (f *Field) Kernels() *Kernels {
 	f.kernOnce.Do(f.buildKernels)
 	return f.kern
 }
 
-// ScalarKernels returns the pure-scalar reference kernels: same API,
-// every product routed through Field.Mul. Tests and benchmarks use it as
-// the behavioral baseline the table tiers are checked against.
+// ScalarKernels returns a view pinned to the pure-scalar reference
+// tier: same API, every product routed through Field.Mul. Tests and
+// benchmarks use it as the behavioral baseline the other tiers are
+// checked against.
 func (f *Field) ScalarKernels() *Kernels {
 	f.kernOnce.Do(f.buildKernels)
 	return f.scalarKern
 }
 
 func (f *Field) buildKernels() {
-	f.scalarKern = &Kernels{f: f, order: f.order, tier: tierScalar}
-	if f.m > tableMaxM {
-		f.kern = f.scalarKern
-		return
-	}
-	k := &Kernels{f: f, order: f.order, tier: tierTable}
-	if f.m <= packedMaxM {
-		k.tier = tierPacked
-	}
-	k.mul = make([]Elem, f.order*f.order)
-	for c := 0; c < f.order; c++ {
-		row := k.mul[c*f.order : (c+1)*f.order]
-		for x := 0; x < f.order; x++ {
-			row[x] = f.Mul(Elem(c), Elem(x))
+	tiers := new([NumTiers]*tierOps)
+	for id := TierID(0); id < NumTiers; id++ {
+		if b := tierBuilders[id]; b != nil {
+			tiers[id] = b(f)
 		}
 	}
-	if f.m <= packedMaxM {
-		k.packed = make([]uint64, f.order)
-		for c := 0; c < f.order; c++ {
-			var w uint64
-			for x := 0; x < f.order; x++ {
-				w |= uint64(f.Mul(Elem(c), Elem(x))) << (4 * x)
-			}
-			k.packed[c] = w
-		}
+	if tiers[TierScalar] == nil {
+		panic("gf: scalar tier missing from registry")
+	}
+	base := TierScalar
+	switch {
+	case f.m <= packedMaxM:
+		base = TierPacked
+	case f.m <= tableMaxM:
+		base = TierTable
+	}
+	sel := &selTable{}
+	k := &Kernels{f: f, order: f.order, base: base, pin: TierAuto, tiers: tiers, sel: sel}
+	if t := tiers[TierTable]; t != nil {
+		k.mul = t.mul
+	}
+	if t := tiers[TierPacked]; t != nil {
+		k.packed = t.packed
 	}
 	f.kern = k
+	f.scalarKern = &Kernels{f: f, order: f.order, base: TierScalar, pin: TierScalar, tiers: tiers, sel: sel}
+}
+
+// forTier returns a view of k pinned to one tier (ops the tier lacks
+// still fall back to scalar). The differential selftest uses this to
+// drive every registered tier over the same vectors.
+func (k *Kernels) forTier(t TierID) *Kernels {
+	v := *k
+	v.pin = t
+	if t != TierTable && t != TierPacked {
+		v.mul, v.packed = nil, nil
+	}
+	return &v
 }
 
 // Field returns the field these kernels operate in.
 func (k *Kernels) Field() *Field { return k.f }
 
-// Table reports whether the table tiers are active (false on the scalar
-// reference path and for fields with m > 8).
+// Table reports whether the flat product table is available to this
+// view (false on pinned-scalar views and for fields with m > 8).
 func (k *Kernels) Table() bool { return k.mul != nil }
 
-// row returns the mul-by-c table row (table tier only).
-func (k *Kernels) row(c Elem) []Elem {
-	o := k.order
-	return k.mul[int(c)*o : int(c)*o+o]
+// AvailableTiers lists the registry names of every tier built for this
+// field, in TierID order. The scalar tier is always present.
+func (k *Kernels) AvailableTiers() []string {
+	var out []string
+	for id := TierID(0); id < NumTiers; id++ {
+		if k.tiers[id] != nil {
+			out = append(out, id.String())
+		}
+	}
+	return out
+}
+
+// tierFor resolves the tier serving op at input length n: instance pin,
+// then process-wide force, then the calibrated selection.
+func (k *Kernels) tierFor(op kernelOp, n int) TierID {
+	if k.pin != TierAuto {
+		return k.pin
+	}
+	if ft := ForcedKernelTier(); ft != TierAuto {
+		return ft
+	}
+	s := k.sel.get(k, op)
+	if n < s.crossover {
+		return s.below
+	}
+	return s.above
+}
+
+// dispatch resolves op at length n to a concrete op table, falling back
+// to the scalar reference when the chosen tier lacks the op, and
+// records the hit against the tier that actually serves the call.
+func (k *Kernels) dispatch(op kernelOp, n int) *tierOps {
+	t := k.tierFor(op, n)
+	ops := k.tiers[t]
+	if !ops.supports(op) {
+		t, ops = TierScalar, k.tiers[TierScalar]
+	}
+	k.hit(t)
+	return ops
+}
+
+// baseTier is the tier charged for tier-independent ops (AddSlice,
+// XorSlice, stride copies): the pin or force when set, the field's
+// classic tier otherwise.
+func (k *Kernels) baseTier() TierID {
+	if k.pin != TierAuto {
+		return k.pin
+	}
+	if ft := ForcedKernelTier(); ft != TierAuto {
+		return ft
+	}
+	return k.base
 }
 
 // AddSlice sets dst[i] = a[i] + b[i] (XOR). dst may alias a or b. All
@@ -117,7 +177,7 @@ func (k *Kernels) AddSlice(dst, a, b []Elem) {
 	if len(a) != len(dst) || len(b) != len(dst) {
 		panic(fmt.Sprintf("gf: AddSlice length mismatch dst=%d a=%d b=%d", len(dst), len(a), len(b)))
 	}
-	k.hit()
+	k.hit(k.baseTier())
 	i := 0
 	for ; i+4 <= len(dst); i += 4 {
 		dst[i] = a[i] ^ b[i]
@@ -136,7 +196,7 @@ func (k *Kernels) XorSlice(dst, src []Elem) {
 	if len(src) > len(dst) {
 		panic(fmt.Sprintf("gf: XorSlice src length %d exceeds dst %d", len(src), len(dst)))
 	}
-	k.hit()
+	k.hit(k.baseTier())
 	for i, v := range src {
 		dst[i] ^= v
 	}
@@ -148,29 +208,19 @@ func (k *Kernels) MulConstSlice(dst, src []Elem, c Elem) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("gf: MulConstSlice length mismatch dst=%d src=%d", len(dst), len(src)))
 	}
-	k.hit()
-	switch {
-	case c == 0:
+	switch c {
+	case 0:
+		k.hit(k.baseTier())
 		for i := range dst {
 			dst[i] = 0
 		}
-	case c == 1:
+		return
+	case 1:
+		k.hit(k.baseTier())
 		copy(dst, src)
-	case k.packed != nil:
-		w := k.packed[c]
-		for i, s := range src {
-			dst[i] = Elem(w >> (uint(s) * 4) & 0xF)
-		}
-	case k.mul != nil:
-		row := k.row(c)
-		for i, s := range src {
-			dst[i] = row[s]
-		}
-	default:
-		for i, s := range src {
-			dst[i] = k.f.Mul(c, s)
-		}
+		return
 	}
+	k.dispatch(opMulConst, len(src)).mulConst(dst, src, c)
 }
 
 // MulConstAddSlice folds c * src into dst: dst[i] ^= c * src[i] — the
@@ -180,26 +230,18 @@ func (k *Kernels) MulConstAddSlice(dst, src []Elem, c Elem) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("gf: MulConstAddSlice length mismatch dst=%d src=%d", len(dst), len(src)))
 	}
-	k.hit()
-	switch {
-	case c == 0:
-	case c == 1:
-		k.XorSlice(dst, src)
-	case k.packed != nil:
-		w := k.packed[c]
-		for i, s := range src {
-			dst[i] ^= Elem(w >> (uint(s) * 4) & 0xF)
+	switch c {
+	case 0:
+		k.hit(k.baseTier())
+		return
+	case 1:
+		k.hit(k.baseTier())
+		for i, v := range src {
+			dst[i] ^= v
 		}
-	case k.mul != nil:
-		row := k.row(c)
-		for i, s := range src {
-			dst[i] ^= row[s]
-		}
-	default:
-		for i, s := range src {
-			dst[i] ^= k.f.Mul(c, s)
-		}
+		return
 	}
+	k.dispatch(opMulConstAdd, len(src)).mulConstAdd(dst, src, c)
 }
 
 // DotSlice returns the inner product sum_i a[i]*b[i]. Both slices must
@@ -208,19 +250,7 @@ func (k *Kernels) DotSlice(a, b []Elem) Elem {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("gf: DotSlice length mismatch a=%d b=%d", len(a), len(b)))
 	}
-	k.hit()
-	var acc Elem
-	if k.mul == nil {
-		for i := range a {
-			acc ^= k.f.Mul(a[i], b[i])
-		}
-		return acc
-	}
-	o := k.order
-	for i := range a {
-		acc ^= k.mul[int(a[i])*o+int(b[i])]
-	}
-	return acc
+	return k.dispatch(opDot, len(a)).dot(a, b)
 }
 
 // HornerSlice evaluates the polynomial whose coefficients are given in
@@ -231,129 +261,42 @@ func (k *Kernels) DotSlice(a, b []Elem) Elem {
 // This is the received-word layout of the RS/BCH codecs and the paper's
 // syndrome recursion S_j <- S_j*alpha^j + R.
 func (k *Kernels) HornerSlice(word []Elem, x Elem) Elem {
-	k.hit()
-	var acc Elem
-	switch {
-	case k.packed != nil:
-		w := k.packed[x]
-		for _, r := range word {
-			acc = Elem(w>>(uint(acc)*4)&0xF) ^ r
-		}
-	case k.mul != nil:
-		row := k.row(x)
-		for _, r := range word {
-			acc = row[acc] ^ r
-		}
-	default:
-		for _, r := range word {
-			acc = k.f.Mul(acc, x) ^ r
-		}
-	}
-	return acc
+	return k.dispatch(opHorner, len(word)).horner(word, x)
 }
 
 // EvalSlice evaluates the polynomial with coeffs[i] the coefficient of
 // x^i (package gfpoly's storage order) at x by Horner's rule.
 func (k *Kernels) EvalSlice(coeffs []Elem, x Elem) Elem {
-	k.hit()
-	var acc Elem
-	switch {
-	case k.packed != nil:
-		w := k.packed[x]
-		for i := len(coeffs) - 1; i >= 0; i-- {
-			acc = Elem(w>>(uint(acc)*4)&0xF) ^ coeffs[i]
-		}
-	case k.mul != nil:
-		row := k.row(x)
-		for i := len(coeffs) - 1; i >= 0; i-- {
-			acc = row[acc] ^ coeffs[i]
-		}
-	default:
-		for i := len(coeffs) - 1; i >= 0; i-- {
-			acc = k.f.Mul(acc, x) ^ coeffs[i]
-		}
-	}
-	return acc
+	return k.dispatch(opEval, len(coeffs)).eval(coeffs, x)
 }
 
 // SyndromeSlice sets dst[j] = HornerSlice(word, xs[j]) for every
-// evaluation point, four points per pass over the word — the software
-// image of the paper's 4-lane SIMD syndrome kernel: four independent
-// accumulator chains overlap their table lookups instead of serializing
-// them. dst and xs must have equal length.
+// evaluation point — the multi-point syndrome kernel. The table tier
+// runs four independent accumulator chains per pass (the software image
+// of the paper's 4-lane SIMD); the bitsliced tier packs the evaluation
+// points into 64-bit lanes instead. dst and xs must have equal length.
 func (k *Kernels) SyndromeSlice(dst []Elem, word []Elem, xs []Elem) {
 	if len(dst) != len(xs) {
 		panic(fmt.Sprintf("gf: SyndromeSlice length mismatch dst=%d xs=%d", len(dst), len(xs)))
 	}
-	k.hit()
-	j := 0
-	if k.mul != nil {
-		for ; j+4 <= len(xs); j += 4 {
-			r0, r1, r2, r3 := k.row(xs[j]), k.row(xs[j+1]), k.row(xs[j+2]), k.row(xs[j+3])
-			var a0, a1, a2, a3 Elem
-			for _, r := range word {
-				a0 = r0[a0] ^ r
-				a1 = r1[a1] ^ r
-				a2 = r2[a2] ^ r
-				a3 = r3[a3] ^ r
-			}
-			dst[j], dst[j+1], dst[j+2], dst[j+3] = a0, a1, a2, a3
-		}
-	}
-	for ; j < len(xs); j++ {
-		dst[j] = k.HornerSlice(word, xs[j])
-	}
+	k.dispatch(opSyndrome, len(word)).syndrome(dst, word, xs)
 }
 
 // HornerBitSlice is HornerSlice for a binary word stored one bit per
 // byte (values 0/1), the BCH codeword layout.
 func (k *Kernels) HornerBitSlice(bits []byte, x Elem) Elem {
-	k.hit()
-	var acc Elem
-	switch {
-	case k.packed != nil:
-		w := k.packed[x]
-		for _, b := range bits {
-			acc = Elem(w>>(uint(acc)*4)&0xF) ^ Elem(b)
-		}
-	case k.mul != nil:
-		row := k.row(x)
-		for _, b := range bits {
-			acc = row[acc] ^ Elem(b)
-		}
-	default:
-		for _, b := range bits {
-			acc = k.f.Mul(acc, x) ^ Elem(b)
-		}
-	}
-	return acc
+	return k.dispatch(opHornerBit, len(bits)).hornerBit(bits, x)
 }
 
 // SyndromeBitSlice is SyndromeSlice for a binary word stored one bit per
-// byte — the BCH syndrome kernel, four evaluation points per pass.
+// byte — the BCH syndrome kernel. For repeated syndrome sets over the
+// same evaluation points prefer NewBitSyndromePlan, which additionally
+// unlocks the carry-less-multiply fold tier.
 func (k *Kernels) SyndromeBitSlice(dst []Elem, bits []byte, xs []Elem) {
 	if len(dst) != len(xs) {
 		panic(fmt.Sprintf("gf: SyndromeBitSlice length mismatch dst=%d xs=%d", len(dst), len(xs)))
 	}
-	k.hit()
-	j := 0
-	if k.mul != nil {
-		for ; j+4 <= len(xs); j += 4 {
-			r0, r1, r2, r3 := k.row(xs[j]), k.row(xs[j+1]), k.row(xs[j+2]), k.row(xs[j+3])
-			var a0, a1, a2, a3 Elem
-			for _, b := range bits {
-				e := Elem(b)
-				a0 = r0[a0] ^ e
-				a1 = r1[a1] ^ e
-				a2 = r2[a2] ^ e
-				a3 = r3[a3] ^ e
-			}
-			dst[j], dst[j+1], dst[j+2], dst[j+3] = a0, a1, a2, a3
-		}
-	}
-	for ; j < len(xs); j++ {
-		dst[j] = k.HornerBitSlice(bits, xs[j])
-	}
+	k.dispatch(opSyndromeBit, len(bits)).syndromeBit(dst, bits, xs)
 }
 
 // LFSR is a multiply-accumulate bank precomputed for one fixed
@@ -392,14 +335,16 @@ func (k *Kernels) NewLFSR(coeffs []Elem) *LFSR {
 //	feedback = s ^ par[0]; par shifts down one; par ^= feedback*coeffs
 //
 // updating par (length = len(coeffs)) in place. Seed par with zeros to
-// compute the systematic RS parity of msg.
+// compute the systematic RS parity of msg. When the scalar tier is
+// forced process-wide the definitional multiply-accumulate route is
+// taken even if the bank exists, so forced-tier accounting stays honest.
 func (l *LFSR) Run(par, msg []Elem) {
 	nk := l.nk
 	if len(par) != nk {
 		panic(fmt.Sprintf("gf: LFSR.Run register length %d, want %d", len(par), nk))
 	}
-	l.k.hit()
-	if l.tab == nil {
+	if l.tab == nil || l.k.baseTier() == TierScalar {
+		l.k.hit(TierScalar)
 		for _, s := range msg {
 			fb := s ^ par[0]
 			copy(par, par[1:])
@@ -410,6 +355,7 @@ func (l *LFSR) Run(par, msg []Elem) {
 		}
 		return
 	}
+	l.k.hit(TierTable)
 	for _, s := range msg {
 		fb := s ^ par[0]
 		if fb == 0 {

@@ -1,37 +1,75 @@
 package gf
 
-import "sync/atomic"
-
-// Kernel-tier accounting: every exported bulk operation records one hit
-// against the tier that served it (packed word, flat table, or scalar
-// fallback), the software analogue of counting which hardware datapath a
-// GF instruction was issued to. The counters are process-wide so a
-// metrics registry can report how much of the workload ran on each tier
-// without threading a registry into every codec.
-
-// kernelTier indexes the implementation tiers of a Kernels.
-type kernelTier uint8
-
-const (
-	tierPacked kernelTier = iota // m <= 4: rows packed into one uint64
-	tierTable                    // m <= 8: flat order x order product table
-	tierScalar                   // reference path over Field.Mul
-	numTiers
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
 )
 
-var tierNames = [numTiers]string{"packed", "table", "scalar"}
+// Kernel-tier accounting: every exported bulk operation records one hit
+// against the tier that actually served it — the software analogue of
+// counting which hardware datapath a GF instruction was issued to. The
+// counters are process-wide so a metrics registry can report how much
+// of the workload ran on each tier without threading a registry into
+// every codec. Alongside the counters, the calibrated per-(field, op)
+// tier selections are published for the observability plane.
 
-var tierCalls [numTiers]atomic.Int64
+var tierCalls [NumTiers]atomic.Int64
 
-// hit records one bulk-kernel invocation on k's tier.
-func (k *Kernels) hit() { tierCalls[k.tier].Add(1) }
+// hit records one bulk-kernel invocation served by tier t.
+func (k *Kernels) hit(t TierID) { tierCalls[t].Add(1) }
 
-// Tier names the implementation tier serving this Kernels: "packed",
-// "table" or "scalar".
-func (k *Kernels) Tier() string { return tierNames[k.tier] }
+// Tier names the classic tier matching this Kernels' field shape
+// ("packed" m <= 4, "table" m <= 8, "scalar" above), or "scalar" on a
+// pinned-scalar view. Per-call dispatch may route individual ops to
+// other tiers; see AvailableTiers and Selections for the full picture.
+func (k *Kernels) Tier() string { return tierNames[k.base] }
 
 // KernelCalls returns the process-wide cumulative number of bulk-kernel
-// invocations served by each tier.
-func KernelCalls() (packed, table, scalar int64) {
-	return tierCalls[tierPacked].Load(), tierCalls[tierTable].Load(), tierCalls[tierScalar].Load()
+// invocations served by each tier, indexed by TierID (see TierNames).
+func KernelCalls() [NumTiers]int64 {
+	var out [NumTiers]int64
+	for i := range out {
+		out[i] = tierCalls[i].Load()
+	}
+	return out
+}
+
+// TierSelection is one frozen calibration decision: for (Field, Op),
+// lengths below Crossover are served by tier Below, lengths at or above
+// it by Above (Crossover 0 means Below == Above serves everything).
+type TierSelection struct {
+	Field     string `json:"field"`
+	Op        string `json:"op"`
+	Below     string `json:"below"`
+	Above     string `json:"above"`
+	Crossover int    `json:"crossover"`
+}
+
+var (
+	selMu   sync.Mutex
+	selRows []TierSelection
+)
+
+// recordSelections publishes one field shape's calibration results.
+func recordSelections(rows []TierSelection) {
+	selMu.Lock()
+	selRows = append(selRows, rows...)
+	selMu.Unlock()
+}
+
+// Selections returns every calibration decision frozen so far in this
+// process, sorted by field then op. Shapes calibrate lazily on first
+// kernel use, so the list grows as fields come into play.
+func Selections() []TierSelection {
+	selMu.Lock()
+	out := append([]TierSelection(nil), selRows...)
+	selMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Field != out[j].Field {
+			return out[i].Field < out[j].Field
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
 }

@@ -30,34 +30,73 @@ func TestKernelCallsCount(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	k := f.Kernels()
 	buf := make([]Elem, 32)
 
-	_, table0, _ := KernelCalls()
+	// Force the table tier so accounting is deterministic regardless of
+	// what calibration picked on this machine.
+	ForceKernelTier(TierTable)
+	defer ForceKernelTier(TierAuto)
+	k := f.Kernels()
+	before := KernelCalls()
 	k.AddSlice(buf, buf, buf)
 	k.MulConstSlice(buf, buf, 3)
 	_ = k.HornerSlice(buf, 2)
-	_, table1, _ := KernelCalls()
-	if table1-table0 < 3 {
-		t.Errorf("table tier calls grew by %d, want >= 3", table1-table0)
+	after := KernelCalls()
+	if grew := after[TierTable] - before[TierTable]; grew < 3 {
+		t.Errorf("table tier calls grew by %d, want >= 3", grew)
 	}
 
-	_, _, scalar0 := KernelCalls()
+	// A pinned-scalar view overrides the process-wide force.
+	before = KernelCalls()
 	f.ScalarKernels().MulConstSlice(buf, buf, 3)
-	_, _, scalar1 := KernelCalls()
-	if scalar1-scalar0 < 1 {
-		t.Errorf("scalar tier calls grew by %d, want >= 1", scalar1-scalar0)
+	after = KernelCalls()
+	if grew := after[TierScalar] - before[TierScalar]; grew < 1 {
+		t.Errorf("scalar tier calls grew by %d, want >= 1", grew)
 	}
 
 	f4, err := NewDefault(4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	packed0, _, _ := KernelCalls()
+	ForceKernelTier(TierPacked)
 	small := make([]Elem, 8)
+	before = KernelCalls()
 	f4.Kernels().MulConstSlice(small, small, 3)
-	packed1, _, _ := KernelCalls()
-	if packed1-packed0 < 1 {
-		t.Errorf("packed tier calls grew by %d, want >= 1", packed1-packed0)
+	after = KernelCalls()
+	if grew := after[TierPacked] - before[TierPacked]; grew < 1 {
+		t.Errorf("packed tier calls grew by %d, want >= 1", grew)
+	}
+}
+
+func TestSelectionsPublished(t *testing.T) {
+	f, err := NewDefault(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trigger calibration via one auto-dispatched call.
+	buf := make([]Elem, 64)
+	f.Kernels().MulConstSlice(buf, buf, 3)
+
+	rows := Selections()
+	byOp := map[string]TierSelection{}
+	for _, r := range rows {
+		if r.Field == f.String() {
+			byOp[r.Op] = r
+		}
+	}
+	if len(byOp) != int(numOps) {
+		t.Fatalf("got %d selection rows for %v, want %d: %+v", len(byOp), f, numOps, rows)
+	}
+	valid := map[string]bool{}
+	for _, n := range TierNames() {
+		valid[n] = true
+	}
+	for op, r := range byOp {
+		if !valid[r.Below] || !valid[r.Above] {
+			t.Errorf("op %s: unknown tier names in %+v", op, r)
+		}
+		if (r.Below == r.Above) != (r.Crossover == 0) {
+			t.Errorf("op %s: crossover %d inconsistent with below=%s above=%s", op, r.Crossover, r.Below, r.Above)
+		}
 	}
 }

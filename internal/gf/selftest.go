@@ -2,44 +2,77 @@ package gf
 
 // Differential kernel verification: the first slice of the roadmap's
 // algebraic self-verification harness. The scalar kernel tier is the
-// behavioral specification (every product routed through Field.Mul); the
-// fast tiers (packed, table) are optimizations that must be extensionally
-// equal to it. VerifyKernels drives both tiers over the same
-// pseudo-random vectors across every bulk op and reports the first
-// disagreement — production deployments (the gfserved /selftest admin
-// endpoint, the gfproxy health gate) run it before serving traffic, so a
-// corrupted product table or a miscompiled fast path never serves wrong
-// math silently.
+// behavioral specification (every product routed through Field.Mul);
+// every other registered tier — packed, table, bitsliced, clmul — is an
+// optimization that must be extensionally equal to it. VerifyKernels
+// drives ALL tiers built for the field over the same pseudo-random
+// vectors across every bulk op (including the BitSyndromePlan clmul
+// fold) and reports the first disagreement — production deployments
+// (the gfserved /selftest admin endpoint, the gfproxy health gate) run
+// it before serving traffic, so a corrupted product table or a
+// miscompiled fast path never serves wrong math silently.
 
 import (
 	"fmt"
 	"math/rand"
 )
 
-// VerifyKernels differentially checks the field's active kernel tier
-// against the scalar reference: vectors pseudo-random input vectors per
-// op (seeded, so failures reproduce), each run through both Field.Kernels
-// and Field.ScalarKernels and compared element-wise. It returns nil when
-// every op agrees on every vector, and a descriptive error naming the
-// op, the vector index and the first mismatching element otherwise.
-//
-// When the active tier is the scalar tier itself (m > 8), the check
-// still runs — it then validates the scalar path against itself, which
-// verifies the op implementations are deterministic but cannot catch
-// table corruption (there are no tables).
+// VerifyKernels differentially checks every registered kernel tier of
+// the field against the scalar reference: vectors pseudo-random input
+// vectors per (tier, op) — seeded, so failures reproduce — each run
+// through a view of Field.Kernels pinned to the tier under test and
+// through Field.ScalarKernels, compared element-wise. It also checks
+// the auto-dispatched view itself, so whatever mix calibration chose is
+// exercised end to end. It returns nil when every tier agrees on every
+// vector, and a descriptive error naming the tier, the op, the vector
+// index and the first mismatching element otherwise.
 func VerifyKernels(f *Field, vectors int, seed int64) error {
 	if vectors <= 0 {
 		vectors = 8
 	}
-	fast, ref := f.Kernels(), f.ScalarKernels()
-	rng := rand.New(rand.NewSource(seed))
-	order := f.Order()
+	auto, ref := f.Kernels(), f.ScalarKernels()
 
 	// Vector length: one full codeword worth for m=8 (the serving field),
-	// scaled down for narrow fields so every element value still appears.
+	// scaled down for narrow fields so every element value still appears,
+	// capped for wide fields (m=16 would otherwise mean 64Ki-symbol
+	// vectors per op per tier).
+	n := f.Order() - 1
+	if n < 8 {
+		n = 8
+	}
+	if n > 1024 {
+		n = 1024
+	}
+
+	// The tiers under test: every registered tier (the scalar tier
+	// checks the reference against itself, proving determinism), plus
+	// the auto view with calibrated dispatch.
+	views := []*Kernels{auto}
+	names := []string{"auto"}
+	for id := TierID(0); id < NumTiers; id++ {
+		if auto.tiers[id] != nil {
+			views = append(views, auto.forTier(id))
+			names = append(names, id.String())
+		}
+	}
+
+	for vi, fast := range views {
+		if err := verifyTierOnce(f, fast, ref, names[vi], vectors, seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func verifyTierOnce(f *Field, fast, ref *Kernels, tier string, vectors int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	order := f.Order()
 	n := order - 1
 	if n < 8 {
 		n = 8
+	}
+	if n > 1024 {
+		n = 1024
 	}
 
 	randVec := func(len_ int) []Elem {
@@ -67,7 +100,7 @@ func VerifyKernels(f *Field, vectors int, seed int64) error {
 			for i := range got {
 				if got[i] != want[i] {
 					return fmt.Errorf("gf: selftest %s/%s: vector %d: %s[%d] = %d, scalar reference says %d",
-						f, fast.Tier(), vi, op, i, got[i], want[i])
+						f, tier, vi, op, i, got[i], want[i])
 				}
 			}
 			return nil
@@ -75,7 +108,7 @@ func VerifyKernels(f *Field, vectors int, seed int64) error {
 		scalarCheck := func(op string, g, w Elem) error {
 			if g != w {
 				return fmt.Errorf("gf: selftest %s/%s: vector %d: %s = %d, scalar reference says %d",
-					f, fast.Tier(), vi, op, g, w)
+					f, tier, vi, op, g, w)
 			}
 			return nil
 		}
@@ -133,9 +166,18 @@ func VerifyKernels(f *Field, vectors int, seed int64) error {
 			return err
 		}
 
+		// The precomputed bit-syndrome plan. On the clmul view this pins
+		// the minimal-polynomial fold; elsewhere it exercises the plan's
+		// dispatch back into SyndromeBitSlice.
+		fast.NewBitSyndromePlan(xs).Run(gs, bits)
+		ref.SyndromeBitSlice(ws, bits, xs)
+		if err := check("BitSyndromePlan.Run"); err != nil {
+			return err
+		}
+
 		// LFSR: the systematic encoder's feedback bank, table-heavy on the
 		// fast tiers. Taps must be at least one symbol.
-		taps := randVec(1 + rng.Intn(n/2+1))
+		taps := randVec(1 + rng.Intn(min(n, 64)))
 		pf, pr := make([]Elem, len(taps)), make([]Elem, len(taps))
 		fast.NewLFSR(taps).Run(pf, a)
 		ref.NewLFSR(taps).Run(pr, a)

@@ -1,0 +1,169 @@
+package gf
+
+import (
+	"testing"
+)
+
+// TestVerifyKernelsAllTiers is the exhaustive differential gate of the
+// tier registry: for EVERY irreducible polynomial of degree 2..8 (all
+// field shapes the codec layer can construct) plus the default
+// degree-16 field, every registered tier must agree with the scalar
+// reference on every bulk op, the bit-syndrome plans included.
+func TestVerifyKernelsAllTiers(t *testing.T) {
+	for m := 2; m <= 8; m++ {
+		for _, p := range IrreduciblePolys(m) {
+			f := MustNew(m, p)
+			if err := VerifyKernels(f, 2, int64(p)); err != nil {
+				t.Errorf("m=%d poly=%#x: %v", m, p, err)
+			}
+		}
+	}
+	f16, err := NewDefault(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyKernels(f16, 2, 16); err != nil {
+		t.Errorf("m=16: %v", err)
+	}
+}
+
+// TestVerifyKernelsDefaultFields covers the default polynomial of every
+// supported degree, including the 8 < m < 16 shapes the all-irreducible
+// sweep skips.
+func TestVerifyKernelsDefaultFields(t *testing.T) {
+	for m := 1; m <= 16; m++ {
+		f, err := NewDefault(m)
+		if err != nil {
+			t.Fatalf("NewDefault(%d): %v", m, err)
+		}
+		if err := VerifyKernels(f, 2, int64(m)); err != nil {
+			t.Errorf("m=%d: %v", m, err)
+		}
+	}
+}
+
+func TestParseTier(t *testing.T) {
+	for id := TierID(0); id < NumTiers; id++ {
+		got, err := ParseTier(id.String())
+		if err != nil || got != id {
+			t.Errorf("ParseTier(%q) = %v, %v; want %v", id.String(), got, err, id)
+		}
+	}
+	for _, name := range []string{"", "auto"} {
+		if got, err := ParseTier(name); err != nil || got != TierAuto {
+			t.Errorf("ParseTier(%q) = %v, %v; want TierAuto", name, got, err)
+		}
+	}
+	if _, err := ParseTier("simd"); err == nil {
+		t.Error("ParseTier(simd): want error")
+	}
+}
+
+func TestAvailableTiers(t *testing.T) {
+	cases := []struct {
+		m    int
+		want []string
+	}{
+		{4, []string{"scalar", "packed", "table", "bitsliced", "clmul"}},
+		{8, []string{"scalar", "table", "bitsliced", "clmul"}},
+		{12, []string{"scalar", "bitsliced", "clmul"}},
+		{16, []string{"scalar", "bitsliced", "clmul"}},
+	}
+	for _, tc := range cases {
+		f, err := NewDefault(tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := f.Kernels().AvailableTiers()
+		if len(got) != len(tc.want) {
+			t.Errorf("m=%d: AvailableTiers() = %v, want %v", tc.m, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("m=%d: AvailableTiers() = %v, want %v", tc.m, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+// TestForcedTierRouting checks that the process-wide force routes every
+// auto-dispatched call onto the forced tier (with scalar fallback for
+// unimplemented ops) and that outputs stay bit-exact with the scalar
+// reference under every force.
+func TestForcedTierRouting(t *testing.T) {
+	defer ForceKernelTier(TierAuto)
+	f, err := NewDefault(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, ref := f.Kernels(), f.ScalarKernels()
+	n := 255
+	src := make([]Elem, n)
+	for i := range src {
+		src[i] = Elem(i)
+	}
+	want := make([]Elem, n)
+	ref.MulConstSlice(want, src, 0x57)
+
+	for id := TierID(0); id < NumTiers; id++ {
+		ForceKernelTier(id)
+		if got := ForcedKernelTier(); got != id {
+			t.Fatalf("ForcedKernelTier() = %v, want %v", got, id)
+		}
+		got := make([]Elem, n)
+		before := KernelCalls()
+		k.MulConstSlice(got, src, 0x57)
+		after := KernelCalls()
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("forced %v: MulConstSlice[%d] = %d, want %d", id, i, got[i], want[i])
+			}
+		}
+		// The hit lands on the forced tier when it implements the op for
+		// this field, on scalar otherwise (packed is m <= 4 only).
+		charged := id
+		if k.tiers[id] == nil || !k.tiers[id].supports(opMulConst) {
+			charged = TierScalar
+		}
+		if after[charged]-before[charged] < 1 {
+			t.Errorf("forced %v: no hit charged to %v", id, charged)
+		}
+	}
+	ForceKernelTier(TierAuto)
+
+	// A pin outranks the force: scalar views stay scalar under any force.
+	ForceKernelTier(TierTable)
+	before := KernelCalls()
+	got := make([]Elem, n)
+	ref.MulConstSlice(got, src, 0x57)
+	after := KernelCalls()
+	if after[TierScalar]-before[TierScalar] < 1 {
+		t.Error("pinned scalar view did not charge the scalar tier under a table force")
+	}
+}
+
+// TestTierSelectionShape sanity-checks the calibrated selection: every
+// op resolves to an available tier that supports it (or scalar), at
+// both short and long lengths.
+func TestTierSelectionShape(t *testing.T) {
+	f, err := NewDefault(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := f.Kernels()
+	for op := kernelOp(0); op < numOps; op++ {
+		for _, n := range []int{1, 16, 63, 255, 4096} {
+			tier := k.tierFor(op, n)
+			if tier == TierAuto || k.tiers[tier] == nil {
+				t.Fatalf("op %s n=%d: resolved to unavailable tier %v", opNames[op], n, tier)
+			}
+			if op != opSyndromeBitFold && !k.tiers[tier].supports(op) && tier != TierScalar {
+				// dispatch() would fall back to scalar; the selection should
+				// not have picked an unsupporting tier in the first place.
+				t.Errorf("op %s n=%d: selection picked %v which lacks the op", opNames[op], n, tier)
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package gfbig
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf"
+)
+
+func clmulTestFields() []*Field {
+	return []*Field{
+		F163(), F233(), F283(), F409(), F571(),
+		MustNew(17, 3, 0),       // single-word field: degenerate limb count
+		MustNew(64, 4, 3, 1, 0), // exactly two words, one full limb
+	}
+}
+
+func TestMulFullCLMulMatchesSchoolbook(t *testing.T) {
+	for _, f := range clmulTestFields() {
+		rng := rand.New(rand.NewSource(int64(f.M())))
+		for trial := 0; trial < 64; trial++ {
+			a, b := randElem(rng, f), randElem(rng, f)
+			want := f.MulFull(a, b)
+			got := f.MulFullCLMul(a, b)
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("%v: MulFullCLMul word %d = %#x, schoolbook %#x", f, i, got[i], want[i])
+				}
+			}
+			// Sparse operands exercise the zero-limb skips.
+			s := f.Zero()
+			s[rng.Intn(f.words)] = 1 << uint(rng.Intn(WordBits))
+			want = f.MulFull(a, s)
+			got = f.MulFullCLMul(a, s)
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("%v: sparse MulFullCLMul word %d = %#x, schoolbook %#x", f, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMulForcedTierRouting(t *testing.T) {
+	defer gf.ForceKernelTier(gf.TierAuto)
+	f := F233()
+	rng := rand.New(rand.NewSource(233))
+	for _, tier := range []gf.TierID{gf.TierAuto, gf.TierScalar, gf.TierTable, gf.TierCLMul} {
+		gf.ForceKernelTier(tier)
+		for trial := 0; trial < 16; trial++ {
+			a, b := randElem(rng, f), randElem(rng, f)
+			want := f.Reduce(f.MulFull(a, b))
+			if got := f.Mul(a, b); !f.Equal(got, want) {
+				t.Fatalf("tier %v: Mul = %s, want %s", tier, f.Hex(got), f.Hex(want))
+			}
+		}
+	}
+}
+
+func TestMulCLMulReduced(t *testing.T) {
+	f := F233()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 32; trial++ {
+		a, b := randElem(rng, f), randElem(rng, f)
+		want := f.Reduce(f.MulFull(a, b))
+		if got := f.MulCLMul(a, b); !f.Equal(got, want) {
+			t.Fatalf("MulCLMul = %s, want %s", f.Hex(got), f.Hex(want))
+		}
+	}
+}
+
+func BenchmarkMulFull233(b *testing.B) {
+	f := F233()
+	rng := rand.New(rand.NewSource(7))
+	x, y := randElem(rng, f), randElem(rng, f)
+	b.Run("schoolbook", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.MulFull(x, y)
+		}
+	})
+	b.Run("clmul64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.MulFullCLMul(x, y)
+		}
+	})
+	b.Run("comb", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.MulFullComb(x, y)
+		}
+	})
+}

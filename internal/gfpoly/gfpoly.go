@@ -3,6 +3,11 @@
 // BCH and Reed-Solomon codecs are built on: arithmetic, Horner evaluation
 // (the paper's syndrome recursion), formal derivatives (Forney's algorithm)
 // and exhaustive root finding (Chien search).
+//
+// The coefficient loops run on gf.Kernels, so each call is served by
+// whichever kernel tier (table, bitsliced, clmul, ...) the calibrated
+// per-(op, length) selection — or a GFP_KERNEL_TIER force — picks;
+// results are bit-exact regardless of tier (see docs/GF.md).
 package gfpoly
 
 import (

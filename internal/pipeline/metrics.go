@@ -107,23 +107,23 @@ func (p *Pipeline) RegisterMetrics(reg *obs.Registry) {
 }
 
 // RegisterGFKernelMetrics registers the process-wide gf bulk-kernel
-// tier counters (packed/table/scalar datapath hits). Call at most once
+// tier counters — one series per registered tier (scalar, packed,
+// table, bitsliced, clmul), labeled with the tier's registry name —
+// plus the active kernel-tier override as a gauge. Call at most once
 // per registry.
 func RegisterGFKernelMetrics(reg *obs.Registry) {
-	for _, tier := range []string{"packed", "table", "scalar"} {
-		tier := tier
+	for i, tier := range gf.TierNames() {
+		id := i
 		reg.CounterFunc("gfp_gf_kernel_calls_total",
 			"Bulk GF kernel invocations by implementation tier.",
-			func() int64 {
-				p, t, s := gf.KernelCalls()
-				switch tier {
-				case "packed":
-					return p
-				case "table":
-					return t
-				default:
-					return s
-				}
-			}, obs.L("tier", tier))
+			func() int64 { return gf.KernelCalls()[id] }, obs.L("tier", tier))
 	}
+	reg.GaugeFunc("gfp_gf_kernel_tier_forced",
+		"Process-wide forced kernel tier as a TierID (-1 = auto/calibrated).",
+		func() float64 {
+			if t := gf.ForcedKernelTier(); t != gf.TierAuto {
+				return float64(t)
+			}
+			return -1
+		})
 }

@@ -9,6 +9,14 @@
 // precisely the flexibility the GF processor's configuration register
 // provides in hardware.
 //
+// The hot paths (EncodeTo's LFSR bank, SyndromesTo, the BMA/Chien/
+// Forney slice loops) ride gf.Kernels, so the serving implementation
+// tier — flat product table, bitsliced SWAR or carry-less multiply —
+// is chosen per (op, length) at runtime and can be pinned process-wide
+// with GFP_KERNEL_TIER / -kernel-tier; every tier is differentially
+// verified against the scalar reference, so codewords are bit-exact
+// regardless (see docs/GF.md).
+//
 // Concurrency: a *Code (and a *Interleaved wrapping it) is immutable
 // after construction — the generator polynomial and the underlying
 // gf.Field tables are only written by New — and every Encode/Decode call

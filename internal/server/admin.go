@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 
+	"repro/internal/gf"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
@@ -76,12 +77,15 @@ func (s *Server) Healthy() error {
 func (s *Server) Tracer() *pipeline.Tracer { return s.pl.Tracer() }
 
 // Statsz is the /statsz payload: the GFP1 stats-op snapshot plus the
-// full metrics registry and the slowest traced frames — a superset of
-// what the wire protocol's OpStats returns.
+// full metrics registry, the calibrated GF kernel-tier selections
+// (which implementation tier serves each (field, op) at which lengths)
+// and the slowest traced frames — a superset of what the wire
+// protocol's OpStats returns.
 type Statsz struct {
 	*StatsSnapshot
-	Metrics []obs.Metric          `json:"metrics"`
-	Traces  []pipeline.FrameTrace `json:"traces,omitempty"`
+	Metrics          []obs.Metric          `json:"metrics"`
+	KernelSelections []gf.TierSelection    `json:"kernel_selections,omitempty"`
+	Traces           []pipeline.FrameTrace `json:"traces,omitempty"`
 }
 
 // AdminHandler returns the admin mux gfserved mounts on -admin:
@@ -100,7 +104,11 @@ func (s *Server) AdminHandler(reg *obs.Registry) http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, _ *http.Request) {
-		sz := Statsz{StatsSnapshot: s.Snapshot(), Metrics: reg.Gather()}
+		sz := Statsz{
+			StatsSnapshot:    s.Snapshot(),
+			Metrics:          reg.Gather(),
+			KernelSelections: gf.Selections(),
+		}
 		if t := s.Tracer(); t != nil {
 			sz.Traces = t.Dump()
 		}

@@ -1,16 +1,18 @@
 package server
 
 // Datapath self-verification: a serving process proves its math before
-// reporting healthy. The fast GF kernel tiers (packed rows, product
-// tables) are differentially checked against the scalar reference for
-// both fields the server actually computes in — the RS field and the
-// AES field — via gf.VerifyKernels. The check runs once, lazily, the
+// reporting healthy. Every registered GF kernel tier (packed rows,
+// product tables, bitsliced SWAR, carry-less multiply) is
+// differentially checked against the scalar reference for both fields
+// the server actually computes in — the RS field and the AES field —
+// via gf.VerifyKernels. The check runs once, lazily, the
 // first time health is probed (gfproxy's health gate therefore admits a
 // backend into the ring only after its datapath has verified), and can
 // be re-run on demand through the /selftest admin endpoint.
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -25,8 +27,8 @@ const selftestVectors = 8
 type SelfTestResult struct {
 	OK        bool     `json:"ok"`
 	Fields    []string `json:"fields"`  // fields checked, e.g. "GF(2^8) poly=0x11d"
-	Tiers     []string `json:"tiers"`   // active kernel tier per field
-	Vectors   int      `json:"vectors"` // vectors per op per field
+	Tiers     []string `json:"tiers"`   // verified kernel tiers per field, comma-joined
+	Vectors   int      `json:"vectors"` // vectors per op per tier per field
 	ElapsedNs int64    `json:"elapsed_ns"`
 	Error     string   `json:"error,omitempty"` // first disagreement, when !OK
 }
@@ -67,7 +69,7 @@ func runSelfTest(rsField *gf.Field, seed int64) SelfTestResult {
 	start := time.Now()
 	for _, f := range fields {
 		res.Fields = append(res.Fields, fmt.Sprintf("%v poly=%#x", f, f.Poly()))
-		res.Tiers = append(res.Tiers, f.Kernels().Tier())
+		res.Tiers = append(res.Tiers, strings.Join(f.Kernels().AvailableTiers(), ","))
 		if res.OK {
 			if err := gf.VerifyKernels(f, selftestVectors, seed); err != nil {
 				res.OK = false

@@ -7,18 +7,20 @@
 # Usage:
 #   scripts/bench.sh [out.json] [benchtime]
 #
-# Defaults: out=BENCH_7.json, benchtime=0.5s. Runs from the repo root.
+# Defaults: out=BENCH_8.json, benchtime=0.5s. Runs from the repo root.
 # The benchmark set covers the bulk GF kernel layer and everything built
 # on it: root RS/GF/pipeline benches (including the batched pipeline
-# variants) plus the per-package Bulk-vs-Scalar pairs in internal/rs,
-# internal/bch, internal/aes and the pipeline link chain.
+# variants and the per-kernel-tier GFTier A/B rows: table vs bitsliced
+# vs clmul vs the calibrated auto dispatch) plus the per-package
+# Bulk-vs-Scalar pairs in internal/rs, internal/bch, internal/aes and
+# the pipeline link chain.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_8.json}"
 benchtime="${2:-0.5s}"
 
-pattern='RSEncode255|RSSyndromes255|RSDecode255|GFKernel|GFMul|PipelineRS255_239'
+pattern='RSEncode255|RSSyndromes255|RSDecode255|GFKernel|GFMul|GFTier|PipelineRS255_239'
 pkg_pattern='Bulk|Scalar|DecodeTo255|Syndromes63|MixColumns|LinkStages'
 
 raw="$(mktemp)"
