@@ -10,9 +10,17 @@
 // codec-failed status) are counted and only fatal on a clean channel
 // (-p 0), where every word must decode.
 //
+// Two further workloads drive the ECC service instead of the RS codec:
+// -mode ecc runs sign → verify → derive round trips (the ECDH shared
+// secret is cross-checked against the client-side computation, so wrong
+// math — not just transport failures — fails the run), and -mode
+// session runs secure-session handshakes, opening each sealed response
+// with the client's private key.
+//
 // Usage:
 //
 //	gfload [-addr 127.0.0.1:4650] [-targets a:4650,b:4650,...]
+//	       [-mode rs|ecc|session]
 //	       [-conns 8] [-window 8] [-requests 10000] [-p 0] [-seed 1]
 //	       [-wait 5s] [-quiet]
 //
@@ -31,6 +39,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
@@ -43,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/channel"
+	"repro/internal/ecc"
 	"repro/internal/gf"
 	"repro/internal/obs"
 	"repro/internal/perf"
@@ -52,6 +62,7 @@ import (
 type cliConfig struct {
 	addr       string
 	targets    string
+	mode       string
 	conns      int
 	window     int
 	requests   int
@@ -81,6 +92,8 @@ func main() {
 	var cfg cliConfig
 	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:4650", "gfserved address")
 	flag.StringVar(&cfg.targets, "targets", "", "comma-separated gfserved/gfproxy addresses; connections round-robin across them (overrides -addr)")
+	flag.StringVar(&cfg.mode, "mode", "rs",
+		"workload: rs (encode/corrupt/decode), ecc (sign + verify + derive, cross-checked client-side), session (secure-session handshakes)")
 	flag.IntVar(&cfg.conns, "conns", 8, "concurrent connections")
 	flag.IntVar(&cfg.window, "window", 8, "pipelined requests per connection")
 	flag.IntVar(&cfg.requests, "requests", 10000, "total round trips")
@@ -108,6 +121,14 @@ func run(cfg cliConfig, w io.Writer) (*result, error) {
 	if cfg.p < 0 || cfg.p >= 1 {
 		return nil, fmt.Errorf("channel probability %v outside [0,1)", cfg.p)
 	}
+	if cfg.mode == "" {
+		cfg.mode = "rs" // zero value from config literals
+	}
+	switch cfg.mode {
+	case "rs", "ecc", "session":
+	default:
+		return nil, fmt.Errorf("unknown -mode %q (have rs, ecc, session)", cfg.mode)
+	}
 
 	targets := []string{cfg.addr}
 	if cfg.targets != "" {
@@ -124,11 +145,14 @@ func run(cfg cliConfig, w io.Writer) (*result, error) {
 		return nil, fmt.Errorf("%d conns cannot cover %d targets", cfg.conns, len(targets))
 	}
 
-	// One probe connection per target discovers the frame geometry so
-	// the generator never guesses payload sizes; every target must serve
-	// the same code, or a round trip verified against another target's
-	// geometry would be meaningless.
+	// One probe connection per target discovers the frame geometry (and,
+	// for the ECC modes, the curve and public key) so the generator never
+	// guesses payload sizes; every target must serve the same code, or a
+	// round trip verified against another target's geometry would be
+	// meaningless. The ECC section may legitimately differ per target
+	// (distinct fleets, distinct keys), so it is kept per target.
 	frameK := 0
+	eccEnvs := make([]*eccEnv, len(targets))
 	for i, addr := range targets {
 		probe, err := server.Dial(addr, cfg.wait)
 		if err != nil {
@@ -143,12 +167,24 @@ func run(cfg cliConfig, w io.Writer) (*result, error) {
 			return nil, fmt.Errorf("target %s allows batch %d, want %d: restart it with -batch >= %d",
 				addr, snap.Config.Batch, cfg.batch, cfg.batch)
 		}
+		if cfg.mode != "rs" {
+			if eccEnvs[i], err = newECCEnv(snap.Config.ECC); err != nil {
+				return nil, fmt.Errorf("target %s: %w", addr, err)
+			}
+		}
 		if i == 0 {
 			frameK = snap.Config.FrameK
 			if !cfg.quiet {
-				fmt.Fprintf(w, "gfload: %s — RS(%d,%d) depth %d (%dB messages x batch %d), %d conns x %d window, %d round trips, channel p=%g\n",
-					strings.Join(targets, ","), snap.Config.N, snap.Config.K, snap.Config.Depth,
-					frameK, cfg.batch, cfg.conns, cfg.window, cfg.requests, cfg.p)
+				switch cfg.mode {
+				case "rs":
+					fmt.Fprintf(w, "gfload: %s — RS(%d,%d) depth %d (%dB messages x batch %d), %d conns x %d window, %d round trips, channel p=%g\n",
+						strings.Join(targets, ","), snap.Config.N, snap.Config.K, snap.Config.Depth,
+						frameK, cfg.batch, cfg.conns, cfg.window, cfg.requests, cfg.p)
+				default:
+					fmt.Fprintf(w, "gfload: %s — mode %s on %s, %d conns x %d window, %d round trips\n",
+						strings.Join(targets, ","), cfg.mode, eccEnvs[0].info.Curve,
+						cfg.conns, cfg.window, cfg.requests)
+				}
 			}
 		} else if snap.Config.FrameK != frameK {
 			return nil, fmt.Errorf("target %s serves %dB frames, %s serves %dB: fleet geometry mismatch",
@@ -176,12 +212,23 @@ func run(cfg cliConfig, w io.Writer) (*result, error) {
 				return
 			}
 			defer c.Close()
+			env := eccEnvs[ci%len(targets)]
 			var inner sync.WaitGroup
 			for wi := 0; wi < cfg.window; wi++ {
 				inner.Add(1)
 				go func(wi int) {
 					defer inner.Done()
-					if err := worker(cfg, c, frameK, int64(ci*cfg.window+wi), &issued, tres); err != nil {
+					id := int64(ci*cfg.window + wi)
+					var err error
+					switch cfg.mode {
+					case "ecc":
+						err = workerECC(cfg, c, env, id, &issued, tres)
+					case "session":
+						err = workerSession(cfg, c, env, id, &issued, tres)
+					default:
+						err = worker(cfg, c, frameK, id, &issued, tres)
+					}
+					if err != nil {
 						errs <- fmt.Errorf("conn %d (%s) worker %d: %w", ci, tres.addr, wi, err)
 					}
 				}(wi)
@@ -271,6 +318,117 @@ func worker(cfg cliConfig, c *server.Client, frameK int, id int64, issued *atomi
 	return nil
 }
 
+// eccEnv is one target's discovered ECC service: the curve, the
+// server's public point (parsed once for the client-side cross-check)
+// and the advertised wire widths.
+type eccEnv struct {
+	info   *server.ECCInfo
+	curve  *ecc.Curve
+	srvPub []byte
+	srvPt  ecc.Point
+}
+
+func newECCEnv(info *server.ECCInfo) (*eccEnv, error) {
+	if info == nil {
+		return nil, fmt.Errorf("target does not serve the ecc ops (started with -curve off?)")
+	}
+	curve, err := ecc.CurveByName(info.Curve)
+	if err != nil {
+		return nil, err
+	}
+	srvPub, err := hex.DecodeString(info.PublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("advertised public key: %w", err)
+	}
+	srvPt, err := curve.UnmarshalUncompressed(srvPub)
+	if err != nil {
+		return nil, fmt.Errorf("advertised public key: %w", err)
+	}
+	return &eccEnv{info: info, curve: curve, srvPub: srvPub, srvPt: srvPt}, nil
+}
+
+// clientKey deterministically generates this worker's ECDH/ECDSA key
+// pair from the run seed.
+func (env *eccEnv) clientKey(rng *rand.Rand) (*ecc.PrivateKey, []byte, error) {
+	d, err := env.curve.RandomScalar(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	cli, err := ecc.NewPrivateKey(env.curve, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cli, env.curve.MarshalUncompressed(cli.Pub), nil
+}
+
+// workerECC drives sign → verify → derive round trips: the server signs
+// a random digest, the verify op checks it, and the ECDH shared secret
+// is cross-checked against the client-side computation — every answer
+// is validated against independent math, not just for transport
+// success. A cross-check mismatch counts as a residual error.
+func workerECC(cfg cliConfig, c *server.Client, env *eccEnv, id int64, issued *atomic.Int64, res *result) error {
+	rng := rand.New(rand.NewSource(cfg.seed + 7919*id))
+	cli, cliPub, err := env.clientKey(rng)
+	if err != nil {
+		return err
+	}
+	wantShared, err := cli.SharedSecret(env.srvPt)
+	if err != nil {
+		return err
+	}
+	digest := make([]byte, 32)
+	for issued.Add(1) <= int64(cfg.requests) {
+		rng.Read(digest)
+		t0 := time.Now()
+		sig, err := c.ECDSASign(digest)
+		if err != nil {
+			return fmt.Errorf("ecdsa-sign: %w", err)
+		}
+		if err := c.ECDSAVerify(env.srvPub, sig, digest); err != nil {
+			return fmt.Errorf("ecdsa-verify of the server's own signature: %w", err)
+		}
+		shared, err := c.ECDHDerive(cliPub)
+		if err != nil {
+			return fmt.Errorf("ecdh-derive: %w", err)
+		}
+		res.hist.Observe(time.Since(t0))
+		if !bytes.Equal(shared, wantShared) {
+			res.residual.Add(1)
+			continue
+		}
+		res.completed.Add(1)
+	}
+	return nil
+}
+
+// workerSession drives secure-session handshakes: each round trip sends
+// a fresh challenge, opens the sealed response with the client's
+// private key and checks the recovered challenge byte-for-byte.
+func workerSession(cfg cliConfig, c *server.Client, env *eccEnv, id int64, issued *atomic.Int64, res *result) error {
+	rng := rand.New(rand.NewSource(cfg.seed + 7919*id))
+	cli, cliPub, err := env.clientKey(rng)
+	if err != nil {
+		return err
+	}
+	challenge := make([]byte, 32)
+	for issued.Add(1) <= int64(cfg.requests) {
+		rng.Read(challenge)
+		t0 := time.Now()
+		resp, err := c.SecureSession(cliPub, challenge)
+		if err != nil {
+			return fmt.Errorf("secure-session: %w", err)
+		}
+		key, got, err := ecc.OpenSessionResponse(cli, cliPub, resp)
+		res.hist.Observe(time.Since(t0))
+		if err != nil || len(key) != 16 || !bytes.Equal(got, challenge) {
+			res.residual.Add(1)
+			continue
+		}
+		res.completed.Add(1)
+	}
+	return nil
+}
+
 // corruptBytes pushes a byte frame through the channel model (8-bit
 // symbols).
 func corruptBytes(ch channel.Channel, b []byte) []byte {
@@ -325,9 +483,14 @@ func report(w io.Writer, cfg cliConfig, res *result, frameK int) {
 	secs := res.elapsed.Seconds()
 	fmt.Fprintf(w, "\n%-22s %d ok, %d uncorrectable, %d wrong-byte deliveries\n",
 		"round trips:", done, res.uncorrectable.Load(), res.residual.Load())
-	fmt.Fprintf(w, "%-22s %v wall, %.0f round trips/s, %.2f MB/s payload\n",
-		"throughput:", res.elapsed.Round(time.Millisecond),
-		float64(done)/secs, float64(done)*float64(cfg.batch*frameK)/secs/1e6)
+	if cfg.mode == "rs" {
+		fmt.Fprintf(w, "%-22s %v wall, %.0f round trips/s, %.2f MB/s payload\n",
+			"throughput:", res.elapsed.Round(time.Millisecond),
+			float64(done)/secs, float64(done)*float64(cfg.batch*frameK)/secs/1e6)
+	} else {
+		fmt.Fprintf(w, "%-22s %v wall, %.0f round trips/s\n",
+			"throughput:", res.elapsed.Round(time.Millisecond), float64(done)/secs)
+	}
 	p50, p95, p99 := res.hist.Percentiles()
 	fmt.Fprintf(w, "%-22s p50 %v  p95 %v  p99 %v  max %v\n",
 		"round-trip latency:", p50, p95, p99, res.hist.Max())

@@ -146,6 +146,61 @@ func TestLoadGeometryMismatch(t *testing.T) {
 	}
 }
 
+// TestLoadECCMode: sign/verify/derive round trips against a live
+// server, with the shared secret cross-checked client-side.
+func TestLoadECCMode(t *testing.T) {
+	addr := startServer(t, server.Config{Window: 8})
+	var out bytes.Buffer
+	res, err := run(cliConfig{
+		addr: addr, mode: "ecc", conns: 2, window: 2, requests: 40,
+		seed: 5, wait: 2 * time.Second,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if got := res.completed.Load(); got != 40 {
+		t.Errorf("completed = %d, want 40", got)
+	}
+	if res.residual.Load() != 0 {
+		t.Errorf("residual = %d cross-check mismatches", res.residual.Load())
+	}
+	if !strings.Contains(out.String(), "mode ecc on NIST K-233") {
+		t.Errorf("banner missing the curve:\n%s", out.String())
+	}
+}
+
+// TestLoadSessionMode: secure-session handshakes, each sealed response
+// opened with the client's private key.
+func TestLoadSessionMode(t *testing.T) {
+	addr := startServer(t, server.Config{Window: 8})
+	res, err := run(cliConfig{
+		addr: addr, mode: "session", conns: 2, window: 2, requests: 20,
+		seed: 9, wait: 2 * time.Second, quiet: true,
+	}, io.Discard)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := res.completed.Load(); got != 20 {
+		t.Errorf("completed = %d, want 20", got)
+	}
+	if res.residual.Load() != 0 {
+		t.Errorf("residual = %d handshakes failed to open", res.residual.Load())
+	}
+}
+
+// TestLoadECCModeAgainstDisabledServer: a curve=off target is refused
+// at the probe, before any load is generated.
+func TestLoadECCModeAgainstDisabledServer(t *testing.T) {
+	addr := startServer(t, server.Config{Curve: server.CurveOff})
+	_, err := run(cliConfig{
+		addr: addr, mode: "ecc", conns: 1, window: 1, requests: 1,
+		wait: 2 * time.Second, quiet: true,
+	}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "does not serve the ecc ops") {
+		t.Errorf("ecc mode against curve=off: err = %v", err)
+	}
+}
+
 // TestRunRejects: config validation happens before any sockets open.
 func TestRunRejects(t *testing.T) {
 	cases := []cliConfig{
@@ -154,6 +209,7 @@ func TestRunRejects(t *testing.T) {
 		{conns: 8, window: 8, requests: 0},
 		{conns: 8, window: 8, requests: 100, p: 1.0},
 		{conns: 8, window: 8, requests: 100, p: -0.1},
+		{conns: 8, window: 8, requests: 100, mode: "edwards"},
 	}
 	for _, cfg := range cases {
 		if _, err := run(cfg, &bytes.Buffer{}); err == nil {

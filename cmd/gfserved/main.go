@@ -1,8 +1,10 @@
 // Command gfserved serves the GF codec pipeline over TCP: a
 // length-prefixed binary protocol (see docs/SERVER.md) carrying
 // rs-encode / rs-decode / aes-gcm-seal / aes-gcm-open / stats requests
-// from many concurrent connections, multiplexed into one shared
-// internal/pipeline run and answered out of order by request id.
+// plus the binary-field ECC ops (ecdh-derive / ecdsa-sign /
+// ecdsa-verify / secure-session, on -curve) from many concurrent
+// connections, multiplexed into one shared internal/pipeline run and
+// answered out of order by request id.
 //
 // The codec knobs mirror cmd/gfpipe: one RS(n,k) code over GF(2^8),
 // interleaved to -depth, with per-stage worker pools sized by -workers
@@ -14,7 +16,8 @@
 //
 //	gfserved [-addr :4650] [-n 255] [-k 239] [-depth 1] [-workers 0]
 //	         [-queue 0] [-window 32] [-max-payload 1048576]
-//	         [-key STRING] [-read-timeout 2m] [-write-timeout 30s]
+//	         [-key STRING] [-curve K-233] [-ecc-key STRING]
+//	         [-read-timeout 2m] [-write-timeout 30s]
 //	         [-grace 30s] [-quiet] [-admin ADDR] [-progress DUR]
 //	         [-trace-every 64] [-trace-slowest 16]
 //
@@ -57,6 +60,8 @@ type cliConfig struct {
 	window       int
 	maxPayload   int
 	key          string
+	curve        string
+	eccKey       string
 	readTimeout  time.Duration
 	writeTimeout time.Duration
 	grace        time.Duration
@@ -93,6 +98,10 @@ func main() {
 	flag.IntVar(&cfg.window, "window", 32, "max in-flight requests per connection")
 	flag.IntVar(&cfg.maxPayload, "max-payload", server.DefaultMaxPayload, "max request payload bytes")
 	flag.StringVar(&cfg.key, "key", "", "AES key for seal/open (16/24/32 bytes; empty = demo key)")
+	flag.StringVar(&cfg.curve, "curve", "",
+		"binary curve for the ECC ops: K-163, B-163, K-233, B-233, K-283 (empty = "+server.DefaultCurve+"; off = disabled)")
+	flag.StringVar(&cfg.eccKey, "ecc-key", "",
+		"seed for the deterministic ECC signing scalar (empty = derive from -key; share it across a fleet for identical signatures)")
 	flag.DurationVar(&cfg.readTimeout, "read-timeout", 2*time.Minute, "per-connection idle limit (0 = none)")
 	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 30*time.Second, "per-response write limit (0 = none)")
 	flag.DurationVar(&cfg.grace, "grace", 30*time.Second, "shutdown drain budget before connections are cut")
@@ -123,6 +132,8 @@ func run(cfg cliConfig, out io.Writer) error {
 		N: cfg.n, K: cfg.k, Depth: cfg.depth, Batch: cfg.batch,
 		Workers: cfg.workers, Queue: cfg.queue,
 		Key:         []byte(cfg.key),
+		Curve:       cfg.curve,
+		ECCKey:      []byte(cfg.eccKey),
 		MaxPayload:  cfg.maxPayload,
 		Window:      cfg.window,
 		ReadTimeout: cfg.readTimeout, WriteTimeout: cfg.writeTimeout,
@@ -180,6 +191,9 @@ func run(cfg cliConfig, out io.Writer) error {
 	fmt.Fprintf(w, "gfserved: listening on %s — RS(%d,%d) depth %d, %d workers, window %d\n",
 		s.Addr(), snap.Config.N, snap.Config.K, snap.Config.Depth,
 		snap.Config.Workers, snap.Config.Window)
+	if e := snap.Config.ECC; e != nil {
+		fmt.Fprintf(w, "gfserved: ecc on %s (mul=%s) — pub %s\n", e.Curve, e.MulStrategy, e.PublicKey)
+	}
 
 	select {
 	case sig := <-stop:

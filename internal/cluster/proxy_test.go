@@ -450,6 +450,79 @@ func TestProxySealNotRetried(t *testing.T) {
 	checkLedger(t, p)
 }
 
+// TestProxyECDSASignRetry: ecdsa-sign is idempotent (deterministic
+// RFC 6979 nonces), so a transport failure mid-sign is transparently
+// replayed — and because every backend sharing the fleet key signs
+// identically, the retried answers are bit-identical across the fleet.
+func TestProxyECDSASignRetry(t *testing.T) {
+	flaky := startFake(t, func(m *server.Message) (*server.Message, bool) {
+		return nil, false // kill the connection: transport failure
+	})
+	key := []byte("sign-retry-key!!") // 16 bytes: a valid AES-128 key
+	real1 := startBackend(t, server.Config{Workers: 2, Key: append([]byte(nil), key...)})
+	real2 := startBackend(t, server.Config{Workers: 2, Key: append([]byte(nil), key...)})
+	p, addr := startProxy(t, fastHealth(Config{
+		Backends:       []BackendSpec{{Addr: flaky.addr()}, real1.spec(), real2.spec()},
+		Retries:        2,
+		RouteByRequest: true,
+		FailAfter:      100, // keep the flaky backend in rotation for the whole test
+	}))
+	c := dialProxy(t, addr)
+
+	digest := make([]byte, 32)
+	rand.New(rand.NewSource(17)).Read(digest)
+	var first []byte
+	for i := 0; i < 64; i++ {
+		sig, err := c.ECDSASign(digest)
+		if err != nil {
+			t.Fatalf("ecdsa-sign %d under flaky backend: %v", i, err)
+		}
+		if first == nil {
+			first = sig
+		} else if !bytes.Equal(first, sig) {
+			t.Fatalf("ecdsa-sign %d: signature diverged across backends", i)
+		}
+	}
+	if p.ctr.retries.Load() == 0 {
+		t.Error("no retries recorded: the flaky backend was never primary? (64 spread requests)")
+	}
+	checkLedger(t, p)
+}
+
+// TestProxySecureSessionNotRetried: the handshake draws a fresh
+// ephemeral key per attempt, so a transport failure mid-handshake must
+// NOT be replayed; the client sees StatusUnavailable after one attempt.
+func TestProxySecureSessionNotRetried(t *testing.T) {
+	dead := startFake(t, func(m *server.Message) (*server.Message, bool) {
+		return nil, false
+	})
+	dead2 := startFake(t, func(m *server.Message) (*server.Message, bool) {
+		return nil, false
+	})
+	p, addr := startProxy(t, fastHealth(Config{
+		Backends:  []BackendSpec{{Addr: dead.addr()}, {Addr: dead2.addr()}},
+		Retries:   2,
+		FailAfter: 100,
+	}))
+	c := dialProxy(t, addr)
+
+	_, err := c.SecureSession(make([]byte, 61), []byte("challenge"))
+	if err == nil {
+		t.Fatal("secure-session against a dead fleet: no error")
+	}
+	var se *server.StatusError
+	if !errors.As(err, &se) || se.Status != server.StatusUnavailable {
+		t.Fatalf("secure-session error = %v, want StatusUnavailable", err)
+	}
+	if !strings.Contains(se.Msg, "not idempotent") {
+		t.Errorf("unavailable message %q does not explain the no-retry decision", se.Msg)
+	}
+	if n := p.ctr.retries.Load(); n != 0 {
+		t.Errorf("%d retries recorded for a non-idempotent op", n)
+	}
+	checkLedger(t, p)
+}
+
 // TestProxyRetrySafeReroute: a backend answering StatusShuttingDown
 // rejected the request unprocessed, so even seal — non-idempotent — is
 // transparently rerouted to the healthy backend.

@@ -1,6 +1,7 @@
 package ecc
 
 import (
+	"fmt"
 	"math/big"
 
 	"repro/internal/gfbig"
@@ -109,4 +110,34 @@ func K283() *Curve {
 // Curves returns all built-in curves, smallest field first.
 func Curves() []*Curve {
 	return []*Curve{K163(), B163(), K233(), B233(), K283()}
+}
+
+// CurveByName resolves a curve from its configuration name ("K-233",
+// "b163", "NIST K-283", ...), case-insensitively and ignoring the
+// NIST prefix and dashes.
+func CurveByName(name string) (*Curve, error) {
+	key := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			key = append(key, c+'a'-'A')
+		case c == '-' || c == ' ' || c == '_':
+		default:
+			key = append(key, c)
+		}
+	}
+	switch s := string(key); s {
+	case "k163", "nistk163":
+		return K163(), nil
+	case "b163", "nistb163":
+		return B163(), nil
+	case "k233", "nistk233", "sect233k1":
+		return K233(), nil
+	case "b233", "nistb233", "sect233r1":
+		return B233(), nil
+	case "k283", "nistk283":
+		return K283(), nil
+	}
+	return nil, fmt.Errorf("ecc: unknown curve %q (have K-163, B-163, K-233, B-233, K-283)", name)
 }

@@ -1,0 +1,312 @@
+package ecc
+
+// Fixed-width scalar arithmetic modulo the curve group order n, on
+// little-endian uint32 words — the integer-side companion of gfbig's
+// allocation-free To-variants. math/big's ModInverse/Mod allocate on
+// every call, which would put the GC on the ecdsa-sign hot path; these
+// routines run entirely in caller-provided buffers so a steady-state
+// sign is allocation-free. Division is bit-serial and inversion is the
+// binary extended Euclidean algorithm (HAC 14.61) — variable-time, like
+// the rest of the datapath model (see the package comment).
+
+import "math/big"
+
+// scalarField holds the group order and derived sizes. It is immutable
+// after construction and safe to share across workers.
+type scalarField struct {
+	n     []uint32 // the order, little-endian
+	words int
+	bits  int // n.BitLen()
+	bytes int // ceil(bits/8): the wire width of a scalar
+}
+
+func newScalarField(order *big.Int) *scalarField {
+	bits := order.BitLen()
+	words := (bits + 31) / 32
+	sf := &scalarField{
+		n:     make([]uint32, words),
+		words: words,
+		bits:  bits,
+		bytes: (bits + 7) / 8,
+	}
+	sf.setBytes(sf.n, order.Bytes())
+	return sf
+}
+
+// scalarScratch is the per-engine working memory of the scalar routines.
+type scalarScratch struct {
+	wide []uint32 // 2*words: schoolbook product / wide reduction input
+	r    []uint32 // words+1: bit-serial division remainder
+	u    []uint32 // inversion temporaries
+	v    []uint32
+	x1   []uint32
+	x2   []uint32
+}
+
+func (sf *scalarField) newScratch() *scalarScratch {
+	w := sf.words
+	return &scalarScratch{
+		wide: make([]uint32, 2*w),
+		r:    make([]uint32, w+1),
+		u:    make([]uint32, w),
+		v:    make([]uint32, w),
+		x1:   make([]uint32, w),
+		x2:   make([]uint32, w),
+	}
+}
+
+func (sf *scalarField) newElem() []uint32 { return make([]uint32, sf.words) }
+
+func (sf *scalarField) setZero(x []uint32) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+func (sf *scalarField) isZero(x []uint32) bool {
+	for _, w := range x {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// cmp returns -1, 0 or 1 as a <=> b.
+func (sf *scalarField) cmp(a, b []uint32) int {
+	for i := len(a) - 1; i >= 0; i-- {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// setBytes parses big-endian bytes into dst. Bytes beyond the field
+// width must be zero; excess low-order input wraps is not allowed —
+// callers guarantee len(b) <= words*4 (wire widths are validated first).
+func (sf *scalarField) setBytes(dst []uint32, b []byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < len(b); i++ {
+		v := b[len(b)-1-i]
+		dst[i/4] |= uint32(v) << (8 * (i % 4))
+	}
+}
+
+// toBytes writes the fixed-width (sf.bytes) big-endian encoding of a.
+func (sf *scalarField) toBytes(dst []byte, a []uint32) {
+	n := sf.bytes
+	for i := 0; i < n; i++ {
+		dst[n-1-i] = byte(a[i/4] >> (8 * (i % 4)))
+	}
+}
+
+// add sets dst = a + b, returning the carry out.
+func (sf *scalarField) add(dst, a, b []uint32) uint32 {
+	var carry uint64
+	for i := range dst {
+		t := uint64(a[i]) + uint64(b[i]) + carry
+		dst[i] = uint32(t)
+		carry = t >> 32
+	}
+	return uint32(carry)
+}
+
+// sub sets dst = a - b, returning the borrow out (1 when a < b).
+func (sf *scalarField) sub(dst, a, b []uint32) uint32 {
+	var borrow uint64
+	for i := range dst {
+		t := uint64(a[i]) - uint64(b[i]) - borrow
+		dst[i] = uint32(t)
+		borrow = t >> 32 & 1
+	}
+	return uint32(borrow)
+}
+
+// addMod sets dst = a + b mod n (operands < n).
+func (sf *scalarField) addMod(dst, a, b []uint32) {
+	carry := sf.add(dst, a, b)
+	if carry != 0 || sf.cmp(dst, sf.n) >= 0 {
+		sf.sub(dst, dst, sf.n)
+	}
+}
+
+// subMod sets dst = a - b mod n (operands < n).
+func (sf *scalarField) subMod(dst, a, b []uint32) {
+	if sf.sub(dst, a, b) != 0 {
+		sf.add(dst, dst, sf.n)
+	}
+}
+
+// condSub reduces x < 2n to x mod n with one conditional subtraction.
+func (sf *scalarField) condSub(x []uint32) {
+	if sf.cmp(x, sf.n) >= 0 {
+		sf.sub(x, x, sf.n)
+	}
+}
+
+// mulMod sets dst = a * b mod n (operands < n).
+func (sf *scalarField) mulMod(dst, a, b []uint32, s *scalarScratch) {
+	w := sf.words
+	wide := s.wide
+	for i := range wide {
+		wide[i] = 0
+	}
+	for i := 0; i < w; i++ {
+		ai := uint64(a[i])
+		if ai == 0 {
+			continue
+		}
+		var carry uint64
+		for j := 0; j < w; j++ {
+			t := uint64(wide[i+j]) + ai*uint64(b[j]) + carry
+			wide[i+j] = uint32(t)
+			carry = t >> 32
+		}
+		wide[i+w] = uint32(carry)
+	}
+	sf.reduceWide(dst, wide, s)
+}
+
+// reduceWide sets dst = wide mod n by bit-serial long division. wide is
+// left unmodified; any width up to 2*words is accepted.
+func (sf *scalarField) reduceWide(dst, wide []uint32, s *scalarScratch) {
+	r := s.r
+	for i := range r {
+		r[i] = 0
+	}
+	top := -1
+	for i := len(wide) - 1; i >= 0; i-- {
+		if wide[i] != 0 {
+			top = i*32 + 31
+			for b := 31; b >= 0; b-- {
+				if wide[i]>>b&1 == 1 {
+					top = i*32 + b
+					break
+				}
+			}
+			break
+		}
+	}
+	for i := top; i >= 0; i-- {
+		// r = r<<1 | bit(wide, i)
+		var carry uint32
+		for j := range r {
+			nc := r[j] >> 31
+			r[j] = r[j]<<1 | carry
+			carry = nc
+		}
+		r[0] |= wide[i/32] >> (i % 32) & 1
+		if sf.geqN(r) {
+			sf.subN(r)
+		}
+	}
+	copy(dst, r[:sf.words])
+}
+
+// geqN reports whether the (words+1)-wide value r is >= n.
+func (sf *scalarField) geqN(r []uint32) bool {
+	if r[sf.words] != 0 {
+		return true
+	}
+	return sf.cmp(r[:sf.words], sf.n) >= 0
+}
+
+// subN subtracts n from the (words+1)-wide value r in place.
+func (sf *scalarField) subN(r []uint32) {
+	var borrow uint64
+	for i := 0; i < sf.words; i++ {
+		t := uint64(r[i]) - uint64(sf.n[i]) - borrow
+		r[i] = uint32(t)
+		borrow = t >> 32 & 1
+	}
+	r[sf.words] -= uint32(borrow)
+}
+
+// shr1 halves x in place, shifting in topBit at the high end.
+func shr1(x []uint32, topBit uint32) {
+	for i := 0; i < len(x)-1; i++ {
+		x[i] = x[i]>>1 | x[i+1]<<31
+	}
+	x[len(x)-1] = x[len(x)-1]>>1 | topBit<<31
+}
+
+// halfMod sets x = x/2 mod n: even values shift, odd values first add
+// the (odd) modulus so the sum is even, tracking the carry bit.
+func (sf *scalarField) halfMod(x []uint32) {
+	if x[0]&1 == 0 {
+		shr1(x, 0)
+		return
+	}
+	carry := sf.add(x, x, sf.n)
+	shr1(x, carry)
+}
+
+// invMod sets dst = a^-1 mod n by the binary extended Euclidean
+// algorithm (HAC 14.61; n is odd and prime, a must be in [1, n-1]).
+func (sf *scalarField) invMod(dst, a []uint32, s *scalarScratch) {
+	u, v, x1, x2 := s.u, s.v, s.x1, s.x2
+	copy(u, a)
+	copy(v, sf.n)
+	sf.setZero(x1)
+	x1[0] = 1
+	sf.setZero(x2)
+	for !sf.isOne(u) && !sf.isOne(v) {
+		for u[0]&1 == 0 {
+			shr1(u, 0)
+			sf.halfMod(x1)
+		}
+		for v[0]&1 == 0 {
+			shr1(v, 0)
+			sf.halfMod(x2)
+		}
+		if sf.cmp(u, v) >= 0 {
+			sf.sub(u, u, v)
+			sf.subMod(x1, x1, x2)
+		} else {
+			sf.sub(v, v, u)
+			sf.subMod(x2, x2, x1)
+		}
+	}
+	if sf.isOne(u) {
+		copy(dst, x1)
+	} else {
+		copy(dst, x2)
+	}
+}
+
+func (sf *scalarField) isOne(x []uint32) bool {
+	if x[0] != 1 {
+		return false
+	}
+	for _, w := range x[1:] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// bits2int converts a byte string to an integer per RFC 6979 §2.3.2 /
+// SEC 1 §4.1.3: the leftmost min(8*len(b), bits) bits of b. The result
+// may be >= n; callers reduce (condSub for digests, < 2n by
+// construction) or reject (nonce candidates).
+func (sf *scalarField) bits2int(dst []uint32, b []byte) {
+	cl := (sf.bits + 7) / 8
+	if len(b) > cl {
+		b = b[:cl]
+	}
+	sf.setBytes(dst, b)
+	if excess := len(b)*8 - sf.bits; excess > 0 {
+		// Right-shift by excess (< 8) bits.
+		for i := 0; i < len(dst)-1; i++ {
+			dst[i] = dst[i]>>excess | dst[i+1]<<(32-excess)
+		}
+		dst[len(dst)-1] >>= excess
+	}
+}

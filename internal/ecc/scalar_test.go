@@ -1,0 +1,127 @@
+package ecc
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// toBig converts a little-endian word vector to a big.Int.
+func toBig(sf *scalarField, x []uint32) *big.Int {
+	out := new(big.Int)
+	for i := len(x) - 1; i >= 0; i-- {
+		out.Lsh(out, 32)
+		out.Or(out, big.NewInt(int64(x[i])))
+	}
+	return out
+}
+
+func randScalarWords(sf *scalarField, rng *rand.Rand) []uint32 {
+	for {
+		x := sf.newElem()
+		for i := range x {
+			x[i] = rng.Uint32()
+		}
+		v := toBig(sf, x)
+		v.Mod(v, toBig(sf, sf.n))
+		sf.setBytes(x, v.Bytes())
+		if !sf.isZero(x) {
+			return x
+		}
+	}
+}
+
+// TestScalarFieldDifferential checks every fixed-width routine against
+// math/big on random operands, for every curve order.
+func TestScalarFieldDifferential(t *testing.T) {
+	for _, c := range Curves() {
+		t.Run(c.Name, func(t *testing.T) {
+			sf := newScalarField(c.Order)
+			s := sf.newScratch()
+			n := toBig(sf, sf.n)
+			if n.Cmp(c.Order) != 0 {
+				t.Fatalf("order round trip: got %x want %x", n, c.Order)
+			}
+			rng := rand.New(rand.NewSource(int64(sf.bits)))
+			dst := sf.newElem()
+			want := new(big.Int)
+			for iter := 0; iter < 50; iter++ {
+				a := randScalarWords(sf, rng)
+				b := randScalarWords(sf, rng)
+				ab, bb := toBig(sf, a), toBig(sf, b)
+
+				sf.addMod(dst, a, b)
+				want.Add(ab, bb)
+				want.Mod(want, n)
+				if toBig(sf, dst).Cmp(want) != 0 {
+					t.Fatalf("addMod mismatch")
+				}
+				sf.subMod(dst, a, b)
+				want.Sub(ab, bb)
+				want.Mod(want, n)
+				if toBig(sf, dst).Cmp(want) != 0 {
+					t.Fatalf("subMod mismatch")
+				}
+				sf.mulMod(dst, a, b, s)
+				want.Mul(ab, bb)
+				want.Mod(want, n)
+				if toBig(sf, dst).Cmp(want) != 0 {
+					t.Fatalf("mulMod mismatch")
+				}
+				sf.invMod(dst, a, s)
+				want.ModInverse(ab, n)
+				if toBig(sf, dst).Cmp(want) != 0 {
+					t.Fatalf("invMod mismatch: got %x want %x", toBig(sf, dst), want)
+				}
+				// reduceWide on a full double-width product.
+				wide := make([]uint32, 2*sf.words)
+				prod := new(big.Int).Mul(ab, bb)
+				pb := prod.Bytes()
+				for i := 0; i < len(pb); i++ {
+					wide[i/4] |= uint32(pb[len(pb)-1-i]) << (8 * (i % 4))
+				}
+				sf.reduceWide(dst, wide, s)
+				want.Mod(prod, n)
+				if toBig(sf, dst).Cmp(want) != 0 {
+					t.Fatalf("reduceWide mismatch")
+				}
+			}
+		})
+	}
+}
+
+// TestScalarBits2Int pins the RFC 6979 / SEC 1 truncation semantics
+// against the existing big.Int hashToInt.
+func TestScalarBits2Int(t *testing.T) {
+	for _, c := range Curves() {
+		sf := newScalarField(c.Order)
+		dst := sf.newElem()
+		rng := rand.New(rand.NewSource(7))
+		for _, dlen := range []int{1, 20, 28, 29, 30, 32, 48, 64} {
+			digest := make([]byte, dlen)
+			rng.Read(digest)
+			sf.bits2int(dst, digest)
+			want := hashToInt(digest, c.Order)
+			if toBig(sf, dst).Cmp(want) != 0 {
+				t.Fatalf("%s: bits2int(%d bytes) = %x, want %x",
+					c.Name, dlen, toBig(sf, dst), want)
+			}
+		}
+	}
+}
+
+func TestScalarBitLen(t *testing.T) {
+	sf := newScalarField(K233().Order)
+	x := sf.newElem()
+	if got := scalarBitLen(x); got != 0 {
+		t.Fatalf("bitLen(0) = %d", got)
+	}
+	x[0] = 1
+	if got := scalarBitLen(x); got != 1 {
+		t.Fatalf("bitLen(1) = %d", got)
+	}
+	x[3] = 0x80000000
+	if got := scalarBitLen(x); got != 128 {
+		t.Fatalf("bitLen = %d, want 128", got)
+	}
+}

@@ -1,0 +1,132 @@
+package ecc
+
+// The secure-session handshake: the paper's IoT security story as one
+// end-to-end exchange. A client sends its ECDH public point and an
+// opaque challenge; the server replies with a fresh ephemeral public
+// point plus the challenge sealed under AES-128-GCM keyed from the
+// ECDH shared secret. Opening the sealed challenge proves both sides
+// derived the same key, and from then on the pair can run the sealed
+// channel. The server side draws a fresh ephemeral key per handshake
+// from real entropy, which is exactly why the GFP1 secure-session op
+// is never retried by the proxy: a replay would answer with a
+// different key than the response the client may already have acted
+// on (see server.Op.Idempotent).
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+
+	"repro/internal/aes"
+)
+
+// sessionDomain separates the session KDF and AAD from any other use
+// of the shared secret.
+const sessionDomain = "GFP1 secure-session v1"
+
+// SessionNonceBytes is the AES-GCM nonce width in the wire response.
+const SessionNonceBytes = 12
+
+// sessionTagBytes is the GCM tag appended to the sealed challenge.
+const sessionTagBytes = 16
+
+// SessionKey derives the 16-byte AES-128-GCM channel key from an ECDH
+// shared secret: SHA-256(domain || shared)[:16].
+func SessionKey(shared []byte) []byte {
+	h := sha256.New()
+	io.WriteString(h, sessionDomain)
+	h.Write(shared)
+	return h.Sum(nil)[:16]
+}
+
+// SessionResponseBytes returns the wire width of a handshake response
+// for a challenge of the given length: ephemeral point, nonce, sealed
+// challenge (ciphertext plus tag).
+func (e *Engine) SessionResponseBytes(challengeLen int) int {
+	return e.PointBytes() + SessionNonceBytes + challengeLen + sessionTagBytes
+}
+
+// SecureSession runs the server side of the handshake: validate the
+// client's point, generate an ephemeral key pair from rand, derive the
+// channel key, and append ephPub || nonce || seal(challenge) to dst.
+// The AAD binds both public points under the domain label, so a
+// response cannot be spliced onto a different handshake. Unlike
+// Derive/SignAppend this path allocates (fresh key material each call).
+func (e *Engine) SecureSession(rand io.Reader, dst, clientPub, challenge []byte) ([]byte, error) {
+	if err := e.parsePoint(clientPub); err != nil {
+		return nil, err
+	}
+	client := Point{X: e.c.F.Copy(e.px), Y: e.c.F.Copy(e.py)}
+	eph, err := GenerateKey(e.c, rand)
+	if err != nil {
+		return nil, fmt.Errorf("ecc: session keygen: %w", err)
+	}
+	shared, err := eph.SharedSecret(client)
+	if err != nil {
+		return nil, err
+	}
+	ephPub := e.c.MarshalUncompressed(eph.Pub)
+	var nonce [SessionNonceBytes]byte
+	if _, err := io.ReadFull(rand, nonce[:]); err != nil {
+		return nil, fmt.Errorf("ecc: session nonce: %w", err)
+	}
+	gcm, err := sessionGCM(shared)
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := gcm.Seal(nonce[:], challenge, sessionAAD(clientPub, ephPub))
+	if err != nil {
+		return nil, err
+	}
+	dst = append(dst, ephPub...)
+	dst = append(dst, nonce[:]...)
+	dst = append(dst, sealed...)
+	return dst, nil
+}
+
+// OpenSessionResponse runs the client side: parse the server's
+// response, derive the same channel key from the client's private key
+// and the server's ephemeral point, and open the sealed challenge.
+// It returns the channel key and the recovered challenge.
+func OpenSessionResponse(priv *PrivateKey, clientPub, resp []byte) (key, challenge []byte, err error) {
+	pb := 1 + 2*(priv.Curve.F.M()+7)/8
+	if len(resp) < pb+SessionNonceBytes+sessionTagBytes {
+		return nil, nil, fmt.Errorf("ecc: session response truncated")
+	}
+	ephPub := resp[:pb]
+	nonce := resp[pb : pb+SessionNonceBytes]
+	sealed := resp[pb+SessionNonceBytes:]
+	eph, err := priv.Curve.UnmarshalUncompressed(ephPub)
+	if err != nil {
+		return nil, nil, err
+	}
+	shared, err := priv.SharedSecret(eph)
+	if err != nil {
+		return nil, nil, err
+	}
+	gcm, err := sessionGCM(shared)
+	if err != nil {
+		return nil, nil, err
+	}
+	challenge, err = gcm.Open(nonce, sealed, sessionAAD(clientPub, ephPub))
+	if err != nil {
+		return nil, nil, fmt.Errorf("ecc: session open: %w", err)
+	}
+	return SessionKey(shared), challenge, nil
+}
+
+func sessionGCM(shared []byte) (*aes.GCM, error) {
+	c, err := aes.NewCipher(SessionKey(shared))
+	if err != nil {
+		return nil, err
+	}
+	return c.NewGCM(), nil
+}
+
+func sessionAAD(clientPub, ephPub []byte) []byte {
+	aad := make([]byte, 0, len(sessionDomain)+len(clientPub)+len(ephPub))
+	aad = append(aad, sessionDomain...)
+	aad = append(aad, clientPub...)
+	aad = append(aad, ephPub...)
+	return aad
+}

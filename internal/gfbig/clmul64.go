@@ -5,16 +5,13 @@
 // count of a full multiplication by 4x versus the 32x32 schoolbook and
 // replacing each bit-serial Clmul32 with a handful of bits.Mul64 calls.
 //
-// Strategy selection mirrors the small-field tier registry: a forced
-// tier (GFP_KERNEL_TIER / gf.ForceKernelTier) pins the path — scalar
-// keeps the definitional schoolbook, clmul pins the limb path — and in
-// auto mode a one-shot timing race per word count picks the winner.
+// Strategy selection lives in strategy.go: a forced tier
+// (GFP_KERNEL_TIER / gf.ForceKernelTier) pins the path and in auto mode
+// a one-shot timing race per word count picks among all four
+// full-product strategies.
 package gfbig
 
 import (
-	"sync"
-	"time"
-
 	"repro/internal/gf"
 )
 
@@ -36,6 +33,17 @@ func pack64(a Elem) []uint64 {
 func (f *Field) MulFullCLMul(a, b Elem) []uint32 {
 	a64, b64 := pack64(a), pack64(b)
 	acc := make([]uint64, 2*len(a64))
+	clmulAccumulate(acc, a64, b64)
+	out := make([]uint32, 2*f.words)
+	for i := range out {
+		out[i] = uint32(acc[i/2] >> (32 * uint(i&1)))
+	}
+	return out
+}
+
+// clmulAccumulate xors the carry-less limb product a64*b64 into acc
+// (len(acc) >= len(a64)+len(b64)).
+func clmulAccumulate(acc, a64, b64 []uint64) {
 	for i, ai := range a64 {
 		if ai == 0 {
 			continue
@@ -49,79 +57,7 @@ func (f *Field) MulFullCLMul(a, b Elem) []uint32 {
 			acc[i+j+1] ^= hi
 		}
 	}
-	out := make([]uint32, 2*f.words)
-	for i := range out {
-		out[i] = uint32(acc[i/2] >> (32 * uint(i&1)))
-	}
-	return out
 }
 
 // MulCLMul returns the reduced product a*b via the 64-bit limb path.
 func (f *Field) MulCLMul(a, b Elem) Elem { return f.Reduce(f.MulFullCLMul(a, b)) }
-
-// clmulWins caches, per element word count, whether the limb path beat
-// the schoolbook in the one-shot timing race. Keyed by word count (not
-// by field) because the full product never touches the reduction
-// polynomial, so cost depends only on operand width.
-var clmulWins sync.Map // int -> bool
-
-// mulFullAuto is the strategy dispatch behind Mul: a forced kernel tier
-// overrides (scalar and the table-family tiers keep the definitional
-// schoolbook, clmul pins the limb path); otherwise the calibrated
-// winner for this operand width runs.
-func (f *Field) mulFullAuto(a, b Elem) []uint32 {
-	switch gf.ForcedKernelTier() {
-	case gf.TierCLMul:
-		return f.MulFullCLMul(a, b)
-	case gf.TierAuto:
-		if f.clmulPreferred() {
-			return f.MulFullCLMul(a, b)
-		}
-	}
-	return f.MulFull(a, b)
-}
-
-// clmulPreferred reports whether auto mode routes full products through
-// MulFullCLMul, racing the two paths once per word count.
-func (f *Field) clmulPreferred() bool {
-	if v, ok := clmulWins.Load(f.words); ok {
-		return v.(bool)
-	}
-	win := f.raceFullMul()
-	v, _ := clmulWins.LoadOrStore(f.words, win)
-	return v.(bool)
-}
-
-// raceFullMul times MulFull against MulFullCLMul on pseudo-random dense
-// operands and reports whether the limb path won.
-func (f *Field) raceFullMul() bool {
-	rng := uint64(0x9e3779b97f4a7c15) ^ uint64(f.words)<<32
-	next := func() uint32 {
-		rng ^= rng << 13
-		rng ^= rng >> 7
-		rng ^= rng << 17
-		return uint32(rng)
-	}
-	a, b := f.Zero(), f.Zero()
-	for i := range a {
-		a[i], b[i] = next(), next()
-	}
-	school := f.timeFullMul(f.MulFull, a, b)
-	limb := f.timeFullMul(f.MulFullCLMul, a, b)
-	return limb < school
-}
-
-// timeFullMul measures one full-product candidate, growing the
-// iteration count until the window is long enough to trust.
-func (f *Field) timeFullMul(fn func(a, b Elem) []uint32, a, b Elem) time.Duration {
-	const window = 20 * time.Microsecond
-	for iters := 1; ; iters *= 4 {
-		start := time.Now()
-		for i := 0; i < iters; i++ {
-			fn(a, b)
-		}
-		if el := time.Since(start); el >= window || iters > 1<<20 {
-			return el / time.Duration(iters)
-		}
-	}
-}

@@ -13,8 +13,14 @@
 package gfbig
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
+)
+
+var (
+	errValueTooWide  = errors.New("gfbig: value exceeds field size")
+	errDegreeTooHigh = errors.New("gfbig: value has degree >= field degree")
 )
 
 // WordBits is the machine word size of the modeled datapath.
@@ -228,32 +234,8 @@ func (f *Field) Reduce(full []uint32) Elem {
 	r := append([]uint32(nil), full...)
 	// Each pass replaces the highest word's bits >= m by strictly lower
 	// contributions (every exponent e < m), so the top bit strictly
-	// decreases and the loop terminates.
-	for {
-		top := Degree(r)
-		if top < f.m {
-			break
-		}
-		iw := top / WordBits
-		lowBit := iw * WordBits
-		if lowBit >= f.m {
-			// Whole word sits above x^m: x^(lowBit+j) -> sum_e x^(lowBit-m+e+j).
-			w := r[iw]
-			r[iw] = 0
-			base := lowBit - f.m
-			for _, e := range f.exps {
-				xorShifted(r, w, base+e)
-			}
-		} else {
-			// Boundary word: only bits at positions >= m participate.
-			off := f.m - lowBit // 1..31
-			wHigh := r[iw] >> off
-			r[iw] ^= wHigh << off
-			for _, e := range f.exps {
-				xorShifted(r, wHigh, e)
-			}
-		}
-	}
+	// decreases and the loop terminates (see reduceInPlace).
+	f.reduceInPlace(r)
 	out := make(Elem, f.words)
 	copy(out, r[:f.words])
 	return out
@@ -435,27 +417,8 @@ func (f *Field) Div(a, b Elem) Elem { return f.Mul(a, f.Inv(b)) }
 // what ECC key parsing wants).
 func (f *Field) SetBytes(b []byte) (Elem, error) {
 	e := f.Zero()
-	bitLen := len(b) * 8
-	if bitLen > f.words*WordBits {
-		// allow leading zero bytes
-		for i := 0; i < len(b)-(f.words*WordBits+7)/8; i++ {
-			if b[i] != 0 {
-				return nil, fmt.Errorf("gfbig: value exceeds field size")
-			}
-		}
-	}
-	for i := 0; i < len(b); i++ {
-		v := b[len(b)-1-i]
-		if v == 0 {
-			continue
-		}
-		if i/4 >= f.words {
-			return nil, fmt.Errorf("gfbig: value exceeds field size")
-		}
-		e[i/4] |= uint32(v) << (8 * (i % 4))
-	}
-	if Degree(e) >= f.m {
-		return nil, fmt.Errorf("gfbig: value has degree >= %d", f.m)
+	if err := f.SetBytesInto(e, b); err != nil {
+		return nil, err
 	}
 	return e, nil
 }

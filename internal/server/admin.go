@@ -43,6 +43,29 @@ func (s *Server) RegisterMetrics(reg *obs.Registry) {
 		obs.L("code", fmt.Sprintf("RS(%d,%d)", s.cfg.N, s.cfg.K)),
 		obs.L("depth", fmt.Sprintf("%d", s.cfg.Depth)))
 
+	if e := s.ecc; e != nil {
+		reg.CounterFunc("gfp_ecc_ops_total",
+			"Completed ECC operations.", e.derives.Load, obs.L("op", "ecdh-derive"))
+		reg.CounterFunc("gfp_ecc_ops_total",
+			"Completed ECC operations.", e.signs.Load, obs.L("op", "ecdsa-sign"))
+		reg.CounterFunc("gfp_ecc_ops_total",
+			"Completed ECC operations.", e.verifies.Load, obs.L("op", "ecdsa-verify"))
+		reg.CounterFunc("gfp_ecc_ops_total",
+			"Completed ECC operations.", e.sessions.Load, obs.L("op", "secure-session"))
+		reg.CounterFunc("gfp_ecc_failures_total",
+			"ECC operations that failed semantically (off-curve point, bad signature, ...).",
+			e.failures.Load)
+		reg.HistogramFunc("gfp_ecc_derive_seconds",
+			"ecdh-derive compute latency (engine only, excludes queueing).", &e.deriveLat)
+		reg.HistogramFunc("gfp_ecc_sign_seconds",
+			"ecdsa-sign compute latency (engine only, excludes queueing).", &e.signLat)
+		reg.GaugeFunc("gfp_ecc_info",
+			"Constant 1; labels carry the ECC service configuration.",
+			func() float64 { return 1 },
+			obs.L("curve", e.curveName),
+			obs.L("mul_strategy", e.eng.Curve().F.MulStrategy().String()))
+	}
+
 	s.pl.RegisterMetrics(reg)
 	pipeline.RegisterGFKernelMetrics(reg)
 }

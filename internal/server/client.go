@@ -183,6 +183,54 @@ func (c *Client) Open(nonce, sealed []byte) ([]byte, error) {
 	return m.Payload, nil
 }
 
+// ECDHDerive sends an SEC 1 uncompressed public point and returns the
+// ECDH shared secret (the x-coordinate of serverScalar * peer).
+func (c *Client) ECDHDerive(peer []byte) ([]byte, error) {
+	m, err := c.Call(OpECDHDerive, nil, peer)
+	if err != nil {
+		return nil, err
+	}
+	return m.Payload, nil
+}
+
+// ECDSASign signs a 1..64-byte digest under the server's fleet key and
+// returns the r||s signature. Signing is deterministic (RFC 6979), so
+// repeated calls — on any backend sharing the key — return identical
+// bytes.
+func (c *Client) ECDSASign(digest []byte) ([]byte, error) {
+	m, err := c.Call(OpECDSASign, nil, digest)
+	if err != nil {
+		return nil, err
+	}
+	return m.Payload, nil
+}
+
+// ECDSAVerify checks an r||s signature over digest against an SEC 1
+// uncompressed public point; the status carries the verdict (nil means
+// the signature verifies).
+func (c *Client) ECDSAVerify(pub, sig, digest []byte) error {
+	payload := make([]byte, 0, len(pub)+len(sig)+len(digest))
+	payload = append(payload, pub...)
+	payload = append(payload, sig...)
+	payload = append(payload, digest...)
+	_, err := c.Call(OpECDSAVerify, nil, payload)
+	return err
+}
+
+// SecureSession runs the handshake: the client's public point and an
+// opaque challenge go up; the raw response (ephemeral point, GCM nonce,
+// sealed challenge) comes back for ecc.OpenSessionResponse.
+func (c *Client) SecureSession(clientPub, challenge []byte) ([]byte, error) {
+	payload := make([]byte, 0, len(clientPub)+len(challenge))
+	payload = append(payload, clientPub...)
+	payload = append(payload, challenge...)
+	m, err := c.Call(OpSecureSession, nil, payload)
+	if err != nil {
+		return nil, err
+	}
+	return m.Payload, nil
+}
+
 // Stats fetches the server's statistics snapshot.
 func (c *Client) Stats() (*StatsSnapshot, error) {
 	m, err := c.Call(OpStats, nil, nil)

@@ -1,6 +1,7 @@
 // Package server exposes the repository's codec pipeline as a network
 // service: a concurrent TCP server speaking a length-prefixed binary
-// protocol whose requests (RS encode/decode, AES-GCM seal/open, stats)
+// protocol whose requests (RS encode/decode, AES-GCM seal/open, stats,
+// binary-field ECDH/ECDSA and the secure-session handshake)
 // are multiplexed from many connections into one shared
 // pipeline.Pipeline and routed back by request id — the system-level
 // serving layer over the paper's GF protection engine.
@@ -65,6 +66,13 @@ const (
 	OpSeal     Op = 3 // params: 12-byte nonce; payload: plaintext -> ciphertext||tag
 	OpOpen     Op = 4 // params: 12-byte nonce; payload: ciphertext||tag -> plaintext
 	OpStats    Op = 5 // payload: none -> JSON StatsSnapshot
+
+	// Binary-field ECC ops (see docs/SERVER.md for the exact layouts;
+	// fb/ob below are the configured curve's field/order byte widths).
+	OpECDHDerive    Op = 6 // payload: peer point 04||x||y (1+2fb) -> shared x (fb)
+	OpECDSASign     Op = 7 // payload: digest (1..64B) -> signature r||s (2ob)
+	OpECDSAVerify   Op = 8 // payload: point||r||s||digest -> empty (status is the verdict)
+	OpSecureSession Op = 9 // payload: client point||challenge -> eph point||nonce||sealed
 )
 
 // Idempotent reports whether the op may be transparently retried by a
@@ -74,13 +82,22 @@ const (
 // are deliberately excluded: the client chose the nonce, and a replayed
 // seal would emit a second ciphertext under the same (key, nonce) pair —
 // exactly the reuse GCM's security argument forbids — with no way for
-// the proxy to prove the first attempt never reached the cipher. (A
-// backend that *rejects* a request without processing it, e.g. with
-// StatusShuttingDown, is safe to retry regardless of op; see
-// Status.RetrySafe.)
+// the proxy to prove the first attempt never reached the cipher.
+//
+// The ECC ops split along the same line. ecdh-derive and ecdsa-verify
+// are pure functions of the request. ecdsa-sign is retry-safe only
+// because signing is deterministic (RFC 6979 nonces): every backend
+// holding the fleet key produces the bit-identical signature for a
+// given digest, so a replay cannot leak a second nonce for the same
+// message the way a randomized ECDSA signer would. secure-session is
+// excluded for the GCM reason in new clothes: each handshake draws a
+// fresh ephemeral key, so a replayed request would mint a second
+// session the client never learns about. (A backend that *rejects* a
+// request without processing it, e.g. with StatusShuttingDown, is safe
+// to retry regardless of op; see Status.RetrySafe.)
 func (o Op) Idempotent() bool {
 	switch o {
-	case OpRSEncode, OpRSDecode, OpStats:
+	case OpRSEncode, OpRSDecode, OpStats, OpECDHDerive, OpECDSASign, OpECDSAVerify:
 		return true
 	}
 	return false
@@ -99,6 +116,14 @@ func (o Op) String() string {
 		return "aes-gcm-open"
 	case OpStats:
 		return "stats"
+	case OpECDHDerive:
+		return "ecdh-derive"
+	case OpECDSASign:
+		return "ecdsa-sign"
+	case OpECDSAVerify:
+		return "ecdsa-verify"
+	case OpSecureSession:
+		return "secure-session"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}

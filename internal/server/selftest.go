@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/gf"
+	"repro/internal/gfbig"
 )
 
 // selftestVectors is how many pseudo-random vectors per op each field is
@@ -44,7 +45,7 @@ type selftest struct {
 // and deliberately un-cached: the /selftest endpoint re-checks the live
 // tables on every call.
 func (s *Server) SelfTest() SelfTestResult {
-	return runSelfTest(s.iv.Code.F, time.Now().UnixNano())
+	return runSelfTest(s.iv.Code.F, s.eccField(), time.Now().UnixNano())
 }
 
 // startupSelfTest returns the once-per-process verification run that
@@ -52,12 +53,21 @@ func (s *Server) SelfTest() SelfTestResult {
 // byte-for-byte.
 func (s *Server) startupSelfTest() SelfTestResult {
 	s.st.once.Do(func() {
-		s.st.res = runSelfTest(s.iv.Code.F, 1)
+		s.st.res = runSelfTest(s.iv.Code.F, s.eccField(), 1)
 	})
 	return s.st.res
 }
 
-func runSelfTest(rsField *gf.Field, seed int64) SelfTestResult {
+// eccField returns the big binary field the ECC ops compute in, nil
+// when the ECC service is disabled.
+func (s *Server) eccField() *gfbig.Field {
+	if s.ecc == nil {
+		return nil
+	}
+	return s.ecc.eng.Curve().F
+}
+
+func runSelfTest(rsField *gf.Field, eccField *gfbig.Field, seed int64) SelfTestResult {
 	fields := []*gf.Field{rsField}
 	// The AES-GCM ops compute in the AES field; check it too unless the
 	// RS field already is it.
@@ -72,6 +82,19 @@ func runSelfTest(rsField *gf.Field, seed int64) SelfTestResult {
 		res.Tiers = append(res.Tiers, strings.Join(f.Kernels().AvailableTiers(), ","))
 		if res.OK {
 			if err := gf.VerifyKernels(f, selftestVectors, seed); err != nil {
+				res.OK = false
+				res.Error = err.Error()
+			}
+		}
+	}
+	// The ECC ops compute in a big binary field with its own strategy
+	// registry (gfbig); verify every full-product strategy against the
+	// schoolbook reference so /healthz gates on the ECC datapath too.
+	if eccField != nil {
+		res.Fields = append(res.Fields, eccField.String()+" (gfbig)")
+		res.Tiers = append(res.Tiers, strings.Join(gfbig.StrategyNames(), ","))
+		if res.OK {
+			if err := eccField.VerifyMulStrategies(selftestVectors, seed); err != nil {
 				res.OK = false
 				res.Error = err.Error()
 			}

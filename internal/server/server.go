@@ -40,6 +40,14 @@ type Config struct {
 	// Key is the AES key for the seal/open ops (empty selects a
 	// well-known demo key). AAD is bound into every tag (may be nil).
 	Key, AAD []byte
+	// Curve selects the binary curve for the ECC ops ("" means
+	// DefaultCurve; CurveOff disables them). ECCKey, when set, seeds the
+	// deterministic derivation of the service's private scalar; when
+	// empty the scalar is derived from Key, so a fleet sharing Key (and
+	// curve) shares the signing identity — the property that makes
+	// ecdsa-sign retry-safe across backends.
+	Curve  string
+	ECCKey []byte
 	// MaxPayload is the per-request payload guard (0 = DefaultMaxPayload).
 	MaxPayload int
 	// Window caps each connection's in-flight requests; a client
@@ -101,6 +109,7 @@ type Server struct {
 
 	st  selftest
 	ctr counters
+	ecc *eccService // nil when Config.Curve is CurveOff
 }
 
 // pendingReq rides pipeline.Frame.Tag from submission to delivery: the
@@ -154,7 +163,11 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	disp := &dispatchStage{enc: enc, dec: dec, gcm: cipher.NewGCM(), aad: cfg.AAD}
+	eccSvc, err := newECCService(cfg)
+	if err != nil {
+		return nil, err
+	}
+	disp := &dispatchStage{enc: enc, dec: dec, gcm: cipher.NewGCM(), aad: cfg.AAD, ecc: eccSvc}
 	pl, err := pipeline.New(pipeline.Config{Workers: cfg.Workers, Queue: cfg.Queue, Batch: cfg.Batch}, disp)
 	if err != nil {
 		return nil, err
@@ -169,6 +182,7 @@ func New(cfg Config) (*Server, error) {
 		run:          pl.Start(),
 		conns:        make(map[*conn]struct{}),
 		dispatchDone: make(chan struct{}),
+		ecc:          eccSvc,
 	}
 	go s.dispatch()
 	return s, nil
@@ -567,6 +581,15 @@ func (c *conn) handle(m *Message) bool {
 		copy(data, m.Params)
 		copy(data[NonceSize:], m.Payload)
 		return c.submit(m, data)
+	case OpECDHDerive, OpECDSASign, OpECDSAVerify, OpSecureSession:
+		svc := c.s.ecc
+		if svc == nil {
+			return reject(StatusUnsupported, "%v: ecc ops disabled (curve=%s)", m.Op, CurveOff)
+		}
+		if why := svc.validateECC(m.Op, len(m.Payload)); why != "" {
+			return reject(StatusBadRequest, "%s", why)
+		}
+		return c.submit(m, m.Payload)
 	default:
 		return reject(StatusUnsupported, "unknown op %d", uint8(m.Op))
 	}

@@ -79,6 +79,9 @@ type ConfigInfo struct {
 	Queue      int `json:"queue"`
 	Window     int `json:"window"`
 	MaxPayload int `json:"max_payload"`
+	// ECC describes the binary-field ECC service (nil when disabled), so
+	// clients can size derive/sign/verify/session requests by discovery.
+	ECC *ECCInfo `json:"ecc,omitempty"`
 }
 
 // StageSnapshot is one pipeline stage's statistics at snapshot time.
@@ -115,6 +118,9 @@ func (s *Server) Snapshot() *StatsSnapshot {
 		},
 		Server: s.ctr.snapshot(),
 		Total:  s.pl.Total.Summary(),
+	}
+	if s.ecc != nil {
+		snap.Config.ECC = s.ecc.info()
 	}
 	if a := s.Addr(); a != nil {
 		snap.ListenAddr = a.String()

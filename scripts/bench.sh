@@ -7,21 +7,24 @@
 # Usage:
 #   scripts/bench.sh [out.json] [benchtime]
 #
-# Defaults: out=BENCH_8.json, benchtime=0.5s. Runs from the repo root.
+# Defaults: out=BENCH_9.json, benchtime=0.5s. Runs from the repo root.
 # The benchmark set covers the bulk GF kernel layer and everything built
 # on it: root RS/GF/pipeline benches (including the batched pipeline
 # variants and the per-kernel-tier GFTier A/B rows: table vs bitsliced
-# vs clmul vs the calibrated auto dispatch) plus the per-package
+# vs clmul vs the calibrated auto dispatch), the per-package
 # Bulk-vs-Scalar pairs in internal/rs, internal/bch, internal/aes and
-# the pipeline link chain.
+# the pipeline link chain, plus the wide-field layer: the gfbig
+# full-product strategy race (schoolbook/karatsuba/comb/clmul through
+# the allocation-free MulTo path) and the ECC engine ops built on it.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_8.json}"
+out="${1:-BENCH_9.json}"
 benchtime="${2:-0.5s}"
 
 pattern='RSEncode255|RSSyndromes255|RSDecode255|GFKernel|GFMul|GFTier|PipelineRS255_239'
 pkg_pattern='Bulk|Scalar|DecodeTo255|Syndromes63|MixColumns|LinkStages'
+ecc_pattern='MulToStrategies|MulFull233|InvTo|ECDHDerive|ECDSASign|ECDSAVerify'
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -29,6 +32,8 @@ trap 'rm -f "$raw"' EXIT
 go test -run 'ZZZNONE' -bench "$pattern" -benchtime "$benchtime" -benchmem . >>"$raw"
 go test -run 'ZZZNONE' -bench "$pkg_pattern" -benchtime "$benchtime" -benchmem \
     ./internal/rs ./internal/bch ./internal/aes ./internal/pipeline >>"$raw"
+go test -run 'ZZZNONE' -bench "$ecc_pattern" -benchtime "$benchtime" -benchmem \
+    ./internal/gfbig ./internal/ecc >>"$raw"
 
 cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
 goversion="$(go env GOVERSION)"

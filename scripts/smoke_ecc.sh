@@ -1,0 +1,193 @@
+#!/usr/bin/env bash
+# ECC service smoke test: build gfserved + gfproxy + gfload, bring up a
+# 2-backend fleet sharing one key (so both derive the same deterministic
+# signing scalar — identical public points and signatures), front it
+# with gfproxy, and drive `gfload -mode ecc` (sign → verify → derive,
+# cross-checked client-side) through the proxy while SIGKILLing one
+# backend mid-load: sign/verify/derive are idempotent, so the proxy
+# must replay them on the survivor and the run must finish with zero
+# wrong answers. Then `-mode session` handshakes against the surviving
+# backend, the gfp_ecc_* metric families are checked on the backend
+# admin page, the proxy ledger must balance exactly, and everything
+# drains on SIGINT. Run from the repo root; exits nonzero on failure.
+set -euo pipefail
+
+ECC_REQUESTS="${ECC_REQUESTS:-2000}"
+SESSION_REQUESTS="${SESSION_REQUESTS:-400}"
+CONNS="${CONNS:-8}"
+WINDOW="${WINDOW:-4}"
+# 16 bytes: a valid AES-128 key, shared so the fleet signs identically.
+FLEET_KEY="${FLEET_KEY:-ecc-smoke-key-16}"
+
+workdir=$(mktemp -d)
+pids=()
+trap 'kill "${pids[@]}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/gfserved" ./cmd/gfserved
+go build -o "$workdir/gfproxy" ./cmd/gfproxy
+go build -o "$workdir/gfload" ./cmd/gfload
+
+# wait_line FILE REGEX: polls until the first capture of REGEX appears
+# in FILE and prints it.
+wait_line() {
+  local file=$1 re=$2 m
+  for _ in $(seq 1 100); do
+    m=$(sed -nE "s#.*$re.*#\1#p" "$file" 2>/dev/null | head -1)
+    if [ -n "$m" ]; then echo "$m"; return 0; fi
+    sleep 0.1
+  done
+  echo "smoke-ecc: never saw /$re/ in $file" >&2
+  cat "$file" >&2
+  return 1
+}
+
+start_backend() {
+  local i=$1
+  "$workdir/gfserved" -addr 127.0.0.1:0 -admin 127.0.0.1:0 \
+    -key "$FLEET_KEY" -quiet >"$workdir/backend$i.log" 2>&1 &
+  pids+=($!)
+  eval "b${i}_pid=$!"
+  eval "b${i}_addr=\$(wait_line "$workdir/backend$i.log" 'listening on ([0-9.:]+)')"
+  eval "b${i}_admin=\$(wait_line "$workdir/backend$i.log" 'admin on http://([0-9.:]+)')"
+  eval "b${i}_pub=\$(wait_line "$workdir/backend$i.log" 'pub ([0-9a-f]+)')"
+}
+
+start_backend 1
+start_backend 2
+echo "smoke-ecc: backends $b1_addr $b2_addr"
+
+# Shared key => shared signing identity: the fleet must advertise one
+# public point, or retried signatures would differ across backends.
+if [ "$b1_pub" != "$b2_pub" ]; then
+  echo "smoke-ecc: fleet public points differ under a shared key" >&2
+  echo "  $b1_addr: $b1_pub" >&2
+  echo "  $b2_addr: $b2_pub" >&2
+  exit 1
+fi
+echo "smoke-ecc: fleet signing identity ${b1_pub:0:16}… shared by both backends"
+
+# The startup self-test now covers gfbig: every mul strategy must agree
+# on GF(2^233) before the backend takes ECC traffic.
+curl -fsS "http://$b1_admin/selftest" >"$workdir/selftest.json"
+grep -q '"ok": true' "$workdir/selftest.json" || {
+  echo "smoke-ecc: backend /selftest did not pass" >&2
+  cat "$workdir/selftest.json" >&2
+  exit 1
+}
+grep -q 'gfbig' "$workdir/selftest.json" || {
+  echo "smoke-ecc: /selftest does not cover the gfbig field" >&2
+  cat "$workdir/selftest.json" >&2
+  exit 1
+}
+
+"$workdir/gfproxy" -addr 127.0.0.1:0 -admin 127.0.0.1:0 \
+  -backends "$b1_addr@$b1_admin,$b2_addr@$b2_admin" \
+  -route request -retries 3 \
+  -health-interval 200ms -health-timeout 1s -fail-after 2 -readmit-after 2 \
+  -dial-wait 200ms -quiet >"$workdir/proxy.log" 2>&1 &
+pids+=($!)
+proxy_pid=$!
+proxy_addr=$(wait_line "$workdir/proxy.log" 'listening on ([0-9.:]+)')
+proxy_admin=$(wait_line "$workdir/proxy.log" 'admin on http://([0-9.:]+)')
+
+# --- sign/verify/derive through the proxy, killing a backend under load ---
+"$workdir/gfload" -addr "$proxy_addr" -wait 10s -mode ecc \
+  -conns "$CONNS" -window "$WINDOW" -requests "$ECC_REQUESTS" \
+  >"$workdir/load-ecc.log" 2>&1 &
+load_pid=$!
+pids+=($load_pid)
+
+sleep 0.5
+{ kill -9 "$b1_pid" && wait "$b1_pid"; } 2>/dev/null || true
+echo "smoke-ecc: SIGKILLed backend $b1_addr under ecc load"
+
+metric() { curl -fsS "http://$proxy_admin/metrics" | awk -v m="$1" '$1 == m {print int($2)}'; }
+
+ejected=0
+for _ in $(seq 1 100); do
+  if [ "$(metric gfp_proxy_ejections_total)" -ge 1 ]; then ejected=1; break; fi
+  sleep 0.1
+done
+if [ "$ejected" != 1 ]; then
+  echo "smoke-ecc: killed backend was never ejected" >&2
+  curl -fsS "http://$proxy_admin/statsz" >&2 || true
+  exit 1
+fi
+
+# Every ECC round trip must land: the retried signatures came off the
+# survivor's identical scalar, and the client-side cross-checks (shared
+# secret, signature verification) hold bit-for-bit.
+wait "$load_pid" || {
+  status=$?
+  echo "smoke-ecc: ecc load failed across the kill (status $status)" >&2
+  cat "$workdir/load-ecc.log" >&2
+  exit "$status"
+}
+grep -q 'mode ecc on NIST K-233' "$workdir/load-ecc.log" || {
+  echo "smoke-ecc: load banner missing the discovered curve" >&2
+  cat "$workdir/load-ecc.log" >&2
+  exit 1
+}
+echo "smoke-ecc: $ECC_REQUESTS sign/verify/derive round trips survived the kill with zero failures"
+
+# --- secure-session handshakes against the surviving backend ------------
+"$workdir/gfload" -addr "$proxy_addr" -wait 10s -mode session \
+  -conns "$CONNS" -window "$WINDOW" -requests "$SESSION_REQUESTS" \
+  >"$workdir/load-session.log" 2>&1 || {
+  status=$?
+  echo "smoke-ecc: session load failed (status $status)" >&2
+  cat "$workdir/load-session.log" >&2
+  exit "$status"
+}
+echo "smoke-ecc: $SESSION_REQUESTS secure-session handshakes opened cleanly"
+
+# --- backend ECC metrics -------------------------------------------------
+curl -fsS "http://$b2_admin/metrics" >"$workdir/backend-metrics.txt"
+for want in 'gfp_ecc_ops_total{op="ecdsa-sign"}' \
+    'gfp_ecc_ops_total{op="ecdsa-verify"}' \
+    'gfp_ecc_ops_total{op="ecdh-derive"}' \
+    'gfp_ecc_ops_total{op="secure-session"}' \
+    gfp_ecc_failures_total gfp_ecc_sign_seconds_bucket gfp_ecc_derive_seconds_bucket \
+    gfp_ecc_info; do
+  grep -qF "$want" "$workdir/backend-metrics.txt" || {
+    echo "smoke-ecc: backend /metrics missing $want" >&2
+    exit 1
+  }
+done
+signs=$(awk -F' ' '/^gfp_ecc_ops_total\{op="ecdsa-sign"\} /{print int($2)}' "$workdir/backend-metrics.txt")
+if [ -z "$signs" ] || [ "$signs" -lt 1 ]; then
+  echo "smoke-ecc: surviving backend signed nothing (got '${signs:-none}')" >&2
+  exit 1
+fi
+echo "smoke-ecc: surviving backend served $signs signatures; gfp_ecc_* families present"
+
+# --- exact proxy ledger, then graceful teardown --------------------------
+curl -fsS "http://$proxy_admin/metrics" >"$workdir/proxy-metrics.txt"
+awk '
+  $1 == "gfp_proxy_requests_total"  { req  = $2 }
+  $1 == "gfp_proxy_responses_total" { resp = $2 }
+  $1 == "gfp_proxy_rejects_total"   { rej  = $2 }
+  $1 == "gfp_proxy_dropped_total"   { drop = $2 }
+  END {
+    if (req == "" || req != resp + rej + drop) {
+      printf "ledger: requests=%d responses=%d rejects=%d dropped=%d\n", req, resp, rej, drop > "/dev/stderr"
+      exit 1
+    }
+  }
+' "$workdir/proxy-metrics.txt" || {
+  echo "smoke-ecc: proxy request ledger does not balance" >&2
+  exit 1
+}
+
+kill -INT "$proxy_pid"
+for _ in $(seq 1 100); do
+  kill -0 "$proxy_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$proxy_pid" 2>/dev/null; then
+  echo "smoke-ecc: gfproxy did not exit within 10s of SIGINT" >&2
+  cat "$workdir/proxy.log" >&2
+  exit 1
+fi
+kill -INT "$b2_pid" 2>/dev/null || true
+echo "smoke-ecc: ok — fleet-deterministic signing, kill-tolerant idempotent retries, sealed handshakes, balanced ledger"
