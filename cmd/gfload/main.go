@@ -22,7 +22,16 @@
 //	gfload [-addr 127.0.0.1:4650] [-targets a:4650,b:4650,...]
 //	       [-mode rs|ecc|session]
 //	       [-conns 8] [-window 8] [-requests 10000] [-p 0] [-seed 1]
-//	       [-wait 5s] [-quiet]
+//	       [-wait 5s] [-quiet] [-trace N] [-slo SPEC] [-slo-window 1m]
+//
+// With -trace N, one round trip in N carries a distributed-trace context
+// through every GFP1 hop (proxy and backend record spans under the same
+// trace id); the sampled ids are listed in the report so each can be
+// looked up on the servers' /tracez. With -slo, round-trip latencies
+// feed a client-side objective tracker (specs are mode=threshold@percent,
+// e.g. 'rs=5ms@99'; "default" catches the rest) whose burn rate lands in
+// the report — the view from the paying side of the socket, which is the
+// latency the server-side SLO pages should agree with.
 //
 // With -targets, connections round-robin across several gfserved (or
 // gfproxy) addresses; the report shows per-target and merged
@@ -55,6 +64,7 @@ import (
 	"repro/internal/ecc"
 	"repro/internal/gf"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/perf"
 	"repro/internal/server"
 )
@@ -72,6 +82,58 @@ type cliConfig struct {
 	wait       time.Duration
 	quiet      bool
 	metricsOut string
+	trace      int
+	slo        string
+	sloWindow  time.Duration
+}
+
+// maxReportedTraces caps the sampled-id list in the report; a long run
+// at -trace 1 should not print thousands of ids.
+const maxReportedTraces = 8
+
+// loadTracer owns the client side of the run's observability: the
+// sampling decision for distributed traces (one round trip in every
+// -trace), the list of sampled ids for the report, and the client-side
+// SLO tracker fed by every round trip.
+type loadTracer struct {
+	every int64
+	slo   *obs.SLO
+	tick  atomic.Int64
+	mu    sync.Mutex
+	ids   []string
+}
+
+// begin decides whether the next round trip is traced. A sampled context
+// carries a fresh trace id and a zero parent span, so the first
+// server-side span becomes the trace root.
+func (lt *loadTracer) begin() trace.Context {
+	if lt.every <= 0 || lt.tick.Add(1)%lt.every != 0 {
+		return trace.Context{}
+	}
+	tc := trace.Context{Trace: trace.NewID(), Sampled: true}
+	lt.mu.Lock()
+	if len(lt.ids) < maxReportedTraces {
+		lt.ids = append(lt.ids, trace.FormatID(tc.Trace))
+	}
+	lt.mu.Unlock()
+	return tc
+}
+
+// call issues one op on c, attaching the trace extension when the round
+// trip is sampled; untraced calls are byte-identical to Client.Call.
+func (lt *loadTracer) call(c *server.Client, tc trace.Context, op server.Op, params, payload []byte) (*server.Message, error) {
+	m := &server.Message{Op: op, Params: params, Payload: payload}
+	if tc.Sampled {
+		server.AttachTrace(m, tc)
+	}
+	return c.Do(m)
+}
+
+// traces returns the sampled ids collected so far.
+func (lt *loadTracer) traces() []string {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return append([]string(nil), lt.ids...)
 }
 
 // result summarizes a run for CLI-level tests. In multi-target mode the
@@ -103,6 +165,9 @@ func main() {
 	flag.DurationVar(&cfg.wait, "wait", 5*time.Second, "retry budget while connecting")
 	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress the report")
 	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "write a JSON metrics registry dump to this file on exit")
+	flag.IntVar(&cfg.trace, "trace", 0, "carry a distributed-trace context on one round trip in N (0 = off); sampled ids land in the report")
+	flag.StringVar(&cfg.slo, "slo", "", "client-side latency objectives per mode, mode=threshold@percent comma-separated (e.g. 'rs=5ms@99,default=10ms@95'; empty = off)")
+	flag.DurationVar(&cfg.sloWindow, "slo-window", time.Minute, "rolling window for the SLO burn rate")
 	flag.Parse()
 
 	if _, err := run(cfg, os.Stdout); err != nil {
@@ -129,6 +194,12 @@ func run(cfg cliConfig, w io.Writer) (*result, error) {
 	default:
 		return nil, fmt.Errorf("unknown -mode %q (have rs, ecc, session)", cfg.mode)
 	}
+
+	objectives, err := obs.ParseObjectives(cfg.slo)
+	if err != nil {
+		return nil, err
+	}
+	lt := &loadTracer{every: int64(cfg.trace), slo: obs.NewSLO(objectives, cfg.sloWindow)}
 
 	targets := []string{cfg.addr}
 	if cfg.targets != "" {
@@ -222,11 +293,11 @@ func run(cfg cliConfig, w io.Writer) (*result, error) {
 					var err error
 					switch cfg.mode {
 					case "ecc":
-						err = workerECC(cfg, c, env, id, &issued, tres)
+						err = workerECC(cfg, c, env, lt, id, &issued, tres)
 					case "session":
-						err = workerSession(cfg, c, env, id, &issued, tres)
+						err = workerSession(cfg, c, env, lt, id, &issued, tres)
 					default:
-						err = worker(cfg, c, frameK, id, &issued, tres)
+						err = worker(cfg, c, frameK, lt, id, &issued, tres)
 					}
 					if err != nil {
 						errs <- fmt.Errorf("conn %d (%s) worker %d: %w", ci, tres.addr, wi, err)
@@ -265,7 +336,7 @@ func run(cfg cliConfig, w io.Writer) (*result, error) {
 	}
 
 	if !cfg.quiet {
-		report(w, cfg, res, frameK)
+		report(w, cfg, res, frameK, lt)
 	}
 	if n := res.residual.Load(); n > 0 {
 		return res, fmt.Errorf("%d round trips delivered wrong bytes", n)
@@ -279,7 +350,7 @@ func run(cfg cliConfig, w io.Writer) (*result, error) {
 // worker claims round trips off the shared budget until it is spent.
 // Each round trip is two pipelined calls on the connection shared with
 // the sibling workers: encode, client-side corruption, decode, verify.
-func worker(cfg cliConfig, c *server.Client, frameK int, id int64, issued *atomic.Int64, res *result) error {
+func worker(cfg cliConfig, c *server.Client, frameK int, lt *loadTracer, id int64, issued *atomic.Int64, res *result) error {
 	rng := rand.New(rand.NewSource(cfg.seed + 7919*id))
 	var ch channel.Channel
 	if cfg.p > 0 {
@@ -291,15 +362,17 @@ func worker(cfg cliConfig, c *server.Client, frameK int, id int64, issued *atomi
 	msg := make([]byte, cfg.batch*frameK)
 	for issued.Add(1) <= int64(cfg.requests) {
 		rng.Read(msg)
+		tc := lt.begin()
 		t0 := time.Now()
-		cw, err := c.RSEncode(msg)
+		em, err := lt.call(c, tc, server.OpRSEncode, nil, msg)
 		if err != nil {
 			return fmt.Errorf("encode: %w", err)
 		}
+		cw := em.Payload
 		if ch != nil {
 			cw = corruptBytes(ch, cw)
 		}
-		got, err := c.RSDecode(cw)
+		dm, err := lt.call(c, tc, server.OpRSDecode, nil, cw)
 		if err != nil {
 			var se *server.StatusError
 			if errors.As(err, &se) && se.Status == server.StatusCodecFailed {
@@ -308,7 +381,9 @@ func worker(cfg cliConfig, c *server.Client, frameK int, id int64, issued *atomi
 			}
 			return fmt.Errorf("decode: %w", err)
 		}
+		got := dm.Payload
 		res.hist.Observe(time.Since(t0))
+		lt.slo.Observe(cfg.mode, res.addr, time.Since(t0))
 		if !bytes.Equal(got, msg) {
 			res.residual.Add(1)
 			continue
@@ -366,7 +441,7 @@ func (env *eccEnv) clientKey(rng *rand.Rand) (*ecc.PrivateKey, []byte, error) {
 // is cross-checked against the client-side computation — every answer
 // is validated against independent math, not just for transport
 // success. A cross-check mismatch counts as a residual error.
-func workerECC(cfg cliConfig, c *server.Client, env *eccEnv, id int64, issued *atomic.Int64, res *result) error {
+func workerECC(cfg cliConfig, c *server.Client, env *eccEnv, lt *loadTracer, id int64, issued *atomic.Int64, res *result) error {
 	rng := rand.New(rand.NewSource(cfg.seed + 7919*id))
 	cli, cliPub, err := env.clientKey(rng)
 	if err != nil {
@@ -379,19 +454,27 @@ func workerECC(cfg cliConfig, c *server.Client, env *eccEnv, id int64, issued *a
 	digest := make([]byte, 32)
 	for issued.Add(1) <= int64(cfg.requests) {
 		rng.Read(digest)
+		tc := lt.begin()
 		t0 := time.Now()
-		sig, err := c.ECDSASign(digest)
+		sm, err := lt.call(c, tc, server.OpECDSASign, nil, digest)
 		if err != nil {
 			return fmt.Errorf("ecdsa-sign: %w", err)
 		}
-		if err := c.ECDSAVerify(env.srvPub, sig, digest); err != nil {
+		sig := sm.Payload
+		vp := make([]byte, 0, len(env.srvPub)+len(sig)+len(digest))
+		vp = append(vp, env.srvPub...)
+		vp = append(vp, sig...)
+		vp = append(vp, digest...)
+		if _, err := lt.call(c, tc, server.OpECDSAVerify, nil, vp); err != nil {
 			return fmt.Errorf("ecdsa-verify of the server's own signature: %w", err)
 		}
-		shared, err := c.ECDHDerive(cliPub)
+		dm, err := lt.call(c, tc, server.OpECDHDerive, nil, cliPub)
 		if err != nil {
 			return fmt.Errorf("ecdh-derive: %w", err)
 		}
+		shared := dm.Payload
 		res.hist.Observe(time.Since(t0))
+		lt.slo.Observe(cfg.mode, res.addr, time.Since(t0))
 		if !bytes.Equal(shared, wantShared) {
 			res.residual.Add(1)
 			continue
@@ -404,7 +487,7 @@ func workerECC(cfg cliConfig, c *server.Client, env *eccEnv, id int64, issued *a
 // workerSession drives secure-session handshakes: each round trip sends
 // a fresh challenge, opens the sealed response with the client's
 // private key and checks the recovered challenge byte-for-byte.
-func workerSession(cfg cliConfig, c *server.Client, env *eccEnv, id int64, issued *atomic.Int64, res *result) error {
+func workerSession(cfg cliConfig, c *server.Client, env *eccEnv, lt *loadTracer, id int64, issued *atomic.Int64, res *result) error {
 	rng := rand.New(rand.NewSource(cfg.seed + 7919*id))
 	cli, cliPub, err := env.clientKey(rng)
 	if err != nil {
@@ -413,13 +496,18 @@ func workerSession(cfg cliConfig, c *server.Client, env *eccEnv, id int64, issue
 	challenge := make([]byte, 32)
 	for issued.Add(1) <= int64(cfg.requests) {
 		rng.Read(challenge)
+		tc := lt.begin()
 		t0 := time.Now()
-		resp, err := c.SecureSession(cliPub, challenge)
+		hp := make([]byte, 0, len(cliPub)+len(challenge))
+		hp = append(hp, cliPub...)
+		hp = append(hp, challenge...)
+		hm, err := lt.call(c, tc, server.OpSecureSession, nil, hp)
 		if err != nil {
 			return fmt.Errorf("secure-session: %w", err)
 		}
-		key, got, err := ecc.OpenSessionResponse(cli, cliPub, resp)
+		key, got, err := ecc.OpenSessionResponse(cli, cliPub, hm.Payload)
 		res.hist.Observe(time.Since(t0))
+		lt.slo.Observe(cfg.mode, res.addr, time.Since(t0))
 		if err != nil || len(key) != 16 || !bytes.Equal(got, challenge) {
 			res.residual.Add(1)
 			continue
@@ -446,19 +534,28 @@ func corruptBytes(ch channel.Channel, b []byte) []byte {
 
 // registerMetrics exposes the run's counters as gfp_load_* instruments:
 // the merged view unlabeled (as always), plus one target-labeled series
-// per address in multi-target mode.
+// per address in multi-target mode. Counter values are frozen at
+// registration time — registration happens strictly after the worker
+// drain (wg.Wait has returned and the per-target views are merged), so
+// the dump is one consistent point-in-time snapshot; live closures over
+// the atomics could otherwise be scraped mid-merge and show a merged
+// total that disagrees with the per-target series it was summed from.
 func registerMetrics(reg *obs.Registry, res *result) {
+	frozen := func(c *atomic.Int64) func() int64 {
+		v := c.Load()
+		return func() int64 { return v }
+	}
 	const name, help = "gfp_load_round_trips_total", "Round trips by outcome."
-	reg.CounterFunc(name, help, res.completed.Load, obs.L("result", "ok"))
-	reg.CounterFunc(name, help, res.uncorrectable.Load, obs.L("result", "uncorrectable"))
-	reg.CounterFunc(name, help, res.residual.Load, obs.L("result", "wrong-bytes"))
+	reg.CounterFunc(name, help, frozen(&res.completed), obs.L("result", "ok"))
+	reg.CounterFunc(name, help, frozen(&res.uncorrectable), obs.L("result", "uncorrectable"))
+	reg.CounterFunc(name, help, frozen(&res.residual), obs.L("result", "wrong-bytes"))
 	reg.HistogramFunc("gfp_load_round_trip_seconds",
 		"Successful round-trip latency (encode + corrupt + decode).", res.hist)
 	for _, tr := range res.perTarget {
 		target := obs.L("target", tr.addr)
-		reg.CounterFunc(name, help, tr.completed.Load, obs.L("result", "ok"), target)
-		reg.CounterFunc(name, help, tr.uncorrectable.Load, obs.L("result", "uncorrectable"), target)
-		reg.CounterFunc(name, help, tr.residual.Load, obs.L("result", "wrong-bytes"), target)
+		reg.CounterFunc(name, help, frozen(&tr.completed), obs.L("result", "ok"), target)
+		reg.CounterFunc(name, help, frozen(&tr.uncorrectable), obs.L("result", "uncorrectable"), target)
+		reg.CounterFunc(name, help, frozen(&tr.residual), obs.L("result", "wrong-bytes"), target)
 		reg.HistogramFunc("gfp_load_round_trip_seconds",
 			"Successful round-trip latency (encode + corrupt + decode).", tr.hist, target)
 	}
@@ -478,7 +575,7 @@ func writeMetricsDump(path string, res *result) error {
 	return f.Close()
 }
 
-func report(w io.Writer, cfg cliConfig, res *result, frameK int) {
+func report(w io.Writer, cfg cliConfig, res *result, frameK int, lt *loadTracer) {
 	done := res.completed.Load()
 	secs := res.elapsed.Seconds()
 	fmt.Fprintf(w, "\n%-22s %d ok, %d uncorrectable, %d wrong-byte deliveries\n",
@@ -498,5 +595,14 @@ func report(w io.Writer, cfg cliConfig, res *result, frameK int) {
 		tp50, tp95, tp99 := tr.hist.Percentiles()
 		fmt.Fprintf(w, "  %-20s %d ok  p50 %v  p95 %v  p99 %v  max %v\n",
 			tr.addr+":", tr.completed.Load(), tp50, tp95, tp99, tr.hist.Max())
+	}
+	for _, st := range lt.slo.Snapshot() {
+		fmt.Fprintf(w, "%-22s %s/%s %d of %d over %v (target p%g)  burn %.2fx  budget %.1f%% left\n",
+			"slo:", st.Op, st.Tenant, st.Breaches, st.Total,
+			time.Duration(st.ThresholdNs), st.Target, st.BurnRate, st.BudgetRemaining*100)
+	}
+	if ids := lt.traces(); len(ids) > 0 {
+		fmt.Fprintf(w, "%-22s %s (look each up on a server's /tracez)\n",
+			"sampled traces:", strings.Join(ids, " "))
 	}
 }

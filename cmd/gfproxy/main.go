@@ -22,6 +22,8 @@
 //	        [-health-timeout 1s] [-fail-after 2] [-readmit-after 2]
 //	        [-dial-wait 1s] [-forward-timeout 30s] [-read-timeout 2m]
 //	        [-write-timeout 30s] [-grace 30s] [-quiet]
+//	        [-trace-every 0] [-trace-ring 256] [-log-format text|json]
+//	        [-slo SPEC] [-slo-window 1m] [-wide-every N]
 //
 // Examples:
 //
@@ -29,6 +31,7 @@
 //	gfproxy -backends :4650@:9090,:4651@:9091 -admin :9095
 //	gfproxy -backends :4650 -route request               # spread one conn
 //	gfproxy -backends :4650 -tenant-inflight 64          # per-IP budget
+//	gfproxy -backends :4650 -trace-every 100             # self-sample traces
 package main
 
 import (
@@ -37,7 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -72,6 +75,26 @@ type cliConfig struct {
 	writeTimeout   time.Duration
 	grace          time.Duration
 	quiet          bool
+	traceEvery     int
+	traceRing      int
+	logFormat      string
+	slo            string
+	sloWindow      time.Duration
+	wideEvery      int
+}
+
+// newLogger builds the process logger: structured slog on stderr, text
+// (the human-friendly default) or JSON (one machine-parseable object
+// per line — the shape log pipelines ingest wide events in).
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
 }
 
 func main() {
@@ -96,6 +119,12 @@ func main() {
 	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 30*time.Second, "per-response write limit (0 = none)")
 	flag.DurationVar(&cfg.grace, "grace", 30*time.Second, "shutdown drain budget before connections are cut")
 	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress the final stats snapshot")
+	flag.IntVar(&cfg.traceEvery, "trace-every", 0, "self-sample every Nth untraced request as a new root trace (0 = off; client-traced requests are always honored)")
+	flag.IntVar(&cfg.traceRing, "trace-ring", 0, "distributed-trace spans retained for /tracez (0 = 256)")
+	flag.StringVar(&cfg.logFormat, "log-format", "text", "stderr log format: text or json")
+	flag.StringVar(&cfg.slo, "slo", "", "latency objectives, op=threshold@percent comma-separated (e.g. 'rs-encode=5ms@99.9,default=10ms@99'; empty = off)")
+	flag.DurationVar(&cfg.sloWindow, "slo-window", time.Minute, "rolling window for the SLO error-budget burn rate")
+	flag.IntVar(&cfg.wideEvery, "wide-every", 0, "emit a structured wide event for every traced request plus one in N untraced completions (0 = wide events off)")
 	flag.Parse()
 
 	if err := run(cfg, os.Stdout); err != nil {
@@ -125,7 +154,19 @@ func run(cfg cliConfig, out io.Writer) error {
 		return fmt.Errorf("unknown -route %q (want conn or request)", cfg.route)
 	}
 
-	logger := log.New(os.Stderr, "gfproxy: ", log.LstdFlags)
+	logger, err := newLogger(cfg.logFormat)
+	if err != nil {
+		return err
+	}
+	logger = logger.With(slog.String("proc", "gfproxy"))
+	objectives, err := obs.ParseObjectives(cfg.slo)
+	if err != nil {
+		return err
+	}
+	var wideLog *slog.Logger
+	if cfg.wideEvery > 0 {
+		wideLog = logger
+	}
 	p, err := cluster.New(cluster.Config{
 		Backends:       specs,
 		Replicas:       cfg.replicas,
@@ -143,7 +184,14 @@ func run(cfg cliConfig, out io.Writer) error {
 		ReadmitAfter:   cfg.readmitAfter,
 		ReadTimeout:    cfg.readTimeout,
 		WriteTimeout:   cfg.writeTimeout,
-		Logf:           logger.Printf,
+		TraceEvery:     cfg.traceEvery,
+		TraceRing:      cfg.traceRing,
+		SLO:            obs.NewSLO(objectives, cfg.sloWindow),
+		WideLog:        wideLog,
+		WideEvery:      cfg.wideEvery,
+		Logf: func(format string, args ...any) {
+			logger.Warn(fmt.Sprintf(format, args...))
+		},
 	})
 	if err != nil {
 		return err
@@ -160,7 +208,7 @@ func run(cfg cliConfig, out io.Writer) error {
 		admin := &http.Server{Handler: p.AdminHandler(reg)}
 		go admin.Serve(aln)
 		defer admin.Close()
-		fmt.Fprintf(out, "gfproxy: admin on http://%s — /metrics /healthz /statsz /debug/pprof\n", aln.Addr())
+		fmt.Fprintf(out, "gfproxy: admin on http://%s — /metrics /healthz /statsz /tracez /debug/pprof\n", aln.Addr())
 	}
 
 	stop := make(chan os.Signal, 1)

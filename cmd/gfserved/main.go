@@ -19,15 +19,19 @@
 //	         [-key STRING] [-curve K-233] [-ecc-key STRING]
 //	         [-read-timeout 2m] [-write-timeout 30s]
 //	         [-grace 30s] [-quiet] [-admin ADDR] [-progress DUR]
-//	         [-trace-every 64] [-trace-slowest 16]
+//	         [-trace-every 64] [-trace-slowest 16] [-trace-ring 256]
+//	         [-log-format text|json] [-slo SPEC] [-slo-window 1m]
+//	         [-wide-every N]
 //
 // Examples:
 //
 //	gfserved                        # RS(255,239) on :4650
 //	gfserved -n 255 -k 223 -depth 4 # deeper code, interleaved frames
 //	gfserved -addr 127.0.0.1:0      # ephemeral port (printed on start)
-//	gfserved -admin :9090           # /metrics, /healthz, /statsz, pprof
+//	gfserved -admin :9090           # /metrics, /healthz, /statsz, /tracez, pprof
 //	gfserved -progress 5s           # one summary line every 5s
+//	gfserved -log-format json -wide-every 100   # wide events, JSON logs
+//	gfserved -slo 'ecdsa-sign=5ms@99.9,default=2ms@99'  # error budgets
 package main
 
 import (
@@ -36,7 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -70,7 +74,26 @@ type cliConfig struct {
 	progress     time.Duration
 	traceEvery   int
 	traceSlowest int
+	traceRing    int
 	kernelTier   string
+	logFormat    string
+	slo          string
+	sloWindow    time.Duration
+	wideEvery    int
+}
+
+// newLogger builds the process logger: structured slog on stderr, text
+// (the human-friendly default) or JSON (one machine-parseable object
+// per line — the shape log pipelines ingest wide events in).
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
 }
 
 // syncWriter serializes writes so the progress goroutine and the main
@@ -110,6 +133,11 @@ func main() {
 	flag.DurationVar(&cfg.progress, "progress", 0, "print a one-line stats summary at this interval (0 = off)")
 	flag.IntVar(&cfg.traceEvery, "trace-every", 64, "sample every Nth frame for lifecycle tracing (1 = all, 0 = off)")
 	flag.IntVar(&cfg.traceSlowest, "trace-slowest", 16, "slowest traced frames kept for /statsz")
+	flag.IntVar(&cfg.traceRing, "trace-ring", 0, "distributed-trace spans retained for /tracez (0 = 256)")
+	flag.StringVar(&cfg.logFormat, "log-format", "text", "stderr log format: text or json")
+	flag.StringVar(&cfg.slo, "slo", "", "latency objectives, op=threshold@percent comma-separated (e.g. 'ecdsa-sign=5ms@99.9,default=2ms@99'; empty = off)")
+	flag.DurationVar(&cfg.sloWindow, "slo-window", time.Minute, "rolling window for the SLO error-budget burn rate")
+	flag.IntVar(&cfg.wideEvery, "wide-every", 0, "emit a structured wide event for every traced request plus one in N untraced completions (0 = wide events off)")
 	flag.StringVar(&cfg.kernelTier, "kernel-tier", "",
 		"force every GF bulk kernel onto one tier: scalar, packed, table, bitsliced, clmul (empty/auto = calibrated per-op selection)")
 	flag.Parse()
@@ -122,7 +150,19 @@ func main() {
 
 func run(cfg cliConfig, out io.Writer) error {
 	w := &syncWriter{w: out}
-	logger := log.New(os.Stderr, "gfserved: ", log.LstdFlags)
+	logger, err := newLogger(cfg.logFormat)
+	if err != nil {
+		return err
+	}
+	logger = logger.With(slog.String("proc", "gfserved"))
+	objectives, err := obs.ParseObjectives(cfg.slo)
+	if err != nil {
+		return err
+	}
+	var wideLog *slog.Logger
+	if cfg.wideEvery > 0 {
+		wideLog = logger
+	}
 	tier, err := gf.ParseTier(cfg.kernelTier)
 	if err != nil {
 		return err
@@ -138,7 +178,13 @@ func run(cfg cliConfig, out io.Writer) error {
 		Window:      cfg.window,
 		ReadTimeout: cfg.readTimeout, WriteTimeout: cfg.writeTimeout,
 		TraceEvery: cfg.traceEvery, TraceSlowest: cfg.traceSlowest,
-		Logf: logger.Printf,
+		TraceRing: cfg.traceRing,
+		SLO:       obs.NewSLO(objectives, cfg.sloWindow),
+		WideLog:   wideLog,
+		WideEvery: cfg.wideEvery,
+		Logf: func(format string, args ...any) {
+			logger.Warn(fmt.Sprintf(format, args...))
+		},
 	})
 	if err != nil {
 		return err
@@ -155,7 +201,7 @@ func run(cfg cliConfig, out io.Writer) error {
 		admin := &http.Server{Handler: s.AdminHandler(reg)}
 		go admin.Serve(aln)
 		defer admin.Close()
-		fmt.Fprintf(w, "gfserved: admin on http://%s — /metrics /healthz /statsz /debug/pprof\n", aln.Addr())
+		fmt.Fprintf(w, "gfserved: admin on http://%s — /metrics /healthz /statsz /tracez /debug/pprof\n", aln.Addr())
 	}
 
 	if cfg.progress > 0 {

@@ -9,6 +9,8 @@ import (
 	"sort"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
+	"repro/internal/server"
 )
 
 // ProxyCounters is the serialized proxy-level ledger. Like the backend
@@ -108,6 +110,13 @@ func (p *Proxy) RegisterMetrics(reg *obs.Registry) {
 		"Backends currently admitted to the ring.",
 		func() float64 { return float64(p.healthyBackends()) })
 
+	for op := server.Op(1); int(op) < len(p.opLat); op++ {
+		reg.HistogramFuncEx("gfp_proxy_op_latency_seconds",
+			"End-to-end proxied request latency (framed off the client socket to response written), per op.",
+			&p.opLat[op], &p.opEx[op], obs.L("op", op.String()))
+	}
+	p.cfg.SLO.RegisterMetrics(reg)
+
 	for _, b := range p.backends {
 		addr := obs.L("backend", b.spec.Addr)
 		reg.CounterFunc("gfp_proxy_backend_forwards_total",
@@ -159,6 +168,7 @@ type Statsz struct {
 	Proxy      ProxyCounters    `json:"proxy"`
 	Tenants    []TenantSnapshot `json:"tenants,omitempty"`
 	Fleet      *FleetStats      `json:"fleet"`
+	SLO        []obs.SLOStatus  `json:"slo,omitempty"`
 }
 
 // Statsz captures the full admin snapshot: proxy ledger, tenants
@@ -168,6 +178,7 @@ func (p *Proxy) Statsz() Statsz {
 		Proxy:   p.ctr.snapshot(),
 		Tenants: p.adm.snapshot(),
 		Fleet:   p.fleetSnapshot(),
+		SLO:     p.cfg.SLO.Snapshot(),
 	}
 	sort.Slice(sz.Tenants, func(i, j int) bool { return sz.Tenants[i].Class < sz.Tenants[j].Class })
 	if a := p.Addr(); a != nil {
@@ -176,10 +187,16 @@ func (p *Proxy) Statsz() Statsz {
 	return sz
 }
 
+// TraceSnap captures the proxy's own distributed-trace span ring (no
+// fleet scrape — see fleetTraceSnap for the merged view /tracez serves).
+func (p *Proxy) TraceSnap() trace.Snap { return p.spans.Snap() }
+
 // AdminHandler returns the admin mux gfproxy mounts on -admin:
 // /metrics (the proxy registry plus the fleet's merged gfp_server_* and
 // gfp_pipeline_* families as one Prometheus page), /healthz, /statsz
-// (JSON) and the net/http/pprof endpoints under /debug/pprof/.
+// (JSON), /tracez (the proxy's spans merged with every backend's, so a
+// trace reads end to end from one scrape) and the net/http/pprof
+// endpoints under /debug/pprof/.
 func (p *Proxy) AdminHandler(reg *obs.Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -202,6 +219,7 @@ func (p *Proxy) AdminHandler(reg *obs.Registry) http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(p.Statsz())
 	})
+	mux.HandleFunc("/tracez", trace.Handler("gfproxy", p.fleetTraceSnap))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

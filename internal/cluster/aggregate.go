@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/perf"
 	"repro/internal/server"
 )
@@ -133,6 +134,56 @@ func (p *Proxy) fleetSnapshot() *FleetStats {
 	fs.metrics = obs.MergeMetrics(sets...)
 	fs.Latency = fleetLatency(fs.metrics)
 	return fs
+}
+
+// fetchTracez scrapes one backend's /tracez report.
+func fetchTracez(client *http.Client, admin string) (trace.Report, error) {
+	resp, err := client.Get("http://" + admin + "/tracez")
+	if err != nil {
+		return trace.Report{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return trace.Report{}, fmt.Errorf("tracez %d: %s", resp.StatusCode, body)
+	}
+	var rep trace.Report
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&rep); err != nil {
+		return trace.Report{}, fmt.Errorf("tracez decode: %w", err)
+	}
+	return rep, nil
+}
+
+// fleetTraceSnap merges the proxy's own span ring with every
+// admin-bearing backend's scraped /tracez report — the fleet-wide view
+// the proxy serves on its own /tracez, so one scrape shows a trace's
+// proxy-route, forward, backend request and pipeline-stage spans
+// together. Unreachable backends contribute nothing; their spans
+// reappear once they answer again.
+func (p *Proxy) fleetTraceSnap() trace.Snap {
+	client := &http.Client{Timeout: statszTimeout}
+	snaps := []trace.Snap{p.spans.Snap()}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, b := range p.backends {
+		if b.spec.Admin == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(admin string) {
+			defer wg.Done()
+			rep, err := fetchTracez(client, admin)
+			if err != nil {
+				return
+			}
+			snap := trace.Snap{Spans: rep.Spans(), Total: rep.SpansTotal, Cap: rep.RingCap}
+			mu.Lock()
+			snaps = append(snaps, snap)
+			mu.Unlock()
+		}(b.spec.Admin)
+	}
+	wg.Wait()
+	return trace.MergeSnaps(snaps...)
 }
 
 // addCounters sums one backend's ledger into the fleet total.

@@ -6,11 +6,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+	"repro/internal/perf"
 	"repro/internal/server"
 )
 
@@ -58,6 +63,23 @@ type Config struct {
 	// ReadTimeout is the per-connection idle limit between requests;
 	// WriteTimeout bounds each response write (0 = none).
 	ReadTimeout, WriteTimeout time.Duration
+	// TraceEvery self-samples one in every TraceEvery untraced requests
+	// as a new root trace (0 = never). Requests that arrive with their
+	// own trace context are honored regardless, so a traced gfload run
+	// needs no proxy configuration.
+	TraceEvery int
+	// TraceRing caps the proxy's own distributed-trace span ring served
+	// (merged with the backends') at /tracez (0 = trace.DefaultRingSize).
+	TraceRing int
+	// SLO, when non-nil, receives every completed request's end-to-end
+	// latency keyed by (op, tenant) for error-budget accounting.
+	SLO *obs.SLO
+	// WideLog, when non-nil, emits one structured wide event per
+	// completed request: always for trace-sampled requests, plus one in
+	// every WideEvery untraced completions (WideEvery 0 logs sampled
+	// requests only).
+	WideLog   *slog.Logger
+	WideEvery int
 	// Logf, when set, receives proxy-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -145,7 +167,17 @@ type Proxy struct {
 	handlerWG sync.WaitGroup
 
 	ctr proxyCounters
+
+	spans     *trace.Ring // proxy-hop spans for /tracez
+	traceTick atomic.Uint64
+	wideTick  atomic.Uint64
+	opLat     [proxyOpSlots]perf.Hist
+	opEx      [proxyOpSlots]obs.Exemplar
 }
+
+// proxyOpSlots sizes the per-op latency arrays: ops are small
+// contiguous protocol constants (1..9), indexed directly.
+const proxyOpSlots = 10
 
 // New builds the proxy: the consistent-hash ring over the configured
 // backends, the per-backend connection pools, the admission table, and
@@ -176,6 +208,7 @@ func New(cfg Config) (*Proxy, error) {
 		ring:  r,
 		adm:   newAdmission(cfg.TenantInflight),
 		conns: make(map[*pconn]struct{}),
+		spans: trace.NewRing(cfg.TraceRing),
 	}
 	p.backends = make([]*backend, len(cfg.Backends))
 	for i, spec := range cfg.Backends {
@@ -345,6 +378,7 @@ type pconn struct {
 	sem    chan struct{} // window slots, held from read to response write
 	dead   chan struct{}
 	tenant *tenant
+	host   string // remote host, the SLO/wide-event tenant key
 	key    uint64 // connection routing key
 
 	failOnce sync.Once
@@ -366,6 +400,7 @@ func (p *Proxy) startConn(nc net.Conn) {
 		sem:    make(chan struct{}, p.cfg.Window),
 		dead:   make(chan struct{}),
 		tenant: p.adm.lookup(host),
+		host:   host,
 		key:    hashKey("conn:" + nc.RemoteAddr().String()),
 	}
 	p.mu.Lock()
@@ -425,8 +460,10 @@ func (c *pconn) readLoop() {
 			}
 			return
 		}
+		readAt := time.Now()
 		c.p.ctr.requests.Add(1)
 		c.p.ctr.bytesIn.Add(int64(server.HeaderSize + len(m.Params) + len(m.Payload)))
+		tc := c.extractTrace(m)
 
 		// Window slot: a client pipelining beyond its window waits here.
 		select {
@@ -442,20 +479,51 @@ func (c *pconn) readLoop() {
 			c.write(&server.Message{Op: m.Op, Status: server.StatusOverloaded, ID: m.ID,
 				Payload: []byte("tenant in-flight limit exceeded")}, true)
 			<-c.sem
+			c.p.finishRequest(c, tc, c.mintSpan(tc), m.Op, readAt, server.StatusOverloaded, fwdInfo{})
 			continue
 		}
 		c.p.handlerWG.Add(1)
-		go c.handle(m)
+		go c.handle(m, tc, readAt)
 	}
 }
 
+// extractTrace strips an incoming trace-context extension off m (the
+// stripped message is what forward re-injects per attempt, each with a
+// fresh span id), or self-samples one in every TraceEvery untraced
+// requests as a new root trace. A malformed extension downgrades the
+// request to untraced; it never rejects it.
+func (c *pconn) extractTrace(m *server.Message) trace.Context {
+	if m.Flags&server.FlagTraced != 0 {
+		m.Flags &^= server.FlagTraced
+		if tc, rest, ok := trace.Extract(m.Params); ok {
+			m.Params = rest
+			return tc
+		}
+		return trace.Context{}
+	}
+	if every := uint64(c.p.cfg.TraceEvery); every > 0 && c.p.traceTick.Add(1)%every == 0 {
+		return trace.Context{Trace: trace.NewID(), Sampled: true}
+	}
+	return trace.Context{}
+}
+
+// mintSpan returns a fresh span id for a sampled context, 0 otherwise.
+func (c *pconn) mintSpan(tc trace.Context) uint64 {
+	if !tc.Sampled {
+		return 0
+	}
+	return trace.NewID()
+}
+
 // handle forwards one request and writes its response.
-func (c *pconn) handle(m *server.Message) {
+func (c *pconn) handle(m *server.Message, tc trace.Context, readAt time.Time) {
 	defer c.p.handlerWG.Done()
-	resp := c.p.forward(m, c.routeKey(m))
+	span := c.mintSpan(tc)
+	resp, fwd := c.p.forward(m, c.routeKey(m), tc, span)
 	c.p.adm.release(c.tenant)
 	c.write(resp, true)
 	<-c.sem
+	c.p.finishRequest(c, tc, span, m.Op, readAt, resp.Status, fwd)
 }
 
 // routeKey is the consistent-hash key for a request: the connection key
@@ -479,13 +547,26 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
+// fwdInfo summarizes one request's routing outcome for the trace/SLO
+// books: attempts made, retries among them, and the backend that
+// answered (empty when none did).
+type fwdInfo struct {
+	attempts, retries int
+	backend           string
+}
+
 // forward routes one request to the fleet and returns the response to
 // relay. The backend preference order is the ring walk from the routing
 // key, healthy backends first and ejected ones as a last resort; a
 // transport failure moves to the next backend when the op is idempotent,
 // and a backend that refused the request unprocessed (RetrySafe) is
 // retried for any op. Each failure feeds the passive health signal.
-func (p *Proxy) forward(m *server.Message, key uint64) *server.Message {
+//
+// A sampled trace context is re-injected per attempt under a fresh span
+// id (same trace id — a retried request stays one trace), parented on
+// routeSpan, and each attempt records a forward span with its backend
+// and outcome.
+func (p *Proxy) forward(m *server.Message, key uint64, tc trace.Context, routeSpan uint64) (*server.Message, fwdInfo) {
 	var seqBuf [64]int
 	seq := p.ring.sequence(key, seqBuf[:])
 
@@ -506,44 +587,167 @@ func (p *Proxy) forward(m *server.Message, key uint64) *server.Message {
 	}
 
 	maxAttempts := 1 + p.cfg.Retries
-	attempts := 0
+	fwd := fwdInfo{}
 	var lastErr error
 	for _, bi := range order {
-		if attempts >= maxAttempts {
+		if fwd.attempts >= maxAttempts {
 			break
 		}
-		attempts++
+		fwd.attempts++
 		b := p.backends[bi]
 		b.forwards.Add(1)
-		resp, err := p.callBackend(b, m)
+		// Re-inject the trace context per attempt: a copy of the message
+		// gets the extension appended (append copies the capacity-pinned
+		// params, so the original stays pristine for the next attempt).
+		am := m
+		var attemptStart time.Time
+		var attemptSpan uint64
+		if tc.Sampled {
+			attemptSpan = trace.NewID()
+			cp := *m
+			server.AttachTrace(&cp, trace.Context{Trace: tc.Trace, Span: attemptSpan, Sampled: true})
+			am = &cp
+			attemptStart = time.Now()
+		}
+		resp, err := p.callBackend(b, am)
+		if tc.Sampled {
+			p.recordForwardSpan(tc, attemptSpan, routeSpan, m.Op, b.spec.Addr,
+				fwd.attempts, attemptStart, resp, err)
+		}
 		if err == nil {
 			p.hc.noteSuccess(b)
-			if resp.Status.RetrySafe() && attempts < maxAttempts {
+			if resp.Status.RetrySafe() && fwd.attempts < maxAttempts {
 				// Backend draining: it rejected the request unprocessed, so
 				// replaying elsewhere is safe for every op.
 				p.ctr.retries.Add(1)
+				fwd.retries++
 				continue
 			}
-			return resp
+			fwd.backend = b.spec.Addr
+			return resp, fwd
 		}
 		lastErr = err
 		b.failures.Add(1)
 		p.ctr.backendFails.Add(1)
 		p.hc.noteFailure(b, err)
-		if m.Op.Idempotent() && attempts < maxAttempts {
+		if m.Op.Idempotent() && fwd.attempts < maxAttempts {
 			p.ctr.retries.Add(1)
+			fwd.retries++
 			continue
 		}
 		break
 	}
 	msg := "no healthy backend"
 	if lastErr != nil {
-		msg = fmt.Sprintf("backend unavailable after %d attempt(s): %v", attempts, lastErr)
+		msg = fmt.Sprintf("backend unavailable after %d attempt(s): %v", fwd.attempts, lastErr)
 		if !m.Op.Idempotent() {
 			msg += fmt.Sprintf(" (%v is not idempotent: not retried)", m.Op)
 		}
 	}
-	return &server.Message{Op: m.Op, Status: server.StatusUnavailable, ID: m.ID, Payload: []byte(msg)}
+	return &server.Message{Op: m.Op, Status: server.StatusUnavailable, ID: m.ID, Payload: []byte(msg)}, fwd
+}
+
+// recordForwardSpan records one forward attempt's span: parented on the
+// proxy-route span, and itself the parent of the backend's request span
+// (the backend received attemptSpan as its trace context's parent).
+func (p *Proxy) recordForwardSpan(tc trace.Context, attemptSpan, routeSpan uint64,
+	op server.Op, backendAddr string, attempt int, start time.Time,
+	resp *server.Message, err error) {
+	attrs := map[string]string{
+		"backend": backendAddr,
+		"attempt": strconv.Itoa(attempt),
+	}
+	status := ""
+	switch {
+	case err != nil:
+		status = "transport-failure"
+		attrs["error"] = err.Error()
+	case resp.Status != server.StatusOK:
+		status = resp.Status.String()
+	}
+	p.spans.Add(trace.Span{
+		Trace: trace.FormatID(tc.Trace), ID: trace.FormatID(attemptSpan),
+		Parent:  trace.FormatID(routeSpan),
+		Service: "gfproxy", Name: "forward", Op: op.String(),
+		StartUnixNs: start.UnixNano(), DurNs: time.Since(start).Nanoseconds(),
+		Status: status, Attrs: attrs,
+	})
+}
+
+// finishRequest closes the observability books on one proxied request:
+// per-op latency (with a trace exemplar), SLO accounting, the
+// proxy-route span, and the wide event.
+func (p *Proxy) finishRequest(c *pconn, tc trace.Context, span uint64,
+	op server.Op, readAt time.Time, st server.Status, fwd fwdInfo) {
+	now := time.Now()
+	lat := now.Sub(readAt)
+	if int(op) < len(p.opLat) {
+		p.opLat[op].Observe(lat)
+		if tc.Sampled {
+			p.opEx[op].Record(tc.Trace, int64(lat))
+		}
+	}
+	p.cfg.SLO.Observe(op.String(), c.host, lat)
+	if tc.Sampled {
+		status := ""
+		if st != server.StatusOK {
+			status = st.String()
+		}
+		parent := ""
+		if tc.Span != 0 {
+			parent = trace.FormatID(tc.Span)
+		}
+		attrs := map[string]string{
+			"attempts": strconv.Itoa(fwd.attempts),
+			"retries":  strconv.Itoa(fwd.retries),
+			"tenant":   c.host,
+		}
+		if fwd.backend != "" {
+			attrs["backend"] = fwd.backend
+		}
+		p.spans.Add(trace.Span{
+			Trace: trace.FormatID(tc.Trace), ID: trace.FormatID(span), Parent: parent,
+			Service: "gfproxy", Name: "proxy-route", Op: op.String(),
+			StartUnixNs: readAt.UnixNano(), DurNs: lat.Nanoseconds(),
+			Status: status, Attrs: attrs,
+		})
+	}
+	p.wideEvent(c, tc, span, op, st, lat, fwd)
+}
+
+// wideEvent emits the one-line structured record of a completed
+// request: every trace-sampled request, plus one in every WideEvery
+// untraced completions.
+func (p *Proxy) wideEvent(c *pconn, tc trace.Context, span uint64,
+	op server.Op, st server.Status, lat time.Duration, fwd fwdInfo) {
+	lg := p.cfg.WideLog
+	if lg == nil {
+		return
+	}
+	if !tc.Sampled {
+		every := uint64(p.cfg.WideEvery)
+		if every == 0 || p.wideTick.Add(1)%every != 0 {
+			return
+		}
+	}
+	attrs := []slog.Attr{
+		slog.String("service", "gfproxy"),
+		slog.String("op", op.String()),
+		slog.String("tenant", c.host),
+		slog.String("status", st.String()),
+		slog.Int("attempts", fwd.attempts),
+		slog.Int("retries", fwd.retries),
+		slog.Int64("latency_ns", int64(lat)),
+	}
+	if fwd.backend != "" {
+		attrs = append(attrs, slog.String("backend", fwd.backend))
+	}
+	if tc.Sampled {
+		attrs = append(attrs,
+			slog.String("trace", trace.FormatID(tc.Trace)),
+			slog.String("span", trace.FormatID(span)))
+	}
+	lg.LogAttrs(context.Background(), slog.LevelInfo, "request", attrs...)
 }
 
 // callBackend performs one forward attempt. A nil error means the
@@ -562,7 +766,9 @@ func (p *Proxy) callBackend(b *backend, m *server.Message) (*server.Message, err
 	}
 	done := make(chan callResult, 1)
 	go func() {
-		rm, cerr := cl.Call(m.Op, m.Params, m.Payload)
+		// Do (not Call) preserves the trace flag and extension the
+		// forward path injected into the attempt message.
+		rm, cerr := cl.Do(&server.Message{Op: m.Op, Flags: m.Flags, Params: m.Params, Payload: m.Payload})
 		done <- callResult{rm, cerr}
 	}()
 	var r callResult

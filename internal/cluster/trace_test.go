@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs/trace"
+	"repro/internal/server"
+)
+
+// traceSeen records, per fake backend, which (trace id -> attempt span
+// ids) arrived in request trace extensions.
+type traceSeen struct {
+	mu sync.Mutex
+	m  map[string][]string
+}
+
+func (s *traceSeen) record(m *server.Message) {
+	if m.Flags&server.FlagTraced == 0 {
+		return
+	}
+	tc, _, ok := trace.Extract(m.Params)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	key := trace.FormatID(tc.Trace)
+	s.m[key] = append(s.m[key], trace.FormatID(tc.Span))
+	s.mu.Unlock()
+}
+
+// TestProxyRetryReusesTraceID: a retried request must replay with the
+// SAME trace id (it is one logical request) but a FRESH attempt span id
+// (each forward is its own hop), so the reassembled trace shows both
+// attempts under one id.
+func TestProxyRetryReusesTraceID(t *testing.T) {
+	drainSeen := &traceSeen{m: map[string][]string{}}
+	okSeen := &traceSeen{m: map[string][]string{}}
+	draining := startFake(t, func(m *server.Message) (*server.Message, bool) {
+		drainSeen.record(m)
+		// StatusShuttingDown is retry-safe: the request was rejected
+		// unprocessed, so the proxy replays it on the next backend.
+		return &server.Message{Op: m.Op, Status: server.StatusShuttingDown,
+			Payload: []byte("draining")}, true
+	})
+	okb := startFake(t, func(m *server.Message) (*server.Message, bool) {
+		okSeen.record(m)
+		return &server.Message{Op: m.Op, Payload: []byte("pong")}, true
+	})
+	p, addr := startProxy(t, fastHealth(Config{
+		Backends:       []BackendSpec{{Addr: draining.addr()}, {Addr: okb.addr()}},
+		Retries:        2,
+		RouteByRequest: true,
+	}))
+	c := dialProxy(t, addr)
+
+	msg := make([]byte, 239)
+	for i := 0; i < 32; i++ {
+		m := &server.Message{Op: server.OpRSEncode, Payload: msg}
+		server.AttachTrace(m, trace.Context{Trace: trace.NewID(), Span: trace.NewID(), Sampled: true})
+		if _, err := c.Do(m); err != nil {
+			t.Fatalf("traced rs-encode %d: %v", i, err)
+		}
+	}
+	if p.ctr.retries.Load() == 0 {
+		t.Fatal("no retries recorded: the draining backend was never primary? (32 spread requests)")
+	}
+
+	// Find a request that hit the draining backend and was replayed on
+	// the healthy one.
+	drainSeen.mu.Lock()
+	okSeen.mu.Lock()
+	var retried string
+	for id := range drainSeen.m {
+		if _, alsoOK := okSeen.m[id]; alsoOK {
+			retried = id
+			break
+		}
+	}
+	if retried == "" {
+		okSeen.mu.Unlock()
+		drainSeen.mu.Unlock()
+		t.Fatalf("no trace id seen by both backends; draining saw %d, ok saw %d",
+			len(drainSeen.m), len(okSeen.m))
+	}
+	firstSpans, secondSpans := drainSeen.m[retried], okSeen.m[retried]
+	okSeen.mu.Unlock()
+	drainSeen.mu.Unlock()
+
+	for _, s1 := range firstSpans {
+		for _, s2 := range secondSpans {
+			if s1 == s2 {
+				t.Fatalf("retry reused attempt span id %s for trace %s", s1, retried)
+			}
+		}
+	}
+
+	// The proxy's own ring must hold the whole story for that trace: the
+	// route span plus one forward span per attempt (recording completes
+	// just after the response, so poll briefly).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var route, forwards int
+		for _, sp := range p.TraceSnap().Spans {
+			if sp.Trace != retried {
+				continue
+			}
+			switch sp.Name {
+			case "proxy-route":
+				route++
+			case "forward":
+				forwards++
+			}
+		}
+		if route == 1 && forwards >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("proxy ring for trace %s: %d route, %d forward spans; want 1 and >= 2",
+				retried, route, forwards)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

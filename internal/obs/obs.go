@@ -133,6 +133,7 @@ type series struct {
 	ctrFn   func() int64
 	gaugeFn func() float64
 	histRef *perf.Hist
+	ex      *Exemplar // optional exemplar slot (HistogramFuncEx)
 }
 
 func (s *series) isFunc() bool { return s.ctrFn != nil || s.gaugeFn != nil || s.histRef != nil }
@@ -269,6 +270,10 @@ type HistSample struct {
 	P95Ns   int64        `json:"p95_ns"`
 	P99Ns   int64        `json:"p99_ns"`
 	Buckets []HistBucket `json:"buckets,omitempty"`
+
+	// Exemplar, when present, names one traced request that contributed
+	// a sample — the link from this distribution into /tracez.
+	Exemplar *ExemplarSample `json:"exemplar,omitempty"`
 }
 
 // Sample is one gathered series: its labels plus either a scalar Value
@@ -341,6 +346,9 @@ func (s *series) sample(kind Kind) Sample {
 		}
 		if h != nil {
 			out.Hist = histSample(h.Snapshot())
+			if s.ex != nil {
+				out.Hist.Exemplar = s.ex.sample()
+			}
 		}
 	}
 	return out

@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Per-(op, tenant) latency SLO tracking: each configured objective says
+// "this op should finish under Threshold for Target of requests", and
+// the tracker keeps both cumulative totals and a rolling window so the
+// error-budget burn rate reflects the recent past, not the whole run.
+// Burn rate is the standard ratio
+//
+//	(window breach fraction) / (1 - Target)
+//
+// so 1.0 means the service is spending its budget exactly as fast as
+// the objective allows, and anything above it means the budget runs out
+// early. Exported as gfp_slo_* metrics and surfaced in /statsz and
+// gfload's final report.
+
+// Objective is one latency objective: requests for Op should complete
+// within Threshold at least Target (a fraction, e.g. 0.999) of the
+// time. Op "default" (or "") matches any op without its own objective.
+type Objective struct {
+	Op        string        `json:"op"`
+	Threshold time.Duration `json:"threshold_ns"`
+	Target    float64       `json:"target"`
+}
+
+// ParseObjectives parses the CLI objective syntax: a comma-separated
+// list of op=threshold@percent entries, e.g.
+//
+//	ecdsa-sign=5ms@99.9,default=2ms@99
+//
+// threshold is a Go duration; percent is in (0,100). The reserved op
+// "default" applies to every op without an explicit entry. An empty
+// spec returns nil objectives (SLO tracking off).
+func ParseObjectives(spec string) ([]Objective, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var out []Objective
+	seen := make(map[string]bool)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		op, rest, ok := strings.Cut(entry, "=")
+		if !ok || op == "" {
+			return nil, fmt.Errorf("obs: slo entry %q: want op=threshold@percent", entry)
+		}
+		thr, pct, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("obs: slo entry %q: missing @percent", entry)
+		}
+		d, err := time.ParseDuration(thr)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("obs: slo entry %q: bad threshold %q", entry, thr)
+		}
+		p, err := strconv.ParseFloat(pct, 64)
+		if err != nil || p <= 0 || p >= 100 {
+			return nil, fmt.Errorf("obs: slo entry %q: percent %q outside (0,100)", entry, pct)
+		}
+		if seen[op] {
+			return nil, fmt.Errorf("obs: slo op %q configured twice", op)
+		}
+		seen[op] = true
+		out = append(out, Objective{Op: op, Threshold: d, Target: p / 100})
+	}
+	return out, nil
+}
+
+// sloSeries is one (op, tenant) pair's accounting.
+type sloSeries struct {
+	op, tenant string
+	obj        Objective
+
+	total, breaches int64 // cumulative, guarded by SLO.mu
+
+	// rolling window: buckets[i] covers one window/len(buckets) slice of
+	// time; rotate advances cur and zeroes expired buckets lazily.
+	buckets  []sloBucket
+	cur      int
+	curStart time.Time
+}
+
+type sloBucket struct {
+	total, breaches int64
+}
+
+// SLO tracks latency objectives per (op, tenant). All methods are safe
+// for concurrent use and nil-receiver safe, so call sites need no
+// "is SLO tracking on" branch.
+type SLO struct {
+	objectives map[string]Objective
+	def        *Objective
+	window     time.Duration
+	slice      time.Duration
+
+	mu     sync.Mutex
+	series map[[2]string]*sloSeries
+	order  [][2]string // insertion order, for stable snapshots
+
+	reg       *Registry // lazily registers new series when bound
+	maxSeries int
+}
+
+// sloWindowBuckets is the rolling-window resolution.
+const sloWindowBuckets = 6
+
+// sloMaxSeries bounds the (op, tenant) cardinality; once reached, new
+// tenants fold into the "other" tenant instead of growing without
+// bound.
+const sloMaxSeries = 256
+
+// NewSLO builds a tracker over the given objectives with the given
+// rolling window (0 = 1 minute). Nil/empty objectives return a nil
+// tracker, on which every method is a no-op.
+func NewSLO(objectives []Objective, window time.Duration) *SLO {
+	if len(objectives) == 0 {
+		return nil
+	}
+	if window <= 0 {
+		window = time.Minute
+	}
+	s := &SLO{
+		objectives: make(map[string]Objective, len(objectives)),
+		window:     window,
+		slice:      window / sloWindowBuckets,
+		series:     make(map[[2]string]*sloSeries),
+		maxSeries:  sloMaxSeries,
+	}
+	for _, o := range objectives {
+		if o.Op == "default" || o.Op == "" {
+			def := o
+			s.def = &def
+			continue
+		}
+		s.objectives[o.Op] = o
+	}
+	return s
+}
+
+// Window returns the rolling error-budget window.
+func (s *SLO) Window() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.window
+}
+
+// Observe records one completed request's latency against the (op,
+// tenant) objective. Ops without a matching objective (and no default)
+// are not tracked.
+func (s *SLO) Observe(op, tenant string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	obj, ok := s.objectives[op]
+	if !ok {
+		if s.def == nil {
+			return
+		}
+		obj = *s.def
+	}
+	now := time.Now()
+
+	s.mu.Lock()
+	key := [2]string{op, tenant}
+	ser := s.series[key]
+	var registerNew *sloSeries
+	if ser == nil {
+		if len(s.series) >= s.maxSeries && tenant != "other" {
+			s.mu.Unlock()
+			s.Observe(op, "other", d)
+			return
+		}
+		ser = &sloSeries{
+			op: op, tenant: tenant, obj: obj,
+			buckets: make([]sloBucket, sloWindowBuckets), curStart: now,
+		}
+		s.series[key] = ser
+		s.order = append(s.order, key)
+		registerNew = ser
+	}
+	s.rotate(ser, now)
+	ser.total++
+	ser.buckets[ser.cur].total++
+	if d > ser.obj.Threshold {
+		ser.breaches++
+		ser.buckets[ser.cur].breaches++
+	}
+	reg := s.reg
+	s.mu.Unlock()
+
+	// Registration happens outside s.mu: Gather holds the registry lock
+	// while its read-through funcs take s.mu, so taking the registry
+	// lock under s.mu would deadlock.
+	if registerNew != nil && reg != nil {
+		s.registerSeries(reg, registerNew)
+	}
+}
+
+// rotate advances the series' rolling window to cover now, zeroing
+// expired buckets. Called under s.mu.
+func (s *SLO) rotate(ser *sloSeries, now time.Time) {
+	for now.Sub(ser.curStart) >= s.slice {
+		ser.cur = (ser.cur + 1) % len(ser.buckets)
+		ser.buckets[ser.cur] = sloBucket{}
+		ser.curStart = ser.curStart.Add(s.slice)
+		// A long-idle series fast-forwards instead of looping per slice.
+		if now.Sub(ser.curStart) >= s.window {
+			for i := range ser.buckets {
+				ser.buckets[i] = sloBucket{}
+			}
+			ser.curStart = now
+		}
+	}
+}
+
+// windowCounts sums the live buckets. Called under s.mu.
+func (ser *sloSeries) windowCounts() (total, breaches int64) {
+	for _, b := range ser.buckets {
+		total += b.total
+		breaches += b.breaches
+	}
+	return total, breaches
+}
+
+// Status is one (op, tenant) objective's live accounting.
+type SLOStatus struct {
+	Op          string  `json:"op"`
+	Tenant      string  `json:"tenant,omitempty"`
+	ThresholdNs int64   `json:"threshold_ns"`
+	Target      float64 `json:"target"`
+
+	Total    int64 `json:"total"`    // cumulative observed requests
+	Breaches int64 `json:"breaches"` // cumulative over-threshold requests
+
+	WindowTotal    int64 `json:"window_total"`
+	WindowBreaches int64 `json:"window_breaches"`
+
+	// BurnRate is the windowed breach fraction over the error budget
+	// (1 - Target): 1.0 spends the budget exactly at the allowed rate.
+	BurnRate float64 `json:"burn_rate"`
+	// BudgetRemaining is the cumulative budget fraction left: 1 means
+	// untouched, 0 exhausted, negative overspent.
+	BudgetRemaining float64 `json:"budget_remaining"`
+}
+
+// Snapshot returns every tracked series' status, in first-seen order.
+func (s *SLO) Snapshot() []SLOStatus {
+	if s == nil {
+		return nil
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SLOStatus, 0, len(s.order))
+	for _, key := range s.order {
+		ser := s.series[key]
+		s.rotate(ser, now)
+		out = append(out, ser.status())
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Op != out[j].Op {
+			return out[i].Op < out[j].Op
+		}
+		return out[i].Tenant < out[j].Tenant
+	})
+	return out
+}
+
+// status builds one series' Status. Called under s.mu.
+func (ser *sloSeries) status() SLOStatus {
+	wt, wb := ser.windowCounts()
+	st := SLOStatus{
+		Op: ser.op, Tenant: ser.tenant,
+		ThresholdNs: int64(ser.obj.Threshold), Target: ser.obj.Target,
+		Total: ser.total, Breaches: ser.breaches,
+		WindowTotal: wt, WindowBreaches: wb,
+	}
+	budget := 1 - ser.obj.Target
+	if budget > 0 {
+		if wt > 0 {
+			st.BurnRate = (float64(wb) / float64(wt)) / budget
+		}
+		if ser.total > 0 {
+			st.BudgetRemaining = 1 - (float64(ser.breaches)/float64(ser.total))/budget
+		} else {
+			st.BudgetRemaining = 1
+		}
+	}
+	return st
+}
+
+// RegisterMetrics binds the tracker to reg: every existing and future
+// (op, tenant) series exports
+//
+//	gfp_slo_requests_total{op,tenant}
+//	gfp_slo_breaches_total{op,tenant}
+//	gfp_slo_burn_rate{op,tenant}
+//	gfp_slo_threshold_seconds{op,tenant}
+//
+// Call at most once per tracker per registry.
+func (s *SLO) RegisterMetrics(reg *Registry) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.reg = reg
+	existing := make([]*sloSeries, 0, len(s.order))
+	for _, key := range s.order {
+		existing = append(existing, s.series[key])
+	}
+	s.mu.Unlock()
+	for _, ser := range existing {
+		s.registerSeries(reg, ser)
+	}
+}
+
+func (s *SLO) registerSeries(reg *Registry, ser *sloSeries) {
+	labels := []Label{L("op", ser.op), L("tenant", ser.tenant)}
+	reg.CounterFunc("gfp_slo_requests_total",
+		"Requests observed against a latency objective.",
+		func() int64 { s.mu.Lock(); defer s.mu.Unlock(); return ser.total }, labels...)
+	reg.CounterFunc("gfp_slo_breaches_total",
+		"Requests that exceeded their latency objective.",
+		func() int64 { s.mu.Lock(); defer s.mu.Unlock(); return ser.breaches }, labels...)
+	reg.GaugeFunc("gfp_slo_burn_rate",
+		"Rolling-window error-budget burn rate (1.0 = spending exactly the allowed budget).",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			s.rotate(ser, time.Now())
+			return ser.status().BurnRate
+		}, labels...)
+	reg.GaugeFunc("gfp_slo_threshold_seconds",
+		"Configured latency objective threshold.",
+		func() float64 { return ser.obj.Threshold.Seconds() }, labels...)
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseObjectives(t *testing.T) {
+	objs, err := ParseObjectives("ecdsa-sign=5ms@99.9, default=2ms@99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("got %d objectives, want 2", len(objs))
+	}
+	if objs[0].Op != "ecdsa-sign" || objs[0].Threshold != 5*time.Millisecond ||
+		objs[0].Target < 0.9989999 || objs[0].Target > 0.9990001 {
+		t.Fatalf("first objective wrong: %+v", objs[0])
+	}
+	if objs[1].Op != "default" || objs[1].Target != 0.99 {
+		t.Fatalf("default objective wrong: %+v", objs[1])
+	}
+
+	if objs, err := ParseObjectives("  "); err != nil || objs != nil {
+		t.Fatalf("empty spec: got %v, %v; want nil, nil", objs, err)
+	}
+
+	for _, bad := range []string{
+		"no-equals",
+		"op=5ms",          // missing @percent
+		"op=wat@99",       // bad duration
+		"op=-1ms@99",      // non-positive threshold
+		"op=5ms@0",        // percent at edge
+		"op=5ms@100",      // percent at edge
+		"op=5ms@x",        // non-numeric percent
+		"=5ms@99",         // empty op
+		"a=1ms@9,a=2ms@9", // duplicate op
+	} {
+		if _, err := ParseObjectives(bad); err == nil {
+			t.Errorf("ParseObjectives(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+func TestSLONilSafe(t *testing.T) {
+	var s *SLO // objectives off
+	s.Observe("x", "y", time.Second)
+	if got := s.Snapshot(); got != nil {
+		t.Fatalf("nil SLO Snapshot = %v, want nil", got)
+	}
+	if s.Window() != 0 {
+		t.Fatalf("nil SLO Window = %v, want 0", s.Window())
+	}
+	s.RegisterMetrics(NewRegistry()) // must not panic
+	if NewSLO(nil, time.Minute) != nil {
+		t.Fatal("NewSLO with no objectives should return nil")
+	}
+}
+
+func TestSLOObserveAndBurn(t *testing.T) {
+	objs, err := ParseObjectives("sign=1ms@90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSLO(objs, time.Minute)
+
+	// 8 fast, 2 slow: breach fraction 0.2 against a 0.1 budget -> burn 2x.
+	for i := 0; i < 8; i++ {
+		s.Observe("sign", "a", 100*time.Microsecond)
+	}
+	s.Observe("sign", "a", 5*time.Millisecond)
+	s.Observe("sign", "a", 5*time.Millisecond)
+	s.Observe("untracked-op", "a", time.Hour) // no objective, no default: dropped
+
+	snap := s.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("got %d series, want 1: %+v", len(snap), snap)
+	}
+	st := snap[0]
+	if st.Op != "sign" || st.Tenant != "a" {
+		t.Fatalf("series identity wrong: %+v", st)
+	}
+	if st.Total != 10 || st.Breaches != 2 || st.WindowTotal != 10 || st.WindowBreaches != 2 {
+		t.Fatalf("counts wrong: %+v", st)
+	}
+	if st.BurnRate < 1.99 || st.BurnRate > 2.01 {
+		t.Fatalf("BurnRate = %v, want 2.0", st.BurnRate)
+	}
+	// Cumulative: spent 0.2/0.1 = 2x the budget -> remaining = -1.
+	if st.BudgetRemaining > -0.99 || st.BudgetRemaining < -1.01 {
+		t.Fatalf("BudgetRemaining = %v, want -1", st.BudgetRemaining)
+	}
+}
+
+func TestSLODefaultObjective(t *testing.T) {
+	objs, err := ParseObjectives("default=1ms@99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSLO(objs, time.Minute)
+	s.Observe("anything", "t", 2*time.Millisecond)
+	snap := s.Snapshot()
+	if len(snap) != 1 || snap[0].Op != "anything" || snap[0].Breaches != 1 {
+		t.Fatalf("default objective not applied: %+v", snap)
+	}
+}
+
+func TestSLOSeriesCapFoldsToOther(t *testing.T) {
+	objs, _ := ParseObjectives("default=1ms@99")
+	s := NewSLO(objs, time.Minute)
+	s.maxSeries = 2
+	s.Observe("op", "t1", time.Microsecond)
+	s.Observe("op", "t2", time.Microsecond)
+	s.Observe("op", "t3", time.Microsecond) // over cap: folds into "other"
+	s.Observe("op", "t4", time.Microsecond)
+	snap := s.Snapshot()
+	var other *SLOStatus
+	for i := range snap {
+		if snap[i].Tenant == "other" {
+			other = &snap[i]
+		}
+		if snap[i].Tenant == "t3" || snap[i].Tenant == "t4" {
+			t.Fatalf("tenant %s got its own series past the cap", snap[i].Tenant)
+		}
+	}
+	if other == nil || other.Total != 2 {
+		t.Fatalf("folded series wrong: %+v", snap)
+	}
+}
+
+func TestSLORegisterMetrics(t *testing.T) {
+	objs, _ := ParseObjectives("sign=1ms@90")
+	s := NewSLO(objs, time.Minute)
+	reg := NewRegistry()
+	s.Observe("sign", "a", time.Microsecond) // series exists before binding
+	s.RegisterMetrics(reg)
+	s.Observe("sign", "b", 5*time.Millisecond) // and one created after
+
+	var sb strings.Builder
+	WriteMetricsText(&sb, reg.Gather())
+	text := sb.String()
+	for _, want := range []string{
+		`gfp_slo_requests_total{op="sign",tenant="a"} 1`,
+		`gfp_slo_requests_total{op="sign",tenant="b"} 1`,
+		`gfp_slo_breaches_total{op="sign",tenant="b"} 1`,
+		`gfp_slo_threshold_seconds{op="sign",tenant="a"} 0.001`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics text missing %q\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Span is one recorded hop interval of a distributed trace. Ids are
+// rendered as 16-digit hex strings at record time so JSON consumers
+// (and the fleet merge, which round-trips through JSON) never lose
+// 64-bit precision to float decoding.
+type Span struct {
+	Trace   string `json:"trace"`
+	ID      string `json:"id"`
+	Parent  string `json:"parent,omitempty"`
+	Service string `json:"service"` // gfload | gfproxy | gfserved
+	Name    string `json:"name"`    // e.g. proxy-route, request, admission, stage:rs-decode
+	Op      string `json:"op,omitempty"`
+
+	StartUnixNs int64 `json:"start_unix_ns"`
+	DurNs       int64 `json:"dur_ns"`
+
+	// Status is empty for a successful span; otherwise the failure
+	// classification (a GFP1 status string, "dropped", ...).
+	Status string `json:"status,omitempty"`
+
+	// Attrs carries hop-specific detail (backend address, attempt count,
+	// queue-wait split, ...). Allocated only for sampled requests.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// FormatID renders a 64-bit id the way spans carry it.
+func FormatID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// Ring is a fixed-size span buffer: Add overwrites the oldest span once
+// full, so a process retains its most recent spans at constant memory.
+// All methods are safe for concurrent use.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	full  bool
+	total int64
+}
+
+// DefaultRingSize is the span capacity when NewRing is given n <= 0.
+const DefaultRingSize = 256
+
+// NewRing returns a ring holding up to n spans (n <= 0 selects
+// DefaultRingSize).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &Ring{buf: make([]Span, n)}
+}
+
+// Add records one span, overwriting the oldest when full.
+func (r *Ring) Add(s Span) {
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (r *Ring) Snapshot() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]Span, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Span, len(r.buf))
+	n := copy(out, r.buf[r.next:])
+	copy(out[n:], r.buf[:r.next])
+	return out
+}
+
+// Total returns how many spans have ever been recorded (retained or
+// overwritten).
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Snap is one process's (or one merged fleet's) tracez state: the
+// retained spans plus ring accounting.
+type Snap struct {
+	Spans []Span
+	Total int64
+	Cap   int
+}
+
+// Snap captures the ring as a Snap.
+func (r *Ring) Snap() Snap {
+	return Snap{Spans: r.Snapshot(), Total: r.Total(), Cap: r.Cap()}
+}
+
+// MergeSnaps unions several tracez states (a proxy's own ring plus its
+// backends' scraped reports) into one, deduplicating spans by
+// (trace, id, service, name) — a span retained in both a backend's
+// slowest and errored views appears once.
+func MergeSnaps(snaps ...Snap) Snap {
+	var out Snap
+	seen := make(map[[4]string]struct{})
+	for _, s := range snaps {
+		out.Total += s.Total
+		out.Cap += s.Cap
+		for _, sp := range s.Spans {
+			k := [4]string{sp.Trace, sp.ID, sp.Service, sp.Name}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out.Spans = append(out.Spans, sp)
+		}
+	}
+	return out
+}
+
+// TraceView is one trace reassembled from its retained spans: the
+// envelope (earliest start to latest end), the services that
+// contributed, and the spans sorted by start time.
+type TraceView struct {
+	Trace       string `json:"trace"`
+	StartUnixNs int64  `json:"start_unix_ns"`
+	DurNs       int64  `json:"dur_ns"`
+	Services    int    `json:"services"`
+	Err         bool   `json:"err"`
+	Spans       []Span `json:"spans"`
+}
+
+// Group reassembles spans into per-trace views, each view's spans
+// sorted by start time (ties broken longest-first, so a parent precedes
+// the children it encloses).
+func Group(spans []Span) []TraceView {
+	byTrace := make(map[string][]Span)
+	for _, sp := range spans {
+		byTrace[sp.Trace] = append(byTrace[sp.Trace], sp)
+	}
+	out := make([]TraceView, 0, len(byTrace))
+	for id, sps := range byTrace {
+		sort.Slice(sps, func(i, j int) bool {
+			if sps[i].StartUnixNs != sps[j].StartUnixNs {
+				return sps[i].StartUnixNs < sps[j].StartUnixNs
+			}
+			return sps[i].DurNs > sps[j].DurNs
+		})
+		tv := TraceView{Trace: id, StartUnixNs: sps[0].StartUnixNs, Spans: sps}
+		svc := make(map[string]struct{})
+		for _, sp := range sps {
+			if end := sp.StartUnixNs + sp.DurNs - tv.StartUnixNs; end > tv.DurNs {
+				tv.DurNs = end
+			}
+			if sp.Status != "" {
+				tv.Err = true
+			}
+			svc[sp.Service] = struct{}{}
+		}
+		tv.Services = len(svc)
+		out = append(out, tv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Trace < out[j].Trace })
+	return out
+}

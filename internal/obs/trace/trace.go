@@ -1,0 +1,122 @@
+// Package trace is the request-scoped distributed-tracing core shared
+// by gfload, gfproxy and gfserved: a trace context small enough to ride
+// the GFP1 wire (trace id, parent span id, sampling bit — 20 bytes
+// appended to a request's params section, announced by a flag bit in
+// the header), span records for each hop, and a fixed-size per-process
+// ring that the /tracez admin endpoint serves as JSON or human text.
+//
+// Like its parent package obs, this package imports nothing outside the
+// standard library (enforced by scripts/check_obs_imports.sh), so any
+// binary can link it without dragging in a tracing SDK.
+//
+// # Wire format
+//
+// A traced GFP1 request sets the FlagTraced bit in the header's
+// status/flags field and appends one extension to the END of its params
+// section (after any op params, e.g. the 12-byte GCM nonce):
+//
+//	offset  size  field
+//	0       2     magic 0x5443 ("TC")
+//	2       1     extension version (1)
+//	3       1     flags (bit 0: sampled)
+//	4       8     trace id (big-endian, nonzero)
+//	12      8     parent span id (big-endian; 0 = root)
+//
+// Receivers strip a well-formed extension before op-param validation
+// and treat anything malformed or truncated as absent: a damaged trace
+// context downgrades the request to untraced, it never fails it.
+// Requests without the flag are byte-identical to the pre-trace
+// protocol, so old and new clients and servers interoperate bit-exactly.
+package trace
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"time"
+)
+
+// Wire-format constants for the params trace-context extension.
+const (
+	// ExtSize is the exact byte length of the extension.
+	ExtSize = 20
+
+	extMagic   = 0x5443 // "TC"
+	extVersion = 1
+
+	extFlagSampled = 0x01
+)
+
+// Context is one hop's view of a distributed trace: the request's trace
+// id, the span id of the sender (the receiver's parent), and whether
+// span recording was requested. The zero Context means "untraced".
+type Context struct {
+	Trace   uint64
+	Span    uint64
+	Sampled bool
+}
+
+// Valid reports whether the context names a trace.
+func (c Context) Valid() bool { return c.Trace != 0 }
+
+// Append serializes the context as a params extension appended to
+// params. The input slice is not modified (append semantics); callers
+// that share the backing array should pass a full-capacity-bounded
+// slice, as the GFP1 reader does.
+func (c Context) Append(params []byte) []byte {
+	var ext [ExtSize]byte
+	binary.BigEndian.PutUint16(ext[0:], extMagic)
+	ext[2] = extVersion
+	if c.Sampled {
+		ext[3] = extFlagSampled
+	}
+	binary.BigEndian.PutUint64(ext[4:], c.Trace)
+	binary.BigEndian.PutUint64(ext[12:], c.Span)
+	return append(params, ext[:]...)
+}
+
+// Extract parses and strips a trace-context extension from the tail of
+// params. On success it returns the context and the params with the
+// extension removed. Anything malformed — params shorter than the
+// extension, wrong magic, unknown version, a zero trace id — returns
+// ok=false with params unchanged: the caller serves the request
+// untraced rather than rejecting it.
+func Extract(params []byte) (c Context, rest []byte, ok bool) {
+	if len(params) < ExtSize {
+		return Context{}, params, false
+	}
+	ext := params[len(params)-ExtSize:]
+	if binary.BigEndian.Uint16(ext[0:]) != extMagic || ext[2] != extVersion {
+		return Context{}, params, false
+	}
+	c = Context{
+		Trace:   binary.BigEndian.Uint64(ext[4:]),
+		Span:    binary.BigEndian.Uint64(ext[12:]),
+		Sampled: ext[3]&extFlagSampled != 0,
+	}
+	if c.Trace == 0 {
+		return Context{}, params, false
+	}
+	return c, params[:len(params)-ExtSize], true
+}
+
+// idState seeds the id generator once per process; successive ids are
+// the splitmix64 stream from that seed — unique within a process and
+// collision-resistant across a fleet (64-bit state seeded from the
+// process start time).
+var idState atomic.Uint64
+
+func init() { idState.Store(uint64(time.Now().UnixNano())) }
+
+// NewID returns a new nonzero 64-bit trace or span id.
+func NewID() uint64 {
+	x := idState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestContextRoundTrip(t *testing.T) {
+	params := []byte{1, 2, 3, 4}
+	tc := Context{Trace: 0xdeadbeefcafef00d, Span: 0x0123456789abcdef, Sampled: true}
+	wire := tc.Append(params)
+	if len(wire) != len(params)+ExtSize {
+		t.Fatalf("Append grew params by %d bytes, want %d", len(wire)-len(params), ExtSize)
+	}
+	got, rest, ok := Extract(wire)
+	if !ok {
+		t.Fatal("Extract rejected a well-formed extension")
+	}
+	if got != tc {
+		t.Fatalf("round trip: got %+v, want %+v", got, tc)
+	}
+	if !bytes.Equal(rest, params) {
+		t.Fatalf("Extract returned params %x, want the original prefix %x", rest, params)
+	}
+}
+
+func TestContextRoundTripEmptyParams(t *testing.T) {
+	tc := Context{Trace: 7, Sampled: false}
+	got, rest, ok := Extract(tc.Append(nil))
+	if !ok || got != tc || len(rest) != 0 {
+		t.Fatalf("got %+v rest=%x ok=%v, want %+v rest= ok=true", got, rest, ok, tc)
+	}
+}
+
+// A malformed or truncated extension must downgrade to "untraced" with
+// the params untouched — never an error, never a mutation.
+func TestExtractMalformed(t *testing.T) {
+	base := Context{Trace: 42, Span: 43, Sampled: true}.Append([]byte("op-params"))
+	corrupt := func(mut func([]byte)) []byte {
+		b := append([]byte(nil), base...)
+		mut(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"short":         []byte("tiny"),
+		"empty":         {},
+		"truncated":     base[:len(base)-1],
+		"bad magic":     corrupt(func(b []byte) { b[len(b)-ExtSize] ^= 0xff }),
+		"bad version":   corrupt(func(b []byte) { b[len(b)-ExtSize+2] = 99 }),
+		"zero trace id": corrupt(func(b []byte) { copy(b[len(b)-16:len(b)-8], make([]byte, 8)) }),
+	}
+	for name, in := range cases {
+		before := append([]byte(nil), in...)
+		tc, rest, ok := Extract(in)
+		if ok {
+			t.Errorf("%s: Extract accepted a malformed extension: %+v", name, tc)
+		}
+		if tc != (Context{}) {
+			t.Errorf("%s: got a non-zero context %+v", name, tc)
+		}
+		if !bytes.Equal(rest, before) {
+			t.Errorf("%s: params changed: %x -> %x", name, before, rest)
+		}
+	}
+}
+
+func TestNewIDNonzeroDistinct(t *testing.T) {
+	seen := make(map[uint64]struct{})
+	for i := 0; i < 10000; i++ {
+		id := NewID()
+		if id == 0 {
+			t.Fatal("NewID returned 0")
+		}
+		if _, dup := seen[id]; dup {
+			t.Fatalf("NewID repeated %016x after %d draws", id, i)
+		}
+		seen[id] = struct{}{}
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Add(Span{Trace: "t", ID: fmt.Sprintf("%016x", i+1)})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(got))
+	}
+	for i, sp := range got { // oldest first: spans 7..10
+		want := fmt.Sprintf("%016x", 7+i)
+		if sp.ID != want {
+			t.Fatalf("snapshot[%d].ID = %s, want %s", i, sp.ID, want)
+		}
+	}
+}
+
+func TestMergeSnapsDedup(t *testing.T) {
+	a := Span{Trace: "t1", ID: "s1", Service: "gfserved", Name: "request"}
+	b := Span{Trace: "t1", ID: "s2", Service: "gfserved", Name: "admission"}
+	merged := MergeSnaps(
+		Snap{Spans: []Span{a, b}, Total: 2, Cap: 4},
+		Snap{Spans: []Span{a}, Total: 1, Cap: 4}, // a retained twice fleet-wide
+	)
+	if len(merged.Spans) != 2 {
+		t.Fatalf("merged %d spans, want 2 (dedup)", len(merged.Spans))
+	}
+	if merged.Total != 3 || merged.Cap != 8 {
+		t.Fatalf("accounting total=%d cap=%d, want 3 and 8", merged.Total, merged.Cap)
+	}
+}
+
+func TestGroup(t *testing.T) {
+	spans := []Span{
+		{Trace: "t1", ID: "s2", Service: "gfserved", Name: "request", StartUnixNs: 150, DurNs: 40},
+		{Trace: "t1", ID: "s1", Service: "gfproxy", Name: "proxy-route", StartUnixNs: 100, DurNs: 100},
+		{Trace: "t2", ID: "s3", Service: "gfserved", Name: "request", StartUnixNs: 500, DurNs: 10, Status: "overloaded"},
+	}
+	views := Group(spans)
+	if len(views) != 2 {
+		t.Fatalf("got %d views, want 2", len(views))
+	}
+	v1 := views[0] // sorted by trace id
+	if v1.Trace != "t1" || v1.StartUnixNs != 100 || v1.DurNs != 100 || v1.Services != 2 || v1.Err {
+		t.Fatalf("t1 view wrong: %+v", v1)
+	}
+	if v1.Spans[0].ID != "s1" {
+		t.Fatalf("t1 spans not start-ordered: first is %s", v1.Spans[0].ID)
+	}
+	if !views[1].Err {
+		t.Fatal("t2 carries an errored span but Err is false")
+	}
+}
+
+func TestBuildReportAndHandler(t *testing.T) {
+	r := NewRing(16)
+	r.Add(Span{Trace: "aaaa", ID: "s1", Service: "gfserved", Name: "request", StartUnixNs: 100, DurNs: 50})
+	r.Add(Span{Trace: "bbbb", ID: "s2", Service: "gfserved", Name: "request", StartUnixNs: 200, DurNs: 500, Status: "codec-failed"})
+
+	rep := BuildReport("gfserved", r.Snap(), 0)
+	if rep.Traces != 2 || rep.Retained != 2 || rep.SpansTotal != 2 {
+		t.Fatalf("report accounting wrong: %+v", rep)
+	}
+	if len(rep.Slowest) != 2 || rep.Slowest[0].Trace != "bbbb" {
+		t.Fatalf("slowest not duration-ordered: %+v", rep.Slowest)
+	}
+	if len(rep.Errored) != 1 || rep.Errored[0].Trace != "bbbb" {
+		t.Fatalf("errored view wrong: %+v", rep.Errored)
+	}
+	if got := rep.Spans(); len(got) != 2 { // bbbb is in both views: dedup
+		t.Fatalf("Spans() returned %d, want 2", len(got))
+	}
+
+	h := Handler("gfserved", r.Snap)
+
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/tracez?n=1", nil))
+	var got Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("tracez JSON: %v", err)
+	}
+	if got.Service != "gfserved" || len(got.Slowest) != 1 || got.Slowest[0].Trace != "bbbb" {
+		t.Fatalf("tracez JSON report wrong: %+v", got)
+	}
+
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/tracez?format=text", nil))
+	text := rec.Body.String()
+	if !strings.HasPrefix(text, "tracez service=gfserved spans_total=2") {
+		t.Fatalf("text header wrong: %q", strings.SplitN(text, "\n", 2)[0])
+	}
+	if !strings.Contains(text, "span bbbb s2 - 200 500 gfserved request - codec-failed") {
+		t.Fatalf("text span line missing:\n%s", text)
+	}
+}

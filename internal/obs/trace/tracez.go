@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// Report is the /tracez payload: ring accounting plus the slowest-N and
+// errored-N trace views reassembled from the retained spans. A proxy
+// merges its backends' Reports with its own ring before building one
+// fleet-wide Report, the same way /statsz merges ledgers.
+type Report struct {
+	Service    string `json:"service"`
+	SpansTotal int64  `json:"spans_total"` // spans ever recorded
+	Retained   int    `json:"retained"`    // spans currently in the ring
+	RingCap    int    `json:"ring_cap"`
+	Traces     int    `json:"traces"` // distinct traces among retained spans
+
+	Slowest []TraceView `json:"slowest"`
+	Errored []TraceView `json:"errored,omitempty"`
+}
+
+// BuildReport reassembles a Snap into a Report with at most n traces
+// per view (n <= 0 selects 16). Slowest is ordered by trace envelope
+// duration descending; Errored by recency (latest start first).
+func BuildReport(service string, s Snap, n int) Report {
+	if n <= 0 {
+		n = 16
+	}
+	views := Group(s.Spans)
+	rep := Report{
+		Service:    service,
+		SpansTotal: s.Total,
+		Retained:   len(s.Spans),
+		RingCap:    s.Cap,
+		Traces:     len(views),
+	}
+
+	slow := make([]TraceView, len(views))
+	copy(slow, views)
+	sort.Slice(slow, func(i, j int) bool { return slow[i].DurNs > slow[j].DurNs })
+	if len(slow) > n {
+		slow = slow[:n]
+	}
+	rep.Slowest = slow
+
+	var errored []TraceView
+	for _, v := range views {
+		if v.Err {
+			errored = append(errored, v)
+		}
+	}
+	sort.Slice(errored, func(i, j int) bool { return errored[i].StartUnixNs > errored[j].StartUnixNs })
+	if len(errored) > n {
+		errored = errored[:n]
+	}
+	rep.Errored = errored
+	return rep
+}
+
+// Spans flattens the report's views back to a deduplicated span set, so
+// a scraped Report can feed MergeSnaps.
+func (rep Report) Spans() []Span {
+	seen := make(map[[4]string]struct{})
+	var out []Span
+	add := func(views []TraceView) {
+		for _, v := range views {
+			for _, sp := range v.Spans {
+				k := [4]string{sp.Trace, sp.ID, sp.Service, sp.Name}
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				out = append(out, sp)
+			}
+		}
+	}
+	add(rep.Slowest)
+	add(rep.Errored)
+	return out
+}
+
+// Handler serves /tracez from snap (called per request, so a merged
+// fleet snapshot is always fresh). Query parameters: n caps the traces
+// per view (default 16), format=text switches from indented JSON to the
+// line-oriented human/awk format written by WriteText.
+func Handler(service string, snap func() Snap) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		n := 16
+		if raw := r.URL.Query().Get("n"); raw != "" {
+			if v, err := strconv.Atoi(raw); err == nil && v > 0 {
+				n = v
+			}
+		}
+		rep := BuildReport(service, snap(), n)
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			WriteText(w, rep)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	}
+}
+
+// WriteText renders a Report in a stable line-oriented format: one
+// header line, one "trace" line per view, and one "span" line per span
+// with fixed whitespace-separated columns
+//
+//	span <trace> <id> <parent|-> <start_unix_ns> <dur_ns> <service> <name> <op|-> <status|ok>
+//
+// so shell tooling (the smoke scripts) can assert on traces with awk
+// alone. Spans within a trace are ordered by start time.
+func WriteText(w http.ResponseWriter, rep Report) {
+	fmt.Fprintf(w, "tracez service=%s spans_total=%d retained=%d ring_cap=%d traces=%d\n",
+		rep.Service, rep.SpansTotal, rep.Retained, rep.RingCap, rep.Traces)
+	writeView := func(title string, views []TraceView) {
+		fmt.Fprintf(w, "%s %d\n", title, len(views))
+		for _, v := range views {
+			status := "ok"
+			if v.Err {
+				status = "error"
+			}
+			fmt.Fprintf(w, "trace %s start_ns=%d dur_ns=%d spans=%d services=%d status=%s\n",
+				v.Trace, v.StartUnixNs, v.DurNs, len(v.Spans), v.Services, status)
+			for _, sp := range v.Spans {
+				parent, op, st := sp.Parent, sp.Op, sp.Status
+				if parent == "" {
+					parent = "-"
+				}
+				if op == "" {
+					op = "-"
+				}
+				if st == "" {
+					st = "ok"
+				}
+				fmt.Fprintf(w, "span %s %s %s %d %d %s %s %s %s\n",
+					sp.Trace, sp.ID, parent, sp.StartUnixNs, sp.DurNs,
+					sp.Service, sp.Name, op, st)
+			}
+		}
+	}
+	writeView("slowest", rep.Slowest)
+	writeView("errored", rep.Errored)
+}

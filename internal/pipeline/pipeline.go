@@ -408,6 +408,19 @@ func (r *Run) SubmitTagged(data []byte, epoch int) uint64 {
 // stamps tag (which may be nil) onto Frame.Tag for delivery-time
 // routing. Like Submit it blocks while the first stage's queue is full.
 func (r *Run) SubmitChecked(data []byte, epoch int, tag any) (uint64, error) {
+	return r.submitChecked(data, epoch, tag, false)
+}
+
+// SubmitTracedChecked is SubmitChecked for request-scoped traced
+// frames: when traced is true and the pipeline has a tracer, the frame
+// is force-sampled so its per-stage lifecycle is recorded regardless of
+// the 1/N sampling tick (a traced request always yields stage spans).
+// With traced false it is exactly SubmitChecked.
+func (r *Run) SubmitTracedChecked(data []byte, epoch int, tag any, traced bool) (uint64, error) {
+	return r.submitChecked(data, epoch, tag, traced)
+}
+
+func (r *Run) submitChecked(data []byte, epoch int, tag any, force bool) (uint64, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if r.closed {
@@ -417,7 +430,13 @@ func (r *Run) SubmitChecked(data []byte, epoch int, tag any) (uint64, error) {
 	*f = Frame{Data: data, Epoch: epoch, Tag: tag, submitted: time.Now()}
 	f.Seq = r.seq.Add(1) - 1
 	if tr := r.p.tracer; tr != nil {
-		if ft := tr.sample(); ft != nil {
+		var ft *frameTrace
+		if force {
+			ft = tr.force()
+		} else {
+			ft = tr.sample()
+		}
+		if ft != nil {
 			ft.spans[0].enq = tr.now()
 			f.trace = ft
 		}

@@ -94,8 +94,25 @@ func (p *Pipeline) EnableTracing(cfg TraceConfig) *Tracer {
 // Tracer returns the pipeline's tracer, or nil if tracing is disabled.
 func (p *Pipeline) Tracer() *Tracer { return p.tracer }
 
+// TraceObserver is implemented by Frame.Tag values that want a sampled
+// frame's materialized lifecycle record at delivery — the hook a server
+// uses to turn per-stage pipeline timings into request-scoped
+// distributed-trace spans. ObserveTrace runs at the reorder sink,
+// before the frame reaches Run.Out, so the record is visible to
+// whoever consumes the delivered frame. TraceWanted gates the export:
+// materializing a FrameTrace allocates, so tags say no unless the
+// request is actually traced.
+type TraceObserver interface {
+	TraceWanted() bool
+	ObserveTrace(FrameTrace)
+}
+
 // now returns nanoseconds since the tracer's base time (monotonic).
 func (t *Tracer) now() int64 { return int64(time.Since(t.base)) }
+
+// Base returns the tracer's base time: trace timestamps are nanosecond
+// offsets from it, so base.Add(offset) converts them to wall clock.
+func (t *Tracer) Base() time.Time { return t.base }
 
 // sample decides whether the next submitted frame is traced, returning
 // a cleared trace record or nil. The untraced path is one atomic
@@ -104,6 +121,19 @@ func (t *Tracer) sample() *frameTrace {
 	if t.tick.Add(1)%t.every != 0 {
 		return nil
 	}
+	ft := t.pool.Get().(*frameTrace)
+	for i := range ft.spans {
+		ft.spans[i] = span{}
+	}
+	return ft
+}
+
+// force returns a cleared trace record unconditionally — the path for
+// request-scoped traced frames, which are recorded regardless of where
+// the 1/N sampling tick stands. The tick still advances so forced
+// frames don't skew the background sampling cadence.
+func (t *Tracer) force() *frameTrace {
+	t.tick.Add(1)
 	ft := t.pool.Get().(*frameTrace)
 	for i := range ft.spans {
 		ft.spans[i] = span{}
@@ -127,6 +157,9 @@ func (t *Tracer) complete(f *Frame) {
 		if sp.start != 0 && sp.fin != 0 {
 			t.service[i].Observe(time.Duration(sp.fin - sp.start))
 		}
+	}
+	if ob, ok := f.Tag.(TraceObserver); ok && ob.TraceWanted() {
+		ob.ObserveTrace(t.export(f, ft))
 	}
 	t.offerSlow(f, ft)
 	t.pool.Put(ft)

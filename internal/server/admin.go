@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/gf"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/pipeline"
 )
 
@@ -66,6 +67,13 @@ func (s *Server) RegisterMetrics(reg *obs.Registry) {
 			obs.L("mul_strategy", e.eng.Curve().F.MulStrategy().String()))
 	}
 
+	for op := Op(1); int(op) < len(s.opLat); op++ {
+		reg.HistogramFuncEx("gfp_server_op_latency_seconds",
+			"End-to-end request latency (framed off the socket to response written), per op.",
+			&s.opLat[op], &s.opEx[op], obs.L("op", op.String()))
+	}
+	s.cfg.SLO.RegisterMetrics(reg)
+
 	s.pl.RegisterMetrics(reg)
 	pipeline.RegisterGFKernelMetrics(reg)
 }
@@ -109,10 +117,16 @@ type Statsz struct {
 	Metrics          []obs.Metric          `json:"metrics"`
 	KernelSelections []gf.TierSelection    `json:"kernel_selections,omitempty"`
 	Traces           []pipeline.FrameTrace `json:"traces,omitempty"`
+	SLO              []obs.SLOStatus       `json:"slo,omitempty"`
 }
 
+// TraceSnap captures the server's distributed-trace span ring — the
+// state /tracez serves.
+func (s *Server) TraceSnap() trace.Snap { return s.spans.Snap() }
+
 // AdminHandler returns the admin mux gfserved mounts on -admin:
-// /metrics (Prometheus text), /healthz, /statsz (JSON), /selftest
+// /metrics (Prometheus text), /healthz, /statsz (JSON), /tracez
+// (distributed-trace spans; see docs/OBSERVABILITY.md), /selftest
 // (re-runs the differential datapath verification) and the
 // net/http/pprof endpoints under /debug/pprof/.
 func (s *Server) AdminHandler(reg *obs.Registry) http.Handler {
@@ -131,6 +145,7 @@ func (s *Server) AdminHandler(reg *obs.Registry) http.Handler {
 			StatsSnapshot:    s.Snapshot(),
 			Metrics:          reg.Gather(),
 			KernelSelections: gf.Selections(),
+			SLO:              s.cfg.SLO.Snapshot(),
 		}
 		if t := s.Tracer(); t != nil {
 			sz.Traces = t.Dump()
@@ -140,6 +155,7 @@ func (s *Server) AdminHandler(reg *obs.Registry) http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(sz)
 	})
+	mux.HandleFunc("/tracez", trace.Handler("gfserved", s.spans.Snap))
 	mux.HandleFunc("/selftest", func(w http.ResponseWriter, _ *http.Request) {
 		res := s.SelfTest()
 		w.Header().Set("Content-Type", "application/json")

@@ -106,6 +106,16 @@ func (c *Client) Close() error {
 // Call sends one request and blocks for its response. A non-OK status
 // comes back as a *StatusError (alongside the raw response).
 func (c *Client) Call(op Op, params, payload []byte) (*Message, error) {
+	return c.Do(&Message{Op: op, Params: params, Payload: payload})
+}
+
+// Do sends one caller-built request and blocks for its response. The
+// request id is assigned by the client (any value in m.ID is
+// overwritten); Flags, Params and Payload go out verbatim — the entry
+// point for traced callers and GFP1 intermediaries that need more than
+// Call's (op, params, payload) surface. A non-OK status comes back as a
+// *StatusError (alongside the raw response).
+func (c *Client) Do(m *Message) (*Message, error) {
 	ch := make(chan *Message, 1)
 	c.mu.Lock()
 	if c.err != nil {
@@ -118,8 +128,9 @@ func (c *Client) Call(op Op, params, payload []byte) (*Message, error) {
 	c.pending[id] = ch
 	c.mu.Unlock()
 
+	m.ID = id
 	c.wmu.Lock()
-	err := writeMessage(c.bw, &Message{Op: op, ID: id, Params: params, Payload: payload})
+	err := writeMessage(c.bw, m)
 	if err == nil {
 		err = c.bw.Flush()
 	}
@@ -133,11 +144,11 @@ func (c *Client) Call(op Op, params, payload []byte) (*Message, error) {
 	}
 
 	select {
-	case m := <-ch:
-		if m.Status != StatusOK {
-			return m, &StatusError{Op: m.Op, Status: m.Status, Msg: string(m.Payload)}
+	case resp := <-ch:
+		if resp.Status != StatusOK {
+			return resp, &StatusError{Op: resp.Op, Status: resp.Status, Msg: string(resp.Payload)}
 		}
-		return m, nil
+		return resp, nil
 	case <-c.closed:
 		c.mu.Lock()
 		err := c.err

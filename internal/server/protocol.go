@@ -15,12 +15,19 @@
 //	0       4     magic 0x47465031 ("GFP1")
 //	4       1     version (1)
 //	5       1     op
-//	6       2     status (0 in requests; response status code)
+//	6       2     status/flags (see below)
 //	8       8     request id (echoed verbatim in the response)
 //	16      4     params length P (≤ 256)
 //	20      4     payload length L (≤ the server's max payload)
 //	24      P     params (op-specific, e.g. the 12-byte GCM nonce)
 //	24+P    L     payload
+//
+// The 16-bit field at offset 6 carries the response status code in its
+// low 15 bits (0 in requests) and request flags in the high bit:
+// FlagTraced marks a request whose params section ends with a
+// trace-context extension (see repro/internal/obs/trace). Pre-trace
+// clients always sent 0 here and pre-trace servers never read it on
+// requests, so the split is wire-compatible in both directions.
 //
 // Request ids are chosen by the client and only need to be unique among
 // that connection's in-flight requests; responses may arrive in any
@@ -33,6 +40,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/obs/trace"
 )
 
 // Protocol constants.
@@ -54,6 +63,18 @@ const (
 
 	// NonceSize is the GCM nonce carried in seal/open params.
 	NonceSize = 12
+)
+
+// Request flag bits, carried in the high bits of the header's
+// status/flags field (always 0 in responses and in pre-trace requests).
+const (
+	// FlagTraced marks a request whose params end with a trace-context
+	// extension; the receiver strips it before op-param validation.
+	FlagTraced uint16 = 0x8000
+
+	// flagsMask covers every defined flag bit; the rest of the field is
+	// the response status.
+	flagsMask uint16 = 0x8000
 )
 
 // Op identifies the requested codec operation.
@@ -183,8 +204,11 @@ func (s Status) String() string {
 
 // Message is one decoded protocol frame.
 type Message struct {
-	Op      Op
-	Status  Status
+	Op     Op
+	Status Status
+	// Flags carries the request flag bits (FlagTraced); it shares the
+	// status/flags header field with Status and is 0 in responses.
+	Flags   uint16
 	ID      uint64
 	Params  []byte
 	Payload []byte
@@ -214,7 +238,7 @@ func writeMessage(w io.Writer, m *Message) error {
 	binary.BigEndian.PutUint32(hdr[0:], Magic)
 	hdr[4] = Version
 	hdr[5] = byte(m.Op)
-	binary.BigEndian.PutUint16(hdr[6:], uint16(m.Status))
+	binary.BigEndian.PutUint16(hdr[6:], uint16(m.Status)|(m.Flags&flagsMask))
 	binary.BigEndian.PutUint64(hdr[8:], m.ID)
 	binary.BigEndian.PutUint32(hdr[16:], uint32(len(m.Params)))
 	binary.BigEndian.PutUint32(hdr[20:], uint32(len(m.Payload)))
@@ -250,9 +274,11 @@ func readMessage(r io.Reader, maxPayload int) (*Message, error) {
 	if hdr[4] != Version {
 		return nil, protoErrorf(StatusUnsupported, "protocol version %d, want %d", hdr[4], Version)
 	}
+	sf := binary.BigEndian.Uint16(hdr[6:])
 	m := &Message{
 		Op:     Op(hdr[5]),
-		Status: Status(binary.BigEndian.Uint16(hdr[6:])),
+		Status: Status(sf &^ flagsMask),
+		Flags:  sf & flagsMask,
 		ID:     binary.BigEndian.Uint64(hdr[8:]),
 	}
 	paramsLen := binary.BigEndian.Uint32(hdr[16:])
@@ -286,4 +312,13 @@ func ReadRequest(r io.Reader, maxPayload int) (*Message, error) {
 // WriteResponse serializes m to w. Callers serialize access to w.
 func WriteResponse(w io.Writer, m *Message) error {
 	return writeMessage(w, m)
+}
+
+// AttachTrace appends tc's params trace-context extension to m and sets
+// FlagTraced. Append semantics apply: a decoded message's params slice
+// is capacity-pinned to its length, so the extension lands in a fresh
+// backing array and never clobbers adjacent payload bytes.
+func AttachTrace(m *Message, tc trace.Context) {
+	m.Params = tc.Append(m.Params)
+	m.Flags |= FlagTraced
 }

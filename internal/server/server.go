@@ -7,12 +7,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/aes"
 	"repro/internal/gf"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+	"repro/internal/perf"
 	"repro/internal/pipeline"
 	"repro/internal/rs"
 )
@@ -57,11 +63,28 @@ type Config struct {
 	// (0 = no limit). WriteTimeout bounds each response write (0 = no
 	// limit).
 	ReadTimeout, WriteTimeout time.Duration
-	// TraceEvery enables frame-lifecycle tracing on the shared pipeline:
-	// one in every TraceEvery frames is traced (1 = all, 0 = tracing
-	// off). TraceSlowest is how many of the slowest traces are retained
-	// for the /statsz dump (0 = 16 when tracing is on).
+	// TraceEvery sets background frame-lifecycle sampling on the shared
+	// pipeline: one in every TraceEvery frames is traced (1 = all,
+	// 0 = background sampling effectively off — request-scoped
+	// distributed traces still record per-stage spans). TraceSlowest is
+	// how many of the slowest traces are retained for the /statsz dump
+	// (0 = 16).
 	TraceEvery, TraceSlowest int
+	// TraceRing caps the distributed-trace span ring served at /tracez
+	// (0 = trace.DefaultRingSize). Spans are recorded only for requests
+	// arriving with a sampled trace context, so the ring costs nothing
+	// under untraced load.
+	TraceRing int
+	// SLO, when non-nil, receives every pipeline-served request's
+	// end-to-end latency keyed by (op, tenant) — tenant being the
+	// client's remote host — for error-budget accounting (obs.NewSLO).
+	SLO *obs.SLO
+	// WideLog, when non-nil, emits one structured wide event per
+	// completed request: always for trace-sampled requests, plus one in
+	// every WideEvery untraced completions (WideEvery 0 logs sampled
+	// requests only).
+	WideLog   *slog.Logger
+	WideEvery int
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -110,15 +133,47 @@ type Server struct {
 	st  selftest
 	ctr counters
 	ecc *eccService // nil when Config.Curve is CurveOff
+
+	spans    *trace.Ring           // /tracez distributed-trace span ring
+	opLat    [opLatSlots]perf.Hist // end-to-end latency per op
+	opEx     [opLatSlots]obs.Exemplar
+	wideTick atomic.Uint64 // 1/WideEvery sampler for untraced wide events
 }
 
+// opLatSlots sizes the per-op latency arrays: ops are small contiguous
+// protocol constants (1..9), indexed directly.
+const opLatSlots = 10
+
 // pendingReq rides pipeline.Frame.Tag from submission to delivery: the
-// connection and request id a completed frame's response belongs to.
+// connection and request id a completed frame's response belongs to,
+// plus the request's trace context and hop timestamps, closed out by
+// finishRequest when the response hits (or misses) the wire.
 type pendingReq struct {
 	c  *conn
 	op Op
 	id uint64
+
+	tc   trace.Context // zero when the request carried no trace context
+	span uint64        // this hop's request-span id (sampled requests only)
+
+	read      time.Time // request framed off the socket
+	submitted time.Time // frame entered the shared pipeline
+	routed    time.Time // response routed to the connection's write queue
+
+	ft    pipeline.FrameTrace // per-stage lifecycle (sampled requests only)
+	hasFT bool
 }
+
+// TraceWanted and ObserveTrace implement pipeline.TraceObserver: the
+// reorder sink hands a sampled frame's materialized stage record to its
+// pendingReq before delivery, and finishRequest later turns it into
+// stage spans. The unsynchronized fields are safe: ObserveTrace runs
+// before the frame reaches Run.Out, which happens before dispatch
+// routes the response to the write loop — channel handoffs order both.
+func (pr *pendingReq) TraceWanted() bool { return pr.tc.Sampled }
+
+// ObserveTrace retains the stage record for span recording.
+func (pr *pendingReq) ObserveTrace(ft pipeline.FrameTrace) { pr.ft, pr.hasFT = ft, true }
 
 // New builds the server: codec instances, the shared pipeline (one
 // dispatch stage fanned out over Workers goroutines), and a started run
@@ -174,6 +229,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.TraceEvery > 0 {
 		pl.EnableTracing(pipeline.TraceConfig{SampleEvery: cfg.TraceEvery, Slowest: cfg.TraceSlowest})
+	} else {
+		// Background frame sampling is off, but the tracer must still
+		// exist: request-scoped distributed traces force a per-stage
+		// record through it regardless of the 1/N tick, and without one a
+		// traced request would lose its pipeline-stage spans. A ~1e9
+		// period keeps the background path effectively dark (one atomic
+		// increment per frame, no allocation).
+		pl.EnableTracing(pipeline.TraceConfig{SampleEvery: 1 << 30, Slowest: cfg.TraceSlowest})
 	}
 	s := &Server{
 		cfg:          cfg,
@@ -183,6 +246,7 @@ func New(cfg Config) (*Server, error) {
 		conns:        make(map[*conn]struct{}),
 		dispatchDone: make(chan struct{}),
 		ecc:          eccSvc,
+		spans:        trace.NewRing(cfg.TraceRing),
 	}
 	go s.dispatch()
 	return s, nil
@@ -254,9 +318,14 @@ func (s *Server) Addr() net.Addr {
 // startConn registers and launches one connection's read and write
 // loops, unless the server is already draining.
 func (s *Server) startConn(nc net.Conn) {
+	tenant := nc.RemoteAddr().String()
+	if host, _, err := net.SplitHostPort(tenant); err == nil {
+		tenant = host
+	}
 	c := &conn{
 		s:      s,
 		nc:     nc,
+		tenant: tenant,
 		bw:     bufio.NewWriterSize(nc, 64<<10),
 		writeq: make(chan outMsg, s.cfg.Window+1), // +1: one conn-fatal error reply past the window
 		sem:    make(chan struct{}, s.cfg.Window),
@@ -300,15 +369,16 @@ func (s *Server) dispatch() {
 			f.Recycle()
 			continue
 		}
+		pr.routed = time.Now()
 		var om outMsg
 		if f.Err != nil {
 			payload := []byte(f.Err.Error())
 			f.Recycle()
-			om = outMsg{m: &Message{Op: pr.op, Status: StatusCodecFailed, ID: pr.id, Payload: payload}}
+			om = outMsg{m: &Message{Op: pr.op, Status: StatusCodecFailed, ID: pr.id, Payload: payload}, pr: pr}
 		} else {
 			// The response references the frame's (pool-backed) payload;
 			// the writer recycles it after the bytes hit the socket.
-			om = outMsg{m: &Message{Op: pr.op, ID: pr.id, Payload: f.Data}, f: f}
+			om = outMsg{m: &Message{Op: pr.op, ID: pr.id, Payload: f.Data}, f: f, pr: pr}
 		}
 		switch pr.c.route(om) {
 		case routeOK:
@@ -411,12 +481,16 @@ func (s *Server) armRead(c *conn) bool {
 
 // outMsg is one queued response. f, when non-nil, is the pipeline frame
 // whose pooled payload backs m.Payload; the writer recycles it once the
-// message is on the wire. unled marks replies outside the request ledger
+// message is on the wire. pr, when non-nil, is the pipeline-served
+// request this response answers; the write loop closes its
+// observability books (latency, SLO, spans, wide event) at the
+// terminal. unled marks replies outside the request ledger
 // (protocol-error reports, which never had a request counted), so the
 // terminal accounting in write/drop paths skips them.
 type outMsg struct {
 	m     *Message
 	f     *pipeline.Frame
+	pr    *pendingReq
 	unled bool
 }
 
@@ -425,6 +499,7 @@ type outMsg struct {
 type conn struct {
 	s      *Server
 	nc     net.Conn
+	tenant string // remote host, the SLO/wide-event tenant key
 	bw     *bufio.Writer
 	writeq chan outMsg
 	sem    chan struct{} // window slots; held from read to response-written
@@ -523,9 +598,10 @@ func (c *conn) readLoop() {
 			c.fail()
 			return
 		}
+		readAt := time.Now()
 		c.s.ctr.requests.Add(1)
 		c.s.ctr.bytesIn.Add(int64(headerSize + len(m.Params) + len(m.Payload)))
-		if !c.handle(m) {
+		if !c.handle(m, readAt) {
 			return
 		}
 	}
@@ -533,7 +609,7 @@ func (c *conn) readLoop() {
 
 // handle processes one framed request; it returns false when the
 // connection should stop reading.
-func (c *conn) handle(m *Message) bool {
+func (c *conn) handle(m *Message, readAt time.Time) bool {
 	// Acquire a window slot (released by the write loop once the
 	// response is written). Blocking here is the per-connection
 	// backpressure: a client pipelining beyond its window waits.
@@ -542,6 +618,17 @@ func (c *conn) handle(m *Message) bool {
 	case <-c.dead:
 		c.s.ctr.dropped.Add(1) // framed but the connection died first
 		return false
+	}
+	// A traced request ends its params with a trace-context extension;
+	// strip it before op-param validation so op handlers see exactly
+	// what a pre-trace client would have sent. A malformed extension
+	// downgrades the request to untraced — it never rejects it.
+	var tc trace.Context
+	if m.Flags&FlagTraced != 0 {
+		if ctx, rest, ok := trace.Extract(m.Params); ok {
+			tc = ctx
+			m.Params = rest
+		}
 	}
 	reject := func(st Status, format string, args ...any) bool {
 		return c.send(outMsg{m: &Message{Op: m.Op, Status: st, ID: m.ID,
@@ -560,13 +647,13 @@ func (c *conn) handle(m *Message) bool {
 			return reject(StatusBadRequest, "rs-encode payload %dB, want %s of k×depth = %dB",
 				len(m.Payload), why, iv.FrameK())
 		}
-		return c.submit(m, m.Payload)
+		return c.submit(m, m.Payload, tc, readAt)
 	case OpRSDecode:
 		if bad, why := c.badRSLen(len(m.Payload), iv.FrameN()); bad {
 			return reject(StatusBadRequest, "rs-decode payload %dB, want %s of n×depth = %dB",
 				len(m.Payload), why, iv.FrameN())
 		}
-		return c.submit(m, m.Payload)
+		return c.submit(m, m.Payload, tc, readAt)
 	case OpSeal, OpOpen:
 		if len(m.Params) != NonceSize {
 			return reject(StatusBadRequest, "%v params %dB, want %d-byte nonce",
@@ -580,7 +667,7 @@ func (c *conn) handle(m *Message) bool {
 		data := make([]byte, NonceSize+len(m.Payload))
 		copy(data, m.Params)
 		copy(data[NonceSize:], m.Payload)
-		return c.submit(m, data)
+		return c.submit(m, data, tc, readAt)
 	case OpECDHDerive, OpECDSASign, OpECDSAVerify, OpSecureSession:
 		svc := c.s.ecc
 		if svc == nil {
@@ -589,7 +676,7 @@ func (c *conn) handle(m *Message) bool {
 		if why := svc.validateECC(m.Op, len(m.Payload)); why != "" {
 			return reject(StatusBadRequest, "%s", why)
 		}
-		return c.submit(m, m.Payload)
+		return c.submit(m, m.Payload, tc, readAt)
 	default:
 		return reject(StatusUnsupported, "unknown op %d", uint8(m.Op))
 	}
@@ -608,10 +695,17 @@ func (c *conn) badRSLen(n, unit int) (bad bool, why string) {
 }
 
 // submit pushes one request into the shared pipeline, tagged with its
-// op (as the frame epoch) and routing state.
-func (c *conn) submit(m *Message, data []byte) bool {
+// op (as the frame epoch) and routing state. A sampled trace context
+// mints this hop's request-span id and force-samples the frame so the
+// pipeline records its per-stage lifecycle.
+func (c *conn) submit(m *Message, data []byte, tc trace.Context, readAt time.Time) bool {
+	pr := &pendingReq{c: c, op: m.Op, id: m.ID, tc: tc, read: readAt}
+	if tc.Sampled {
+		pr.span = trace.NewID()
+	}
+	pr.submitted = time.Now()
 	c.s.inflight.Add(1)
-	_, err := c.s.run.SubmitChecked(data, int(m.Op), &pendingReq{c: c, op: m.Op, id: m.ID})
+	_, err := c.s.run.SubmitTracedChecked(data, int(m.Op), pr, tc.Sampled)
 	if err != nil {
 		c.s.inflight.Done()
 		c.send(outMsg{m: &Message{Op: m.Op, Status: StatusShuttingDown, ID: m.ID,
@@ -730,9 +824,8 @@ func (c *conn) account(om outMsg, written bool) {
 // backing frame. After a write error the connection is failed and
 // further writes are dropped.
 func (c *conn) write(om outMsg) {
-	if c.broken {
-		c.account(om, false)
-	} else {
+	written := false
+	if !c.broken {
 		if wt := c.s.cfg.WriteTimeout; wt > 0 {
 			c.nc.SetWriteDeadline(time.Now().Add(wt))
 		}
@@ -742,13 +835,16 @@ func (c *conn) write(om outMsg) {
 		}
 		if err != nil {
 			c.broken = true
-			c.account(om, false)
 			c.s.logf("server: write to %v: %v", c.nc.RemoteAddr(), err)
 			c.fail()
 		} else {
-			c.account(om, true)
+			written = true
 			c.s.ctr.bytesOut.Add(int64(headerSize + len(om.m.Params) + len(om.m.Payload)))
 		}
+	}
+	c.account(om, written)
+	if om.pr != nil {
+		c.s.finishRequest(c, om, written)
 	}
 	if om.f != nil {
 		om.f.Recycle()
@@ -757,4 +853,118 @@ func (c *conn) write(om outMsg) {
 	case <-c.sem:
 	default: // conn-fatal replies are sent without a slot
 	}
+}
+
+// finishRequest closes the observability books on one pipeline-served
+// request at its terminal point in the write loop: per-op latency (with
+// a trace exemplar), SLO accounting, span recording and the wide event.
+// Reader-path replies (stats, rejections) never reach the pipeline and
+// are deliberately excluded — the latency ledger measures the datapath.
+func (s *Server) finishRequest(c *conn, om outMsg, written bool) {
+	pr := om.pr
+	now := time.Now()
+	lat := now.Sub(pr.read)
+	if int(pr.op) < len(s.opLat) {
+		s.opLat[pr.op].Observe(lat)
+		if pr.tc.Sampled {
+			s.opEx[pr.op].Record(pr.tc.Trace, int64(lat))
+		}
+	}
+	s.cfg.SLO.Observe(pr.op.String(), c.tenant, lat)
+	if pr.tc.Sampled {
+		s.recordSpans(c, pr, om.m.Status, written, now)
+	}
+	s.wideEvent(c, pr, om.m.Status, written, lat)
+}
+
+// recordSpans turns one traced request's hop timestamps into spans on
+// the /tracez ring: the request envelope (read to response written),
+// admission (window wait and validation before the pipeline accepted
+// the frame), the per-stage pipeline lifecycle, and write-back
+// (response routed to written).
+func (s *Server) recordSpans(c *conn, pr *pendingReq, st Status, written bool, now time.Time) {
+	traceID := trace.FormatID(pr.tc.Trace)
+	reqID := trace.FormatID(pr.span)
+	parent := ""
+	if pr.tc.Span != 0 {
+		parent = trace.FormatID(pr.tc.Span)
+	}
+	status := ""
+	switch {
+	case !written:
+		status = "dropped"
+	case st != StatusOK:
+		status = st.String()
+	}
+	s.spans.Add(trace.Span{
+		Trace: traceID, ID: reqID, Parent: parent,
+		Service: "gfserved", Name: "request", Op: pr.op.String(),
+		StartUnixNs: pr.read.UnixNano(), DurNs: now.Sub(pr.read).Nanoseconds(),
+		Status: status,
+		Attrs:  map[string]string{"peer": c.nc.RemoteAddr().String()},
+	})
+	s.spans.Add(trace.Span{
+		Trace: traceID, ID: trace.FormatID(trace.NewID()), Parent: reqID,
+		Service: "gfserved", Name: "admission", Op: pr.op.String(),
+		StartUnixNs: pr.read.UnixNano(), DurNs: pr.submitted.Sub(pr.read).Nanoseconds(),
+	})
+	if pr.hasFT {
+		if t := s.pl.Tracer(); t != nil {
+			base := t.Base()
+			for _, ss := range pr.ft.Spans {
+				if ss.EnqNs == 0 || ss.FinNs == 0 {
+					continue
+				}
+				s.spans.Add(trace.Span{
+					Trace: traceID, ID: trace.FormatID(trace.NewID()), Parent: reqID,
+					Service: "gfserved", Name: "stage:" + ss.Stage, Op: pr.op.String(),
+					StartUnixNs: base.Add(time.Duration(ss.EnqNs)).UnixNano(),
+					DurNs:       ss.FinNs - ss.EnqNs,
+					Attrs: map[string]string{
+						"queue_wait_ns": strconv.FormatInt(ss.QueueWaitNs, 10),
+						"service_ns":    strconv.FormatInt(ss.ServiceNs, 10),
+					},
+				})
+			}
+		}
+	}
+	wb := trace.Span{
+		Trace: traceID, ID: trace.FormatID(trace.NewID()), Parent: reqID,
+		Service: "gfserved", Name: "write-back", Op: pr.op.String(),
+		StartUnixNs: pr.routed.UnixNano(), DurNs: now.Sub(pr.routed).Nanoseconds(),
+	}
+	if !written {
+		wb.Status = "dropped"
+	}
+	s.spans.Add(wb)
+}
+
+// wideEvent emits the one-line structured record of a completed
+// request: every trace-sampled request, plus one in every WideEvery
+// untraced completions.
+func (s *Server) wideEvent(c *conn, pr *pendingReq, st Status, written bool, lat time.Duration) {
+	lg := s.cfg.WideLog
+	if lg == nil {
+		return
+	}
+	if !pr.tc.Sampled {
+		every := uint64(s.cfg.WideEvery)
+		if every == 0 || s.wideTick.Add(1)%every != 0 {
+			return
+		}
+	}
+	attrs := []slog.Attr{
+		slog.String("service", "gfserved"),
+		slog.String("op", pr.op.String()),
+		slog.String("tenant", c.tenant),
+		slog.String("status", st.String()),
+		slog.Bool("written", written),
+		slog.Int64("latency_ns", int64(lat)),
+	}
+	if pr.tc.Sampled {
+		attrs = append(attrs,
+			slog.String("trace", trace.FormatID(pr.tc.Trace)),
+			slog.String("span", trace.FormatID(pr.span)))
+	}
+	lg.LogAttrs(context.Background(), slog.LevelInfo, "request", attrs...)
 }

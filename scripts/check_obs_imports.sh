@@ -1,24 +1,35 @@
 #!/usr/bin/env bash
-# Guard internal/obs's dependency budget: the metrics core must stay
-# stdlib-only (plus repro/internal/perf for the histogram buckets), so
-# it never drags a third-party client library into every binary that
-# links it. Run from the repo root; exits nonzero on any violation.
+# Guard the observability core's dependency budget: internal/obs (the
+# metrics core; stdlib plus repro/internal/perf for histogram buckets)
+# and internal/obs/trace (the distributed-tracing core; stdlib only)
+# must never drag a third-party client library or tracing SDK into
+# every binary that links them. Run from the repo root; exits nonzero
+# on any violation.
 set -euo pipefail
 
-allowed="repro/internal/perf"
 bad=0
-for imp in $(go list -f '{{join .Imports "\n"}}' ./internal/obs); do
-  if [ "$imp" = "$allowed" ]; then
-    continue
-  fi
-  std=$(go list -f '{{.Standard}}' "$imp")
-  if [ "$std" != "true" ]; then
-    echo "check_obs_imports: internal/obs imports non-stdlib package $imp" >&2
-    bad=1
-  fi
-done
+check_pkg() {
+  local pkg=$1
+  shift
+  local imp std ok
+  for imp in $(go list -f '{{join .Imports "\n"}}' "$pkg"); do
+    ok=0
+    for allowed in "$@"; do
+      if [ "$imp" = "$allowed" ]; then ok=1; break; fi
+    done
+    if [ "$ok" = 1 ]; then continue; fi
+    std=$(go list -f '{{.Standard}}' "$imp")
+    if [ "$std" != "true" ]; then
+      echo "check_obs_imports: $pkg imports non-stdlib package $imp" >&2
+      bad=1
+    fi
+  done
+}
+
+check_pkg ./internal/obs repro/internal/perf
+check_pkg ./internal/obs/trace
 if [ "$bad" != 0 ]; then
   exit 1
 fi
 go vet ./internal/obs/...
-echo "check_obs_imports: ok — internal/obs is stdlib + internal/perf only"
+echo "check_obs_imports: ok — internal/obs is stdlib + internal/perf only; internal/obs/trace is stdlib only"

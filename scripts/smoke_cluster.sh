@@ -197,6 +197,29 @@ grep -q '"scraped": 3' "$workdir/proxy-statsz.json" || {
   exit 1
 }
 
+# Every backend's own ledger must balance exactly post-kill as well —
+# including the restarted backend 1 — so the fleet sum the proxy serves
+# is a sum of exact ledgers, not approximations that happen to cancel.
+for admin in "$b1_admin" "$b2_admin" "$b3_admin"; do
+  curl -fsS "http://$admin/metrics" >"$workdir/backend-ledger.txt"
+  awk '
+    $1 == "gfp_server_requests_total"  { req  = $2 }
+    $1 == "gfp_server_responses_total" { resp = $2 }
+    $1 == "gfp_server_rejects_total"   { rej  = $2 }
+    $1 == "gfp_server_dropped_total"   { drop = $2 }
+    END {
+      if (req == "" || req != resp + rej + drop) {
+        printf "ledger: requests=%d responses=%d rejects=%d dropped=%d\n", req, resp, rej, drop > "/dev/stderr"
+        exit 1
+      }
+    }
+  ' "$workdir/backend-ledger.txt" || {
+    echo "smoke-cluster: backend $admin request ledger does not balance post-kill" >&2
+    exit 1
+  }
+done
+echo "smoke-cluster: all 3 backend ledgers balance post-kill"
+
 # --- graceful teardown ---------------------------------------------------
 kill -INT "$proxy_pid"
 for _ in $(seq 1 100); do

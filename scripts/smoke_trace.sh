@@ -1,0 +1,155 @@
+#!/usr/bin/env bash
+# Distributed-tracing smoke test: build gfserved + gfproxy + gfload,
+# bring up a 2-backend fleet behind a gfproxy, drive a traced load
+# burst (gfload samples one round trip in N and prints the sampled
+# trace ids), then assert the observability surfaces hold together:
+# a sampled trace id appears on the proxy's fleet-merged /tracez AND on
+# a backend's own /tracez, its spans cover >= 3 hops across >= 2
+# services with nonzero monotonic start timestamps, the proxy's SLO
+# tracker counted requests (gfp_slo_requests_total > 0), structured
+# wide events landed in the proxy's JSON log, and gfload's own report
+# carries the client-side SLO line. Run from the repo root; exits
+# nonzero on any failure.
+set -euo pipefail
+
+REQUESTS="${REQUESTS:-2000}"
+CONNS="${CONNS:-4}"
+WINDOW="${WINDOW:-4}"
+TRACE_EVERY="${TRACE_EVERY:-50}"
+
+workdir=$(mktemp -d)
+pids=()
+trap 'kill "${pids[@]}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/gfserved" ./cmd/gfserved
+go build -o "$workdir/gfproxy" ./cmd/gfproxy
+go build -o "$workdir/gfload" ./cmd/gfload
+
+# wait_line FILE REGEX: polls until the first capture of REGEX appears
+# in FILE and prints it.
+wait_line() {
+  local file=$1 re=$2 m
+  for _ in $(seq 1 100); do
+    m=$(sed -nE "s#.*$re.*#\1#p" "$file" 2>/dev/null | head -1)
+    if [ -n "$m" ]; then echo "$m"; return 0; fi
+    sleep 0.1
+  done
+  echo "smoke-trace: never saw /$re/ in $file" >&2
+  cat "$file" >&2
+  return 1
+}
+
+start_backend() {
+  local i=$1
+  "$workdir/gfserved" -addr 127.0.0.1:0 -admin 127.0.0.1:0 -quiet \
+    -trace-ring 4096 -slo 'default=250ms@99' \
+    >"$workdir/backend$i.log" 2>&1 &
+  pids+=($!)
+  eval "b${i}_addr=\$(wait_line "$workdir/backend$i.log" 'listening on ([0-9.:]+)')"
+  eval "b${i}_admin=\$(wait_line "$workdir/backend$i.log" 'admin on http://([0-9.:]+)')"
+}
+
+start_backend 1
+start_backend 2
+echo "smoke-trace: backends $b1_addr $b2_addr"
+
+"$workdir/gfproxy" -addr 127.0.0.1:0 -admin 127.0.0.1:0 \
+  -backends "$b1_addr@$b1_admin,$b2_addr@$b2_admin" -route request \
+  -health-interval 200ms -dial-wait 200ms -quiet \
+  -trace-ring 4096 -slo 'default=250ms@99' \
+  -log-format json -wide-every 500 \
+  >"$workdir/proxy.log" 2>&1 &
+pids+=($!)
+proxy_addr=$(wait_line "$workdir/proxy.log" 'listening on ([0-9.:]+)')
+proxy_admin=$(wait_line "$workdir/proxy.log" 'admin on http://([0-9.:]+)')
+echo "smoke-trace: proxy $proxy_addr (admin $proxy_admin)"
+
+# --- traced burst through the proxy --------------------------------------
+"$workdir/gfload" -addr "$proxy_addr" -wait 10s \
+  -conns "$CONNS" -window "$WINDOW" -requests "$REQUESTS" \
+  -trace "$TRACE_EVERY" -slo 'rs=250ms@99' \
+  >"$workdir/load.log" 2>&1 || {
+  echo "smoke-trace: traced gfload run failed" >&2
+  cat "$workdir/load.log" >&2
+  exit 1
+}
+
+tid=$(sed -nE 's/.*sampled traces: +([0-9a-f]{16}).*/\1/p' "$workdir/load.log" | head -1)
+if [ -z "$tid" ]; then
+  echo "smoke-trace: gfload report carries no sampled trace ids" >&2
+  cat "$workdir/load.log" >&2
+  exit 1
+fi
+echo "smoke-trace: following trace $tid"
+
+grep -q '^slo:' "$workdir/load.log" || {
+  echo "smoke-trace: gfload report carries no client-side SLO line" >&2
+  cat "$workdir/load.log" >&2
+  exit 1
+}
+
+# Give the last span recordings (which complete just after the response
+# is written) a beat to land before scraping.
+sleep 0.5
+
+# --- /tracez: fleet-merged on the proxy, local on a backend --------------
+curl -fsS "http://$proxy_admin/tracez?format=text&n=200" >"$workdir/proxy-tracez.txt"
+curl -fsS "http://$b1_admin/tracez?format=text&n=200" >"$workdir/b1-tracez.txt"
+curl -fsS "http://$b2_admin/tracez?format=text&n=200" >"$workdir/b2-tracez.txt"
+
+grep -q "^span $tid " "$workdir/proxy-tracez.txt" || {
+  echo "smoke-trace: trace $tid missing from the proxy's fleet /tracez" >&2
+  head -30 "$workdir/proxy-tracez.txt" >&2
+  exit 1
+}
+if ! grep -q "^span $tid " "$workdir/b1-tracez.txt" &&
+   ! grep -q "^span $tid " "$workdir/b2-tracez.txt"; then
+  echo "smoke-trace: trace $tid missing from both backends' /tracez" >&2
+  exit 1
+fi
+
+# The merged trace must show the full path: >= 3 hops, >= 2 services
+# (gfproxy and gfserved), every span with a nonzero start, and starts
+# monotonic in the order /tracez emits them (sorted by start time).
+awk -v tid="$tid" '
+  $1 == "span" && $2 == tid {
+    n++
+    svc[$7] = 1
+    if ($5 + 0 == 0) { print "zero start_unix_ns: " $0 > "/dev/stderr"; bad = 1 }
+    if (prev != "" && $5 + 0 < prev + 0) { print "non-monotonic start: " $0 > "/dev/stderr"; bad = 1 }
+    prev = $5
+  }
+  END {
+    s = 0; for (k in svc) s++
+    if (n < 3) { print "only " n " spans for the trace, want >= 3" > "/dev/stderr"; bad = 1 }
+    if (s < 2) { print "only " s " services in the trace, want >= 2" > "/dev/stderr"; bad = 1 }
+    exit bad
+  }
+' "$workdir/proxy-tracez.txt" || {
+  echo "smoke-trace: trace $tid is not a well-formed multi-hop trace" >&2
+  grep "^span $tid " "$workdir/proxy-tracez.txt" >&2 || true
+  exit 1
+}
+echo "smoke-trace: trace $tid spans proxy and backend with monotonic timestamps"
+
+# --- SLO accounting and wide events --------------------------------------
+curl -fsS "http://$proxy_admin/metrics" >"$workdir/proxy-metrics.txt"
+awk '
+  $1 ~ /^gfp_slo_requests_total\{/ { total += $2 }
+  END { exit (total > 0 ? 0 : 1) }
+' "$workdir/proxy-metrics.txt" || {
+  echo "smoke-trace: proxy gfp_slo_requests_total never incremented" >&2
+  grep gfp_slo "$workdir/proxy-metrics.txt" >&2 || true
+  exit 1
+}
+grep -q 'gfp_slo_burn_rate' "$workdir/proxy-metrics.txt" || {
+  echo "smoke-trace: proxy /metrics missing gfp_slo_burn_rate" >&2
+  exit 1
+}
+grep -q '"msg":"request"' "$workdir/proxy.log" || {
+  echo "smoke-trace: no structured wide events in the proxy's JSON log" >&2
+  head -20 "$workdir/proxy.log" >&2
+  exit 1
+}
+
+echo "smoke-trace: ok — end-to-end trace at /tracez on proxy and backend, SLO counters live, wide events logged"
